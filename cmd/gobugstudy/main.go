@@ -1,0 +1,185 @@
+// Command gobugstudy regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	gobugstudy                      # everything
+//	gobugstudy -table 8             # one table (1-12)
+//	gobugstudy -figures             # Figures 2, 3 and 4 only
+//	gobugstudy -observations        # the nine observations' checks
+//	gobugstudy -runs 200 -seed 7    # detector-experiment protocol knobs
+//	gobugstudy -apps path/to/trees  # alternate source trees for Tables 2/4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"goconcbugs/internal/core"
+	"goconcbugs/internal/corpus"
+)
+
+func main() {
+	table := flag.Int("table", 0, "render a single table (1-12); 0 = all")
+	figures := flag.Bool("figures", false, "render the figures only")
+	observations := flag.Bool("observations", false, "evaluate the nine observations")
+	detectors := flag.Bool("detectors", false, "run the four-detector comparison (extension experiment)")
+	summary := flag.Bool("summary", false, "print the one-page report card of headline numbers")
+	exportJSON := flag.Bool("json", false, "dump the 171-bug dataset as JSON to stdout")
+	runs := flag.Int("runs", 100, "runs per kernel for the race-detector experiment")
+	seed := flag.Int64("seed", 1, "base seed for every simulated experiment")
+	apps := flag.String("apps", "testdata/apps", "root of the six application trees for Tables 2 and 4")
+	flag.Parse()
+
+	s := core.NewStudy()
+	s.Runs = *runs
+	s.BaseSeed = *seed
+	s.SourceRoot = *apps
+
+	if *exportJSON {
+		if err := corpus.WriteJSON(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "gobugstudy:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *summary {
+		if _, err := s.Summarize().WriteTo(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "gobugstudy:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *detectors {
+		t, cmp := s.DetectorComparisonTable()
+		fmt.Print(t)
+		fmt.Printf("detected by at least one detector: %d/%d kernels\n", countAny(cmp), cmp.Kernels)
+		return
+	}
+	if err := run(s, *table, *figures, *observations); err != nil {
+		fmt.Fprintln(os.Stderr, "gobugstudy:", err)
+		os.Exit(1)
+	}
+}
+
+func countAny(cmp *core.DetectorComparison) int {
+	n := 0
+	for _, r := range cmp.Rows {
+		if r.AnyDetected() {
+			n++
+		}
+	}
+	return n
+}
+
+func run(s *core.Study, table int, figures, observations bool) error {
+	if observations {
+		return printObservations(s)
+	}
+	if figures {
+		return printFigures(s)
+	}
+	if table != 0 {
+		return printTable(s, table)
+	}
+	for n := 1; n <= 12; n++ {
+		if err := printTable(s, n); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	if err := printFigures(s); err != nil {
+		return err
+	}
+	fmt.Println()
+	return printObservations(s)
+}
+
+func printTable(s *core.Study, n int) error {
+	switch n {
+	case 1:
+		fmt.Print(s.Table1())
+	case 2:
+		t, err := s.Table2()
+		if err != nil {
+			return err
+		}
+		fmt.Print(t)
+	case 3:
+		fmt.Print(s.Table3())
+	case 4:
+		t, err := s.Table4()
+		if err != nil {
+			return err
+		}
+		fmt.Print(t)
+	case 5:
+		fmt.Print(s.Table5())
+	case 6:
+		fmt.Print(s.Table6())
+	case 7:
+		t, lifts := s.Table7()
+		fmt.Print(t)
+		fmt.Println("lift ranking (categories with >= 10 bugs):")
+		for i, e := range lifts {
+			if i >= 5 {
+				break
+			}
+			fmt.Printf("  lift(%s, %s) = %.2f (n=%d)\n", e.Row, e.Col, e.Lift, e.Count)
+		}
+	case 8:
+		t, _ := s.Table8()
+		fmt.Print(t)
+	case 9:
+		fmt.Print(s.Table9())
+	case 10:
+		t, lifts := s.Table10()
+		fmt.Print(t)
+		for _, e := range lifts {
+			if (e.Row == "anonymous function" && e.Col == "Private") ||
+				(e.Row == "chan" && e.Col == "Move_s") {
+				fmt.Printf("  lift(%s, %s) = %.2f\n", e.Row, e.Col, e.Lift)
+			}
+		}
+	case 11:
+		t, lifts := s.Table11()
+		fmt.Print(t)
+		for _, e := range lifts {
+			if e.Row == "chan" && e.Col == "Channel" {
+				fmt.Printf("  lift(%s, %s) = %.2f\n", e.Row, e.Col, e.Lift)
+			}
+		}
+	case 12:
+		t, res := s.Table12()
+		fmt.Print(t)
+		fmt.Printf("detected on every run: %d; detected only on some runs: %d\n", res.EveryRun, res.Rare)
+	default:
+		return fmt.Errorf("no table %d", n)
+	}
+	return nil
+}
+
+func printFigures(s *core.Study) error {
+	for _, fig := range s.Figure2and3() {
+		fmt.Print(fig)
+		fmt.Println()
+	}
+	fmt.Print(s.Figure4())
+	medians := s.LifetimeMedians()
+	for cause, m := range medians {
+		fmt.Printf("  median lifetime (%s): %.0f days\n", cause, m)
+	}
+	return nil
+}
+
+func printObservations(s *core.Study) error {
+	fmt.Println("Observations (paper claim -> reproduction check):")
+	for _, o := range s.Observations() {
+		status := "HOLDS"
+		if !o.Holds {
+			status = "FAILS"
+		}
+		fmt.Printf("  [%s] Observation %d: %s\n          %s\n", status, o.Number, o.Claim, o.Detail)
+	}
+	return nil
+}

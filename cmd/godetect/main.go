@@ -1,0 +1,228 @@
+// Command godetect runs bug kernels under the reimplemented detectors.
+//
+// Usage:
+//
+//	godetect -list                        # list every kernel
+//	godetect -kernel kubernetes-finishreq # run one kernel's buggy variant
+//	godetect -kernel docker-apiversion -fixed -runs 100
+//	godetect -all                         # sweep every kernel
+//	godetect -kernel grpc-lost-update -trace -seed 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"goconcbugs/internal/corpus"
+	"goconcbugs/internal/deadlock"
+	"goconcbugs/internal/explore"
+	"goconcbugs/internal/kernels"
+	"goconcbugs/internal/race"
+	"goconcbugs/internal/sim"
+	"goconcbugs/internal/vet"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list kernels")
+	all := flag.Bool("all", false, "sweep every kernel")
+	kernel := flag.String("kernel", "", "kernel id to run")
+	fixed := flag.Bool("fixed", false, "run the fixed variant instead of the buggy one")
+	runs := flag.Int("runs", 100, "number of seeded runs")
+	seed := flag.Int64("seed", 0, "base seed")
+	trace := flag.Bool("trace", false, "print the first run's event trace")
+	shadow := flag.Int("shadow", 0, "race-detector shadow words (0 = Go's 4, negative = unbounded)")
+	vetFlag := flag.Bool("vet", false, "also run the usage-rule checker (package vet)")
+	catalog := flag.Bool("catalog", false, "emit the kernel catalog as Markdown (KERNELS.md)")
+	chrome := flag.String("chrometrace", "", "write the first run's trace to this file in Chrome Trace Event Format")
+	flag.Parse()
+
+	if *catalog {
+		printCatalog()
+		return
+	}
+
+	switch {
+	case *list:
+		listKernels()
+	case *all:
+		for _, k := range kernels.All() {
+			sweep(k, *fixed, *runs, *seed, *shadow)
+			if *vetFlag {
+				runVet(k, *fixed, *runs, *seed)
+			}
+		}
+	case *kernel != "":
+		k, ok := kernels.ByID(*kernel)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "godetect: unknown kernel %q (try -list)\n", *kernel)
+			os.Exit(1)
+		}
+		if *trace {
+			printTrace(k, *fixed, *seed)
+		}
+		if *chrome != "" {
+			if err := writeChromeTrace(k, *fixed, *seed, *chrome); err != nil {
+				fmt.Fprintln(os.Stderr, "godetect:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s (open in chrome://tracing or ui.perfetto.dev)\n", *chrome)
+		}
+		sweep(k, *fixed, *runs, *seed, *shadow)
+		if *vetFlag {
+			runVet(k, *fixed, *runs, *seed)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+// printCatalog renders the registry as the Markdown catalog checked in as
+// KERNELS.md.
+func printCatalog() {
+	fmt.Println("# Bug kernel catalog")
+	fmt.Println()
+	fmt.Println("Generated with `go run ./cmd/godetect -catalog > KERNELS.md`.")
+	fmt.Println("Each kernel reproduces one studied bug as a Buggy/Fixed program pair")
+	fmt.Println("against the deterministic runtime (`internal/sim`); run one with")
+	fmt.Println("`go run ./cmd/godetect -kernel <id> [-fixed] [-trace] [-vet]`.")
+	for _, behavior := range []corpus.Behavior{corpus.Blocking, corpus.NonBlocking} {
+		fmt.Printf("\n## %s bugs\n\n", behavior)
+		fmt.Println("| Kernel | App | Class | Figure | Study set | Bug | Fix |")
+		fmt.Println("|---|---|---|---|---|---|---|")
+		for _, k := range kernels.All() {
+			if k.Behavior != behavior {
+				continue
+			}
+			class := string(k.BlockClass)
+			if behavior == corpus.NonBlocking {
+				class = string(k.NBCause)
+			}
+			fig, study := "", ""
+			if k.Figure > 0 {
+				fig = fmt.Sprintf("Fig. %d", k.Figure)
+			}
+			if k.InDetectorStudy {
+				study = "Table 8"
+				if behavior == corpus.NonBlocking {
+					study = "Table 12"
+				}
+			}
+			fmt.Printf("| `%s` | %s | %s | %s | %s | %s | %s |\n",
+				k.ID, k.App, class, fig, study,
+				oneLine(k.Description), oneLine(k.FixDescription))
+		}
+	}
+}
+
+func oneLine(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		if r == '\n' || r == '|' {
+			r = ' '
+		}
+		out = append(out, r)
+	}
+	return string(out)
+}
+
+func listKernels() {
+	for _, k := range kernels.All() {
+		tag := ""
+		if k.InDetectorStudy {
+			tag = " [study-set]"
+		}
+		fig := ""
+		if k.Figure > 0 {
+			fig = fmt.Sprintf(" (Figure %d)", k.Figure)
+		}
+		fmt.Printf("%-34s %-12s %s%s%s\n", k.ID, k.Behavior, k.App, fig, tag)
+	}
+}
+
+func variant(k kernels.Kernel, fixed bool) sim.Program {
+	if fixed {
+		return k.Fixed
+	}
+	return k.Buggy
+}
+
+func sweep(k kernels.Kernel, fixed bool, runs int, seed int64, shadow int) {
+	prog := variant(k, fixed)
+	st := explore.Run(prog, explore.Options{
+		Runs:        runs,
+		BaseSeed:    seed,
+		Config:      k.Config(seed),
+		WithRace:    k.Behavior == corpus.NonBlocking,
+		ShadowWords: shadow,
+	})
+	label := "buggy"
+	if fixed {
+		label = "fixed"
+	}
+	fmt.Printf("%s (%s, %d runs): manifested %d, deadlock %d, leak %d, panic %d, check-fail %d, race-detected %d\n",
+		k.ID, label, st.Runs, st.Manifested, st.BuiltinDeadlocks, st.LeakRuns, st.Panics,
+		st.CheckFailureRuns, st.RaceDetectedRuns)
+	for _, sample := range []string{st.SampleLeak, st.SamplePanic, st.SampleCheckFail, st.SampleRace} {
+		if sample != "" {
+			fmt.Printf("    e.g. %s\n", sample)
+		}
+	}
+}
+
+// runVet sweeps seeds under the usage-rule checker and prints the distinct
+// findings.
+func runVet(k kernels.Kernel, fixed bool, runs int, seed int64) {
+	distinct := map[string]bool{}
+	for i := 0; i < runs; i++ {
+		m, _ := vet.Check(k.Config(seed+int64(i)), variant(k, fixed))
+		for _, v := range m.Violations() {
+			distinct[v.String()] = true
+		}
+	}
+	if len(distinct) == 0 {
+		fmt.Println("    vet: no rule violations")
+		return
+	}
+	for v := range distinct {
+		fmt.Printf("    %s\n", v)
+	}
+}
+
+// writeChromeTrace runs the kernel once with tracing and dumps the Chrome
+// Trace Event Format rendering.
+func writeChromeTrace(k kernels.Kernel, fixed bool, seed int64, path string) error {
+	cfg := k.Config(seed)
+	cfg.Trace = true
+	res := sim.Run(cfg, variant(k, fixed))
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return res.WriteChromeTrace(f)
+}
+
+func printTrace(k kernels.Kernel, fixed bool, seed int64) {
+	cfg := k.Config(seed)
+	cfg.Trace = true
+	det := race.New(0)
+	cfg.Observer = det
+	res := sim.Run(cfg, variant(k, fixed))
+	fmt.Printf("--- trace of %s (seed %d, outcome %v) ---\n", k.ID, seed, res.Outcome)
+	for _, e := range res.Trace {
+		fmt.Println(" ", e)
+	}
+	builtin := deadlock.Builtin{}.Detect(res)
+	leak := deadlock.Leak{}.Detect(res)
+	if builtin.Detected {
+		fmt.Println(builtin.Message)
+	}
+	if leak.Detected {
+		fmt.Println(leak.Message)
+	}
+	for _, r := range det.Reports() {
+		fmt.Println(" ", r)
+	}
+}

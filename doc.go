@@ -1,0 +1,17 @@
+// Package goconcbugs is a from-scratch reproduction of "Understanding
+// Real-World Concurrency Bugs in Go" (Tu, Liu, Song, Zhang; ASPLOS 2019).
+//
+// The library re-implements everything the study needs on a laptop: a
+// deterministic model of Go's concurrency runtime (internal/sim), the two
+// detectors the paper evaluates (internal/race, internal/deadlock), the 41
+// reproduced bug kernels (internal/kernels), the 171-bug dataset and
+// taxonomy (internal/corpus), the static analyzers of Sections 3 and 7
+// (internal/static), and the dynamic RPC comparison substrate
+// (internal/rpc). internal/core ties them together and regenerates every
+// table and figure of the paper's evaluation; cmd/gobugstudy, cmd/godetect
+// and cmd/gostatic expose that as executables, and bench_test.go holds one
+// benchmark per table and figure.
+//
+// See README.md for a tour, DESIGN.md for the system inventory and
+// per-experiment index, and EXPERIMENTS.md for paper-vs-measured results.
+package goconcbugs

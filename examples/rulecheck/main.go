@@ -1,0 +1,61 @@
+// Rulecheck demonstrates the dynamic rule-enforcement monitor of the
+// paper's Section 7 discussion ("A novel dynamic technique can try to
+// enforce such rules and detect violation at runtime"): it sweeps every bug
+// kernel under the checker and highlights the three figure bugs that the
+// race detector and the built-in deadlock detector both miss — the double
+// close (Figure 10), the WaitGroup order violation (Figure 9), and the
+// channel-under-lock structure (Figure 7).
+//
+//	go run ./examples/rulecheck
+package main
+
+import (
+	"fmt"
+
+	"goconcbugs/internal/kernels"
+	"goconcbugs/internal/vet"
+)
+
+func main() {
+	fmt.Println("Dynamic usage-rule checking over every bug kernel (50 seeds each):")
+	fmt.Println()
+	caught := 0
+	for _, k := range kernels.All() {
+		rules := map[vet.Rule]bool{}
+		for seed := int64(0); seed < 50; seed++ {
+			m, _ := vet.Check(k.Config(seed), k.Buggy)
+			for _, v := range m.Violations() {
+				rules[v.Rule] = true
+			}
+		}
+		if len(rules) == 0 {
+			continue
+		}
+		caught++
+		fmt.Printf("%-34s ->", k.ID)
+		for r := range rules {
+			fmt.Printf(" %s", r)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("\n%d of %d kernels trip at least one usage rule.\n", caught, len(kernels.All()))
+	fmt.Println()
+	fmt.Println("The detection gap this closes (Tables 8 and 12's misses):")
+	for _, id := range []string{"docker-24007-double-close", "etcd-waitgroup-order", "boltdb-240-chan-mutex"} {
+		k, _ := kernels.ByID(id)
+		var hit []string
+		for seed := int64(0); seed < 50; seed++ {
+			m, _ := vet.Check(k.Config(seed), k.Buggy)
+			for _, v := range m.Violations() {
+				hit = append(hit, v.String())
+			}
+			if len(hit) > 0 {
+				break
+			}
+		}
+		fmt.Printf("  %s (Figure %d):\n", k.ID, k.Figure)
+		if len(hit) > 0 {
+			fmt.Printf("    %s\n", hit[0])
+		}
+	}
+}

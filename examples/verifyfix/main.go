@@ -1,0 +1,72 @@
+// Verifyfix demonstrates systematic schedule exploration (stateless model
+// checking) over the simulated runtime: instead of sampling 100 random
+// schedules as the paper's protocol does, it enumerates *every* schedule of
+// a small kernel — proving a patch correct for all interleavings, and
+// finding a bug's failing schedule without luck, then replaying it.
+//
+//	go run ./examples/verifyfix [kernel-id]
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"goconcbugs/internal/explore"
+	"goconcbugs/internal/kernels"
+)
+
+func main() {
+	id := "boltdb-392-double-lock"
+	if len(os.Args) > 1 {
+		id = os.Args[1]
+	}
+	k, ok := kernels.ByID(id)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown kernel %q\n", id)
+		os.Exit(1)
+	}
+	fmt.Printf("== %s ==\n%s\n\n", k.ID, k.Description)
+
+	opts := explore.SystematicOptions{Config: k.Config(0), MaxRuns: 200_000}
+
+	fmt.Println("exploring every schedule of the buggy variant ...")
+	buggy := explore.Systematic(k.Buggy, opts)
+	fmt.Printf("  schedules: %d (complete=%v, max depth %d)\n", buggy.Runs, buggy.Complete, buggy.MaxDepth)
+	fmt.Printf("  failing schedules: %d\n", buggy.Failures)
+	if buggy.FirstFailure != nil {
+		fmt.Printf("  first failing decision sequence: %v\n", buggy.FailureSchedule)
+		replay := explore.ReplaySchedule(k.Buggy, k.Config(0), buggy.FailureSchedule)
+		fmt.Printf("  replayed deterministically: outcome=%v, leaked=%d, panics=%d\n",
+			replay.Outcome, len(replay.Leaked), len(replay.Panics))
+	}
+
+	fmt.Println("\nexploring every schedule of the fixed variant ...")
+	verified, fixed := explore.VerifyAllSchedules(k.Fixed, opts)
+	fmt.Printf("  schedules: %d (complete=%v), failing: %d\n", fixed.Runs, fixed.Complete, fixed.Failures)
+	if verified {
+		fmt.Println("  VERIFIED: the patch holds on every interleaving within the bound —")
+		fmt.Println("  stronger evidence than the 100-run sampling protocol of Tables 8/12.")
+	} else if fixed.Failures == 0 {
+		fmt.Println("  no failures found, but the schedule space exceeded the budget;")
+		fmt.Println("  rerun with a larger -MaxRuns or rely on the sampling protocol.")
+	} else {
+		fmt.Println("  the 'fix' still fails on some schedule!")
+	}
+
+	// A taste of the state-space sizes involved, across a few kernels —
+	// full DFS vs the CHESS-style bound of two preemptions.
+	fmt.Println("\nschedule-space sizes of other small kernels (budget 50k):")
+	for _, id := range []string{"boltdb-240-chan-mutex", "docker-24007-double-close", "etcd-chan-circular"} {
+		k, _ := kernels.ByID(id)
+		full := explore.Systematic(k.Buggy, explore.SystematicOptions{Config: k.Config(0), MaxRuns: 50_000})
+		bounded := explore.Systematic(k.Buggy, explore.SystematicOptions{
+			Config: k.Config(0), MaxRuns: 50_000, PreemptionBound: 2,
+		})
+		status := "exhausted budget"
+		if full.Complete {
+			status = "complete"
+		}
+		fmt.Printf("  %-28s full: %5d schedules (%s), %d failing | ≤2 preemptions: %4d schedules, %d failing\n",
+			k.ID, full.Runs, status, full.Failures, bounded.Runs, bounded.Failures)
+	}
+}

@@ -1,0 +1,3 @@
+module goconcbugs
+
+go 1.22

@@ -1,0 +1,233 @@
+package core
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"goconcbugs/internal/corpus"
+	"goconcbugs/internal/static"
+)
+
+func testStudy() *Study {
+	s := NewStudy()
+	s.Runs = 40 // enough for the rare-path races, fast enough for CI
+	s.SourceRoot = filepath.Join("..", "..", "testdata", "apps")
+	return s
+}
+
+func TestTable5RendersTotals(t *testing.T) {
+	out := testStudy().Table5().String()
+	if !strings.Contains(out, "Total") || !strings.Contains(out, "85") ||
+		!strings.Contains(out, "86") || !strings.Contains(out, "105") || !strings.Contains(out, "66") {
+		t.Fatalf("Table 5 missing totals:\n%s", out)
+	}
+}
+
+func TestTable6ColumnTotals(t *testing.T) {
+	out := testStudy().Table6().String()
+	for _, want := range []string{"28", "29", "16"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Table 6 missing %s:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable7Lifts(t *testing.T) {
+	_, lifts := testStudy().Table7()
+	if len(lifts) == 0 {
+		t.Fatal("no lifts")
+	}
+	top := lifts[0]
+	if top.Row != string(corpus.BCMutex) || top.Col != string(corpus.MoveSync) {
+		t.Fatalf("top lift = %s->%s (%.2f), want Mutex->Move_s ≈1.52", top.Row, top.Col, top.Lift)
+	}
+	if top.Lift < 1.45 || top.Lift > 1.60 {
+		t.Fatalf("lift(Mutex, Move_s) = %.3f, want ≈1.52", top.Lift)
+	}
+	second := lifts[1]
+	if second.Row != string(corpus.BCChan) || second.Col != string(corpus.AddSync) {
+		t.Fatalf("second lift = %s->%s (%.2f), want Chan->Add_s ≈1.42", second.Row, second.Col, second.Lift)
+	}
+	if second.Lift < 1.30 || second.Lift > 1.50 {
+		t.Fatalf("lift(Chan, Add_s) = %.3f, want ≈1.42", second.Lift)
+	}
+	for _, e := range lifts[2:] {
+		if e.Lift > 1.20 {
+			t.Fatalf("unexpected strong correlation %s->%s = %.2f (paper: all others < 1.16)",
+				e.Row, e.Col, e.Lift)
+		}
+	}
+}
+
+func TestTable10And11Lifts(t *testing.T) {
+	s := testStudy()
+	_, strategyLifts := s.Table10()
+	foundAnonPrivate, foundChanMove := 0.0, 0.0
+	for _, e := range strategyLifts {
+		if e.Row == string(corpus.NBAnonymous) && e.Col == string(corpus.DataPrivate) {
+			foundAnonPrivate = e.Lift
+		}
+		if e.Row == string(corpus.NBChan) && e.Col == string(corpus.MoveSync) {
+			foundChanMove = e.Lift
+		}
+	}
+	if foundAnonPrivate < 2.0 || foundAnonPrivate > 2.5 {
+		t.Errorf("lift(anonymous, Private) = %.2f, want ≈2.23", foundAnonPrivate)
+	}
+	if foundChanMove < 2.0 || foundChanMove > 2.4 {
+		t.Errorf("lift(chan, Move_s) = %.2f, want ≈2.21", foundChanMove)
+	}
+	_, primLifts := s.Table11()
+	foundChanChan := 0.0
+	for _, e := range primLifts {
+		if e.Row == string(corpus.NBChan) && e.Col == string(corpus.FPChannel) {
+			foundChanChan = e.Lift
+		}
+	}
+	if foundChanChan < 2.4 || foundChanChan > 3.0 {
+		t.Errorf("lift(chan, Channel) = %.2f, want ≈2.7", foundChanChan)
+	}
+}
+
+func TestTable8MatchesPaper(t *testing.T) {
+	_, res := testStudy().Table8()
+	if len(res.Verdicts) != 21 {
+		t.Fatalf("used %d kernels, want 21", len(res.Verdicts))
+	}
+	if res.BuiltinDetected != 2 {
+		t.Fatalf("builtin detected %d, want 2 (BoltDB#392, BoltDB#240)", res.BuiltinDetected)
+	}
+	if res.LeakDetected != 21 {
+		t.Fatalf("leak detector (ablation) found %d, want all 21", res.LeakDetected)
+	}
+	for _, v := range res.Verdicts {
+		if v.Builtin != v.PaperBuiltin {
+			t.Errorf("%s: builtin=%v, paper says %v", v.Kernel.ID, v.Builtin, v.PaperBuiltin)
+		}
+	}
+}
+
+func TestTable12MatchesPaper(t *testing.T) {
+	_, res := testStudy().Table12()
+	if len(res.Verdicts) != 20 {
+		t.Fatalf("used %d kernels, want 20", len(res.Verdicts))
+	}
+	if res.TotalDetected != 10 {
+		t.Fatalf("detected %d, want 10", res.TotalDetected)
+	}
+	pc := res.PerCause[corpus.NBTraditional]
+	if pc[0] != 13 || pc[1] != 7 {
+		t.Fatalf("traditional %d/%d, want 13 used / 7 detected", pc[0], pc[1])
+	}
+	pc = res.PerCause[corpus.NBAnonymous]
+	if pc[0] != 4 || pc[1] != 3 {
+		t.Fatalf("anonymous %d/%d, want 4 used / 3 detected", pc[0], pc[1])
+	}
+	if res.Rare == 0 {
+		t.Errorf("expected some bugs detected only in a minority of runs (the paper's 'around 100 runs were needed')")
+	}
+	if res.EveryRun == 0 {
+		t.Errorf("expected some bugs detected on every run")
+	}
+}
+
+func TestTable2And4OverMiniApps(t *testing.T) {
+	s := testStudy()
+	if _, err := s.Table2(); err != nil {
+		t.Fatalf("Table2: %v", err)
+	}
+	if _, err := s.Table4(); err != nil {
+		t.Fatalf("Table4: %v", err)
+	}
+	// Qualitative shape checks on the mini-apps.
+	for _, app := range corpus.Apps {
+		m, err := s.MeasureApp(app)
+		if err != nil {
+			t.Fatalf("%s: %v", app, err)
+		}
+		if m.GoStmts == 0 {
+			t.Errorf("%s: no goroutine creation sites", app)
+		}
+		anonDominates := m.GoAnon > m.GoNamed
+		wantAnon := app != corpus.Kubernetes && app != corpus.BoltDB
+		if anonDominates != wantAnon {
+			t.Errorf("%s: anon=%d named=%d; paper says anon>named is %v",
+				app, m.GoAnon, m.GoNamed, wantAnon)
+		}
+		if m.Share(static.PrimMutex) < m.Share(static.PrimAtomic) {
+			t.Errorf("%s: Mutex share below atomic share", app)
+		}
+		if m.ShareOf(static.SharedMemoryPrimitives) <= m.ShareOf(static.MessagePassingPrimitives) &&
+			app != corpus.Etcd {
+			t.Errorf("%s: shared-memory share should dominate (got %.2f vs %.2f)",
+				app, m.ShareOf(static.SharedMemoryPrimitives), m.ShareOf(static.MessagePassingPrimitives))
+		}
+	}
+	// etcd is the channel-heaviest tree, as in Table 4.
+	etcd, _ := s.MeasureApp(corpus.Etcd)
+	for _, app := range corpus.Apps {
+		if app == corpus.Etcd {
+			continue
+		}
+		m, _ := s.MeasureApp(app)
+		if m.Share(static.PrimChan) > etcd.Share(static.PrimChan) {
+			t.Errorf("%s chan share %.2f exceeds etcd's %.2f", app, m.Share(static.PrimChan), etcd.Share(static.PrimChan))
+		}
+	}
+}
+
+func TestSection7DetectorFindsSeededBugs(t *testing.T) {
+	findings, err := testStudy().Section7Detector()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var loopVar, writtenAfter bool
+	for _, f := range findings {
+		if strings.Contains(f.File, "docker") && f.Reason == "loop variable" {
+			loopVar = true
+		}
+		if strings.Contains(f.File, "grpc") && f.Reason == "written after go" {
+			writtenAfter = true
+		}
+	}
+	if !loopVar {
+		t.Errorf("detector missed the seeded Figure 8 loop-variable bug; findings: %v", findings)
+	}
+	if !writtenAfter {
+		t.Errorf("detector missed the seeded written-after-go bug; findings: %v", findings)
+	}
+}
+
+func TestFigure4Shape(t *testing.T) {
+	medians := testStudy().LifetimeMedians()
+	for cause, m := range medians {
+		if m < 120 {
+			t.Errorf("%s median lifetime %.0f days; Figure 4 shows long lifetimes", cause, m)
+		}
+	}
+	fig := testStudy().Figure4()
+	if len(fig.Series) != 2 {
+		t.Fatalf("Figure 4 needs two series, got %d", len(fig.Series))
+	}
+}
+
+func TestFigures2And3Stable(t *testing.T) {
+	figs := testStudy().Figure2and3()
+	if len(figs) != 2 {
+		t.Fatalf("want 2 figures, got %d", len(figs))
+	}
+	for _, fig := range figs {
+		if len(fig.Series) != 6 {
+			t.Fatalf("%s: want 6 series, got %d", fig.Title, len(fig.Series))
+		}
+	}
+}
+
+func TestObservationsHold(t *testing.T) {
+	for _, o := range testStudy().Observations() {
+		if !o.Holds {
+			t.Errorf("Observation %d does not hold: %s (%s)", o.Number, o.Claim, o.Detail)
+		}
+	}
+}

@@ -1,0 +1,55 @@
+package core
+
+import (
+	"testing"
+
+	"goconcbugs/internal/vet"
+)
+
+func TestDetectorComparisonShape(t *testing.T) {
+	s := testStudy()
+	s.Runs = 30
+	_, cmp := s.DetectorComparisonTable()
+	if cmp.Kernels < 41 {
+		t.Fatalf("compared %d kernels, want at least the 41 study kernels", cmp.Kernels)
+	}
+	if cmp.Builtin < 2 {
+		t.Errorf("builtin detected %d, want >= 2", cmp.Builtin)
+	}
+	if cmp.Race != 10 {
+		t.Errorf("race detected %d, want 10 (Table 12)", cmp.Race)
+	}
+	// The leak detector dominates the builtin on blocking bugs.
+	if cmp.Leak <= cmp.Builtin {
+		t.Errorf("leak (%d) should dominate builtin (%d)", cmp.Leak, cmp.Builtin)
+	}
+	// The rule checker catches the figure bugs the others miss.
+	wantVet := map[string]vet.Rule{
+		"docker-24007-double-close": vet.RuleDoubleClose,
+		"etcd-waitgroup-order":      vet.RuleAddAfterWait,
+		"boltdb-240-chan-mutex":     vet.RuleChanInCritical,
+	}
+	for _, row := range cmp.Rows {
+		rule, ok := wantVet[row.Kernel.ID]
+		if !ok {
+			continue
+		}
+		if !row.Vet {
+			t.Errorf("%s: vet missed it", row.Kernel.ID)
+			continue
+		}
+		found := false
+		for _, r := range row.VetRules {
+			if r == rule {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: vet fired %v, want %v", row.Kernel.ID, row.VetRules, rule)
+		}
+		// These three are exactly the gap: race and builtin missed them.
+		if row.Race || row.Builtin && row.Kernel.ID != "boltdb-240-chan-mutex" {
+			t.Errorf("%s: expected the evaluated detectors to miss this", row.Kernel.ID)
+		}
+	}
+}

@@ -1,0 +1,325 @@
+package core
+
+import (
+	"fmt"
+	"path/filepath"
+	"time"
+
+	"goconcbugs/internal/corpus"
+	"goconcbugs/internal/deadlock"
+	"goconcbugs/internal/evolution"
+	"goconcbugs/internal/explore"
+	"goconcbugs/internal/kernels"
+	"goconcbugs/internal/report"
+	"goconcbugs/internal/rpc"
+	"goconcbugs/internal/sim"
+	"goconcbugs/internal/static"
+)
+
+// KernelVerdict is one kernel's detector outcome in the Table 8 experiment.
+type KernelVerdict struct {
+	Kernel       kernels.Kernel
+	Builtin      bool // built-in detector reported
+	Leak         bool // leak detector reported
+	Outcome      sim.Outcome
+	LeakedCount  int
+	PaperBuiltin bool
+}
+
+// Table8Result is the full deadlock-detector experiment.
+type Table8Result struct {
+	Verdicts        []KernelVerdict
+	BuiltinDetected int
+	LeakDetected    int
+	PerCause        map[deadlock.BlockClass][2]int // used, builtin-detected
+}
+
+// Table8 runs the 21 blocking kernels once each (every blocking kernel
+// triggers deterministically, as in the paper: "for each bug, we only ran
+// it once") under the built-in detector model, with the leak detector as
+// the Implication 4 ablation.
+func (s *Study) Table8() (*report.Table, *Table8Result) {
+	res := &Table8Result{PerCause: map[deadlock.BlockClass][2]int{}}
+	for _, k := range kernels.DeadlockStudySet() {
+		r := sim.Run(k.Config(s.BaseSeed), k.Buggy)
+		builtin := deadlock.Builtin{}.Detect(r)
+		leak := deadlock.Leak{}.Detect(r)
+		v := KernelVerdict{
+			Kernel: k, Builtin: builtin.Detected, Leak: leak.Detected,
+			Outcome: r.Outcome, LeakedCount: len(r.Leaked), PaperBuiltin: k.ExpectBuiltinDetect,
+		}
+		res.Verdicts = append(res.Verdicts, v)
+		pc := res.PerCause[k.BlockClass]
+		pc[0]++
+		if builtin.Detected {
+			pc[1]++
+			res.BuiltinDetected++
+		}
+		if leak.Detected || builtin.Detected {
+			res.LeakDetected++
+		}
+		res.PerCause[k.BlockClass] = pc
+	}
+	t := &report.Table{
+		Title:  "Table 8: Built-in deadlock detector on the 21 reproduced blocking bugs",
+		Header: []string{"Root Cause", "# Used (paper)", "# Detected (paper)", "# Used (ours)", "# Detected (ours)", "leak detector (ablation)"},
+	}
+	leakPer := map[deadlock.BlockClass]int{}
+	for _, v := range res.Verdicts {
+		if v.Leak || v.Builtin {
+			leakPer[v.Kernel.BlockClass]++
+		}
+	}
+	for _, row := range corpus.Table8Paper() {
+		cls := deadlock.BlockClass(row.Cause)
+		pc := res.PerCause[cls]
+		t.AddRow(row.Cause, report.Itoa(row.Used), report.Itoa(row.Detected),
+			report.Itoa(pc[0]), report.Itoa(pc[1]), report.Itoa(leakPer[cls]))
+	}
+	t.AddRow("Total", "21", "2", report.Itoa(len(res.Verdicts)),
+		report.Itoa(res.BuiltinDetected), report.Itoa(res.LeakDetected))
+	return t, res
+}
+
+// RaceVerdict is one kernel's outcome in the Table 12 experiment.
+type RaceVerdict struct {
+	Kernel        kernels.Kernel
+	Detected      bool
+	DetectedRuns  int
+	Runs          int
+	PaperDetected bool
+}
+
+// Table12Result is the full race-detector experiment.
+type Table12Result struct {
+	Verdicts      []RaceVerdict
+	TotalDetected int
+	PerCause      map[corpus.NonBlockingCause][2]int // used, detected
+	// EveryRun counts detected kernels flagged on all runs; Rare counts
+	// those needing many runs — the paper's "for six of these successes,
+	// the data race detector reported bugs on every run, while for the
+	// rest four, around 100 runs were needed".
+	EveryRun, Rare int
+}
+
+// Table12 runs the 20 non-blocking kernels s.Runs times each under the race
+// detector ("We ran each buggy program 100 times with the race detector
+// turned on").
+func (s *Study) Table12() (*report.Table, *Table12Result) {
+	res := &Table12Result{PerCause: map[corpus.NonBlockingCause][2]int{}}
+	for _, k := range kernels.RaceStudySet() {
+		st := explore.Run(k.Buggy, explore.Options{
+			Runs: s.runs(), BaseSeed: s.BaseSeed, Config: k.Config(s.BaseSeed),
+			WithRace: true, Workers: -1, // deterministic fold; just faster
+		})
+		v := RaceVerdict{
+			Kernel: k, Detected: st.Detected(), DetectedRuns: st.RaceDetectedRuns,
+			Runs: st.Runs, PaperDetected: k.ExpectRaceDetect,
+		}
+		res.Verdicts = append(res.Verdicts, v)
+		pc := res.PerCause[k.NBCause]
+		pc[0]++
+		if v.Detected {
+			pc[1]++
+			res.TotalDetected++
+			if v.DetectedRuns == v.Runs {
+				res.EveryRun++
+			} else {
+				res.Rare++
+			}
+		}
+		res.PerCause[k.NBCause] = pc
+	}
+	t := &report.Table{
+		Title:  fmt.Sprintf("Table 12: Data race detector on the 20 reproduced non-blocking bugs (%d runs each)", s.runs()),
+		Header: []string{"Root Cause", "# Used (paper)", "# Detected (paper)", "# Used (ours)", "# Detected (ours)"},
+	}
+	for _, row := range corpus.Table12Paper() {
+		cause := corpus.NonBlockingCause(row.Cause)
+		pc := res.PerCause[cause]
+		t.AddRow(row.Cause, report.Itoa(row.Used), report.Itoa(row.Detected),
+			report.Itoa(pc[0]), report.Itoa(pc[1]))
+	}
+	t.AddRow("Total", "20", "10", report.Itoa(len(res.Verdicts)), report.Itoa(res.TotalDetected))
+	return t, res
+}
+
+// Table2 runs the goroutine-creation-site analysis over the application
+// trees under SourceRoot and prints them next to the paper's rows.
+func (s *Study) Table2() (*report.Table, error) {
+	t := &report.Table{
+		Title: "Table 2: Goroutine creation sites (paper vs measured mini-apps)",
+		Header: []string{"Application", "paper sites/KLOC", "paper anon>named",
+			"measured sites", "measured sites/KLOC", "measured anon", "measured named"},
+		Note: "measured columns come from the synthetic trees under testdata/apps (see DESIGN.md §3)",
+	}
+	for _, row := range corpus.Table2Paper() {
+		m, err := static.Analyze(filepath.Join(s.SourceRoot, dirOf(row.App)))
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(string(row.App),
+			fmt.Sprintf("%.2f", row.PerKLOC),
+			fmt.Sprintf("%v", row.AnonSites > row.NamedSites),
+			report.Itoa(m.GoStmts),
+			fmt.Sprintf("%.2f", m.GoPerKLOC()),
+			report.Itoa(m.GoAnon),
+			report.Itoa(m.GoNamed))
+	}
+	t.AddRow("gRPC-C (paper)", fmt.Sprintf("%.2f", corpus.GRPCCPerKLOC), "false",
+		report.Itoa(corpus.GRPCCCreationSites), fmt.Sprintf("%.2f", corpus.GRPCCPerKLOC), "0", "5")
+	// The measured contrast: the same transport domain written C-style
+	// (testdata/apps/grpcc) through the same analyzer.
+	if m, err := static.Analyze(filepath.Join(s.SourceRoot, "grpcc")); err == nil {
+		t.AddRow("gRPC-C-style tree", "-", "false",
+			report.Itoa(m.GoStmts),
+			fmt.Sprintf("%.2f", m.GoPerKLOC()),
+			report.Itoa(m.GoAnon),
+			report.Itoa(m.GoNamed))
+	}
+	return t, nil
+}
+
+// GRPCContrast measures the Section 3.1/3.2 gRPC-Go vs gRPC-C static
+// contrast over the two transport trees: the Go-style tree should have more
+// creation sites per KLOC and a wider primitive variety than the C-style
+// tree, which uses locks (and condition variables) only.
+type GRPCContrast struct {
+	GoStyle, CStyle           static.Metrics
+	GoVariety, CVariety       int // distinct primitive kinds in use
+	GoChanShare, CChanShare   float64
+	CreationDensityRatio      float64
+	PrimitiveUsageDifferRatio float64
+}
+
+// MeasureGRPCContrast runs the analyzer over both transport trees.
+func (s *Study) MeasureGRPCContrast() (GRPCContrast, error) {
+	goM, err := static.Analyze(filepath.Join(s.SourceRoot, "grpc"))
+	if err != nil {
+		return GRPCContrast{}, err
+	}
+	cM, err := static.Analyze(filepath.Join(s.SourceRoot, "grpcc"))
+	if err != nil {
+		return GRPCContrast{}, err
+	}
+	variety := func(m static.Metrics) int {
+		n := 0
+		for _, p := range static.Primitives {
+			if m.Primitives[p] > 0 {
+				n++
+			}
+		}
+		return n
+	}
+	out := GRPCContrast{
+		GoStyle: goM, CStyle: cM,
+		GoVariety: variety(goM), CVariety: variety(cM),
+		GoChanShare: goM.Share(static.PrimChan), CChanShare: cM.Share(static.PrimChan),
+	}
+	if d := cM.GoPerKLOC(); d > 0 {
+		out.CreationDensityRatio = goM.GoPerKLOC() / d
+	}
+	if d := cM.PrimitivesPerKLOC(); d > 0 {
+		out.PrimitiveUsageDifferRatio = goM.PrimitivesPerKLOC() / d
+	}
+	return out, nil
+}
+
+// Table4 runs the primitive-usage analysis over the application trees.
+func (s *Study) Table4() (*report.Table, error) {
+	t := &report.Table{
+		Title: "Table 4: Concurrency primitive usage shares (paper / measured)",
+		Header: []string{"Application", "Mutex", "atomic", "Once", "WaitGroup",
+			"Cond", "chan", "Misc.", "shared-vs-msg (measured)"},
+	}
+	paper := corpus.Table4Paper()
+	for _, app := range corpus.Apps {
+		m, err := static.Analyze(filepath.Join(s.SourceRoot, dirOf(app)))
+		if err != nil {
+			return nil, err
+		}
+		row := []string{string(app)}
+		for _, p := range static.Primitives {
+			row = append(row, fmt.Sprintf("%.0f%%/%.0f%%",
+				paper[app].Shares[string(p)]*100, m.Share(p)*100))
+		}
+		row = append(row, fmt.Sprintf("%.0f%%:%.0f%%",
+			m.ShareOf(static.SharedMemoryPrimitives)*100,
+			m.ShareOf(static.MessagePassingPrimitives)*100))
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// MeasureApp runs both static analyses on one application tree.
+func (s *Study) MeasureApp(app corpus.App) (static.Metrics, error) {
+	return static.Analyze(filepath.Join(s.SourceRoot, dirOf(app)))
+}
+
+// Table3 runs the three RPC workloads under both threading models.
+func (s *Study) Table3() *report.Table {
+	t := &report.Table{
+		Title: "Table 3: goroutine/thread creation ratio and normalized lifetime (3 RPC workloads)",
+		Header: []string{"Workload", "server ratio", "client ratio",
+			"Go srv norm-life", "C srv norm-life", "Go cli norm-life",
+			"Go p50/p99", "C p50/p99"},
+		Note: "paper: ratios well above 1 on every workload; gRPC-C threads live 100% of the run",
+	}
+	for _, w := range rpc.Workloads() {
+		cmp := rpc.Compare(w)
+		t.AddRow(w.Name,
+			fmt.Sprintf("%.1fx", cmp.ServerCreateRatio),
+			fmt.Sprintf("%.1fx", cmp.ClientCreateRatio),
+			report.Pct(cmp.Go.ServerNormLifetime),
+			report.Pct(cmp.C.ServerNormLifetime),
+			report.Pct(cmp.Go.ClientNormLifetime),
+			fmt.Sprintf("%v/%v", cmp.Go.LatencyP50.Round(time.Microsecond), cmp.Go.LatencyP99.Round(time.Microsecond)),
+			fmt.Sprintf("%v/%v", cmp.C.LatencyP50.Round(time.Microsecond), cmp.C.LatencyP99.Round(time.Microsecond)))
+	}
+	return t
+}
+
+// Figure2and3 renders the usage-share evolution for every application.
+func (s *Study) Figure2and3() []*report.Figure {
+	shared := &report.Figure{
+		Title: "Figure 2: shared-memory primitive share over time", XLabel: "month", YLabel: "share",
+	}
+	msg := &report.Figure{
+		Title: "Figure 3: message-passing primitive share over time", XLabel: "month", YLabel: "share",
+	}
+	for _, app := range corpus.Apps {
+		pts := evolution.Series(app)
+		var sp, mp [][2]float64
+		for i, p := range pts {
+			sp = append(sp, [2]float64{float64(i), p.SharedShare})
+			mp = append(mp, [2]float64{float64(i), 1 - p.SharedShare})
+		}
+		shared.Series = append(shared.Series, report.Series{Label: string(app), Points: sp})
+		msg.Series = append(msg.Series, report.Series{Label: string(app), Points: mp})
+	}
+	return []*report.Figure{shared, msg}
+}
+
+// Section7Detector runs the anonymous-function race detector over the
+// application trees and returns the findings.
+func (s *Study) Section7Detector() ([]static.AnonRaceFinding, error) {
+	return static.FindAnonRaces(s.SourceRoot)
+}
+
+func dirOf(app corpus.App) string {
+	switch app {
+	case corpus.Docker:
+		return "docker"
+	case corpus.Kubernetes:
+		return "kubernetes"
+	case corpus.Etcd:
+		return "etcd"
+	case corpus.CockroachDB:
+		return "cockroachdb"
+	case corpus.GRPC:
+		return "grpc"
+	case corpus.BoltDB:
+		return "boltdb"
+	}
+	return string(app)
+}

@@ -1,0 +1,32 @@
+package core
+
+import "testing"
+
+// TestGRPCContrast pins the Section 3 gRPC-Go vs gRPC-C shape on the two
+// measured trees: "gRPC-C has surprisingly very few threads creation" and
+// "gRPC-Go uses a larger amount of and a larger variety of concurrency
+// primitives than gRPC-C" (which "only uses lock").
+func TestGRPCContrast(t *testing.T) {
+	c, err := testStudy().MeasureGRPCContrast()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.CStyle.GoStmts != 1 {
+		t.Errorf("C-style tree has %d creation sites, want exactly 1 (the pool spawn)", c.CStyle.GoStmts)
+	}
+	if c.CreationDensityRatio <= 2 {
+		t.Errorf("creation density ratio = %.1f, want the Go style well above the C style", c.CreationDensityRatio)
+	}
+	if c.GoVariety <= c.CVariety {
+		t.Errorf("primitive variety: Go %d vs C %d; the paper found Go uses more kinds", c.GoVariety, c.CVariety)
+	}
+	if c.CChanShare != 0 {
+		t.Errorf("C-style tree uses channels (share %.2f); gRPC-C 'only uses lock'", c.CChanShare)
+	}
+	if c.GoChanShare == 0 {
+		t.Errorf("Go-style tree uses no channels")
+	}
+	if c.CStyle.GoAnon != 0 {
+		t.Errorf("C-style tree spawns anonymous goroutines (%d)", c.CStyle.GoAnon)
+	}
+}

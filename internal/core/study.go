@@ -1,0 +1,308 @@
+// Package core is the library's front door: it regenerates every table and
+// figure of the paper's evaluation from the reimplemented substrates — the
+// corpus (Tables 1, 5, 6, 7, 9, 10, 11; Figure 4), the kernel + detector
+// experiments (Tables 8 and 12), the static analyzers (Tables 2 and 4), the
+// RPC substrate (Table 3), and the evolution model (Figures 2 and 3).
+package core
+
+import (
+	"fmt"
+
+	"goconcbugs/internal/corpus"
+	"goconcbugs/internal/report"
+	"goconcbugs/internal/stats"
+)
+
+// Study configures experiment regeneration.
+type Study struct {
+	// Runs is the per-kernel run count for the race-detector experiment
+	// (the paper used 100).
+	Runs int
+	// BaseSeed seeds every simulated experiment.
+	BaseSeed int64
+	// SourceRoot is the directory holding the six synthetic application
+	// trees for the static measurements (testdata/apps in this repo).
+	SourceRoot string
+}
+
+// NewStudy returns a Study with the paper's protocol defaults.
+func NewStudy() *Study {
+	return &Study{Runs: 100, BaseSeed: 1, SourceRoot: "testdata/apps"}
+}
+
+func (s *Study) runs() int {
+	if s.Runs <= 0 {
+		return 100
+	}
+	return s.Runs
+}
+
+// Table1 renders the studied-application facts.
+func (s *Study) Table1() *report.Table {
+	t := &report.Table{
+		Title:  "Table 1: Information of selected applications",
+		Header: []string{"Application", "Stars", "Commits", "Contributors", "LOC", "Dev History"},
+		Note:   "stars for Docker/Kubernetes, all LOC and histories are the paper's; remaining cells reconstructed",
+	}
+	for _, a := range corpus.AppInfos() {
+		t.AddRow(string(a.App), report.Itoa(a.Stars), report.Itoa(a.Commits),
+			report.Itoa(a.Contributors), report.Itoa(a.LOC), fmt.Sprintf("%.1f years", a.DevYears))
+	}
+	return t
+}
+
+// Table5 renders the taxonomy breakdown per application.
+func (s *Study) Table5() *report.Table {
+	t := &report.Table{
+		Title:  "Table 5: Taxonomy",
+		Header: []string{"Application", "blocking", "non-blocking", "shared memory", "message passing"},
+	}
+	type row struct{ b, nb, sm, mp int }
+	rows := map[corpus.App]*row{}
+	for _, a := range corpus.Apps {
+		rows[a] = &row{}
+	}
+	for _, bug := range corpus.Bugs() {
+		r := rows[bug.App]
+		if bug.Behavior == corpus.Blocking {
+			r.b++
+		} else {
+			r.nb++
+		}
+		if bug.Cause == corpus.SharedMemory {
+			r.sm++
+		} else {
+			r.mp++
+		}
+	}
+	var tb, tnb, tsm, tmp int
+	for _, a := range corpus.Apps {
+		r := rows[a]
+		t.AddRow(string(a), report.Itoa(r.b), report.Itoa(r.nb), report.Itoa(r.sm), report.Itoa(r.mp))
+		tb += r.b
+		tnb += r.nb
+		tsm += r.sm
+		tmp += r.mp
+	}
+	t.AddRow("Total", report.Itoa(tb), report.Itoa(tnb), report.Itoa(tsm), report.Itoa(tmp))
+	return t
+}
+
+// Table6 renders blocking-bug root causes per application.
+func (s *Study) Table6() *report.Table {
+	t := &report.Table{
+		Title:  "Table 6: Blocking bug causes",
+		Header: []string{"Application", "Mutex", "RWMutex", "Wait", "Chan", "Chan w/", "Lib", "Total"},
+	}
+	counts := map[corpus.App]map[corpus.BlockingCause]int{}
+	for _, a := range corpus.Apps {
+		counts[a] = map[corpus.BlockingCause]int{}
+	}
+	for _, b := range corpus.Bugs() {
+		if b.Behavior == corpus.Blocking {
+			counts[b.App][b.BlockingCause]++
+		}
+	}
+	totals := map[corpus.BlockingCause]int{}
+	for _, a := range corpus.Apps {
+		row := []string{string(a)}
+		sum := 0
+		for _, c := range corpus.BlockingCauses {
+			n := counts[a][c]
+			row = append(row, report.Itoa(n))
+			totals[c] += n
+			sum += n
+		}
+		row = append(row, report.Itoa(sum))
+		t.AddRow(row...)
+	}
+	row := []string{"Total"}
+	sum := 0
+	for _, c := range corpus.BlockingCauses {
+		row = append(row, report.Itoa(totals[c]))
+		sum += totals[c]
+	}
+	row = append(row, report.Itoa(sum))
+	t.AddRow(row...)
+	return t
+}
+
+// Table7 renders blocking fix strategies per cause, with the lift ranking
+// over categories of at least minRow bugs (the paper uses 10).
+func (s *Study) Table7() (*report.Table, []stats.LiftEntry) {
+	cont := blockingContingency()
+	t := contingencyTable("Table 7: Fix strategies for blocking bugs", cont)
+	return t, cont.LiftRanking(10)
+}
+
+// Table9 renders non-blocking root causes per application.
+func (s *Study) Table9() *report.Table {
+	t := &report.Table{
+		Title: "Table 9: Root causes of non-blocking bugs",
+		Header: []string{"Application", "traditional", "anonymous", "waitgroup", "lib",
+			"chan", "lib (msg)", "Total"},
+	}
+	counts := map[corpus.App]map[corpus.NonBlockingCause]int{}
+	for _, a := range corpus.Apps {
+		counts[a] = map[corpus.NonBlockingCause]int{}
+	}
+	for _, b := range corpus.Bugs() {
+		if b.Behavior == corpus.NonBlocking {
+			counts[b.App][b.NonBlockingCause]++
+		}
+	}
+	totals := map[corpus.NonBlockingCause]int{}
+	for _, a := range corpus.Apps {
+		row := []string{string(a)}
+		sum := 0
+		for _, c := range corpus.NonBlockingCauses {
+			n := counts[a][c]
+			row = append(row, report.Itoa(n))
+			totals[c] += n
+			sum += n
+		}
+		row = append(row, report.Itoa(sum))
+		t.AddRow(row...)
+	}
+	row := []string{"Total"}
+	sum := 0
+	for _, c := range corpus.NonBlockingCauses {
+		row = append(row, report.Itoa(totals[c]))
+		sum += totals[c]
+	}
+	row = append(row, report.Itoa(sum))
+	t.AddRow(row...)
+	return t
+}
+
+// Table10 renders non-blocking fix strategies per cause with lifts.
+func (s *Study) Table10() (*report.Table, []stats.LiftEntry) {
+	cont := nonBlockingStrategyContingency()
+	t := contingencyTable("Table 10: Fix strategies for non-blocking bugs", cont)
+	return t, cont.LiftRanking(10)
+}
+
+// Table11 renders patch primitives per cause with lifts. Entries, not
+// bugs: a patch can use several primitives, as the paper's 94-entry table
+// shows for 86 bugs.
+func (s *Study) Table11() (*report.Table, []stats.LiftEntry) {
+	cont := nonBlockingPrimitiveContingency()
+	t := contingencyTable("Table 11: Synchronization primitives in patches of non-blocking bugs", cont)
+	return t, cont.LiftRanking(10)
+}
+
+// Figure4 renders the bug lifetime CDFs for the two cause classes.
+func (s *Study) Figure4() *report.Figure {
+	fig := &report.Figure{
+		Title:  "Figure 4: Bug life time (CDF)",
+		XLabel: "days from buggy commit to fix",
+		YLabel: "fraction of bugs",
+	}
+	for _, cause := range []corpus.Cause{corpus.SharedMemory, corpus.MessagePassing} {
+		var days []float64
+		for _, b := range corpus.Bugs() {
+			if b.Cause == cause {
+				days = append(days, float64(b.LifetimeDays))
+			}
+		}
+		cdf := stats.NewCDF(days)
+		fig.Series = append(fig.Series, report.Series{
+			Label:  string(cause),
+			Points: cdf.Points(24),
+		})
+	}
+	return fig
+}
+
+// LifetimeMedians returns the per-cause median lifetimes in days.
+func (s *Study) LifetimeMedians() map[corpus.Cause]float64 {
+	out := map[corpus.Cause]float64{}
+	for _, cause := range []corpus.Cause{corpus.SharedMemory, corpus.MessagePassing} {
+		var days []float64
+		for _, b := range corpus.Bugs() {
+			if b.Cause == cause {
+				days = append(days, float64(b.LifetimeDays))
+			}
+		}
+		out[cause] = stats.NewCDF(days).Median()
+	}
+	return out
+}
+
+// --- contingency builders ---
+
+func blockingContingency() *stats.Contingency {
+	rows := make([]string, 0, len(corpus.BlockingCauses))
+	for _, c := range corpus.BlockingCauses {
+		rows = append(rows, string(c))
+	}
+	cols := make([]string, 0, len(corpus.BlockingFixStrategies))
+	for _, f := range corpus.BlockingFixStrategies {
+		cols = append(cols, string(f))
+	}
+	cont := stats.NewContingency(rows, cols)
+	for _, b := range corpus.Bugs() {
+		if b.Behavior == corpus.Blocking {
+			cont.Add(string(b.BlockingCause), string(b.FixStrategy), 1)
+		}
+	}
+	return cont
+}
+
+func nonBlockingStrategyContingency() *stats.Contingency {
+	rows := make([]string, 0, len(corpus.NonBlockingCauses))
+	for _, c := range corpus.NonBlockingCauses {
+		rows = append(rows, string(c))
+	}
+	cols := make([]string, 0, len(corpus.NonBlockingFixStrategies))
+	for _, f := range corpus.NonBlockingFixStrategies {
+		cols = append(cols, string(f))
+	}
+	cont := stats.NewContingency(rows, cols)
+	for _, b := range corpus.Bugs() {
+		if b.Behavior == corpus.NonBlocking {
+			cont.Add(string(b.NonBlockingCause), string(b.FixStrategy), 1)
+		}
+	}
+	return cont
+}
+
+func nonBlockingPrimitiveContingency() *stats.Contingency {
+	rows := make([]string, 0, len(corpus.NonBlockingCauses))
+	for _, c := range corpus.NonBlockingCauses {
+		rows = append(rows, string(c))
+	}
+	cols := make([]string, 0, len(corpus.FixPrimitives))
+	for _, p := range corpus.FixPrimitives {
+		cols = append(cols, string(p))
+	}
+	cont := stats.NewContingency(rows, cols)
+	for _, b := range corpus.Bugs() {
+		if b.Behavior != corpus.NonBlocking {
+			continue
+		}
+		for _, p := range b.PatchPrimitives {
+			cont.Add(string(b.NonBlockingCause), string(p), 1)
+		}
+	}
+	return cont
+}
+
+func contingencyTable(title string, c *stats.Contingency) *report.Table {
+	t := &report.Table{Title: title, Header: append([]string{""}, append(c.ColLabels, "Total")...)}
+	for i, r := range c.RowLabels {
+		row := []string{r}
+		for j := range c.ColLabels {
+			row = append(row, report.Itoa(c.Counts[i][j]))
+		}
+		row = append(row, report.Itoa(c.RowTotal(r)))
+		t.AddRow(row...)
+	}
+	total := []string{"Total"}
+	for _, col := range c.ColLabels {
+		total = append(total, report.Itoa(c.ColTotal(col)))
+	}
+	total = append(total, report.Itoa(c.Total()))
+	t.AddRow(total...)
+	return t
+}

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"goconcbugs/internal/corpus"
+)
+
+// Summary is the one-call programmatic result of the whole study: every
+// headline number a consumer (or a CI gate) would assert on.
+type Summary struct {
+	// Dataset headline counts.
+	Bugs, Blocking, NonBlocking  int
+	SharedMemory, MessagePassing int
+	// Detector experiments.
+	Table8Used, Table8Detected   int
+	Table8LeakDetected           int
+	Table12Used, Table12Detected int
+	Table12EveryRun, Table12Rare int
+	// Correlations.
+	LiftMutexMove, LiftChanAdd    float64
+	LiftAnonPrivate, LiftChanMove float64
+	LiftChanChannelPrim           float64
+	// Lifetimes (days).
+	MedianLifetimeShared  float64
+	MedianLifetimeMessage float64
+	// Observation verdicts, keyed by number.
+	Observations map[int]bool
+}
+
+// Summarize runs the study end to end. It is the expensive call behind
+// `gobugstudy` with no flags; expect seconds at the 100-run protocol.
+func (s *Study) Summarize() *Summary {
+	sum := &Summary{Observations: map[int]bool{}}
+	for _, b := range corpus.Bugs() {
+		sum.Bugs++
+		if b.Behavior == corpus.Blocking {
+			sum.Blocking++
+		} else {
+			sum.NonBlocking++
+		}
+		if b.Cause == corpus.SharedMemory {
+			sum.SharedMemory++
+		} else {
+			sum.MessagePassing++
+		}
+	}
+	_, t8 := s.Table8()
+	sum.Table8Used = len(t8.Verdicts)
+	sum.Table8Detected = t8.BuiltinDetected
+	sum.Table8LeakDetected = t8.LeakDetected
+	_, t12 := s.Table12()
+	sum.Table12Used = len(t12.Verdicts)
+	sum.Table12Detected = t12.TotalDetected
+	sum.Table12EveryRun = t12.EveryRun
+	sum.Table12Rare = t12.Rare
+	_, blockingLifts := s.Table7()
+	for _, e := range blockingLifts {
+		switch {
+		case e.Row == string(corpus.BCMutex) && e.Col == string(corpus.MoveSync):
+			sum.LiftMutexMove = e.Lift
+		case e.Row == string(corpus.BCChan) && e.Col == string(corpus.AddSync):
+			sum.LiftChanAdd = e.Lift
+		}
+	}
+	_, nbLifts := s.Table10()
+	for _, e := range nbLifts {
+		switch {
+		case e.Row == string(corpus.NBAnonymous) && e.Col == string(corpus.DataPrivate):
+			sum.LiftAnonPrivate = e.Lift
+		case e.Row == string(corpus.NBChan) && e.Col == string(corpus.MoveSync):
+			sum.LiftChanMove = e.Lift
+		}
+	}
+	_, primLifts := s.Table11()
+	for _, e := range primLifts {
+		if e.Row == string(corpus.NBChan) && e.Col == string(corpus.FPChannel) {
+			sum.LiftChanChannelPrim = e.Lift
+		}
+	}
+	medians := s.LifetimeMedians()
+	sum.MedianLifetimeShared = medians[corpus.SharedMemory]
+	sum.MedianLifetimeMessage = medians[corpus.MessagePassing]
+	for _, o := range s.Observations() {
+		sum.Observations[o.Number] = o.Holds
+	}
+	return sum
+}
+
+// WriteTo renders the summary as a compact report card.
+func (s *Summary) WriteTo(w io.Writer) (int64, error) {
+	var n int64
+	p := func(format string, args ...any) error {
+		m, err := fmt.Fprintf(w, format, args...)
+		n += int64(m)
+		return err
+	}
+	if err := p("dataset: %d bugs (%d blocking / %d non-blocking; %d shared / %d message)\n",
+		s.Bugs, s.Blocking, s.NonBlocking, s.SharedMemory, s.MessagePassing); err != nil {
+		return n, err
+	}
+	if err := p("table 8:  builtin %d/%d, leak detector %d/%d\n",
+		s.Table8Detected, s.Table8Used, s.Table8LeakDetected, s.Table8Used); err != nil {
+		return n, err
+	}
+	if err := p("table 12: race detector %d/%d (%d every run, %d rare)\n",
+		s.Table12Detected, s.Table12Used, s.Table12EveryRun, s.Table12Rare); err != nil {
+		return n, err
+	}
+	if err := p("lifts: Mutex->Move %.2f, Chan->Add %.2f, anon->Private %.2f, chan->Move %.2f, chan->Channel %.2f\n",
+		s.LiftMutexMove, s.LiftChanAdd, s.LiftAnonPrivate, s.LiftChanMove, s.LiftChanChannelPrim); err != nil {
+		return n, err
+	}
+	if err := p("median lifetimes: shared %.0fd, message %.0fd\n",
+		s.MedianLifetimeShared, s.MedianLifetimeMessage); err != nil {
+		return n, err
+	}
+	holds := 0
+	for _, ok := range s.Observations {
+		if ok {
+			holds++
+		}
+	}
+	err := p("observations holding: %d/%d\n", holds, len(s.Observations))
+	return n, err
+}

@@ -1,0 +1,39 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSummarize(t *testing.T) {
+	s := testStudy()
+	sum := s.Summarize()
+	if sum.Bugs != 171 || sum.Blocking != 85 || sum.NonBlocking != 86 {
+		t.Fatalf("dataset counts: %+v", sum)
+	}
+	if sum.Table8Detected != 2 || sum.Table8Used != 21 || sum.Table8LeakDetected != 21 {
+		t.Fatalf("table 8: %+v", sum)
+	}
+	if sum.Table12Detected != 10 || sum.Table12Used != 20 {
+		t.Fatalf("table 12: %+v", sum)
+	}
+	if sum.LiftMutexMove < 1.4 || sum.LiftAnonPrivate < 2.0 || sum.LiftChanChannelPrim < 2.4 {
+		t.Fatalf("lifts: %+v", sum)
+	}
+	for n, ok := range sum.Observations {
+		if !ok {
+			t.Errorf("observation %d fails", n)
+		}
+	}
+	var buf bytes.Buffer
+	if _, err := sum.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"171 bugs", "builtin 2/21", "race detector 10/20"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report card missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,444 @@
+package corpus
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+)
+
+// This file constructs the 171-bug dataset. The construction is
+// deterministic and satisfies, exactly, every count the paper states:
+//
+//   - Taxonomy totals (Section 4): 171 bugs = 85 blocking + 86 non-blocking
+//     = 105 shared-memory + 66 message-passing.
+//   - Blocking root causes (Table 6): Mutex 28, RWMutex 5, Wait 3, Chan 29,
+//     Chan w/ 16, Messaging libraries 4; the per-app rows follow the
+//     recovered extraction (Docker 9/0/3/5/2/2, etcd ?/0/0/10/5/1, ...),
+//     with the two cells the extraction lost (Kubernetes and etcd Mutex)
+//     reconstructed as 6 and 1 against the column total of 28.
+//   - Blocking fixes (Table 7): among the 33 Mutex+RWMutex bugs, 8 add a
+//     missing unlock, 9 move operations, 11 remove extra ones;
+//     lift(Mutex, Move_s) ≈ 1.52 the strongest, lift(Chan, Add_s) ≈ 1.42
+//     second, all other >10-bug categories below 1.16.
+//   - Non-blocking root causes (Table 9): shared memory 69 (traditional 46,
+//     anonymous function 11, WaitGroup 6, lib 6) and message passing 17
+//     (chan 16 — three of them select-nondeterminism — and lib 1).
+//   - Non-blocking fixes (Table 10): timing-restriction ≈ two thirds,
+//     Bypass 10, Private 14; lift(anonymous, Private) ≈ 2.23,
+//     lift(chan, Move_s) ≈ 2.21.
+//   - Fix primitives (Table 11), which the extraction preserved fully:
+//     totals Mutex 32, Channel 19, Atomic 10, WaitGroup 7, Cond 4, Misc 3,
+//     None 19 (94 primitive entries across the 86 bugs; patches may use
+//     several primitives), and lift(chan, Channel) ≈ 2.7.
+//
+// Cell-level placements not pinned by the paper are synthetic and flagged
+// via Bug.Reconstructed.
+
+// blockingMatrix is Table 6: per-app blocking root-cause counts.
+var blockingMatrix = map[App]map[BlockingCause]int{
+	Docker:      {BCMutex: 9, BCRWMutex: 0, BCWait: 3, BCChan: 5, BCChanW: 2, BCLib: 2},
+	Kubernetes:  {BCMutex: 6, BCRWMutex: 2, BCWait: 0, BCChan: 3, BCChanW: 6, BCLib: 0},
+	Etcd:        {BCMutex: 1, BCRWMutex: 0, BCWait: 0, BCChan: 10, BCChanW: 5, BCLib: 1},
+	CockroachDB: {BCMutex: 8, BCRWMutex: 3, BCWait: 0, BCChan: 5, BCChanW: 0, BCLib: 0},
+	GRPC:        {BCMutex: 3, BCRWMutex: 0, BCWait: 0, BCChan: 6, BCChanW: 2, BCLib: 1},
+	BoltDB:      {BCMutex: 1, BCRWMutex: 0, BCWait: 0, BCChan: 0, BCChanW: 1, BCLib: 0},
+}
+
+// nonBlockingMatrix is Table 9: per-app non-blocking root-cause counts.
+var nonBlockingMatrix = map[App]map[NonBlockingCause]int{
+	Docker:      {NBTraditional: 9, NBAnonymous: 3, NBWaitGroup: 1, NBLib: 3, NBChan: 7, NBMsgLib: 0},
+	Kubernetes:  {NBTraditional: 7, NBAnonymous: 2, NBWaitGroup: 1, NBLib: 1, NBChan: 6, NBMsgLib: 0},
+	Etcd:        {NBTraditional: 2, NBAnonymous: 1, NBWaitGroup: 1, NBLib: 1, NBChan: 2, NBMsgLib: 0},
+	CockroachDB: {NBTraditional: 18, NBAnonymous: 3, NBWaitGroup: 2, NBLib: 0, NBChan: 0, NBMsgLib: 0},
+	GRPC:        {NBTraditional: 7, NBAnonymous: 2, NBWaitGroup: 1, NBLib: 0, NBChan: 1, NBMsgLib: 1},
+	BoltDB:      {NBTraditional: 3, NBAnonymous: 0, NBWaitGroup: 0, NBLib: 1, NBChan: 0, NBMsgLib: 0},
+}
+
+// blockingStrategy is Table 7: fix-strategy counts per blocking cause
+// (Add_s, Move_s, Rm_s, Misc.).
+var blockingStrategy = map[BlockingCause][4]int{
+	BCMutex:   {6, 9, 10, 3},
+	BCRWMutex: {2, 0, 1, 2},
+	BCWait:    {0, 2, 0, 1},
+	BCChan:    {13, 4, 9, 3},
+	BCChanW:   {5, 3, 6, 2},
+	BCLib:     {1, 0, 3, 0},
+}
+
+// nonBlockingStrategy is Table 10: fix-strategy counts per non-blocking
+// cause (Add_s, Move_s, Bypass, Private, Misc.).
+var nonBlockingStrategy = map[NonBlockingCause][5]int{
+	NBTraditional: {30, 6, 2, 8, 0},
+	NBAnonymous:   {3, 1, 1, 4, 2},
+	NBWaitGroup:   {2, 2, 1, 0, 1},
+	NBLib:         {2, 1, 1, 1, 1},
+	NBChan:        {4, 7, 4, 1, 0},
+	NBMsgLib:      {0, 0, 1, 0, 0},
+}
+
+// nonBlockingPrimitives is Table 11 exactly as extracted: primitive-entry
+// counts per cause (Mutex, Channel, Atomic, WaitGroup, Cond, Misc, None).
+var nonBlockingPrimitives = map[NonBlockingCause][7]int{
+	NBTraditional: {24, 3, 6, 0, 0, 0, 13},
+	NBWaitGroup:   {2, 0, 0, 4, 3, 0, 0},
+	NBAnonymous:   {3, 2, 3, 0, 0, 0, 3},
+	NBLib:         {0, 2, 1, 1, 0, 1, 2},
+	NBChan:        {3, 11, 0, 2, 1, 2, 1},
+	NBMsgLib:      {0, 1, 0, 0, 0, 0, 0},
+}
+
+// namedBug pins a real, paper-named bug (or a reproduced kernel) onto the
+// record generated for its (app, cause) cell.
+type namedBug struct {
+	id       string // upstream id when the paper names one, else kernel id
+	kernelID string
+	repro    bool // member of the Table 8 / Table 12 reproduction sets
+}
+
+var namedBlocking = map[App]map[BlockingCause][]namedBug{
+	Docker: {
+		BCMutex: {{id: "docker-abba-order", kernelID: "docker-abba-order", repro: true},
+			{id: "docker-unlock-skipped-iteration", kernelID: "docker-unlock-skipped-iteration", repro: true}},
+		BCWait: {{id: "docker#25384", kernelID: "docker-25384-waitgroup"},
+			{id: "docker-cond-missing-signal", kernelID: "docker-cond-missing-signal"}},
+		BCChan: {{id: "docker-missing-close", kernelID: "docker-missing-close", repro: true},
+			{id: "docker-buffered-full", kernelID: "docker-buffered-full", repro: true},
+			{id: "docker-context-cancel-leak", kernelID: "docker-context-cancel-leak"},
+			{id: "docker-semaphore-leak", kernelID: "docker-semaphore-leak"}},
+		BCChanW: {{id: "docker-chan-waitgroup", kernelID: "docker-chan-waitgroup", repro: true}},
+		BCLib:   {{id: "docker-pipe-unclosed", kernelID: "docker-pipe-unclosed", repro: true}},
+	},
+	Kubernetes: {
+		BCMutex:   {{id: "kubernetes-missing-unlock", kernelID: "kubernetes-missing-unlock", repro: true}},
+		BCRWMutex: {{id: "kubernetes-rwmutex-nested-read", kernelID: "kubernetes-rwmutex-nested-read"}},
+		BCChan: {{id: "kubernetes#5316", kernelID: "kubernetes-finishreq", repro: true},
+			{id: "kubernetes-select-stuck", kernelID: "kubernetes-select-stuck", repro: true},
+			{id: "kubernetes-shutdown-missed", kernelID: "kubernetes-shutdown-missed", repro: true}},
+	},
+	Etcd: {
+		BCChan: {{id: "etcd-context-switch", kernelID: "etcd-context-switch", repro: true},
+			{id: "etcd-double-recv", kernelID: "etcd-double-recv", repro: true},
+			{id: "etcd-chan-circular", kernelID: "etcd-chan-circular"}},
+		BCChanW: {{id: "etcd-chan-lock-live", kernelID: "etcd-chan-lock-live", repro: true}},
+	},
+	CockroachDB: {
+		BCMutex: {{id: "cockroachdb-double-lock-helper", kernelID: "cockroachdb-double-lock-helper", repro: true},
+			{id: "cockroachdb-holder-exits", kernelID: "cockroachdb-holder-exits", repro: true}},
+		BCRWMutex: {{id: "cockroachdb-rwmutex-priority", kernelID: "cockroachdb-rwmutex-priority"}},
+		BCChan:    {{id: "cockroachdb-nil-chan", kernelID: "cockroachdb-nil-chan", repro: true}},
+	},
+	GRPC: {
+		BCMutex: {{id: "grpc-abba-under-server", kernelID: "grpc-abba-under-server", repro: true}},
+		BCChan: {{id: "grpc-missing-send", kernelID: "grpc-missing-send", repro: true},
+			{id: "grpc-workers-leak", kernelID: "grpc-workers-leak", repro: true}},
+		BCChanW: {{id: "grpc-chanw-recv-under-lock", kernelID: "grpc-chanw-recv-under-lock"}},
+	},
+	BoltDB: {
+		BCMutex: {{id: "boltdb#392", kernelID: "boltdb-392-double-lock", repro: true}},
+		BCChanW: {{id: "boltdb#240", kernelID: "boltdb-240-chan-mutex", repro: true}},
+	},
+}
+
+var namedNonBlocking = map[App]map[NonBlockingCause][]namedBug{
+	Docker: {
+		NBTraditional: {{id: "docker#22985", kernelID: "docker-22985-ref-through-chan", repro: true},
+			{id: "docker-race-on-error-path", kernelID: "docker-race-on-error-path", repro: true},
+			{id: "docker-atomicity-check-act", kernelID: "docker-atomicity-check-act", repro: true},
+			{id: "docker-torn-snapshot", kernelID: "docker-torn-snapshot", repro: true}},
+		NBAnonymous: {{id: "docker-apiversion", kernelID: "docker-apiversion", repro: true}},
+		NBChan: {{id: "docker#24007", kernelID: "docker-24007-double-close", repro: true},
+			{id: "docker-select-stop-race", kernelID: "docker-select-stop-race"}},
+	},
+	Kubernetes: {
+		NBTraditional: {{id: "kubernetes-lazy-init", kernelID: "kubernetes-lazy-init", repro: true},
+			{id: "kubernetes-order-publish", kernelID: "kubernetes-order-publish", repro: true},
+			{id: "kubernetes-map-race", kernelID: "kubernetes-map-race"}},
+		NBAnonymous: {{id: "kubernetes-anon-err", kernelID: "kubernetes-anon-err", repro: true}},
+		NBChan:      {{id: "kubernetes-select-ticker", kernelID: "kubernetes-select-ticker"}},
+	},
+	Etcd: {
+		NBTraditional: {{id: "etcd-shutdown-flag", kernelID: "etcd-shutdown-flag", repro: true},
+			{id: "etcd-stale-decision", kernelID: "etcd-stale-decision", repro: true}},
+		NBAnonymous: {{id: "etcd-anon-stale-capture", kernelID: "etcd-anon-stale-capture", repro: true}},
+		NBWaitGroup: {{id: "etcd-waitgroup-order", kernelID: "etcd-waitgroup-order", repro: true}},
+		NBLib:       {{id: "etcd#7816", kernelID: "etcd-7816-context-value"}},
+	},
+	CockroachDB: {
+		NBTraditional: {{id: "cockroachdb#6111", kernelID: "cockroachdb-6111-status", repro: true},
+			{id: "cockroachdb-rare-retry-read", kernelID: "cockroachdb-rare-retry-read", repro: true},
+			{id: "cockroachdb-double-apply", kernelID: "cockroachdb-double-apply", repro: true}},
+		NBAnonymous: {{id: "cockroachdb-anon-siblings", kernelID: "cockroachdb-anon-siblings", repro: true}},
+	},
+	GRPC: {
+		NBTraditional: {{id: "grpc-lost-update", kernelID: "grpc-lost-update", repro: true},
+			{id: "grpc-send-after-close", kernelID: "grpc-send-after-close", repro: true}},
+		NBMsgLib: {{id: "grpc-timer-zero", kernelID: "grpc-timer-zero", repro: true}},
+	},
+	BoltDB: {},
+}
+
+var (
+	bugsOnce sync.Once
+	allBugs  []Bug
+)
+
+// Bugs returns the full 171-record dataset (a copy).
+func Bugs() []Bug {
+	bugsOnce.Do(func() { allBugs = buildDataset() })
+	out := make([]Bug, len(allBugs))
+	copy(out, allBugs)
+	return out
+}
+
+func buildDataset() []Bug {
+	var bugs []Bug
+	bugs = append(bugs, buildBlocking()...)
+	bugs = append(bugs, buildNonBlocking()...)
+	for i := range bugs {
+		stampDurations(&bugs[i])
+	}
+	return bugs
+}
+
+func buildBlocking() []Bug {
+	var bugs []Bug
+	for _, cause := range BlockingCauses {
+		var cell []Bug
+		for _, app := range Apps {
+			n := blockingMatrix[app][cause]
+			named := namedBlocking[app][cause]
+			for i := 0; i < n; i++ {
+				b := Bug{
+					App:           app,
+					Behavior:      Blocking,
+					Cause:         CauseOfBlocking(cause),
+					BlockingCause: cause,
+					Reconstructed: true,
+				}
+				if i < len(named) {
+					b.ID = named[i].id
+					b.KernelID = named[i].kernelID
+					b.Reproduced = named[i].repro
+					b.Reconstructed = false
+				} else {
+					b.ID = fmt.Sprintf("%s-blocking-%s-%d", lower(app), slug(string(cause)), i+1)
+				}
+				cell = append(cell, b)
+			}
+		}
+		assignBlockingDetail(cause, cell)
+		bugs = append(bugs, cell...)
+	}
+	return bugs
+}
+
+// assignBlockingDetail distributes Table 7's strategy counts and the
+// cause-correlated patch primitives over one cause's bugs.
+func assignBlockingDetail(cause BlockingCause, cell []Bug) {
+	dist := blockingStrategy[cause]
+	strategies := expand4(dist, BlockingFixStrategies)
+	shuffle(strategies, "blocking-strategy-"+string(cause))
+	for i := range cell {
+		cell[i].FixStrategy = strategies[i]
+		cell[i].PatchPrimitives = blockingPatchPrimitives(cause, i)
+	}
+}
+
+// blockingPatchPrimitives reflects Section 5.2: "most bugs whose causes are
+// related to a certain type of primitive were also fixed by adjusting that
+// primitive. For example, all Mutex-related bugs were fixed by adjusting
+// Mutex primitives."
+func blockingPatchPrimitives(cause BlockingCause, i int) []FixPrimitive {
+	switch cause {
+	case BCMutex, BCRWMutex:
+		return []FixPrimitive{FPMutex}
+	case BCWait:
+		if i == 0 {
+			return []FixPrimitive{FPWaitGroup}
+		}
+		return []FixPrimitive{FPCond}
+	case BCChan:
+		return []FixPrimitive{FPChannel}
+	case BCChanW:
+		if i%3 == 0 {
+			return []FixPrimitive{FPChannel, FPMutex}
+		}
+		return []FixPrimitive{FPChannel}
+	default:
+		return []FixPrimitive{FPMisc}
+	}
+}
+
+func buildNonBlocking() []Bug {
+	var bugs []Bug
+	selectLeft := 1 // plus the two select kernels = the paper's 3 select bugs
+	for _, cause := range NonBlockingCauses {
+		var cell []Bug
+		for _, app := range Apps {
+			n := nonBlockingMatrix[app][cause]
+			named := namedNonBlocking[app][cause]
+			for i := 0; i < n; i++ {
+				b := Bug{
+					App:              app,
+					Behavior:         NonBlocking,
+					Cause:            CauseOfNonBlocking(cause),
+					NonBlockingCause: cause,
+					Reconstructed:    true,
+				}
+				if i < len(named) {
+					b.ID = named[i].id
+					b.KernelID = named[i].kernelID
+					b.Reproduced = named[i].repro
+					b.Reconstructed = false
+					if b.KernelID == "kubernetes-select-ticker" ||
+						b.KernelID == "docker-select-stop-race" {
+						b.SelectNondeterminism = true
+					}
+				} else {
+					b.ID = fmt.Sprintf("%s-nonblocking-%s-%d", lower(app), slug(string(cause)), i+1)
+					if cause == NBChan && selectLeft > 0 && app == Kubernetes {
+						b.SelectNondeterminism = true
+						selectLeft--
+					}
+				}
+				cell = append(cell, b)
+			}
+		}
+		assignNonBlockingDetail(cause, cell)
+		bugs = append(bugs, cell...)
+	}
+	return bugs
+}
+
+// assignNonBlockingDetail distributes Table 10's strategies and Table 11's
+// primitive entries over one cause's bugs. Causes whose Table 11 row holds
+// more entries than bugs get second primitives on their leading bugs —
+// patches can adjust several primitives at once.
+func assignNonBlockingDetail(cause NonBlockingCause, cell []Bug) {
+	strategies := expand5(nonBlockingStrategy[cause], NonBlockingFixStrategies)
+	shuffle(strategies, "nonblocking-strategy-"+string(cause))
+	prims := expand7(nonBlockingPrimitives[cause], FixPrimitives)
+	shuffle(prims, "nonblocking-prims-"+string(cause))
+	// Primary primitives, one per bug; FPNone must come first so extras
+	// never pair with it.
+	sort.SliceStable(prims, func(i, j int) bool {
+		return prims[i] == FPNone && prims[j] != FPNone
+	})
+	for i := range cell {
+		cell[i].FixStrategy = strategies[i]
+		cell[i].PatchPrimitives = []FixPrimitive{prims[i]}
+	}
+	// Distribute surplus entries as secondary primitives.
+	extra := prims[len(cell):]
+	j := len(cell) - 1
+	for _, p := range extra {
+		for ; j >= 0; j-- {
+			first := cell[j].PatchPrimitives[0]
+			if first != FPNone && first != p {
+				cell[j].PatchPrimitives = append(cell[j].PatchPrimitives, p)
+				j--
+				break
+			}
+		}
+	}
+}
+
+// stampDurations derives each bug's lifetime (Figure 4), report-to-fix gap,
+// and patch size from a per-bug seeded source. Lifetimes are log-normal
+// around roughly one year — "most bugs we study ... have long life time" —
+// for both cause classes; blocking patch sizes average the paper's 6.8
+// lines.
+func stampDurations(b *Bug) {
+	h := fnv.New64a()
+	h.Write([]byte(b.ID))
+	rng := rand.New(rand.NewSource(int64(h.Sum64())))
+	life := int(math.Exp(math.Log(330) + rng.NormFloat64()*1.0))
+	if life < 3 {
+		life = 3
+	}
+	if life > 1460 {
+		life = 1460
+	}
+	b.LifetimeDays = life
+	b.ReportToFixDays = 1 + rng.Intn(21)
+	if b.Behavior == Blocking {
+		b.PatchLines = 2 + rng.Intn(10) // mean ~6.5, close to the 6.8 reported
+	} else {
+		b.PatchLines = 3 + rng.Intn(14)
+	}
+}
+
+// --- helpers ---
+
+func expand4(counts [4]int, labels []FixStrategy) []FixStrategy {
+	var out []FixStrategy
+	for i, n := range counts {
+		for j := 0; j < n; j++ {
+			out = append(out, labels[i])
+		}
+	}
+	return out
+}
+
+func expand5(counts [5]int, labels []FixStrategy) []FixStrategy {
+	var out []FixStrategy
+	for i, n := range counts {
+		for j := 0; j < n; j++ {
+			out = append(out, labels[i])
+		}
+	}
+	return out
+}
+
+func expand7(counts [7]int, labels []FixPrimitive) []FixPrimitive {
+	var out []FixPrimitive
+	for i, n := range counts {
+		for j := 0; j < n; j++ {
+			out = append(out, labels[i])
+		}
+	}
+	return out
+}
+
+func shuffle[E any](s []E, key string) {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	rng := rand.New(rand.NewSource(int64(h.Sum64())))
+	rng.Shuffle(len(s), func(i, j int) { s[i], s[j] = s[j], s[i] })
+}
+
+func lower(a App) string {
+	switch a {
+	case Docker:
+		return "docker"
+	case Kubernetes:
+		return "kubernetes"
+	case Etcd:
+		return "etcd"
+	case CockroachDB:
+		return "cockroachdb"
+	case GRPC:
+		return "grpc"
+	case BoltDB:
+		return "boltdb"
+	}
+	return "unknown"
+}
+
+func slug(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			out = append(out, r)
+		case r >= 'A' && r <= 'Z':
+			out = append(out, r+('a'-'A'))
+		default:
+			out = append(out, '-')
+		}
+	}
+	return string(out)
+}

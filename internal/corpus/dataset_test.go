@@ -1,0 +1,236 @@
+package corpus
+
+import (
+	"testing"
+)
+
+func countIf(t *testing.T, pred func(Bug) bool) int {
+	t.Helper()
+	n := 0
+	for _, b := range Bugs() {
+		if pred(b) {
+			n++
+		}
+	}
+	return n
+}
+
+// TestProseTotals asserts every count the paper's prose states outright.
+func TestProseTotals(t *testing.T) {
+	if got := len(Bugs()); got != 171 {
+		t.Fatalf("dataset has %d bugs, want 171", got)
+	}
+	cases := []struct {
+		name string
+		pred func(Bug) bool
+		want int
+	}{
+		{"blocking", func(b Bug) bool { return b.Behavior == Blocking }, 85},
+		{"non-blocking", func(b Bug) bool { return b.Behavior == NonBlocking }, 86},
+		{"shared memory", func(b Bug) bool { return b.Cause == SharedMemory }, 105},
+		{"message passing", func(b Bug) bool { return b.Cause == MessagePassing }, 66},
+		{"Mutex blocking", func(b Bug) bool { return b.BlockingCause == BCMutex }, 28},
+		{"RWMutex blocking", func(b Bug) bool { return b.BlockingCause == BCRWMutex }, 5},
+		{"Wait blocking", func(b Bug) bool { return b.BlockingCause == BCWait }, 3},
+		{"Chan blocking", func(b Bug) bool { return b.BlockingCause == BCChan }, 29},
+		{"Chan w/ blocking", func(b Bug) bool { return b.BlockingCause == BCChanW }, 16},
+		{"Lib blocking", func(b Bug) bool { return b.BlockingCause == BCLib }, 4},
+		{"traditional", func(b Bug) bool { return b.NonBlockingCause == NBTraditional }, 46},
+		{"anonymous", func(b Bug) bool { return b.NonBlockingCause == NBAnonymous }, 11},
+		{"waitgroup", func(b Bug) bool { return b.NonBlockingCause == NBWaitGroup }, 6},
+		{"lib shared", func(b Bug) bool { return b.NonBlockingCause == NBLib }, 6},
+		{"chan non-blocking", func(b Bug) bool { return b.NonBlockingCause == NBChan }, 16},
+		{"msg lib non-blocking", func(b Bug) bool { return b.NonBlockingCause == NBMsgLib }, 1},
+		{"select nondeterminism", func(b Bug) bool { return b.SelectNondeterminism }, 3},
+		{"reproduced blocking (Table 8)", func(b Bug) bool { return b.Reproduced && b.Behavior == Blocking }, 21},
+		{"reproduced non-blocking (Table 12)", func(b Bug) bool { return b.Reproduced && b.Behavior == NonBlocking }, 20},
+	}
+	for _, c := range cases {
+		if got := countIf(t, c.pred); got != c.want {
+			t.Errorf("%s: %d, want %d", c.name, got, c.want)
+		}
+	}
+}
+
+// TestMutexRWFixSplit asserts Section 5.2's "among the 33 Mutex- or
+// RWMutex-related bugs, 8 were fixed by adding a missing unlock; 9 by
+// moving lock or unlock; 11 by removing an extra lock".
+func TestMutexRWFixSplit(t *testing.T) {
+	lockBug := func(b Bug) bool {
+		return b.BlockingCause == BCMutex || b.BlockingCause == BCRWMutex
+	}
+	if got := countIf(t, lockBug); got != 33 {
+		t.Fatalf("Mutex+RWMutex bugs = %d, want 33", got)
+	}
+	counts := map[FixStrategy]int{}
+	for _, b := range Bugs() {
+		if lockBug(b) {
+			counts[b.FixStrategy]++
+		}
+	}
+	if counts[AddSync] != 8 || counts[MoveSync] != 9 || counts[RemoveSync] != 11 {
+		t.Errorf("lock-bug fixes add/move/remove = %d/%d/%d, want 8/9/11",
+			counts[AddSync], counts[MoveSync], counts[RemoveSync])
+	}
+}
+
+// TestNonBlockingStrategyTotals asserts Table 10's prose anchors: 10
+// bypasses, 14 data-private fixes, and roughly two thirds timing fixes.
+func TestNonBlockingStrategyTotals(t *testing.T) {
+	counts := map[FixStrategy]int{}
+	nb := 0
+	for _, b := range Bugs() {
+		if b.Behavior != NonBlocking {
+			continue
+		}
+		nb++
+		counts[b.FixStrategy]++
+	}
+	if counts[Bypass] != 10 {
+		t.Errorf("bypass = %d, want 10", counts[Bypass])
+	}
+	if counts[DataPrivate] != 14 {
+		t.Errorf("private = %d, want 14", counts[DataPrivate])
+	}
+	timing := float64(counts[AddSync]+counts[MoveSync]) / float64(nb)
+	if timing < 0.60 || timing > 0.75 {
+		t.Errorf("timing-restriction share = %.2f, want ≈0.69", timing)
+	}
+}
+
+// TestTable11Totals asserts the fully-extracted fix-primitive totals.
+func TestTable11Totals(t *testing.T) {
+	counts := map[FixPrimitive]int{}
+	entries := 0
+	for _, b := range Bugs() {
+		if b.Behavior != NonBlocking {
+			continue
+		}
+		for _, p := range b.PatchPrimitives {
+			counts[p]++
+			entries++
+		}
+	}
+	want := map[FixPrimitive]int{
+		FPMutex: 32, FPChannel: 19, FPAtomic: 10, FPWaitGroup: 7,
+		FPCond: 4, FPMisc: 3, FPNone: 19,
+	}
+	for p, n := range want {
+		if counts[p] != n {
+			t.Errorf("primitive %s = %d, want %d", p, counts[p], n)
+		}
+	}
+	if entries != 94 {
+		t.Errorf("total primitive entries = %d, want 94", entries)
+	}
+}
+
+// TestPerAppTotals asserts the per-app taxonomy (Table 5) internal
+// consistency and the cells the extraction preserved.
+func TestPerAppTotals(t *testing.T) {
+	type row struct{ blocking, nonBlocking, shared, message int }
+	want := map[App]row{
+		Docker:      {21, 23, 28, 16},
+		Kubernetes:  {17, 17, 19, 15},
+		Etcd:        {17, 7, 6, 18},
+		CockroachDB: {16, 23, 34, 5},
+		GRPC:        {12, 12, 13, 11},
+		BoltDB:      {2, 4, 5, 1},
+	}
+	got := map[App]*row{}
+	for _, a := range Apps {
+		got[a] = &row{}
+	}
+	for _, b := range Bugs() {
+		r := got[b.App]
+		if b.Behavior == Blocking {
+			r.blocking++
+		} else {
+			r.nonBlocking++
+		}
+		if b.Cause == SharedMemory {
+			r.shared++
+		} else {
+			r.message++
+		}
+	}
+	for a, w := range want {
+		g := got[a]
+		if *g != w {
+			t.Errorf("%s: got %+v, want %+v", a, *g, w)
+		}
+	}
+}
+
+func TestUniqueIDsAndSaneFields(t *testing.T) {
+	seen := map[string]bool{}
+	for _, b := range Bugs() {
+		if b.ID == "" {
+			t.Fatalf("bug with empty ID: %+v", b)
+		}
+		if seen[b.ID] {
+			t.Fatalf("duplicate bug ID %s", b.ID)
+		}
+		seen[b.ID] = true
+		if b.LifetimeDays <= 0 || b.PatchLines <= 0 || b.ReportToFixDays <= 0 {
+			t.Errorf("%s: non-positive duration fields: %+v", b.ID, b)
+		}
+		if len(b.PatchPrimitives) == 0 {
+			t.Errorf("%s: no patch primitives", b.ID)
+		}
+		if b.Behavior == Blocking && b.BlockingCause == "" {
+			t.Errorf("%s: blocking bug without blocking cause", b.ID)
+		}
+		if b.Behavior == NonBlocking && b.NonBlockingCause == "" {
+			t.Errorf("%s: non-blocking bug without cause", b.ID)
+		}
+	}
+}
+
+// TestDeterministicBuild: two reads of the dataset agree.
+func TestDeterministicBuild(t *testing.T) {
+	a, b := Bugs(), Bugs()
+	for i := range a {
+		if a[i].ID != b[i].ID || a[i].FixStrategy != b[i].FixStrategy || a[i].LifetimeDays != b[i].LifetimeDays {
+			t.Fatalf("dataset not deterministic at %d", i)
+		}
+	}
+}
+
+// TestBlockingPatchSize asserts the mean patch size is near the reported
+// 6.8 lines.
+func TestBlockingPatchSize(t *testing.T) {
+	total, n := 0, 0
+	for _, b := range Bugs() {
+		if b.Behavior == Blocking {
+			total += b.PatchLines
+			n++
+		}
+	}
+	mean := float64(total) / float64(n)
+	if mean < 5.8 || mean > 7.8 {
+		t.Errorf("mean blocking patch size = %.2f, want ≈6.8", mean)
+	}
+}
+
+// TestLifetimesAreLong: Figure 4's shape — the median lifetime is many
+// months for both cause classes.
+func TestLifetimesAreLong(t *testing.T) {
+	for _, cause := range []Cause{SharedMemory, MessagePassing} {
+		var days []int
+		for _, b := range Bugs() {
+			if b.Cause == cause {
+				days = append(days, b.LifetimeDays)
+			}
+		}
+		long := 0
+		for _, d := range days {
+			if d >= 180 {
+				long++
+			}
+		}
+		if frac := float64(long) / float64(len(days)); frac < 0.5 {
+			t.Errorf("%s: only %.0f%% of bugs lived ≥180 days; Figure 4 shows long lifetimes", cause, frac*100)
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package corpus
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// JSON export of the dataset, so downstream tooling (or a GoBench-style
+// benchmark consumer) can ingest the study without linking this module.
+
+// exportBug is the stable wire form of one record.
+type exportBug struct {
+	ID                   string   `json:"id"`
+	App                  string   `json:"app"`
+	Behavior             string   `json:"behavior"`
+	Cause                string   `json:"cause"`
+	SubCause             string   `json:"subCause"`
+	SelectNondeterminism bool     `json:"selectNondeterminism,omitempty"`
+	FixStrategy          string   `json:"fixStrategy"`
+	PatchPrimitives      []string `json:"patchPrimitives"`
+	LifetimeDays         int      `json:"lifetimeDays"`
+	ReportToFixDays      int      `json:"reportToFixDays"`
+	PatchLines           int      `json:"patchLines"`
+	Reproduced           bool     `json:"reproduced,omitempty"`
+	KernelID             string   `json:"kernelId,omitempty"`
+	Reconstructed        bool     `json:"reconstructed,omitempty"`
+}
+
+type exportFile struct {
+	Source      string      `json:"source"`
+	BugCount    int         `json:"bugCount"`
+	Blocking    int         `json:"blocking"`
+	NonBlocking int         `json:"nonBlocking"`
+	Bugs        []exportBug `json:"bugs"`
+}
+
+// WriteJSON streams the full dataset as indented JSON.
+func WriteJSON(w io.Writer) error {
+	out := exportFile{
+		Source: "Understanding Real-World Concurrency Bugs in Go (ASPLOS 2019); " +
+			"cell-level reconstructions flagged per record",
+	}
+	for _, b := range Bugs() {
+		sub := string(b.BlockingCause)
+		if b.Behavior == NonBlocking {
+			sub = string(b.NonBlockingCause)
+		}
+		prims := make([]string, 0, len(b.PatchPrimitives))
+		for _, p := range b.PatchPrimitives {
+			prims = append(prims, string(p))
+		}
+		out.Bugs = append(out.Bugs, exportBug{
+			ID:                   b.ID,
+			App:                  string(b.App),
+			Behavior:             string(b.Behavior),
+			Cause:                string(b.Cause),
+			SubCause:             sub,
+			SelectNondeterminism: b.SelectNondeterminism,
+			FixStrategy:          string(b.FixStrategy),
+			PatchPrimitives:      prims,
+			LifetimeDays:         b.LifetimeDays,
+			ReportToFixDays:      b.ReportToFixDays,
+			PatchLines:           b.PatchLines,
+			Reproduced:           b.Reproduced,
+			KernelID:             b.KernelID,
+			Reconstructed:        b.Reconstructed,
+		})
+		out.BugCount++
+		if b.Behavior == Blocking {
+			out.Blocking++
+		} else {
+			out.NonBlocking++
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

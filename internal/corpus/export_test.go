@@ -1,0 +1,44 @@
+package corpus
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestWriteJSONRoundTrips(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		BugCount    int `json:"bugCount"`
+		Blocking    int `json:"blocking"`
+		NonBlocking int `json:"nonBlocking"`
+		Bugs        []struct {
+			ID       string `json:"id"`
+			App      string `json:"app"`
+			Behavior string `json:"behavior"`
+			SubCause string `json:"subCause"`
+		} `json:"bugs"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if decoded.BugCount != 171 || decoded.Blocking != 85 || decoded.NonBlocking != 86 {
+		t.Fatalf("header = %+v", decoded)
+	}
+	if len(decoded.Bugs) != 171 {
+		t.Fatalf("bugs = %d", len(decoded.Bugs))
+	}
+	seen := map[string]bool{}
+	for _, b := range decoded.Bugs {
+		if b.ID == "" || b.App == "" || b.Behavior == "" || b.SubCause == "" {
+			t.Fatalf("incomplete record: %+v", b)
+		}
+		if seen[b.ID] {
+			t.Fatalf("duplicate id %s", b.ID)
+		}
+		seen[b.ID] = true
+	}
+}

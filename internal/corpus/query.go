@@ -1,0 +1,59 @@
+package corpus
+
+// Query helpers over the dataset, the API a downstream study-consumer uses
+// instead of re-filtering Bugs() by hand.
+
+// Filter returns the bugs satisfying pred.
+func Filter(pred func(Bug) bool) []Bug {
+	var out []Bug
+	for _, b := range Bugs() {
+		if pred(b) {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// BlockingBugs returns the 85 blocking records.
+func BlockingBugs() []Bug {
+	return Filter(func(b Bug) bool { return b.Behavior == Blocking })
+}
+
+// NonBlockingBugs returns the 86 non-blocking records.
+func NonBlockingBugs() []Bug {
+	return Filter(func(b Bug) bool { return b.Behavior == NonBlocking })
+}
+
+// ByApp returns one application's records.
+func ByApp(app App) []Bug {
+	return Filter(func(b Bug) bool { return b.App == app })
+}
+
+// ReproducedBugs returns the 41 records in the detector-evaluation sets.
+func ReproducedBugs() []Bug {
+	return Filter(func(b Bug) bool { return b.Reproduced })
+}
+
+// WithKernels returns every record linked to a runnable kernel.
+func WithKernels() []Bug {
+	return Filter(func(b Bug) bool { return b.KernelID != "" })
+}
+
+// ByID looks one record up.
+func ByID(id string) (Bug, bool) {
+	for _, b := range Bugs() {
+		if b.ID == id {
+			return b, true
+		}
+	}
+	return Bug{}, false
+}
+
+// CountBy aggregates the dataset by an arbitrary key function.
+func CountBy[K comparable](bugs []Bug, key func(Bug) K) map[K]int {
+	out := map[K]int{}
+	for _, b := range bugs {
+		out[key(b)]++
+	}
+	return out
+}

@@ -1,0 +1,46 @@
+package corpus
+
+import "testing"
+
+func TestQueryHelpers(t *testing.T) {
+	if got := len(BlockingBugs()); got != 85 {
+		t.Errorf("BlockingBugs = %d", got)
+	}
+	if got := len(NonBlockingBugs()); got != 86 {
+		t.Errorf("NonBlockingBugs = %d", got)
+	}
+	if got := len(ReproducedBugs()); got != 41 {
+		t.Errorf("ReproducedBugs = %d", got)
+	}
+	if got := len(WithKernels()); got < 41 {
+		t.Errorf("WithKernels = %d, want at least the reproduction sets", got)
+	}
+	total := 0
+	for _, app := range Apps {
+		total += len(ByApp(app))
+	}
+	if total != 171 {
+		t.Errorf("per-app sums to %d", total)
+	}
+}
+
+func TestByID(t *testing.T) {
+	b, ok := ByID("boltdb#392")
+	if !ok || b.App != BoltDB || b.BlockingCause != BCMutex || !b.Reproduced {
+		t.Fatalf("boltdb#392 = %+v ok=%v", b, ok)
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Fatal("phantom record")
+	}
+}
+
+func TestCountBy(t *testing.T) {
+	byCause := CountBy(BlockingBugs(), func(b Bug) BlockingCause { return b.BlockingCause })
+	if byCause[BCMutex] != 28 || byCause[BCChan] != 29 {
+		t.Fatalf("counts = %v", byCause)
+	}
+	byApp := CountBy(Bugs(), func(b Bug) App { return b.App })
+	if byApp[Docker] != 44 || byApp[Etcd] != 24 {
+		t.Fatalf("per-app counts = %v", byApp)
+	}
+}

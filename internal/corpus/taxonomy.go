@@ -1,0 +1,176 @@
+// Package corpus holds the paper's study data: the two-dimensional bug
+// taxonomy (Section 4), the 171 categorized bug records behind Tables 5, 6,
+// 7, 9, 10 and 11 and Figure 4, and the application facts of Table 1.
+//
+// Numbers stated in the paper's prose are encoded verbatim; table cells the
+// source extraction garbled are reconstructed to satisfy every stated
+// marginal and are flagged Reconstructed (see DESIGN.md §4).
+package corpus
+
+// App identifies one of the six studied applications.
+type App string
+
+// The six studied applications (Section 2.4).
+const (
+	Docker      App = "Docker"
+	Kubernetes  App = "Kubernetes"
+	Etcd        App = "etcd"
+	CockroachDB App = "CockroachDB"
+	GRPC        App = "gRPC"
+	BoltDB      App = "BoltDB"
+)
+
+// Apps lists the studied applications in the paper's table order.
+var Apps = []App{Docker, Kubernetes, Etcd, CockroachDB, GRPC, BoltDB}
+
+// Behavior is the taxonomy's first dimension (Section 4): does the bug
+// involve goroutines that cannot proceed?
+type Behavior string
+
+// Behavior values.
+const (
+	Blocking    Behavior = "blocking"
+	NonBlocking Behavior = "non-blocking"
+)
+
+// Cause is the taxonomy's second dimension: how were the involved
+// goroutines communicating?
+type Cause string
+
+// Cause values.
+const (
+	SharedMemory   Cause = "shared memory"
+	MessagePassing Cause = "message passing"
+)
+
+// BlockingCause is a blocking bug's root-cause category (Table 6).
+type BlockingCause string
+
+// Blocking root causes. The first three misuse shared-memory protection;
+// the last three misuse message passing.
+const (
+	BCMutex   BlockingCause = "Mutex"
+	BCRWMutex BlockingCause = "RWMutex"
+	BCWait    BlockingCause = "Wait"
+	BCChan    BlockingCause = "Chan"
+	BCChanW   BlockingCause = "Chan w/"
+	BCLib     BlockingCause = "Messaging libraries"
+)
+
+// BlockingCauses lists Table 6's columns in order.
+var BlockingCauses = []BlockingCause{BCMutex, BCRWMutex, BCWait, BCChan, BCChanW, BCLib}
+
+// CauseOfBlocking maps a blocking root cause to the taxonomy's cause
+// dimension.
+func CauseOfBlocking(bc BlockingCause) Cause {
+	switch bc {
+	case BCMutex, BCRWMutex, BCWait:
+		return SharedMemory
+	default:
+		return MessagePassing
+	}
+}
+
+// NonBlockingCause is a non-blocking bug's root-cause category (Table 9).
+type NonBlockingCause string
+
+// Non-blocking root causes. The first four fail to protect shared memory;
+// the last two err during message passing.
+const (
+	NBTraditional NonBlockingCause = "traditional"
+	NBAnonymous   NonBlockingCause = "anonymous function"
+	NBWaitGroup   NonBlockingCause = "misusing WaitGroup"
+	NBLib         NonBlockingCause = "lib"
+	NBChan        NonBlockingCause = "chan"
+	NBMsgLib      NonBlockingCause = "lib (message)"
+)
+
+// NonBlockingCauses lists Table 9's rows in order.
+var NonBlockingCauses = []NonBlockingCause{
+	NBTraditional, NBAnonymous, NBWaitGroup, NBLib, NBChan, NBMsgLib,
+}
+
+// CauseOfNonBlocking maps a non-blocking root cause to the cause dimension.
+func CauseOfNonBlocking(nc NonBlockingCause) Cause {
+	switch nc {
+	case NBChan, NBMsgLib:
+		return MessagePassing
+	default:
+		return SharedMemory
+	}
+}
+
+// FixStrategy categorizes a patch the way Tables 7 and 10 do. Blocking bugs
+// use AddSync/MoveSync/RemoveSync/MiscStrategy; non-blocking bugs
+// additionally use Bypass and DataPrivate, following the C/C++
+// categorization of [43] the paper adopts.
+type FixStrategy string
+
+// Fix strategies.
+const (
+	AddSync      FixStrategy = "Add_s"
+	MoveSync     FixStrategy = "Move_s"
+	RemoveSync   FixStrategy = "Rm_s"
+	Bypass       FixStrategy = "Bypass"
+	DataPrivate  FixStrategy = "Private"
+	MiscStrategy FixStrategy = "Misc."
+)
+
+// BlockingFixStrategies lists Table 7's columns in order.
+var BlockingFixStrategies = []FixStrategy{AddSync, MoveSync, RemoveSync, MiscStrategy}
+
+// NonBlockingFixStrategies lists Table 10's columns in order.
+var NonBlockingFixStrategies = []FixStrategy{AddSync, MoveSync, Bypass, DataPrivate, MiscStrategy}
+
+// FixPrimitive is a concurrency primitive a patch leverages (Table 11).
+type FixPrimitive string
+
+// Fix primitives.
+const (
+	FPMutex     FixPrimitive = "Mutex"
+	FPChannel   FixPrimitive = "Channel"
+	FPAtomic    FixPrimitive = "Atomic"
+	FPWaitGroup FixPrimitive = "WaitGroup"
+	FPCond      FixPrimitive = "Cond"
+	FPMisc      FixPrimitive = "Misc."
+	FPNone      FixPrimitive = "None"
+)
+
+// FixPrimitives lists Table 11's columns in order.
+var FixPrimitives = []FixPrimitive{FPMutex, FPChannel, FPAtomic, FPWaitGroup, FPCond, FPMisc, FPNone}
+
+// Bug is one record of the 171-bug dataset.
+type Bug struct {
+	// ID is "app#issue" for bugs the paper names, else a synthetic
+	// deterministic id.
+	ID       string
+	App      App
+	Behavior Behavior
+	Cause    Cause
+	// BlockingCause is set for blocking bugs, NonBlockingCause for
+	// non-blocking ones.
+	BlockingCause    BlockingCause
+	NonBlockingCause NonBlockingCause
+	// SelectNondeterminism marks the three chan bugs caused by select's
+	// random choice (Section 6.1.2, Figure 11).
+	SelectNondeterminism bool
+	FixStrategy          FixStrategy
+	// PatchPrimitives lists the primitives the fixing patch leverages;
+	// a patch can use several (Table 11) or none (FPNone).
+	PatchPrimitives []FixPrimitive
+	// LifetimeDays is the time from the buggy commit to the fix commit
+	// (Figure 4).
+	LifetimeDays int
+	// ReportToFixDays is the (short) time from report to fix; the paper
+	// found reports land close to fixes.
+	ReportToFixDays int
+	PatchLines      int
+	// Reproduced marks membership in the detector-evaluation sets
+	// (21 blocking for Table 8, 20 non-blocking for Table 12).
+	Reproduced bool
+	// KernelID links a reproduced bug to its runnable kernel.
+	KernelID string
+	// Reconstructed is true when this record's cell-level placement was
+	// reconstructed from marginals rather than stated outright.
+	Reconstructed bool
+}

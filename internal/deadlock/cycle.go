@@ -1,0 +1,126 @@
+package deadlock
+
+import (
+	"fmt"
+	"strings"
+
+	"goconcbugs/internal/sim"
+)
+
+// Circular-wait analysis. Section 4: "Most previous concurrency bug studies
+// categorize bugs into deadlock bugs and non-deadlock bugs, where deadlocks
+// include situations where there is a circular wait across multiple
+// threads. Our definition of blocking is broader than deadlocks and include
+// situations where there is no circular wait but one (or more) goroutines
+// wait for resources that no other goroutines supply."
+//
+// This analyzer draws that line on a finished run: it builds the classic
+// lock wait-for graph (goroutine -> lock it waits on -> goroutine holding
+// it) and looks for cycles. Lock-order deadlocks (ABBA, double locking) are
+// circular; the channel bugs the paper emphasizes — a sender nobody
+// receives from, a Figure 7 lock/channel tangle — are not lock-cycles,
+// which is exactly why "traditional deadlock detection algorithms" (which
+// hunt lock cycles) would catch the former and miss the latter.
+
+// Circularity classifies a blocked run.
+type Circularity struct {
+	// CircularWait is true when the lock wait-for graph has a cycle.
+	CircularWait bool
+	// Cycle lists the goroutine ids along a detected cycle, in order.
+	Cycle []int
+	// Description renders the cycle, e.g. "g2 waits daemon.mu held by g3;
+	// g3 waits container.mu held by g2".
+	Description string
+}
+
+// AnalyzeCircularity builds the lock wait-for graph over the still-blocked
+// goroutines of a run.
+func AnalyzeCircularity(res *sim.Result) Circularity {
+	// holder[lock] = goroutine id holding it at the end of the run.
+	holder := map[string]int{}
+	for _, g := range res.Goroutines {
+		for _, l := range g.HeldLocks {
+			holder[l] = g.ID
+		}
+	}
+	// waits[g] = goroutine that g transitively waits on via a lock.
+	waits := map[int]int{}
+	info := map[int]sim.GoroutineInfo{}
+	for _, g := range res.Blocked {
+		info[g.ID] = g
+		switch g.BlockKind {
+		case sim.BlockMutex, sim.BlockRWMutexR, sim.BlockRWMutexW:
+			if h, ok := holder[g.BlockObj]; ok {
+				waits[g.ID] = h
+			}
+		}
+	}
+	// Walk each blocked goroutine's chain looking for a cycle.
+	for start := range waits {
+		seen := map[int]int{} // goroutine -> position in the walk
+		var path []int
+		cur := start
+		for {
+			if pos, ok := seen[cur]; ok {
+				cycle := append([]int(nil), path[pos:]...)
+				return Circularity{
+					CircularWait: true,
+					Cycle:        cycle,
+					Description:  describeCycle(cycle, info),
+				}
+			}
+			next, ok := waits[cur]
+			if !ok {
+				// A self-deadlock: the goroutine waits on a lock
+				// it holds itself.
+				if g, blocked := info[cur]; blocked && holdsOwnWait(g) {
+					return Circularity{
+						CircularWait: true,
+						Cycle:        []int{cur},
+						Description: fmt.Sprintf("g%d waits on %s which it holds itself",
+							cur, g.BlockObj),
+					}
+				}
+				break
+			}
+			seen[cur] = len(path)
+			path = append(path, cur)
+			cur = next
+		}
+	}
+	// Also catch the pure self-deadlock where waits has the self edge.
+	for _, g := range res.Blocked {
+		if holdsOwnWait(g) {
+			return Circularity{
+				CircularWait: true,
+				Cycle:        []int{g.ID},
+				Description:  fmt.Sprintf("g%d waits on %s which it holds itself", g.ID, g.BlockObj),
+			}
+		}
+	}
+	return Circularity{}
+}
+
+func holdsOwnWait(g sim.GoroutineInfo) bool {
+	switch g.BlockKind {
+	case sim.BlockMutex, sim.BlockRWMutexR, sim.BlockRWMutexW:
+	default:
+		return false
+	}
+	for _, l := range g.HeldLocks {
+		if l == g.BlockObj {
+			return true
+		}
+	}
+	return false
+}
+
+func describeCycle(cycle []int, info map[int]sim.GoroutineInfo) string {
+	var parts []string
+	for i, id := range cycle {
+		g := info[id]
+		next := cycle[(i+1)%len(cycle)]
+		parts = append(parts, fmt.Sprintf("g%d waits %s held by g%d", id, g.BlockObj, next))
+	}
+	return strings.Join(parts, "; ")
+}

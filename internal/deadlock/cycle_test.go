@@ -1,0 +1,118 @@
+package deadlock_test
+
+import (
+	"strings"
+	"testing"
+
+	"goconcbugs/internal/deadlock"
+	"goconcbugs/internal/kernels"
+	"goconcbugs/internal/sim"
+)
+
+func TestABBACycleDetected(t *testing.T) {
+	res := sim.Run(sim.Config{Seed: 1}, func(tt *sim.T) {
+		a := sim.NewMutex(tt, "A")
+		b := sim.NewMutex(tt, "B")
+		tt.Go(func(ct *sim.T) {
+			a.Lock(ct)
+			ct.Sleep(5)
+			b.Lock(ct)
+			b.Unlock(ct)
+			a.Unlock(ct)
+		})
+		tt.Go(func(ct *sim.T) {
+			b.Lock(ct)
+			ct.Sleep(5)
+			a.Lock(ct)
+			a.Unlock(ct)
+			b.Unlock(ct)
+		})
+		tt.Sleep(100)
+	})
+	c := deadlock.AnalyzeCircularity(res)
+	if !c.CircularWait || len(c.Cycle) != 2 {
+		t.Fatalf("circularity = %+v", c)
+	}
+	if !strings.Contains(c.Description, "waits A held by") &&
+		!strings.Contains(c.Description, "waits B held by") {
+		t.Fatalf("description = %q", c.Description)
+	}
+}
+
+func TestSelfDeadlockIsACycleOfOne(t *testing.T) {
+	res := sim.Run(sim.Config{Seed: 1}, func(tt *sim.T) {
+		mu := sim.NewMutex(tt, "mu")
+		mu.Lock(tt)
+		mu.Lock(tt)
+	})
+	c := deadlock.AnalyzeCircularity(res)
+	if !c.CircularWait || len(c.Cycle) != 1 {
+		t.Fatalf("circularity = %+v", c)
+	}
+	if !strings.Contains(c.Description, "holds itself") &&
+		!strings.Contains(c.Description, "waits mu held by g1") {
+		t.Fatalf("description = %q", c.Description)
+	}
+}
+
+func TestChannelLeakIsNotCircular(t *testing.T) {
+	// Figure 1's shape: the blocked sender waits on nothing anyone holds.
+	res := sim.Run(sim.Config{Seed: 1}, func(tt *sim.T) {
+		ch := sim.NewChan[int](tt, 0)
+		tt.Go(func(ct *sim.T) { ch.Send(ct, 1) })
+		tt.Sleep(10)
+	})
+	if c := deadlock.AnalyzeCircularity(res); c.CircularWait {
+		t.Fatalf("channel leak misclassified as circular: %+v", c)
+	}
+}
+
+func TestFigure7IsNotALockCycle(t *testing.T) {
+	// The paper's point: Figure 7's circularity spans a channel, so
+	// traditional lock-cycle detection does not see it.
+	k, _ := kernels.ByID("boltdb-240-chan-mutex")
+	res := sim.Run(k.Config(1), k.Buggy)
+	if c := deadlock.AnalyzeCircularity(res); c.CircularWait {
+		t.Fatalf("Figure 7 reported as a lock cycle: %+v", c)
+	}
+	// Yet it is a real blocking bug (the built-in detector even fires).
+	if res.Outcome != sim.OutcomeBuiltinDeadlock {
+		t.Fatalf("outcome = %v", res.Outcome)
+	}
+}
+
+// TestStudySetCircularitySplit: the lock-class kernels split into circular
+// (lock-order/self deadlocks) and non-circular ones, and no channel-class
+// kernel is a lock cycle — the taxonomy boundary of Section 4.
+func TestStudySetCircularitySplit(t *testing.T) {
+	circular := map[string]bool{}
+	for _, k := range kernels.DeadlockStudySet() {
+		res := sim.Run(k.Config(1), k.Buggy)
+		c := deadlock.AnalyzeCircularity(res)
+		circular[k.ID] = c.CircularWait
+		if c.CircularWait && k.BlockClass != deadlock.ClassMutex && k.BlockClass != deadlock.ClassRWMutex {
+			t.Errorf("%s (%s): unexpected lock cycle: %s", k.ID, k.BlockClass, c.Description)
+		}
+	}
+	for _, id := range []string{"boltdb-392-double-lock", "docker-abba-order", "grpc-abba-under-server"} {
+		if !circular[id] {
+			t.Errorf("%s: lock-order deadlock not recognized as circular", id)
+		}
+	}
+	for _, id := range []string{"kubernetes-finishreq", "docker-missing-close", "cockroachdb-nil-chan"} {
+		if circular[id] {
+			t.Errorf("%s: non-circular blocking misclassified", id)
+		}
+	}
+}
+
+func TestHealthyRunNotCircular(t *testing.T) {
+	res := sim.Run(sim.Config{Seed: 1}, func(tt *sim.T) {
+		mu := sim.NewMutex(tt, "mu")
+		mu.Lock(tt)
+		mu.Unlock(tt)
+	})
+	if c := deadlock.AnalyzeCircularity(res); c.CircularWait {
+		t.Fatalf("healthy run circular: %+v", c)
+	}
+}

@@ -1,0 +1,115 @@
+package deadlock
+
+import (
+	"strings"
+	"testing"
+
+	"goconcbugs/internal/sim"
+)
+
+func TestBuiltinDetectsGlobalDeadlock(t *testing.T) {
+	res := sim.Run(sim.Config{Seed: 1}, func(tt *sim.T) {
+		mu := sim.NewMutex(tt, "mu")
+		mu.Lock(tt)
+		mu.Lock(tt)
+	})
+	v := Builtin{}.Detect(res)
+	if !v.Detected {
+		t.Fatal("builtin should detect a whole-program deadlock")
+	}
+	if !strings.Contains(v.Message, "all goroutines are asleep") {
+		t.Fatalf("message = %q", v.Message)
+	}
+	if len(v.Goroutines) == 0 {
+		t.Fatal("no implicated goroutines")
+	}
+}
+
+func TestBuiltinMissesPartialDeadlock(t *testing.T) {
+	res := sim.Run(sim.Config{Seed: 1}, func(tt *sim.T) {
+		ch := sim.NewChan[int](tt, 0)
+		tt.Go(func(ct *sim.T) { ch.Send(ct, 1) })
+		tt.Sleep(10) // main stays alive and then exits normally
+	})
+	if v := (Builtin{}).Detect(res); v.Detected {
+		t.Fatal("builtin fired on a partial deadlock it cannot see")
+	}
+	if v := (Leak{}).Detect(res); !v.Detected {
+		t.Fatal("leak detector should flag the stuck sender")
+	}
+}
+
+func TestLeakMessageNamesGoroutines(t *testing.T) {
+	res := sim.Run(sim.Config{Seed: 1}, func(tt *sim.T) {
+		ch := sim.NewChanNamed[int](tt, "results", 0)
+		tt.GoNamed("probe", func(ct *sim.T) { ch.Send(ct, 1) })
+		tt.Sleep(10)
+	})
+	v := Leak{}.Detect(res)
+	if !v.Detected || !strings.Contains(v.Message, "probe") || !strings.Contains(v.Message, "results") {
+		t.Fatalf("message = %q", v.Message)
+	}
+}
+
+func TestLeakCleanOnHealthyRun(t *testing.T) {
+	res := sim.Run(sim.Config{Seed: 1}, func(tt *sim.T) {
+		ch := sim.NewChan[int](tt, 0)
+		tt.Go(func(ct *sim.T) { ch.Send(ct, 1) })
+		ch.Recv(tt)
+	})
+	if v := (Leak{}).Detect(res); v.Detected {
+		t.Fatalf("leak reported on a healthy run: %s", v.Message)
+	}
+}
+
+func TestClassify(t *testing.T) {
+	mk := func(kinds ...sim.BlockKind) []sim.GoroutineInfo {
+		var out []sim.GoroutineInfo
+		for _, k := range kinds {
+			out = append(out, sim.GoroutineInfo{BlockKind: k})
+		}
+		return out
+	}
+	cases := []struct {
+		name string
+		in   []sim.GoroutineInfo
+		want BlockClass
+	}{
+		{"empty", nil, ClassNone},
+		{"mutex only", mk(sim.BlockMutex, sim.BlockMutex), ClassMutex},
+		{"rwmutex", mk(sim.BlockRWMutexR, sim.BlockRWMutexW), ClassRWMutex},
+		{"wait", mk(sim.BlockWaitGroup), ClassWait},
+		{"cond", mk(sim.BlockCond), ClassWait},
+		{"chan only", mk(sim.BlockChanSend, sim.BlockSelect), ClassChan},
+		{"chan with mutex", mk(sim.BlockChanSend, sim.BlockMutex), ClassChanWith},
+		{"chan with waitgroup", mk(sim.BlockChanSend, sim.BlockWaitGroup), ClassChanWith},
+		{"pipe", mk(sim.BlockPipe), ClassMessagingLib},
+		{"external", mk(sim.BlockExternal), ClassMessagingLib},
+		{"rw beats wait precedence", mk(sim.BlockRWMutexW, sim.BlockWaitGroup), ClassRWMutex},
+	}
+	for _, c := range cases {
+		if got := Classify(c.in); got != c.want {
+			t.Errorf("%s: Classify = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestClassifyOnRealKernelShapes(t *testing.T) {
+	// Figure 7: one goroutine on a channel send, one on a mutex.
+	res := sim.Run(sim.Config{Seed: 1}, func(tt *sim.T) {
+		m := sim.NewMutex(tt, "m")
+		ch := sim.NewChan[int](tt, 0)
+		tt.Go(func(ct *sim.T) {
+			m.Lock(ct)
+			ch.Send(ct, 1)
+			m.Unlock(ct)
+		})
+		tt.Sleep(5)
+		m.Lock(tt)
+		ch.Recv(tt)
+		m.Unlock(tt)
+	})
+	if got := Classify(res.Blocked); got != ClassChanWith {
+		t.Fatalf("Figure 7 classified as %v, want %v", got, ClassChanWith)
+	}
+}

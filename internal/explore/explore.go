@@ -1,0 +1,190 @@
+// Package explore runs a simulated program under many seeds and aggregates
+// manifestation and detection statistics.
+//
+// It is the harness behind the paper's detection experiments: Table 12 ran
+// each reproduced non-blocking bug 100 times under the race detector ("We
+// consider a bug detected within runs as a detected bug"), and Section 4
+// notes bugs sometimes needed many runs or manual sleeps to reproduce at
+// all. With the deterministic runtime, "many runs" is simply "many seeds".
+package explore
+
+import (
+	"runtime"
+	"sync"
+
+	"goconcbugs/internal/race"
+	"goconcbugs/internal/sim"
+)
+
+// Options configures an exploration.
+type Options struct {
+	// Runs is the number of seeds to try (default 100, the paper's
+	// Table 12 protocol).
+	Runs int
+	// BaseSeed is the first seed; run i uses BaseSeed+i.
+	BaseSeed int64
+	// Config is the per-run sim configuration (Seed and Observer are
+	// overwritten per run).
+	Config sim.Config
+	// WithRace attaches a fresh race detector to every run.
+	WithRace bool
+	// ShadowWords is the per-variable shadow budget when WithRace is set
+	// (0 = the Go detector's 4; negative = unbounded).
+	ShadowWords int
+	// Workers fans the runs out over that many host goroutines (each
+	// simulated run is self-contained, so this is safe); 0 or 1 runs
+	// serially, negative uses GOMAXPROCS. Aggregation folds results in
+	// seed order, so the Stats are identical either way.
+	Workers int
+}
+
+// Stats aggregates the outcomes of an exploration.
+type Stats struct {
+	Runs             int
+	Manifested       int // runs where Result.Failed()
+	Panics           int
+	LeakRuns         int
+	BuiltinDeadlocks int
+	CheckFailureRuns int
+	RaceDetectedRuns int // runs where the race detector reported anything
+	RacesTotal       int
+	FirstManifestRun int // index of first manifesting run, -1 if none
+	FirstDetectedRun int // index of first race-detected run, -1 if none
+	RacyVars         map[string]int
+	SampleRace       string // one representative race report
+	SampleLeak       string // one representative leak description
+	SamplePanic      string
+	SampleCheckFail  string
+}
+
+// ManifestRate returns the fraction of runs where the bug manifested.
+func (s *Stats) ManifestRate() float64 {
+	if s.Runs == 0 {
+		return 0
+	}
+	return float64(s.Manifested) / float64(s.Runs)
+}
+
+// RaceDetectRate returns the fraction of runs where a race was reported.
+func (s *Stats) RaceDetectRate() float64 {
+	if s.Runs == 0 {
+		return 0
+	}
+	return float64(s.RaceDetectedRuns) / float64(s.Runs)
+}
+
+// Detected reports whether any run detected a race — the paper's Table 12
+// criterion.
+func (s *Stats) Detected() bool { return s.RaceDetectedRuns > 0 }
+
+// runOutcome is one seed's raw result, kept so parallel execution can fold
+// deterministically in seed order.
+type runOutcome struct {
+	res      *sim.Result
+	reports  []race.Report
+	racyVars []string
+}
+
+// Run explores prog under opts.
+func Run(prog sim.Program, opts Options) *Stats {
+	if opts.Runs <= 0 {
+		opts.Runs = 100
+	}
+	workers := opts.Workers
+	if workers < 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers == 0 {
+		workers = 1
+	}
+	if workers > opts.Runs {
+		workers = opts.Runs
+	}
+
+	outcomes := make([]runOutcome, opts.Runs)
+	oneRun := func(i int) {
+		cfg := opts.Config
+		cfg.Seed = opts.BaseSeed + int64(i)
+		var det *race.Detector
+		if opts.WithRace {
+			det = race.New(opts.ShadowWords)
+			cfg.Observer = det
+		}
+		res := sim.Run(cfg, prog)
+		out := runOutcome{res: res}
+		if det != nil {
+			out.reports = det.Reports()
+			out.racyVars = det.RacyVars()
+		}
+		outcomes[i] = out
+	}
+	if workers == 1 {
+		for i := 0; i < opts.Runs; i++ {
+			oneRun(i)
+		}
+	} else {
+		var wg sync.WaitGroup
+		next := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					oneRun(i)
+				}
+			}()
+		}
+		for i := 0; i < opts.Runs; i++ {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+	}
+
+	st := &Stats{Runs: opts.Runs, FirstManifestRun: -1, FirstDetectedRun: -1, RacyVars: map[string]int{}}
+	for i := 0; i < opts.Runs; i++ {
+		res := outcomes[i].res
+		if res.Failed() {
+			st.Manifested++
+			if st.FirstManifestRun < 0 {
+				st.FirstManifestRun = i
+			}
+		}
+		if res.Outcome == sim.OutcomePanic {
+			st.Panics++
+			if st.SamplePanic == "" && len(res.Panics) > 0 {
+				st.SamplePanic = res.Panics[0].Msg
+			}
+		}
+		if res.Outcome == sim.OutcomeBuiltinDeadlock {
+			st.BuiltinDeadlocks++
+		}
+		if len(res.Leaked) > 0 {
+			st.LeakRuns++
+			if st.SampleLeak == "" {
+				g := res.Leaked[0]
+				st.SampleLeak = g.Name + " blocked on " + g.BlockKind.String()
+			}
+		}
+		if len(res.CheckFailures) > 0 {
+			st.CheckFailureRuns++
+			if st.SampleCheckFail == "" {
+				st.SampleCheckFail = res.CheckFailures[0]
+			}
+		}
+		if reports := outcomes[i].reports; len(reports) > 0 {
+			st.RaceDetectedRuns++
+			st.RacesTotal += len(reports)
+			if st.FirstDetectedRun < 0 {
+				st.FirstDetectedRun = i
+			}
+			for _, v := range outcomes[i].racyVars {
+				st.RacyVars[v]++
+			}
+			if st.SampleRace == "" {
+				st.SampleRace = reports[0].String()
+			}
+		}
+	}
+	return st
+}

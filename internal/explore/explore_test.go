@@ -1,0 +1,137 @@
+package explore
+
+import (
+	"testing"
+
+	"goconcbugs/internal/sim"
+)
+
+// leakyProg leaks a sender on every run.
+func leakyProg(t *sim.T) {
+	ch := sim.NewChan[int](t, 0)
+	t.Go(func(ct *sim.T) { ch.Send(ct, 1) })
+	t.Sleep(10)
+}
+
+// racyProg races unconditionally.
+func racyProg(t *sim.T) {
+	x := sim.NewVar[int](t, "x")
+	t.Go(func(ct *sim.T) { x.Store(ct, 1) })
+	x.Store(t, 2)
+	t.Sleep(10)
+}
+
+// cleanProg is healthy.
+func cleanProg(t *sim.T) {
+	ch := sim.NewChan[int](t, 0)
+	t.Go(func(ct *sim.T) { ch.Send(ct, 1) })
+	ch.Recv(t)
+}
+
+func TestDefaultRunsIsPaperProtocol(t *testing.T) {
+	st := Run(cleanProg, Options{})
+	if st.Runs != 100 {
+		t.Fatalf("default runs = %d, want the paper's 100", st.Runs)
+	}
+}
+
+func TestLeakAggregation(t *testing.T) {
+	st := Run(leakyProg, Options{Runs: 20})
+	if st.Manifested != 20 || st.LeakRuns != 20 {
+		t.Fatalf("manifested %d leak %d, want 20/20", st.Manifested, st.LeakRuns)
+	}
+	if st.FirstManifestRun != 0 {
+		t.Fatalf("first manifest run = %d", st.FirstManifestRun)
+	}
+	if st.SampleLeak == "" {
+		t.Fatal("no sample leak recorded")
+	}
+	if st.ManifestRate() != 1.0 {
+		t.Fatalf("manifest rate = %f", st.ManifestRate())
+	}
+}
+
+func TestRaceAggregation(t *testing.T) {
+	st := Run(racyProg, Options{Runs: 20, WithRace: true})
+	if !st.Detected() || st.RaceDetectedRuns != 20 {
+		t.Fatalf("race detected in %d/20 runs", st.RaceDetectedRuns)
+	}
+	if st.RacyVars["x"] != 20 {
+		t.Fatalf("racy vars = %v", st.RacyVars)
+	}
+	if st.SampleRace == "" {
+		t.Fatal("no sample race recorded")
+	}
+	if st.RaceDetectRate() != 1.0 {
+		t.Fatalf("detect rate = %f", st.RaceDetectRate())
+	}
+}
+
+func TestWithoutRaceDetectorNothingReported(t *testing.T) {
+	st := Run(racyProg, Options{Runs: 10})
+	if st.RaceDetectedRuns != 0 {
+		t.Fatal("race runs counted without a detector attached")
+	}
+	if st.Manifested != 0 {
+		t.Fatal("a silent data race should not manifest functionally")
+	}
+}
+
+func TestCleanProgramAggregatesClean(t *testing.T) {
+	st := Run(cleanProg, Options{Runs: 30, WithRace: true})
+	if st.Manifested != 0 || st.RaceDetectedRuns != 0 || st.Panics != 0 {
+		t.Fatalf("clean program flagged: %+v", st)
+	}
+	if st.FirstManifestRun != -1 || st.FirstDetectedRun != -1 {
+		t.Fatal("first-run markers should stay -1")
+	}
+}
+
+func TestPanicAggregation(t *testing.T) {
+	st := Run(func(tt *sim.T) {
+		ch := sim.NewChan[int](tt, 0)
+		ch.Close(tt)
+		ch.Close(tt)
+	}, Options{Runs: 5})
+	if st.Panics != 5 || st.SamplePanic == "" {
+		t.Fatalf("panics = %d sample=%q", st.Panics, st.SamplePanic)
+	}
+}
+
+// TestParallelMatchesSerial: the parallel fan-out must produce the exact
+// Stats the serial loop does (aggregation is in seed order).
+func TestParallelMatchesSerial(t *testing.T) {
+	prog := func(tt *sim.T) {
+		x := sim.NewVar[int](tt, "x")
+		tt.Go(func(ct *sim.T) { x.Store(ct, 1) })
+		if tt.Rand(2) == 0 {
+			_ = x.Load(tt)
+		}
+		tt.Sleep(10)
+	}
+	serial := Run(prog, Options{Runs: 60, WithRace: true, Workers: 1})
+	parallel := Run(prog, Options{Runs: 60, WithRace: true, Workers: -1})
+	if serial.RaceDetectedRuns != parallel.RaceDetectedRuns ||
+		serial.Manifested != parallel.Manifested ||
+		serial.FirstDetectedRun != parallel.FirstDetectedRun ||
+		serial.SampleRace != parallel.SampleRace {
+		t.Fatalf("parallel diverged: serial=%+v parallel=%+v", serial, parallel)
+	}
+}
+
+func TestSeedsActuallyVary(t *testing.T) {
+	// A program whose outcome depends on a two-way select choice must not
+	// produce identical results across all seeds.
+	prog := func(tt *sim.T) {
+		a := sim.NewChan[int](tt, 1)
+		b := sim.NewChan[int](tt, 1)
+		a.Send(tt, 1)
+		b.Send(tt, 2)
+		idx := sim.Select(tt, sim.OnRecv(a, nil), sim.OnRecv(b, nil))
+		tt.Check(idx == 0, "took case 1")
+	}
+	st := Run(prog, Options{Runs: 40})
+	if st.CheckFailureRuns == 0 || st.CheckFailureRuns == 40 {
+		t.Fatalf("select choice did not vary across seeds: %d/40", st.CheckFailureRuns)
+	}
+}

@@ -1,0 +1,88 @@
+package explore
+
+import (
+	"testing"
+
+	"goconcbugs/internal/kernels"
+	"goconcbugs/internal/sim"
+)
+
+// TestPreemptionBoundShrinksTheSpace: the bounded search covers far fewer
+// schedules than the full DFS on the same program.
+func TestPreemptionBoundShrinksTheSpace(t *testing.T) {
+	full := Systematic(tinySynced, SystematicOptions{MaxRuns: 100_000})
+	if !full.Complete {
+		t.Fatalf("full DFS did not complete (%d runs)", full.Runs)
+	}
+	bounded := Systematic(tinySynced, SystematicOptions{MaxRuns: 100_000, PreemptionBound: 2})
+	if !bounded.Complete {
+		t.Fatalf("bounded search did not complete (%d runs)", bounded.Runs)
+	}
+	if bounded.Runs*4 > full.Runs {
+		t.Fatalf("preemption bound barely helped: %d bounded vs %d full", bounded.Runs, full.Runs)
+	}
+	if bounded.Failures != 0 {
+		t.Fatalf("the fix failed within 2 preemptions: %d", bounded.Failures)
+	}
+}
+
+// TestPreemptionBoundStillFindsTheBug: the CHESS claim — the lost update
+// needs only a couple of preemptions, so the bounded search finds it fast.
+func TestPreemptionBoundStillFindsTheBug(t *testing.T) {
+	bounded := Systematic(tinyRace, SystematicOptions{
+		MaxRuns: 100_000, PreemptionBound: 2, StopAtFirstFailure: true,
+	})
+	if bounded.FirstFailure == nil {
+		t.Fatalf("bounded search missed the lost update (%d runs)", bounded.Runs)
+	}
+	full := Systematic(tinyRace, SystematicOptions{
+		MaxRuns: 100_000, StopAtFirstFailure: true,
+	})
+	if bounded.Runs > full.Runs*2 {
+		t.Fatalf("bounded first-failure took %d runs vs full %d", bounded.Runs, full.Runs)
+	}
+}
+
+// TestPreemptionBoundedReplay: a failing schedule found under a bound
+// replays deterministically.
+func TestPreemptionBoundedReplay(t *testing.T) {
+	res := Systematic(tinyRace, SystematicOptions{
+		MaxRuns: 100_000, PreemptionBound: 2, StopAtFirstFailure: true,
+	})
+	if res.FirstFailure == nil {
+		t.Fatal("no failure found")
+	}
+	replay := ReplaySchedule(tinyRace, sim.Config{}, res.FailureSchedule)
+	if !replay.Failed() {
+		t.Fatal("bounded failing schedule did not replay")
+	}
+}
+
+// TestZeroPreemptionScheduleIsTheLeftmostPath: with the preferred-first
+// reordering, the all-zeros schedule never preempts, so a race that *needs*
+// a preemption cannot fail on it.
+func TestZeroPreemptionScheduleIsTheLeftmostPath(t *testing.T) {
+	replay := ReplaySchedule(tinyRace, sim.Config{}, nil) // all defaults
+	if replay.Failed() {
+		t.Fatalf("the run-to-completion schedule manifested the preemption bug: %v",
+			replay.CheckFailures)
+	}
+}
+
+// TestBoundedSearchOnKernels: the double-close bug needs few preemptions;
+// bounded exploration finds it with a fraction of the full space.
+func TestBoundedSearchOnKernels(t *testing.T) {
+	k, _ := kernels.ByID("docker-24007-double-close")
+	full := Systematic(k.Buggy, SystematicOptions{Config: k.Config(0), MaxRuns: 50_000})
+	bounded := Systematic(k.Buggy, SystematicOptions{
+		Config: k.Config(0), MaxRuns: 50_000, PreemptionBound: 2,
+	})
+	if !bounded.Complete || bounded.Failures == 0 {
+		t.Fatalf("bounded: complete=%v failures=%d runs=%d",
+			bounded.Complete, bounded.Failures, bounded.Runs)
+	}
+	if bounded.Runs >= full.Runs {
+		t.Fatalf("bounded (%d) not smaller than full (%d)", bounded.Runs, full.Runs)
+	}
+	t.Logf("schedules: full=%d bounded(2)=%d", full.Runs, bounded.Runs)
+}

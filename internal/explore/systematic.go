@@ -1,0 +1,198 @@
+package explore
+
+import (
+	"goconcbugs/internal/sim"
+)
+
+// Systematic schedule exploration: a stateless model checker over the
+// simulated runtime's scheduling decisions.
+//
+// Random seeds (the paper's and Run's protocol) find bugs probabilistically;
+// Section 4 notes some bugs needed many runs or hand-inserted sleeps.
+// Systematic exploration goes further: because every interleaving of a
+// simulated program is a pure function of the sequence of scheduling
+// choices (which runnable goroutine next, which ready select case), a
+// depth-first enumeration of those choice sequences covers *every* schedule
+// of a small program — turning "we never saw it fail" into "it cannot fail
+// within the bound". That is the strongest form of the detection direction
+// the paper's Implication 4 asks for, and it verifies patches, not just
+// finds bugs: a Fixed kernel that passes exhaustive exploration is correct
+// for every interleaving, not just 100 sampled ones.
+//
+// Input randomness (T.Rand) stays fixed by the seed; the exploration is
+// over scheduling only, as in stateless model checkers like CHESS.
+
+// SystematicOptions bounds the exploration.
+type SystematicOptions struct {
+	// Config seeds input randomness and labels runs; its Chooser is
+	// overwritten.
+	Config sim.Config
+	// MaxRuns bounds the number of schedules explored (default 10000).
+	MaxRuns int
+	// MaxChoices bounds the per-run decision depth that participates in
+	// backtracking (default 2000); deeper decisions take the first
+	// option. Completeness is relative to this bound.
+	MaxChoices int
+	// StopAtFirstFailure ends the search at the first failing schedule.
+	StopAtFirstFailure bool
+	// PreemptionBound, when > 0, explores only schedules with at most
+	// that many preemptions (a context switch away from a goroutine that
+	// could have kept running) — the CHESS insight that most concurrency
+	// bugs need very few preemptions, which shrinks the schedule space by
+	// orders of magnitude. Zero or negative means unbounded (full DFS).
+	// With a bound, Complete means "complete within the preemption
+	// bound".
+	PreemptionBound int
+}
+
+// SystematicResult summarizes an exploration.
+type SystematicResult struct {
+	// Runs is the number of schedules executed.
+	Runs int
+	// Complete is true when every schedule within the depth bound was
+	// covered (the search tree was exhausted rather than the run budget).
+	Complete bool
+	// Failures counts failing schedules; FirstFailure holds the first
+	// failing run and FailureSchedule the decision sequence reproducing
+	// it (feed it back via ReplaySchedule).
+	Failures        int
+	FirstFailure    *sim.Result
+	FailureSchedule []int
+	// MaxDepth is the deepest decision sequence seen.
+	MaxDepth int
+}
+
+// Systematic explores prog's schedules depth-first.
+func Systematic(prog sim.Program, opts SystematicOptions) *SystematicResult {
+	if opts.MaxRuns <= 0 {
+		opts.MaxRuns = 10000
+	}
+	if opts.MaxChoices <= 0 {
+		opts.MaxChoices = 2000
+	}
+	bound := -1 // unbounded
+	if opts.PreemptionBound > 0 {
+		bound = opts.PreemptionBound
+	}
+	res := &SystematicResult{}
+	var prefix []int
+	for res.Runs < opts.MaxRuns {
+		var chosen, options []int
+		preemptions := 0
+		cfg := opts.Config
+		// The decision index c is a position in a *reordered* option
+		// list with the preferred (non-preempting) option first, so the
+		// leftmost DFS path is the preemption-free schedule and the
+		// preemption budget prunes consistently across replays.
+		cfg.Chooser = func(n, preferred int) int {
+			d := len(chosen)
+			if d >= opts.MaxChoices {
+				if preferred >= 0 {
+					return preferred
+				}
+				return 0
+			}
+			if bound >= 0 && preferred >= 0 && preemptions >= bound {
+				// Out of preemption budget: forced. Recorded with a
+				// single option so replay stays aligned and the DFS
+				// never branches here.
+				chosen = append(chosen, 0)
+				options = append(options, 1)
+				return preferred
+			}
+			c := 0
+			if d < len(prefix) {
+				c = prefix[d]
+			}
+			if c >= n {
+				c = 0
+			}
+			chosen = append(chosen, c)
+			options = append(options, n)
+			actual := c
+			if preferred >= 0 {
+				// Reorder: position 0 = preferred, positions 1..
+				// = the remaining options in index order.
+				switch {
+				case c == 0:
+					actual = preferred
+				case c <= preferred:
+					actual = c - 1
+				default:
+					actual = c
+				}
+				if actual != preferred {
+					preemptions++
+				}
+			}
+			return actual
+		}
+		r := sim.Run(cfg, prog)
+		res.Runs++
+		if len(chosen) > res.MaxDepth {
+			res.MaxDepth = len(chosen)
+		}
+		if r.Failed() {
+			res.Failures++
+			if res.FirstFailure == nil {
+				res.FirstFailure = r
+				res.FailureSchedule = append([]int(nil), chosen...)
+			}
+			if opts.StopAtFirstFailure {
+				return res
+			}
+		}
+		// Backtrack: advance the deepest decision that still has an
+		// untried option; exhausting all of them completes the search.
+		d := len(chosen) - 1
+		for ; d >= 0; d-- {
+			if chosen[d]+1 < options[d] {
+				break
+			}
+		}
+		if d < 0 {
+			res.Complete = true
+			return res
+		}
+		prefix = append(prefix[:0], chosen[:d+1]...)
+		prefix[d] = chosen[d] + 1
+	}
+	return res
+}
+
+// ReplaySchedule re-executes prog under a recorded decision sequence,
+// returning the (deterministic) result — how a failing schedule found by
+// Systematic is reproduced for debugging, typically with Trace enabled.
+func ReplaySchedule(prog sim.Program, cfg sim.Config, schedule []int) *sim.Result {
+	depth := 0
+	cfg.Chooser = func(n, preferred int) int {
+		c := 0
+		if depth < len(schedule) {
+			c = schedule[depth]
+		}
+		depth++
+		if c >= n {
+			c = 0
+		}
+		if preferred >= 0 {
+			switch {
+			case c == 0:
+				return preferred
+			case c <= preferred:
+				return c - 1
+			default:
+				return c
+			}
+		}
+		return c
+	}
+	return sim.Run(cfg, prog)
+}
+
+// VerifyAllSchedules is the patch-verification entry point: it reports
+// whether prog is failure-free on every schedule within the bounds, along
+// with the exploration evidence.
+func VerifyAllSchedules(prog sim.Program, opts SystematicOptions) (bool, *SystematicResult) {
+	res := Systematic(prog, opts)
+	return res.Complete && res.Failures == 0, res
+}

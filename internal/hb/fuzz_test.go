@@ -1,0 +1,37 @@
+package hb
+
+import "testing"
+
+// FuzzJoinLaws exercises the vector-clock lattice laws on fuzz-provided
+// component values (the seed corpus runs under plain `go test`).
+func FuzzJoinLaws(f *testing.F) {
+	f.Add(uint8(1), uint64(3), uint8(2), uint64(7), uint8(1), uint64(5))
+	f.Add(uint8(0), uint64(0), uint8(0), uint64(0), uint8(0), uint64(0))
+	f.Add(uint8(5), uint64(1<<40), uint8(5), uint64(1), uint8(6), uint64(2))
+	f.Fuzz(func(t *testing.T, g1 uint8, c1 uint64, g2 uint8, c2 uint64, g3 uint8, c3 uint64) {
+		a, b := New(), New()
+		a.Set(int(g1), c1)
+		a.Set(int(g3), c3)
+		b.Set(int(g2), c2)
+
+		j := a.Clone()
+		j.Join(b)
+		if !a.Leq(j) || !b.Leq(j) {
+			t.Fatalf("join is not an upper bound: a=%v b=%v j=%v", a, b, j)
+		}
+		// Commutativity.
+		k := b.Clone()
+		k.Join(a)
+		if !j.Leq(k) || !k.Leq(j) {
+			t.Fatalf("join not commutative: %v vs %v", j, k)
+		}
+		// Epoch consistency.
+		e := EpochOf(a, int(g1))
+		if !a.HappensBefore(e) {
+			t.Fatalf("a does not know its own epoch %v", e)
+		}
+		if c2 > 0 && a.Get(int(g2)) == 0 && a.HappensBefore(Epoch{G: int(g2), C: c2}) {
+			t.Fatalf("a claims to know an epoch it never saw")
+		}
+	})
+}

@@ -1,0 +1,103 @@
+// Package hb provides the happens-before machinery shared by the simulated
+// runtime and the data race detector: vector clocks and epochs.
+//
+// The representation follows the FastTrack/ThreadSanitizer model the paper's
+// Section 6.3 describes: every goroutine carries a vector clock, every
+// synchronization object carries the join of the clocks published into it,
+// and individual memory accesses are summarized as epochs (goroutine id @
+// scalar clock) so a detector can store them compactly in shadow words.
+package hb
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// VC is a vector clock mapping goroutine id -> logical clock. The zero value
+// is the empty clock and is ready to use.
+type VC map[int]uint64
+
+// New returns an empty vector clock.
+func New() VC { return make(VC) }
+
+// Get returns the clock component for goroutine g (0 when absent).
+func (vc VC) Get(g int) uint64 { return vc[g] }
+
+// Set assigns the clock component for goroutine g.
+func (vc VC) Set(g int, v uint64) { vc[g] = v }
+
+// Tick increments goroutine g's own component and returns the new value.
+func (vc VC) Tick(g int) uint64 {
+	vc[g]++
+	return vc[g]
+}
+
+// Join merges other into vc, taking the component-wise maximum.
+func (vc VC) Join(other VC) {
+	for g, v := range other {
+		if v > vc[g] {
+			vc[g] = v
+		}
+	}
+}
+
+// Clone returns a deep copy of vc.
+func (vc VC) Clone() VC {
+	out := make(VC, len(vc))
+	for g, v := range vc {
+		out[g] = v
+	}
+	return out
+}
+
+// HappensBefore reports whether an event stamped with epoch e is ordered
+// before the point in time described by vc: that is, whether vc has already
+// observed e.
+func (vc VC) HappensBefore(e Epoch) bool { return vc[e.G] >= e.C }
+
+// Leq reports whether vc <= other component-wise, i.e. every event vc knows
+// about is also known to other.
+func (vc VC) Leq(other VC) bool {
+	for g, v := range vc {
+		if v > other[g] {
+			return false
+		}
+	}
+	return true
+}
+
+// Concurrent reports whether the two clocks are incomparable.
+func Concurrent(a, b VC) bool { return !a.Leq(b) && !b.Leq(a) }
+
+// String renders the clock deterministically, e.g. "{1:3 2:7}".
+func (vc VC) String() string {
+	gs := make([]int, 0, len(vc))
+	for g := range vc {
+		gs = append(gs, g)
+	}
+	sort.Ints(gs)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, g := range gs {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%d:%d", g, vc[g])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Epoch summarizes a single event as goroutine G at scalar clock C. This is
+// the compact per-access stamp a shadow word stores.
+type Epoch struct {
+	G int
+	C uint64
+}
+
+// EpochOf returns the current epoch of goroutine g under clock vc.
+func EpochOf(vc VC, g int) Epoch { return Epoch{G: g, C: vc[g]} }
+
+// String renders the epoch as "g@c".
+func (e Epoch) String() string { return fmt.Sprintf("%d@%d", e.G, e.C) }

@@ -1,0 +1,163 @@
+package hb
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// genVC builds a random small vector clock from a rand source.
+func genVC(r *rand.Rand) VC {
+	vc := New()
+	n := r.Intn(5)
+	for i := 0; i < n; i++ {
+		vc.Set(1+r.Intn(6), uint64(1+r.Intn(40)))
+	}
+	return vc
+}
+
+// quickCfg adapts quick.Check to our generator.
+func quickCfg() *quick.Config {
+	return &quick.Config{MaxCount: 500}
+}
+
+func TestJoinIsUpperBound(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := genVC(r), genVC(r)
+		j := a.Clone()
+		j.Join(b)
+		return a.Leq(j) && b.Leq(j)
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJoinIsLeastUpperBound(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := genVC(r), genVC(r)
+		j := a.Clone()
+		j.Join(b)
+		// Any other upper bound dominates the join.
+		u := a.Clone()
+		u.Join(b)
+		u.Set(1+r.Intn(6), uint64(1+r.Intn(80)))
+		u.Join(j) // make u an upper bound again
+		return j.Leq(u)
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJoinCommutativeAndIdempotent(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := genVC(r), genVC(r)
+		ab := a.Clone()
+		ab.Join(b)
+		ba := b.Clone()
+		ba.Join(a)
+		if !ab.Leq(ba) || !ba.Leq(ab) {
+			return false
+		}
+		aa := a.Clone()
+		aa.Join(a)
+		return aa.Leq(a) && a.Leq(aa)
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLeqIsPartialOrder(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b, c := genVC(r), genVC(r), genVC(r)
+		// reflexive
+		if !a.Leq(a) {
+			return false
+		}
+		// antisymmetric up to equality of maps
+		if a.Leq(b) && b.Leq(a) {
+			for g, v := range a {
+				if v != 0 && b[g] != v {
+					return false
+				}
+			}
+		}
+		// transitive
+		if a.Leq(b) && b.Leq(c) && !a.Leq(c) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentIsSymmetricAndIrreflexive(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := genVC(r), genVC(r)
+		if Concurrent(a, a) {
+			return false
+		}
+		return Concurrent(a, b) == Concurrent(b, a)
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTickMakesStrictlyLater(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := genVC(r)
+		g := 1 + r.Intn(6)
+		before := a.Clone()
+		a.Tick(g)
+		return before.Leq(a) && !a.Leq(before)
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHappensBeforeMatchesEpochComparison(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := genVC(r)
+		g := 1 + r.Intn(6)
+		e := Epoch{G: g, C: uint64(1 + r.Intn(40))}
+		return a.HappensBefore(e) == (a.Get(g) >= e.C)
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	a := New()
+	a.Set(1, 5)
+	b := a.Clone()
+	b.Set(1, 9)
+	if a.Get(1) != 5 {
+		t.Fatalf("clone aliases its source")
+	}
+}
+
+func TestStringDeterministic(t *testing.T) {
+	a := New()
+	a.Set(3, 7)
+	a.Set(1, 2)
+	if got := a.String(); got != "{1:2 3:7}" {
+		t.Fatalf("String() = %q", got)
+	}
+	if got := (Epoch{G: 2, C: 9}).String(); got != "2@9" {
+		t.Fatalf("Epoch.String() = %q", got)
+	}
+}

@@ -1,0 +1,392 @@
+package kernels
+
+import (
+	"goconcbugs/internal/corpus"
+	"goconcbugs/internal/deadlock"
+	"goconcbugs/internal/sim"
+)
+
+// The Chan-class blocking kernels of Table 8 (10 used, 0 detected). "Many of
+// the channel-related blocking bugs are caused by the missing of a send to
+// (or receive from) a channel or closing a channel" (Section 5.1.2). In
+// every kernel the surrounding service keeps running (or exits), so the
+// built-in detector — which needs the whole process asleep — misses all of
+// them; the leak detector flags every one.
+
+func init() {
+	register(Kernel{
+		ID:              "kubernetes-finishreq",
+		App:             corpus.Kubernetes,
+		Issue:           "kubernetes#5316",
+		Behavior:        corpus.Blocking,
+		BlockClass:      deadlock.ClassChan,
+		Figure:          1,
+		InDetectorStudy: true,
+		Description: "Figure 1: finishReq runs fn in a child goroutine " +
+			"that sends its result on an unbuffered channel; when the " +
+			"select takes the timeout case, nobody ever receives and " +
+			"the child blocks forever.",
+		FixDescription: "Make the channel buffered (capacity 1) so the " +
+			"child can always deposit its result (Misc., the paper's " +
+			"unbuffered->buffered strategy).",
+		Buggy:               finishReqProgram(0),
+		Fixed:               finishReqProgram(1),
+		ExpectBuiltinDetect: false,
+	})
+
+	register(Kernel{
+		ID:              "etcd-context-switch",
+		App:             corpus.Etcd,
+		Behavior:        corpus.Blocking,
+		BlockClass:      deadlock.ClassChan,
+		Figure:          6,
+		InDetectorStudy: true,
+		Description: "Figure 6: a cancellable context (and the goroutine " +
+			"attached to it) is created unconditionally, then the " +
+			"variable is re-assigned to a WithTimeout context when a " +
+			"timeout is configured; the first context's goroutine can " +
+			"no longer be reached or cancelled.",
+		FixDescription: "Create exactly one context: WithTimeout when " +
+			"timeout > 0, WithCancel otherwise (Move_s).",
+		Buggy: func(t *sim.T) {
+			root, rootCancel := sim.WithCancel(t, sim.Background(t))
+			_ = rootCancel // the request context outlives this call
+			timeout := sim.Duration(50)
+			// Buggy: the unconditional WithCancel attaches a
+			// propagation goroutine that is orphaned below.
+			hctx, hcancel := sim.WithCancel(t, root)
+			if timeout > 0 {
+				hctx, hcancel = sim.WithTimeout(t, root, timeout)
+			}
+			useRequestContext(t, hctx)
+			hcancel(t)
+		},
+		Fixed: func(t *sim.T) {
+			root, rootCancel := sim.WithCancel(t, sim.Background(t))
+			_ = rootCancel
+			timeout := sim.Duration(50)
+			var hctx *sim.Context
+			var hcancel sim.CancelFunc
+			if timeout > 0 {
+				hctx, hcancel = sim.WithTimeout(t, root, timeout)
+			} else {
+				hctx, hcancel = sim.WithCancel(t, root)
+			}
+			useRequestContext(t, hctx)
+			hcancel(t)
+		},
+	})
+
+	register(Kernel{
+		ID:              "docker-missing-close",
+		App:             corpus.Docker,
+		Behavior:        corpus.Blocking,
+		BlockClass:      deadlock.ClassChan,
+		InDetectorStudy: true,
+		Description: "An event producer returns on an error path without " +
+			"closing its channel, so the draining consumer waits for " +
+			"the next event forever.",
+		FixDescription: "Close the channel on every return path (Add_s).",
+		Buggy:          missingCloseProgram(false),
+		Fixed:          missingCloseProgram(true),
+	})
+
+	register(Kernel{
+		ID:              "grpc-missing-send",
+		App:             corpus.GRPC,
+		Behavior:        corpus.Blocking,
+		BlockClass:      deadlock.ClassChan,
+		InDetectorStudy: true,
+		Description: "A connection handler returns early on a dial error " +
+			"without sending on its error channel; the RPC waiter " +
+			"blocks on the receive forever.",
+		FixDescription: "Send the error before returning (Add_s).",
+		Buggy:          missingSendProgram(false),
+		Fixed:          missingSendProgram(true),
+	})
+
+	register(Kernel{
+		ID:              "cockroachdb-nil-chan",
+		App:             corpus.CockroachDB,
+		Behavior:        corpus.Blocking,
+		BlockClass:      deadlock.ClassChan,
+		InDetectorStudy: true,
+		Description: "A channel is only initialized when a feature flag " +
+			"is on; with the flag off, a worker sends on the nil " +
+			"channel and blocks forever (channels 'can only be used " +
+			"after initialization', Section 2.3).",
+		FixDescription: "Initialize the channel unconditionally (Misc.).",
+		Buggy:          nilChanProgram(false),
+		Fixed:          nilChanProgram(true),
+	})
+
+	register(Kernel{
+		ID:              "kubernetes-select-stuck",
+		App:             corpus.Kubernetes,
+		Behavior:        corpus.Blocking,
+		BlockClass:      deadlock.ClassChan,
+		InDetectorStudy: true,
+		Description: "A watcher selects on an update channel that no " +
+			"producer feeds after a reconfiguration, with no other " +
+			"case to fall through to.",
+		FixDescription: "Add a case on the shutdown channel (Add_s, the " +
+			"paper's 'case with operation on a different channel').",
+		Buggy: func(t *sim.T) {
+			updates := sim.NewChanNamed[int](t, "updates", 0)
+			t.GoNamed("watcher", func(tt *sim.T) {
+				sim.Select(tt, sim.OnRecv(updates, nil)) // stuck
+			})
+			t.Sleep(20) // serve a while, then shut down
+		},
+		Fixed: func(t *sim.T) {
+			updates := sim.NewChanNamed[int](t, "updates", 0)
+			stopCh := sim.NewChanNamed[struct{}](t, "stopCh", 0)
+			t.GoNamed("watcher", func(tt *sim.T) {
+				sim.Select(tt,
+					sim.OnRecv(updates, nil),
+					sim.OnRecv(stopCh, nil),
+				)
+			})
+			t.Sleep(20)
+			stopCh.Close(t)
+		},
+	})
+
+	register(Kernel{
+		ID:              "etcd-double-recv",
+		App:             corpus.Etcd,
+		Behavior:        corpus.Blocking,
+		BlockClass:      deadlock.ClassChan,
+		InDetectorStudy: true,
+		Description: "Two goroutines wait for the same single completion " +
+			"message; only one receive can ever be matched and the " +
+			"other waiter leaks.",
+		FixDescription: "Close the channel instead of sending one value, " +
+			"broadcasting completion to all waiters (Misc.).",
+		Buggy: func(t *sim.T) {
+			ready := sim.NewChanNamed[struct{}](t, "ready", 0)
+			for i := 0; i < 2; i++ {
+				t.GoNamed("waiter", func(tt *sim.T) {
+					ready.Recv(tt)
+				})
+			}
+			t.Sleep(5)
+			ready.Send(t, struct{}{}) // wakes only one waiter
+			t.Sleep(20)
+		},
+		Fixed: func(t *sim.T) {
+			ready := sim.NewChanNamed[struct{}](t, "ready", 0)
+			for i := 0; i < 2; i++ {
+				t.GoNamed("waiter", func(tt *sim.T) {
+					ready.Recv(tt)
+				})
+			}
+			t.Sleep(5)
+			ready.Close(t)
+			t.Sleep(20)
+		},
+	})
+
+	register(Kernel{
+		ID:              "docker-buffered-full",
+		App:             corpus.Docker,
+		Behavior:        corpus.Blocking,
+		BlockClass:      deadlock.ClassChan,
+		InDetectorStudy: true,
+		Description: "A log producer pushes into a fixed buffer while the " +
+			"consumer aborts after an error; once the buffer fills, " +
+			"the producer blocks with no consumer left.",
+		FixDescription: "Drain the channel on the consumer's error path " +
+			"(Add_s).",
+		Buggy: bufferedFullProgram(false),
+		Fixed: bufferedFullProgram(true),
+	})
+
+	register(Kernel{
+		ID:              "grpc-workers-leak",
+		App:             corpus.GRPC,
+		Behavior:        corpus.Blocking,
+		BlockClass:      deadlock.ClassChan,
+		InDetectorStudy: true,
+		Description: "A dispatcher fans three probes out to an unbuffered " +
+			"result channel and returns after the first answer; the " +
+			"two losing probes block on their sends forever (the " +
+			"classic fastest-reply pattern gone wrong).",
+		FixDescription: "Size the buffer to the number of probes (Misc.).",
+		Buggy:          fastestReplyProgram(0),
+		Fixed:          fastestReplyProgram(3),
+	})
+
+	register(Kernel{
+		ID:              "kubernetes-shutdown-missed",
+		App:             corpus.Kubernetes,
+		Behavior:        corpus.Blocking,
+		BlockClass:      deadlock.ClassChan,
+		InDetectorStudy: true,
+		Description: "A periodic syncer selects on its ticker and a stop " +
+			"channel nobody ever closes; when the service winds down " +
+			"the syncer stays parked in the select forever.",
+		FixDescription: "Close the stop channel during shutdown (Add_s).",
+		Buggy:          shutdownProgram(false),
+		Fixed:          shutdownProgram(true),
+	})
+}
+
+// finishReqProgram builds Figure 1's finishReq with the given channel
+// capacity (0 reproduces the bug; 1 is the patch).
+func finishReqProgram(capacity int) sim.Program {
+	return func(t *sim.T) {
+		finishReq := func(tt *sim.T, work, timeout sim.Duration) (int, bool) {
+			ch := sim.NewChanNamed[int](tt, "ch", capacity)
+			tt.GoNamed("handler", func(ct *sim.T) {
+				ct.Work(work) // result := fn()
+				ch.Send(ct, 42)
+			})
+			got, timedOut := 0, false
+			sim.Select(tt,
+				sim.OnRecv(ch, func(v int, ok bool) { got = v }),
+				sim.OnRecv(sim.After(tt, timeout), func(int64, bool) { timedOut = true }),
+			)
+			return got, timedOut
+		}
+		// A short request completes; a slow one trips the timeout and
+		// (in the buggy variant) strands its handler.
+		finishReq(t, 10, 100)
+		finishReq(t, 200, 100)
+		finishReq(t, 100, 100) // both cases ready: runtime picks randomly
+	}
+}
+
+// useRequestContext models the request work of Figure 6's RPC call.
+func useRequestContext(t *sim.T, ctx *sim.Context) {
+	reply := sim.NewChanNamed[int](t, "reply", 1)
+	t.GoNamed("rpc", func(tt *sim.T) {
+		tt.Work(10)
+		reply.Send(tt, 1)
+	})
+	sim.Select(t,
+		sim.OnRecv(reply, nil),
+		sim.OnRecv(ctx.Done(), nil),
+	)
+}
+
+func missingCloseProgram(closeOnError bool) sim.Program {
+	return func(t *sim.T) {
+		events := sim.NewChanNamed[int](t, "events", 0)
+		t.GoNamed("consumer", func(tt *sim.T) {
+			for {
+				if _, ok := events.Recv(tt); !ok {
+					return
+				}
+			}
+		})
+		t.GoNamed("producer", func(tt *sim.T) {
+			for i := 0; i < 3; i++ {
+				events.Send(tt, i)
+			}
+			if failed := true; failed {
+				if closeOnError {
+					events.Close(tt)
+				}
+				return // buggy: consumer keeps waiting
+			}
+		})
+		t.Sleep(100)
+	}
+}
+
+func missingSendProgram(sendOnError bool) sim.Program {
+	return func(t *sim.T) {
+		errCh := sim.NewChanNamed[string](t, "errCh", 0)
+		t.GoNamed("dialer", func(tt *sim.T) {
+			tt.Work(5)
+			if dialFailed := true; dialFailed {
+				if sendOnError {
+					errCh.Send(tt, "dial error")
+				}
+				return
+			}
+			errCh.Send(tt, "")
+		})
+		t.GoNamed("waiter", func(tt *sim.T) {
+			errCh.Recv(tt) // leaks when the dialer skipped its send
+		})
+		t.Sleep(100)
+	}
+}
+
+func nilChanProgram(initialize bool) sim.Program {
+	return func(t *sim.T) {
+		var readyCh sim.Chan[struct{}] // nil until initialized
+		if initialize {
+			readyCh = sim.NewChanNamed[struct{}](t, "readyCh", 1)
+		}
+		t.GoNamed("reporter", func(tt *sim.T) {
+			readyCh.Send(tt, struct{}{}) // send on nil blocks forever
+		})
+		t.Sleep(50)
+	}
+}
+
+func bufferedFullProgram(drainOnError bool) sim.Program {
+	return func(t *sim.T) {
+		logCh := sim.NewChanNamed[int](t, "logCh", 2)
+		t.GoNamed("producer", func(tt *sim.T) {
+			for i := 0; i < 6; i++ {
+				logCh.Send(tt, i)
+			}
+		})
+		t.GoNamed("consumer", func(tt *sim.T) {
+			for i := 0; i < 6; i++ {
+				v, _ := logCh.Recv(tt)
+				if v == 1 { // write error: abort
+					if drainOnError {
+						for j := i + 1; j < 6; j++ {
+							logCh.Recv(tt)
+						}
+					}
+					return
+				}
+			}
+		})
+		t.Sleep(100)
+	}
+}
+
+func fastestReplyProgram(capacity int) sim.Program {
+	return func(t *sim.T) {
+		results := sim.NewChanNamed[int](t, "results", capacity)
+		for i := 0; i < 3; i++ {
+			i := i
+			t.GoNamed("probe", func(tt *sim.T) {
+				tt.Work(sim.Duration(10 * (i + 1)))
+				results.Send(tt, i)
+			})
+		}
+		results.Recv(t) // take the fastest, abandon the rest
+		t.Sleep(100)
+	}
+}
+
+func shutdownProgram(closeStop bool) sim.Program {
+	return func(t *sim.T) {
+		stopCh := sim.NewChanNamed[struct{}](t, "stopCh", 0)
+		tick := sim.NewTickerN(t, 10, 4)
+		t.GoNamed("syncer", func(tt *sim.T) {
+			for {
+				stop := false
+				sim.Select(tt,
+					sim.OnRecv(tick.C, nil),
+					sim.OnRecv(stopCh, func(struct{}, bool) { stop = true }),
+				)
+				if stop {
+					return
+				}
+			}
+		})
+		t.Sleep(25) // serve a couple of sync rounds
+		if closeStop {
+			stopCh.Close(t)
+		}
+	}
+}

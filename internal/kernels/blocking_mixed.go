@@ -1,0 +1,325 @@
+package kernels
+
+import (
+	"goconcbugs/internal/corpus"
+	"goconcbugs/internal/deadlock"
+	"goconcbugs/internal/sim"
+)
+
+// The mixed-primitive ("Chan w/") and messaging-library blocking kernels of
+// Table 8 (3 + 1 used; BoltDB#240 is the one detected because it stalls the
+// whole process), plus the figure bugs outside the Table 8 set: Figure 5's
+// WaitGroup bug (Docker#25384), the Go-specific RWMutex priority deadlock,
+// and a lost Cond signal.
+
+func init() {
+	register(Kernel{
+		ID:                  "boltdb-240-chan-mutex",
+		App:                 corpus.BoltDB,
+		Issue:               "boltdb#240",
+		Behavior:            corpus.Blocking,
+		BlockClass:          deadlock.ClassChanWith,
+		Figure:              7,
+		InDetectorStudy:     true,
+		ExpectBuiltinDetect: true,
+		Description: "Figure 7: goroutine1 blocks sending a request while " +
+			"holding the mutex that goroutine2 needs before it can " +
+			"receive; the circular wait spans a channel and a lock. " +
+			"Both goroutines are the whole program, so the built-in " +
+			"detector fires.",
+		FixDescription: "Give the send a select with a default branch so " +
+			"it cannot block under the lock (Add_s).",
+		Buggy: func(t *sim.T) {
+			m := sim.NewMutex(t, "m")
+			ch := sim.NewChanNamed[int](t, "ch", 0)
+			t.GoNamed("goroutine1", func(tt *sim.T) {
+				m.Lock(tt)
+				ch.Send(tt, 1) // blocks holding m
+				m.Unlock(tt)
+			})
+			t.Sleep(5)
+			m.Lock(t) // blocks: goroutine1 holds m
+			ch.Recv(t)
+			m.Unlock(t)
+		},
+		Fixed: func(t *sim.T) {
+			m := sim.NewMutex(t, "m")
+			ch := sim.NewChanNamed[int](t, "ch", 0)
+			t.GoNamed("goroutine1", func(tt *sim.T) {
+				m.Lock(tt)
+				sim.Select(tt,
+					sim.OnSend(ch, 1, nil),
+					sim.Default(nil), // drop rather than block
+				)
+				m.Unlock(tt)
+			})
+			t.Sleep(5)
+			m.Lock(t)
+			sim.Select(t, sim.OnRecv(ch, nil), sim.Default(nil))
+			m.Unlock(t)
+		},
+	})
+
+	register(Kernel{
+		ID:              "docker-chan-waitgroup",
+		App:             corpus.Docker,
+		Behavior:        corpus.Blocking,
+		BlockClass:      deadlock.ClassChanWith,
+		InDetectorStudy: true,
+		Description: "A collector waits on a WaitGroup whose last worker " +
+			"is blocked sending into an unbuffered channel the " +
+			"collector only drains after Wait returns — a channel/" +
+			"WaitGroup circular wait behind a live daemon.",
+		FixDescription: "Drain the channel in a separate goroutine " +
+			"spawned before Wait (Move_s).",
+		Buggy: func(t *sim.T) {
+			wg := sim.NewWaitGroup(t, "wg")
+			out := sim.NewChanNamed[int](t, "out", 0)
+			wg.Add(t, 1)
+			t.GoNamed("worker", func(tt *sim.T) {
+				out.Send(tt, 7) // blocks: nobody receives yet
+				wg.Done(tt)
+			})
+			done := sim.NewChan[struct{}](t, 1)
+			t.GoNamed("collector", func(tt *sim.T) {
+				wg.Wait(tt) // blocks: Done never runs
+				out.Recv(tt)
+				done.Send(tt, struct{}{})
+			})
+			waitOrTimeout(t, done, 500)
+		},
+		Fixed: func(t *sim.T) {
+			wg := sim.NewWaitGroup(t, "wg")
+			out := sim.NewChanNamed[int](t, "out", 0)
+			wg.Add(t, 1)
+			t.GoNamed("worker", func(tt *sim.T) {
+				out.Send(tt, 7)
+				wg.Done(tt)
+			})
+			done := sim.NewChan[struct{}](t, 1)
+			t.GoNamed("drainer", func(tt *sim.T) { out.Recv(tt) })
+			t.GoNamed("collector", func(tt *sim.T) {
+				wg.Wait(tt)
+				done.Send(tt, struct{}{})
+			})
+			if !waitOrTimeout(t, done, 500) {
+				t.Fail("fixed variant timed out")
+			}
+		},
+	})
+
+	register(Kernel{
+		ID:              "etcd-chan-lock-live",
+		App:             corpus.Etcd,
+		Behavior:        corpus.Blocking,
+		BlockClass:      deadlock.ClassChanWith,
+		InDetectorStudy: true,
+		Description: "The raft processor blocks sending a snapshot while " +
+			"holding the replica mutex; the applier blocks on that " +
+			"mutex; the node's heartbeat loop keeps running, hiding " +
+			"the pair from the built-in detector.",
+		FixDescription: "Move the channel send out of the critical " +
+			"section (Move_s).",
+		Buggy: func(t *sim.T) {
+			mu := sim.NewMutex(t, "replica.mu")
+			snaps := sim.NewChanNamed[int](t, "snaps", 0)
+			t.GoNamed("raft", func(tt *sim.T) {
+				mu.Lock(tt)
+				snaps.Send(tt, 1) // blocks holding replica.mu
+				mu.Unlock(tt)
+			})
+			t.GoNamed("applier", func(tt *sim.T) {
+				tt.Sleep(5)
+				mu.Lock(tt) // blocks
+				mu.Unlock(tt)
+				snaps.Recv(tt)
+			})
+			heartbeat := sim.NewTickerN(t, 10, 5)
+			for i := 0; i < 4; i++ {
+				heartbeat.C.Recv(t)
+			}
+			heartbeat.Stop(t)
+		},
+		Fixed: func(t *sim.T) {
+			mu := sim.NewMutex(t, "replica.mu")
+			snaps := sim.NewChanNamed[int](t, "snaps", 0)
+			t.GoNamed("raft", func(tt *sim.T) {
+				mu.Lock(tt)
+				mu.Unlock(tt)
+				snaps.Send(tt, 1) // send outside the lock
+			})
+			t.GoNamed("applier", func(tt *sim.T) {
+				tt.Sleep(5)
+				mu.Lock(tt)
+				mu.Unlock(tt)
+				snaps.Recv(tt)
+			})
+			heartbeat := sim.NewTickerN(t, 10, 5)
+			for i := 0; i < 4; i++ {
+				heartbeat.C.Recv(t)
+			}
+			heartbeat.Stop(t)
+		},
+	})
+
+	register(Kernel{
+		ID:              "docker-pipe-unclosed",
+		App:             corpus.Docker,
+		Behavior:        corpus.Blocking,
+		BlockClass:      deadlock.ClassMessagingLib,
+		InDetectorStudy: true,
+		Description: "A layer download streams through a Pipe; the reader " +
+			"aborts after the first chunk without closing its end, " +
+			"leaving the writer blocked in Pipe.Write forever " +
+			"(Section 5.1.2's messaging-library category).",
+		FixDescription: "Close the reader on every return path so the " +
+			"writer's next Write fails fast (Add_s).",
+		Buggy: pipeProgram(false),
+		Fixed: pipeProgram(true),
+	})
+
+	// ----- Figure bugs outside the Table 8 reproduction set -----
+
+	register(Kernel{
+		ID:         "docker-25384-waitgroup",
+		App:        corpus.Docker,
+		Issue:      "docker#25384",
+		Behavior:   corpus.Blocking,
+		BlockClass: deadlock.ClassWait,
+		Figure:     5,
+		Description: "Figure 5: Wait() sits inside the plugin loop, so " +
+			"the first iteration blocks waiting for len(pm.plugins) " +
+			"Done() calls while the later goroutines that would call " +
+			"Done() have not even been created.",
+		FixDescription: "Move Wait() out of the loop (Move_s).",
+		Buggy: func(t *sim.T) {
+			plugins := []int{1, 2, 3}
+			group := sim.NewWaitGroup(t, "group")
+			group.Add(t, len(plugins))
+			for range plugins {
+				t.GoNamed("plugin", func(tt *sim.T) {
+					tt.Work(5)
+					group.Done(tt)
+				})
+				group.Wait(t) // buggy: inside the loop
+			}
+		},
+		Fixed: func(t *sim.T) {
+			plugins := []int{1, 2, 3}
+			group := sim.NewWaitGroup(t, "group")
+			group.Add(t, len(plugins))
+			for range plugins {
+				t.GoNamed("plugin", func(tt *sim.T) {
+					tt.Work(5)
+					group.Done(tt)
+				})
+			}
+			group.Wait(t)
+		},
+	})
+
+	register(Kernel{
+		ID:         "cockroachdb-rwmutex-priority",
+		App:        corpus.CockroachDB,
+		Behavior:   corpus.Blocking,
+		BlockClass: deadlock.ClassRWMutex,
+		Description: "Section 5.1.1's Go-specific RWMutex bug: goroutine A " +
+			"read-locks twice with goroutine B's write-lock request " +
+			"arriving in between; Go's writer priority blocks A's " +
+			"second RLock behind B, and B behind A's first RLock.",
+		FixDescription: "Hold a single read lock across the nested call " +
+			"(Rm_s).",
+		Buggy: func(t *sim.T) {
+			rw := sim.NewRWMutex(t, "index.rw")
+			t.GoNamed("thA", func(tt *sim.T) {
+				rw.RLock(tt)
+				tt.Sleep(10) // B's Lock lands here
+				rw.RLock(tt) // blocked behind the waiting writer
+				rw.RUnlock(tt)
+				rw.RUnlock(tt)
+			})
+			t.GoNamed("thB", func(tt *sim.T) {
+				tt.Sleep(5)
+				rw.Lock(tt)
+				rw.Unlock(tt)
+			})
+			t.Sleep(100)
+		},
+		Fixed: func(t *sim.T) {
+			rw := sim.NewRWMutex(t, "index.rw")
+			t.GoNamed("thA", func(tt *sim.T) {
+				rw.RLock(tt)
+				tt.Sleep(10)
+				// The nested helper no longer re-acquires the lock.
+				rw.RUnlock(tt)
+			})
+			t.GoNamed("thB", func(tt *sim.T) {
+				tt.Sleep(5)
+				rw.Lock(tt)
+				rw.Unlock(tt)
+			})
+			t.Sleep(100)
+		},
+	})
+
+	register(Kernel{
+		ID:         "docker-cond-missing-signal",
+		App:        corpus.Docker,
+		Behavior:   corpus.Blocking,
+		BlockClass: deadlock.ClassWait,
+		Description: "A flow-control waiter calls Cond.Wait() but the " +
+			"only Signal() sits on a path the connection teardown " +
+			"skips — one of the two Cond bugs in Section 5.1.1's Wait " +
+			"category.",
+		FixDescription: "Signal on the teardown path too (Add_s).",
+		Buggy:          condProgram(false),
+		Fixed:          condProgram(true),
+	})
+}
+
+func pipeProgram(closeReader bool) sim.Program {
+	return func(t *sim.T) {
+		r, w := sim.NewPipe(t, "layer")
+		t.GoNamed("downloader", func(tt *sim.T) {
+			for i := 0; i < 3; i++ {
+				if _, err := w.Write(tt, []byte{byte(i)}); err != nil {
+					return
+				}
+			}
+			w.Close(tt)
+		})
+		t.GoNamed("extractor", func(tt *sim.T) {
+			r.Read(tt)
+			// Checksum mismatch: abort.
+			if closeReader {
+				r.Close(tt)
+			}
+		})
+		t.Sleep(100)
+	}
+}
+
+func condProgram(signalOnTeardown bool) sim.Program {
+	return func(t *sim.T) {
+		mu := sim.NewMutex(t, "quota.mu")
+		cond := sim.NewCond(t, mu, "quota.cond")
+		quota := sim.NewVarInit(t, "quota", 0)
+		t.GoNamed("sender", func(tt *sim.T) {
+			mu.Lock(tt)
+			for quota.Load(tt) == 0 {
+				cond.Wait(tt) // leaks when nobody signals
+			}
+			mu.Unlock(tt)
+		})
+		t.GoNamed("teardown", func(tt *sim.T) {
+			tt.Sleep(10)
+			mu.Lock(tt)
+			quota.Store(tt, 1)
+			mu.Unlock(tt)
+			if signalOnTeardown {
+				cond.Signal(tt)
+			}
+		})
+		t.Sleep(100)
+	}
+}

@@ -1,0 +1,377 @@
+package kernels
+
+import (
+	"goconcbugs/internal/corpus"
+	"goconcbugs/internal/deadlock"
+	"goconcbugs/internal/sim"
+)
+
+// The Mutex-class blocking kernels of Table 8 (7 used, 1 detected). All of
+// them are "traditional bugs" in the paper's terms — double locking,
+// conflicting lock order, forgotten unlocks (Section 5.1.1) — and only
+// BoltDB#392 stops the whole program, which is why it is the only one the
+// built-in detector catches.
+
+// waitOrTimeout blocks until done delivers or d elapses; it returns whether
+// done delivered. This is the bounded wait real servers wrap around
+// potentially-stuck work.
+func waitOrTimeout(t *sim.T, done sim.Chan[struct{}], d sim.Duration) bool {
+	ok := false
+	sim.Select(t,
+		sim.OnRecv(done, func(struct{}, bool) { ok = true }),
+		sim.OnRecv(sim.After(t, d), nil),
+	)
+	return ok
+}
+
+func init() {
+	register(Kernel{
+		ID:                  "boltdb-392-double-lock",
+		App:                 corpus.BoltDB,
+		Issue:               "boltdb#392",
+		Behavior:            corpus.Blocking,
+		BlockClass:          deadlock.ClassMutex,
+		InDetectorStudy:     true,
+		ExpectBuiltinDetect: true,
+		Description: "The main goroutine re-acquires a mutex it already " +
+			"holds inside a helper it calls with the lock held; Go " +
+			"locks are not reentrant, so the whole program stops — " +
+			"the one Mutex bug the built-in detector reports.",
+		FixDescription: "Remove the inner lock acquisition (Rm_s).",
+		Buggy: func(t *sim.T) {
+			db := sim.NewMutex(t, "db.metalock")
+			update := func(tt *sim.T) {
+				db.Lock(tt) // double lock: blocks forever
+				db.Unlock(tt)
+			}
+			db.Lock(t)
+			update(t)
+			db.Unlock(t)
+		},
+		Fixed: func(t *sim.T) {
+			db := sim.NewMutex(t, "db.metalock")
+			update := func(tt *sim.T) {
+				// The patch removed the re-acquisition; the caller
+				// already holds the lock.
+			}
+			db.Lock(t)
+			update(t)
+			db.Unlock(t)
+		},
+	})
+
+	register(Kernel{
+		ID:              "docker-abba-order",
+		App:             corpus.Docker,
+		Behavior:        corpus.Blocking,
+		BlockClass:      deadlock.ClassMutex,
+		InDetectorStudy: true,
+		Description: "Two goroutines acquire the container lock and the " +
+			"daemon lock in opposite orders; under the adversarial " +
+			"interleaving both block. The serving main goroutine " +
+			"times out and moves on, so the built-in detector — " +
+			"which needs *every* goroutine asleep — stays silent.",
+		FixDescription: "Make both paths take the locks in the same " +
+			"order (Move_s).",
+		Buggy: func(t *sim.T) {
+			a := sim.NewMutex(t, "daemon.mu")
+			b := sim.NewMutex(t, "container.mu")
+			done := sim.NewChan[struct{}](t, 2)
+			t.GoNamed("commit", func(tt *sim.T) {
+				a.Lock(tt)
+				tt.Sleep(5) // widen the window
+				b.Lock(tt)
+				b.Unlock(tt)
+				a.Unlock(tt)
+				done.Send(tt, struct{}{})
+			})
+			t.GoNamed("inspect", func(tt *sim.T) {
+				b.Lock(tt)
+				tt.Sleep(5)
+				a.Lock(tt)
+				a.Unlock(tt)
+				b.Unlock(tt)
+				done.Send(tt, struct{}{})
+			})
+			waitOrTimeout(t, done, 1000)
+			waitOrTimeout(t, done, 1000)
+		},
+		Fixed: func(t *sim.T) {
+			a := sim.NewMutex(t, "daemon.mu")
+			b := sim.NewMutex(t, "container.mu")
+			done := sim.NewChan[struct{}](t, 2)
+			t.GoNamed("commit", func(tt *sim.T) {
+				a.Lock(tt)
+				tt.Sleep(5)
+				b.Lock(tt)
+				b.Unlock(tt)
+				a.Unlock(tt)
+				done.Send(tt, struct{}{})
+			})
+			t.GoNamed("inspect", func(tt *sim.T) {
+				a.Lock(tt) // same order as commit
+				tt.Sleep(5)
+				b.Lock(tt)
+				b.Unlock(tt)
+				a.Unlock(tt)
+				done.Send(tt, struct{}{})
+			})
+			if !waitOrTimeout(t, done, 1000) || !waitOrTimeout(t, done, 1000) {
+				t.Fail("fixed variant timed out")
+			}
+		},
+	})
+
+	register(Kernel{
+		ID:              "kubernetes-missing-unlock",
+		App:             corpus.Kubernetes,
+		Behavior:        corpus.Blocking,
+		BlockClass:      deadlock.ClassMutex,
+		InDetectorStudy: true,
+		Description: "An error path returns without unlocking the pod " +
+			"store; the next worker blocks forever on Lock while the " +
+			"controller keeps running.",
+		FixDescription: "Add the missing unlock on the error path (Add_s).",
+		Buggy: func(t *sim.T) {
+			mu := sim.NewMutex(t, "store.mu")
+			done := sim.NewChan[struct{}](t, 2)
+			work := func(tt *sim.T, fail bool) {
+				mu.Lock(tt)
+				if fail {
+					return // forgot mu.Unlock
+				}
+				mu.Unlock(tt)
+			}
+			t.GoNamed("worker1", func(tt *sim.T) {
+				work(tt, true)
+				done.Send(tt, struct{}{})
+			})
+			t.GoNamed("worker2", func(tt *sim.T) {
+				tt.Sleep(10)
+				work(tt, false) // blocks forever
+				done.Send(tt, struct{}{})
+			})
+			waitOrTimeout(t, done, 1000)
+			waitOrTimeout(t, done, 1000)
+		},
+		Fixed: func(t *sim.T) {
+			mu := sim.NewMutex(t, "store.mu")
+			done := sim.NewChan[struct{}](t, 2)
+			work := func(tt *sim.T, fail bool) {
+				mu.Lock(tt)
+				if fail {
+					mu.Unlock(tt) // the patch
+					return
+				}
+				mu.Unlock(tt)
+			}
+			t.GoNamed("worker1", func(tt *sim.T) {
+				work(tt, true)
+				done.Send(tt, struct{}{})
+			})
+			t.GoNamed("worker2", func(tt *sim.T) {
+				tt.Sleep(10)
+				work(tt, false)
+				done.Send(tt, struct{}{})
+			})
+			if !waitOrTimeout(t, done, 1000) || !waitOrTimeout(t, done, 1000) {
+				t.Fail("fixed variant timed out")
+			}
+		},
+	})
+
+	register(Kernel{
+		ID:              "cockroachdb-double-lock-helper",
+		App:             corpus.CockroachDB,
+		Behavior:        corpus.Blocking,
+		BlockClass:      deadlock.ClassMutex,
+		InDetectorStudy: true,
+		Description: "A replica method takes the store lock and then calls " +
+			"a helper that also takes it — double locking inside a " +
+			"worker goroutine while the main goroutine keeps serving.",
+		FixDescription: "Call the lock-free variant of the helper from " +
+			"the locked context (Rm_s).",
+		Buggy: func(t *sim.T) {
+			mu := sim.NewMutex(t, "store.mu")
+			done := sim.NewChan[struct{}](t, 1)
+			getLocked := func(tt *sim.T) {
+				mu.Lock(tt) // double lock
+				mu.Unlock(tt)
+			}
+			t.GoNamed("replica", func(tt *sim.T) {
+				mu.Lock(tt)
+				getLocked(tt)
+				mu.Unlock(tt)
+				done.Send(tt, struct{}{})
+			})
+			waitOrTimeout(t, done, 1000)
+		},
+		Fixed: func(t *sim.T) {
+			mu := sim.NewMutex(t, "store.mu")
+			done := sim.NewChan[struct{}](t, 1)
+			getRLocked := func(tt *sim.T) { /* caller holds mu */ }
+			t.GoNamed("replica", func(tt *sim.T) {
+				mu.Lock(tt)
+				getRLocked(tt)
+				mu.Unlock(tt)
+				done.Send(tt, struct{}{})
+			})
+			if !waitOrTimeout(t, done, 1000) {
+				t.Fail("fixed variant timed out")
+			}
+		},
+	})
+
+	register(Kernel{
+		ID:              "grpc-abba-under-server",
+		App:             corpus.GRPC,
+		Behavior:        corpus.Blocking,
+		BlockClass:      deadlock.ClassMutex,
+		InDetectorStudy: true,
+		Description: "Connection teardown and stream creation take the " +
+			"transport and stream locks in opposite orders while the " +
+			"accept loop keeps running; the deadlocked pair leaks " +
+			"behind a live server.",
+		FixDescription: "Release the transport lock before taking the " +
+			"stream lock (Move_s).",
+		Buggy: func(t *sim.T) {
+			transport := sim.NewMutex(t, "transport.mu")
+			stream := sim.NewMutex(t, "stream.mu")
+			t.GoNamed("teardown", func(tt *sim.T) {
+				transport.Lock(tt)
+				tt.Sleep(5)
+				stream.Lock(tt)
+				stream.Unlock(tt)
+				transport.Unlock(tt)
+			})
+			t.GoNamed("newstream", func(tt *sim.T) {
+				stream.Lock(tt)
+				tt.Sleep(5)
+				transport.Lock(tt)
+				transport.Unlock(tt)
+				stream.Unlock(tt)
+			})
+			// The accept loop keeps the process busy.
+			tick := sim.NewTickerN(t, 20, 8)
+			for i := 0; i < 6; i++ {
+				tick.C.Recv(t)
+			}
+			tick.Stop(t)
+		},
+		Fixed: func(t *sim.T) {
+			transport := sim.NewMutex(t, "transport.mu")
+			stream := sim.NewMutex(t, "stream.mu")
+			done := sim.NewChan[struct{}](t, 2)
+			t.GoNamed("teardown", func(tt *sim.T) {
+				transport.Lock(tt)
+				tt.Sleep(5)
+				transport.Unlock(tt) // release before the next lock
+				stream.Lock(tt)
+				stream.Unlock(tt)
+				done.Send(tt, struct{}{})
+			})
+			t.GoNamed("newstream", func(tt *sim.T) {
+				stream.Lock(tt)
+				tt.Sleep(5)
+				stream.Unlock(tt)
+				transport.Lock(tt)
+				transport.Unlock(tt)
+				done.Send(tt, struct{}{})
+			})
+			if !waitOrTimeout(t, done, 1000) || !waitOrTimeout(t, done, 1000) {
+				t.Fail("fixed variant timed out")
+			}
+		},
+	})
+
+	register(Kernel{
+		ID:              "docker-unlock-skipped-iteration",
+		App:             corpus.Docker,
+		Behavior:        corpus.Blocking,
+		BlockClass:      deadlock.ClassMutex,
+		InDetectorStudy: true,
+		Description: "A loop takes the lock each iteration but a `continue` " +
+			"path skips the unlock, so the second iteration self-blocks.",
+		FixDescription: "Move the unlock before the continue (Move_s).",
+		Buggy: func(t *sim.T) {
+			mu := sim.NewMutex(t, "graph.mu")
+			done := sim.NewChan[struct{}](t, 1)
+			t.GoNamed("scanner", func(tt *sim.T) {
+				for i := 0; i < 3; i++ {
+					mu.Lock(tt)
+					if i == 0 {
+						continue // forgot mu.Unlock
+					}
+					mu.Unlock(tt)
+				}
+				done.Send(tt, struct{}{})
+			})
+			waitOrTimeout(t, done, 1000)
+		},
+		Fixed: func(t *sim.T) {
+			mu := sim.NewMutex(t, "graph.mu")
+			done := sim.NewChan[struct{}](t, 1)
+			t.GoNamed("scanner", func(tt *sim.T) {
+				for i := 0; i < 3; i++ {
+					mu.Lock(tt)
+					if i == 0 {
+						mu.Unlock(tt)
+						continue
+					}
+					mu.Unlock(tt)
+				}
+				done.Send(tt, struct{}{})
+			})
+			if !waitOrTimeout(t, done, 1000) {
+				t.Fail("fixed variant timed out")
+			}
+		},
+	})
+
+	register(Kernel{
+		ID:              "cockroachdb-holder-exits",
+		App:             corpus.CockroachDB,
+		Behavior:        corpus.Blocking,
+		BlockClass:      deadlock.ClassMutex,
+		InDetectorStudy: true,
+		Description: "A goroutine exits while still holding the gossip " +
+			"lock (its unlock was behind a condition that never held), " +
+			"starving every later acquirer.",
+		FixDescription: "Add a deferred unlock (Add_s).",
+		Buggy: func(t *sim.T) {
+			mu := sim.NewMutex(t, "gossip.mu")
+			done := sim.NewChan[struct{}](t, 1)
+			t.GoNamed("bootstrap", func(tt *sim.T) {
+				mu.Lock(tt)
+				connected := false
+				if connected {
+					mu.Unlock(tt) // never reached
+				}
+			})
+			t.GoNamed("client", func(tt *sim.T) {
+				tt.Sleep(10)
+				mu.Lock(tt) // blocks forever
+				mu.Unlock(tt)
+				done.Send(tt, struct{}{})
+			})
+			waitOrTimeout(t, done, 1000)
+		},
+		Fixed: func(t *sim.T) {
+			mu := sim.NewMutex(t, "gossip.mu")
+			done := sim.NewChan[struct{}](t, 1)
+			t.GoNamed("bootstrap", func(tt *sim.T) {
+				mu.Lock(tt)
+				mu.Unlock(tt) // deferred unlock in the patch
+			})
+			t.GoNamed("client", func(tt *sim.T) {
+				tt.Sleep(10)
+				mu.Lock(tt)
+				mu.Unlock(tt)
+				done.Send(tt, struct{}{})
+			})
+			if !waitOrTimeout(t, done, 1000) {
+				t.Fail("fixed variant timed out")
+			}
+		},
+	})
+}

@@ -1,0 +1,121 @@
+// Package kernels contains runnable reproductions of the concurrency bugs
+// the paper studied.
+//
+// Each Kernel distills one bug into a pair of sim programs: Buggy encodes
+// the synchronization structure of the original buggy code (for the bugs the
+// paper shows in Figures 1 and 5–12, often literally that code), and Fixed
+// applies the patch the developers landed. Running Buggy under the detectors
+// of packages deadlock and race regenerates the paper's Tables 8 and 12;
+// running Fixed demonstrates the patch.
+//
+// The 21 blocking kernels with InDetectorStudy set are the Table 8 set
+// (root-cause mix: Mutex 7, Chan 10, Chan w/ 3, Messaging libraries 1); the
+// 20 non-blocking ones are the Table 12 set (traditional 13, anonymous
+// function 4, WaitGroup 1, lib 1, chan 1). Additional kernels reproduce
+// figure bugs outside those sets (e.g. Figure 5's Docker#25384, a Wait-class
+// bug Table 8 did not include).
+package kernels
+
+import (
+	"fmt"
+	"sort"
+
+	"goconcbugs/internal/corpus"
+	"goconcbugs/internal/deadlock"
+	"goconcbugs/internal/sim"
+)
+
+// Kernel is one reproduced bug.
+type Kernel struct {
+	// ID is stable and unique, e.g. "kubernetes-finishreq".
+	ID string
+	// App is the application the bug came from.
+	App corpus.App
+	// Issue is the upstream issue/PR number when the paper names one.
+	Issue string
+	// Behavior places the bug on the taxonomy's first dimension.
+	Behavior corpus.Behavior
+	// BlockClass is the Table 6/8 root-cause class (blocking bugs).
+	BlockClass deadlock.BlockClass
+	// NBCause is the Table 9/12 root-cause class (non-blocking bugs).
+	NBCause corpus.NonBlockingCause
+	// Figure is the paper figure showing this bug, 0 if none.
+	Figure int
+	// InDetectorStudy marks membership in the Table 8 / Table 12
+	// reproduction sets.
+	InDetectorStudy bool
+	// Description explains the bug; FixDescription the landed patch.
+	Description    string
+	FixDescription string
+	// Buggy and Fixed are the two program variants.
+	Buggy sim.Program
+	Fixed sim.Program
+	// MaxSteps overrides the default step budget when non-zero (server
+	// kernels that must hit the step limit set this low).
+	MaxSteps int64
+	// ExpectBuiltinDetect records the paper-reported built-in detector
+	// verdict (Table 8); ExpectRaceDetect the race detector verdict
+	// (Table 12). Benches compare these expectations with measurements.
+	ExpectBuiltinDetect bool
+	ExpectRaceDetect    bool
+}
+
+// Config returns the sim configuration for running this kernel.
+func (k Kernel) Config(seed int64) sim.Config {
+	return sim.Config{Seed: seed, MaxSteps: k.MaxSteps, Name: k.ID}
+}
+
+var registry []Kernel
+
+func register(k Kernel) {
+	if k.Buggy == nil || k.Fixed == nil {
+		panic(fmt.Sprintf("kernel %s missing a variant", k.ID))
+	}
+	registry = append(registry, k)
+}
+
+// All returns every kernel, sorted by ID.
+func All() []Kernel {
+	out := make([]Kernel, len(registry))
+	copy(out, registry)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Blocking returns the blocking kernels, sorted by ID.
+func Blocking() []Kernel { return filter(func(k Kernel) bool { return k.Behavior == corpus.Blocking }) }
+
+// NonBlocking returns the non-blocking kernels, sorted by ID.
+func NonBlocking() []Kernel {
+	return filter(func(k Kernel) bool { return k.Behavior == corpus.NonBlocking })
+}
+
+// DeadlockStudySet returns the 21 blocking kernels of Table 8.
+func DeadlockStudySet() []Kernel {
+	return filter(func(k Kernel) bool { return k.Behavior == corpus.Blocking && k.InDetectorStudy })
+}
+
+// RaceStudySet returns the 20 non-blocking kernels of Table 12.
+func RaceStudySet() []Kernel {
+	return filter(func(k Kernel) bool { return k.Behavior == corpus.NonBlocking && k.InDetectorStudy })
+}
+
+// ByID looks a kernel up by its ID.
+func ByID(id string) (Kernel, bool) {
+	for _, k := range registry {
+		if k.ID == id {
+			return k, true
+		}
+	}
+	return Kernel{}, false
+}
+
+func filter(keep func(Kernel) bool) []Kernel {
+	var out []Kernel
+	for _, k := range All() {
+		if keep(k) {
+			out = append(out, k)
+		}
+	}
+	return out
+}

@@ -1,0 +1,220 @@
+package kernels
+
+import (
+	"testing"
+
+	"goconcbugs/internal/corpus"
+	"goconcbugs/internal/deadlock"
+	"goconcbugs/internal/explore"
+	"goconcbugs/internal/sim"
+)
+
+const testRuns = 100
+
+func TestRegistryShape(t *testing.T) {
+	if got := len(DeadlockStudySet()); got != 21 {
+		t.Errorf("Table 8 set has %d kernels, want 21", got)
+	}
+	if got := len(RaceStudySet()); got != 20 {
+		t.Errorf("Table 12 set has %d kernels, want 20", got)
+	}
+	seen := map[string]bool{}
+	for _, k := range All() {
+		if seen[k.ID] {
+			t.Errorf("duplicate kernel id %s", k.ID)
+		}
+		seen[k.ID] = true
+	}
+}
+
+func TestTable8CategoryMix(t *testing.T) {
+	want := map[deadlock.BlockClass]int{
+		deadlock.ClassMutex:        7,
+		deadlock.ClassChan:         10,
+		deadlock.ClassChanWith:     3,
+		deadlock.ClassMessagingLib: 1,
+	}
+	got := map[deadlock.BlockClass]int{}
+	for _, k := range DeadlockStudySet() {
+		got[k.BlockClass]++
+	}
+	for c, n := range want {
+		if got[c] != n {
+			t.Errorf("class %s: %d kernels, want %d", c, got[c], n)
+		}
+	}
+}
+
+func TestTable12CategoryMix(t *testing.T) {
+	want := map[corpus.NonBlockingCause]int{
+		corpus.NBTraditional: 13,
+		corpus.NBAnonymous:   4,
+		corpus.NBWaitGroup:   1,
+		corpus.NBLib:         0, // the lib slot in Table 12 is the time library
+		corpus.NBMsgLib:      1,
+		corpus.NBChan:        1,
+	}
+	got := map[corpus.NonBlockingCause]int{}
+	for _, k := range RaceStudySet() {
+		got[k.NBCause]++
+	}
+	for c, n := range want {
+		if got[c] != n {
+			t.Errorf("cause %s: %d kernels, want %d", c, got[c], n)
+		}
+	}
+}
+
+// TestBuggyVariantsManifest: each buggy kernel must misbehave on at least
+// one seed within the study protocol's 100 runs.
+func TestBuggyVariantsManifest(t *testing.T) {
+	for _, k := range All() {
+		k := k
+		t.Run(k.ID, func(t *testing.T) {
+			// Non-blocking bugs that are pure data races have no
+			// functional oracle; the race detector is how they are
+			// observed, as in the paper's protocol.
+			st := explore.Run(k.Buggy, explore.Options{
+				Runs:     testRuns,
+				Config:   k.Config(0),
+				WithRace: k.Behavior == corpus.NonBlocking,
+			})
+			if st.Manifested == 0 && st.RaceDetectedRuns == 0 {
+				t.Fatalf("buggy variant never manifested in %d runs", testRuns)
+			}
+		})
+	}
+}
+
+// TestFixedVariantsClean: the landed patch must remove the misbehavior on
+// every seed.
+func TestFixedVariantsClean(t *testing.T) {
+	for _, k := range All() {
+		k := k
+		t.Run(k.ID, func(t *testing.T) {
+			st := explore.Run(k.Fixed, explore.Options{
+				Runs:   testRuns,
+				Config: k.Config(0),
+			})
+			if st.Manifested != 0 {
+				t.Fatalf("fixed variant manifested %d/%d: leak=%q panic=%q check=%q",
+					st.Manifested, testRuns, st.SampleLeak, st.SamplePanic, st.SampleCheckFail)
+			}
+		})
+	}
+}
+
+// TestBlockingManifestsAsBlocking: blocking kernels must leak or deadlock,
+// and the built-in detector verdict must match the paper's Table 8.
+func TestBlockingManifestsAsBlocking(t *testing.T) {
+	for _, k := range DeadlockStudySet() {
+		k := k
+		t.Run(k.ID, func(t *testing.T) {
+			res := sim.Run(k.Config(1), k.Buggy)
+			builtin := deadlock.Builtin{}.Detect(res)
+			leak := deadlock.Leak{}.Detect(res)
+			if !builtin.Detected && !leak.Detected {
+				t.Fatalf("no blocking manifestation: outcome=%v", res.Outcome)
+			}
+			if builtin.Detected != k.ExpectBuiltinDetect {
+				t.Fatalf("builtin detected=%v, paper says %v (outcome=%v)",
+					builtin.Detected, k.ExpectBuiltinDetect, res.Outcome)
+			}
+		})
+	}
+}
+
+// TestRaceDetectorMatchesTable12: over 100 seeded runs, the race detector
+// must detect exactly the kernels the paper's Table 12 reports detected.
+func TestRaceDetectorMatchesTable12(t *testing.T) {
+	for _, k := range RaceStudySet() {
+		k := k
+		t.Run(k.ID, func(t *testing.T) {
+			st := explore.Run(k.Buggy, explore.Options{
+				Runs:     testRuns,
+				Config:   k.Config(0),
+				WithRace: true,
+			})
+			if st.Detected() != k.ExpectRaceDetect {
+				t.Fatalf("race detected=%v (%d/%d runs), paper says %v; sample=%s",
+					st.Detected(), st.RaceDetectedRuns, st.Runs,
+					k.ExpectRaceDetect, st.SampleRace)
+			}
+		})
+	}
+}
+
+// TestFixedVariantsRaceFree: no patched kernel may still race.
+func TestFixedVariantsRaceFree(t *testing.T) {
+	for _, k := range RaceStudySet() {
+		k := k
+		t.Run(k.ID, func(t *testing.T) {
+			st := explore.Run(k.Fixed, explore.Options{
+				Runs:     testRuns,
+				Config:   k.Config(0),
+				WithRace: true,
+			})
+			if st.RaceDetectedRuns != 0 {
+				t.Fatalf("fixed variant still races: %s", st.SampleRace)
+			}
+		})
+	}
+}
+
+// TestFigureBugsPresent: every figure the paper shows has a kernel.
+func TestFigureBugsPresent(t *testing.T) {
+	want := map[int]bool{1: true, 5: true, 6: true, 7: true, 8: true, 9: true, 10: true, 11: true, 12: true}
+	got := map[int]bool{}
+	for _, k := range All() {
+		if k.Figure > 0 {
+			got[k.Figure] = true
+		}
+	}
+	for f := range want {
+		if !got[f] {
+			t.Errorf("no kernel reproduces Figure %d", f)
+		}
+	}
+}
+
+// TestKernelsDeterministic: same seed, same outcome.
+func TestKernelsDeterministic(t *testing.T) {
+	for _, k := range All() {
+		a := sim.Run(k.Config(42), k.Buggy)
+		b := sim.Run(k.Config(42), k.Buggy)
+		if a.Outcome != b.Outcome || a.Steps != b.Steps || len(a.Leaked) != len(b.Leaked) {
+			t.Errorf("%s: non-deterministic (outcome %v/%v steps %d/%d)",
+				k.ID, a.Outcome, b.Outcome, a.Steps, b.Steps)
+		}
+	}
+}
+
+// TestCorpusKernelLinksResolve: every corpus record that claims a runnable
+// kernel must point at a registered one, every reproduced record must link
+// a study-set kernel of the matching behavior and app, and every study-set
+// kernel must be reachable from the dataset.
+func TestCorpusKernelLinksResolve(t *testing.T) {
+	linked := map[string]bool{}
+	for _, b := range corpus.WithKernels() {
+		k, ok := ByID(b.KernelID)
+		if !ok {
+			t.Errorf("%s: kernel %q not registered", b.ID, b.KernelID)
+			continue
+		}
+		linked[k.ID] = true
+		if k.Behavior != b.Behavior {
+			t.Errorf("%s: behavior mismatch (%s vs %s)", b.ID, b.Behavior, k.Behavior)
+		}
+		if k.App != b.App {
+			t.Errorf("%s: app mismatch (%s vs %s)", b.ID, b.App, k.App)
+		}
+		if b.Reproduced && !k.InDetectorStudy {
+			t.Errorf("%s: reproduced record links non-study kernel %s", b.ID, k.ID)
+		}
+	}
+	for _, k := range All() {
+		if k.InDetectorStudy && !linked[k.ID] {
+			t.Errorf("study kernel %s has no corpus record", k.ID)
+		}
+	}
+}

@@ -1,0 +1,197 @@
+package kernels
+
+import (
+	"fmt"
+
+	"goconcbugs/internal/corpus"
+	"goconcbugs/internal/sim"
+)
+
+// The anonymous-function kernels of Table 12 (4 used, 3 detected). "All
+// local variables declared before a Go anonymous function are accessible by
+// the anonymous function ... developers may not pay enough attention to
+// protect such shared local variables" (Section 6.1.1). Nine of the paper's
+// eleven bugs of this class race a child created with an anonymous function
+// against its parent; the Figure 8 loop-variable capture is the canonical
+// instance.
+
+func init() {
+	register(Kernel{
+		ID:               "docker-apiversion",
+		App:              corpus.Docker,
+		Behavior:         corpus.NonBlocking,
+		NBCause:          corpus.NBAnonymous,
+		Figure:           8,
+		InDetectorStudy:  true,
+		ExpectRaceDetect: true,
+		Description: "Figure 8: the loop variable i is captured by every " +
+			"child goroutine while the parent keeps writing it; the " +
+			"children's apiVersion strings are non-deterministic and " +
+			"often all equal to the final 'v1.21'.",
+		FixDescription: "Pass i as a parameter, giving each goroutine a " +
+			"private copy (Private — the lift(anonymous, private) " +
+			"correlation of Section 6.2).",
+		Buggy: func(t *sim.T) {
+			i := sim.NewVar[int](t, "i")
+			seen := sim.NewChanNamed[string](t, "seen", 8)
+			for k := 17; k <= 21; k++ {
+				i.Store(t, k) // write
+				t.GoNamed(fmt.Sprintf("child%d", k), func(ct *sim.T) {
+					apiVersion := fmt.Sprintf("v1.%d", i.Load(ct)) // read
+					seen.Send(ct, apiVersion)
+				})
+			}
+			versions := map[string]bool{}
+			for k := 17; k <= 21; k++ {
+				v, _ := seen.Recv(t)
+				versions[v] = true
+			}
+			t.Checkf(len(versions) == 5,
+				"children saw %d distinct versions, want 5", len(versions))
+		},
+		Fixed: func(t *sim.T) {
+			seen := sim.NewChanNamed[string](t, "seen", 8)
+			for k := 17; k <= 21; k++ {
+				k := k // the copied parameter of the patch
+				t.GoNamed(fmt.Sprintf("child%d", k), func(ct *sim.T) {
+					seen.Send(ct, fmt.Sprintf("v1.%d", k))
+				})
+			}
+			versions := map[string]bool{}
+			for k := 17; k <= 21; k++ {
+				v, _ := seen.Recv(t)
+				versions[v] = true
+			}
+			t.Checkf(len(versions) == 5,
+				"children saw %d distinct versions, want 5", len(versions))
+		},
+	})
+
+	register(Kernel{
+		ID:               "kubernetes-anon-err",
+		App:              corpus.Kubernetes,
+		Behavior:         corpus.NonBlocking,
+		NBCause:          corpus.NBAnonymous,
+		InDetectorStudy:  true,
+		ExpectRaceDetect: true,
+		Description: "An anonymous retry goroutine assigns the enclosing " +
+			"function's err variable while the parent inspects it — " +
+			"the parent/child race 9 of the 11 anonymous-function " +
+			"bugs exhibit.",
+		FixDescription: "Return the error over a channel instead of " +
+			"assigning the captured variable (Add_s, Channel).",
+		Buggy: func(t *sim.T) {
+			err := sim.NewVarInit(t, "err", "")
+			t.GoNamed("retry", func(ct *sim.T) {
+				ct.Work(sim.Duration(ct.Rand(4)))
+				err.Store(ct, "timeout") // races with the parent's read
+			})
+			t.Work(2)
+			_ = err.Load(t)
+			t.Sleep(50)
+		},
+		Fixed: func(t *sim.T) {
+			errCh := sim.NewChanNamed[string](t, "errCh", 1)
+			t.GoNamed("retry", func(ct *sim.T) {
+				ct.Work(sim.Duration(ct.Rand(4)))
+				errCh.Send(ct, "timeout")
+			})
+			v, _ := errCh.Recv(t)
+			_ = v
+			t.Sleep(50)
+		},
+	})
+
+	register(Kernel{
+		ID:               "cockroachdb-anon-siblings",
+		App:              corpus.CockroachDB,
+		Behavior:         corpus.NonBlocking,
+		NBCause:          corpus.NBAnonymous,
+		InDetectorStudy:  true,
+		ExpectRaceDetect: true,
+		Description: "Two sibling goroutines created with anonymous " +
+			"functions share the enclosing scope's batch buffer — the " +
+			"rarer child/child variant (2 of the paper's 11).",
+		FixDescription: "Give each sibling its own buffer (Private).",
+		Buggy: func(t *sim.T) {
+			batch := sim.NewVarInit(t, "batch", 0)
+			wg := sim.NewWaitGroup(t, "wg")
+			wg.Add(t, 2)
+			for i := 0; i < 2; i++ {
+				t.GoNamed(fmt.Sprintf("flush%d", i), func(ct *sim.T) {
+					batch.Store(ct, batch.Load(ct)+1)
+					wg.Done(ct)
+				})
+			}
+			wg.Wait(t)
+			t.Sleep(20)
+		},
+		Fixed: func(t *sim.T) {
+			wg := sim.NewWaitGroup(t, "wg")
+			wg.Add(t, 2)
+			for i := 0; i < 2; i++ {
+				t.GoNamed(fmt.Sprintf("flush%d", i), func(ct *sim.T) {
+					private := sim.NewVarInit(ct, fmt.Sprintf("batch%d", ct.ID()), 0)
+					private.Store(ct, private.Load(ct)+1)
+					wg.Done(ct)
+				})
+			}
+			wg.Wait(t)
+			t.Sleep(20)
+		},
+	})
+
+	register(Kernel{
+		ID:              "etcd-anon-stale-capture",
+		App:             corpus.Etcd,
+		Behavior:        corpus.NonBlocking,
+		NBCause:         corpus.NBAnonymous,
+		InDetectorStudy: true,
+		Description: "Anonymous member-sync goroutines capture the loop " +
+			"variable but only run after a barrier that orders every " +
+			"loop-body write before them: no data race exists, yet " +
+			"every goroutine syncs the final member instead of its " +
+			"own — the anonymous-function bug the race detector " +
+			"cannot see (Table 12's undetected fourth).",
+		FixDescription: "Capture a per-iteration copy (Private).",
+		Buggy: func(t *sim.T) {
+			member := sim.NewVar[int](t, "member")
+			start := sim.NewChanNamed[struct{}](t, "start", 0)
+			synced := sim.NewChanNamed[int](t, "synced", 4)
+			for m := 1; m <= 3; m++ {
+				member.Store(t, m)
+				t.GoNamed(fmt.Sprintf("sync%d", m), func(ct *sim.T) {
+					start.Recv(ct) // barrier: runs after the loop
+					synced.Send(ct, member.Load(ct))
+				})
+			}
+			start.Close(t) // release the barrier; all writes are ordered before
+			distinct := map[int]bool{}
+			for m := 1; m <= 3; m++ {
+				v, _ := synced.Recv(t)
+				distinct[v] = true
+			}
+			t.Checkf(len(distinct) == 3,
+				"synced %d distinct members, want 3", len(distinct))
+		},
+		Fixed: func(t *sim.T) {
+			start := sim.NewChanNamed[struct{}](t, "start", 0)
+			synced := sim.NewChanNamed[int](t, "synced", 4)
+			for m := 1; m <= 3; m++ {
+				m := m
+				t.GoNamed(fmt.Sprintf("sync%d", m), func(ct *sim.T) {
+					start.Recv(ct)
+					synced.Send(ct, m)
+				})
+			}
+			start.Close(t)
+			distinct := map[int]bool{}
+			for m := 1; m <= 3; m++ {
+				v, _ := synced.Recv(t)
+				distinct[v] = true
+			}
+			t.Checkf(len(distinct) == 3,
+				"synced %d distinct members, want 3", len(distinct))
+		},
+	})
+}

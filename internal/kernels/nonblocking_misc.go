@@ -1,0 +1,269 @@
+package kernels
+
+import (
+	"goconcbugs/internal/corpus"
+	"goconcbugs/internal/sim"
+)
+
+// The remaining Table 12 kernels — the WaitGroup order violation (Figure 9),
+// the time-library misuse (Figure 12), and the double channel close
+// (Figure 10) — none of which are data races, which is exactly why the race
+// detector misses all three. Two supplementary kernels reproduce Figure 11
+// (select nondeterminism) and etcd#7816 (a race through a context object)
+// outside the Table 12 set.
+
+func init() {
+	register(Kernel{
+		ID:              "etcd-waitgroup-order",
+		App:             corpus.Etcd,
+		Behavior:        corpus.NonBlocking,
+		NBCause:         corpus.NBWaitGroup,
+		Figure:          9,
+		InDetectorStudy: true,
+		Description: "Figure 9: nothing guarantees peer.send's Add " +
+			"happens before stop's Wait; when Wait runs first it " +
+			"returns immediately and the peer is stopped while a send " +
+			"is still in flight. WaitGroup operations synchronize, so " +
+			"no data race exists.",
+		FixDescription: "Move Add into the critical section that Wait's " +
+			"caller also takes, so Add either precedes Wait or is " +
+			"skipped (Move_s).",
+		Buggy: waitGroupOrderProgram(false),
+		Fixed: waitGroupOrderProgram(true),
+	})
+
+	register(Kernel{
+		ID:              "grpc-timer-zero",
+		App:             corpus.GRPC,
+		Behavior:        corpus.NonBlocking,
+		NBCause:         corpus.NBMsgLib,
+		Figure:          12,
+		InDetectorStudy: true,
+		Description: "Figure 12: time.NewTimer(0) starts its countdown " +
+			"immediately, so with dur <= 0 the timer channel fires at " +
+			"once and the wait returns prematurely instead of lasting " +
+			"until ctx.Done().",
+		FixDescription: "Create the timer only when dur > 0 and select " +
+			"on a nil channel otherwise (Bypass).",
+		Buggy: timerZeroProgram(false),
+		Fixed: timerZeroProgram(true),
+	})
+
+	register(Kernel{
+		ID:              "docker-24007-double-close",
+		App:             corpus.Docker,
+		Issue:           "docker#24007",
+		Behavior:        corpus.NonBlocking,
+		NBCause:         corpus.NBChan,
+		Figure:          10,
+		InDetectorStudy: true,
+		Description: "Figure 10: several goroutines race through the " +
+			"select's default branch and each tries to close the " +
+			"channel; 'a channel can only be closed once', so the " +
+			"second close panics the runtime. Channel operations are " +
+			"synchronization, so no data race is reported.",
+		FixDescription: "Close through a sync.Once (Add_s, the paper's " +
+			"Once fix).",
+		Buggy: doubleCloseProgram(false),
+		Fixed: doubleCloseProgram(true),
+	})
+
+	// ----- Supplementary figure bugs outside the Table 12 set -----
+
+	register(Kernel{
+		ID:       "kubernetes-select-ticker",
+		App:      corpus.Kubernetes,
+		Behavior: corpus.NonBlocking,
+		NBCause:  corpus.NBChan,
+		Figure:   11,
+		Description: "Figure 11: when the stop message and a tick are " +
+			"both ready, select picks randomly; choosing the tick " +
+			"runs the heavy f() once more after shutdown was " +
+			"requested (one of the three select-nondeterminism bugs).",
+		FixDescription: "Re-check stopCh at the top of the loop before " +
+			"selecting (Add_s).",
+		Buggy: selectTickerProgram(false),
+		Fixed: selectTickerProgram(true),
+	})
+
+	register(Kernel{
+		ID:       "etcd-7816-context-value",
+		App:      corpus.Etcd,
+		Issue:    "etcd#7816",
+		Behavior: corpus.NonBlocking,
+		NBCause:  corpus.NBLib,
+		Description: "etcd#7816: multiple goroutines attached to the " +
+			"same context object race on a string field stored in it " +
+			"(Section 6.1.1's special-library category).",
+		FixDescription: "Copy the field before sharing the context " +
+			"(Private).",
+		Buggy: func(t *sim.T) {
+			authToken := sim.NewVarInit(t, "ctx.authToken", "old")
+			ctx := sim.WithValue(t, sim.Background(t), "token", authToken)
+			t.GoNamed("refresher", func(ct *sim.T) {
+				tok := ctx.Value("token").(*sim.Var[string])
+				tok.Store(ct, "new") // races with the reader
+			})
+			t.GoNamed("request", func(ct *sim.T) {
+				tok := ctx.Value("token").(*sim.Var[string])
+				_ = tok.Load(ct)
+			})
+			t.Sleep(50)
+		},
+		Fixed: func(t *sim.T) {
+			authToken := sim.NewVarInit(t, "ctx.authToken", "old")
+			snapshot := authToken.Load(t) // private copy
+			ctx := sim.WithValue(t, sim.Background(t), "token", snapshot)
+			t.GoNamed("refresher", func(ct *sim.T) {
+				authToken.Store(ct, "new")
+			})
+			t.GoNamed("request", func(ct *sim.T) {
+				_ = ctx.Value("token").(string)
+			})
+			t.Sleep(50)
+		},
+	})
+}
+
+func waitGroupOrderProgram(fixed bool) sim.Program {
+	return func(t *sim.T) {
+		mu := sim.NewMutex(t, "peer.mu")
+		wg := sim.NewWaitGroup(t, "peer.wg")
+		stopped := false // guarded by mu
+		connClosed := sim.NewAtomicInt64(t, "conn.closed")
+		t.GoNamed("send", func(tt *sim.T) {
+			if fixed {
+				// Patch: Add inside the critical section, skipped
+				// once the peer is stopped.
+				mu.Lock(tt)
+				if stopped {
+					mu.Unlock(tt)
+					return
+				}
+				wg.Add(tt, 1)
+				mu.Unlock(tt)
+			} else {
+				tt.Work(sim.Duration(tt.Rand(4)))
+				wg.Add(tt, 1) // buggy: may land after Wait
+			}
+			tt.Work(2) // the message write itself
+			// Invariant: Stop must not have torn the connection down
+			// under an in-flight send.
+			tt.Check(connClosed.Load(tt) == 0, "send on closed connection after Stop")
+			wg.Done(tt)
+		})
+		t.GoNamed("stop", func(tt *sim.T) {
+			tt.Work(sim.Duration(tt.Rand(4)))
+			mu.Lock(tt)
+			stopped = true
+			mu.Unlock(tt)
+			wg.Wait(tt)
+			connClosed.Store(tt, 1)
+		})
+		t.Sleep(100)
+	}
+}
+
+func timerZeroProgram(fixed bool) sim.Program {
+	return func(t *sim.T) {
+		waitWithTimeout := func(tt *sim.T, dur sim.Duration, ctx *sim.Context) string {
+			var timeout sim.Chan[int64]
+			if fixed {
+				if dur > 0 {
+					timeout = sim.NewTimer(tt, dur).C
+				}
+				// dur <= 0: timeout stays nil and never fires.
+			} else {
+				timer := sim.NewTimer(tt, 0) // starts counting down NOW
+				if dur > 0 {
+					timer.Reset(tt, dur)
+				}
+				timeout = timer.C
+			}
+			why := ""
+			sim.Select(tt,
+				sim.OnRecv(timeout, func(int64, bool) { why = "timeout" }),
+				sim.OnRecv(ctx.Done(), func(struct{}, bool) { why = "ctx" }),
+			)
+			return why
+		}
+		ctx, cancel := sim.WithCancel(t, sim.Background(t))
+		t.GoNamed("canceller", func(tt *sim.T) {
+			tt.Sleep(20)
+			cancel(tt)
+		})
+		why := waitWithTimeout(t, 0, ctx) // dur <= 0: must wait for ctx
+		t.Checkf(why == "ctx", "returned prematurely via %q with dur<=0", why)
+	}
+}
+
+func doubleCloseProgram(fixed bool) sim.Program {
+	return func(t *sim.T) {
+		closed := sim.NewChanNamed[struct{}](t, "c.closed", 0)
+		once := sim.NewOnce(t, "closeOnce")
+		wg := sim.NewWaitGroup(t, "wg")
+		wg.Add(t, 2)
+		for i := 0; i < 2; i++ {
+			t.GoNamed("shutdown", func(tt *sim.T) {
+				defer wg.Done(tt)
+				sim.Select(tt,
+					sim.OnRecv(closed, nil),
+					sim.Default(func() {
+						if fixed {
+							once.Do(tt, func(ot *sim.T) { closed.Close(ot) })
+							return
+						}
+						closed.Close(tt) // second closer panics
+					}),
+				)
+			})
+		}
+		wg.Wait(t)
+	}
+}
+
+func selectTickerProgram(fixed bool) sim.Program {
+	return func(t *sim.T) {
+		stopCh := sim.NewChanNamed[struct{}](t, "stopCh", 1)
+		tick := sim.NewTickerN(t, 10, 6)
+		ranAfterStop := sim.NewAtomicInt64(t, "ranAfterStop")
+		stopRequested := sim.NewAtomicInt64(t, "stopRequested")
+		// f() is heavy (Figure 11 line 8): while it runs, both the next
+		// tick and the stop message queue up, so the following select
+		// has two ready cases and picks one at random.
+		f := func(tt *sim.T) {
+			if stopRequested.Load(tt) == 1 {
+				ranAfterStop.Store(tt, 1)
+			}
+			tt.Work(15)
+		}
+		t.GoNamed("loop", func(tt *sim.T) {
+			for {
+				if fixed {
+					// Patch: drain the stop signal first.
+					stop := false
+					sim.Select(tt,
+						sim.OnRecv(stopCh, func(struct{}, bool) { stop = true }),
+						sim.Default(nil),
+					)
+					if stop {
+						return
+					}
+				}
+				stop := false
+				sim.Select(tt,
+					sim.OnRecv(stopCh, func(struct{}, bool) { stop = true }),
+					sim.OnRecv(tick.C, func(int64, bool) { f(tt) }),
+				)
+				if stop {
+					return
+				}
+			}
+		})
+		t.Sleep(22) // lands while f() for the t=10 tick is running
+		stopRequested.Store(t, 1)
+		stopCh.Send(t, struct{}{})
+		t.Sleep(80)
+		t.Check(ranAfterStop.Load(t) == 0, "f() executed after stop (Figure 11)")
+	}
+}

@@ -1,0 +1,653 @@
+package kernels
+
+import (
+	"goconcbugs/internal/corpus"
+	"goconcbugs/internal/sim"
+)
+
+// The traditional-class non-blocking kernels of Table 12 (13 used, 7
+// detected). "More than half of our collected non-blocking bugs are caused
+// by traditional problems that also happen in classic languages like C and
+// Java, such as atomicity violation, order violation, and data race"
+// (Section 6.1.1).
+//
+// The seven with ExpectRaceDetect carry genuine happens-before races; four
+// of those execute the racing statement only on a randomly-taken select
+// branch, so — as the paper observed — "around 100 runs were needed before
+// the detector reported a bug". The six without ExpectRaceDetect are
+// atomicity or order violations whose accesses are all synchronized: no
+// data race exists for a happens-before detector to find, yet the behavior
+// is wrong (the kernels' Check oracles fail).
+
+func init() {
+	register(Kernel{
+		ID:               "docker-22985-ref-through-chan",
+		App:              corpus.Docker,
+		Issue:            "docker#22985",
+		Behavior:         corpus.NonBlocking,
+		NBCause:          corpus.NBTraditional,
+		InDetectorStudy:  true,
+		ExpectRaceDetect: true,
+		Description: "A config object's reference is handed to a worker " +
+			"through a channel, but the sender keeps mutating the " +
+			"object afterwards — a data race on everything behind the " +
+			"reference (the paper's Docker#22985/CockroachDB#6111 " +
+			"pattern).",
+		FixDescription: "Guard the object with a mutex (Add_s, Mutex).",
+		Buggy: func(t *sim.T) {
+			cfg := sim.NewVarInit(t, "cfg.image", "v1")
+			work := sim.NewChanNamed[*sim.Var[string]](t, "work", 1)
+			t.GoNamed("worker", func(tt *sim.T) {
+				c, _ := work.Recv(tt)
+				_ = c.Load(tt) // races with the post-send mutation
+			})
+			work.Send(t, cfg)
+			cfg.Store(t, "v2") // sender mutates after handing it off
+			t.Sleep(50)
+		},
+		Fixed: func(t *sim.T) {
+			mu := sim.NewMutex(t, "cfg.mu")
+			cfg := sim.NewVarInit(t, "cfg.image", "v1")
+			work := sim.NewChanNamed[*sim.Var[string]](t, "work", 1)
+			t.GoNamed("worker", func(tt *sim.T) {
+				c, _ := work.Recv(tt)
+				mu.Lock(tt)
+				_ = c.Load(tt)
+				mu.Unlock(tt)
+			})
+			work.Send(t, cfg)
+			mu.Lock(t)
+			cfg.Store(t, "v2")
+			mu.Unlock(t)
+			t.Sleep(50)
+		},
+	})
+
+	register(Kernel{
+		ID:               "cockroachdb-6111-status",
+		App:              corpus.CockroachDB,
+		Issue:            "cockroachdb#6111",
+		Behavior:         corpus.NonBlocking,
+		NBCause:          corpus.NBTraditional,
+		InDetectorStudy:  true,
+		ExpectRaceDetect: true,
+		Description: "A replica descriptor crosses a channel into the " +
+			"store queue while the raft goroutine keeps updating its " +
+			"status field.",
+		FixDescription: "Send a deep copy into the queue (Private).",
+		Buggy: func(t *sim.T) {
+			status := sim.NewVarInit(t, "replica.status", 0)
+			queue := sim.NewChanNamed[*sim.Var[int]](t, "queue", 1)
+			t.GoNamed("queue-worker", func(tt *sim.T) {
+				st, _ := queue.Recv(tt)
+				_ = st.Load(tt)
+			})
+			queue.Send(t, status)
+			status.Store(t, 2)
+			t.Sleep(50)
+		},
+		Fixed: func(t *sim.T) {
+			status := sim.NewVarInit(t, "replica.status", 0)
+			queue := sim.NewChanNamed[int](t, "queue", 1)
+			t.GoNamed("queue-worker", func(tt *sim.T) {
+				v, _ := queue.Recv(tt)
+				_ = v
+			})
+			queue.Send(t, status.Load(t)) // value copy, no sharing
+			status.Store(t, 2)
+			t.Sleep(50)
+		},
+	})
+
+	register(Kernel{
+		ID:               "kubernetes-lazy-init",
+		App:              corpus.Kubernetes,
+		Behavior:         corpus.NonBlocking,
+		NBCause:          corpus.NBTraditional,
+		InDetectorStudy:  true,
+		ExpectRaceDetect: true,
+		Description: "Two handlers lazily initialize a shared client with " +
+			"an unsynchronized check-then-store, racing on both the " +
+			"flag and the client and occasionally initializing twice.",
+		FixDescription: "Initialize through sync.Once (Add_s).",
+		Buggy: func(t *sim.T) {
+			inited := sim.NewVarInit(t, "client.inited", false)
+			inits := sim.NewAtomicInt64(t, "inits")
+			wg := sim.NewWaitGroup(t, "wg")
+			wg.Add(t, 2)
+			for i := 0; i < 2; i++ {
+				t.GoNamed("handler", func(tt *sim.T) {
+					if !inited.Load(tt) {
+						tt.Work(sim.Duration(tt.Rand(5)))
+						inited.Store(tt, true)
+						inits.Add(tt, 1)
+					}
+					wg.Done(tt)
+				})
+			}
+			wg.Wait(t)
+			t.Checkf(inits.Load(t) == 1, "client initialized %d times", inits.Load(t))
+		},
+		Fixed: func(t *sim.T) {
+			once := sim.NewOnce(t, "client.once")
+			inits := sim.NewAtomicInt64(t, "inits")
+			wg := sim.NewWaitGroup(t, "wg")
+			wg.Add(t, 2)
+			for i := 0; i < 2; i++ {
+				t.GoNamed("handler", func(tt *sim.T) {
+					once.Do(tt, func(ot *sim.T) {
+						ot.Work(2)
+						inits.Add(ot, 1)
+					})
+					wg.Done(tt)
+				})
+			}
+			wg.Wait(t)
+			t.Checkf(inits.Load(t) == 1, "client initialized %d times", inits.Load(t))
+		},
+	})
+
+	register(Kernel{
+		ID:               "grpc-lost-update",
+		App:              corpus.GRPC,
+		Behavior:         corpus.NonBlocking,
+		NBCause:          corpus.NBTraditional,
+		InDetectorStudy:  true,
+		ExpectRaceDetect: true,
+		Description: "Two streams bump the connection's active-stream " +
+			"counter with an unprotected read-modify-write; updates " +
+			"are lost under interleaving.",
+		FixDescription: "Use an atomic add (Add_s, Atomic).",
+		Buggy: func(t *sim.T) {
+			active := sim.NewIntVar(t, "conn.active")
+			wg := sim.NewWaitGroup(t, "wg")
+			wg.Add(t, 2)
+			for i := 0; i < 2; i++ {
+				t.GoNamed("stream", func(tt *sim.T) {
+					active.Incr(tt, 1)
+					wg.Done(tt)
+				})
+			}
+			wg.Wait(t)
+			t.Checkf(active.Load(t) == 2, "active=%d after 2 increments", active.Load(t))
+		},
+		Fixed: func(t *sim.T) {
+			active := sim.NewAtomicInt64(t, "conn.active")
+			wg := sim.NewWaitGroup(t, "wg")
+			wg.Add(t, 2)
+			for i := 0; i < 2; i++ {
+				t.GoNamed("stream", func(tt *sim.T) {
+					active.Add(tt, 1)
+					wg.Done(tt)
+				})
+			}
+			wg.Wait(t)
+			t.Checkf(active.Load(t) == 2, "active=%d after 2 increments", active.Load(t))
+		},
+	})
+
+	register(Kernel{
+		ID:               "etcd-shutdown-flag",
+		App:              corpus.Etcd,
+		Behavior:         corpus.NonBlocking,
+		NBCause:          corpus.NBTraditional,
+		InDetectorStudy:  true,
+		ExpectRaceDetect: true,
+		Description: "The closer sets stopped=true while the stream " +
+			"worker polls the flag without synchronization.",
+		FixDescription: "Replace the flag with a closed channel (Add_s, " +
+			"Channel — message passing fixing a shared-memory bug, " +
+			"Observation 9).",
+		Buggy: func(t *sim.T) {
+			stopped := sim.NewVarInit(t, "stream.stopped", false)
+			t.GoNamed("worker", func(tt *sim.T) {
+				for i := 0; i < 5 && !stopped.Load(tt); i++ {
+					tt.Work(5)
+				}
+			})
+			t.Work(7)
+			stopped.Store(t, true)
+			t.Sleep(100)
+		},
+		Fixed: func(t *sim.T) {
+			stopCh := sim.NewChanNamed[struct{}](t, "stopCh", 0)
+			t.GoNamed("worker", func(tt *sim.T) {
+				for i := 0; i < 5; i++ {
+					stop := false
+					sim.Select(tt,
+						sim.OnRecv(stopCh, func(struct{}, bool) { stop = true }),
+						sim.Default(nil),
+					)
+					if stop {
+						return
+					}
+					tt.Work(5)
+				}
+			})
+			t.Work(7)
+			stopCh.Close(t)
+			t.Sleep(100)
+		},
+	})
+
+	// ----- Races on rarely-taken paths: detected in a minority of runs -----
+
+	register(Kernel{
+		ID:               "docker-race-on-error-path",
+		App:              corpus.Docker,
+		Behavior:         corpus.NonBlocking,
+		NBCause:          corpus.NBTraditional,
+		InDetectorStudy:  true,
+		ExpectRaceDetect: true,
+		Description: "The unsynchronized read of the container's error " +
+			"field only happens on the select branch that loses the " +
+			"race against normal completion, so most runs never " +
+			"execute the racing statement.",
+		FixDescription: "Guard the field with the container mutex (Add_s).",
+		Buggy:          rarePathRace(false),
+		Fixed:          rarePathRace(true),
+	})
+
+	register(Kernel{
+		ID:               "cockroachdb-rare-retry-read",
+		App:              corpus.CockroachDB,
+		Behavior:         corpus.NonBlocking,
+		NBCause:          corpus.NBTraditional,
+		InDetectorStudy:  true,
+		ExpectRaceDetect: true,
+		Description: "A retry loop consults an unprotected backoff " +
+			"statistic, but only when two random select choices both " +
+			"pick the retry arm — a race on a deep path.",
+		FixDescription: "Read the statistic under the stats mutex (Add_s).",
+		Buggy:          deepPathRace(false),
+		Fixed:          deepPathRace(true),
+	})
+
+	// ----- Not data races at all: invisible to the happens-before detector -----
+
+	register(Kernel{
+		ID:              "docker-atomicity-check-act",
+		App:             corpus.Docker,
+		Behavior:        corpus.NonBlocking,
+		NBCause:         corpus.NBTraditional,
+		InDetectorStudy: true,
+		Description: "Quota check and quota consumption sit in two " +
+			"separate critical sections; two allocators both pass the " +
+			"check and overcommit. Every access is lock-protected — " +
+			"no data race — so the race detector has nothing to " +
+			"report ('not all non-blocking bugs are data races', " +
+			"Section 6.3).",
+		FixDescription: "Merge check and act into one critical section " +
+			"(Move_s).",
+		Buggy: checkActProgram(false),
+		Fixed: checkActProgram(true),
+	})
+
+	register(Kernel{
+		ID:              "kubernetes-order-publish",
+		App:             corpus.Kubernetes,
+		Behavior:        corpus.NonBlocking,
+		NBCause:         corpus.NBTraditional,
+		InDetectorStudy: true,
+		Description: "The pod store publishes its ready flag before " +
+			"filling the spec: an order violation. The consumer's " +
+			"acquire-load orders the accesses, so there is no data " +
+			"race, only a premature read of incomplete data.",
+		FixDescription: "Set the flag after the data is complete (Move_s).",
+		Buggy:          orderPublishProgram(false),
+		Fixed:          orderPublishProgram(true),
+	})
+
+	register(Kernel{
+		ID:              "etcd-stale-decision",
+		App:             corpus.Etcd,
+		Behavior:        corpus.NonBlocking,
+		NBCause:         corpus.NBTraditional,
+		InDetectorStudy: true,
+		Description: "The lease revoker samples the TTL in one critical " +
+			"section and acts on the stale sample in a later one, " +
+			"revoking a lease that was just refreshed.",
+		FixDescription: "Re-validate under the same lock before acting " +
+			"(Move_s).",
+		Buggy: staleDecisionProgram(false),
+		Fixed: staleDecisionProgram(true),
+	})
+
+	register(Kernel{
+		ID:              "grpc-send-after-close",
+		App:             corpus.GRPC,
+		Behavior:        corpus.NonBlocking,
+		NBCause:         corpus.NBTraditional,
+		InDetectorStudy: true,
+		Description: "Stream teardown and a pending send each take the " +
+			"stream lock, but nothing orders them: the send can be " +
+			"applied to a closed stream. All accesses are protected, " +
+			"so no race is reported.",
+		FixDescription: "Check the closed flag inside the send's " +
+			"critical section and fail the send (Add_s).",
+		Buggy: sendAfterCloseProgram(false),
+		Fixed: sendAfterCloseProgram(true),
+	})
+
+	register(Kernel{
+		ID:              "cockroachdb-double-apply",
+		App:             corpus.CockroachDB,
+		Behavior:        corpus.NonBlocking,
+		NBCause:         corpus.NBTraditional,
+		InDetectorStudy: true,
+		Description: "Two appliers claim work with a lock-protected read " +
+			"followed by a separate lock-protected mark; both observe " +
+			"'unclaimed' and the command applies twice.",
+		FixDescription: "Claim-and-mark in a single critical section " +
+			"(Move_s).",
+		Buggy: doubleApplyProgram(false),
+		Fixed: doubleApplyProgram(true),
+	})
+
+	register(Kernel{
+		ID:              "docker-torn-snapshot",
+		App:             corpus.Docker,
+		Behavior:        corpus.NonBlocking,
+		NBCause:         corpus.NBTraditional,
+		InDetectorStudy: true,
+		Description: "The stats endpoint reads rx and tx in two separate " +
+			"critical sections while the collector updates both under " +
+			"one lock; the reported pair violates the rx==tx " +
+			"invariant. Lock-protected everywhere: no data race.",
+		FixDescription: "Snapshot both counters in one critical section " +
+			"(Move_s).",
+		Buggy: tornSnapshotProgram(false),
+		Fixed: tornSnapshotProgram(true),
+	})
+}
+
+// rarePathRace executes its racing read only when a two-way select picks
+// the losing branch (about half of all schedules at one choice point).
+func rarePathRace(guarded bool) sim.Program {
+	return func(t *sim.T) {
+		mu := sim.NewMutex(t, "container.mu")
+		errField := sim.NewVarInit(t, "container.err", "")
+		okCh := sim.NewChanNamed[struct{}](t, "okCh", 1)
+		failCh := sim.NewChanNamed[struct{}](t, "failCh", 1)
+		okCh.Send(t, struct{}{})
+		failCh.Send(t, struct{}{})
+		t.GoNamed("runner", func(tt *sim.T) {
+			if guarded {
+				mu.Lock(tt)
+			}
+			errField.Store(tt, "exit 1")
+			if guarded {
+				mu.Unlock(tt)
+			}
+		})
+		// Both cases are ready; the runtime picks one at random.
+		sim.Select(t,
+			sim.OnRecv(okCh, nil),
+			sim.OnRecv(failCh, func(struct{}, bool) {
+				if guarded {
+					mu.Lock(t)
+				}
+				_ = errField.Load(t) // the rarely-run racing read
+				if guarded {
+					mu.Unlock(t)
+				}
+			}),
+		)
+		t.Sleep(50)
+	}
+}
+
+// deepPathRace requires two consecutive random select choices to reach the
+// racing read (~a quarter of schedules).
+func deepPathRace(guarded bool) sim.Program {
+	return func(t *sim.T) {
+		mu := sim.NewMutex(t, "stats.mu")
+		backoff := sim.NewVarInit(t, "stats.backoff", 1)
+		t.GoNamed("tuner", func(tt *sim.T) {
+			if guarded {
+				mu.Lock(tt)
+			}
+			backoff.Store(tt, 2)
+			if guarded {
+				mu.Unlock(tt)
+			}
+		})
+		retry := 0
+		for depth := 0; depth < 2; depth++ {
+			a := sim.NewChan[struct{}](t, 1)
+			b := sim.NewChan[struct{}](t, 1)
+			a.Send(t, struct{}{})
+			b.Send(t, struct{}{})
+			sim.Select(t,
+				sim.OnRecv(a, nil),
+				sim.OnRecv(b, func(struct{}, bool) { retry++ }),
+			)
+		}
+		if retry == 2 {
+			if guarded {
+				mu.Lock(t)
+			}
+			_ = backoff.Load(t)
+			if guarded {
+				mu.Unlock(t)
+			}
+		}
+		t.Sleep(50)
+	}
+}
+
+func checkActProgram(fixed bool) sim.Program {
+	return func(t *sim.T) {
+		mu := sim.NewMutex(t, "quota.mu")
+		free := sim.NewVarInit(t, "quota.free", 1)
+		wg := sim.NewWaitGroup(t, "wg")
+		wg.Add(t, 2)
+		for i := 0; i < 2; i++ {
+			t.GoNamed("allocator", func(tt *sim.T) {
+				defer wg.Done(tt)
+				if fixed {
+					mu.Lock(tt)
+					if free.Load(tt) > 0 {
+						free.Store(tt, free.Load(tt)-1)
+					}
+					mu.Unlock(tt)
+					return
+				}
+				mu.Lock(tt)
+				ok := free.Load(tt) > 0 // check ...
+				mu.Unlock(tt)
+				if ok {
+					tt.Work(sim.Duration(tt.Rand(4)))
+					mu.Lock(tt) // ... act, too late
+					free.Store(tt, free.Load(tt)-1)
+					mu.Unlock(tt)
+				}
+			})
+		}
+		wg.Wait(t)
+		mu.Lock(t)
+		t.Checkf(free.Load(t) >= 0, "quota overcommitted: free=%d", free.Load(t))
+		mu.Unlock(t)
+	}
+}
+
+func orderPublishProgram(fixed bool) sim.Program {
+	return func(t *sim.T) {
+		ready := sim.NewAtomicInt64(t, "pod.ready")
+		spec := sim.NewAtomicInt64(t, "pod.spec")
+		t.GoNamed("writer", func(tt *sim.T) {
+			if fixed {
+				spec.Store(tt, 42)
+				ready.Store(tt, 1)
+				return
+			}
+			ready.Store(tt, 1) // published before the data exists
+			tt.Work(5)
+			spec.Store(tt, 42)
+		})
+		t.GoNamed("reader", func(tt *sim.T) {
+			for i := 0; i < 50 && ready.Load(tt) == 0; i++ {
+				tt.Work(1)
+			}
+			if ready.Load(tt) == 1 {
+				tt.Checkf(spec.Load(tt) == 42,
+					"read incomplete pod: spec=%d", spec.Load(tt))
+			}
+		})
+		t.Sleep(200)
+	}
+}
+
+func staleDecisionProgram(fixed bool) sim.Program {
+	return func(t *sim.T) {
+		mu := sim.NewMutex(t, "lease.mu")
+		ttl := sim.NewVarInit(t, "lease.ttl", 0)
+		revokedAtTTL := sim.NewVarInit(t, "lease.revokedAtTTL", -1)
+		revoke := func(tt *sim.T) { // caller holds mu
+			revokedAtTTL.Store(tt, ttl.Load(tt))
+		}
+		t.GoNamed("refresher", func(tt *sim.T) {
+			tt.Work(3)
+			mu.Lock(tt)
+			ttl.Store(tt, 10)
+			mu.Unlock(tt)
+		})
+		t.GoNamed("revoker", func(tt *sim.T) {
+			mu.Lock(tt)
+			expired := ttl.Load(tt) == 0
+			if fixed {
+				// Validate and act under one lock.
+				if expired {
+					revoke(tt)
+				}
+				mu.Unlock(tt)
+				return
+			}
+			mu.Unlock(tt)
+			tt.Work(5) // the refresh lands here
+			if expired {
+				mu.Lock(tt)
+				revoke(tt) // acting on a stale sample
+				mu.Unlock(tt)
+			}
+		})
+		t.Sleep(100)
+		mu.Lock(t)
+		if at := revokedAtTTL.Load(t); at != -1 {
+			// A correct revoker only ever revokes an expired lease.
+			t.Checkf(at == 0, "revoked a live lease (ttl was %d)", at)
+		}
+		mu.Unlock(t)
+	}
+}
+
+func sendAfterCloseProgram(fixed bool) sim.Program {
+	return func(t *sim.T) {
+		mu := sim.NewMutex(t, "stream.mu")
+		closed := sim.NewVarInit(t, "stream.closed", false)
+		sent := sim.NewVarInit(t, "stream.sentAfterClose", false)
+		t.GoNamed("closer", func(tt *sim.T) {
+			tt.Work(sim.Duration(tt.Rand(6)))
+			mu.Lock(tt)
+			closed.Store(tt, true)
+			mu.Unlock(tt)
+		})
+		t.GoNamed("sender", func(tt *sim.T) {
+			tt.Work(sim.Duration(tt.Rand(6)))
+			mu.Lock(tt)
+			if fixed {
+				if !closed.Load(tt) {
+					// deliver the frame
+				}
+				mu.Unlock(tt)
+				return
+			}
+			mu.Unlock(tt)
+			tt.Work(1)
+			mu.Lock(tt)
+			if closed.Load(tt) {
+				sent.Store(tt, true) // frame written to a closed stream
+			}
+			mu.Unlock(tt)
+		})
+		t.Sleep(100)
+		mu.Lock(t)
+		t.Check(!sent.Load(t), "frame sent after stream close")
+		mu.Unlock(t)
+	}
+}
+
+func doubleApplyProgram(fixed bool) sim.Program {
+	return func(t *sim.T) {
+		mu := sim.NewMutex(t, "cmd.mu")
+		claimed := sim.NewVarInit(t, "cmd.claimed", false)
+		applies := sim.NewVarInit(t, "cmd.applies", 0)
+		wg := sim.NewWaitGroup(t, "wg")
+		wg.Add(t, 2)
+		for i := 0; i < 2; i++ {
+			t.GoNamed("applier", func(tt *sim.T) {
+				defer wg.Done(tt)
+				if fixed {
+					mu.Lock(tt)
+					if !claimed.Load(tt) {
+						claimed.Store(tt, true)
+						applies.Store(tt, applies.Load(tt)+1)
+					}
+					mu.Unlock(tt)
+					return
+				}
+				mu.Lock(tt)
+				free := !claimed.Load(tt)
+				mu.Unlock(tt)
+				if free {
+					tt.Work(sim.Duration(tt.Rand(4)))
+					mu.Lock(tt)
+					claimed.Store(tt, true)
+					applies.Store(tt, applies.Load(tt)+1)
+					mu.Unlock(tt)
+				}
+			})
+		}
+		wg.Wait(t)
+		mu.Lock(t)
+		t.Checkf(applies.Load(t) == 1, "command applied %d times", applies.Load(t))
+		mu.Unlock(t)
+	}
+}
+
+func tornSnapshotProgram(fixed bool) sim.Program {
+	return func(t *sim.T) {
+		mu := sim.NewMutex(t, "stats.mu")
+		rx := sim.NewVarInit(t, "stats.rx", 0)
+		tx := sim.NewVarInit(t, "stats.tx", 0)
+		t.GoNamed("collector", func(tt *sim.T) {
+			for i := 0; i < 3; i++ {
+				mu.Lock(tt)
+				rx.Store(tt, rx.Load(tt)+1)
+				tx.Store(tt, tx.Load(tt)+1)
+				mu.Unlock(tt)
+				tt.Work(2)
+			}
+		})
+		t.GoNamed("reporter", func(tt *sim.T) {
+			tt.Work(3)
+			var a, b int
+			if fixed {
+				mu.Lock(tt)
+				a = rx.Load(tt)
+				b = tx.Load(tt)
+				mu.Unlock(tt)
+			} else {
+				mu.Lock(tt)
+				a = rx.Load(tt)
+				mu.Unlock(tt)
+				tt.Work(2) // collector slips in between
+				mu.Lock(tt)
+				b = tx.Load(tt)
+				mu.Unlock(tt)
+			}
+			tt.Checkf(a == b, "torn snapshot: rx=%d tx=%d", a, b)
+		})
+		t.Sleep(100)
+	}
+}

@@ -1,0 +1,331 @@
+package kernels
+
+import (
+	"goconcbugs/internal/corpus"
+	"goconcbugs/internal/deadlock"
+	"goconcbugs/internal/sim"
+)
+
+// Supplementary kernels beyond the Table 8 / Table 12 reproduction sets,
+// covering dataset cells that otherwise have no runnable instance: the
+// Kubernetes RWMutex bugs, a receive-side Chan-w/ bug, a channel-to-channel
+// circular wait, a context leak from a forgotten cancel, and a second
+// select-nondeterminism bug.
+
+func init() {
+	register(Kernel{
+		ID:         "kubernetes-rwmutex-nested-read",
+		App:        corpus.Kubernetes,
+		Behavior:   corpus.Blocking,
+		BlockClass: deadlock.ClassRWMutex,
+		Description: "An informer callback read-locks the cache and calls a " +
+			"helper that read-locks it again; a writer's update request " +
+			"lands in between and Go's writer priority wedges both — " +
+			"the same Go-specific semantics as Section 5.1.1, in its " +
+			"Kubernetes incarnation.",
+		FixDescription: "Pass the already-read snapshot to the helper " +
+			"instead of re-locking (Rm_s).",
+		Buggy: func(t *sim.T) {
+			cache := sim.NewRWMutex(t, "cache.rw")
+			listLocked := func(tt *sim.T) {
+				cache.RLock(tt) // nested read lock
+				cache.RUnlock(tt)
+			}
+			t.GoNamed("callback", func(tt *sim.T) {
+				cache.RLock(tt)
+				tt.Work(10) // the writer arrives here
+				listLocked(tt)
+				cache.RUnlock(tt)
+			})
+			t.GoNamed("updater", func(tt *sim.T) {
+				tt.Sleep(5)
+				cache.Lock(tt)
+				cache.Unlock(tt)
+			})
+			t.Sleep(100)
+		},
+		Fixed: func(t *sim.T) {
+			cache := sim.NewRWMutex(t, "cache.rw")
+			list := func(tt *sim.T) { /* operates on the snapshot */ }
+			t.GoNamed("callback", func(tt *sim.T) {
+				cache.RLock(tt)
+				tt.Work(10)
+				snapshotList := list
+				cache.RUnlock(tt)
+				snapshotList(tt)
+			})
+			t.GoNamed("updater", func(tt *sim.T) {
+				tt.Sleep(5)
+				cache.Lock(tt)
+				cache.Unlock(tt)
+			})
+			t.Sleep(100)
+		},
+	})
+
+	register(Kernel{
+		ID:         "grpc-chanw-recv-under-lock",
+		App:        corpus.GRPC,
+		Behavior:   corpus.Blocking,
+		BlockClass: deadlock.ClassChanWith,
+		Description: "The control loop *receives* from its buffer while " +
+			"holding the transport lock; the producer needs that lock " +
+			"before it can send — the receive-side mirror of Figure 7.",
+		FixDescription: "Receive outside the critical section (Move_s).",
+		Buggy: func(t *sim.T) {
+			mu := sim.NewMutex(t, "transport.mu")
+			controlBuf := sim.NewChanNamed[int](t, "controlBuf", 0)
+			t.GoNamed("loopy", func(tt *sim.T) {
+				mu.Lock(tt)
+				controlBuf.Recv(tt) // blocks holding transport.mu
+				mu.Unlock(tt)
+			})
+			t.GoNamed("producer", func(tt *sim.T) {
+				tt.Sleep(5)
+				mu.Lock(tt) // blocks: loopy holds it
+				mu.Unlock(tt)
+				controlBuf.Send(tt, 1)
+			})
+			t.Sleep(100)
+		},
+		Fixed: func(t *sim.T) {
+			mu := sim.NewMutex(t, "transport.mu")
+			controlBuf := sim.NewChanNamed[int](t, "controlBuf", 0)
+			t.GoNamed("loopy", func(tt *sim.T) {
+				v, _ := controlBuf.Recv(tt) // receive first ...
+				mu.Lock(tt)                 // ... lock to apply
+				_ = v
+				mu.Unlock(tt)
+			})
+			t.GoNamed("producer", func(tt *sim.T) {
+				tt.Sleep(5)
+				mu.Lock(tt)
+				mu.Unlock(tt)
+				controlBuf.Send(tt, 1)
+			})
+			t.Sleep(100)
+		},
+	})
+
+	register(Kernel{
+		ID:         "etcd-chan-circular",
+		App:        corpus.Etcd,
+		Behavior:   corpus.Blocking,
+		BlockClass: deadlock.ClassChan,
+		Description: "Two peers each send their snapshot before receiving " +
+			"the other's, over unbuffered channels: a circular wait " +
+			"made purely of channel operations.",
+		FixDescription: "Make the exchange asymmetric: one side receives " +
+			"first (Move_s).",
+		Buggy: func(t *sim.T) {
+			aToB := sim.NewChanNamed[int](t, "aToB", 0)
+			bToA := sim.NewChanNamed[int](t, "bToA", 0)
+			t.GoNamed("peerA", func(tt *sim.T) {
+				aToB.Send(tt, 1) // blocks: B is sending too
+				bToA.Recv(tt)
+			})
+			t.GoNamed("peerB", func(tt *sim.T) {
+				bToA.Send(tt, 2) // blocks: A is sending too
+				aToB.Recv(tt)
+			})
+			t.Sleep(100)
+		},
+		Fixed: func(t *sim.T) {
+			aToB := sim.NewChanNamed[int](t, "aToB", 0)
+			bToA := sim.NewChanNamed[int](t, "bToA", 0)
+			t.GoNamed("peerA", func(tt *sim.T) {
+				aToB.Send(tt, 1)
+				bToA.Recv(tt)
+			})
+			t.GoNamed("peerB", func(tt *sim.T) {
+				aToB.Recv(tt) // receive first: breaks the cycle
+				bToA.Send(tt, 2)
+			})
+			t.Sleep(100)
+		},
+	})
+
+	register(Kernel{
+		ID:         "docker-context-cancel-leak",
+		App:        corpus.Docker,
+		Behavior:   corpus.Blocking,
+		BlockClass: deadlock.ClassChan,
+		Description: "A per-request worker waits on ctx.Done() and a job " +
+			"channel, but the request path returns without calling " +
+			"cancel and without closing the jobs channel: the worker " +
+			"(and the context's propagation goroutine) outlive the " +
+			"request forever.",
+		FixDescription: "Defer the cancel so the worker's ctx.Done() case " +
+			"fires (Add_s).",
+		Buggy: contextCancelLeak(false),
+		Fixed: contextCancelLeak(true),
+	})
+
+	register(Kernel{
+		ID:         "docker-semaphore-leak",
+		App:        corpus.Docker,
+		Behavior:   corpus.Blocking,
+		BlockClass: deadlock.ClassChan,
+		Description: "A pull-concurrency semaphore (the buffered-channel " +
+			"idiom) is acquired before the layer download, but the " +
+			"checksum-failure path returns without releasing; once " +
+			"enough failures accumulate, every later pull starves on " +
+			"Acquire.",
+		FixDescription: "Release on every return path (Add_s).",
+		Buggy:          semaphoreLeak(false),
+		Fixed:          semaphoreLeak(true),
+	})
+
+	register(Kernel{
+		ID:       "kubernetes-map-race",
+		App:      corpus.Kubernetes,
+		Behavior: corpus.NonBlocking,
+		NBCause:  corpus.NBTraditional,
+		Description: "Two controllers update the shared label map without " +
+			"the store lock; overlapping writes hit the runtime's " +
+			"best-effort check and crash with 'concurrent map writes' " +
+			"— the production face of a traditional data race.",
+		FixDescription: "Guard the map with the store mutex (Add_s, Mutex).",
+		Buggy:          mapRace(false),
+		Fixed:          mapRace(true),
+	})
+
+	register(Kernel{
+		ID:       "docker-select-stop-race",
+		App:      corpus.Docker,
+		Behavior: corpus.NonBlocking,
+		NBCause:  corpus.NBChan,
+		Description: "A log flusher selects between a flush signal and a " +
+			"stop signal; when both are pending, the runtime's random " +
+			"choice can flush into the already-rotated file — the " +
+			"second select-nondeterminism bug of the dataset's three.",
+		FixDescription: "Check the stop signal before selecting (Add_s).",
+		Buggy:          selectStopRace(false),
+		Fixed:          selectStopRace(true),
+	})
+}
+
+func contextCancelLeak(deferCancel bool) sim.Program {
+	return func(t *sim.T) {
+		root, rootCancel := sim.WithCancel(t, sim.Background(t))
+		handle := func(tt *sim.T) {
+			ctx, cancel := sim.WithCancel(tt, root)
+			jobs := sim.NewChanNamed[int](tt, "jobs", 0)
+			tt.GoNamed("worker", func(wt *sim.T) {
+				for {
+					done := false
+					sim.Select(wt,
+						sim.OnRecv(jobs, func(v int, ok bool) { done = !ok }),
+						sim.OnRecv(ctx.Done(), func(struct{}, bool) { done = true }),
+					)
+					if done {
+						return
+					}
+				}
+			})
+			jobs.Send(tt, 1)
+			if deferCancel {
+				cancel(tt) // the patch: the worker sees Done and exits
+			}
+			_ = cancel
+		}
+		handle(t)
+		t.Sleep(100)
+		// The service keeps running; root is cancelled only at process
+		// shutdown, which never happens within the window.
+		_ = rootCancel
+	}
+}
+
+func semaphoreLeak(releaseOnError bool) sim.Program {
+	return func(t *sim.T) {
+		sem := sim.NewSemaphore(t, "pullLimit", 1)
+		pull := func(tt *sim.T, corrupt bool) {
+			sem.Acquire(tt)
+			tt.Work(5) // download
+			if corrupt {
+				if releaseOnError {
+					sem.Release(tt)
+				}
+				return // checksum mismatch
+			}
+			sem.Release(tt)
+		}
+		t.GoNamed("pull1", func(tt *sim.T) { pull(tt, true) })
+		t.GoNamed("pull2", func(tt *sim.T) {
+			tt.Sleep(10)
+			pull(tt, false) // starves behind the leaked slot
+		})
+		t.Sleep(100)
+	}
+}
+
+func mapRace(guarded bool) sim.Program {
+	return func(t *sim.T) {
+		labels := sim.NewMapVar[string, string](t, "pod.labels")
+		mu := sim.NewMutex(t, "store.mu")
+		wg := sim.NewWaitGroup(t, "wg")
+		wg.Add(t, 2)
+		for g := 0; g < 2; g++ {
+			g := g
+			t.GoNamed("controller", func(ct *sim.T) {
+				for i := 0; i < 3; i++ {
+					if guarded {
+						mu.Lock(ct)
+					}
+					labels.Store(ct, "owner", string(rune('a'+g)))
+					if guarded {
+						mu.Unlock(ct)
+					}
+				}
+				wg.Done(ct)
+			})
+		}
+		wg.Wait(t)
+	}
+}
+
+func selectStopRace(fixed bool) sim.Program {
+	return func(t *sim.T) {
+		flush := sim.NewChanNamed[struct{}](t, "flush", 1)
+		stop := sim.NewChanNamed[struct{}](t, "stop", 1)
+		rotated := sim.NewAtomicInt64(t, "rotated")
+		badFlush := sim.NewAtomicInt64(t, "badFlush")
+		t.GoNamed("flusher", func(tt *sim.T) {
+			for {
+				if fixed {
+					stopNow := false
+					sim.Select(tt,
+						sim.OnRecv(stop, func(struct{}, bool) { stopNow = true }),
+						sim.Default(nil),
+					)
+					if stopNow {
+						return
+					}
+				}
+				stopNow := false
+				sim.Select(tt,
+					sim.OnRecv(stop, func(struct{}, bool) { stopNow = true }),
+					sim.OnRecv(flush, func(struct{}, bool) {
+						if rotated.Load(tt) == 1 {
+							badFlush.Store(tt, 1) // wrote into the rotated file
+						}
+						tt.Work(5)
+					}),
+				)
+				if stopNow {
+					return
+				}
+			}
+		})
+		// Queue one flush, then rotate + stop while the flusher is busy,
+		// so both channels are pending when it next selects.
+		flush.Send(t, struct{}{})
+		t.Sleep(2)
+		flush.Send(t, struct{}{})
+		rotated.Store(t, 1)
+		stop.Send(t, struct{}{})
+		t.Sleep(50)
+		t.Check(badFlush.Load(t) == 0, "flushed after rotation (select nondeterminism)")
+	}
+}

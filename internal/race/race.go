@@ -1,0 +1,171 @@
+// Package race implements a happens-before data race detector in the style
+// of Go's built-in detector.
+//
+// Section 6.3 of the paper: "Go provides a data race detector which uses the
+// same happen-before algorithm as ThreadSanitizer ... the race detector
+// creates up to four shadow words for every memory object to store
+// historical accesses of the object. It compares every new access with the
+// stored shadow word values to detect possible races."
+//
+// This implementation attaches to the simulated runtime as a
+// sim.MemoryObserver. Every instrumented access is summarized as an epoch
+// (goroutine @ clock, see package hb) and stored in a bounded ring of shadow
+// words per variable. A new access races with a stored one when they touch
+// the same variable, at least one is a write, they come from different
+// goroutines, and neither happens-before the other. The bounded shadow ring
+// reproduces the paper's third failure mode: "with only four shadow words
+// for each memory object, the detector cannot keep a long history and may
+// miss data races."
+package race
+
+import (
+	"fmt"
+	"sort"
+
+	"goconcbugs/internal/hb"
+	"goconcbugs/internal/sim"
+)
+
+// DefaultShadowWords matches the Go race detector's per-object budget the
+// paper describes.
+const DefaultShadowWords = 4
+
+// Report describes one detected data race.
+type Report struct {
+	Var        string
+	FirstG     int
+	FirstEpoch hb.Epoch
+	FirstWrite bool
+	SecondG    int
+	SecondName string
+	SecondWrit bool
+	Step       int64
+}
+
+// String renders the report like a condensed `-race` diagnostic.
+func (r Report) String() string {
+	kind := func(w bool) string {
+		if w {
+			return "write"
+		}
+		return "read"
+	}
+	return fmt.Sprintf("DATA RACE on %s: %s by g%d (epoch %s) vs %s by g%d(%s) at step %d",
+		r.Var, kind(r.FirstWrite), r.FirstG, r.FirstEpoch,
+		kind(r.SecondWrit), r.SecondG, r.SecondName, r.Step)
+}
+
+// shadowWord is one remembered access.
+type shadowWord struct {
+	epoch hb.Epoch
+	write bool
+}
+
+type shadowState struct {
+	words []shadowWord // ring, newest last
+}
+
+// Detector observes instrumented accesses and accumulates race reports. It
+// implements sim.MemoryObserver. A Detector is single-run, single-threaded
+// state: create one per sim.Run.
+type Detector struct {
+	shadowWords int
+	vars        map[int]*shadowState
+	varNames    map[int]string
+	reports     []Report
+	reported    map[string]bool // dedup by variable + goroutine pair
+}
+
+// New creates a detector with the given shadow-word budget per variable
+// (0 means DefaultShadowWords; negative means unbounded, the ablation
+// configuration).
+func New(shadowWords int) *Detector {
+	if shadowWords == 0 {
+		shadowWords = DefaultShadowWords
+	}
+	return &Detector{
+		shadowWords: shadowWords,
+		vars:        make(map[int]*shadowState),
+		varNames:    make(map[int]string),
+		reported:    make(map[string]bool),
+	}
+}
+
+var _ sim.MemoryObserver = (*Detector)(nil)
+
+// Access implements sim.MemoryObserver: the FastTrack-style check of the new
+// access against every stored shadow word.
+func (d *Detector) Access(ac sim.MemAccess) {
+	st := d.vars[ac.Var.ID]
+	if st == nil {
+		st = &shadowState{}
+		d.vars[ac.Var.ID] = st
+		d.varNames[ac.Var.ID] = ac.Var.Name
+	}
+	for _, w := range st.words {
+		if w.epoch.G == ac.G {
+			continue // same goroutine: program order
+		}
+		if !w.write && !ac.Write {
+			continue // read/read never races
+		}
+		if ac.VC.HappensBefore(w.epoch) {
+			continue // ordered by synchronization
+		}
+		key := fmt.Sprintf("%s/%d/%d", ac.Var.Name, minInt(w.epoch.G, ac.G), maxInt(w.epoch.G, ac.G))
+		if d.reported[key] {
+			continue
+		}
+		d.reported[key] = true
+		d.reports = append(d.reports, Report{
+			Var:        ac.Var.Name,
+			FirstG:     w.epoch.G,
+			FirstEpoch: w.epoch,
+			FirstWrite: w.write,
+			SecondG:    ac.G,
+			SecondName: ac.GName,
+			SecondWrit: ac.Write,
+			Step:       ac.Step,
+		})
+	}
+	// Record the new access, evicting the oldest shadow word when the
+	// budget is exhausted (the detector's bounded history).
+	word := shadowWord{epoch: hb.EpochOf(ac.VC, ac.G), write: ac.Write}
+	if d.shadowWords > 0 && len(st.words) >= d.shadowWords {
+		copy(st.words, st.words[1:])
+		st.words[len(st.words)-1] = word
+		return
+	}
+	st.words = append(st.words, word)
+}
+
+// Reports returns the detected races in detection order.
+func (d *Detector) Reports() []Report { return d.reports }
+
+// RacyVars returns the distinct variable names involved in races, sorted.
+func (d *Detector) RacyVars() []string {
+	seen := map[string]bool{}
+	for _, r := range d.reports {
+		seen[r.Var] = true
+	}
+	out := make([]string, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,125 @@
+// Package report renders the study's tables and figures as plain text, the
+// way the CLI and benchmarks present them.
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a titled grid with a header row.
+type Table struct {
+	Title  string
+	Note   string
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a row of cells.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	if t.Note != "" {
+		fmt.Fprintf(&b, "note: %s\n", t.Note)
+	}
+	return b.String()
+}
+
+// Itoa is fmt.Sprintf("%d", n) shorthand for table cells.
+func Itoa(n int) string { return fmt.Sprintf("%d", n) }
+
+// Ftoa formats a float with two decimals.
+func Ftoa(f float64) string { return fmt.Sprintf("%.2f", f) }
+
+// Pct formats a fraction as a percentage.
+func Pct(f float64) string { return fmt.Sprintf("%.1f%%", f*100) }
+
+// Series is a labeled sequence of (x, y) points — the text form of a
+// figure's line.
+type Series struct {
+	Label  string
+	Points [][2]float64
+}
+
+// Figure is a titled collection of series with an optional ASCII sparkline
+// rendering.
+type Figure struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// String renders each series as a compact sparkline plus endpoints.
+func (f *Figure) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s  (x: %s, y: %s)\n", f.Title, f.XLabel, f.YLabel)
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, "  %-16s %s", s.Label, sparkline(s.Points))
+		if n := len(s.Points); n > 0 {
+			fmt.Fprintf(&b, "  [%.2f .. %.2f]", s.Points[0][1], s.Points[n-1][1])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+var sparkRunes = []rune("▁▂▃▄▅▆▇█")
+
+func sparkline(points [][2]float64) string {
+	if len(points) == 0 {
+		return ""
+	}
+	lo, hi := points[0][1], points[0][1]
+	for _, p := range points {
+		if p[1] < lo {
+			lo = p[1]
+		}
+		if p[1] > hi {
+			hi = p[1]
+		}
+	}
+	var b strings.Builder
+	for _, p := range points {
+		idx := 0
+		if hi > lo {
+			idx = int((p[1] - lo) / (hi - lo) * float64(len(sparkRunes)-1))
+		}
+		b.WriteRune(sparkRunes[idx])
+	}
+	return b.String()
+}

@@ -1,0 +1,73 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tb := &Table{
+		Title:  "T",
+		Header: []string{"name", "n"},
+	}
+	tb.AddRow("a", "1")
+	tb.AddRow("longer-name", "22")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	// The numeric column starts at the same offset on every data line.
+	idx := strings.Index(lines[1], "n")
+	for _, l := range lines[3:] {
+		if len(l) <= idx {
+			t.Fatalf("row too short: %q", l)
+		}
+	}
+}
+
+func TestTableNote(t *testing.T) {
+	tb := &Table{Header: []string{"a"}, Note: "reconstructed"}
+	tb.AddRow("x")
+	if !strings.Contains(tb.String(), "note: reconstructed") {
+		t.Fatal("note missing")
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if Itoa(42) != "42" || Ftoa(1.234) != "1.23" || Pct(0.5) != "50.0%" {
+		t.Fatal("formatter output changed")
+	}
+}
+
+func TestFigureSparkline(t *testing.T) {
+	f := &Figure{
+		Title: "F", XLabel: "x", YLabel: "y",
+		Series: []Series{{
+			Label:  "s",
+			Points: [][2]float64{{0, 0}, {1, 0.5}, {2, 1}},
+		}},
+	}
+	out := f.String()
+	if !strings.Contains(out, "s") || !strings.Contains(out, "[0.00 .. 1.00]") {
+		t.Fatalf("figure output:\n%s", out)
+	}
+	if !strings.ContainsRune(out, '▁') || !strings.ContainsRune(out, '█') {
+		t.Fatalf("sparkline missing extremes:\n%s", out)
+	}
+}
+
+func TestSparklineFlatSeries(t *testing.T) {
+	f := &Figure{Series: []Series{{Label: "flat", Points: [][2]float64{{0, 3}, {1, 3}}}}}
+	out := f.String()
+	if strings.Count(out, "▁") != 2 {
+		t.Fatalf("flat series should render as the lowest glyph:\n%s", out)
+	}
+}
+
+func TestEmptyFigure(t *testing.T) {
+	f := &Figure{Title: "empty"}
+	if !strings.Contains(f.String(), "empty") {
+		t.Fatal("title missing")
+	}
+}

@@ -1,0 +1,283 @@
+// Package rpc is the substrate for Table 3's dynamic comparison.
+//
+// The paper ran gRPC-Go and gRPC-C against three RPC benchmarks and
+// measured (a) how many goroutines the Go version creates relative to the
+// threads the C version creates and (b) the average goroutine lifetime
+// normalized by total run time (threads in gRPC-C live for the whole run;
+// goroutines are short-lived).
+//
+// We cannot ship the authors' testbed, so we isolate the property Table 3
+// actually measures: the *server threading model*. This package implements
+// one small RPC framework over an in-memory transport with two
+// interchangeable models —
+//
+//   - ModelGoroutinePerRequest: the gRPC-Go style; every accepted
+//     connection gets a receiver goroutine and every request gets a fresh
+//     handler goroutine (plus per-call sender goroutines on the client),
+//   - ModelWorkerPool: the gRPC-C style; a fixed pool of long-lived workers
+//     (gRPC-C has five thread-creation sites) serves every request, and the
+//     client runs synchronous calls on its fixed threads.
+//
+// Both models execute the same three workloads the benchmarks configure
+// ("different message formats, different numbers of connections, and
+// synchronous vs. asynchronous RPC requests"), and instrumented spawn
+// points record every goroutine's lifetime, which is what the Table 3 bench
+// reports.
+package rpc
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Model selects the server (and client) threading model.
+type Model int
+
+// The two threading models.
+const (
+	ModelGoroutinePerRequest Model = iota // gRPC-Go style
+	ModelWorkerPool                       // gRPC-C style
+)
+
+// String implements fmt.Stringer.
+func (m Model) String() string {
+	if m == ModelWorkerPool {
+		return "worker-pool (gRPC-C model)"
+	}
+	return "goroutine-per-request (gRPC-Go model)"
+}
+
+// Request is one RPC request.
+type Request struct {
+	ID      int
+	Method  string
+	Payload []byte
+}
+
+// Response is one RPC response.
+type Response struct {
+	ID      int
+	Payload []byte
+}
+
+// Handler computes a response; WorkCost simulates marshaling/compute cost.
+type Handler func(Request) Response
+
+// Tracker records goroutine (or worker-thread) creations and lifetimes.
+type Tracker struct {
+	mu        sync.Mutex
+	created   int64
+	lifetimes []time.Duration
+	runStart  time.Time
+	runEnd    time.Time
+}
+
+// NewTracker starts a tracking window.
+func NewTracker() *Tracker {
+	return &Tracker{runStart: time.Now()}
+}
+
+// Spawn runs fn on a new tracked goroutine.
+func (tr *Tracker) Spawn(fn func()) {
+	atomic.AddInt64(&tr.created, 1)
+	start := time.Now()
+	go func() {
+		defer func() {
+			d := time.Since(start)
+			tr.mu.Lock()
+			tr.lifetimes = append(tr.lifetimes, d)
+			tr.mu.Unlock()
+		}()
+		fn()
+	}()
+}
+
+// Finish closes the tracking window.
+func (tr *Tracker) Finish() { tr.runEnd = time.Now() }
+
+// Created returns the number of tracked goroutines.
+func (tr *Tracker) Created() int { return int(atomic.LoadInt64(&tr.created)) }
+
+// AvgLifetimeNormalized returns mean(goroutine lifetime) / total run time —
+// Table 3's second metric.
+func (tr *Tracker) AvgLifetimeNormalized() float64 {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	if len(tr.lifetimes) == 0 {
+		return 0
+	}
+	total := tr.runEnd.Sub(tr.runStart)
+	if total <= 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, d := range tr.lifetimes {
+		sum += d
+	}
+	avg := sum / time.Duration(len(tr.lifetimes))
+	return float64(avg) / float64(total)
+}
+
+// conn is one in-memory connection: a request stream and a response stream.
+type conn struct {
+	reqs  chan Request
+	resps chan Response
+}
+
+func newConn(depth int) *conn {
+	return &conn{
+		reqs:  make(chan Request, depth),
+		resps: make(chan Response, depth),
+	}
+}
+
+// Server serves RPCs over accepted connections under a threading model.
+type Server struct {
+	model   Model
+	pool    int
+	handler Handler
+	tracker *Tracker
+
+	mu     sync.Mutex
+	conns  []*conn
+	workCh chan work      // worker-pool dispatch queue
+	connWG sync.WaitGroup // receive loops and per-request handlers
+	poolWG sync.WaitGroup // fixed worker threads
+	closed bool
+}
+
+type work struct {
+	req Request
+	out chan<- Response
+}
+
+// NewServer creates a server; poolSize only applies to ModelWorkerPool
+// (gRPC-C's five threads by default when 0).
+func NewServer(model Model, poolSize int, handler Handler, tracker *Tracker) *Server {
+	if poolSize <= 0 {
+		poolSize = 5
+	}
+	s := &Server{model: model, pool: poolSize, handler: handler, tracker: tracker}
+	if model == ModelWorkerPool {
+		s.workCh = make(chan work, 128)
+		for i := 0; i < poolSize; i++ {
+			s.poolWG.Add(1)
+			tracker.Spawn(func() {
+				defer s.poolWG.Done()
+				for w := range s.workCh {
+					w.out <- s.handler(w.req)
+				}
+			})
+		}
+	}
+	return s
+}
+
+// accept registers a connection and starts its receive loop.
+func (s *Server) accept(c *conn) {
+	s.mu.Lock()
+	s.conns = append(s.conns, c)
+	s.mu.Unlock()
+	s.connWG.Add(1)
+	s.tracker.Spawn(func() {
+		defer s.connWG.Done()
+		for req := range c.reqs {
+			switch s.model {
+			case ModelGoroutinePerRequest:
+				req := req
+				s.connWG.Add(1)
+				s.tracker.Spawn(func() {
+					defer s.connWG.Done()
+					c.resps <- s.handler(req)
+				})
+			case ModelWorkerPool:
+				s.workCh <- work{req: req, out: c.resps}
+			}
+		}
+	})
+}
+
+// Close shuts the server down after all connections have been closed by
+// their clients.
+func (s *Server) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.closed = true
+	// Receive loops drain first (clients have hung up), then the pool,
+	// if any, is told to stop and waited for.
+	s.connWG.Wait()
+	if s.workCh != nil {
+		close(s.workCh)
+		s.poolWG.Wait()
+	}
+}
+
+// Client issues RPCs over one connection.
+type Client struct {
+	model   Model
+	conn    *conn
+	tracker *Tracker
+	nextID  int64
+}
+
+// Dial connects a new client to the server.
+func Dial(s *Server, model Model, tracker *Tracker, depth int) *Client {
+	c := newConn(depth)
+	s.accept(c)
+	return &Client{model: model, conn: c, tracker: tracker}
+}
+
+// Call performs one synchronous RPC.
+func (c *Client) Call(method string, payload []byte) Response {
+	id := int(atomic.AddInt64(&c.nextID, 1))
+	c.conn.reqs <- Request{ID: id, Method: method, Payload: payload}
+	return <-c.conn.resps
+}
+
+// CallAsync issues the request on a fresh goroutine (the Go style of
+// wrapping a blocking call) and delivers the response on the returned
+// channel. Under the worker-pool model the caller is expected to use Call
+// from its fixed threads instead.
+func (c *Client) CallAsync(method string, payload []byte) <-chan Response {
+	out := make(chan Response, 1)
+	id := int(atomic.AddInt64(&c.nextID, 1))
+	c.tracker.Spawn(func() {
+		c.conn.reqs <- Request{ID: id, Method: method, Payload: payload}
+		out <- <-c.conn.resps
+	})
+	return out
+}
+
+// Hangup closes the client's request stream.
+func (c *Client) Hangup() { close(c.conn.reqs) }
+
+// EchoHandler returns a handler that spins for cost and echoes the payload.
+func EchoHandler(cost time.Duration) Handler {
+	return func(r Request) Response {
+		if cost > 0 {
+			busyWait(cost)
+		}
+		return Response{ID: r.ID, Payload: r.Payload}
+	}
+}
+
+// busyWait burns CPU for roughly d (sleeping would park the goroutine and
+// make worker threads look idle rather than busy).
+func busyWait(d time.Duration) {
+	end := time.Now().Add(d)
+	for time.Now().Before(end) {
+	}
+}
+
+// Validate checks a response echoes its request (used by workloads).
+func Validate(req []byte, resp Response) error {
+	if string(resp.Payload) != string(req) {
+		return fmt.Errorf("rpc: payload mismatch")
+	}
+	return nil
+}

@@ -1,0 +1,97 @@
+package rpc
+
+import (
+	"testing"
+	"time"
+)
+
+func TestEchoRoundTrip(t *testing.T) {
+	tr := NewTracker()
+	srv := NewServer(ModelGoroutinePerRequest, 0, EchoHandler(0), tr)
+	cl := Dial(srv, ModelGoroutinePerRequest, tr, 4)
+	resp := cl.Call("echo", []byte("hello"))
+	if err := Validate([]byte("hello"), resp); err != nil {
+		t.Fatal(err)
+	}
+	cl.Hangup()
+	srv.Close()
+}
+
+func TestWorkerPoolServesAllRequests(t *testing.T) {
+	tr := NewTracker()
+	srv := NewServer(ModelWorkerPool, 3, EchoHandler(0), tr)
+	cl := Dial(srv, ModelWorkerPool, tr, 4)
+	for i := 0; i < 20; i++ {
+		resp := cl.Call("echo", []byte{byte(i)})
+		if len(resp.Payload) != 1 || resp.Payload[0] != byte(i) {
+			t.Fatalf("bad echo at %d: %v", i, resp.Payload)
+		}
+	}
+	cl.Hangup()
+	srv.Close()
+}
+
+func TestAsyncCallsComplete(t *testing.T) {
+	tr := NewTracker()
+	srv := NewServer(ModelGoroutinePerRequest, 0, EchoHandler(0), tr)
+	cl := Dial(srv, ModelGoroutinePerRequest, tr, 16)
+	var chans []<-chan Response
+	for i := 0; i < 16; i++ {
+		chans = append(chans, cl.CallAsync("echo", []byte("x")))
+	}
+	for _, ch := range chans {
+		select {
+		case <-ch:
+		case <-time.After(5 * time.Second):
+			t.Fatal("async call never completed")
+		}
+	}
+	cl.Hangup()
+	srv.Close()
+}
+
+func TestAllWorkloadsComplete(t *testing.T) {
+	for _, w := range Workloads() {
+		for _, model := range []Model{ModelGoroutinePerRequest, ModelWorkerPool} {
+			res := Run(w, model)
+			want := w.Connections * w.Requests
+			if res.RequestsCompleted != want {
+				t.Errorf("%s/%v: completed %d, want %d", w.Name, model, res.RequestsCompleted, want)
+			}
+			if res.ValidationsFailures != 0 {
+				t.Errorf("%s/%v: %d validation failures", w.Name, model, res.ValidationsFailures)
+			}
+		}
+	}
+}
+
+// TestTable3Shape asserts Observation 1's shape: the Go model creates more,
+// shorter-lived goroutines than the C model.
+func TestTable3Shape(t *testing.T) {
+	for _, w := range Workloads() {
+		cmp := Compare(w)
+		if cmp.ServerCreateRatio <= 1 {
+			t.Errorf("%s: server create ratio %.2f, want > 1", w.Name, cmp.ServerCreateRatio)
+		}
+		if cmp.Go.ServerNormLifetime >= 0.9 {
+			t.Errorf("%s: Go server goroutines live %.0f%% of the run; should be short-lived",
+				w.Name, cmp.Go.ServerNormLifetime*100)
+		}
+		if cmp.C.ServerNormLifetime < cmp.Go.ServerNormLifetime {
+			t.Errorf("%s: C worker threads (%.2f) should out-live Go goroutines (%.2f)",
+				w.Name, cmp.C.ServerNormLifetime, cmp.Go.ServerNormLifetime)
+		}
+	}
+}
+
+func TestLatencyPercentilesRecorded(t *testing.T) {
+	for _, model := range []Model{ModelGoroutinePerRequest, ModelWorkerPool} {
+		res := Run(Workloads()[0], model)
+		if res.LatencyP50 <= 0 || res.LatencyP99 <= 0 {
+			t.Errorf("%v: zero latency percentiles: p50=%v p99=%v", model, res.LatencyP50, res.LatencyP99)
+		}
+		if res.LatencyP99 < res.LatencyP50 {
+			t.Errorf("%v: p99 (%v) below p50 (%v)", model, res.LatencyP99, res.LatencyP50)
+		}
+	}
+}

@@ -1,0 +1,166 @@
+package rpc
+
+import (
+	"bytes"
+	"sort"
+	"sync"
+	"time"
+)
+
+// The three benchmark workloads of Table 3. Each runs the same request
+// stream against a server under either threading model and returns the
+// tracked metrics for both the client and the server side (the paper
+// reports the two sides separately).
+
+// Workload describes one Table 3 benchmark.
+type Workload struct {
+	Name        string
+	Connections int
+	Requests    int // per connection
+	PayloadSize int
+	Async       bool          // pipelined (asynchronous) calls
+	HandlerCost time.Duration // simulated marshal/compute cost
+}
+
+// Workloads returns the three benchmark configurations: a synchronous
+// small-message workload, an asynchronous streaming workload, and a
+// many-connection workload — mirroring the benchmark suite's axes
+// (message format, connection count, sync vs async).
+func Workloads() []Workload {
+	return []Workload{
+		{Name: "sync-small", Connections: 2, Requests: 40, PayloadSize: 16, Async: false, HandlerCost: 50 * time.Microsecond},
+		{Name: "async-stream", Connections: 2, Requests: 40, PayloadSize: 256, Async: true, HandlerCost: 50 * time.Microsecond},
+		{Name: "multi-conn", Connections: 8, Requests: 10, PayloadSize: 64, Async: false, HandlerCost: 50 * time.Microsecond},
+	}
+}
+
+// RunResult carries the per-side measurements of one workload execution.
+type RunResult struct {
+	Workload string
+	Model    Model
+	// Server- and client-side goroutine counts and normalized average
+	// lifetimes (Table 3's two metrics).
+	ServerGoroutines    int
+	ClientGoroutines    int
+	ServerNormLifetime  float64
+	ClientNormLifetime  float64
+	RequestsCompleted   int
+	ValidationsFailures int
+	// Latency percentiles over the completed requests.
+	LatencyP50 time.Duration
+	LatencyP99 time.Duration
+}
+
+// percentile returns the p-quantile of sorted latencies.
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+// Run executes the workload under the given model.
+func Run(w Workload, model Model) RunResult {
+	serverTr := NewTracker()
+	clientTr := NewTracker()
+	srv := NewServer(model, 5, EchoHandler(w.HandlerCost), serverTr)
+
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	completed, failures := 0, 0
+	var latencies []time.Duration
+	payload := bytes.Repeat([]byte{0xab}, w.PayloadSize)
+	record := func(start time.Time, resp Response) {
+		d := time.Since(start)
+		mu.Lock()
+		completed++
+		latencies = append(latencies, d)
+		if Validate(payload, resp) != nil {
+			failures++
+		}
+		mu.Unlock()
+	}
+
+	for i := 0; i < w.Connections; i++ {
+		cl := Dial(srv, model, clientTr, w.Requests)
+		wg.Add(1)
+		clientRun := func() {
+			defer wg.Done()
+			defer cl.Hangup()
+			if w.Async && model == ModelGoroutinePerRequest {
+				// Pipelined: every call on its own goroutine.
+				start := time.Now()
+				chans := make([]<-chan Response, 0, w.Requests)
+				for r := 0; r < w.Requests; r++ {
+					chans = append(chans, cl.CallAsync("echo", payload))
+				}
+				for _, ch := range chans {
+					record(start, <-ch)
+				}
+				return
+			}
+			for r := 0; r < w.Requests; r++ {
+				start := time.Now()
+				record(start, cl.Call("echo", payload))
+			}
+		}
+		if model == ModelGoroutinePerRequest {
+			// Go style: a goroutine per connection on the client too.
+			clientTr.Spawn(clientRun)
+		} else {
+			// C style: a small fixed set of client threads; model it
+			// as plain goroutines outside the tracked set, counted
+			// once below.
+			go clientRun()
+		}
+	}
+	wg.Wait()
+	srv.Close()
+	serverTr.Finish()
+	clientTr.Finish()
+
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	res := RunResult{
+		Workload:            w.Name,
+		Model:               model,
+		ServerGoroutines:    serverTr.Created(),
+		ClientGoroutines:    clientTr.Created(),
+		ServerNormLifetime:  serverTr.AvgLifetimeNormalized(),
+		ClientNormLifetime:  clientTr.AvgLifetimeNormalized(),
+		RequestsCompleted:   completed,
+		ValidationsFailures: failures,
+		LatencyP50:          percentile(latencies, 0.50),
+		LatencyP99:          percentile(latencies, 0.99),
+	}
+	if model == ModelWorkerPool {
+		// The C client's fixed threads: one per connection, alive for
+		// the whole run (normalized lifetime ~100%).
+		res.ClientGoroutines = w.Connections
+		res.ClientNormLifetime = 1.0
+	}
+	return res
+}
+
+// Comparison pairs the two models on one workload, the shape of a Table 3
+// row.
+type Comparison struct {
+	Workload          Workload
+	Go, C             RunResult
+	ServerCreateRatio float64 // goroutines created / threads created
+	ClientCreateRatio float64
+}
+
+// Compare runs both models on w.
+func Compare(w Workload) Comparison {
+	goRes := Run(w, ModelGoroutinePerRequest)
+	cRes := Run(w, ModelWorkerPool)
+	cmp := Comparison{Workload: w, Go: goRes, C: cRes}
+	if cRes.ServerGoroutines > 0 {
+		cmp.ServerCreateRatio = float64(goRes.ServerGoroutines) / float64(cRes.ServerGoroutines)
+	}
+	if cRes.ClientGoroutines > 0 {
+		cmp.ClientCreateRatio = float64(goRes.ClientGoroutines) / float64(cRes.ClientGoroutines)
+	}
+	return cmp
+}

@@ -1,0 +1,68 @@
+package sim
+
+import (
+	"fmt"
+
+	"goconcbugs/internal/hb"
+)
+
+// AtomicInt64 models sync/atomic operations on an int64. As with Go's race
+// detector, atomic operations are synchronization: they never race and they
+// carry happens-before edges (each store releases, each load acquires).
+type AtomicInt64 struct {
+	rt   *runtime
+	id   int
+	name string
+	val  int64
+	vc   hb.VC
+}
+
+// NewAtomicInt64 creates an atomic cell.
+func NewAtomicInt64(t *T, name string) *AtomicInt64 {
+	t.rt.nextSyncID++
+	if name == "" {
+		name = fmt.Sprintf("atomic#%d", t.rt.nextSyncID)
+	}
+	return &AtomicInt64{rt: t.rt, id: t.rt.nextSyncID, name: name, vc: hb.New()}
+}
+
+// Load atomically reads the value.
+func (a *AtomicInt64) Load(t *T) int64 {
+	t.yield()
+	t.g.vc.Join(a.vc)
+	return a.val
+}
+
+// Store atomically writes the value.
+func (a *AtomicInt64) Store(t *T, v int64) {
+	t.yield()
+	a.vc.Join(t.g.vc)
+	t.g.tick()
+	a.val = v
+}
+
+// Add atomically adds delta and returns the new value.
+func (a *AtomicInt64) Add(t *T, delta int64) int64 {
+	t.yield()
+	t.g.vc.Join(a.vc)
+	a.vc.Join(t.g.vc)
+	t.g.tick()
+	a.val += delta
+	return a.val
+}
+
+// CompareAndSwap performs the atomic CAS.
+func (a *AtomicInt64) CompareAndSwap(t *T, old, new int64) bool {
+	t.yield()
+	t.g.vc.Join(a.vc)
+	if a.val != old {
+		return false
+	}
+	a.vc.Join(t.g.vc)
+	t.g.tick()
+	a.val = new
+	return true
+}
+
+// Name returns the cell's report name.
+func (a *AtomicInt64) Name() string { return a.name }

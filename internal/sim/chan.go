@@ -1,0 +1,370 @@
+package sim
+
+import (
+	"fmt"
+
+	"goconcbugs/internal/hb"
+)
+
+// Channel semantics implemented here follow Section 2.3 of the paper:
+//
+//   - send/receive on an unbuffered channel blocks until the rendezvous;
+//   - send on a buffered channel blocks only when the buffer is full;
+//   - send or receive on a nil channel blocks the goroutine forever;
+//   - send on a closed channel and closing a closed (or nil) channel panic;
+//   - receive on a closed channel drains the buffer then yields zero, false.
+
+const (
+	dirSend = iota
+	dirRecv
+)
+
+// waiter represents a goroutine parked on a channel operation, either a
+// direct send/receive or one case of a blocked select.
+type waiter struct {
+	g       *G
+	dir     int
+	val     any   // value being sent (dir == dirSend)
+	vcSnap  hb.VC // sender's clock at enqueue time
+	sel     *selectOp
+	caseIdx int
+	// Filled by the party completing the operation:
+	recvVal  any
+	recvOK   bool
+	panicMsg string
+}
+
+// claimed reports whether this waiter can no longer be matched because its
+// select already completed through another case.
+func (w *waiter) claimed() bool { return w.sel != nil && w.sel.done }
+
+// claim marks the waiter's select as completed via this case.
+func (w *waiter) claim() {
+	if w.sel != nil {
+		w.sel.done = true
+		w.sel.chosen = w.caseIdx
+	}
+}
+
+type bufItem struct {
+	val any
+	vc  hb.VC
+}
+
+// chanCore is the untyped channel implementation shared by Chan[V] and the
+// context/timer/pipe libraries built on top of it.
+type chanCore struct {
+	rt     *runtime
+	id     int
+	name   string
+	cap    int
+	buf    []bufItem
+	closed bool
+	// closeVC is the closing goroutine's clock; receivers observing the
+	// close acquire it.
+	closeVC hb.VC
+	sendq   []*waiter
+	recvq   []*waiter
+}
+
+func (rt *runtime) newChanCore(name string, capacity int) *chanCore {
+	rt.nextChanID++
+	if name == "" {
+		name = fmt.Sprintf("chan#%d", rt.nextChanID)
+	}
+	return &chanCore{rt: rt, id: rt.nextChanID, name: name, cap: capacity}
+}
+
+// dequeue pops the first live waiter from q, skipping claimed select cases.
+func dequeue(q *[]*waiter) *waiter {
+	for len(*q) > 0 {
+		w := (*q)[0]
+		*q = (*q)[1:]
+		if w.claimed() {
+			continue
+		}
+		return w
+	}
+	return nil
+}
+
+// liveWaiter reports whether q holds at least one unclaimed waiter.
+func liveWaiter(q []*waiter) bool {
+	for _, w := range q {
+		if !w.claimed() {
+			return true
+		}
+	}
+	return false
+}
+
+// sendReady reports whether a send would complete (or panic) immediately.
+func (c *chanCore) sendReady() bool {
+	if c == nil {
+		return false
+	}
+	return c.closed || len(c.buf) < c.cap || liveWaiter(c.recvq)
+}
+
+// recvReady reports whether a receive would complete immediately.
+func (c *chanCore) recvReady() bool {
+	if c == nil {
+		return false
+	}
+	return c.closed || len(c.buf) > 0 || liveWaiter(c.sendq)
+}
+
+// completeSend performs a send that is known to be ready. t is the sender.
+func (c *chanCore) completeSend(t *T, v any) {
+	if c.closed {
+		t.Panicf("send on closed channel %s", c.name)
+	}
+	if w := dequeue(&c.recvq); w != nil {
+		// Direct handoff to a parked receiver (or select case).
+		w.claim()
+		w.recvVal, w.recvOK = v, true
+		w.g.vc.Join(t.g.vc)
+		if c.cap == 0 {
+			// An unbuffered rendezvous synchronizes both ways.
+			t.g.vc.Join(w.g.vc)
+			w.g.tick()
+		}
+		t.g.tick()
+		c.rt.unblock(w.g)
+		c.rt.event(t.g, "send", c.name, fmt.Sprintf("handoff to g%d", w.g.id))
+		return
+	}
+	// Buffer space is available.
+	c.buf = append(c.buf, bufItem{val: v, vc: t.g.vc.Clone()})
+	t.g.tick()
+	c.rt.event(t.g, "send", c.name, "buffered")
+}
+
+// completeRecv performs a receive that is known to be ready.
+func (c *chanCore) completeRecv(t *T) (any, bool) {
+	if len(c.buf) > 0 {
+		item := c.buf[0]
+		c.buf = c.buf[1:]
+		t.g.vc.Join(item.vc)
+		// A sender may be parked waiting for buffer space; admit it.
+		if w := dequeue(&c.sendq); w != nil {
+			w.claim()
+			c.buf = append(c.buf, bufItem{val: w.val, vc: w.vcSnap})
+			c.rt.unblock(w.g)
+		}
+		c.rt.event(t.g, "recv", c.name, "buffered")
+		return item.val, true
+	}
+	if w := dequeue(&c.sendq); w != nil {
+		// Unbuffered rendezvous with a parked sender.
+		w.claim()
+		t.g.vc.Join(w.vcSnap)
+		w.g.vc.Join(t.g.vc)
+		t.g.tick()
+		w.g.tick()
+		c.rt.unblock(w.g)
+		c.rt.event(t.g, "recv", c.name, fmt.Sprintf("rendezvous with g%d", w.g.id))
+		return w.val, true
+	}
+	// Closed and drained.
+	t.g.vc.Join(c.closeVC)
+	c.rt.event(t.g, "recv", c.name, "closed")
+	return nil, false
+}
+
+// send implements the blocking send.
+func (c *chanCore) send(t *T, v any) {
+	t.yield()
+	if c == nil {
+		t.emitSync(OpChanNil, "nil channel (send)", 0, 0)
+		t.blockForever(BlockChanSend, "nil channel")
+	}
+	if c.closed {
+		t.emitSync(OpChanSendClosed, c.name, 0, 0)
+	} else {
+		t.emitSync(OpChanSend, c.name, 0, 0)
+	}
+	if c.sendReady() {
+		c.completeSend(t, v)
+		return
+	}
+	w := &waiter{g: t.g, dir: dirSend, val: v, vcSnap: t.g.vc.Clone()}
+	c.sendq = append(c.sendq, w)
+	t.block(BlockChanSend, c.name)
+	if w.panicMsg != "" {
+		t.Panicf("%s", w.panicMsg)
+	}
+	// A receiver matched us; it already did the clock transfer.
+	t.g.tick()
+}
+
+// recv implements the blocking receive.
+func (c *chanCore) recv(t *T) (any, bool) {
+	t.yield()
+	if c == nil {
+		t.emitSync(OpChanNil, "nil channel (recv)", 0, 0)
+		t.blockForever(BlockChanRecv, "nil channel")
+	}
+	t.emitSync(OpChanRecv, c.name, 0, 0)
+	if c.recvReady() {
+		return c.completeRecv(t)
+	}
+	w := &waiter{g: t.g, dir: dirRecv}
+	c.recvq = append(c.recvq, w)
+	t.block(BlockChanRecv, c.name)
+	return w.recvVal, w.recvOK
+}
+
+// close implements the close builtin.
+func (c *chanCore) close(t *T) {
+	t.yield()
+	if c == nil {
+		t.emitSync(OpChanNil, "nil channel (close)", 0, 0)
+		t.Panicf("close of nil channel")
+	}
+	if c.closed {
+		t.emitSync(OpChanCloseClosed, c.name, 0, 0)
+		t.Panicf("close of closed channel %s", c.name)
+	}
+	t.emitSync(OpChanClose, c.name, 0, 0)
+	c.closed = true
+	c.closeVC = t.g.vc.Clone()
+	t.g.tick()
+	c.rt.event(t.g, "close", c.name, "")
+	// Every parked receiver observes the close.
+	for {
+		w := dequeue(&c.recvq)
+		if w == nil {
+			break
+		}
+		w.claim()
+		w.recvVal, w.recvOK = nil, false
+		w.g.vc.Join(c.closeVC)
+		c.rt.unblock(w.g)
+	}
+	// Parked senders panic, as in real Go.
+	for {
+		w := dequeue(&c.sendq)
+		if w == nil {
+			break
+		}
+		w.claim()
+		w.panicMsg = fmt.Sprintf("send on closed channel %s", c.name)
+		c.rt.unblock(w.g)
+	}
+}
+
+// trySendFromRuntime delivers a value from scheduler context (timer fires)
+// without blocking: parked receiver first, then buffer space, else dropped.
+// It returns whether the value was delivered.
+func (c *chanCore) trySendFromRuntime(vc hb.VC, v any) bool {
+	if c.closed {
+		return false
+	}
+	if w := dequeue(&c.recvq); w != nil {
+		w.claim()
+		w.recvVal, w.recvOK = v, true
+		w.g.vc.Join(vc)
+		c.rt.unblock(w.g)
+		return true
+	}
+	if len(c.buf) < c.cap {
+		c.buf = append(c.buf, bufItem{val: v, vc: vc.Clone()})
+		return true
+	}
+	return false
+}
+
+// closeFromRuntime closes the channel from scheduler context (context
+// cancellation driven by a timer). Closing an already-closed channel is a
+// no-op here because the runtime uses it idempotently.
+func (c *chanCore) closeFromRuntime(vc hb.VC) {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	c.closeVC = vc.Clone()
+	for {
+		w := dequeue(&c.recvq)
+		if w == nil {
+			break
+		}
+		w.claim()
+		w.recvVal, w.recvOK = nil, false
+		w.g.vc.Join(c.closeVC)
+		c.rt.unblock(w.g)
+	}
+	for {
+		w := dequeue(&c.sendq)
+		if w == nil {
+			break
+		}
+		w.claim()
+		w.panicMsg = fmt.Sprintf("send on closed channel %s", c.name)
+		c.rt.unblock(w.g)
+	}
+}
+
+// Chan is a typed simulated channel. The zero value behaves like a nil
+// channel: sends and receives block forever, close panics.
+type Chan[V any] struct {
+	core *chanCore
+}
+
+// NewChan makes a channel with the given capacity (0 = unbuffered),
+// mirroring make(chan V, capacity).
+func NewChan[V any](t *T, capacity int) Chan[V] {
+	return Chan[V]{core: t.rt.newChanCore("", capacity)}
+}
+
+// NewChanNamed makes a named channel for more readable reports.
+func NewChanNamed[V any](t *T, name string, capacity int) Chan[V] {
+	return Chan[V]{core: t.rt.newChanCore(name, capacity)}
+}
+
+// NilChan returns the nil channel of type V.
+func NilChan[V any]() Chan[V] { return Chan[V]{} }
+
+// IsNil reports whether the channel is nil.
+func (c Chan[V]) IsNil() bool { return c.core == nil }
+
+// Send sends v, blocking per Go channel semantics.
+func (c Chan[V]) Send(t *T, v V) { c.core.send(t, v) }
+
+// Recv receives a value; ok is false when the channel is closed and
+// drained.
+func (c Chan[V]) Recv(t *T) (V, bool) {
+	v, ok := c.core.recv(t)
+	if !ok || v == nil {
+		var zero V
+		return zero, ok
+	}
+	return v.(V), ok
+}
+
+// Close closes the channel, panicking on double close or nil channel.
+func (c Chan[V]) Close(t *T) { c.core.close(t) }
+
+// Len returns the number of buffered values.
+func (c Chan[V]) Len() int {
+	if c.core == nil {
+		return 0
+	}
+	return len(c.core.buf)
+}
+
+// Cap returns the channel capacity.
+func (c Chan[V]) Cap() int {
+	if c.core == nil {
+		return 0
+	}
+	return c.core.cap
+}
+
+// Name returns the channel's report name.
+func (c Chan[V]) Name() string {
+	if c.core == nil {
+		return "nil"
+	}
+	return c.core.name
+}

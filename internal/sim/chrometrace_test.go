@@ -1,0 +1,48 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestWriteChromeTrace(t *testing.T) {
+	res := Run(Config{Seed: 1, Trace: true}, func(tt *T) {
+		ch := NewChanNamed[int](tt, "ch", 0)
+		tt.GoNamed("sender", func(ct *T) { ch.Send(ct, 1) })
+		ch.Recv(tt)
+	})
+	var buf bytes.Buffer
+	if err := res.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	var sawThreadName, sawChanOp bool
+	for _, e := range decoded.TraceEvents {
+		if e["ph"] == "M" && e["name"] == "thread_name" {
+			sawThreadName = true
+		}
+		if name, _ := e["name"].(string); name == "send ch" || name == "recv ch" {
+			sawChanOp = true
+		}
+	}
+	if !sawThreadName || !sawChanOp {
+		t.Fatalf("trace missing expected records (thread_name=%v chanOp=%v)", sawThreadName, sawChanOp)
+	}
+}
+
+func TestWriteChromeTraceEmpty(t *testing.T) {
+	res := Run(Config{Seed: 1}, func(tt *T) {}) // no Trace flag
+	var buf bytes.Buffer
+	if err := res.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("no output")
+	}
+}

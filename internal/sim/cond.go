@@ -1,0 +1,72 @@
+package sim
+
+import (
+	"fmt"
+
+	"goconcbugs/internal/hb"
+)
+
+// Cond models sync.Cond. Signals are not queued: a Signal with no waiter is
+// lost, so "one goroutine calls Cond.Wait(), but no other goroutines call
+// Cond.Signal() after that" blocks forever (Section 5.1.1's Wait category).
+type Cond struct {
+	rt      *runtime
+	id      int
+	name    string
+	mu      *Mutex
+	waiters []*G
+	vc      hb.VC
+}
+
+// NewCond creates a condition variable bound to mu.
+func NewCond(t *T, mu *Mutex, name string) *Cond {
+	t.rt.nextSyncID++
+	if name == "" {
+		name = fmt.Sprintf("cond#%d", t.rt.nextSyncID)
+	}
+	return &Cond{rt: t.rt, id: t.rt.nextSyncID, name: name, mu: mu, vc: hb.New()}
+}
+
+// Wait atomically unlocks the mutex, parks, and re-locks on wakeup. The
+// caller must hold the mutex.
+func (c *Cond) Wait(t *T) {
+	if c.mu.holder != t.g {
+		t.Panicf("sync: Cond.Wait on %s without holding its mutex", c.name)
+	}
+	t.emitSync(OpCondWait, c.name, 0, 0)
+	c.mu.Unlock(t)
+	c.waiters = append(c.waiters, t.g)
+	t.block(BlockCond, c.name)
+	t.g.vc.Join(c.vc)
+	c.mu.Lock(t)
+}
+
+// Signal wakes one waiter, if any.
+func (c *Cond) Signal(t *T) {
+	t.yield()
+	c.vc.Join(t.g.vc)
+	t.g.tick()
+	c.rt.event(t.g, "cond-signal", c.name, "")
+	t.emitSync(OpCondSignal, c.name, len(c.waiters), 0)
+	if len(c.waiters) == 0 {
+		return
+	}
+	g := c.waiters[0]
+	c.waiters = c.waiters[1:]
+	c.rt.unblock(g)
+}
+
+// Broadcast wakes every waiter.
+func (c *Cond) Broadcast(t *T) {
+	t.yield()
+	c.vc.Join(t.g.vc)
+	t.g.tick()
+	c.rt.event(t.g, "cond-broadcast", c.name, "")
+	for _, g := range c.waiters {
+		c.rt.unblock(g)
+	}
+	c.waiters = nil
+}
+
+// Name returns the condition variable's report name.
+func (c *Cond) Name() string { return c.name }

@@ -1,0 +1,412 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSelectSendOnClosedPanicsWhenChosen(t *testing.T) {
+	res := Run(Config{Seed: 1}, func(tt *T) {
+		ch := NewChan[int](tt, 0)
+		ch.Close(tt)
+		Select(tt, OnSend(ch, 1, nil))
+	})
+	if res.Outcome != OutcomePanic {
+		t.Fatalf("outcome = %v, want panic", res.Outcome)
+	}
+}
+
+func TestSelectOnNilChannelsOnlyBlocksForever(t *testing.T) {
+	res := Run(Config{Seed: 1}, func(tt *T) {
+		tt.Go(func(ct *T) {
+			Select(ct, OnRecv(NilChan[int](), nil))
+		})
+		tt.Sleep(10)
+	})
+	if len(res.Leaked) != 1 || res.Leaked[0].BlockKind != BlockSelect {
+		t.Fatalf("leaked = %+v", res.Leaked)
+	}
+}
+
+func TestSelectNilCaseNeverChosen(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		Run(Config{Seed: seed}, func(tt *T) {
+			ready := NewChan[int](tt, 1)
+			ready.Send(tt, 1)
+			idx := Select(tt,
+				OnRecv(NilChan[int](), nil),
+				OnRecv(ready, nil),
+			)
+			tt.Checkf(idx == 1, "chose the nil case (%d)", idx)
+		})
+	}
+}
+
+func TestSelectBlockedThenWokenBySend(t *testing.T) {
+	res := Run(Config{Seed: 1}, func(tt *T) {
+		ch := NewChan[int](tt, 0)
+		got := -1
+		done := NewChan[struct{}](tt, 0)
+		tt.Go(func(ct *T) {
+			Select(ct, OnRecv(ch, func(v int, ok bool) { got = v }))
+			done.Send(ct, struct{}{})
+		})
+		tt.Sleep(5)
+		ch.Send(tt, 7)
+		done.Recv(tt)
+		tt.Checkf(got == 7, "got %d", got)
+	})
+	if res.Failed() {
+		t.Fatalf("failed: %+v", res.CheckFailures)
+	}
+}
+
+func TestSelectBlockedThenWokenByClose(t *testing.T) {
+	res := Run(Config{Seed: 1}, func(tt *T) {
+		ch := NewChan[int](tt, 0)
+		var sawClose bool
+		done := NewChan[struct{}](tt, 0)
+		tt.Go(func(ct *T) {
+			Select(ct, OnRecv(ch, func(v int, ok bool) { sawClose = !ok }))
+			done.Send(ct, struct{}{})
+		})
+		tt.Sleep(5)
+		ch.Close(tt)
+		done.Recv(tt)
+		tt.Check(sawClose, "blocked select should observe the close")
+	})
+	if res.Failed() {
+		t.Fatalf("failed: %+v", res.CheckFailures)
+	}
+}
+
+func TestRecvUnblocksBufferedSenderWaitingForSpace(t *testing.T) {
+	res := Run(Config{Seed: 1}, func(tt *T) {
+		ch := NewChan[int](tt, 1)
+		ch.Send(tt, 1)
+		done := NewChan[struct{}](tt, 0)
+		tt.Go(func(ct *T) {
+			ch.Send(ct, 2) // buffer full: parks until a recv frees space
+			done.Send(ct, struct{}{})
+		})
+		tt.Sleep(5)
+		v1, _ := ch.Recv(tt)
+		done.Recv(tt)
+		v2, _ := ch.Recv(tt)
+		tt.Checkf(v1 == 1 && v2 == 2, "got %d, %d", v1, v2)
+	})
+	if res.Failed() {
+		t.Fatalf("failed: %+v", res.CheckFailures)
+	}
+}
+
+func TestMutexUnlockNotHeldPanics(t *testing.T) {
+	res := Run(Config{Seed: 1}, func(tt *T) {
+		mu := NewMutex(tt, "mu")
+		mu.Unlock(tt)
+	})
+	if res.Outcome != OutcomePanic {
+		t.Fatalf("outcome = %v", res.Outcome)
+	}
+}
+
+func TestMutexFIFOHandoff(t *testing.T) {
+	res := Run(Config{Seed: 5}, func(tt *T) {
+		mu := NewMutex(tt, "mu")
+		order := NewChan[int](tt, 4)
+		mu.Lock(tt)
+		for i := 1; i <= 3; i++ {
+			i := i
+			tt.Go(func(ct *T) {
+				mu.Lock(ct)
+				order.Send(ct, i)
+				mu.Unlock(ct)
+			})
+			tt.Sleep(1) // deterministic queueing order
+		}
+		mu.Unlock(tt)
+		prev := 0
+		for i := 0; i < 3; i++ {
+			v, _ := order.Recv(tt)
+			tt.Checkf(v == prev+1, "handoff order %d after %d", v, prev)
+			prev = v
+		}
+	})
+	if res.Failed() {
+		t.Fatalf("failed: %+v", res.CheckFailures)
+	}
+}
+
+func TestTryLock(t *testing.T) {
+	res := Run(Config{Seed: 1}, func(tt *T) {
+		mu := NewMutex(tt, "mu")
+		tt.Check(mu.TryLock(tt), "first TryLock should win")
+		tt.Check(!mu.TryLock(tt), "second TryLock should fail")
+		mu.Unlock(tt)
+		tt.Check(mu.TryLock(tt), "TryLock after unlock should win")
+		mu.Unlock(tt)
+	})
+	if res.Failed() {
+		t.Fatalf("failed: %+v", res.CheckFailures)
+	}
+}
+
+func TestRWMutexRUnlockWithoutRLockPanics(t *testing.T) {
+	res := Run(Config{Seed: 1}, func(tt *T) {
+		rw := NewRWMutex(tt, "rw")
+		rw.RUnlock(tt)
+	})
+	if res.Outcome != OutcomePanic {
+		t.Fatalf("outcome = %v", res.Outcome)
+	}
+}
+
+func TestRWMutexWriterThenQueuedReadersProceedTogether(t *testing.T) {
+	res := Run(Config{Seed: 2}, func(tt *T) {
+		rw := NewRWMutex(tt, "rw")
+		inside := NewAtomicInt64(tt, "inside")
+		overlapped := NewAtomicInt64(tt, "overlapped")
+		rw.Lock(tt)
+		wg := NewWaitGroup(tt, "wg")
+		wg.Add(tt, 2)
+		for i := 0; i < 2; i++ {
+			tt.Go(func(ct *T) {
+				rw.RLock(ct)
+				inside.Add(ct, 1)
+				ct.Sleep(5)
+				if inside.Load(ct) == 2 {
+					overlapped.Store(ct, 1) // monotone flag: no lost update
+				}
+				inside.Add(ct, -1)
+				rw.RUnlock(ct)
+				wg.Done(ct)
+			})
+		}
+		tt.Sleep(3) // both readers queue behind the writer
+		rw.Unlock(tt)
+		wg.Wait(tt)
+		tt.Check(overlapped.Load(tt) == 1, "queued readers never shared the lock")
+	})
+	if res.Failed() {
+		t.Fatalf("failed: %+v", res.CheckFailures)
+	}
+}
+
+func TestCondBroadcastWakesAll(t *testing.T) {
+	res := Run(Config{Seed: 3}, func(tt *T) {
+		mu := NewMutex(tt, "mu")
+		cond := NewCond(tt, mu, "cond")
+		ready := NewVarInit(tt, "ready", false)
+		wg := NewWaitGroup(tt, "wg")
+		wg.Add(tt, 3)
+		for i := 0; i < 3; i++ {
+			tt.Go(func(ct *T) {
+				mu.Lock(ct)
+				for !ready.Load(ct) {
+					cond.Wait(ct)
+				}
+				mu.Unlock(ct)
+				wg.Done(ct)
+			})
+		}
+		tt.Sleep(10)
+		mu.Lock(tt)
+		ready.Store(tt, true)
+		mu.Unlock(tt)
+		cond.Broadcast(tt)
+		wg.Wait(tt)
+	})
+	if res.Failed() || len(res.Leaked) > 0 {
+		t.Fatalf("failed: checks=%v leaked=%v", res.CheckFailures, res.Leaked)
+	}
+}
+
+func TestCondWaitWithoutMutexPanics(t *testing.T) {
+	res := Run(Config{Seed: 1}, func(tt *T) {
+		mu := NewMutex(tt, "mu")
+		cond := NewCond(tt, mu, "cond")
+		cond.Wait(tt) // mutex not held
+	})
+	if res.Outcome != OutcomePanic {
+		t.Fatalf("outcome = %v", res.Outcome)
+	}
+}
+
+func TestAtomicCAS(t *testing.T) {
+	res := Run(Config{Seed: 1}, func(tt *T) {
+		a := NewAtomicInt64(tt, "a")
+		tt.Check(a.CompareAndSwap(tt, 0, 5), "CAS from zero should win")
+		tt.Check(!a.CompareAndSwap(tt, 0, 9), "stale CAS should fail")
+		tt.Checkf(a.Load(tt) == 5, "value %d", a.Load(tt))
+	})
+	if res.Failed() {
+		t.Fatalf("failed: %+v", res.CheckFailures)
+	}
+}
+
+func TestTimerStopPreventsFire(t *testing.T) {
+	res := Run(Config{Seed: 1}, func(tt *T) {
+		tm := NewTimer(tt, 50)
+		tt.Check(tm.Stop(tt), "Stop before fire should report pending")
+		tt.Sleep(100)
+		fired := false
+		Select(tt,
+			OnRecv(tm.C, func(int64, bool) { fired = true }),
+			Default(nil),
+		)
+		tt.Check(!fired, "stopped timer fired anyway")
+		tt.Check(!tm.Stop(tt), "second Stop should report not pending")
+	})
+	if res.Failed() {
+		t.Fatalf("failed: %+v", res.CheckFailures)
+	}
+}
+
+func TestTimerResetPostponesFire(t *testing.T) {
+	res := Run(Config{Seed: 1}, func(tt *T) {
+		tm := NewTimer(tt, 10)
+		tm.Reset(tt, 100)
+		tt.Sleep(50)
+		fired := false
+		Select(tt, OnRecv(tm.C, func(int64, bool) { fired = true }), Default(nil))
+		tt.Check(!fired, "reset timer fired at the old deadline")
+		tt.Sleep(100)
+		Select(tt, OnRecv(tm.C, func(int64, bool) { fired = true }), Default(nil))
+		tt.Check(fired, "reset timer never fired at the new deadline")
+	})
+	if res.Failed() {
+		t.Fatalf("failed: %+v", res.CheckFailures)
+	}
+}
+
+func TestTickerDropsTicksWhenSlow(t *testing.T) {
+	res := Run(Config{Seed: 1}, func(tt *T) {
+		tick := NewTickerN(tt, 10, 5)
+		tt.Sleep(60) // all 5 fires happen; only 1 fits the buffer
+		n := 0
+		for {
+			got := false
+			Select(tt,
+				OnRecv(tick.C, func(int64, bool) { got = true }),
+				Default(nil),
+			)
+			if !got {
+				break
+			}
+			n++
+		}
+		tt.Checkf(n == 1, "buffered ticks = %d, want 1 (ticks are dropped when C is full)", n)
+	})
+	if res.Failed() {
+		t.Fatalf("failed: %+v", res.CheckFailures)
+	}
+}
+
+func TestContextParentCancelPropagates(t *testing.T) {
+	res := Run(Config{Seed: 1}, func(tt *T) {
+		parent, pcancel := WithCancel(tt, Background(tt))
+		child, ccancel := WithCancel(tt, parent)
+		defer ccancel(tt)
+		done := NewChan[struct{}](tt, 0)
+		tt.Go(func(ct *T) {
+			child.Done().Recv(ct)
+			ct.Check(child.Err() != nil, "child err after parent cancel")
+			done.Send(ct, struct{}{})
+		})
+		tt.Sleep(5)
+		pcancel(tt)
+		done.Recv(tt)
+	})
+	if res.Failed() {
+		t.Fatalf("failed: %+v", res.CheckFailures)
+	}
+}
+
+func TestContextValueLookupWalksChain(t *testing.T) {
+	res := Run(Config{Seed: 1}, func(tt *T) {
+		root := Background(tt)
+		a := WithValue(tt, root, "user", "alice")
+		b := WithValue(tt, a, "trace", "xyz")
+		tt.Check(b.Value("user") == "alice", "inherited value")
+		tt.Check(b.Value("trace") == "xyz", "own value")
+		tt.Check(b.Value("missing") == nil, "missing value")
+	})
+	if res.Failed() {
+		t.Fatalf("failed: %+v", res.CheckFailures)
+	}
+}
+
+func TestPipeWriteAfterReaderClose(t *testing.T) {
+	res := Run(Config{Seed: 1}, func(tt *T) {
+		r, w := NewPipe(tt, "p")
+		r.Close(tt)
+		_, err := w.Write(tt, []byte("x"))
+		tt.Check(err == ErrClosedPipe, "write after reader close should fail")
+	})
+	if res.Failed() {
+		t.Fatalf("failed: %+v", res.CheckFailures)
+	}
+}
+
+func TestPipeCloseUnblocksPendingWriter(t *testing.T) {
+	res := Run(Config{Seed: 1}, func(tt *T) {
+		r, w := NewPipe(tt, "p")
+		errCh := NewChan[bool](tt, 1)
+		tt.Go(func(ct *T) {
+			_, err := w.Write(ct, []byte("x")) // blocks: no reader yet
+			errCh.Send(ct, err == ErrClosedPipe)
+		})
+		tt.Sleep(5)
+		r.Close(tt)
+		failedWithClosed, _ := errCh.Recv(tt)
+		tt.Check(failedWithClosed, "pending write should fail when the reader closes")
+	})
+	if res.Failed() || len(res.Leaked) > 0 {
+		t.Fatalf("failed: checks=%v leaked=%v", res.CheckFailures, res.Leaked)
+	}
+}
+
+func TestDeadlockReportMentionsBlockedGoroutines(t *testing.T) {
+	res := Run(Config{Seed: 1}, func(tt *T) {
+		mu := NewMutex(tt, "store.mu")
+		mu.Lock(tt)
+		mu.Lock(tt)
+	})
+	if !strings.Contains(res.DeadlockReport, "store.mu") ||
+		!strings.Contains(res.DeadlockReport, "sync.Mutex.Lock") {
+		t.Fatalf("report = %q", res.DeadlockReport)
+	}
+}
+
+func TestPanicRecordsGoroutineAndMessage(t *testing.T) {
+	res := Run(Config{Seed: 1}, func(tt *T) {
+		tt.GoNamed("closer", func(ct *T) {
+			ch := NewChanNamed[int](ct, "events", 0)
+			ch.Close(ct)
+			ch.Close(ct)
+		})
+		tt.Sleep(10)
+	})
+	if len(res.Panics) != 1 {
+		t.Fatalf("panics = %+v", res.Panics)
+	}
+	p := res.Panics[0]
+	if p.Name != "closer" || !strings.Contains(p.Msg, "events") {
+		t.Fatalf("panic = %+v", p)
+	}
+}
+
+func TestVirtualTimeAdvancesOnlyViaTimers(t *testing.T) {
+	res := Run(Config{Seed: 1}, func(tt *T) {
+		start := tt.Now()
+		for i := 0; i < 100; i++ {
+			tt.Yield()
+		}
+		tt.Checkf(tt.Now() == start, "yields advanced the clock to %d", tt.Now())
+		tt.Sleep(25)
+		tt.Checkf(tt.Now() == start+25, "clock = %d, want %d", tt.Now(), start+25)
+	})
+	if res.Failed() {
+		t.Fatalf("failed: %+v", res.CheckFailures)
+	}
+}

@@ -1,0 +1,372 @@
+package sim
+
+import (
+	"fmt"
+
+	"goconcbugs/internal/hb"
+)
+
+// GState is the lifecycle state of a simulated goroutine.
+type GState int
+
+const (
+	GRunnable GState = iota
+	GRunning
+	GBlocked
+	GDone
+	GPanicked
+	// GAbandoned marks goroutines that were still live when the run was
+	// torn down after a simulated crash.
+	GAbandoned
+)
+
+// String implements fmt.Stringer.
+func (s GState) String() string {
+	switch s {
+	case GRunnable:
+		return "runnable"
+	case GRunning:
+		return "running"
+	case GBlocked:
+		return "blocked"
+	case GDone:
+		return "done"
+	case GPanicked:
+		return "panicked"
+	case GAbandoned:
+		return "abandoned"
+	default:
+		return fmt.Sprintf("GState(%d)", int(s))
+	}
+}
+
+// BlockKind identifies what a blocked goroutine is waiting on. The built-in
+// deadlock detector model understands every kind except BlockExternal.
+type BlockKind int
+
+const (
+	BlockNone BlockKind = iota
+	BlockChanSend
+	BlockChanRecv
+	BlockSelect
+	BlockMutex
+	BlockRWMutexR
+	BlockRWMutexW
+	BlockWaitGroup
+	BlockCond
+	BlockOnce
+	BlockSleep
+	BlockPipe
+	// BlockExternal models waiting for a resource outside the Go runtime
+	// (network, another process); such waits are invisible to the
+	// built-in detector (Section 5.3's second failure reason).
+	BlockExternal
+)
+
+// String implements fmt.Stringer.
+func (k BlockKind) String() string {
+	switch k {
+	case BlockNone:
+		return "none"
+	case BlockChanSend:
+		return "chan send"
+	case BlockChanRecv:
+		return "chan receive"
+	case BlockSelect:
+		return "select"
+	case BlockMutex:
+		return "sync.Mutex.Lock"
+	case BlockRWMutexR:
+		return "sync.RWMutex.RLock"
+	case BlockRWMutexW:
+		return "sync.RWMutex.Lock"
+	case BlockWaitGroup:
+		return "sync.WaitGroup.Wait"
+	case BlockCond:
+		return "sync.Cond.Wait"
+	case BlockOnce:
+		return "sync.Once.Do"
+	case BlockSleep:
+		return "sleep"
+	case BlockPipe:
+		return "pipe"
+	case BlockExternal:
+		return "external resource"
+	default:
+		return fmt.Sprintf("BlockKind(%d)", int(k))
+	}
+}
+
+type blockInfo struct {
+	kind BlockKind
+	obj  string
+}
+
+// G is one simulated goroutine.
+type G struct {
+	id           int
+	name         string
+	state        GState
+	finalState   GState
+	block        blockInfo
+	blockedSince int64
+	createdStep  int64
+	createdTime  int64
+	endTime      int64
+	resume       chan struct{}
+	vc           hb.VC
+	rt           *runtime
+	// blockKindOverride relabels blocking inside library code built on
+	// channels (Pipe) so reports attribute the wait to the library call.
+	blockKindOverride BlockKind
+	// held lists the lock names this goroutine currently holds, for
+	// monitors that check channel-under-lock patterns.
+	held []string
+}
+
+// holdLock records acquisition of a named lock.
+func (g *G) holdLock(name string) { g.held = append(g.held, name) }
+
+// releaseLock removes one occurrence of a named lock.
+func (g *G) releaseLock(name string) {
+	for i := len(g.held) - 1; i >= 0; i-- {
+		if g.held[i] == name {
+			g.held = append(g.held[:i], g.held[i+1:]...)
+			return
+		}
+	}
+}
+
+func (g *G) info() GoroutineInfo {
+	blockedSince := int64(-1)
+	if g.finalState == GBlocked {
+		blockedSince = g.blockedSince
+	}
+	return GoroutineInfo{
+		ID:           g.id,
+		Name:         g.name,
+		State:        g.finalState,
+		BlockKind:    g.block.kind,
+		BlockObj:     g.block.obj,
+		CreatedStep:  g.createdStep,
+		CreatedTime:  g.createdTime,
+		EndTime:      g.endTime,
+		BlockedSince: blockedSince,
+		HeldLocks:    append([]string(nil), g.held...),
+	}
+}
+
+type killSentinelType struct{}
+
+var killSentinel = killSentinelType{}
+
+// simPanic is the panic value used for simulated runtime panics so the
+// goroutine wrapper can distinguish them from host bugs.
+type simPanic struct{ msg string }
+
+// spawn creates a simulated goroutine and its backing host goroutine. The
+// new goroutine is runnable but does not run until the scheduler picks it.
+func (rt *runtime) spawn(name string, fn Program) *G {
+	g := &G{
+		id:          len(rt.gs) + 1,
+		name:        name,
+		state:       GRunnable,
+		resume:      make(chan struct{}),
+		vc:          hb.New(),
+		rt:          rt,
+		createdStep: rt.step,
+		createdTime: rt.now,
+		endTime:     -1,
+	}
+	g.vc.Tick(g.id)
+	rt.gs = append(rt.gs, g)
+	go func() {
+		<-g.resume
+		if rt.killing {
+			g.finalState = GAbandoned
+			rt.dead <- struct{}{}
+			return
+		}
+		t := &T{rt: rt, g: g}
+		defer func() {
+			r := recover()
+			switch v := r.(type) {
+			case nil:
+				g.state = GDone
+				g.finalState = GDone
+				g.endTime = rt.now
+				rt.event(g, "exit", "", "")
+				rt.back <- struct{}{}
+			case killSentinelType:
+				g.finalState = g.block.preTeardownState()
+				rt.dead <- struct{}{}
+			case *simPanic:
+				rt.panics = append(rt.panics, PanicInfo{
+					G: g.id, Name: g.name, Msg: v.msg, Step: rt.step,
+				})
+				g.state = GPanicked
+				g.finalState = GPanicked
+				g.endTime = rt.now
+				rt.event(g, "panic", "", v.msg)
+				// A simulated panic crashes the whole simulated
+				// process, as an unrecovered panic would.
+				rt.stopping = true
+				rt.back <- struct{}{}
+			default:
+				// A genuine bug in the harness or kernel code (a
+				// non-simulated panic): record it and stop; Run
+				// re-panics on the caller's goroutine so the host
+				// test framework sees it in the right place.
+				g.state = GPanicked
+				g.finalState = GPanicked
+				rt.hostPanic = r
+				rt.stopping = true
+				rt.back <- struct{}{}
+			}
+		}()
+		fn(t)
+	}()
+	return g
+}
+
+// preTeardownState maps a block record to the state to report for a
+// goroutine killed during teardown: blocked ones stay blocked (that is the
+// observation we tore down around), runnable ones are abandoned.
+func (b blockInfo) preTeardownState() GState {
+	if b.kind != BlockNone {
+		return GBlocked
+	}
+	return GAbandoned
+}
+
+// T is the per-goroutine handle every simulated operation takes, analogous
+// to the implicit current-goroutine context in real Go.
+type T struct {
+	rt *runtime
+	g  *G
+}
+
+// ID returns the simulated goroutine's id (main is 1).
+func (t *T) ID() int { return t.g.id }
+
+// Name returns the simulated goroutine's name.
+func (t *T) Name() string { return t.g.name }
+
+// Now returns the current virtual time in nanoseconds.
+func (t *T) Now() int64 { return t.rt.now }
+
+// Go spawns an anonymous simulated goroutine, mirroring `go func() {...}()`.
+func (t *T) Go(fn Program) {
+	t.GoNamed(fmt.Sprintf("%s.child%d", t.g.name, len(t.rt.gs)), fn)
+}
+
+// GoNamed spawns a named simulated goroutine. The child inherits the
+// parent's vector clock (the fork edge), so anything the parent did before
+// the spawn happens-before everything the child does.
+func (t *T) GoNamed(name string, fn Program) {
+	child := t.rt.spawn(name, fn)
+	child.vc.Join(t.g.vc)
+	child.vc.Tick(child.id)
+	t.g.vc.Tick(t.g.id)
+	t.rt.event(t.g, "go", name, "")
+	t.yield()
+}
+
+// park hands control back to the scheduler and waits to be resumed. Every
+// suspension funnels through here so teardown can unwind cleanly.
+func (t *T) park() {
+	t.rt.back <- struct{}{}
+	<-t.g.resume
+	if t.rt.killing {
+		panic(killSentinel)
+	}
+}
+
+// yield is a preemption point: the goroutine stays runnable but lets the
+// scheduler (re)choose. Every primitive operation starts with a yield, which
+// is what exposes buggy interleavings deterministically.
+func (t *T) yield() {
+	t.g.state = GRunnable
+	t.park()
+	t.g.state = GRunning
+}
+
+// Yield voluntarily reschedules, like runtime.Gosched.
+func (t *T) Yield() { t.yield() }
+
+// block parks the goroutine in a blocked state; it returns once some other
+// party has called unblock and the scheduler has picked it again.
+func (t *T) block(kind BlockKind, obj string) {
+	if t.g.blockKindOverride != BlockNone {
+		kind = t.g.blockKindOverride
+	}
+	t.g.state = GBlocked
+	t.g.block = blockInfo{kind: kind, obj: obj}
+	t.g.blockedSince = t.rt.step
+	t.rt.event(t.g, "block", obj, kind.String())
+	t.park()
+	t.g.state = GRunning
+	t.g.block = blockInfo{}
+}
+
+// blockForever parks the goroutine with no waker (nil-channel operations,
+// BlockExternal). It never returns except during teardown.
+func (t *T) blockForever(kind BlockKind, obj string) {
+	t.g.state = GBlocked
+	t.g.block = blockInfo{kind: kind, obj: obj}
+	t.g.blockedSince = t.rt.step
+	t.rt.event(t.g, "block-forever", obj, kind.String())
+	t.park()
+	// Only teardown resumes us, and park panics with killSentinel then.
+	panic(&simPanic{msg: "resumed a goroutine blocked forever on " + obj})
+}
+
+// unblock makes g runnable again; the caller has already transferred
+// whatever state the wake carries.
+func (rt *runtime) unblock(g *G) {
+	g.state = GRunnable
+}
+
+// BlockExternal blocks forever on a resource outside the runtime's view,
+// e.g. a network peer that never answers. The built-in deadlock detector
+// cannot see such waits.
+func (t *T) BlockExternal(what string) {
+	t.yield()
+	t.blockForever(BlockExternal, what)
+}
+
+// Check records an invariant violation when cond is false. It is the oracle
+// kernels use to make non-blocking misbehavior (wrong values, skipped work)
+// observable in the Result.
+func (t *T) Check(cond bool, msg string) {
+	if !cond {
+		t.rt.checkFail(t.g, msg)
+	}
+}
+
+// Checkf is Check with formatting.
+func (t *T) Checkf(cond bool, format string, args ...any) {
+	if !cond {
+		t.rt.checkFail(t.g, fmt.Sprintf(format, args...))
+	}
+}
+
+// Fail unconditionally records an invariant violation.
+func (t *T) Fail(msg string) { t.rt.checkFail(t.g, msg) }
+
+// Panicf raises a simulated panic, crashing the simulated program.
+func (t *T) Panicf(format string, args ...any) {
+	panic(&simPanic{msg: fmt.Sprintf(format, args...)})
+}
+
+// Rand returns a deterministic pseudo-random int in [0, n), drawn from the
+// run's seeded source, for workload generation inside programs.
+func (t *T) Rand(n int) int { return t.rt.rng.Intn(n) }
+
+// tick bumps the goroutine's own clock component; called after every
+// release-type synchronization operation per the FastTrack discipline.
+func (g *G) tick() { g.vc.Tick(g.id) }
+
+// VCSnapshot returns a copy of the goroutine's current vector clock (for
+// tests and detectors).
+func (t *T) VCSnapshot() hb.VC { return t.g.vc.Clone() }

@@ -1,0 +1,110 @@
+package sim
+
+import "fmt"
+
+// MapVar models a plain Go map shared across goroutines. The real runtime
+// carries a best-effort concurrent-access check that throws "fatal error:
+// concurrent map writes" — a crash, not a detector report — which is how
+// several of the paper's traditional data races actually manifested in
+// production. The model reproduces that: a write spans a scheduling point
+// with the write flag held, so a truly overlapping access from another
+// goroutine hits the flag and crashes the simulated process, while accesses
+// that merely race in the happens-before sense (but do not overlap) survive
+// the run and are left to the race detector, exactly like real Go.
+//
+// Accesses are also reported to the MemoryObserver, so the race detector
+// flags the race even on runs where the crash window is missed.
+type MapVar[K comparable, V any] struct {
+	meta    *VarMeta
+	rt      *runtime
+	m       map[K]V
+	writing int // goroutine id holding the write window, 0 if none
+	reading map[int]int
+}
+
+// NewMapVar creates an instrumented shared map.
+func NewMapVar[K comparable, V any](t *T, name string) *MapVar[K, V] {
+	t.rt.nextVarID++
+	if name == "" {
+		name = fmt.Sprintf("map#%d", t.rt.nextVarID)
+	}
+	return &MapVar[K, V]{
+		meta:    &VarMeta{ID: t.rt.nextVarID, Name: name, CreatedBy: t.g.id},
+		rt:      t.rt,
+		m:       make(map[K]V),
+		reading: map[int]int{},
+	}
+}
+
+func (mv *MapVar[K, V]) observe(t *T, write bool) {
+	if mv.rt.cfg.Observer == nil {
+		return
+	}
+	mv.rt.cfg.Observer.Access(MemAccess{
+		Var: mv.meta, G: t.g.id, GName: t.g.name, VC: t.g.vc,
+		Write: write, Step: mv.rt.step, Time: mv.rt.now,
+	})
+}
+
+// Store writes a key. The write occupies a window spanning a scheduling
+// point; any overlapping access crashes, as the Go runtime would.
+func (mv *MapVar[K, V]) Store(t *T, k K, v V) {
+	t.yield()
+	mv.observe(t, true)
+	if mv.writing != 0 && mv.writing != t.g.id {
+		t.Panicf("fatal error: concurrent map writes on %s", mv.meta.Name)
+	}
+	if len(mv.reading) > 0 {
+		t.Panicf("fatal error: concurrent map read and map write on %s", mv.meta.Name)
+	}
+	mv.writing = t.g.id
+	t.yield() // the write is not atomic: the window where crashes happen
+	mv.writing = 0
+	mv.m[k] = v
+}
+
+// Load reads a key.
+func (mv *MapVar[K, V]) Load(t *T, k K) (V, bool) {
+	t.yield()
+	mv.observe(t, false)
+	if mv.writing != 0 && mv.writing != t.g.id {
+		t.Panicf("fatal error: concurrent map read and map write on %s", mv.meta.Name)
+	}
+	mv.reading[t.g.id]++
+	t.yield()
+	mv.reading[t.g.id]--
+	if mv.reading[t.g.id] == 0 {
+		delete(mv.reading, t.g.id)
+	}
+	v, ok := mv.m[k]
+	return v, ok
+}
+
+// Delete removes a key, with the same write-window semantics as Store.
+func (mv *MapVar[K, V]) Delete(t *T, k K) {
+	t.yield()
+	mv.observe(t, true)
+	if mv.writing != 0 && mv.writing != t.g.id {
+		t.Panicf("fatal error: concurrent map writes on %s", mv.meta.Name)
+	}
+	if len(mv.reading) > 0 {
+		t.Panicf("fatal error: concurrent map read and map write on %s", mv.meta.Name)
+	}
+	mv.writing = t.g.id
+	t.yield()
+	mv.writing = 0
+	delete(mv.m, k)
+}
+
+// Len reports the map size (also a read).
+func (mv *MapVar[K, V]) Len(t *T) int {
+	t.yield()
+	mv.observe(t, false)
+	if mv.writing != 0 && mv.writing != t.g.id {
+		t.Panicf("fatal error: concurrent map read and map write on %s", mv.meta.Name)
+	}
+	return len(mv.m)
+}
+
+// Name returns the map's report name.
+func (mv *MapVar[K, V]) Name() string { return mv.meta.Name }

@@ -1,0 +1,87 @@
+package sim
+
+import "goconcbugs/internal/hb"
+
+// Synchronization-event monitoring. Section 7 of the paper proposes "a
+// novel dynamic technique [that] can try to enforce such rules and detect
+// violation at runtime" — the channel and WaitGroup usage rules whose
+// violation causes many of the studied bugs. The runtime emits a structured
+// event at every rule-relevant operation; package vet implements the
+// monitor.
+
+// SyncOp identifies the operation an event describes.
+type SyncOp int
+
+// Sync operations surfaced to monitors.
+const (
+	OpChanSend SyncOp = iota
+	OpChanRecv
+	OpChanClose
+	OpChanCloseClosed // close of an already-closed channel (about to panic)
+	OpChanSendClosed  // send on a closed channel (about to panic)
+	OpChanNil         // operation on a nil channel (blocks forever)
+	OpSelectBlocking  // select without default, about to park
+	OpWGAdd
+	OpWGDone
+	OpWGWaitStart
+	OpWGWaitEnd
+	OpWGNegative // counter went negative (about to panic)
+	OpMutexLock
+	OpMutexUnlock
+	OpOnceDo
+	OpCondWait
+	OpCondSignal
+)
+
+// String implements fmt.Stringer.
+func (op SyncOp) String() string {
+	names := map[SyncOp]string{
+		OpChanSend: "chan-send", OpChanRecv: "chan-recv", OpChanClose: "chan-close",
+		OpChanCloseClosed: "chan-close-closed", OpChanSendClosed: "chan-send-closed",
+		OpChanNil: "chan-nil", OpSelectBlocking: "select-blocking",
+		OpWGAdd: "wg-add", OpWGDone: "wg-done", OpWGWaitStart: "wg-wait-start",
+		OpWGWaitEnd: "wg-wait-end", OpWGNegative: "wg-negative",
+		OpMutexLock: "mutex-lock", OpMutexUnlock: "mutex-unlock",
+		OpOnceDo: "once-do", OpCondWait: "cond-wait", OpCondSignal: "cond-signal",
+	}
+	if s, ok := names[op]; ok {
+		return s
+	}
+	return "sync-op"
+}
+
+// SyncEvent is one monitored operation. VC is the acting goroutine's live
+// clock — monitors must not retain it (clone when needed). HeldLocks lists
+// the mutex names the goroutine holds at the instant of the operation,
+// which is how a monitor spots channel operations inside critical sections
+// (the Figure 7 blocking pattern).
+type SyncEvent struct {
+	Op        SyncOp
+	G         int
+	GName     string
+	Obj       string
+	VC        hb.VC
+	Counter   int // WaitGroup counter after the operation
+	Delta     int // WaitGroup Add delta
+	HeldLocks []string
+	Step      int64
+}
+
+// Monitor receives every synchronization event of a run.
+type Monitor interface {
+	SyncEvent(ev SyncEvent)
+}
+
+// emitSync dispatches an event to the configured monitor, if any.
+func (t *T) emitSync(op SyncOp, obj string, counter, delta int) {
+	m := t.rt.cfg.Monitor
+	if m == nil {
+		return
+	}
+	m.SyncEvent(SyncEvent{
+		Op: op, G: t.g.id, GName: t.g.name, Obj: obj, VC: t.g.vc,
+		Counter: counter, Delta: delta,
+		HeldLocks: append([]string(nil), t.g.held...),
+		Step:      t.rt.step,
+	})
+}

@@ -1,0 +1,95 @@
+package sim
+
+import (
+	"fmt"
+
+	"goconcbugs/internal/hb"
+)
+
+// Mutex models sync.Mutex. As in real Go, locks are not reentrant: a
+// goroutine that locks a mutex it already holds blocks forever (the shape of
+// the double-locking bugs in Section 5.1.1, e.g. BoltDB#392).
+type Mutex struct {
+	rt     *runtime
+	id     int
+	name   string
+	holder *G
+	waitq  []*G
+	vc     hb.VC // clock published by the last Unlock
+}
+
+// NewMutex creates a mutex.
+func NewMutex(t *T, name string) *Mutex {
+	t.rt.nextSyncID++
+	if name == "" {
+		name = fmt.Sprintf("mutex#%d", t.rt.nextSyncID)
+	}
+	return &Mutex{rt: t.rt, id: t.rt.nextSyncID, name: name, vc: hb.New()}
+}
+
+// Lock acquires the mutex, blocking while it is held — including when it is
+// held by the calling goroutine itself.
+func (m *Mutex) Lock(t *T) {
+	t.yield()
+	if m.holder == nil {
+		m.holder = t.g
+		t.g.vc.Join(m.vc)
+		t.g.holdLock(m.name)
+		t.emitSync(OpMutexLock, m.name, 0, 0)
+		m.rt.event(t.g, "lock", m.name, "")
+		return
+	}
+	m.waitq = append(m.waitq, t.g)
+	t.block(BlockMutex, m.name)
+	// Ownership and the clock were transferred by the unlocker.
+	t.g.holdLock(m.name)
+	t.emitSync(OpMutexLock, m.name, 0, 0)
+	m.rt.event(t.g, "lock", m.name, "after wait")
+}
+
+// Unlock releases the mutex, panicking if the caller does not hold it
+// (sync: unlock of unlocked mutex).
+func (m *Mutex) Unlock(t *T) {
+	t.yield()
+	if m.holder != t.g {
+		t.Panicf("sync: unlock of unlocked mutex %s", m.name)
+	}
+	m.vc.Join(t.g.vc)
+	t.g.tick()
+	m.holder = nil
+	t.g.releaseLock(m.name)
+	t.emitSync(OpMutexUnlock, m.name, 0, 0)
+	m.rt.event(t.g, "unlock", m.name, "")
+	if len(m.waitq) > 0 {
+		next := m.waitq[0]
+		m.waitq = m.waitq[1:]
+		m.holder = next
+		next.vc.Join(m.vc)
+		m.rt.unblock(next)
+	}
+}
+
+// TryLock attempts the lock without blocking and reports success.
+func (m *Mutex) TryLock(t *T) bool {
+	t.yield()
+	if m.holder != nil {
+		return false
+	}
+	m.holder = t.g
+	t.g.vc.Join(m.vc)
+	t.g.holdLock(m.name)
+	t.emitSync(OpMutexLock, m.name, 0, 0)
+	m.rt.event(t.g, "trylock", m.name, "acquired")
+	return true
+}
+
+// Holder returns the id of the holding goroutine, or 0 when unlocked.
+func (m *Mutex) Holder() int {
+	if m.holder == nil {
+		return 0
+	}
+	return m.holder.id
+}
+
+// Name returns the mutex's report name.
+func (m *Mutex) Name() string { return m.name }

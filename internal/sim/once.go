@@ -1,0 +1,60 @@
+package sim
+
+import (
+	"fmt"
+
+	"goconcbugs/internal/hb"
+)
+
+// Once models sync.Once (Section 2.2): Do executes f only on the first
+// call; concurrent callers block until that first execution completes and
+// then observe its effects (a happens-before edge).
+type Once struct {
+	rt      *runtime
+	id      int
+	name    string
+	state   int // 0 idle, 1 running, 2 done
+	waiters []*G
+	vc      hb.VC
+}
+
+// NewOnce creates a Once.
+func NewOnce(t *T, name string) *Once {
+	t.rt.nextSyncID++
+	if name == "" {
+		name = fmt.Sprintf("once#%d", t.rt.nextSyncID)
+	}
+	return &Once{rt: t.rt, id: t.rt.nextSyncID, name: name, vc: hb.New()}
+}
+
+// Do runs f if and only if this is the first Do call on o.
+func (o *Once) Do(t *T, f func(t *T)) {
+	t.yield()
+	switch o.state {
+	case 2:
+		t.g.vc.Join(o.vc)
+		return
+	case 1:
+		o.waiters = append(o.waiters, t.g)
+		t.block(BlockOnce, o.name)
+		t.g.vc.Join(o.vc)
+		return
+	}
+	o.state = 1
+	t.emitSync(OpOnceDo, o.name, 0, 0)
+	o.rt.event(t.g, "once-do", o.name, "first")
+	f(t)
+	o.state = 2
+	o.vc.Join(t.g.vc)
+	t.g.tick()
+	for _, g := range o.waiters {
+		o.rt.unblock(g)
+	}
+	o.waiters = nil
+}
+
+// Done reports whether the Once has completed (for tests).
+func (o *Once) Done() bool { return o.state == 2 }
+
+// Name returns the Once's report name.
+func (o *Once) Name() string { return o.name }

@@ -1,0 +1,94 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Pipe models io.Pipe, the messaging library the paper calls out: "Pipe is
+// designed to stream data between a Reader and a Writer... if a Pipe is not
+// closed, a goroutine can be blocked when it tries to send data to or pull
+// data from the unclosed Pipe" (Sections 2.3 and 5.1.2). Like io.Pipe it is
+// fully synchronous: each Write blocks until a Read consumes it.
+
+// Pipe errors, mirroring io.
+var (
+	ErrClosedPipe = errors.New("io: read/write on closed pipe")
+	ErrEOF        = errors.New("EOF")
+)
+
+// PipeReader is the read side of a pipe.
+type PipeReader struct{ p *pipeCore }
+
+// PipeWriter is the write side of a pipe.
+type PipeWriter struct{ p *pipeCore }
+
+type pipeCore struct {
+	rt      *runtime
+	name    string
+	data    Chan[[]byte]
+	rclosed Chan[struct{}]
+	wclosed Chan[struct{}]
+}
+
+// NewPipe creates a synchronous in-memory pipe.
+func NewPipe(t *T, name string) (*PipeReader, *PipeWriter) {
+	t.rt.nextSyncID++
+	if name == "" {
+		name = fmt.Sprintf("pipe#%d", t.rt.nextSyncID)
+	}
+	p := &pipeCore{
+		rt:      t.rt,
+		name:    name,
+		data:    Chan[[]byte]{core: t.rt.newChanCore(name+".data", 0)},
+		rclosed: Chan[struct{}]{core: t.rt.newChanCore(name+".rclosed", 0)},
+		wclosed: Chan[struct{}]{core: t.rt.newChanCore(name+".wclosed", 0)},
+	}
+	return &PipeReader{p: p}, &PipeWriter{p: p}
+}
+
+// Write sends buf to the reader, blocking until it is consumed or either
+// end closes.
+func (w *PipeWriter) Write(t *T, buf []byte) (int, error) {
+	t.g.blockKindOverride = BlockPipe
+	defer func() { t.g.blockKindOverride = BlockNone }()
+	var err error
+	n := 0
+	Select(t,
+		OnSend(w.p.data, buf, func() { n = len(buf) }),
+		OnRecv(w.p.rclosed, func(struct{}, bool) { err = ErrClosedPipe }),
+		OnRecv(w.p.wclosed, func(struct{}, bool) { err = ErrClosedPipe }),
+	)
+	return n, err
+}
+
+// Close closes the write side; subsequent reads return EOF.
+func (w *PipeWriter) Close(t *T) error {
+	w.p.wclosed.core.closeFromRuntime(t.g.vc)
+	t.g.tick()
+	t.Yield()
+	return nil
+}
+
+// Read receives the next chunk, blocking until a writer supplies one or the
+// pipe closes.
+func (r *PipeReader) Read(t *T) ([]byte, error) {
+	t.g.blockKindOverride = BlockPipe
+	defer func() { t.g.blockKindOverride = BlockNone }()
+	var out []byte
+	var err error
+	Select(t,
+		OnRecv(r.p.data, func(b []byte, ok bool) { out = b }),
+		OnRecv(r.p.wclosed, func(struct{}, bool) { err = ErrEOF }),
+		OnRecv(r.p.rclosed, func(struct{}, bool) { err = ErrClosedPipe }),
+	)
+	return out, err
+}
+
+// Close closes the read side; subsequent writes fail with ErrClosedPipe.
+func (r *PipeReader) Close(t *T) error {
+	r.p.rclosed.core.closeFromRuntime(t.g.vc)
+	t.g.tick()
+	t.Yield()
+	return nil
+}

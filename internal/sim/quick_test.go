@@ -1,0 +1,288 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property-based tests: random (but deadlock-free by construction) programs
+// generated from a seed, checked against runtime invariants.
+
+// pipelineSpec describes a random producer/consumer program.
+type pipelineSpec struct {
+	producers int
+	consumers int
+	perProd   int
+	capacity  int
+	useMutex  bool
+	sleeps    bool
+}
+
+func genSpec(r *rand.Rand) pipelineSpec {
+	producers := 1 + r.Intn(4)
+	perProd := 1 + r.Intn(6)
+	return pipelineSpec{
+		producers: producers,
+		consumers: 1 + r.Intn(3),
+		perProd:   perProd,
+		capacity:  r.Intn(producers*perProd + 1),
+		useMutex:  r.Intn(2) == 0,
+		sleeps:    r.Intn(2) == 0,
+	}
+}
+
+// runPipeline builds and runs the random program; it returns the run result
+// plus the counted receipts.
+func runPipeline(seed int64, spec pipelineSpec) (*Result, int) {
+	total := spec.producers * spec.perProd
+	received := 0
+	res := Run(Config{Seed: seed}, func(t *T) {
+		ch := NewChan[int](t, spec.capacity)
+		mu := NewMutex(t, "mu")
+		count := NewVarInit(t, "count", 0)
+		wg := NewWaitGroup(t, "wg")
+		wg.Add(t, spec.producers+spec.consumers)
+		for p := 0; p < spec.producers; p++ {
+			p := p
+			t.Go(func(ct *T) {
+				for i := 0; i < spec.perProd; i++ {
+					if spec.sleeps {
+						ct.Sleep(Duration(ct.Rand(5)))
+					}
+					ch.Send(ct, p*1000+i)
+				}
+				wg.Done(ct)
+			})
+		}
+		per := total / spec.consumers
+		extra := total % spec.consumers
+		for c := 0; c < spec.consumers; c++ {
+			n := per
+			if c < extra {
+				n++
+			}
+			t.Go(func(ct *T) {
+				for i := 0; i < n; i++ {
+					ch.Recv(ct)
+					if spec.useMutex {
+						mu.Lock(ct)
+						count.Store(ct, count.Load(ct)+1)
+						mu.Unlock(ct)
+					}
+				}
+				wg.Done(ct)
+			})
+		}
+		wg.Wait(t)
+		if spec.useMutex {
+			mu.Lock(t)
+			received = count.Load(t)
+			mu.Unlock(t)
+		} else {
+			received = total
+		}
+	})
+	return res, received
+}
+
+// TestPipelineAlwaysCompletes: a well-formed pipeline never leaks,
+// deadlocks, or panics, for any structure and any schedule.
+func TestPipelineAlwaysCompletes(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		spec := genSpec(r)
+		res, received := runPipeline(seed, spec)
+		return res.Outcome == OutcomeOK && len(res.Leaked) == 0 &&
+			len(res.Panics) == 0 && received == spec.producers*spec.perProd
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPipelineDeterministic: the same seed gives the same step count and
+// outcome for the same random program.
+func TestPipelineDeterministic(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		spec := genSpec(r)
+		a, _ := runPipeline(seed, spec)
+		b, _ := runPipeline(seed, spec)
+		return a.Steps == b.Steps && a.Outcome == b.Outcome &&
+			a.VirtualTime == b.VirtualTime && a.GoroutinesCreated == b.GoroutinesCreated
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGoroutineAccounting: every created goroutine ends in a terminal state
+// and the records are complete.
+func TestGoroutineAccounting(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		spec := genSpec(r)
+		res, _ := runPipeline(seed, spec)
+		if len(res.Goroutines) != res.GoroutinesCreated {
+			return false
+		}
+		for _, g := range res.Goroutines {
+			if g.State != GDone {
+				return false
+			}
+			if g.EndTime < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestChannelFIFO: a single-producer single-consumer channel preserves send
+// order for any capacity and schedule.
+func TestChannelFIFO(t *testing.T) {
+	f := func(seed int64, capRaw uint8) bool {
+		capacity := int(capRaw % 8)
+		ok := true
+		Run(Config{Seed: seed}, func(t *T) {
+			ch := NewChan[int](t, capacity)
+			const n = 12
+			t.Go(func(ct *T) {
+				for i := 0; i < n; i++ {
+					if ct.Rand(2) == 0 {
+						ct.Sleep(Duration(ct.Rand(4)))
+					}
+					ch.Send(ct, i)
+				}
+			})
+			last := -1
+			for i := 0; i < n; i++ {
+				v, _ := ch.Recv(t)
+				if v != last+1 {
+					ok = false
+				}
+				last = v
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMutexMutualExclusion: no two goroutines are ever inside the critical
+// section together, for random contention patterns.
+func TestMutexMutualExclusion(t *testing.T) {
+	f := func(seed int64) bool {
+		violated := false
+		Run(Config{Seed: seed}, func(t *T) {
+			r := rand.New(rand.NewSource(seed))
+			mu := NewMutex(t, "mu")
+			inside := NewVarInit(t, "inside", 0)
+			wg := NewWaitGroup(t, "wg")
+			n := 2 + r.Intn(4)
+			wg.Add(t, n)
+			for i := 0; i < n; i++ {
+				t.Go(func(ct *T) {
+					for j := 0; j < 3; j++ {
+						mu.Lock(ct)
+						inside.Store(ct, inside.Load(ct)+1)
+						if inside.Load(ct) != 1 {
+							violated = true
+						}
+						ct.Sleep(Duration(ct.Rand(3)))
+						inside.Store(ct, inside.Load(ct)-1)
+						mu.Unlock(ct)
+					}
+					wg.Done(ct)
+				})
+			}
+			wg.Wait(t)
+		})
+		return !violated
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOnceAtMostOnce: under random contention, the Once body runs exactly
+// once and every caller observes its effect afterwards.
+func TestOnceAtMostOnce(t *testing.T) {
+	f := func(seed int64) bool {
+		ok := true
+		Run(Config{Seed: seed}, func(t *T) {
+			once := NewOnce(t, "once")
+			runs := NewAtomicInt64(t, "runs")
+			ready := NewVarInit(t, "ready", false)
+			wg := NewWaitGroup(t, "wg")
+			wg.Add(t, 4)
+			for i := 0; i < 4; i++ {
+				t.Go(func(ct *T) {
+					once.Do(ct, func(ot *T) {
+						ot.Sleep(Duration(ot.Rand(4)))
+						runs.Add(ot, 1)
+						ready.Store(ot, true)
+					})
+					if !ready.Load(ct) {
+						ok = false // Do returned before init completed
+					}
+					wg.Done(ct)
+				})
+			}
+			wg.Wait(t)
+			if runs.Load(t) != 1 {
+				ok = false
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestVirtualTimeMonotone: timers fire in order; a later Sleep never
+// finishes before an earlier-started shorter one.
+func TestVirtualTimeMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		ok := true
+		Run(Config{Seed: seed}, func(t *T) {
+			r := rand.New(rand.NewSource(seed ^ 0x5a5a))
+			order := NewChan[int](t, 16)
+			delays := make([]int, 5)
+			for i := range delays {
+				delays[i] = 1 + r.Intn(50)
+			}
+			for i, d := range delays {
+				i, d := i, d
+				t.Go(func(ct *T) {
+					ct.Sleep(Duration(d))
+					order.Send(ct, i)
+				})
+			}
+			prev := int64(-1)
+			for range delays {
+				idx, _ := order.Recv(t)
+				when := int64(delays[idx])
+				if when < prev {
+					// An earlier deadline completed after a
+					// strictly later one: broken clock.
+					ok = false
+				}
+				if when > prev {
+					prev = when
+				}
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,138 @@
+package sim
+
+import (
+	"fmt"
+
+	"goconcbugs/internal/hb"
+)
+
+// RWMutex models sync.RWMutex with Go's write-preferring implementation:
+// "Write lock requests in Go have a higher privilege than read lock
+// requests" (Section 2.2). Consequently a goroutine that read-locks twice,
+// with another goroutine's write-lock request arriving in between, deadlocks
+// — the Go-specific blocking pattern of Section 5.1.1, which cannot happen
+// with pthread_rwlock_t's default read preference.
+type RWMutex struct {
+	rt             *runtime
+	id             int
+	name           string
+	readers        map[*G]int // reader -> hold count (re-entrant RLock tracking)
+	writer         *G
+	waitingWriters []*G
+	waitingReaders []*G
+	// vcWriter is the clock published by Unlock; vcReaders accumulates
+	// clocks published by RUnlock.
+	vcWriter  hb.VC
+	vcReaders hb.VC
+}
+
+// NewRWMutex creates a read-write mutex.
+func NewRWMutex(t *T, name string) *RWMutex {
+	t.rt.nextSyncID++
+	if name == "" {
+		name = fmt.Sprintf("rwmutex#%d", t.rt.nextSyncID)
+	}
+	return &RWMutex{
+		rt: t.rt, id: t.rt.nextSyncID, name: name,
+		readers: make(map[*G]int), vcWriter: hb.New(), vcReaders: hb.New(),
+	}
+}
+
+// RLock acquires a read lock. With a writer active or *waiting*, the request
+// blocks — even when the caller already holds a read lock.
+func (rw *RWMutex) RLock(t *T) {
+	t.yield()
+	if rw.writer == nil && len(rw.waitingWriters) == 0 {
+		rw.readers[t.g]++
+		t.g.vc.Join(rw.vcWriter)
+		t.g.holdLock(rw.name)
+		t.emitSync(OpMutexLock, rw.name, 0, 0)
+		rw.rt.event(t.g, "rlock", rw.name, "")
+		return
+	}
+	rw.waitingReaders = append(rw.waitingReaders, t.g)
+	t.block(BlockRWMutexR, rw.name)
+	t.g.holdLock(rw.name)
+	t.emitSync(OpMutexLock, rw.name, 0, 0)
+	rw.rt.event(t.g, "rlock", rw.name, "after wait")
+}
+
+// RUnlock releases a read lock.
+func (rw *RWMutex) RUnlock(t *T) {
+	t.yield()
+	if rw.readers[t.g] == 0 {
+		t.Panicf("sync: RUnlock of unlocked RWMutex %s", rw.name)
+	}
+	rw.readers[t.g]--
+	if rw.readers[t.g] == 0 {
+		delete(rw.readers, t.g)
+	}
+	rw.vcReaders.Join(t.g.vc)
+	t.g.tick()
+	t.g.releaseLock(rw.name)
+	t.emitSync(OpMutexUnlock, rw.name, 0, 0)
+	rw.rt.event(t.g, "runlock", rw.name, "")
+	rw.promote()
+}
+
+// Lock acquires the write lock, blocking until all readers and any earlier
+// writer release.
+func (rw *RWMutex) Lock(t *T) {
+	t.yield()
+	if rw.writer == nil && len(rw.readers) == 0 && len(rw.waitingWriters) == 0 {
+		rw.writer = t.g
+		t.g.vc.Join(rw.vcWriter)
+		t.g.vc.Join(rw.vcReaders)
+		t.g.holdLock(rw.name)
+		t.emitSync(OpMutexLock, rw.name, 0, 0)
+		rw.rt.event(t.g, "wlock", rw.name, "")
+		return
+	}
+	rw.waitingWriters = append(rw.waitingWriters, t.g)
+	t.block(BlockRWMutexW, rw.name)
+	t.g.holdLock(rw.name)
+	t.emitSync(OpMutexLock, rw.name, 0, 0)
+	rw.rt.event(t.g, "wlock", rw.name, "after wait")
+}
+
+// Unlock releases the write lock.
+func (rw *RWMutex) Unlock(t *T) {
+	t.yield()
+	if rw.writer != t.g {
+		t.Panicf("sync: Unlock of unlocked RWMutex %s", rw.name)
+	}
+	rw.vcWriter.Join(t.g.vc)
+	t.g.tick()
+	rw.writer = nil
+	t.g.releaseLock(rw.name)
+	t.emitSync(OpMutexUnlock, rw.name, 0, 0)
+	rw.rt.event(t.g, "wunlock", rw.name, "")
+	// As in real Go, readers that queued behind the writer get the lock
+	// when it releases; otherwise the next writer runs.
+	if len(rw.waitingReaders) > 0 {
+		for _, g := range rw.waitingReaders {
+			rw.readers[g]++
+			g.vc.Join(rw.vcWriter)
+			rw.rt.unblock(g)
+		}
+		rw.waitingReaders = nil
+		return
+	}
+	rw.promote()
+}
+
+// promote hands the lock to the next waiting writer when possible.
+func (rw *RWMutex) promote() {
+	if rw.writer != nil || len(rw.readers) > 0 || len(rw.waitingWriters) == 0 {
+		return
+	}
+	next := rw.waitingWriters[0]
+	rw.waitingWriters = rw.waitingWriters[1:]
+	rw.writer = next
+	next.vc.Join(rw.vcWriter)
+	next.vc.Join(rw.vcReaders)
+	rw.rt.unblock(next)
+}
+
+// Name returns the lock's report name.
+func (rw *RWMutex) Name() string { return rw.name }

@@ -1,0 +1,145 @@
+package sim
+
+// Select semantics follow Section 2.3: a select blocks until one of its
+// cases can make progress or a default branch exists; when more than one
+// case is ready the runtime chooses uniformly at random — the source of the
+// non-determinism bugs in Section 6.1.2 (Figure 11).
+
+type selectOp struct {
+	done   bool
+	chosen int
+}
+
+// Case is one arm of a Select. Build cases with OnRecv, OnSend, and Default.
+type Case struct {
+	core      *chanCore
+	dir       int
+	val       any
+	onRecv    func(v any, ok bool)
+	onSend    func()
+	isDefault bool
+	onDefault func()
+	name      string
+}
+
+// OnRecv builds a receive case; fn (optional) runs with the received value
+// when this case is chosen.
+func OnRecv[V any](ch Chan[V], fn func(v V, ok bool)) Case {
+	c := Case{core: ch.core, dir: dirRecv, name: ch.Name()}
+	if fn != nil {
+		c.onRecv = func(v any, ok bool) {
+			if !ok || v == nil {
+				var zero V
+				fn(zero, ok)
+				return
+			}
+			fn(v.(V), ok)
+		}
+	}
+	return c
+}
+
+// OnSend builds a send case; fn (optional) runs after the send when this
+// case is chosen.
+func OnSend[V any](ch Chan[V], v V, fn func()) Case {
+	return Case{core: ch.core, dir: dirSend, val: v, onSend: fn, name: ch.Name()}
+}
+
+// Default builds a default case, making the select non-blocking.
+func Default(fn func()) Case {
+	return Case{isDefault: true, onDefault: fn}
+}
+
+// Select executes a select statement over the cases and returns the index
+// of the case that ran.
+func Select(t *T, cases ...Case) int {
+	t.yield()
+	// Gather ready cases (nil-channel cases are never ready).
+	var ready []int
+	defaultIdx := -1
+	for i, c := range cases {
+		if c.isDefault {
+			defaultIdx = i
+			continue
+		}
+		if c.core == nil {
+			continue
+		}
+		if c.dir == dirSend && c.core.sendReady() {
+			ready = append(ready, i)
+		}
+		if c.dir == dirRecv && c.core.recvReady() {
+			ready = append(ready, i)
+		}
+	}
+	if len(ready) > 0 {
+		// Uniform random choice among ready cases, as in real Go.
+		idx := ready[t.rt.choose(len(ready), -1)]
+		runCase(t, cases[idx])
+		return idx
+	}
+	if defaultIdx >= 0 {
+		if cases[defaultIdx].onDefault != nil {
+			cases[defaultIdx].onDefault()
+		}
+		return defaultIdx
+	}
+	// Nothing ready and no default: park on every (non-nil) channel.
+	t.emitSync(OpSelectBlocking, "select", 0, 0)
+	sel := &selectOp{chosen: -1}
+	ws := make([]*waiter, len(cases))
+	registered := false
+	for i, c := range cases {
+		if c.isDefault || c.core == nil {
+			continue
+		}
+		w := &waiter{g: t.g, dir: c.dir, sel: sel, caseIdx: i}
+		if c.dir == dirSend {
+			w.val = c.val
+			w.vcSnap = t.g.vc.Clone()
+			c.core.sendq = append(c.core.sendq, w)
+		} else {
+			c.core.recvq = append(c.core.recvq, w)
+		}
+		ws[i] = w
+		registered = true
+	}
+	if !registered {
+		// Every case is on a nil channel: block forever.
+		t.blockForever(BlockSelect, "select on nil channels only")
+	}
+	t.block(BlockSelect, "select")
+	idx := sel.chosen
+	w := ws[idx]
+	if w.panicMsg != "" {
+		t.Panicf("%s", w.panicMsg)
+	}
+	c := cases[idx]
+	if c.dir == dirSend {
+		// The receiver already took our value and joined clocks.
+		t.g.tick()
+		if c.onSend != nil {
+			c.onSend()
+		}
+	} else {
+		if c.onRecv != nil {
+			c.onRecv(w.recvVal, w.recvOK)
+		}
+	}
+	return idx
+}
+
+// runCase executes a case known to be ready.
+func runCase(t *T, c Case) {
+	if c.dir == dirSend {
+		c.core.completeSend(t, c.val)
+		if c.onSend != nil {
+			c.onSend()
+		}
+		return
+	}
+	v, ok := c.core.completeRecv(t)
+	if c.onRecv != nil {
+		c.onRecv(v, ok)
+	}
+}

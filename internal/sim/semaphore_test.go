@@ -1,0 +1,83 @@
+package sim
+
+import "testing"
+
+func TestSemaphoreLimitsConcurrency(t *testing.T) {
+	res := Run(Config{Seed: 4}, func(tt *T) {
+		sem := NewSemaphore(tt, "sem", 2)
+		inside := NewAtomicInt64(tt, "inside")
+		tooMany := NewAtomicInt64(tt, "tooMany")
+		wg := NewWaitGroup(tt, "wg")
+		wg.Add(tt, 5)
+		for i := 0; i < 5; i++ {
+			tt.Go(func(ct *T) {
+				sem.Acquire(ct)
+				if inside.Add(ct, 1) > 2 {
+					tooMany.Store(ct, 1)
+				}
+				ct.Sleep(5)
+				inside.Add(ct, -1)
+				sem.Release(ct)
+				wg.Done(ct)
+			})
+		}
+		wg.Wait(tt)
+		tt.Check(tooMany.Load(tt) == 0, "more than 2 holders inside")
+	})
+	if res.Failed() {
+		t.Fatalf("failed: %+v", res.CheckFailures)
+	}
+}
+
+func TestSemaphoreTryAcquire(t *testing.T) {
+	res := Run(Config{Seed: 1}, func(tt *T) {
+		sem := NewSemaphore(tt, "sem", 1)
+		tt.Check(sem.TryAcquire(tt), "first try should win")
+		tt.Check(!sem.TryAcquire(tt), "second try should fail")
+		sem.Release(tt)
+		tt.Check(sem.TryAcquire(tt), "try after release should win")
+		sem.Release(tt)
+	})
+	if res.Failed() {
+		t.Fatalf("failed: %+v", res.CheckFailures)
+	}
+}
+
+func TestSemaphoreOverReleasePanics(t *testing.T) {
+	res := Run(Config{Seed: 1}, func(tt *T) {
+		sem := NewSemaphore(tt, "sem", 1)
+		sem.Release(tt)
+	})
+	if res.Outcome != OutcomePanic {
+		t.Fatalf("outcome = %v", res.Outcome)
+	}
+}
+
+func TestSemaphoreLeakStarvesAcquirers(t *testing.T) {
+	// The blocking misuse: an error path skips Release.
+	res := Run(Config{Seed: 1}, func(tt *T) {
+		sem := NewSemaphore(tt, "sem", 1)
+		tt.Go(func(ct *T) {
+			sem.Acquire(ct)
+			// error path: returns without Release
+		})
+		tt.Go(func(ct *T) {
+			ct.Sleep(5)
+			sem.Acquire(ct) // starves forever
+			sem.Release(ct)
+		})
+		tt.Sleep(50)
+	})
+	if len(res.Leaked) != 1 || res.Leaked[0].BlockKind != BlockChanSend {
+		t.Fatalf("leaked = %+v", res.Leaked)
+	}
+}
+
+func TestSemaphoreZeroCapacityPanics(t *testing.T) {
+	res := Run(Config{Seed: 1}, func(tt *T) {
+		NewSemaphore(tt, "bad", 0)
+	})
+	if res.Outcome != OutcomePanic {
+		t.Fatalf("outcome = %v", res.Outcome)
+	}
+}

@@ -1,0 +1,441 @@
+// Package sim implements a deterministic, instrumented model of the Go
+// concurrency runtime.
+//
+// The paper studies bugs whose manifestation depends on scheduling
+// ("Sometimes, we needed to run a buggy program a lot of times or manually
+// add sleep", Section 4). sim removes that obstacle: simulated goroutines run
+// one at a time under a cooperative scheduler whose every choice (which
+// runnable goroutine to run next, which ready select case to take) is drawn
+// from a seeded random source, so an interleaving is a pure function of the
+// seed. All of Go's concurrency primitives that the paper discusses are
+// modeled with their documented semantics:
+//
+//   - goroutines (Section 2.1), including anonymous-function spawning
+//   - Mutex, RWMutex with Go's writer-priority implementation, WaitGroup,
+//     Cond, Once, atomics (Section 2.2)
+//   - buffered/unbuffered/nil/closed channels, select with its uniform
+//     random choice among ready cases (Section 2.3)
+//   - time.Timer/Ticker on a virtual clock, context, and an io.Pipe-style
+//     message-passing library (Sections 2.3, 5.1.2, 6.1.2)
+//
+// Every synchronization operation maintains vector clocks (package hb), and
+// every instrumented shared-variable access is reported to an optional
+// MemoryObserver, which is how the race detector (package race) attaches.
+// The built-in deadlock detector model and the goroutine-leak detector
+// (package deadlock) interpret the Result. A Monitor hook receives every
+// synchronization event (package vet's rule checker), and a Chooser hook
+// replaces random scheduling with enumerable decisions (package explore's
+// systematic mode). Beyond the standard primitives, Semaphore models the
+// buffered-channel concurrency limiter and MapVar models a plain shared map
+// with the runtime's "concurrent map writes" crash.
+//
+// # Deliberate divergences from the real runtime
+//
+//   - Mutex.Unlock requires the unlocking goroutine to hold the lock; real
+//     Go permits cross-goroutine unlocks. The strict model turns lock
+//     hand-off typos into simulated panics instead of silent corruption.
+//   - A run continues to quiescence after main returns (a server that
+//     never exits), so leftover blocked goroutines are classified as leaks
+//     rather than being killed mid-flight; the built-in-detector model
+//     only fires while main is live, as a real program would have exited.
+//   - Tickers fire a bounded number of times (NewTickerN /
+//     DefaultTickerFires) so ticker-driven server loops reach quiescence.
+//   - Virtual time advances only when every goroutine is blocked; CPU work
+//     is modeled explicitly with T.Work/T.Sleep.
+//   - A simulated panic terminates the whole run immediately (there is no
+//     recover), matching an unrecovered production crash.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Default limits applied when Config leaves the corresponding field zero.
+const (
+	DefaultMaxSteps      = 100_000
+	DefaultLeakThreshold = 500
+)
+
+// Program is the entry function of a simulated program; it runs as the main
+// goroutine (id 1).
+type Program func(t *T)
+
+// Config controls a single simulated run.
+type Config struct {
+	// Seed selects the interleaving. Equal seeds give identical runs.
+	Seed int64
+	// MaxSteps bounds scheduling steps so programs with perpetually
+	// runnable goroutines (server loops) terminate; 0 means
+	// DefaultMaxSteps.
+	MaxSteps int64
+	// LeakThreshold is the number of steps a goroutine must have been
+	// continuously blocked for to be reported as leaked when the run ends
+	// at the step limit (at quiescence every blocked goroutine is leaked
+	// by construction); 0 means DefaultLeakThreshold.
+	LeakThreshold int64
+	// Observer, when non-nil, receives every instrumented memory access.
+	Observer MemoryObserver
+	// Monitor, when non-nil, receives every synchronization event
+	// (package vet's rule checker attaches here).
+	Monitor Monitor
+	// Chooser, when non-nil, replaces the seeded random source for
+	// *scheduling* decisions — which runnable goroutine runs next and
+	// which ready select case fires. It receives the number of options
+	// and, for goroutine-scheduling decisions, the index of the option
+	// that continues the currently running goroutine (-1 when it cannot
+	// continue, and for select-case decisions); it must return an index
+	// in [0, n). Package explore's systematic mode uses this to
+	// enumerate schedules exhaustively — and, with the preferred index,
+	// to bound preemptions CHESS-style. T.Rand (input randomness) stays
+	// on the seed either way.
+	Chooser func(n, preferred int) int
+	// Trace records an event log in the Result when true.
+	Trace bool
+	// Name labels the run in reports.
+	Name string
+}
+
+// Outcome describes how a run ended.
+type Outcome int
+
+const (
+	// OutcomeOK: the program ran to quiescence (no runnable goroutines,
+	// no pending timers). Blocked goroutines, if any, are leaked.
+	OutcomeOK Outcome = iota
+	// OutcomeBuiltinDeadlock: the model of Go's built-in detector fired —
+	// every live goroutine was asleep on a concurrency primitive while
+	// the main goroutine was still live ("all goroutines are asleep -
+	// deadlock!").
+	OutcomeBuiltinDeadlock
+	// OutcomePanic: a simulated runtime panic (send on closed channel,
+	// double close, negative WaitGroup counter, ...) crashed the program.
+	OutcomePanic
+	// OutcomeStepLimit: the step budget ran out with runnable goroutines
+	// remaining (typically a server loop).
+	OutcomeStepLimit
+)
+
+// String implements fmt.Stringer.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeOK:
+		return "ok"
+	case OutcomeBuiltinDeadlock:
+		return "builtin-deadlock"
+	case OutcomePanic:
+		return "panic"
+	case OutcomeStepLimit:
+		return "step-limit"
+	default:
+		return fmt.Sprintf("Outcome(%d)", int(o))
+	}
+}
+
+// PanicInfo records a simulated panic.
+type PanicInfo struct {
+	G    int
+	Name string
+	Msg  string
+	Step int64
+}
+
+// GoroutineInfo is the end-of-run record for one simulated goroutine.
+type GoroutineInfo struct {
+	ID           int
+	Name         string
+	State        GState
+	BlockKind    BlockKind
+	BlockObj     string
+	CreatedStep  int64
+	CreatedTime  int64
+	EndTime      int64 // virtual time when it finished; -1 if it never did
+	BlockedSince int64 // step at which its current block began; -1 if not blocked
+	// HeldLocks lists the lock names the goroutine held when the run
+	// ended — the raw material for circular-wait analysis.
+	HeldLocks []string
+}
+
+// Result is the full observable outcome of one simulated run.
+type Result struct {
+	Name              string
+	Seed              int64
+	Outcome           Outcome
+	Steps             int64
+	VirtualTime       int64 // nanoseconds of virtual time elapsed
+	GoroutinesCreated int
+	// Leaked lists goroutines judged blocked forever (the paper's
+	// "blocking bug" manifestation: goroutines that "wait for resources
+	// that no other goroutines supply").
+	Leaked []GoroutineInfo
+	// Blocked lists every goroutine still blocked when the run ended
+	// (superset of Leaked under OutcomeStepLimit).
+	Blocked []GoroutineInfo
+	// Goroutines holds the record of every goroutine created.
+	Goroutines []GoroutineInfo
+	Panics     []PanicInfo
+	// CheckFailures records violated kernel-level invariants
+	// (T.Check/T.Checkf) — the oracle for non-blocking misbehavior.
+	CheckFailures []string
+	// DeadlockReport is the built-in detector's message when
+	// Outcome == OutcomeBuiltinDeadlock.
+	DeadlockReport string
+	Trace          []Event
+}
+
+// Failed reports whether the run manifested any misbehavior: a deadlock, a
+// panic, a leak, or a check failure.
+func (r *Result) Failed() bool {
+	return r.Outcome == OutcomeBuiltinDeadlock || r.Outcome == OutcomePanic ||
+		len(r.Leaked) > 0 || len(r.CheckFailures) > 0
+}
+
+// Run executes main under cfg and returns the outcome. It is safe to call
+// concurrently from multiple host goroutines; each run is self-contained.
+func Run(cfg Config, main Program) *Result {
+	rt := newRuntime(cfg)
+	rt.spawn("main", main)
+	rt.schedule()
+	if rt.hostPanic != nil {
+		// A non-simulated panic in program code is a bug in the
+		// caller's code: propagate it on the caller's goroutine.
+		panic(rt.hostPanic)
+	}
+	return rt.finalize()
+}
+
+type runtime struct {
+	cfg           Config
+	rng           *rand.Rand
+	gs            []*G
+	now           int64
+	step          int64
+	timers        timerHeap
+	timerSeq      int64
+	back          chan struct{} // simulated goroutine -> scheduler handoff
+	dead          chan struct{} // killed goroutine -> scheduler during teardown
+	killing       bool
+	stopping      bool
+	outcome       Outcome
+	deadlockMsg   string
+	panics        []PanicInfo
+	checkFailures []string
+	trace         []Event
+	lastG         *G
+	hostPanic     any
+	nextVarID     int
+	nextChanID    int
+	nextSyncID    int
+	maxSteps      int64
+	leakThreshold int64
+}
+
+func newRuntime(cfg Config) *runtime {
+	rt := &runtime{
+		cfg:           cfg,
+		rng:           rand.New(rand.NewSource(cfg.Seed)),
+		back:          make(chan struct{}),
+		dead:          make(chan struct{}),
+		maxSteps:      cfg.MaxSteps,
+		leakThreshold: cfg.LeakThreshold,
+		outcome:       OutcomeOK,
+	}
+	if rt.maxSteps <= 0 {
+		rt.maxSteps = DefaultMaxSteps
+	}
+	if rt.leakThreshold <= 0 {
+		rt.leakThreshold = DefaultLeakThreshold
+		if half := rt.maxSteps / 2; half < rt.leakThreshold {
+			rt.leakThreshold = half
+		}
+	}
+	return rt
+}
+
+// schedule is the scheduler loop. It runs on the caller's (host) goroutine;
+// exactly one simulated goroutine executes at any moment, so all simulated
+// state is free of host-level data races by construction.
+func (rt *runtime) schedule() {
+	for {
+		if rt.stopping {
+			break
+		}
+		if rt.step >= rt.maxSteps {
+			rt.outcome = OutcomeStepLimit
+			break
+		}
+		runnable := rt.runnable()
+		if len(runnable) == 0 {
+			if rt.fireDueTimers() {
+				continue
+			}
+			blocked := rt.blockedGs()
+			if len(blocked) == 0 {
+				break // quiescent, everything done
+			}
+			if rt.mainLive() && rt.allAsleepOnPrimitives(blocked) {
+				rt.outcome = OutcomeBuiltinDeadlock
+				rt.deadlockMsg = rt.deadlockReport(blocked)
+				break
+			}
+			// Either the program has exited with stragglers, or
+			// some goroutine waits on a non-primitive resource the
+			// built-in detector cannot see (Section 5.3).
+			break
+		}
+		preferred := -1
+		for i, g := range runnable {
+			if g == rt.lastG {
+				preferred = i
+				break
+			}
+		}
+		g := runnable[rt.choose(len(runnable), preferred)]
+		rt.lastG = g
+		rt.step++
+		rt.resume(g)
+	}
+	rt.teardown()
+}
+
+// choose picks among n scheduling options, via the Chooser when one is
+// configured (systematic exploration) and the seeded source otherwise.
+// preferred is the option continuing the currently running goroutine, -1
+// when there is none.
+func (rt *runtime) choose(n, preferred int) int {
+	if n <= 1 {
+		return 0
+	}
+	if rt.cfg.Chooser != nil {
+		idx := rt.cfg.Chooser(n, preferred)
+		if idx < 0 || idx >= n {
+			idx = 0
+		}
+		return idx
+	}
+	return rt.rng.Intn(n)
+}
+
+// resume hands the CPU to g until its next yield/block/finish.
+func (rt *runtime) resume(g *G) {
+	g.state = GRunning
+	g.resume <- struct{}{}
+	<-rt.back
+}
+
+func (rt *runtime) runnable() []*G {
+	var out []*G
+	for _, g := range rt.gs {
+		if g.state == GRunnable {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+func (rt *runtime) blockedGs() []*G {
+	var out []*G
+	for _, g := range rt.gs {
+		if g.state == GBlocked {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+func (rt *runtime) mainLive() bool {
+	return len(rt.gs) > 0 && rt.gs[0].state != GDone && rt.gs[0].state != GPanicked
+}
+
+// allAsleepOnPrimitives mirrors the built-in detector's visibility: it only
+// understands waits on Go concurrency primitives, not waits for "other
+// systems resources" (Section 5.3), which BlockExternal models.
+func (rt *runtime) allAsleepOnPrimitives(blocked []*G) bool {
+	for _, g := range blocked {
+		if g.block.kind == BlockExternal {
+			return false
+		}
+	}
+	return true
+}
+
+func (rt *runtime) deadlockReport(blocked []*G) string {
+	msg := "fatal error: all goroutines are asleep - deadlock!"
+	for _, g := range blocked {
+		msg += fmt.Sprintf("\ngoroutine %d [%s]: %s", g.id, g.block.kind, g.block.obj)
+	}
+	return msg
+}
+
+// teardown unwinds every still-parked simulated goroutine so that a Run
+// leaves no host goroutines behind.
+func (rt *runtime) teardown() {
+	rt.killing = true
+	for _, g := range rt.gs {
+		switch g.state {
+		case GRunnable, GBlocked:
+			g.resume <- struct{}{}
+			<-rt.dead
+		}
+	}
+}
+
+func (rt *runtime) finalize() *Result {
+	res := &Result{
+		Name:              rt.cfg.Name,
+		Seed:              rt.cfg.Seed,
+		Outcome:           rt.outcome,
+		Steps:             rt.step,
+		VirtualTime:       rt.now,
+		GoroutinesCreated: len(rt.gs),
+		Panics:            rt.panics,
+		CheckFailures:     rt.checkFailures,
+		DeadlockReport:    rt.deadlockMsg,
+		Trace:             rt.trace,
+	}
+	if len(rt.panics) > 0 && rt.outcome != OutcomeBuiltinDeadlock {
+		res.Outcome = OutcomePanic
+	}
+	for _, g := range rt.gs {
+		info := g.info()
+		res.Goroutines = append(res.Goroutines, info)
+		if g.finalState != GBlocked {
+			continue
+		}
+		res.Blocked = append(res.Blocked, info)
+		if res.Outcome == OutcomePanic {
+			continue // the crash preempts liveness analysis
+		}
+		leaked := true
+		if res.Outcome == OutcomeStepLimit {
+			// The run was cut short; only long-blocked goroutines
+			// are confidently leaked.
+			leaked = rt.step-g.blockedSince >= rt.leakThreshold
+		}
+		if leaked {
+			res.Leaked = append(res.Leaked, info)
+		}
+	}
+	return res
+}
+
+// event appends to the trace when tracing is enabled.
+func (rt *runtime) event(g *G, op, obj, detail string) {
+	if !rt.cfg.Trace {
+		return
+	}
+	rt.trace = append(rt.trace, Event{
+		Step: rt.step, Time: rt.now, G: g.id, GName: g.name,
+		Op: op, Obj: obj, Detail: detail,
+	})
+}
+
+func (rt *runtime) checkFail(g *G, msg string) {
+	rt.checkFailures = append(rt.checkFailures,
+		fmt.Sprintf("g%d(%s) step %d: %s", g.id, g.name, rt.step, msg))
+}
+
+// Duration re-exports time.Duration for virtual-time APIs so kernel code
+// reads like ordinary Go.
+type Duration = time.Duration

@@ -1,0 +1,223 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+
+	"goconcbugs/internal/hb"
+)
+
+// Virtual time is discrete-event: it advances only when every goroutine is
+// blocked or asleep, jumping to the earliest pending timer. This mirrors the
+// paper's observation surface — what matters to the studied bugs is the
+// *ordering* of timeouts against channel operations, which the seeded
+// scheduler controls, not wall-clock accuracy.
+
+type timerEntry struct {
+	when    int64
+	seq     int64
+	fire    func()
+	stopped bool
+	index   int
+}
+
+type timerHeap []*timerEntry
+
+func (h timerHeap) Len() int { return len(h) }
+func (h timerHeap) Less(i, j int) bool {
+	if h[i].when != h[j].when {
+		return h[i].when < h[j].when
+	}
+	return h[i].seq < h[j].seq
+}
+func (h timerHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *timerHeap) Push(x any) {
+	e := x.(*timerEntry)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *timerHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// scheduleTimer arms a timer entry at virtual time now+d (immediately for
+// d <= 0, as time.NewTimer(0) fires at once — the Figure 12 bug).
+func (rt *runtime) scheduleTimer(d time.Duration, fire func()) *timerEntry {
+	rt.timerSeq++
+	when := rt.now
+	if d > 0 {
+		when += int64(d)
+	}
+	e := &timerEntry{when: when, seq: rt.timerSeq, fire: fire}
+	heap.Push(&rt.timers, e)
+	return e
+}
+
+// fireDueTimers advances the virtual clock to the next pending timer and
+// fires everything due at that instant. It returns whether any timer fired.
+func (rt *runtime) fireDueTimers() bool {
+	for rt.timers.Len() > 0 && rt.timers[0].stopped {
+		heap.Pop(&rt.timers)
+	}
+	if rt.timers.Len() == 0 {
+		return false
+	}
+	rt.now = rt.timers[0].when
+	fired := false
+	for rt.timers.Len() > 0 && rt.timers[0].when <= rt.now {
+		e := heap.Pop(&rt.timers).(*timerEntry)
+		if e.stopped {
+			continue
+		}
+		e.fire()
+		fired = true
+	}
+	return fired
+}
+
+// Sleep suspends the goroutine for d of virtual time, modeling both
+// time.Sleep and a computation taking that long.
+func (t *T) Sleep(d time.Duration) {
+	g := t.g
+	t.rt.scheduleTimer(d, func() { t.rt.unblock(g) })
+	t.block(BlockSleep, fmt.Sprintf("sleep %v", d))
+}
+
+// Work is an alias for Sleep that reads better when modeling CPU-bound work
+// (e.g. the fn() call in Figure 1's finishReq).
+func (t *T) Work(d time.Duration) { t.Sleep(d) }
+
+// Timer models time.Timer: created armed, delivering the fire time on C
+// (capacity 1). "At the creation time of a Timer object, Go runtime
+// (implicitly) starts a library-internal goroutine which starts timer
+// countdown" (Section 6.1.2); here the runtime's timer heap plays that role,
+// and NewTimer(0)'s immediate fire reproduces Figure 12.
+type Timer struct {
+	rt    *runtime
+	C     Chan[int64]
+	entry *timerEntry
+	vc    hb.VC
+	fired bool
+}
+
+// NewTimer creates and arms a timer.
+func NewTimer(t *T, d time.Duration) *Timer {
+	tm := &Timer{
+		rt: t.rt,
+		C:  Chan[int64]{core: t.rt.newChanCore(fmt.Sprintf("timer.C(%v)", d), 1)},
+		vc: t.g.vc.Clone(),
+	}
+	t.g.tick()
+	tm.arm(d)
+	return tm
+}
+
+func (tm *Timer) arm(d time.Duration) {
+	tm.fired = false
+	tm.entry = tm.rt.scheduleTimer(d, func() {
+		tm.fired = true
+		tm.C.core.trySendFromRuntime(tm.vc, tm.rt.now)
+	})
+}
+
+// Stop disarms the timer and reports whether it was still pending.
+func (tm *Timer) Stop(t *T) bool {
+	t.yield()
+	if tm.entry == nil || tm.entry.stopped || tm.fired {
+		return false
+	}
+	tm.entry.stopped = true
+	return true
+}
+
+// Reset re-arms the timer for d, capturing the caller's clock for the
+// happens-before edge to the eventual receive.
+func (tm *Timer) Reset(t *T, d time.Duration) {
+	t.yield()
+	if tm.entry != nil {
+		tm.entry.stopped = true
+	}
+	tm.vc = t.g.vc.Clone()
+	t.g.tick()
+	tm.arm(d)
+}
+
+// After returns a channel that delivers once after d, like time.After.
+func After(t *T, d time.Duration) Chan[int64] {
+	return NewTimer(t, d).C
+}
+
+// Ticker models time.Ticker: C delivers every interval; ticks are dropped
+// when C is full, as in real Go.
+type Ticker struct {
+	rt       *runtime
+	C        Chan[int64]
+	interval time.Duration
+	entry    *timerEntry
+	vc       hb.VC
+	stopped  bool
+	// Fires bounds the number of ticks so server loops quiesce; 0 means
+	// DefaultTickerFires.
+	fires int
+}
+
+// DefaultTickerFires bounds how many times a Ticker fires in one run, so
+// programs built around ticker loops reach quiescence.
+const DefaultTickerFires = 32
+
+// NewTicker creates a ticker firing every d.
+func NewTicker(t *T, d time.Duration) *Ticker {
+	return NewTickerN(t, d, 0)
+}
+
+// NewTickerN creates a ticker that fires at most n times (0 = default).
+func NewTickerN(t *T, d time.Duration, n int) *Ticker {
+	if d <= 0 {
+		t.Panicf("non-positive interval for NewTicker")
+	}
+	if n <= 0 {
+		n = DefaultTickerFires
+	}
+	tk := &Ticker{
+		rt:       t.rt,
+		C:        Chan[int64]{core: t.rt.newChanCore(fmt.Sprintf("ticker.C(%v)", d), 1)},
+		interval: d,
+		vc:       t.g.vc.Clone(),
+		fires:    n,
+	}
+	t.g.tick()
+	tk.arm()
+	return tk
+}
+
+func (tk *Ticker) arm() {
+	tk.entry = tk.rt.scheduleTimer(tk.interval, func() {
+		if tk.stopped || tk.fires <= 0 {
+			return
+		}
+		tk.fires--
+		tk.C.core.trySendFromRuntime(tk.vc, tk.rt.now)
+		if tk.fires > 0 {
+			tk.arm()
+		}
+	})
+}
+
+// Stop stops the ticker.
+func (tk *Ticker) Stop(t *T) {
+	t.yield()
+	tk.stopped = true
+	if tk.entry != nil {
+		tk.entry.stopped = true
+	}
+}

@@ -1,0 +1,23 @@
+package sim
+
+import "fmt"
+
+// Event is one entry of the optional execution trace.
+type Event struct {
+	Step   int64
+	Time   int64
+	G      int
+	GName  string
+	Op     string
+	Obj    string
+	Detail string
+}
+
+// String renders the event as a single trace line.
+func (e Event) String() string {
+	s := fmt.Sprintf("step=%-6d t=%-8d g%d(%s) %s %s", e.Step, e.Time, e.G, e.GName, e.Op, e.Obj)
+	if e.Detail != "" {
+		s += " [" + e.Detail + "]"
+	}
+	return s
+}

@@ -1,0 +1,110 @@
+package sim
+
+import (
+	"fmt"
+
+	"goconcbugs/internal/hb"
+)
+
+// Instrumented shared variables. Every Load/Store is reported to the
+// configured MemoryObserver with the accessing goroutine's vector clock,
+// which is all a happens-before race detector needs. The value semantics are
+// those of the chosen interleaving (the scheduler serializes everything), so
+// order violations also manifest as wrong values that kernels can Check.
+
+// VarMeta identifies an instrumented variable in access reports.
+type VarMeta struct {
+	ID        int
+	Name      string
+	CreatedBy int
+}
+
+// MemAccess describes one instrumented access. VC is the accessing
+// goroutine's live clock: observers must treat it as read-only and must not
+// retain it across calls (clone if needed).
+type MemAccess struct {
+	Var   *VarMeta
+	G     int
+	GName string
+	VC    hb.VC
+	Write bool
+	Step  int64
+	Time  int64
+}
+
+// MemoryObserver receives every instrumented access; the race detector
+// implements it.
+type MemoryObserver interface {
+	Access(ac MemAccess)
+}
+
+// Var is an instrumented, unsynchronized shared variable of type V —
+// the moral equivalent of a plain Go variable shared across goroutines.
+type Var[V any] struct {
+	meta *VarMeta
+	rt   *runtime
+	val  V
+}
+
+// NewVar creates an instrumented variable with the given report name.
+func NewVar[V any](t *T, name string) *Var[V] {
+	t.rt.nextVarID++
+	if name == "" {
+		name = fmt.Sprintf("var#%d", t.rt.nextVarID)
+	}
+	return &Var[V]{
+		meta: &VarMeta{ID: t.rt.nextVarID, Name: name, CreatedBy: t.g.id},
+		rt:   t.rt,
+	}
+}
+
+// NewVarInit creates an instrumented variable with an initial value.
+func NewVarInit[V any](t *T, name string, init V) *Var[V] {
+	v := NewVar[V](t, name)
+	v.val = init
+	return v
+}
+
+func (v *Var[V]) access(t *T, write bool) {
+	if v.rt.cfg.Observer == nil {
+		return
+	}
+	v.rt.cfg.Observer.Access(MemAccess{
+		Var: v.meta, G: t.g.id, GName: t.g.name, VC: t.g.vc,
+		Write: write, Step: v.rt.step, Time: v.rt.now,
+	})
+}
+
+// Load reads the variable (a preemption point, like any real memory access
+// between synchronization operations).
+func (v *Var[V]) Load(t *T) V {
+	t.yield()
+	v.access(t, false)
+	v.rt.event(t.g, "read", v.meta.Name, "")
+	return v.val
+}
+
+// Store writes the variable.
+func (v *Var[V]) Store(t *T, x V) {
+	t.yield()
+	v.access(t, true)
+	v.rt.event(t.g, "write", v.meta.Name, "")
+	v.val = x
+}
+
+// Name returns the variable's report name.
+func (v *Var[V]) Name() string { return v.meta.Name }
+
+// IntVar is a convenience wrapper for the common int case with
+// read-modify-write helpers (each a classic atomicity-violation site).
+type IntVar struct{ *Var[int] }
+
+// NewIntVar creates an instrumented int variable.
+func NewIntVar(t *T, name string) IntVar { return IntVar{NewVar[int](t, name)} }
+
+// Incr performs the non-atomic v = v + delta read-modify-write.
+func (v IntVar) Incr(t *T, delta int) int {
+	x := v.Load(t) + delta
+	v.Store(t, x)
+	return x
+}

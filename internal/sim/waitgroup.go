@@ -1,0 +1,96 @@
+package sim
+
+import (
+	"fmt"
+
+	"goconcbugs/internal/hb"
+)
+
+// WaitGroup models sync.WaitGroup. The paper discusses two misuse families:
+// calling Wait where it blocks Done from ever running (blocking,
+// Figure 5 / Docker#25384), and failing to order Add before Wait
+// (non-blocking, Figure 9 / etcd): "There is an underlying rule when using
+// WaitGroup, which is that Add has to be invoked before Wait"
+// (Section 6.1.1). This model reproduces both: Wait returns immediately when
+// the counter is zero at its linearization point, so a late Add is simply
+// not waited for.
+type WaitGroup struct {
+	rt      *runtime
+	id      int
+	name    string
+	counter int
+	waiters []*G
+	vcDone  hb.VC // clocks published by Done calls
+}
+
+// NewWaitGroup creates a wait group.
+func NewWaitGroup(t *T, name string) *WaitGroup {
+	t.rt.nextSyncID++
+	if name == "" {
+		name = fmt.Sprintf("waitgroup#%d", t.rt.nextSyncID)
+	}
+	return &WaitGroup{rt: t.rt, id: t.rt.nextSyncID, name: name, vcDone: hb.New()}
+}
+
+// Add adds delta to the counter, panicking if the counter goes negative.
+func (wg *WaitGroup) Add(t *T, delta int) {
+	t.yield()
+	wg.counter += delta
+	wg.rt.event(t.g, "wg-add", wg.name, fmt.Sprintf("%+d -> %d", delta, wg.counter))
+	t.emitSync(OpWGAdd, wg.name, wg.counter, delta)
+	if wg.counter < 0 {
+		t.emitSync(OpWGNegative, wg.name, wg.counter, delta)
+		t.Panicf("sync: negative WaitGroup counter on %s", wg.name)
+	}
+	if wg.counter == 0 {
+		wg.release()
+	}
+}
+
+// Done decrements the counter.
+func (wg *WaitGroup) Done(t *T) {
+	t.yield()
+	wg.counter--
+	wg.vcDone.Join(t.g.vc)
+	t.g.tick()
+	wg.rt.event(t.g, "wg-done", wg.name, fmt.Sprintf("-> %d", wg.counter))
+	t.emitSync(OpWGDone, wg.name, wg.counter, -1)
+	if wg.counter < 0 {
+		t.emitSync(OpWGNegative, wg.name, wg.counter, -1)
+		t.Panicf("sync: negative WaitGroup counter on %s", wg.name)
+	}
+	if wg.counter == 0 {
+		wg.release()
+	}
+}
+
+// Wait blocks until the counter is zero. If it already is, Wait returns at
+// once — which is exactly why an Add racing with Wait is a bug.
+func (wg *WaitGroup) Wait(t *T) {
+	t.yield()
+	t.emitSync(OpWGWaitStart, wg.name, wg.counter, 0)
+	if wg.counter == 0 {
+		t.g.vc.Join(wg.vcDone)
+		wg.rt.event(t.g, "wg-wait", wg.name, "immediate")
+		t.emitSync(OpWGWaitEnd, wg.name, wg.counter, 0)
+		return
+	}
+	wg.waiters = append(wg.waiters, t.g)
+	t.block(BlockWaitGroup, wg.name)
+	wg.rt.event(t.g, "wg-wait", wg.name, "released")
+	t.emitSync(OpWGWaitEnd, wg.name, wg.counter, 0)
+}
+
+func (wg *WaitGroup) release() {
+	for _, g := range wg.waiters {
+		g.vc.Join(wg.vcDone)
+		wg.rt.unblock(g)
+	}
+	wg.waiters = nil
+}
+
+// Counter returns the current counter value (for tests).
+func (wg *WaitGroup) Counter() int { return wg.counter }
+
+// Name returns the wait group's report name.
+func (wg *WaitGroup) Name() string { return wg.name }

@@ -1,0 +1,324 @@
+package static
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+)
+
+// This file implements the paper's Section 7 preliminary detector: "we
+// built a detector targeting the non-blocking bugs caused by anonymous
+// functions (e.g. Figure 8). Our detector has already discovered a few new
+// bugs, one of which has been confirmed by real application developers."
+//
+// The detector flags goroutines created from anonymous functions that
+// capture variables of the enclosing function when either
+//
+//   - the capture is a loop variable of a loop enclosing the go statement
+//     (the Figure 8 pattern: every child reads `i` while the parent keeps
+//     writing it), or
+//   - the captured variable is written by the enclosing function after the
+//     goroutine has been spawned (the parent/child race of Section 6.1.1).
+//
+// Both patterns are syntactic over-approximations: a capture synchronized
+// through a channel or WaitGroup can be safe. That is faithful to the
+// paper's tool, which reported candidates for human confirmation.
+
+// AnonRaceFinding is one candidate bug.
+type AnonRaceFinding struct {
+	File   string
+	Line   int
+	Var    string
+	Reason string // "loop variable" or "written after go"
+}
+
+// String renders the finding like a compiler diagnostic.
+func (f AnonRaceFinding) String() string {
+	return fmt.Sprintf("%s:%d: goroutine captures %q (%s)", f.File, f.Line, f.Var, f.Reason)
+}
+
+// FindAnonRaces analyzes every .go file under root.
+func FindAnonRaces(root string) ([]AnonRaceFinding, error) {
+	files, fset, err := parseTree(root)
+	if err != nil {
+		return nil, err
+	}
+	var out []AnonRaceFinding
+	for _, f := range files {
+		out = append(out, findInFile(fset, f)...)
+	}
+	sortFindings(out)
+	return out, nil
+}
+
+// FindAnonRacesInFiles analyzes already-parsed files.
+func FindAnonRacesInFiles(fset *token.FileSet, files []*ast.File) []AnonRaceFinding {
+	var out []AnonRaceFinding
+	for _, f := range files {
+		out = append(out, findInFile(fset, f)...)
+	}
+	sortFindings(out)
+	return out
+}
+
+func sortFindings(fs []AnonRaceFinding) {
+	for i := 1; i < len(fs); i++ {
+		for j := i; j > 0 && less(fs[j], fs[j-1]); j-- {
+			fs[j], fs[j-1] = fs[j-1], fs[j]
+		}
+	}
+}
+
+func less(a, b AnonRaceFinding) bool {
+	if a.File != b.File {
+		return a.File < b.File
+	}
+	if a.Line != b.Line {
+		return a.Line < b.Line
+	}
+	return a.Var < b.Var
+}
+
+func findInFile(fset *token.FileSet, f *ast.File) []AnonRaceFinding {
+	var out []AnonRaceFinding
+	// Examine every function (declaration or literal) independently.
+	ast.Inspect(f, func(n ast.Node) bool {
+		fn, ok := n.(*ast.FuncDecl)
+		if !ok || fn.Body == nil {
+			return true
+		}
+		out = append(out, analyzeFunc(fset, fn.Body, paramNames(fn.Type))...)
+		return true
+	})
+	return out
+}
+
+func paramNames(ft *ast.FuncType) map[string]bool {
+	names := map[string]bool{}
+	if ft.Params != nil {
+		for _, fld := range ft.Params.List {
+			for _, id := range fld.Names {
+				names[id.Name] = true
+			}
+		}
+	}
+	if ft.Results != nil {
+		for _, fld := range ft.Results.List {
+			for _, id := range fld.Names {
+				names[id.Name] = true
+			}
+		}
+	}
+	return names
+}
+
+// analyzeFunc inspects one function body for go-statements over FuncLits.
+func analyzeFunc(fset *token.FileSet, body *ast.BlockStmt, params map[string]bool) []AnonRaceFinding {
+	// Collect local declarations (including params) — capture candidates.
+	locals := map[string]bool{}
+	for n := range params {
+		locals[n] = true
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			if x.Tok == token.DEFINE {
+				for _, lhs := range x.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" {
+						locals[id.Name] = true
+					}
+				}
+			}
+		case *ast.GenDecl:
+			if x.Tok == token.VAR {
+				for _, spec := range x.Specs {
+					if vs, ok := spec.(*ast.ValueSpec); ok {
+						for _, id := range vs.Names {
+							if id.Name != "_" {
+								locals[id.Name] = true
+							}
+						}
+					}
+				}
+			}
+		case *ast.RangeStmt:
+			for _, e := range []ast.Expr{x.Key, x.Value} {
+				if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+					locals[id.Name] = true
+				}
+			}
+		}
+		return true
+	})
+
+	var out []AnonRaceFinding
+	// Walk with a stack of enclosing loops.
+	var walk func(n ast.Node, loopVars []map[string]bool)
+	walk = func(n ast.Node, loopVars []map[string]bool) {
+		switch x := n.(type) {
+		case nil:
+			return
+		case *ast.ForStmt:
+			vars := map[string]bool{}
+			if init, ok := x.Init.(*ast.AssignStmt); ok && init.Tok == token.DEFINE {
+				for _, lhs := range init.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok {
+						vars[id.Name] = true
+					}
+				}
+			}
+			walk(x.Body, append(loopVars, vars))
+			return
+		case *ast.RangeStmt:
+			vars := map[string]bool{}
+			for _, e := range []ast.Expr{x.Key, x.Value} {
+				if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+					vars[id.Name] = true
+				}
+			}
+			walk(x.Body, append(loopVars, vars))
+			return
+		case *ast.GoStmt:
+			if lit, ok := x.Call.Fun.(*ast.FuncLit); ok {
+				out = append(out, checkGoLit(fset, x, lit, locals, loopVars, body)...)
+			}
+		}
+		// Generic traversal for everything else.
+		ast.Inspect(n, func(c ast.Node) bool {
+			if c == n {
+				return true
+			}
+			switch c.(type) {
+			case *ast.ForStmt, *ast.RangeStmt, *ast.GoStmt:
+				walk(c, loopVars)
+				return false
+			case *ast.FuncLit:
+				// Nested function literals get their own analysis
+				// scope; do not descend here.
+				return false
+			}
+			return true
+		})
+	}
+	walk(body, nil)
+	return out
+}
+
+// checkGoLit reports captures of loop variables and of locals written after
+// the go statement.
+func checkGoLit(fset *token.FileSet, g *ast.GoStmt, lit *ast.FuncLit, locals map[string]bool, loopVars []map[string]bool, body *ast.BlockStmt) []AnonRaceFinding {
+	captured := capturedIdents(lit, locals)
+	if len(captured) == 0 {
+		return nil
+	}
+	writtenAfter := identsWrittenAfter(body, g.End())
+	var out []AnonRaceFinding
+	pos := fset.Position(g.Pos())
+	for name := range captured {
+		reason := ""
+		for _, vars := range loopVars {
+			if vars[name] {
+				reason = "loop variable"
+			}
+		}
+		if reason == "" && writtenAfter[name] {
+			reason = "written after go"
+		}
+		if reason == "" {
+			continue
+		}
+		out = append(out, AnonRaceFinding{
+			File: pos.Filename, Line: pos.Line, Var: name, Reason: reason,
+		})
+	}
+	return out
+}
+
+// capturedIdents returns enclosing-function locals referenced by the
+// literal but not re-declared inside it (nor bound as its parameters).
+func capturedIdents(lit *ast.FuncLit, locals map[string]bool) map[string]bool {
+	shadowed := map[string]bool{}
+	for n := range paramNames(lit.Type) {
+		shadowed[n] = true
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			if x.Tok == token.DEFINE {
+				for _, lhs := range x.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok {
+						shadowed[id.Name] = true
+					}
+				}
+			}
+		case *ast.RangeStmt:
+			for _, e := range []ast.Expr{x.Key, x.Value} {
+				if id, ok := e.(*ast.Ident); ok {
+					shadowed[id.Name] = true
+				}
+			}
+		}
+		return true
+	})
+	captured := map[string]bool{}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		// Skip selector tails (x.Field) — only the receiver matters.
+		if sel, ok := n.(*ast.SelectorExpr); ok {
+			ast.Inspect(sel.X, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok && locals[id.Name] && !shadowed[id.Name] {
+					captured[id.Name] = true
+				}
+				return true
+			})
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && locals[id.Name] && !shadowed[id.Name] {
+			captured[id.Name] = true
+		}
+		return true
+	})
+	return captured
+}
+
+// identsWrittenAfter collects names assigned (or ++/--) at positions after
+// pos within the function body.
+func identsWrittenAfter(body *ast.BlockStmt, pos token.Pos) map[string]bool {
+	out := map[string]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			if x.Pos() > pos {
+				for _, lhs := range x.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok {
+						out[id.Name] = true
+					}
+				}
+			}
+		case *ast.IncDecStmt:
+			if x.Pos() > pos {
+				if id, ok := x.X.(*ast.Ident); ok {
+					out[id.Name] = true
+				}
+			}
+		case *ast.ForStmt:
+			// A loop's post statement re-executes "after" any go
+			// statement inside its body.
+			if x.Post != nil && x.End() > pos && x.Pos() < pos {
+				switch p := x.Post.(type) {
+				case *ast.IncDecStmt:
+					if id, ok := p.X.(*ast.Ident); ok {
+						out[id.Name] = true
+					}
+				case *ast.AssignStmt:
+					for _, lhs := range p.Lhs {
+						if id, ok := lhs.(*ast.Ident); ok {
+							out[id.Name] = true
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,262 @@
+package static
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Static blocking-pattern detectors, following Section 7's discussion:
+// "static analysis plus previous deadlock detection algorithms will still be
+// useful in detecting most Go blocking bugs caused by errors in shared
+// memory synchronization. Static technologies can also help in detecting
+// bugs that are caused by the combination of channel and locks, such as the
+// one in Figure 7."
+//
+// Two detectors are implemented, both syntactic over-approximations that
+// report candidates for review (like the paper's own preliminary tool):
+//
+//   - ChanUnderLock: a potentially blocking channel operation (send,
+//     receive, or default-less select) lexically between an X.Lock() and
+//     the matching X.Unlock() in the same function — the Figure 7 /
+//     BoltDB#240 shape. Selects with a default branch are skipped: adding
+//     one is precisely the paper's fix for this bug class.
+//   - MissingUnlock: a return statement reachable while a lock taken in the
+//     same function is still held (no deferred unlock, no unlock before the
+//     return) — the forgotten-unlock shape behind several of the paper's 28
+//     Mutex bugs.
+
+// BlockingFinding is one candidate blocking bug.
+type BlockingFinding struct {
+	File    string
+	Line    int
+	Pattern string // "chan-under-lock" or "missing-unlock"
+	Lock    string
+	Detail  string
+}
+
+// String renders the finding like a compiler diagnostic.
+func (f BlockingFinding) String() string {
+	return fmt.Sprintf("%s:%d: [%s] lock %q: %s", f.File, f.Line, f.Pattern, f.Lock, f.Detail)
+}
+
+// FindBlockingPatterns analyzes every .go file under root.
+func FindBlockingPatterns(root string) ([]BlockingFinding, error) {
+	files, fset, err := parseTree(root)
+	if err != nil {
+		return nil, err
+	}
+	var out []BlockingFinding
+	for _, f := range files {
+		out = append(out, FindBlockingPatternsInFile(fset, f)...)
+	}
+	sortBlockingFindings(out)
+	return out, nil
+}
+
+// FindBlockingPatternsInFile analyzes one parsed file.
+func FindBlockingPatternsInFile(fset *token.FileSet, f *ast.File) []BlockingFinding {
+	var out []BlockingFinding
+	ast.Inspect(f, func(n ast.Node) bool {
+		fn, ok := n.(*ast.FuncDecl)
+		if !ok || fn.Body == nil {
+			return true
+		}
+		out = append(out, analyzeLockRegions(fset, fn)...)
+		return true
+	})
+	sortBlockingFindings(out)
+	return out
+}
+
+func sortBlockingFindings(fs []BlockingFinding) {
+	for i := 1; i < len(fs); i++ {
+		for j := i; j > 0 && blockingLess(fs[j], fs[j-1]); j-- {
+			fs[j], fs[j-1] = fs[j-1], fs[j]
+		}
+	}
+}
+
+func blockingLess(a, b BlockingFinding) bool {
+	if a.File != b.File {
+		return a.File < b.File
+	}
+	if a.Line != b.Line {
+		return a.Line < b.Line
+	}
+	return a.Pattern < b.Pattern
+}
+
+// lockEvent is a Lock/Unlock call site within a function, in source order.
+type lockEvent struct {
+	pos      token.Pos
+	recv     string // receiver expression, e.g. "s.mu"
+	unlock   bool
+	deferred bool
+}
+
+// analyzeLockRegions walks one function's statements in source order and
+// tracks which lock receivers are held.
+func analyzeLockRegions(fset *token.FileSet, fn *ast.FuncDecl) []BlockingFinding {
+	var events []lockEvent
+	deferredUnlocks := map[string]bool{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.DeferStmt:
+			if recv, unlock := lockCall(x.Call); unlock {
+				deferredUnlocks[recv] = true
+			}
+			return false
+		case *ast.CallExpr:
+			if recv, unlock := lockCall(x); recv != "" || unlock {
+				if recv != "" {
+					events = append(events, lockEvent{pos: x.Pos(), recv: recv, unlock: unlock})
+				}
+			}
+		case *ast.FuncLit:
+			return false // literals get their own conceptual scope
+		}
+		return true
+	})
+
+	// heldAt reports the set of receivers lexically locked at pos.
+	heldAt := func(pos token.Pos) []string {
+		held := map[string]int{}
+		for _, e := range events {
+			if e.pos >= pos {
+				break
+			}
+			if e.unlock {
+				if held[e.recv] > 0 {
+					held[e.recv]--
+				}
+			} else {
+				held[e.recv]++
+			}
+		}
+		var out []string
+		for r, n := range held {
+			if n > 0 && !deferredUnlocks[r] {
+				out = append(out, r)
+			}
+		}
+		return out
+	}
+
+	var out []BlockingFinding
+	// Pattern 0: double acquisition of the same lock with no release in
+	// between — the BoltDB#392 shape ("we believe traditional deadlock
+	// detection algorithms should be able to detect these bugs with
+	// static program analysis", Section 5.1.1).
+	held := map[string]bool{}
+	for _, e := range events {
+		if e.unlock {
+			delete(held, e.recv)
+			continue
+		}
+		if held[e.recv] && !deferredUnlocks[e.recv] {
+			p := fset.Position(e.pos)
+			out = append(out, BlockingFinding{
+				File: p.Filename, Line: p.Line, Pattern: "double-lock",
+				Lock: e.recv, Detail: "second acquisition with the lock still held (locks are not reentrant)",
+			})
+		}
+		held[e.recv] = true
+	}
+
+	// Pattern 1: channel operations under a held lock.
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		var pos token.Pos
+		var what string
+		switch x := n.(type) {
+		case *ast.SendStmt:
+			pos, what = x.Pos(), "channel send"
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				pos, what = x.Pos(), "channel receive"
+			}
+		case *ast.SelectStmt:
+			if selectHasDefault(x) {
+				return false // the Figure 7 fix: never blocks
+			}
+			pos, what = x.Pos(), "default-less select"
+		}
+		if what == "" {
+			return true
+		}
+		for _, lock := range heldAt(pos) {
+			p := fset.Position(pos)
+			out = append(out, BlockingFinding{
+				File: p.Filename, Line: p.Line, Pattern: "chan-under-lock",
+				Lock: lock, Detail: what + " while the lock is held (Figure 7 pattern)",
+			})
+		}
+		return true
+	})
+
+	// Pattern 2: returns with a lock still held.
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, lock := range heldAt(ret.Pos()) {
+			p := fset.Position(ret.Pos())
+			out = append(out, BlockingFinding{
+				File: p.Filename, Line: p.Line, Pattern: "missing-unlock",
+				Lock: lock, Detail: "return while the lock is held and no unlock is deferred",
+			})
+		}
+		return true
+	})
+	return out
+}
+
+// lockCall classifies a call as a lock or unlock on some receiver, and
+// returns the receiver's source text.
+func lockCall(c *ast.CallExpr) (recv string, unlock bool) {
+	sel, ok := c.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		return exprText(sel.X), false
+	case "Unlock", "RUnlock":
+		return exprText(sel.X), true
+	}
+	return "", false
+}
+
+// exprText renders a (simple) receiver expression for matching Lock with
+// Unlock.
+func exprText(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return exprText(x.X) + "." + x.Sel.Name
+	case *ast.ParenExpr:
+		return exprText(x.X)
+	case *ast.StarExpr:
+		return "*" + exprText(x.X)
+	default:
+		return strings.TrimSpace(fmt.Sprintf("%T", e))
+	}
+}
+
+func selectHasDefault(s *ast.SelectStmt) bool {
+	for _, clause := range s.Body.List {
+		if cc, ok := clause.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,245 @@
+package static
+
+import "testing"
+
+func findBlocking(t *testing.T, src string) []BlockingFinding {
+	t.Helper()
+	fset, files := parseSrc(t, src)
+	return FindBlockingPatternsInFile(fset, files[0])
+}
+
+func TestChanSendUnderLockFlagged(t *testing.T) {
+	// Figure 7's goroutine1.
+	src := `package p
+import "sync"
+func f(m *sync.Mutex, ch chan int) {
+	m.Lock()
+	ch <- 1
+	m.Unlock()
+}
+`
+	got := findBlocking(t, src)
+	if len(got) != 1 || got[0].Pattern != "chan-under-lock" || got[0].Lock != "m" {
+		t.Fatalf("findings = %v, want one chan-under-lock on m", got)
+	}
+}
+
+func TestChanRecvUnderLockFlagged(t *testing.T) {
+	src := `package p
+import "sync"
+func f(m *sync.Mutex, ch chan int) {
+	m.Lock()
+	<-ch
+	m.Unlock()
+}
+`
+	got := findBlocking(t, src)
+	if len(got) != 1 || got[0].Detail != "channel receive while the lock is held (Figure 7 pattern)" {
+		t.Fatalf("findings = %v", got)
+	}
+}
+
+func TestSelectWithDefaultUnderLockClean(t *testing.T) {
+	// The paper's fix for Figure 7: select with a default branch.
+	src := `package p
+import "sync"
+func f(m *sync.Mutex, ch chan int) {
+	m.Lock()
+	select {
+	case ch <- 1:
+	default:
+	}
+	m.Unlock()
+}
+`
+	if got := findBlocking(t, src); len(got) != 0 {
+		t.Fatalf("patched Figure 7 flagged: %v", got)
+	}
+}
+
+func TestDefaultlessSelectUnderLockFlagged(t *testing.T) {
+	src := `package p
+import "sync"
+func f(m *sync.Mutex, a, b chan int) {
+	m.Lock()
+	select {
+	case <-a:
+	case <-b:
+	}
+	m.Unlock()
+}
+`
+	got := findBlocking(t, src)
+	found := false
+	for _, g := range got {
+		if g.Pattern == "chan-under-lock" && g.Detail == "default-less select while the lock is held (Figure 7 pattern)" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("findings = %v, want a default-less-select finding", got)
+	}
+}
+
+func TestChanAfterUnlockClean(t *testing.T) {
+	src := `package p
+import "sync"
+func f(m *sync.Mutex, ch chan int) {
+	m.Lock()
+	m.Unlock()
+	ch <- 1
+}
+`
+	if got := findBlocking(t, src); len(got) != 0 {
+		t.Fatalf("lock-free send flagged: %v", got)
+	}
+}
+
+func TestMissingUnlockOnReturnFlagged(t *testing.T) {
+	src := `package p
+import "sync"
+func f(m *sync.Mutex, fail bool) {
+	m.Lock()
+	if fail {
+		return
+	}
+	m.Unlock()
+}
+`
+	got := findBlocking(t, src)
+	if len(got) != 1 || got[0].Pattern != "missing-unlock" {
+		t.Fatalf("findings = %v, want one missing-unlock", got)
+	}
+}
+
+func TestDeferredUnlockClean(t *testing.T) {
+	src := `package p
+import "sync"
+func f(m *sync.Mutex, fail bool) {
+	m.Lock()
+	defer m.Unlock()
+	if fail {
+		return
+	}
+}
+`
+	if got := findBlocking(t, src); len(got) != 0 {
+		t.Fatalf("deferred unlock flagged: %v", got)
+	}
+}
+
+func TestUnlockBeforeReturnClean(t *testing.T) {
+	src := `package p
+import "sync"
+func f(m *sync.Mutex, fail bool) {
+	m.Lock()
+	if fail {
+		m.Unlock()
+		return
+	}
+	m.Unlock()
+}
+`
+	if got := findBlocking(t, src); len(got) != 0 {
+		t.Fatalf("correct unlock-then-return flagged: %v", got)
+	}
+}
+
+func TestSelectorReceiversMatch(t *testing.T) {
+	src := `package p
+import "sync"
+type S struct{ mu sync.Mutex; ch chan int }
+func (s *S) f(fail bool) {
+	s.mu.Lock()
+	if fail {
+		return
+	}
+	s.ch <- 1
+	s.mu.Unlock()
+}
+`
+	got := findBlocking(t, src)
+	var patterns []string
+	for _, g := range got {
+		if g.Lock != "s.mu" {
+			t.Fatalf("lock receiver = %q, want s.mu", g.Lock)
+		}
+		patterns = append(patterns, g.Pattern)
+	}
+	if len(got) != 2 {
+		t.Fatalf("findings = %v, want missing-unlock and chan-under-lock", got)
+	}
+}
+
+func TestFuncLitBodiesAreSeparateScopes(t *testing.T) {
+	src := `package p
+import "sync"
+func f(m *sync.Mutex, ch chan int) {
+	m.Lock()
+	go func() {
+		ch <- 1 // separate goroutine, not under f's lexical lock region
+	}()
+	m.Unlock()
+}
+`
+	if got := findBlocking(t, src); len(got) != 0 {
+		t.Fatalf("goroutine body flagged against the parent's lock: %v", got)
+	}
+}
+
+func TestDoubleLockFlagged(t *testing.T) {
+	// BoltDB#392's shape, lexically.
+	src := `package p
+import "sync"
+func f(m *sync.Mutex) {
+	m.Lock()
+	m.Lock()
+	m.Unlock()
+	m.Unlock()
+}
+`
+	got := findBlocking(t, src)
+	found := false
+	for _, g := range got {
+		if g.Pattern == "double-lock" && g.Lock == "m" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("double lock not flagged: %v", got)
+	}
+}
+
+func TestLockUnlockLockClean(t *testing.T) {
+	src := `package p
+import "sync"
+func f(m *sync.Mutex) {
+	m.Lock()
+	m.Unlock()
+	m.Lock()
+	m.Unlock()
+}
+`
+	for _, g := range findBlocking(t, src) {
+		if g.Pattern == "double-lock" {
+			t.Fatalf("re-acquisition after release flagged: %v", g)
+		}
+	}
+}
+
+func TestTwoDifferentLocksClean(t *testing.T) {
+	src := `package p
+import "sync"
+func f(a, b *sync.Mutex) {
+	a.Lock()
+	b.Lock()
+	b.Unlock()
+	a.Unlock()
+}
+`
+	for _, g := range findBlocking(t, src) {
+		if g.Pattern == "double-lock" {
+			t.Fatalf("nested distinct locks flagged: %v", g)
+		}
+	}
+}

@@ -1,0 +1,292 @@
+// Package static implements the source-level measurements of Section 3 and
+// the preliminary bug detector of Section 7, over Go syntax trees.
+//
+// Analyze walks a source tree and counts goroutine creation sites (Table 2;
+// split into normal-function and anonymous-function creations) and
+// concurrency-primitive usages (Table 4; shared-memory primitives Mutex,
+// atomic, Once, WaitGroup, Cond versus message-passing primitives chan and
+// the messaging libraries counted as Misc).
+//
+// Classification is name-based over the AST (a call to .Lock() counts as a
+// Mutex usage, `make(chan T)` and channel sends/receives as chan usages,
+// and so on). On the synthetic application trees under testdata/ — written
+// for these analyzers — the heuristics are exact; on arbitrary code they
+// are the usual approximation a types-free analyzer makes.
+package static
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Primitive is a Table 4 column.
+type Primitive string
+
+// Table 4's primitive columns.
+const (
+	PrimMutex     Primitive = "Mutex" // includes RWMutex, as in the paper
+	PrimAtomic    Primitive = "atomic"
+	PrimOnce      Primitive = "Once"
+	PrimWaitGroup Primitive = "WaitGroup"
+	PrimCond      Primitive = "Cond"
+	PrimChan      Primitive = "chan"
+	PrimMisc      Primitive = "Misc."
+)
+
+// Primitives lists the columns in the paper's order.
+var Primitives = []Primitive{PrimMutex, PrimAtomic, PrimOnce, PrimWaitGroup, PrimCond, PrimChan, PrimMisc}
+
+// SharedMemoryPrimitives and MessagePassingPrimitives split Table 4's
+// columns along the cause dimension.
+var (
+	SharedMemoryPrimitives   = []Primitive{PrimMutex, PrimAtomic, PrimOnce, PrimWaitGroup, PrimCond}
+	MessagePassingPrimitives = []Primitive{PrimChan, PrimMisc}
+)
+
+// Metrics are the per-tree measurements.
+type Metrics struct {
+	Files int
+	LOC   int
+	// Goroutine creation sites (Table 2).
+	GoStmts int
+	GoAnon  int // `go func() {...}()`
+	GoNamed int // `go f(...)`
+	// Primitive usages (Table 4).
+	Primitives map[Primitive]int
+}
+
+// GoPerKLOC returns goroutine creation sites per thousand lines.
+func (m Metrics) GoPerKLOC() float64 {
+	if m.LOC == 0 {
+		return 0
+	}
+	return float64(m.GoStmts) / (float64(m.LOC) / 1000)
+}
+
+// PrimitiveTotal returns the total primitive usages.
+func (m Metrics) PrimitiveTotal() int {
+	t := 0
+	for _, n := range m.Primitives {
+		t += n
+	}
+	return t
+}
+
+// PrimitivesPerKLOC returns primitive usages per thousand lines.
+func (m Metrics) PrimitivesPerKLOC() float64 {
+	if m.LOC == 0 {
+		return 0
+	}
+	return float64(m.PrimitiveTotal()) / (float64(m.LOC) / 1000)
+}
+
+// Share returns primitive p's proportion of all primitive usages.
+func (m Metrics) Share(p Primitive) float64 {
+	t := m.PrimitiveTotal()
+	if t == 0 {
+		return 0
+	}
+	return float64(m.Primitives[p]) / float64(t)
+}
+
+// ShareOf returns the combined proportion of a primitive group.
+func (m Metrics) ShareOf(group []Primitive) float64 {
+	t := 0.0
+	for _, p := range group {
+		t += m.Share(p)
+	}
+	return t
+}
+
+// Analyze parses every .go file under root and accumulates metrics.
+func Analyze(root string) (Metrics, error) {
+	files, fset, err := parseTree(root)
+	if err != nil {
+		return Metrics{}, err
+	}
+	m := Metrics{Primitives: map[Primitive]int{}}
+	for path, f := range files {
+		m.Files++
+		m.LOC += countLines(fset, f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			countNode(&m, n)
+			return true
+		})
+		_ = path
+	}
+	return m, nil
+}
+
+// AnalyzeFileSet analyzes already-parsed files (used by tests).
+func AnalyzeFileSet(fset *token.FileSet, files []*ast.File) Metrics {
+	m := Metrics{Primitives: map[Primitive]int{}}
+	for _, f := range files {
+		m.Files++
+		m.LOC += countLines(fset, f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			countNode(&m, n)
+			return true
+		})
+	}
+	return m
+}
+
+func parseTree(root string) (map[string]*ast.File, *token.FileSet, error) {
+	fset := token.NewFileSet()
+	files := map[string]*ast.File{}
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return fmt.Errorf("parse %s: %w", path, err)
+		}
+		files[path] = f
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(files) == 0 {
+		return nil, nil, fmt.Errorf("static: no Go files under %s", root)
+	}
+	return files, fset, nil
+}
+
+func countLines(fset *token.FileSet, f *ast.File) int {
+	tf := fset.File(f.Pos())
+	if tf == nil {
+		return 0
+	}
+	return tf.LineCount()
+}
+
+func countNode(m *Metrics, n ast.Node) {
+	switch x := n.(type) {
+	case *ast.GoStmt:
+		m.GoStmts++
+		if _, anon := x.Call.Fun.(*ast.FuncLit); anon {
+			m.GoAnon++
+		} else {
+			m.GoNamed++
+		}
+	case *ast.SendStmt:
+		m.Primitives[PrimChan]++
+	case *ast.UnaryExpr:
+		if x.Op == token.ARROW {
+			m.Primitives[PrimChan]++
+		}
+	case *ast.CallExpr:
+		countCall(m, x)
+	case *ast.SelectStmt:
+		m.Primitives[PrimChan]++
+	case *ast.Field:
+		countType(m, x.Type)
+	case *ast.ValueSpec:
+		countType(m, x.Type)
+	case *ast.CompositeLit:
+		countType(m, x.Type)
+	}
+}
+
+// countCall classifies a call expression: make(chan), close(ch), method
+// calls on sync primitives, and package calls into sync/atomic, context and
+// time (the Misc. messaging libraries).
+func countCall(m *Metrics, c *ast.CallExpr) {
+	switch fun := c.Fun.(type) {
+	case *ast.Ident:
+		switch fun.Name {
+		case "make":
+			if len(c.Args) > 0 {
+				if _, ok := c.Args[0].(*ast.ChanType); ok {
+					m.Primitives[PrimChan]++
+				}
+			}
+		case "close":
+			m.Primitives[PrimChan]++
+		}
+	case *ast.SelectorExpr:
+		name := fun.Sel.Name
+		if pkg, ok := fun.X.(*ast.Ident); ok {
+			switch pkg.Name {
+			case "atomic":
+				m.Primitives[PrimAtomic]++
+				return
+			case "context":
+				m.Primitives[PrimMisc]++
+				return
+			case "io":
+				if name == "Pipe" {
+					m.Primitives[PrimMisc]++
+					return
+				}
+			case "time":
+				switch name {
+				case "After", "NewTimer", "NewTicker", "Tick", "AfterFunc":
+					m.Primitives[PrimMisc]++
+					return
+				}
+			}
+		}
+		switch name {
+		case "Lock", "Unlock", "RLock", "RUnlock", "TryLock", "RLocker":
+			m.Primitives[PrimMutex]++
+		case "Do":
+			m.Primitives[PrimOnce]++
+		case "Add", "Done":
+			m.Primitives[PrimWaitGroup]++
+		case "Wait":
+			// Ambiguous between WaitGroup and Cond; attribute to
+			// WaitGroup, the overwhelmingly common case.
+			m.Primitives[PrimWaitGroup]++
+		case "Signal", "Broadcast":
+			m.Primitives[PrimCond]++
+		}
+	}
+}
+
+// countType attributes sync.* type mentions (declarations of Mutex,
+// WaitGroup fields and variables, chan types).
+func countType(m *Metrics, t ast.Expr) {
+	switch x := t.(type) {
+	case nil:
+	case *ast.ChanType:
+		m.Primitives[PrimChan]++
+	case *ast.SelectorExpr:
+		if pkg, ok := x.X.(*ast.Ident); ok && pkg.Name == "sync" {
+			switch x.Sel.Name {
+			case "Mutex", "RWMutex":
+				m.Primitives[PrimMutex]++
+			case "Once":
+				m.Primitives[PrimOnce]++
+			case "WaitGroup":
+				m.Primitives[PrimWaitGroup]++
+			case "Cond":
+				m.Primitives[PrimCond]++
+			case "Map", "Pool":
+				m.Primitives[PrimMisc]++
+			}
+		}
+	}
+}
+
+// SortedPrimitiveCounts returns "name=count" strings in column order, for
+// stable debugging output.
+func (m Metrics) SortedPrimitiveCounts() []string {
+	var out []string
+	for _, p := range Primitives {
+		out = append(out, fmt.Sprintf("%s=%d", p, m.Primitives[p]))
+	}
+	sort.Strings(out)
+	return out
+}

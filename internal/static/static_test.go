@@ -1,0 +1,207 @@
+package static
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+func parseSrc(t *testing.T, src string) (*token.FileSet, []*ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "test.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return fset, []*ast.File{f}
+}
+
+func TestCountsGoroutineCreationSites(t *testing.T) {
+	src := `package p
+import "fmt"
+func work() {}
+func main() {
+	go work()
+	go func() { fmt.Println("x") }()
+	go func() {}()
+}
+`
+	_, files := parseSrc(t, src)
+	fset, _ := parseSrc(t, src)
+	m := AnalyzeFileSet(fset, files)
+	if m.GoStmts != 3 || m.GoAnon != 2 || m.GoNamed != 1 {
+		t.Fatalf("go stmts=%d anon=%d named=%d, want 3/2/1", m.GoStmts, m.GoAnon, m.GoNamed)
+	}
+}
+
+func TestCountsPrimitives(t *testing.T) {
+	src := `package p
+import (
+	"sync"
+	"sync/atomic"
+)
+type S struct {
+	mu sync.Mutex
+	wg sync.WaitGroup
+	once sync.Once
+	c chan int
+}
+var n int64
+func f(s *S) {
+	s.mu.Lock()
+	s.mu.Unlock()
+	s.wg.Add(1)
+	s.wg.Done()
+	s.wg.Wait()
+	s.once.Do(func() {})
+	atomic.AddInt64(&n, 1)
+	ch := make(chan int, 1)
+	ch <- 1
+	<-ch
+	close(ch)
+	select {
+	case <-ch:
+	default:
+	}
+}
+`
+	fset, files := parseSrc(t, src)
+	m := AnalyzeFileSet(fset, files)
+	want := map[Primitive]int{
+		PrimMutex:     3, // field decl + Lock + Unlock
+		PrimWaitGroup: 4, // field decl + Add + Done + Wait
+		PrimOnce:      2, // field decl + Do
+		PrimAtomic:    1,
+	}
+	for p, n := range want {
+		if m.Primitives[p] != n {
+			t.Errorf("%s = %d, want %d", p, m.Primitives[p], n)
+		}
+	}
+	// chan: field decl, make, send, 2 recv (one in select case), close,
+	// select.
+	if m.Primitives[PrimChan] < 6 {
+		t.Errorf("chan = %d, want >= 6", m.Primitives[PrimChan])
+	}
+}
+
+func TestSharesSumToOne(t *testing.T) {
+	src := `package p
+import "sync"
+var mu sync.Mutex
+func f() { mu.Lock(); mu.Unlock(); ch := make(chan int); close(ch) }
+`
+	fset, files := parseSrc(t, src)
+	m := AnalyzeFileSet(fset, files)
+	total := 0.0
+	for _, p := range Primitives {
+		total += m.Share(p)
+	}
+	if total < 0.999 || total > 1.001 {
+		t.Fatalf("shares sum to %f", total)
+	}
+}
+
+func TestAnonRaceLoopVariable(t *testing.T) {
+	// Figure 8's shape.
+	src := `package p
+import "fmt"
+func f() {
+	for i := 17; i <= 21; i++ {
+		go func() {
+			apiVersion := fmt.Sprintf("v1.%d", i)
+			_ = apiVersion
+		}()
+	}
+}
+`
+	fset, files := parseSrc(t, src)
+	got := FindAnonRacesInFiles(fset, files)
+	if len(got) != 1 || got[0].Var != "i" || got[0].Reason != "loop variable" {
+		t.Fatalf("findings = %+v, want one loop-variable capture of i", got)
+	}
+}
+
+func TestAnonRaceRangeVariable(t *testing.T) {
+	src := `package p
+func f(items []string) {
+	for _, it := range items {
+		go func() { _ = it }()
+	}
+}
+`
+	fset, files := parseSrc(t, src)
+	got := FindAnonRacesInFiles(fset, files)
+	if len(got) != 1 || got[0].Var != "it" {
+		t.Fatalf("findings = %+v, want one capture of it", got)
+	}
+}
+
+func TestAnonRaceWrittenAfterGo(t *testing.T) {
+	src := `package p
+func f() {
+	err := error(nil)
+	go func() { _ = err }()
+	err = doWork()
+	_ = err
+}
+func doWork() error { return nil }
+`
+	fset, files := parseSrc(t, src)
+	got := FindAnonRacesInFiles(fset, files)
+	if len(got) != 1 || got[0].Var != "err" || got[0].Reason != "written after go" {
+		t.Fatalf("findings = %+v, want one written-after-go capture of err", got)
+	}
+}
+
+func TestAnonRaceCopiedParameterIsClean(t *testing.T) {
+	// The Figure 8 patch: pass i as a parameter.
+	src := `package p
+func f() {
+	for i := 0; i < 3; i++ {
+		go func(i int) { _ = i }(i)
+	}
+}
+`
+	fset, files := parseSrc(t, src)
+	if got := FindAnonRacesInFiles(fset, files); len(got) != 0 {
+		t.Fatalf("patched code flagged: %+v", got)
+	}
+}
+
+func TestAnonRaceShadowedRedeclarationIsClean(t *testing.T) {
+	src := `package p
+func f() {
+	for i := 0; i < 3; i++ {
+		i := i
+		go func() { _ = i }()
+	}
+}
+`
+	fset, files := parseSrc(t, src)
+	got := FindAnonRacesInFiles(fset, files)
+	// The classic i := i copy: the captured i is the per-iteration copy.
+	// Our syntactic detector cannot distinguish the two declarations by
+	// name, so this remains a (documented) false positive of the
+	// over-approximating detector — assert the current behavior so any
+	// improvement is deliberate.
+	if len(got) != 1 {
+		t.Fatalf("findings = %+v; the i := i idiom is a known false positive", got)
+	}
+}
+
+func TestAnonRaceNamedFunctionIsClean(t *testing.T) {
+	src := `package p
+func g(i int) {}
+func f() {
+	for i := 0; i < 3; i++ {
+		go g(i)
+	}
+}
+`
+	fset, files := parseSrc(t, src)
+	if got := FindAnonRacesInFiles(fset, files); len(got) != 0 {
+		t.Fatalf("named-function goroutine flagged: %+v", got)
+	}
+}

@@ -1,0 +1,202 @@
+// Package stats provides the statistical tools the paper's analysis uses:
+// the lift correlation metric of Sections 5.2 and 6.2 and the empirical CDF
+// behind Figure 4.
+package stats
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Lift computes lift(A, B) = P(AB) / (P(A) * P(B)) over a population of
+// size total, where countA is |A|, countB is |B| and countAB is |A ∩ B|.
+// A lift of 1 means independence; above 1, positive correlation ("if a
+// blocking is caused by A, it is more likely to be fixed by B"); below 1,
+// negative correlation.
+func Lift(total, countA, countB, countAB int) float64 {
+	if total == 0 || countA == 0 || countB == 0 {
+		return 0
+	}
+	pAB := float64(countAB) / float64(total)
+	pA := float64(countA) / float64(total)
+	pB := float64(countB) / float64(total)
+	return pAB / (pA * pB)
+}
+
+// Contingency is a labeled 2-D count table (rows = causes, cols = fixes)
+// with lift computation per cell.
+type Contingency struct {
+	RowLabels []string
+	ColLabels []string
+	Counts    [][]int
+}
+
+// NewContingency allocates a zeroed table.
+func NewContingency(rows, cols []string) *Contingency {
+	c := &Contingency{RowLabels: rows, ColLabels: cols, Counts: make([][]int, len(rows))}
+	for i := range c.Counts {
+		c.Counts[i] = make([]int, len(cols))
+	}
+	return c
+}
+
+// Add increments cell (row, col); unknown labels panic (a programming
+// error, not data).
+func (c *Contingency) Add(row, col string, n int) {
+	i, j := index(c.RowLabels, row), index(c.ColLabels, col)
+	c.Counts[i][j] += n
+}
+
+func index(labels []string, l string) int {
+	for i, x := range labels {
+		if x == l {
+			return i
+		}
+	}
+	panic(fmt.Sprintf("stats: unknown label %q", l))
+}
+
+// RowTotal returns the sum of one row.
+func (c *Contingency) RowTotal(row string) int {
+	i := index(c.RowLabels, row)
+	t := 0
+	for _, v := range c.Counts[i] {
+		t += v
+	}
+	return t
+}
+
+// ColTotal returns the sum of one column.
+func (c *Contingency) ColTotal(col string) int {
+	j := index(c.ColLabels, col)
+	t := 0
+	for i := range c.Counts {
+		t += c.Counts[i][j]
+	}
+	return t
+}
+
+// Total returns the table's grand total.
+func (c *Contingency) Total() int {
+	t := 0
+	for i := range c.Counts {
+		for _, v := range c.Counts[i] {
+			t += v
+		}
+	}
+	return t
+}
+
+// CellLift returns lift(row, col) over the table.
+func (c *Contingency) CellLift(row, col string) float64 {
+	i, j := index(c.RowLabels, row), index(c.ColLabels, col)
+	return Lift(c.Total(), c.RowTotal(row), c.ColTotal(col), c.Counts[i][j])
+}
+
+// LiftRanking lists every (row, col) pair with a positive count, sorted by
+// descending lift; minRow filters out rows with fewer bugs, matching the
+// paper's "we omit categories that have less than 10 bugs".
+type LiftEntry struct {
+	Row, Col string
+	Count    int
+	Lift     float64
+}
+
+// LiftRanking computes the ranking.
+func (c *Contingency) LiftRanking(minRow int) []LiftEntry {
+	var out []LiftEntry
+	for i, r := range c.RowLabels {
+		if c.RowTotal(r) < minRow {
+			continue
+		}
+		for j, col := range c.ColLabels {
+			if c.Counts[i][j] == 0 {
+				continue
+			}
+			out = append(out, LiftEntry{Row: r, Col: col, Count: c.Counts[i][j], Lift: c.CellLift(r, col)})
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Lift != out[b].Lift {
+			return out[a].Lift > out[b].Lift
+		}
+		if out[a].Row != out[b].Row {
+			return out[a].Row < out[b].Row
+		}
+		return out[a].Col < out[b].Col
+	})
+	return out
+}
+
+// CDF is an empirical cumulative distribution over float64 samples.
+type CDF struct {
+	sorted []float64
+}
+
+// NewCDF builds a CDF from samples (copied, then sorted).
+func NewCDF(samples []float64) *CDF {
+	s := make([]float64, len(samples))
+	copy(s, samples)
+	sort.Float64s(s)
+	return &CDF{sorted: s}
+}
+
+// At returns P(X <= x).
+func (c *CDF) At(x float64) float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	i := sort.SearchFloat64s(c.sorted, x)
+	for i < len(c.sorted) && c.sorted[i] <= x {
+		i++
+	}
+	return float64(i) / float64(len(c.sorted))
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1).
+func (c *CDF) Quantile(q float64) float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return c.sorted[0]
+	}
+	if q >= 1 {
+		return c.sorted[len(c.sorted)-1]
+	}
+	idx := int(q * float64(len(c.sorted)))
+	if idx >= len(c.sorted) {
+		idx = len(c.sorted) - 1
+	}
+	return c.sorted[idx]
+}
+
+// Median returns the 0.5-quantile.
+func (c *CDF) Median() float64 { return c.Quantile(0.5) }
+
+// Points samples the CDF at n evenly spaced x positions across the data
+// range, for plotting.
+func (c *CDF) Points(n int) [][2]float64 {
+	if len(c.sorted) == 0 || n <= 0 {
+		return nil
+	}
+	lo, hi := c.sorted[0], c.sorted[len(c.sorted)-1]
+	out := make([][2]float64, 0, n)
+	for i := 0; i < n; i++ {
+		x := lo + (hi-lo)*float64(i)/float64(n-1)
+		out = append(out, [2]float64{x, c.At(x)})
+	}
+	return out
+}
+
+// Mean returns the arithmetic mean of samples.
+func Mean(samples []float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	t := 0.0
+	for _, s := range samples {
+		t += s
+	}
+	return t / float64(len(samples))
+}

@@ -1,0 +1,171 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLiftIndependenceIsOne(t *testing.T) {
+	// P(AB) = P(A)P(B) exactly: 100 total, A=20, B=50, AB=10.
+	if got := Lift(100, 20, 50, 10); math.Abs(got-1.0) > 1e-9 {
+		t.Fatalf("lift = %f, want 1", got)
+	}
+}
+
+func TestLiftPaperExample(t *testing.T) {
+	// The Mutex->Move_s correlation: 85 bugs, 28 Mutex, 18 moves, 9 both.
+	got := Lift(85, 28, 18, 9)
+	if math.Abs(got-1.5178) > 0.001 {
+		t.Fatalf("lift = %f, want ≈1.518", got)
+	}
+}
+
+func TestLiftDegenerateInputs(t *testing.T) {
+	if Lift(0, 1, 1, 1) != 0 || Lift(10, 0, 5, 0) != 0 || Lift(10, 5, 0, 0) != 0 {
+		t.Fatal("degenerate lifts should be 0")
+	}
+}
+
+func TestLiftMonotoneInOverlap(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		total := 20 + r.Intn(200)
+		a := 1 + r.Intn(total/2)
+		b := 1 + r.Intn(total/2)
+		maxAB := a
+		if b < a {
+			maxAB = b
+		}
+		ab1 := r.Intn(maxAB)
+		ab2 := ab1 + 1
+		return Lift(total, a, b, ab1) < Lift(total, a, b, ab2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestContingencyTotals(t *testing.T) {
+	c := NewContingency([]string{"r1", "r2"}, []string{"c1", "c2", "c3"})
+	c.Add("r1", "c1", 3)
+	c.Add("r1", "c3", 2)
+	c.Add("r2", "c2", 5)
+	if c.RowTotal("r1") != 5 || c.RowTotal("r2") != 5 {
+		t.Fatal("row totals wrong")
+	}
+	if c.ColTotal("c1") != 3 || c.ColTotal("c2") != 5 || c.ColTotal("c3") != 2 {
+		t.Fatal("col totals wrong")
+	}
+	if c.Total() != 10 {
+		t.Fatal("grand total wrong")
+	}
+}
+
+func TestContingencyUnknownLabelPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on unknown label")
+		}
+	}()
+	c := NewContingency([]string{"a"}, []string{"b"})
+	c.Add("nope", "b", 1)
+}
+
+func TestLiftRankingSortedAndFiltered(t *testing.T) {
+	c := NewContingency([]string{"big", "small"}, []string{"x", "y"})
+	c.Add("big", "x", 12)
+	c.Add("big", "y", 3)
+	c.Add("small", "y", 2)
+	ranking := c.LiftRanking(10)
+	for _, e := range ranking {
+		if e.Row == "small" {
+			t.Fatalf("row below the minimum leaked into the ranking: %+v", e)
+		}
+	}
+	for i := 1; i < len(ranking); i++ {
+		if ranking[i-1].Lift < ranking[i].Lift {
+			t.Fatalf("ranking not sorted: %+v", ranking)
+		}
+	}
+}
+
+func TestCDFBasics(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 3, 4})
+	if got := c.At(0); got != 0 {
+		t.Fatalf("At(0) = %f", got)
+	}
+	if got := c.At(2); got != 0.5 {
+		t.Fatalf("At(2) = %f", got)
+	}
+	if got := c.At(10); got != 1 {
+		t.Fatalf("At(10) = %f", got)
+	}
+	if got := c.Median(); got != 3 {
+		t.Fatalf("Median() = %f", got)
+	}
+}
+
+func TestCDFMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(50)
+		samples := make([]float64, n)
+		for i := range samples {
+			samples[i] = r.Float64() * 100
+		}
+		c := NewCDF(samples)
+		prev := -1.0
+		for x := -10.0; x <= 110; x += 7 {
+			y := c.At(x)
+			if y < prev || y < 0 || y > 1 {
+				return false
+			}
+			prev = y
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantileWithinRange(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(50)
+		samples := make([]float64, n)
+		for i := range samples {
+			samples[i] = r.Float64() * 100
+		}
+		c := NewCDF(samples)
+		for _, q := range []float64{-0.5, 0, 0.25, 0.5, 0.9, 1, 1.5} {
+			v := c.Quantile(q)
+			if v < c.Quantile(0) || v > c.Quantile(1) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCDFPoints(t *testing.T) {
+	c := NewCDF([]float64{1, 5, 9})
+	pts := c.Points(5)
+	if len(pts) != 5 || pts[0][0] != 1 || pts[4][0] != 9 || pts[4][1] != 1 {
+		t.Fatalf("points = %v", pts)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("mean of nothing should be 0")
+	}
+	if got := Mean([]float64{2, 4, 6}); got != 4 {
+		t.Fatalf("mean = %f", got)
+	}
+}

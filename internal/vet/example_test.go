@@ -1,0 +1,47 @@
+package vet_test
+
+import (
+	"fmt"
+
+	"goconcbugs/internal/sim"
+	"goconcbugs/internal/vet"
+)
+
+// Example checks the Figure 10 bug — a channel closed from two goroutines —
+// with the usage-rule monitor, which flags the violation at the second
+// close (the race detector cannot: no data race is involved).
+func Example() {
+	m, res := vet.Check(sim.Config{Seed: 1}, func(t *sim.T) {
+		closed := sim.NewChanNamed[struct{}](t, "c.closed", 0)
+		closed.Close(t)
+		closed.Close(t)
+	})
+	for _, v := range m.Violations() {
+		fmt.Println("rule:", v.Rule)
+	}
+	fmt.Println("outcome:", res.Outcome)
+	// Output:
+	// rule: double-close
+	// outcome: panic
+}
+
+// Example_figure7 shows the heuristic warning for a potentially blocking
+// channel operation under a held lock — Figure 7's shape.
+func Example_figure7() {
+	m, _ := vet.Check(sim.Config{Seed: 1}, func(t *sim.T) {
+		mu := sim.NewMutex(t, "m")
+		ch := sim.NewChanNamed[int](t, "ch", 0)
+		t.Go(func(ct *sim.T) {
+			mu.Lock(ct)
+			ch.Send(ct, 1)
+			mu.Unlock(ct)
+		})
+		t.Sleep(5)
+		ch.Recv(t)
+	})
+	for _, v := range m.Warnings() {
+		fmt.Println("warning:", v.Rule)
+	}
+	// Output:
+	// warning: chan-in-critical-section
+}

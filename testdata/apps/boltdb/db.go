@@ -1,0 +1,90 @@
+// Package bolt is a miniature BoltDB-style embedded store: tiny, almost
+// purely Mutex-based (the paper measured ≈70% Mutex, no Once/WaitGroup/Cond
+// at all), and one of the two apps whose few goroutines come from named
+// functions rather than anonymous ones.
+package bolt
+
+import (
+	"errors"
+	"sync"
+)
+
+// DB is a single-file key-value store.
+type DB struct {
+	metalock sync.Mutex
+	mmaplock sync.RWMutex
+	rwlock   sync.Mutex
+
+	data   map[string][]byte
+	opened bool
+	batch  chan func(*Tx) error
+}
+
+// Tx is one transaction.
+type Tx struct {
+	db       *DB
+	writable bool
+}
+
+// Open initializes the store.
+func Open() *DB {
+	db := &DB{data: make(map[string][]byte), opened: true, batch: make(chan func(*Tx) error, 8)}
+	return db
+}
+
+// Begin starts a transaction, taking the locks the real BoltDB takes.
+func (db *DB) Begin(writable bool) (*Tx, error) {
+	if writable {
+		db.rwlock.Lock()
+	}
+	db.metalock.Lock()
+	if !db.opened {
+		db.metalock.Unlock()
+		if writable {
+			db.rwlock.Unlock()
+		}
+		return nil, errors.New("bolt: database not open")
+	}
+	db.metalock.Unlock()
+	db.mmaplock.RLock()
+	return &Tx{db: db, writable: writable}, nil
+}
+
+// Commit finishes a transaction.
+func (tx *Tx) Commit() {
+	tx.db.mmaplock.RUnlock()
+	if tx.writable {
+		tx.db.rwlock.Unlock()
+	}
+}
+
+// Put stores a key in a writable transaction.
+func (tx *Tx) Put(key string, value []byte) {
+	tx.db.metalock.Lock()
+	tx.db.data[key] = value
+	tx.db.metalock.Unlock()
+}
+
+// Get reads a key.
+func (tx *Tx) Get(key string) []byte {
+	tx.db.metalock.Lock()
+	defer tx.db.metalock.Unlock()
+	return tx.db.data[key]
+}
+
+// runBatch drains queued batch functions (the named-function goroutine).
+func (db *DB) runBatch() {
+	for fn := range db.batch {
+		tx, err := db.Begin(true)
+		if err != nil {
+			return
+		}
+		_ = fn(tx)
+		tx.Commit()
+	}
+}
+
+// StartBatch launches the batch processor.
+func (db *DB) StartBatch() {
+	go db.runBatch()
+}

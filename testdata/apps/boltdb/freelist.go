@@ -1,0 +1,83 @@
+package bolt
+
+import "sync"
+
+// The freelist: BoltDB's page allocator, pure Mutex territory like the rest
+// of this tree (the paper measured no Once/WaitGroup/Cond here at all).
+
+// pgid is a page identifier.
+type pgid uint64
+
+// freelist tracks free and pending pages.
+type freelist struct {
+	mu      sync.Mutex
+	ids     []pgid
+	pending map[uint64][]pgid
+}
+
+func newFreelist() *freelist {
+	return &freelist{pending: make(map[uint64][]pgid)}
+}
+
+// allocate returns a run of n contiguous free pages, or 0.
+func (f *freelist) allocate(n int) pgid {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if len(f.ids) < n {
+		return 0
+	}
+	run := 1
+	for i := 1; i < len(f.ids); i++ {
+		if f.ids[i] == f.ids[i-1]+1 {
+			run++
+		} else {
+			run = 1
+		}
+		if run == n {
+			start := f.ids[i-n+1]
+			f.ids = append(f.ids[:i-n+1], f.ids[i+1:]...)
+			return start
+		}
+	}
+	return 0
+}
+
+// free marks a page pending under a transaction id.
+func (f *freelist) free(txid uint64, p pgid) {
+	f.mu.Lock()
+	f.pending[txid] = append(f.pending[txid], p)
+	f.mu.Unlock()
+}
+
+// release moves all pages pending under transactions <= txid to the free
+// list.
+func (f *freelist) release(txid uint64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for id, pages := range f.pending {
+		if id <= txid {
+			f.ids = append(f.ids, pages...)
+			delete(f.pending, id)
+		}
+	}
+	sortPgids(f.ids)
+}
+
+// count reports free and pending totals.
+func (f *freelist) count() (free, pending int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	free = len(f.ids)
+	for _, p := range f.pending {
+		pending += len(p)
+	}
+	return free, pending
+}
+
+func sortPgids(ids []pgid) {
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+}

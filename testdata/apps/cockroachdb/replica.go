@@ -1,0 +1,148 @@
+// Package storage is a miniature CockroachDB-style replica store: heavy
+// WaitGroup use relative to the other trees (the paper measured the highest
+// WaitGroup share, ≈8.6%) over a Mutex-dominant core with a channel-based
+// command queue.
+package storage
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Command is one replicated command.
+type Command struct {
+	Range int
+	Op    string
+}
+
+// Replica applies commands for one range.
+type Replica struct {
+	mu      sync.RWMutex
+	rangeID int
+	data    map[string]string
+	applied int64
+}
+
+// NewReplica creates a replica.
+func NewReplica(id int) *Replica {
+	return &Replica{rangeID: id, data: make(map[string]string)}
+}
+
+// Apply executes one command under the write lock.
+func (r *Replica) Apply(c Command) {
+	r.mu.Lock()
+	r.data[c.Op] = "done"
+	r.mu.Unlock()
+	atomic.AddInt64(&r.applied, 1)
+}
+
+// Applied reads the applied counter.
+func (r *Replica) Applied() int64 { return atomic.LoadInt64(&r.applied) }
+
+// Store fans commands out to replicas and waits for batches with
+// WaitGroups.
+type Store struct {
+	mu       sync.Mutex
+	replicas map[int]*Replica
+	queue    chan Command
+	stopper  chan struct{}
+	wg       sync.WaitGroup
+}
+
+// NewStore creates a store.
+func NewStore() *Store {
+	return &Store{
+		replicas: make(map[int]*Replica),
+		queue:    make(chan Command, 64),
+		stopper:  make(chan struct{}),
+	}
+}
+
+// AddReplica registers a replica.
+func (s *Store) AddReplica(r *Replica) {
+	s.mu.Lock()
+	s.replicas[r.rangeID] = r
+	s.mu.Unlock()
+}
+
+// Start launches the command processors; CockroachDB's stopper pattern
+// tracks each with the store WaitGroup.
+func (s *Store) Start(workers int) {
+	for i := 0; i < workers; i++ {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			for {
+				select {
+				case c := <-s.queue:
+					s.mu.Lock()
+					r := s.replicas[c.Range]
+					s.mu.Unlock()
+					if r != nil {
+						r.Apply(c)
+					}
+				case <-s.stopper:
+					return
+				}
+			}
+		}()
+	}
+}
+
+// Submit enqueues a command.
+func (s *Store) Submit(c Command) { s.queue <- c }
+
+// ApplyBatch applies a batch across replicas in parallel and waits for the
+// whole batch — a WaitGroup per batch.
+func (s *Store) ApplyBatch(cmds []Command) {
+	var wg sync.WaitGroup
+	wg.Add(len(cmds))
+	for _, c := range cmds {
+		c := c
+		go func() {
+			defer wg.Done()
+			s.mu.Lock()
+			r := s.replicas[c.Range]
+			s.mu.Unlock()
+			if r != nil {
+				r.Apply(c)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Quiesce stops the workers and waits for them.
+func (s *Store) Quiesce() {
+	close(s.stopper)
+	s.wg.Wait()
+}
+
+// GC walks replicas in parallel, gated by a semaphore channel.
+func (s *Store) GC() {
+	sem := make(chan struct{}, 4)
+	var wg sync.WaitGroup
+	s.mu.Lock()
+	replicas := make([]*Replica, 0, len(s.replicas))
+	for _, r := range s.replicas {
+		replicas = append(replicas, r)
+	}
+	s.mu.Unlock()
+	for _, r := range replicas {
+		r := r
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			r.mu.Lock()
+			for k := range r.data {
+				if k == "" {
+					delete(r.data, k)
+				}
+			}
+			r.mu.Unlock()
+			<-sem
+		}()
+	}
+	wg.Wait()
+}

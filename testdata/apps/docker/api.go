@@ -1,0 +1,72 @@
+package daemon
+
+import (
+	"fmt"
+	"sync"
+)
+
+// This file carries the daemon's API layer — including, deliberately, the
+// Figure 8 bug the paper's Section 7 detector targets: a loop variable
+// captured by anonymous goroutines.
+
+// APIServer fans version probes out to client goroutines.
+type APIServer struct {
+	mu       sync.Mutex
+	versions []string
+}
+
+// ProbeVersions reproduces the Docker bug of Figure 8: every goroutine
+// captures the loop variable i, so the recorded versions race with the
+// parent's increments. The Section 7 detector flags this site.
+func (s *APIServer) ProbeVersions() {
+	var wg sync.WaitGroup
+	for i := 17; i <= 21; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			apiVersion := fmt.Sprintf("v1.%d", i) // BUG: captured loop variable
+			s.mu.Lock()
+			s.versions = append(s.versions, apiVersion)
+			s.mu.Unlock()
+		}()
+	}
+	wg.Wait()
+}
+
+// ProbeVersionsFixed is the landed patch: pass a private copy.
+func (s *APIServer) ProbeVersionsFixed() {
+	var wg sync.WaitGroup
+	for i := 17; i <= 21; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			apiVersion := fmt.Sprintf("v1.%d", i)
+			s.mu.Lock()
+			s.versions = append(s.versions, apiVersion)
+			s.mu.Unlock()
+		}(i)
+	}
+	wg.Wait()
+}
+
+// Versions returns a copy of the recorded versions.
+func (s *APIServer) Versions() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, len(s.versions))
+	copy(out, s.versions)
+	return out
+}
+
+// Broadcast notifies every attached client on its own goroutine.
+func Broadcast(clients []chan string, msg string) {
+	for _, ch := range clients {
+		ch := ch
+		go func() {
+			select {
+			case ch <- msg:
+			default:
+			}
+		}()
+	}
+}

@@ -1,0 +1,98 @@
+package daemon
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// The registry client half of the mini-daemon: layer pulls fan out a
+// goroutine per layer (anonymous functions, the Docker style) gated by a
+// buffered-channel semaphore, with Mutex-guarded progress accounting.
+
+// Layer is one image layer to pull.
+type Layer struct {
+	Digest string
+	Size   int
+}
+
+// PullSession tracks one image pull.
+type PullSession struct {
+	mu       sync.Mutex
+	progress map[string]int
+	errs     []error
+	done     sync.Once
+	doneCh   chan struct{}
+}
+
+// NewPullSession creates a session.
+func NewPullSession() *PullSession {
+	return &PullSession{progress: make(map[string]int), doneCh: make(chan struct{})}
+}
+
+func (s *PullSession) report(digest string, n int) {
+	s.mu.Lock()
+	s.progress[digest] += n
+	s.mu.Unlock()
+}
+
+func (s *PullSession) fail(err error) {
+	s.mu.Lock()
+	s.errs = append(s.errs, err)
+	s.mu.Unlock()
+}
+
+// Err returns the first recorded error.
+func (s *PullSession) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.errs) > 0 {
+		return s.errs[0]
+	}
+	return nil
+}
+
+// finish closes the completion channel exactly once (the Docker#24007
+// lesson applied).
+func (s *PullSession) finish() {
+	s.done.Do(func() { close(s.doneCh) })
+}
+
+// Done exposes the completion channel.
+func (s *PullSession) Done() <-chan struct{} { return s.doneCh }
+
+// PullImage downloads all layers with at most maxConcurrent in flight.
+func PullImage(layers []Layer, maxConcurrent int, fetch func(Layer) error) *PullSession {
+	s := NewPullSession()
+	sem := make(chan struct{}, maxConcurrent)
+	var wg sync.WaitGroup
+	for _, l := range layers {
+		l := l
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			if err := fetch(l); err != nil {
+				s.fail(err)
+				return
+			}
+			s.report(l.Digest, l.Size)
+		}()
+	}
+	go func() {
+		wg.Wait()
+		s.finish()
+	}()
+	return s
+}
+
+// WaitPull blocks until the pull completes or the timeout fires.
+func WaitPull(s *PullSession, timeout time.Duration) error {
+	select {
+	case <-s.Done():
+		return s.Err()
+	case <-time.After(timeout):
+		return errors.New("registry: pull timed out")
+	}
+}

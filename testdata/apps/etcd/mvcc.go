@@ -1,0 +1,178 @@
+package kv
+
+import (
+	"errors"
+	"sync"
+)
+
+// The MVCC backend: etcd's lock-based half. Table 4 measured etcd at 45%
+// Mutex against 43% chan — the raft plumbing is channel-heavy while the
+// storage layer below it is classic mutex code.
+
+// revision orders writes.
+type revision struct {
+	main int64
+	sub  int64
+}
+
+// keyIndex tracks the revisions of one key.
+type keyIndex struct {
+	mu        sync.Mutex
+	key       string
+	revisions []revision
+}
+
+func (ki *keyIndex) put(rev revision) {
+	ki.mu.Lock()
+	ki.revisions = append(ki.revisions, rev)
+	ki.mu.Unlock()
+}
+
+func (ki *keyIndex) last() (revision, bool) {
+	ki.mu.Lock()
+	defer ki.mu.Unlock()
+	if len(ki.revisions) == 0 {
+		return revision{}, false
+	}
+	return ki.revisions[len(ki.revisions)-1], true
+}
+
+// treeIndex maps keys to their indexes.
+type treeIndex struct {
+	mu    sync.RWMutex
+	index map[string]*keyIndex
+}
+
+func newTreeIndex() *treeIndex {
+	return &treeIndex{index: make(map[string]*keyIndex)}
+}
+
+func (ti *treeIndex) get(key string) *keyIndex {
+	ti.mu.RLock()
+	ki := ti.index[key]
+	ti.mu.RUnlock()
+	return ki
+}
+
+func (ti *treeIndex) ensure(key string) *keyIndex {
+	ti.mu.Lock()
+	defer ti.mu.Unlock()
+	ki := ti.index[key]
+	if ki == nil {
+		ki = &keyIndex{key: key}
+		ti.index[key] = ki
+	}
+	return ki
+}
+
+// backend is the bytes store under the index.
+type backend struct {
+	mu      sync.Mutex
+	buckets map[string]map[string][]byte
+	pending int
+}
+
+func newBackend() *backend {
+	return &backend{buckets: make(map[string]map[string][]byte)}
+}
+
+func (b *backend) write(bucket, key string, value []byte) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	m := b.buckets[bucket]
+	if m == nil {
+		m = make(map[string][]byte)
+		b.buckets[bucket] = m
+	}
+	m[key] = value
+	b.pending++
+}
+
+func (b *backend) read(bucket, key string) ([]byte, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	m := b.buckets[bucket]
+	if m == nil {
+		return nil, false
+	}
+	v, ok := m[key]
+	return v, ok
+}
+
+func (b *backend) commit() int {
+	b.mu.Lock()
+	n := b.pending
+	b.pending = 0
+	b.mu.Unlock()
+	return n
+}
+
+// MVCCStore combines index and backend.
+type MVCCStore struct {
+	mu      sync.RWMutex
+	ti      *treeIndex
+	be      *backend
+	currRev int64
+}
+
+// NewMVCCStore creates the store.
+func NewMVCCStore() *MVCCStore {
+	return &MVCCStore{ti: newTreeIndex(), be: newBackend()}
+}
+
+// Put writes a key at the next revision.
+func (s *MVCCStore) Put(key string, value []byte) int64 {
+	s.mu.Lock()
+	s.currRev++
+	rev := s.currRev
+	s.mu.Unlock()
+	ki := s.ti.ensure(key)
+	ki.put(revision{main: rev})
+	s.be.write("key", key, value)
+	return rev
+}
+
+// Get reads a key's latest value.
+func (s *MVCCStore) Get(key string) ([]byte, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ki := s.ti.get(key)
+	if ki == nil {
+		return nil, errors.New("mvcc: key not found")
+	}
+	if _, ok := ki.last(); !ok {
+		return nil, errors.New("mvcc: no revision")
+	}
+	v, ok := s.be.read("key", key)
+	if !ok {
+		return nil, errors.New("mvcc: index/backend mismatch")
+	}
+	return v, nil
+}
+
+// Rev returns the current revision.
+func (s *MVCCStore) Rev() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.currRev
+}
+
+// Compact drops revisions below rev and reports how many entries committed.
+func (s *MVCCStore) Compact(rev int64) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ti.mu.Lock()
+	for _, ki := range s.ti.index {
+		ki.mu.Lock()
+		kept := ki.revisions[:0]
+		for _, r := range ki.revisions {
+			if r.main >= rev {
+				kept = append(kept, r)
+			}
+		}
+		ki.revisions = kept
+		ki.mu.Unlock()
+	}
+	s.ti.mu.Unlock()
+	return s.be.commit()
+}

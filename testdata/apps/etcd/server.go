@@ -1,0 +1,150 @@
+// Package kv is a miniature etcd-style key-value server: the most
+// channel-heavy of the six trees (the paper measured ≈43% chan usage —
+// nearly matching its 45% Mutex share), with raft-style message plumbing.
+package kv
+
+import (
+	"sync"
+	"time"
+)
+
+// Entry is one replicated log entry.
+type Entry struct {
+	Index uint64
+	Key   string
+	Value string
+}
+
+// Node is the raft-ish replication core: everything flows through channels.
+type Node struct {
+	proposals chan Entry
+	commits   chan Entry
+	readyCh   chan struct{}
+	stopCh    chan struct{}
+	tickCh    <-chan time.Time
+
+	mu      sync.Mutex
+	applied uint64
+	store   map[string]string
+	once    sync.Once
+}
+
+// NewNode creates a node.
+func NewNode() *Node {
+	return &Node{
+		proposals: make(chan Entry, 32),
+		commits:   make(chan Entry, 32),
+		readyCh:   make(chan struct{}),
+		stopCh:    make(chan struct{}),
+		tickCh:    time.Tick(time.Second),
+		store:     make(map[string]string),
+	}
+}
+
+// Start launches the processing loops.
+func (n *Node) Start() {
+	n.once.Do(func() {
+		go n.run()
+		go n.apply()
+	})
+}
+
+func (n *Node) run() {
+	var index uint64
+	close(n.readyCh)
+	for {
+		select {
+		case p := <-n.proposals:
+			index++
+			p.Index = index
+			select {
+			case n.commits <- p:
+			case <-n.stopCh:
+				return
+			}
+		case <-n.tickCh:
+			// heartbeat
+		case <-n.stopCh:
+			return
+		}
+	}
+}
+
+func (n *Node) apply() {
+	for {
+		select {
+		case e := <-n.commits:
+			n.mu.Lock()
+			n.store[e.Key] = e.Value
+			n.applied = e.Index
+			n.mu.Unlock()
+		case <-n.stopCh:
+			return
+		}
+	}
+}
+
+// Propose submits a write through the channel pipeline.
+func (n *Node) Propose(key, value string) {
+	<-n.readyCh
+	n.proposals <- Entry{Key: key, Value: value}
+}
+
+// Get reads a key.
+func (n *Node) Get(key string) (string, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	v, ok := n.store[key]
+	return v, ok
+}
+
+// Stop tears the node down.
+func (n *Node) Stop() { close(n.stopCh) }
+
+// Watch streams changes for a key prefix over a fresh channel; the watcher
+// goroutine is created from an anonymous function, as most etcd goroutines
+// are.
+func (n *Node) Watch(stop <-chan struct{}) <-chan Entry {
+	out := make(chan Entry, 8)
+	go func() {
+		defer close(out)
+		for {
+			select {
+			case e := <-n.commits:
+				select {
+				case out <- e:
+				default:
+				}
+			case <-stop:
+				return
+			}
+		}
+	}()
+	return out
+}
+
+// Barrier waits for all in-flight proposals to commit by threading a
+// sentinel through the channel pipeline.
+func (n *Node) Barrier() {
+	done := make(chan struct{})
+	go func() {
+		n.Propose("__barrier", "")
+		close(done)
+	}()
+	<-done
+}
+
+// Lease grants a TTL'd key with a channel-carried expiry.
+func (n *Node) Lease(key string, ttl time.Duration) <-chan string {
+	expired := make(chan string, 1)
+	go func() {
+		t := time.NewTimer(ttl)
+		defer t.Stop()
+		select {
+		case <-t.C:
+			expired <- key
+		case <-n.stopCh:
+		}
+	}()
+	return expired
+}

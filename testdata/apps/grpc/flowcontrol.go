@@ -1,0 +1,125 @@
+package transport
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Flow control and per-connection accounting: the Mutex-dominant part of
+// the transport, mirroring gRPC-Go's ≈61% Mutex share.
+
+// quotaPool tracks send quota under a mutex.
+type quotaPool struct {
+	mu    sync.Mutex
+	quota int
+	waits int
+}
+
+func newQuotaPool(q int) *quotaPool { return &quotaPool{quota: q} }
+
+// acquire takes n units of quota, reporting how much was granted.
+func (p *quotaPool) acquire(n int) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if n > p.quota {
+		n = p.quota
+		p.waits++
+	}
+	p.quota -= n
+	return n
+}
+
+// release returns quota.
+func (p *quotaPool) release(n int) {
+	p.mu.Lock()
+	p.quota += n
+	p.mu.Unlock()
+}
+
+// inFlow is the receive-side window.
+type inFlow struct {
+	mu      sync.Mutex
+	limit   uint32
+	unacked uint32
+}
+
+// onData accounts received bytes.
+func (f *inFlow) onData(n uint32) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.unacked += n
+	return f.unacked <= f.limit
+}
+
+// onRead returns window updates once enough is consumed.
+func (f *inFlow) onRead(n uint32) uint32 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.unacked < n {
+		n = f.unacked
+	}
+	f.unacked -= n
+	if f.unacked < f.limit/4 {
+		return f.limit - f.unacked
+	}
+	return 0
+}
+
+// connStats aggregates counters under a mutex plus one atomic hot path.
+type connStats struct {
+	mu       sync.Mutex
+	streams  int
+	failures int
+	msgs     int64
+}
+
+func (s *connStats) streamOpened() {
+	s.mu.Lock()
+	s.streams++
+	s.mu.Unlock()
+}
+
+func (s *connStats) streamFailed() {
+	s.mu.Lock()
+	s.failures++
+	s.mu.Unlock()
+}
+
+func (s *connStats) message() { atomic.AddInt64(&s.msgs, 1) }
+
+func (s *connStats) snapshot() (int, int, int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.streams, s.failures, atomic.LoadInt64(&s.msgs)
+}
+
+// settings serializes option application.
+type settings struct {
+	mu        sync.RWMutex
+	maxConns  int
+	authority string
+}
+
+func (s *settings) setMaxConns(n int) {
+	s.mu.Lock()
+	s.maxConns = n
+	s.mu.Unlock()
+}
+
+func (s *settings) getAuthority() string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.authority
+}
+
+func (s *settings) setAuthority(a string) {
+	s.mu.Lock()
+	s.authority = a
+	s.mu.Unlock()
+}
+
+func (s *settings) getMaxConns() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.maxConns
+}

@@ -1,0 +1,150 @@
+// Package transport is a miniature gRPC-Go-style HTTP/2 transport layer:
+// goroutine-per-stream with anonymous functions dominating creation sites
+// and a Mutex-led primitive mix (the paper measured 14.8 primitive usages
+// per KLOC here against gRPC-C's 5.3 — and this tree also carries a
+// written-after-go capture for the Section 7 detector to find).
+package transport
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// Stream is one RPC stream.
+type Stream struct {
+	mu     sync.Mutex
+	id     int
+	closed bool
+	buf    []byte
+}
+
+// Write appends a frame unless the stream is closed.
+func (s *Stream) Write(p []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errors.New("transport: closed stream")
+	}
+	s.buf = append(s.buf, p...)
+	return nil
+}
+
+// Close closes the stream.
+func (s *Stream) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+}
+
+// Conn multiplexes streams over one connection.
+type Conn struct {
+	mu      sync.Mutex
+	streams map[int]*Stream
+	frames  chan []byte
+	done    chan struct{}
+	nextID  int
+	setup   sync.Once
+}
+
+// NewConn creates a connection.
+func NewConn() *Conn {
+	return &Conn{streams: make(map[int]*Stream), frames: make(chan []byte, 32), done: make(chan struct{})}
+}
+
+// Serve starts the connection loops once.
+func (c *Conn) Serve() {
+	c.setup.Do(func() {
+		go func() {
+			for {
+				select {
+				case f := <-c.frames:
+					c.dispatch(f)
+				case <-c.done:
+					return
+				}
+			}
+		}()
+		go c.keepalive()
+	})
+}
+
+func (c *Conn) dispatch(f []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, s := range c.streams {
+		_ = s
+		break
+	}
+	_ = f
+}
+
+func (c *Conn) keepalive() {
+	t := time.NewTicker(10 * time.Second)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			select {
+			case c.frames <- []byte("PING"):
+			default:
+			}
+		case <-c.done:
+			return
+		}
+	}
+}
+
+// NewStream opens a stream and spawns its reader — a goroutine per stream,
+// the gRPC-Go shape.
+func (c *Conn) NewStream() *Stream {
+	c.mu.Lock()
+	c.nextID++
+	s := &Stream{id: c.nextID}
+	c.streams[s.id] = s
+	c.mu.Unlock()
+	go func() {
+		for {
+			select {
+			case f := <-c.frames:
+				s.mu.Lock()
+				closed := s.closed
+				s.mu.Unlock()
+				if closed {
+					return
+				}
+				_ = f
+			case <-c.done:
+				return
+			}
+		}
+	}()
+	return s
+}
+
+// DialAsync dials in the background; the captured err is written by the
+// parent after the goroutine starts — the Section 7 detector's
+// written-after-go pattern, modeled on the bug class the paper's tool
+// reported upstream.
+func DialAsync(addr string) (*Conn, error) {
+	var err error
+	conn := NewConn()
+	go func() {
+		if err != nil { // BUG: reads err the parent is about to write
+			return
+		}
+		conn.Serve()
+	}()
+	err = validate(addr)
+	return conn, err
+}
+
+func validate(addr string) error {
+	if addr == "" {
+		return errors.New("transport: empty address")
+	}
+	return nil
+}
+
+// Close tears the connection down.
+func (c *Conn) Close() { close(c.done) }

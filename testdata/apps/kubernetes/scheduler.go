@@ -1,0 +1,141 @@
+package controller
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// The scheduler half of the mini-Kubernetes: more Mutex-guarded state and
+// more named-function goroutines (go c.worker()-style), keeping the tree's
+// named-over-anonymous balance the paper measured for Kubernetes.
+
+// Node is a schedulable machine.
+type Node struct {
+	Name     string
+	capacity int
+	used     int
+}
+
+// Scheduler assigns pods to nodes.
+type Scheduler struct {
+	mu       sync.Mutex
+	nodes    map[string]*Node
+	bindings map[string]string
+	queue    chan string
+	stopCh   chan struct{}
+	cache    *Store
+	metrics  schedulerMetrics
+}
+
+type schedulerMetrics struct {
+	mu        sync.Mutex
+	scheduled int
+	failed    int
+}
+
+func (m *schedulerMetrics) observe(ok bool) {
+	m.mu.Lock()
+	if ok {
+		m.scheduled++
+	} else {
+		m.failed++
+	}
+	m.mu.Unlock()
+}
+
+func (m *schedulerMetrics) snapshot() (int, int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.scheduled, m.failed
+}
+
+// NewScheduler creates a scheduler over the shared pod cache.
+func NewScheduler(cache *Store) *Scheduler {
+	return &Scheduler{
+		nodes:    make(map[string]*Node),
+		bindings: make(map[string]string),
+		queue:    make(chan string, 64),
+		stopCh:   make(chan struct{}),
+		cache:    cache,
+	}
+}
+
+// AddNode registers capacity.
+func (s *Scheduler) AddNode(n *Node) {
+	s.mu.Lock()
+	s.nodes[n.Name] = n
+	s.mu.Unlock()
+}
+
+// Run starts the named scheduling loops.
+func (s *Scheduler) Run(workers int) {
+	for i := 0; i < workers; i++ {
+		go s.scheduleLoop()
+	}
+	go s.reconcileBindings()
+}
+
+func (s *Scheduler) scheduleLoop() {
+	for {
+		select {
+		case pod := <-s.queue:
+			_ = s.schedule(pod)
+		case <-s.stopCh:
+			return
+		}
+	}
+}
+
+func (s *Scheduler) schedule(pod string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, n := range s.nodes {
+		if n.used < n.capacity {
+			n.used++
+			s.bindings[pod] = n.Name
+			s.metrics.observe(true)
+			return nil
+		}
+	}
+	s.metrics.observe(false)
+	return errors.New("scheduler: no node with free capacity")
+}
+
+func (s *Scheduler) reconcileBindings() {
+	t := time.NewTicker(time.Second)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			s.mu.Lock()
+			for pod, node := range s.bindings {
+				if s.nodes[node] == nil {
+					delete(s.bindings, pod)
+				}
+			}
+			s.mu.Unlock()
+		case <-s.stopCh:
+			return
+		}
+	}
+}
+
+// Enqueue schedules a pod.
+func (s *Scheduler) Enqueue(pod string) { s.queue <- pod }
+
+// Binding looks a pod's node up.
+func (s *Scheduler) Binding(pod string) (string, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n, ok := s.bindings[pod]
+	return n, ok
+}
+
+// Stop shuts the loops down.
+func (s *Scheduler) Stop() { close(s.stopCh) }
+
+// Stats reports scheduling counters.
+func (s *Scheduler) Stats() (scheduled, failed int) {
+	return s.metrics.snapshot()
+}
