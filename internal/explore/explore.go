@@ -32,8 +32,8 @@ type Options struct {
 	// (0 = the Go detector's 4; negative = unbounded).
 	ShadowWords int
 	// Workers fans the runs out over that many host goroutines (each
-	// simulated run is self-contained, so this is safe); 0 or 1 runs
-	// serially, negative uses GOMAXPROCS. Aggregation folds results in
+	// simulated run is self-contained, so this is safe); 0 or negative
+	// uses GOMAXPROCS, 1 runs serially. Aggregation folds results in
 	// seed order, so the Stats are identical either way.
 	Workers int
 }
@@ -91,11 +91,8 @@ func Run(prog sim.Program, opts Options) *Stats {
 		opts.Runs = 100
 	}
 	workers := opts.Workers
-	if workers < 0 {
+	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers == 0 {
-		workers = 1
 	}
 	if workers > opts.Runs {
 		workers = opts.Runs

@@ -1,0 +1,110 @@
+package explore
+
+import (
+	"reflect"
+	"testing"
+
+	"goconcbugs/internal/kernels"
+	"goconcbugs/internal/sim"
+)
+
+// The parallel search must be observationally identical to the serial DFS:
+// same Runs, same Complete verdict, same failure count, and the *same first
+// failing schedule* — not just some failing schedule. These tests pin that
+// equivalence on real kernels across worker counts.
+
+func systematicEqual(t *testing.T, label string, serial, parallel *SystematicResult) {
+	t.Helper()
+	if serial.Runs != parallel.Runs {
+		t.Errorf("%s: Runs serial=%d parallel=%d", label, serial.Runs, parallel.Runs)
+	}
+	if serial.Complete != parallel.Complete {
+		t.Errorf("%s: Complete serial=%v parallel=%v", label, serial.Complete, parallel.Complete)
+	}
+	if serial.Failures != parallel.Failures {
+		t.Errorf("%s: Failures serial=%d parallel=%d", label, serial.Failures, parallel.Failures)
+	}
+	if serial.MaxDepth != parallel.MaxDepth {
+		t.Errorf("%s: MaxDepth serial=%d parallel=%d", label, serial.MaxDepth, parallel.MaxDepth)
+	}
+	if !reflect.DeepEqual(serial.FailureSchedule, parallel.FailureSchedule) {
+		t.Errorf("%s: FailureSchedule serial=%v parallel=%v", label, serial.FailureSchedule, parallel.FailureSchedule)
+	}
+	if (serial.FirstFailure == nil) != (parallel.FirstFailure == nil) {
+		t.Fatalf("%s: FirstFailure serial=%v parallel=%v", label, serial.FirstFailure, parallel.FirstFailure)
+	}
+	if serial.FirstFailure != nil {
+		s, p := serial.FirstFailure, parallel.FirstFailure
+		if s.Outcome != p.Outcome || s.Steps != p.Steps || !reflect.DeepEqual(s.CheckFailures, p.CheckFailures) {
+			t.Errorf("%s: FirstFailure diverged: outcome %v/%v steps %d/%d checks %v/%v",
+				label, s.Outcome, p.Outcome, s.Steps, p.Steps, s.CheckFailures, p.CheckFailures)
+		}
+	}
+}
+
+func TestParallelSystematicMatchesSerialOnKernels(t *testing.T) {
+	ids := []string{
+		"boltdb-392-double-lock",
+		"docker-24007-double-close",
+		"kubernetes-finishreq",
+	}
+	for _, id := range ids {
+		k, ok := kernels.ByID(id)
+		if !ok {
+			t.Fatalf("kernel %s missing", id)
+		}
+		for _, prog := range []struct {
+			name string
+			p    sim.Program
+		}{{"buggy", k.Buggy}, {"fixed", k.Fixed}} {
+			opts := SystematicOptions{Config: k.Config(0), MaxRuns: 5000}
+			opts.Workers = 1
+			serial := Systematic(prog.p, opts)
+			for _, w := range []int{2, 4, 7} {
+				opts.Workers = w
+				systematicEqual(t, id+"/"+prog.name, serial, Systematic(prog.p, opts))
+			}
+		}
+	}
+}
+
+func TestParallelSystematicMatchesSerialTruncated(t *testing.T) {
+	// A MaxRuns budget far below the tree size exercises the canonical
+	// ordering: the parallel search must report exactly the first
+	// MaxRuns schedules the serial DFS would have run.
+	for _, maxRuns := range []int{1, 7, 100} {
+		opts := SystematicOptions{MaxRuns: maxRuns}
+		opts.Workers = 1
+		serial := Systematic(tinyRace, opts)
+		opts.Workers = 4
+		systematicEqual(t, "tinyRace/truncated", serial, Systematic(tinyRace, opts))
+		if serial.Runs != maxRuns {
+			t.Fatalf("budget not consumed: runs=%d", serial.Runs)
+		}
+	}
+}
+
+func TestParallelSystematicMatchesSerialStopAtFirstFailure(t *testing.T) {
+	opts := SystematicOptions{MaxRuns: 50000, StopAtFirstFailure: true}
+	opts.Workers = 1
+	serial := Systematic(tinyRace, opts)
+	if serial.FirstFailure == nil {
+		t.Fatal("serial search found no failure")
+	}
+	opts.Workers = 4
+	parallel := Systematic(tinyRace, opts)
+	systematicEqual(t, "tinyRace/stop-at-first", serial, parallel)
+	// The recovered schedule must replay to the same failure.
+	replay := ReplaySchedule(tinyRace, sim.Config{}, parallel.FailureSchedule)
+	if !replay.Failed() {
+		t.Fatal("parallel FailureSchedule does not reproduce the failure")
+	}
+}
+
+func TestParallelSystematicPreemptionBound(t *testing.T) {
+	opts := SystematicOptions{MaxRuns: 50000, PreemptionBound: 2}
+	opts.Workers = 1
+	serial := Systematic(tinyRace, opts)
+	opts.Workers = 4
+	systematicEqual(t, "tinyRace/preemption-bound", serial, Systematic(tinyRace, opts))
+}

@@ -1,6 +1,11 @@
 package explore
 
 import (
+	"container/heap"
+	"runtime"
+	"sort"
+	"sync"
+
 	"goconcbugs/internal/sim"
 )
 
@@ -43,6 +48,15 @@ type SystematicOptions struct {
 	// With a bound, Complete means "complete within the preemption
 	// bound".
 	PreemptionBound int
+	// Workers fans independent schedules out over that many host
+	// goroutines; 0 or negative uses GOMAXPROCS, 1 explores serially.
+	// The result is bit-identical to the serial search for any worker
+	// count: schedules are merged in canonical DFS order, so Runs,
+	// Complete, Failures, FirstFailure, and FailureSchedule do not depend
+	// on execution timing. Config.Observer and Config.Monitor are shared
+	// across concurrent runs and must be nil or thread-safe when
+	// Workers != 1.
+	Workers int
 }
 
 // SystematicResult summarizes an exploration.
@@ -62,6 +76,61 @@ type SystematicResult struct {
 	MaxDepth int
 }
 
+// runSchedule executes one schedule: the decision at depth d takes prefix[d]
+// when present and the first (non-preempting) option past the prefix. It
+// returns the recorded decision sequence, the option count at every recorded
+// depth, and the run result. The decision index is a position in a
+// *reordered* option list with the preferred option first, so the leftmost
+// descent is the preemption-free schedule and the preemption budget prunes
+// consistently across replays.
+func runSchedule(prog sim.Program, cfg sim.Config, maxChoices, bound int, prefix []int) (chosen, options []int, r *sim.Result) {
+	preemptions := 0
+	cfg.Chooser = func(n, preferred int) int {
+		d := len(chosen)
+		if d >= maxChoices {
+			if preferred >= 0 {
+				return preferred
+			}
+			return 0
+		}
+		if bound >= 0 && preferred >= 0 && preemptions >= bound {
+			// Out of preemption budget: forced. Recorded with a
+			// single option so replay stays aligned and the DFS
+			// never branches here.
+			chosen = append(chosen, 0)
+			options = append(options, 1)
+			return preferred
+		}
+		c := 0
+		if d < len(prefix) {
+			c = prefix[d]
+		}
+		if c >= n {
+			c = 0
+		}
+		chosen = append(chosen, c)
+		options = append(options, n)
+		actual := c
+		if preferred >= 0 {
+			// Reorder: position 0 = preferred, positions 1..
+			// = the remaining options in index order.
+			switch {
+			case c == 0:
+				actual = preferred
+			case c <= preferred:
+				actual = c - 1
+			default:
+				actual = c
+			}
+			if actual != preferred {
+				preemptions++
+			}
+		}
+		return actual
+	}
+	return chosen, options, sim.Run(cfg, prog)
+}
+
 // Systematic explores prog's schedules depth-first.
 func Systematic(prog sim.Program, opts SystematicOptions) *SystematicResult {
 	if opts.MaxRuns <= 0 {
@@ -74,60 +143,17 @@ func Systematic(prog sim.Program, opts SystematicOptions) *SystematicResult {
 	if opts.PreemptionBound > 0 {
 		bound = opts.PreemptionBound
 	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > 1 {
+		return systematicParallel(prog, opts, bound, workers)
+	}
 	res := &SystematicResult{}
 	var prefix []int
 	for res.Runs < opts.MaxRuns {
-		var chosen, options []int
-		preemptions := 0
-		cfg := opts.Config
-		// The decision index c is a position in a *reordered* option
-		// list with the preferred (non-preempting) option first, so the
-		// leftmost DFS path is the preemption-free schedule and the
-		// preemption budget prunes consistently across replays.
-		cfg.Chooser = func(n, preferred int) int {
-			d := len(chosen)
-			if d >= opts.MaxChoices {
-				if preferred >= 0 {
-					return preferred
-				}
-				return 0
-			}
-			if bound >= 0 && preferred >= 0 && preemptions >= bound {
-				// Out of preemption budget: forced. Recorded with a
-				// single option so replay stays aligned and the DFS
-				// never branches here.
-				chosen = append(chosen, 0)
-				options = append(options, 1)
-				return preferred
-			}
-			c := 0
-			if d < len(prefix) {
-				c = prefix[d]
-			}
-			if c >= n {
-				c = 0
-			}
-			chosen = append(chosen, c)
-			options = append(options, n)
-			actual := c
-			if preferred >= 0 {
-				// Reorder: position 0 = preferred, positions 1..
-				// = the remaining options in index order.
-				switch {
-				case c == 0:
-					actual = preferred
-				case c <= preferred:
-					actual = c - 1
-				default:
-					actual = c
-				}
-				if actual != preferred {
-					preemptions++
-				}
-			}
-			return actual
-		}
-		r := sim.Run(cfg, prog)
+		chosen, options, r := runSchedule(prog, opts.Config, opts.MaxChoices, bound, prefix)
 		res.Runs++
 		if len(chosen) > res.MaxDepth {
 			res.MaxDepth = len(chosen)
@@ -157,6 +183,160 @@ func Systematic(prog sim.Program, opts SystematicOptions) *SystematicResult {
 		prefix = append(prefix[:0], chosen[:d+1]...)
 		prefix[d] = chosen[d] + 1
 	}
+	return res
+}
+
+// The parallel search decomposes the same DFS tree into independent jobs.
+// A job is a decision prefix; executing it runs the leftmost schedule below
+// that prefix (the decisions past the prefix are all 0) and spawns a child
+// job for every untried sibling option at every depth at or past the prefix
+// length. Each schedule the serial DFS would run is the leftmost descent of
+// exactly one such prefix, and its full decision sequence is the prefix
+// padded with zeros — so the serial execution order is precisely the
+// lexicographic order of zero-padded prefixes. That gives a canonical total
+// order independent of which worker finished first, which is what makes the
+// merge deterministic.
+
+// cmpPadded compares decision prefixes in zero-padded lexicographic order.
+func cmpPadded(a, b []int) int {
+	n := max(len(a), len(b))
+	for i := 0; i < n; i++ {
+		av, bv := 0, 0
+		if i < len(a) {
+			av = a[i]
+		}
+		if i < len(b) {
+			bv = b[i]
+		}
+		if av != bv {
+			if av < bv {
+				return -1
+			}
+			return 1
+		}
+	}
+	return 0
+}
+
+// jobHeap is a min-heap of pending prefixes in canonical order.
+type jobHeap [][]int
+
+func (h jobHeap) Len() int           { return len(h) }
+func (h jobHeap) Less(i, j int) bool { return cmpPadded(h[i], h[j]) < 0 }
+func (h jobHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *jobHeap) Push(x any)        { *h = append(*h, x.([]int)) }
+func (h *jobHeap) Pop() any          { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+func (h jobHeap) min() []int         { return h[0] }
+
+// leafRec is one executed schedule, keyed by the prefix that generated it.
+type leafRec struct {
+	key    []int
+	depth  int
+	failed bool
+	// result and chosen are kept only for failing schedules; passing
+	// ones need nothing beyond depth for the merge.
+	result *sim.Result
+	chosen []int
+}
+
+func systematicParallel(prog sim.Program, opts SystematicOptions, bound, workers int) *SystematicResult {
+	pending := &jobHeap{[]int{}}
+	var leaves []leafRec
+	// A leaf is "settled" once every schedule the serial DFS would run
+	// before it has been executed. Because a child prefix always sorts
+	// after its parent's leaf and the heap pops the global minimum, every
+	// leaf ordered before the smallest pending prefix is settled.
+	open := []int{} // indices into leaves not yet settled
+	settled := 0
+	settledFailure := false
+	exhausted := false
+
+	for pending.Len() > 0 {
+		batch := min(workers, pending.Len())
+		jobs := make([][]int, batch)
+		for i := range jobs {
+			jobs[i] = heap.Pop(pending).([]int)
+		}
+		recs := make([]leafRec, batch)
+		children := make([][][]int, batch)
+		var wg sync.WaitGroup
+		for i, q := range jobs {
+			wg.Add(1)
+			go func(i int, q []int) {
+				defer wg.Done()
+				chosen, options, r := runSchedule(prog, opts.Config, opts.MaxChoices, bound, q)
+				rec := leafRec{key: q, depth: len(chosen)}
+				if r.Failed() {
+					rec.failed = true
+					rec.result = r
+					rec.chosen = append([]int(nil), chosen...)
+				}
+				recs[i] = rec
+				// Sibling options at depths before len(q) belong to
+				// jobs spawned by this job's ancestors.
+				for d := len(q); d < len(chosen); d++ {
+					for v := chosen[d] + 1; v < options[d]; v++ {
+						child := make([]int, d+1)
+						copy(child, chosen[:d])
+						child[d] = v
+						children[i] = append(children[i], child)
+					}
+				}
+			}(i, q)
+		}
+		wg.Wait()
+		for i := range recs {
+			open = append(open, len(leaves))
+			leaves = append(leaves, recs[i])
+			for _, c := range children[i] {
+				heap.Push(pending, c)
+			}
+		}
+		if pending.Len() == 0 {
+			exhausted = true
+			break
+		}
+		frontier := pending.min()
+		keep := open[:0]
+		for _, idx := range open {
+			if cmpPadded(leaves[idx].key, frontier) < 0 {
+				settled++
+				if leaves[idx].failed {
+					settledFailure = true
+				}
+			} else {
+				keep = append(keep, idx)
+			}
+		}
+		open = keep
+		// Enough settled schedules pin down the serial result: either
+		// the run budget is spent on them, or (when stopping at the
+		// first failure) a settled failure bounds the search.
+		if settled >= opts.MaxRuns || (opts.StopAtFirstFailure && settledFailure) {
+			break
+		}
+	}
+
+	sort.Slice(leaves, func(i, j int) bool { return cmpPadded(leaves[i].key, leaves[j].key) < 0 })
+	res := &SystematicResult{}
+	limit := min(len(leaves), opts.MaxRuns)
+	for i := 0; i < limit; i++ {
+		res.Runs++
+		if leaves[i].depth > res.MaxDepth {
+			res.MaxDepth = leaves[i].depth
+		}
+		if leaves[i].failed {
+			res.Failures++
+			if res.FirstFailure == nil {
+				res.FirstFailure = leaves[i].result
+				res.FailureSchedule = leaves[i].chosen
+			}
+			if opts.StopAtFirstFailure {
+				return res
+			}
+		}
+	}
+	res.Complete = exhausted && len(leaves) <= opts.MaxRuns
 	return res
 }
 

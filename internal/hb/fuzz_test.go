@@ -1,6 +1,101 @@
 package hb
 
-import "testing"
+import (
+	"math/rand"
+	"testing"
+)
+
+// mapVC is the reference model: the original map-backed vector clock
+// implementation, kept here so the dense slice representation can be
+// differentially fuzzed against the old semantics.
+type mapVC map[int]uint64
+
+func (m mapVC) join(other mapVC) {
+	for g, v := range other {
+		if v > m[g] {
+			m[g] = v
+		}
+	}
+}
+
+func (m mapVC) leq(other mapVC) bool {
+	for g, v := range m {
+		if v > other[g] {
+			return false
+		}
+	}
+	return true
+}
+
+func (m mapVC) happensBefore(e Epoch) bool { return m[e.G] >= e.C }
+
+// buildPair derives a dense VC and its map model from the same component
+// stream.
+func buildPair(r *rand.Rand, maxG, n int) (VC, mapVC) {
+	vc := New()
+	m := mapVC{}
+	for i := 0; i < n; i++ {
+		g := r.Intn(maxG)
+		v := uint64(r.Intn(50))
+		vc.Set(g, v)
+		if v == 0 {
+			// Dense Set(g, 0) erases the component; mirror that in
+			// the model (the map kept an explicit zero, which is
+			// observationally identical for every operation).
+			delete(m, g)
+		} else {
+			m[g] = v
+		}
+	}
+	return vc, m
+}
+
+// FuzzDenseVsMapSemantics differentially fuzzes the dense representation
+// against the original map semantics: Join/Leq/Concurrent/HappensBefore must
+// agree on arbitrary clock pairs, including components far past the pooled
+// backing size.
+func FuzzDenseVsMapSemantics(f *testing.F) {
+	f.Add(int64(1), 8, 4)
+	f.Add(int64(2), 64, 12)
+	f.Add(int64(3), 300, 20) // forces growth well past any small backing
+	f.Fuzz(func(t *testing.T, seed int64, maxG, n int) {
+		if maxG <= 0 || maxG > 1<<12 || n < 0 || n > 1<<8 {
+			t.Skip()
+		}
+		r := rand.New(rand.NewSource(seed))
+		a, ma := buildPair(r, maxG, n)
+		b, mb := buildPair(r, maxG, n)
+
+		if got, want := a.Leq(b), ma.leq(mb); got != want {
+			t.Fatalf("Leq disagreement: dense=%v map=%v (a=%v b=%v)", got, want, a, b)
+		}
+		if got, want := Concurrent(a, b), !ma.leq(mb) && !mb.leq(ma); got != want {
+			t.Fatalf("Concurrent disagreement: dense=%v map=%v", got, want)
+		}
+		e := Epoch{G: r.Intn(maxG), C: uint64(r.Intn(50))}
+		if got, want := a.HappensBefore(e), ma.happensBefore(e); got != want {
+			t.Fatalf("HappensBefore(%v) disagreement: dense=%v map=%v (a=%v)", e, got, want, a)
+		}
+
+		j := a.Clone()
+		j.Join(b)
+		mj := mapVC{}
+		mj.join(ma)
+		mj.join(mb)
+		for g := 0; g < maxG; g++ {
+			if j.Get(g) != mj[g] {
+				t.Fatalf("Join component %d: dense=%d map=%d", g, j.Get(g), mj[g])
+			}
+		}
+		// Tick agrees too.
+		g := r.Intn(maxG)
+		mj[g]++
+		if j.Tick(g) != mj[g] {
+			t.Fatalf("Tick(%d): dense=%d map=%d", g, j.Get(g), mj[g])
+		}
+		j.Free() // feed the pool so later iterations exercise reuse
+	})
+}
 
 // FuzzJoinLaws exercises the vector-clock lattice laws on fuzz-provided
 // component values (the seed corpus runs under plain `go test`).

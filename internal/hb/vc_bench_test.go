@@ -1,0 +1,67 @@
+package hb
+
+import "testing"
+
+// BenchmarkVCOps measures the vector-clock primitives on the shapes the
+// simulated runtime produces: small dense clocks (a handful of goroutines)
+// hit by Join/Tick/HappensBefore on every synchronization edge.
+func BenchmarkVCOps(b *testing.B) {
+	mk := func(n int) VC {
+		vc := New()
+		for g := 1; g <= n; g++ {
+			vc.Set(g, uint64(g*3))
+		}
+		return vc
+	}
+
+	b.Run("JoinDominated", func(b *testing.B) {
+		b.ReportAllocs()
+		big, small := mk(8), mk(4)
+		for i := 0; i < b.N; i++ {
+			big.Join(small)
+		}
+	})
+	b.Run("JoinGrowing", func(b *testing.B) {
+		b.ReportAllocs()
+		big := mk(16)
+		for i := 0; i < b.N; i++ {
+			small := mk(2)
+			small.Join(big)
+			small.Free()
+		}
+	})
+	b.Run("Clone", func(b *testing.B) {
+		b.ReportAllocs()
+		vc := mk(8)
+		for i := 0; i < b.N; i++ {
+			c := vc.Clone()
+			c.Free()
+		}
+	})
+	b.Run("Tick", func(b *testing.B) {
+		b.ReportAllocs()
+		vc := mk(8)
+		for i := 0; i < b.N; i++ {
+			vc.Tick(3)
+		}
+	})
+	b.Run("HappensBefore", func(b *testing.B) {
+		b.ReportAllocs()
+		vc := mk(8)
+		e := Epoch{G: 5, C: 9}
+		sink := false
+		for i := 0; i < b.N; i++ {
+			sink = vc.HappensBefore(e)
+		}
+		_ = sink
+	})
+	b.Run("Leq", func(b *testing.B) {
+		b.ReportAllocs()
+		a, c := mk(8), mk(8)
+		sink := false
+		for i := 0; i < b.N; i++ {
+			sink = a.Leq(c)
+		}
+		_ = sink
+	})
+}

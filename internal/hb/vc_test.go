@@ -80,10 +80,10 @@ func TestLeqIsPartialOrder(t *testing.T) {
 		if !a.Leq(a) {
 			return false
 		}
-		// antisymmetric up to equality of maps
+		// antisymmetric up to equality of components
 		if a.Leq(b) && b.Leq(a) {
-			for g, v := range a {
-				if v != 0 && b[g] != v {
+			for g := 0; g <= 8; g++ {
+				if a.Get(g) != b.Get(g) {
 					return false
 				}
 			}
@@ -147,6 +147,110 @@ func TestCloneIsIndependent(t *testing.T) {
 	b.Set(1, 9)
 	if a.Get(1) != 5 {
 		t.Fatalf("clone aliases its source")
+	}
+}
+
+func TestGrowthPastPooledCapacity(t *testing.T) {
+	// Components far beyond any pooled backing's capacity must round-trip,
+	// and growth must preserve everything set before it.
+	a := New()
+	for g := 1; g <= 300; g++ {
+		a.Set(g, uint64(g*g))
+	}
+	for g := 1; g <= 300; g++ {
+		if a.Get(g) != uint64(g*g) {
+			t.Fatalf("component %d = %d after growth, want %d", g, a.Get(g), g*g)
+		}
+	}
+	b := a.Clone()
+	if !a.Leq(b) || !b.Leq(a) {
+		t.Fatalf("clone of grown clock differs from source")
+	}
+}
+
+func TestPoolReuseDoesNotLeakComponents(t *testing.T) {
+	// Dirty a pooled backing with large components, free it, and verify
+	// clocks built from the pool afterwards read as empty.
+	for i := 0; i < 100; i++ {
+		dirty := New()
+		for g := 1; g <= 64; g++ {
+			dirty.Set(g, ^uint64(0))
+		}
+		dirty.Free()
+
+		fresh := New()
+		fresh.Set(1, 1) // forces a (possibly pooled) backing
+		for g := 0; g <= 64; g++ {
+			want := uint64(0)
+			if g == 1 {
+				want = 1
+			}
+			if fresh.Get(g) != want {
+				t.Fatalf("iteration %d: component %d = %d, want %d (stale pool data)",
+					i, g, fresh.Get(g), want)
+			}
+		}
+		clone := dirty.Clone() // dirty is empty again after Free
+		if clone.Len() != 0 {
+			t.Fatalf("clone of freed clock has %d components", clone.Len())
+		}
+	}
+}
+
+func TestUseAfterFreeIsEmpty(t *testing.T) {
+	a := New()
+	a.Set(3, 7)
+	a.Free()
+	if a.Get(3) != 0 || a.Len() != 0 {
+		t.Fatalf("freed clock still has components: %v", a)
+	}
+	a.Tick(2)
+	if a.Get(2) != 1 {
+		t.Fatalf("freed clock is not reusable")
+	}
+}
+
+func TestJoinDominatedPathDoesNotAllocate(t *testing.T) {
+	big := New()
+	for g := 1; g <= 16; g++ {
+		big.Set(g, 100)
+	}
+	small := New()
+	small.Set(3, 7)
+	small.Set(16, 2)
+	allocs := testing.AllocsPerRun(100, func() {
+		big.Join(small)
+	})
+	if allocs != 0 {
+		t.Fatalf("dominated-clock Join allocated %.1f times per op, want 0", allocs)
+	}
+	// Equal-span but not dominated: still no allocation (in-place max).
+	other := New()
+	other.Set(16, 500)
+	allocs = testing.AllocsPerRun(100, func() {
+		big.Join(other)
+	})
+	if allocs != 0 {
+		t.Fatalf("equal-span Join allocated %.1f times per op, want 0", allocs)
+	}
+}
+
+func TestJoinTrimsTrailingZeros(t *testing.T) {
+	// A longer argument whose extra components are all zero must not force
+	// the receiver to grow.
+	long := New()
+	long.Set(40, 0)
+	long.Set(1, 9)
+	short := New()
+	short.Set(1, 1)
+	allocs := testing.AllocsPerRun(100, func() {
+		short.Join(long) // long's only nonzero component is within short's span
+	})
+	if allocs != 0 {
+		t.Fatalf("Join grew for an argument whose extra components are zero (%.1f allocs)", allocs)
+	}
+	if short.Get(1) != 9 || short.Get(40) != 0 {
+		t.Fatalf("join lost components: %v", short)
 	}
 }
 

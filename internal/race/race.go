@@ -63,6 +63,21 @@ type shadowWord struct {
 
 type shadowState struct {
 	words []shadowWord // ring, newest last
+	// lastG/lastC cache the epoch of the most recently stored access.
+	// When the same goroutine accesses again at the same clock value, no
+	// synchronization happened in between, so the scan below would reach
+	// exactly the same verdict as last time (FastTrack's same-epoch fast
+	// path) and can be skipped.
+	lastG     int
+	lastC     uint64
+	lastWrite bool
+}
+
+// pairKey dedups reports by variable and unordered goroutine pair without
+// allocating a string per access.
+type pairKey struct {
+	varID    int
+	gLo, gHi int
 }
 
 // Detector observes instrumented accesses and accumulates race reports. It
@@ -73,7 +88,7 @@ type Detector struct {
 	vars        map[int]*shadowState
 	varNames    map[int]string
 	reports     []Report
-	reported    map[string]bool // dedup by variable + goroutine pair
+	reported    map[pairKey]bool
 }
 
 // New creates a detector with the given shadow-word budget per variable
@@ -87,7 +102,7 @@ func New(shadowWords int) *Detector {
 		shadowWords: shadowWords,
 		vars:        make(map[int]*shadowState),
 		varNames:    make(map[int]string),
-		reported:    make(map[string]bool),
+		reported:    make(map[pairKey]bool),
 	}
 }
 
@@ -102,6 +117,19 @@ func (d *Detector) Access(ac sim.MemAccess) {
 		d.vars[ac.Var.ID] = st
 		d.varNames[ac.Var.ID] = ac.Var.Name
 	}
+	c := ac.VC.Get(ac.G)
+	// Same-epoch fast path: if the previous stored access came from this
+	// goroutine at this clock value, no synchronization intervened, so the
+	// scan below cannot produce a new report — vector clocks only grow
+	// (ordered pairs stay ordered), the only word stored since is our own
+	// (program order), and any racing pair was reported and deduped on the
+	// previous scan. The one asymmetric case is a write following a read:
+	// a write also races with stored reads the earlier read-check skipped,
+	// so that combination still takes the scan.
+	if ac.G == st.lastG && c == st.lastC && (st.lastWrite || !ac.Write) {
+		st.store(shadowWord{epoch: hb.Epoch{G: ac.G, C: c}, write: ac.Write}, d.shadowWords)
+		return
+	}
 	for _, w := range st.words {
 		if w.epoch.G == ac.G {
 			continue // same goroutine: program order
@@ -112,7 +140,7 @@ func (d *Detector) Access(ac sim.MemAccess) {
 		if ac.VC.HappensBefore(w.epoch) {
 			continue // ordered by synchronization
 		}
-		key := fmt.Sprintf("%s/%d/%d", ac.Var.Name, minInt(w.epoch.G, ac.G), maxInt(w.epoch.G, ac.G))
+		key := pairKey{varID: ac.Var.ID, gLo: min(w.epoch.G, ac.G), gHi: max(w.epoch.G, ac.G)}
 		if d.reported[key] {
 			continue
 		}
@@ -128,10 +156,16 @@ func (d *Detector) Access(ac sim.MemAccess) {
 			Step:       ac.Step,
 		})
 	}
-	// Record the new access, evicting the oldest shadow word when the
-	// budget is exhausted (the detector's bounded history).
-	word := shadowWord{epoch: hb.EpochOf(ac.VC, ac.G), write: ac.Write}
-	if d.shadowWords > 0 && len(st.words) >= d.shadowWords {
+	st.store(shadowWord{epoch: hb.Epoch{G: ac.G, C: c}, write: ac.Write}, d.shadowWords)
+}
+
+// store records a new access, evicting the oldest shadow word when the
+// budget is exhausted (the detector's bounded history). The fast path skips
+// the scan but never the store, so the ring's contents — and therefore which
+// races the bounded history can still catch — are identical either way.
+func (st *shadowState) store(word shadowWord, budget int) {
+	st.lastG, st.lastC, st.lastWrite = word.epoch.G, word.epoch.C, word.write
+	if budget > 0 && len(st.words) >= budget {
 		copy(st.words, st.words[1:])
 		st.words[len(st.words)-1] = word
 		return
@@ -154,18 +188,4 @@ func (d *Detector) RacyVars() []string {
 	}
 	sort.Strings(out)
 	return out
-}
-
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

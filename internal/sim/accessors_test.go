@@ -77,7 +77,7 @@ func TestNamesAndAccessors(t *testing.T) {
 				tt.Fail("empty report name")
 			}
 		}
-		if len(tt.VCSnapshot()) == 0 {
+		if tt.VCSnapshot().Len() == 0 {
 			tt.Fail("empty clock snapshot")
 		}
 	})

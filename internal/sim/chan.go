@@ -146,6 +146,7 @@ func (c *chanCore) completeRecv(t *T) (any, bool) {
 		item := c.buf[0]
 		c.buf = c.buf[1:]
 		t.g.vc.Join(item.vc)
+		item.vc.Free() // the dequeued snapshot has no other owner
 		// A sender may be parked waiting for buffer space; admit it.
 		if w := dequeue(&c.sendq); w != nil {
 			w.claim()
@@ -159,6 +160,7 @@ func (c *chanCore) completeRecv(t *T) (any, bool) {
 		// Unbuffered rendezvous with a parked sender.
 		w.claim()
 		t.g.vc.Join(w.vcSnap)
+		w.vcSnap.Free() // rendezvous consumed the parked sender's snapshot
 		w.g.vc.Join(t.g.vc)
 		t.g.tick()
 		w.g.tick()

@@ -168,10 +168,12 @@ type simPanic struct{ msg string }
 // new goroutine is runnable but does not run until the scheduler picks it.
 func (rt *runtime) spawn(name string, fn Program) *G {
 	g := &G{
-		id:          len(rt.gs) + 1,
-		name:        name,
+		id:   len(rt.gs) + 1,
+		name: name,
+		// The CPU token travels through resume; capacity 1 lets a waker
+		// hand off and proceed to its own park without a rendezvous.
+		resume:      make(chan struct{}, 1),
 		state:       GRunnable,
-		resume:      make(chan struct{}),
 		vc:          hb.New(),
 		rt:          rt,
 		createdStep: rt.step,
@@ -196,7 +198,13 @@ func (rt *runtime) spawn(name string, fn Program) *G {
 				g.finalState = GDone
 				g.endTime = rt.now
 				rt.event(g, "exit", "", "")
-				rt.back <- struct{}{}
+				// Hand the CPU token onward; this host goroutine
+				// then exits.
+				if next := rt.dispatch(); next != nil {
+					rt.wake(next)
+				} else {
+					rt.endRun()
+				}
 			case killSentinelType:
 				g.finalState = g.block.preTeardownState()
 				rt.dead <- struct{}{}
@@ -211,7 +219,7 @@ func (rt *runtime) spawn(name string, fn Program) *G {
 				// A simulated panic crashes the whole simulated
 				// process, as an unrecovered panic would.
 				rt.stopping = true
-				rt.back <- struct{}{}
+				rt.endRun()
 			default:
 				// A genuine bug in the harness or kernel code (a
 				// non-simulated panic): record it and stop; Run
@@ -221,7 +229,7 @@ func (rt *runtime) spawn(name string, fn Program) *G {
 				g.finalState = GPanicked
 				rt.hostPanic = r
 				rt.stopping = true
-				rt.back <- struct{}{}
+				rt.endRun()
 			}
 		}()
 		fn(t)
@@ -272,14 +280,30 @@ func (t *T) GoNamed(name string, fn Program) {
 	t.yield()
 }
 
-// park hands control back to the scheduler and waits to be resumed. Every
-// suspension funnels through here so teardown can unwind cleanly.
+// park waits for the CPU token to come back. Every suspension funnels
+// through here so teardown can unwind cleanly.
 func (t *T) park() {
-	t.rt.back <- struct{}{}
 	<-t.g.resume
 	if t.rt.killing {
 		panic(killSentinel)
 	}
+}
+
+// reschedule runs one scheduler step on this goroutine's host thread and
+// transfers the CPU token to whoever was picked. It returns when this
+// goroutine is picked (immediately, without any host-level handoff, when the
+// pick continues the current goroutine).
+func (t *T) reschedule() {
+	next := t.rt.dispatch()
+	if next == t.g {
+		return // continue running; zero host context switches
+	}
+	if next != nil {
+		t.rt.wake(next)
+	} else {
+		t.rt.endRun()
+	}
+	t.park()
 }
 
 // yield is a preemption point: the goroutine stays runnable but lets the
@@ -287,7 +311,7 @@ func (t *T) park() {
 // is what exposes buggy interleavings deterministically.
 func (t *T) yield() {
 	t.g.state = GRunnable
-	t.park()
+	t.reschedule()
 	t.g.state = GRunning
 }
 
@@ -295,7 +319,7 @@ func (t *T) yield() {
 func (t *T) Yield() { t.yield() }
 
 // block parks the goroutine in a blocked state; it returns once some other
-// party has called unblock and the scheduler has picked it again.
+// party has called unblock and a dispatch has picked it again.
 func (t *T) block(kind BlockKind, obj string) {
 	if t.g.blockKindOverride != BlockNone {
 		kind = t.g.blockKindOverride
@@ -304,7 +328,7 @@ func (t *T) block(kind BlockKind, obj string) {
 	t.g.block = blockInfo{kind: kind, obj: obj}
 	t.g.blockedSince = t.rt.step
 	t.rt.event(t.g, "block", obj, kind.String())
-	t.park()
+	t.reschedule()
 	t.g.state = GRunning
 	t.g.block = blockInfo{}
 }
@@ -316,7 +340,7 @@ func (t *T) blockForever(kind BlockKind, obj string) {
 	t.g.block = blockInfo{kind: kind, obj: obj}
 	t.g.blockedSince = t.rt.step
 	t.rt.event(t.g, "block-forever", obj, kind.String())
-	t.park()
+	t.reschedule()
 	// Only teardown resumes us, and park panics with killSentinel then.
 	panic(&simPanic{msg: "resumed a goroutine blocked forever on " + obj})
 }
@@ -361,7 +385,7 @@ func (t *T) Panicf(format string, args ...any) {
 
 // Rand returns a deterministic pseudo-random int in [0, n), drawn from the
 // run's seeded source, for workload generation inside programs.
-func (t *T) Rand(n int) int { return t.rt.rng.Intn(n) }
+func (t *T) Rand(n int) int { return t.rt.random().IntN(n) }
 
 // tick bumps the goroutine's own clock component; called after every
 // release-type synchronization operation per the FastTrack discipline.

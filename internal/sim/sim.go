@@ -48,7 +48,7 @@ package sim
 
 import (
 	"fmt"
-	"math/rand"
+	"math/rand/v2"
 	"time"
 )
 
@@ -196,7 +196,17 @@ func (r *Result) Failed() bool {
 func Run(cfg Config, main Program) *Result {
 	rt := newRuntime(cfg)
 	rt.spawn("main", main)
-	rt.schedule()
+	// The first dispatch necessarily picks main (the only goroutine);
+	// after that, scheduling decisions execute inline on whichever
+	// simulated goroutine is handing off the CPU, and this caller simply
+	// waits for the run to end.
+	if g := rt.dispatch(); g != nil {
+		rt.wake(g)
+	} else {
+		rt.endRun()
+	}
+	<-rt.done
+	rt.teardown()
 	if rt.hostPanic != nil {
 		// A non-simulated panic in program code is a bug in the
 		// caller's code: propagate it on the caller's goroutine.
@@ -207,14 +217,14 @@ func Run(cfg Config, main Program) *Result {
 
 type runtime struct {
 	cfg           Config
-	rng           *rand.Rand
+	rng           *rand.Rand    // lazily seeded; see random()
 	gs            []*G
 	now           int64
 	step          int64
 	timers        timerHeap
 	timerSeq      int64
-	back          chan struct{} // simulated goroutine -> scheduler handoff
-	dead          chan struct{} // killed goroutine -> scheduler during teardown
+	done          chan struct{} // closed by endRun; releases the Run caller
+	dead          chan struct{} // killed goroutine -> Run caller during teardown
 	killing       bool
 	stopping      bool
 	outcome       Outcome
@@ -229,13 +239,13 @@ type runtime struct {
 	nextSyncID    int
 	maxSteps      int64
 	leakThreshold int64
+	runq          []*G // scratch buffer for dispatch's runnable scan
 }
 
 func newRuntime(cfg Config) *runtime {
 	rt := &runtime{
 		cfg:           cfg,
-		rng:           rand.New(rand.NewSource(cfg.Seed)),
-		back:          make(chan struct{}),
+		done:          make(chan struct{}),
 		dead:          make(chan struct{}),
 		maxSteps:      cfg.MaxSteps,
 		leakThreshold: cfg.LeakThreshold,
@@ -253,17 +263,31 @@ func newRuntime(cfg Config) *runtime {
 	return rt
 }
 
-// schedule is the scheduler loop. It runs on the caller's (host) goroutine;
-// exactly one simulated goroutine executes at any moment, so all simulated
-// state is free of host-level data races by construction.
-func (rt *runtime) schedule() {
+// random returns the run's seeded source, creating it on first use. Runs
+// under a Chooser (systematic exploration) whose programs never call T.Rand
+// skip the seeding cost entirely.
+func (rt *runtime) random() *rand.Rand {
+	if rt.rng == nil {
+		rt.rng = rand.New(rand.NewPCG(uint64(rt.cfg.Seed), 0x9e3779b97f4a7c15))
+	}
+	return rt.rng
+}
+
+// dispatch is one scheduler step: it picks the next goroutine to run, firing
+// due timers and advancing virtual time when nothing is runnable. It returns
+// nil when the run is over (quiescent, deadlocked, or out of steps), with
+// rt.outcome/rt.deadlockMsg already recorded.
+//
+// Exactly one simulated goroutine executes at any moment — control moves by
+// direct handoff, so dispatch always runs on whichever host goroutine holds
+// the CPU token (the yielding/blocking/exiting goroutine, or the Run caller
+// for the first step). All simulated state is therefore free of host-level
+// data races by construction, without a scheduler goroutine in the middle.
+func (rt *runtime) dispatch() *G {
 	for {
-		if rt.stopping {
-			break
-		}
 		if rt.step >= rt.maxSteps {
 			rt.outcome = OutcomeStepLimit
-			break
+			return nil
 		}
 		runnable := rt.runnable()
 		if len(runnable) == 0 {
@@ -272,17 +296,17 @@ func (rt *runtime) schedule() {
 			}
 			blocked := rt.blockedGs()
 			if len(blocked) == 0 {
-				break // quiescent, everything done
+				return nil // quiescent, everything done
 			}
 			if rt.mainLive() && rt.allAsleepOnPrimitives(blocked) {
 				rt.outcome = OutcomeBuiltinDeadlock
 				rt.deadlockMsg = rt.deadlockReport(blocked)
-				break
+				return nil
 			}
 			// Either the program has exited with stragglers, or
 			// some goroutine waits on a non-primitive resource the
 			// built-in detector cannot see (Section 5.3).
-			break
+			return nil
 		}
 		preferred := -1
 		for i, g := range runnable {
@@ -294,9 +318,16 @@ func (rt *runtime) schedule() {
 		g := runnable[rt.choose(len(runnable), preferred)]
 		rt.lastG = g
 		rt.step++
-		rt.resume(g)
+		return g
 	}
-	rt.teardown()
+}
+
+// endRun marks the run finished and releases the Run caller. The calling
+// simulated goroutine (if any) must park itself afterwards and touch no
+// shared runtime state: teardown runs concurrently on the caller's host
+// goroutine from here on.
+func (rt *runtime) endRun() {
+	close(rt.done)
 }
 
 // choose picks among n scheduling options, via the Chooser when one is
@@ -314,23 +345,27 @@ func (rt *runtime) choose(n, preferred int) int {
 		}
 		return idx
 	}
-	return rt.rng.Intn(n)
+	return rt.random().IntN(n)
 }
 
-// resume hands the CPU to g until its next yield/block/finish.
-func (rt *runtime) resume(g *G) {
+// wake hands the CPU token to g. The caller must immediately park, exit, or
+// (for the Run caller) start waiting on rt.done.
+func (rt *runtime) wake(g *G) {
 	g.state = GRunning
 	g.resume <- struct{}{}
-	<-rt.back
 }
 
+// runnable collects the runnable goroutines into a scratch buffer that is
+// reused across dispatch steps (safe: exactly one dispatch runs at a time
+// and the buffer never escapes it).
 func (rt *runtime) runnable() []*G {
-	var out []*G
+	out := rt.runq[:0]
 	for _, g := range rt.gs {
 		if g.state == GRunnable {
 			out = append(out, g)
 		}
 	}
+	rt.runq = out
 	return out
 }
 
