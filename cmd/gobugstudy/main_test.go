@@ -1,0 +1,114 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The CLI tests re-execute this test binary as the command itself: TestMain
+// routes straight into main() when the marker env var is set, so the real
+// flag parsing, exit codes and output paths are exercised without a
+// separate `go build`.
+func TestMain(m *testing.M) {
+	if os.Getenv("GOBUGSTUDY_BE_CLI") == "1" {
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// runCLI runs the command from the repository root (the default -apps path
+// is relative to it) and returns stdout, stderr and the exit code.
+func runCLI(t *testing.T, args ...string) (string, string, int) {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), "GOBUGSTUDY_BE_CLI=1")
+	cmd.Dir = root
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &stdout, &stderr
+	err = cmd.Run()
+	code := 0
+	if ee, ok := err.(*exec.ExitError); ok {
+		code = ee.ExitCode()
+	} else if err != nil {
+		t.Fatalf("exec: %v", err)
+	}
+	return stdout.String(), stderr.String(), code
+}
+
+func TestTable8Golden(t *testing.T) {
+	out, _, code := runCLI(t, "-table", "8")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	for _, want := range []string{
+		"Table 8: Built-in deadlock detector on the 21 reproduced blocking bugs",
+		"Mutex                7               1",
+		"Total                21              2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestJSONExport(t *testing.T) {
+	out, _, code := runCLI(t, "-json")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	var doc struct {
+		BugCount    int              `json:"bugCount"`
+		Blocking    int              `json:"blocking"`
+		NonBlocking int              `json:"nonBlocking"`
+		Bugs        []map[string]any `json:"bugs"`
+	}
+	if err := json.Unmarshal([]byte(out), &doc); err != nil {
+		t.Fatalf("stdout is not JSON: %v", err)
+	}
+	if doc.BugCount != 171 || len(doc.Bugs) != 171 {
+		t.Errorf("bugCount=%d len(bugs)=%d, want 171 (the paper's corpus)", doc.BugCount, len(doc.Bugs))
+	}
+	if doc.Blocking+doc.NonBlocking != 171 {
+		t.Errorf("blocking %d + nonBlocking %d != 171", doc.Blocking, doc.NonBlocking)
+	}
+}
+
+func TestDetectorsExperiment(t *testing.T) {
+	out, _, code := runCLI(t, "-detectors", "-runs", "5", "-seed", "1")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, "detected by at least one detector:") {
+		t.Errorf("missing detector summary in:\n%s", out)
+	}
+}
+
+func TestBadFlagValueExits2(t *testing.T) {
+	_, stderr, code := runCLI(t, "-table", "notanumber")
+	if code != 2 {
+		t.Fatalf("exit %d, want 2 (flag parse error); stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stderr, "invalid value") {
+		t.Errorf("stderr lacks flag diagnostic:\n%s", stderr)
+	}
+}
+
+func TestUnknownTableFails(t *testing.T) {
+	_, stderr, code := runCLI(t, "-table", "13")
+	if code == 0 {
+		t.Fatal("exit 0 for a table the paper does not have")
+	}
+	if !strings.Contains(stderr, "gobugstudy:") {
+		t.Errorf("stderr lacks command-prefixed error:\n%s", stderr)
+	}
+}

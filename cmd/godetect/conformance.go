@@ -1,0 +1,40 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"goconcbugs/internal/conformance"
+)
+
+// runConformance is the CLI face of internal/conformance: a seeded sweep of
+// generated programs cross-checked between the simulated and real runtimes.
+// With emitsrc it instead prints the program a seed generates, both as IR
+// and as the standalone Go source the subprocess oracles build — the fast
+// way to inspect what a divergence report's seed means.
+func runConformance(programs int, seed int64, emitsrc bool) int {
+	if emitsrc {
+		p := conformance.Generate(seed, conformance.ModeSafe)
+		fmt.Fprintf(os.Stderr, "%s\n", p)
+		fmt.Print(conformance.EmitGo(p))
+		return 0
+	}
+	st := conformance.Sweep(conformance.SweepOptions{Programs: programs, BaseSeed: seed})
+	fmt.Printf("conformance: %d programs from seed %d — %d strict (complete exploration), %d sim schedules\n",
+		st.Programs, seed, st.Strict, st.Schedules)
+	fmt.Printf("host outcomes: done %d, hung %d, panic %d; must-deadlock confirmed hung: %d\n",
+		st.HostKinds[conformance.KindDone], st.HostKinds[conformance.KindHung],
+		st.HostKinds[conformance.KindPanic], st.AllHungConfirmed)
+	if st.StepLimited > 0 {
+		fmt.Printf("WARNING: %d schedules hit the sim step budget (harness bug: IR programs are loop-free)\n", st.StepLimited)
+	}
+	if len(st.Divergences) == 0 {
+		fmt.Println("no divergences")
+		return 0
+	}
+	for _, d := range st.Divergences {
+		fmt.Printf("\n%v\n", d)
+	}
+	fmt.Printf("\n%d divergence(s)\n", len(st.Divergences))
+	return 1
+}

@@ -35,11 +35,17 @@ func main() {
 	vetFlag := flag.Bool("vet", false, "also run the usage-rule checker (package vet)")
 	catalog := flag.Bool("catalog", false, "emit the kernel catalog as Markdown (KERNELS.md)")
 	chrome := flag.String("chrometrace", "", "write the first run's trace to this file in Chrome Trace Event Format")
+	conf := flag.Bool("conformance", false, "differentially test the sim against the real Go runtime on generated programs")
+	programs := flag.Int("programs", 200, "with -conformance: number of generated programs")
+	emitsrc := flag.Bool("emitsrc", false, "with -conformance: print the program generated for -seed as standalone Go source and exit")
 	flag.Parse()
 
 	if *catalog {
 		printCatalog()
 		return
+	}
+	if *conf {
+		os.Exit(runConformance(*programs, *seed, *emitsrc))
 	}
 
 	switch {

@@ -1,0 +1,85 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// See cmd/gobugstudy/main_test.go for the exec-self pattern.
+func TestMain(m *testing.M) {
+	if os.Getenv("GOSTATIC_BE_CLI") == "1" {
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+func runCLI(t *testing.T, args ...string) (string, string, int) {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), "GOSTATIC_BE_CLI=1")
+	cmd.Dir = root
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &stdout, &stderr
+	err = cmd.Run()
+	code := 0
+	if ee, ok := err.(*exec.ExitError); ok {
+		code = ee.ExitCode()
+	} else if err != nil {
+		t.Fatalf("exec: %v", err)
+	}
+	return stdout.String(), stderr.String(), code
+}
+
+func TestMetricsOnApps(t *testing.T) {
+	out, _, code := runCLI(t, filepath.Join("testdata", "apps"))
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	for _, want := range []string{"files:", "goroutine creation sites:", "primitive usages:", "shared-memory share"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestAnonRaces(t *testing.T) {
+	out, _, code := runCLI(t, "-anonraces", filepath.Join("testdata", "apps"))
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	// The checked-in trees reproduce figure bugs, so the Section 7
+	// detector must find at least one candidate (exact findings are the
+	// static package's own tests' business).
+	if strings.TrimSpace(out) == "" || strings.Contains(out, "no anonymous-function race candidates") {
+		t.Errorf("expected candidates over testdata/apps, got:\n%s", out)
+	}
+}
+
+func TestNoArgsShowsUsage(t *testing.T) {
+	_, stderr, code := runCLI(t)
+	if code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "usage: gostatic") {
+		t.Errorf("stderr lacks usage line:\n%s", stderr)
+	}
+}
+
+func TestMissingDirExits1(t *testing.T) {
+	_, stderr, code := runCLI(t, filepath.Join("no", "such", "dir"))
+	if code != 1 {
+		t.Fatalf("exit %d, want 1; stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stderr, "gostatic:") {
+		t.Errorf("stderr lacks command-prefixed error:\n%s", stderr)
+	}
+}

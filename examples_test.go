@@ -1,0 +1,52 @@
+package goconcbugs
+
+import (
+	"context"
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestExamplesSmoke builds and runs every example under examples/ end to
+// end, asserting a clean exit within a hard timeout. The directory is
+// enumerated rather than hard-coded so a new example is smoked the moment
+// it lands.
+func TestExamplesSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples smoke skipped in -short mode")
+	}
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skipf("go toolchain unavailable: %v", err)
+	}
+	entries, err := os.ReadDir("examples")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		n++
+		name := e.Name()
+		t.Run(name, func(t *testing.T) {
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+			defer cancel()
+			out, err := exec.CommandContext(ctx, "go", "run", "./examples/"+name).CombinedOutput()
+			if ctx.Err() != nil {
+				t.Fatalf("example hung past the smoke timeout\n%s", out)
+			}
+			if err != nil {
+				t.Fatalf("exit: %v\n%s", err, out)
+			}
+			if strings.TrimSpace(string(out)) == "" {
+				t.Fatal("example produced no output")
+			}
+		})
+	}
+	if n < 6 {
+		t.Errorf("smoked %d examples, expected the six shipped ones", n)
+	}
+}

@@ -1,0 +1,9 @@
+//go:build !race
+
+package conformance
+
+// raceEnabled reports whether this binary runs under the real race
+// detector. The differential tests shrink their program budgets when it
+// does: instrumented sim exploration is roughly an order of magnitude
+// slower, and the coverage argument belongs to the uninstrumented lane.
+const raceEnabled = false

@@ -1,0 +1,6 @@
+//go:build race
+
+package conformance
+
+// raceEnabled: see budget_norace.go.
+const raceEnabled = true

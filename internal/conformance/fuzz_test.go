@@ -1,0 +1,28 @@
+package conformance
+
+import (
+	"testing"
+	"time"
+)
+
+// FuzzConformance feeds arbitrary generator seeds through the full
+// differential oracle. The generator maps any int64 to a valid program, so
+// the fuzzer is effectively searching the program family for a sim-vs-host
+// disagreement; the checked-in corpus under testdata/fuzz keeps the
+// historically interesting seeds in every plain `go test` run.
+func FuzzConformance(f *testing.F) {
+	for _, seed := range []int64{1, 4, 6, 28, 44, 97, 103} {
+		f.Add(seed)
+	}
+	opts := CheckOptions{
+		MaxSchedules:   256,
+		HangPatience:   30 * time.Millisecond,
+		FinishPatience: 2 * time.Second,
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		res := CheckSeed(seed, opts)
+		if res.Divergence != nil {
+			t.Fatalf("%v", res.Divergence)
+		}
+	})
+}

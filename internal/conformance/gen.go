@@ -1,0 +1,259 @@
+package conformance
+
+import "math/rand/v2"
+
+// Mode selects the family of programs the generator draws from.
+type Mode int
+
+const (
+	// ModeSafe generates programs whose host execution is free of data
+	// races by construction (every shared var is accessed under its own
+	// host-side mutex), so the default differential suite stays green
+	// under `go test -race`. All scheduling nondeterminism — rendezvous
+	// order, select choice, lock-order deadlocks, lost updates through
+	// two-step read-modify-writes — is still present.
+	ModeSafe Mode = iota
+	// ModeRacy additionally marks one shared var as deliberately
+	// unsynchronized and injects unconditional accesses to it from two
+	// goroutines: emitted as real Go source and built with -race, such a
+	// program must draw a host race report, and the sim race detector
+	// must flag it somewhere in the schedule space.
+	ModeRacy
+)
+
+// generator bundles the random source with the program being built.
+type generator struct {
+	rng *rand.Rand
+	p   *Program
+}
+
+// Generate builds the program for a seed. Equal (seed, mode) pairs always
+// yield identical programs — a failing program is reproduced from its seed
+// alone.
+func Generate(seed int64, mode Mode) *Program {
+	g := &generator{
+		// The second PCG word is a fixed arbitrary constant so program
+		// identity depends only on the seed.
+		rng: rand.New(rand.NewPCG(uint64(seed), 0x5eed5eed5eed5eed)),
+		p:   &Program{Seed: seed},
+	}
+	p := g.p
+
+	// Resource counts. At least one channel and one var so every program
+	// has message passing and observable state.
+	nChans := 1 + g.intn(3)
+	for i := 0; i < nChans; i++ {
+		decl := ChanDecl{Cap: g.intn(3)}
+		if g.chance(8) { // rare: a nil channel (blocks forever, close panics)
+			decl.Nil = true
+		}
+		p.Chans = append(p.Chans, decl)
+	}
+	p.Mutexes = g.intn(3)
+	p.RWMutexes = g.intn(2)
+	p.Onces = g.intn(2)
+	p.Vars = 1 + g.intn(3)
+	if g.chance(50) {
+		p.WaitGroups = 1
+	}
+	p.RacyVars = make([]bool, p.Vars)
+
+	// Size class: mostly small programs so systematic exploration of the
+	// schedule space completes, with a tail of larger ones that exercise
+	// the oracle's weak (budget-bounded) mode.
+	var nGs, maxStmts int
+	switch c := g.intn(100); {
+	case c < 50:
+		nGs, maxStmts = 2, 3
+	case c < 85:
+		nGs, maxStmts = 3, 3
+	default:
+		nGs, maxStmts = 2+g.intn(4), 4 // 2-5 goroutines
+	}
+
+	p.Goroutines = make([][]Stmt, nGs)
+	for gi := 0; gi < nGs; gi++ {
+		p.Goroutines[gi] = g.stmts(1+g.intn(maxStmts), 0)
+	}
+
+	// WaitGroup discipline: every Add happens in main before any spawn
+	// (prepended below), which is the documented usage rule — and exactly
+	// the discipline that avoids the real runtime's "Add called
+	// concurrently with Wait" misuse panic, which the simulator does not
+	// model. Done and Wait go anywhere; an unbalanced count yields a
+	// negative-counter panic or a hang on both backends.
+	wgAdds := 0
+	if p.WaitGroups > 0 {
+		wgAdds = 1 + g.intn(3)
+		dones := wgAdds + []int{-1, 0, 0, 0, 1}[g.intn(5)]
+		for i := 0; i < dones; i++ {
+			g.insert(Stmt{Kind: StWgDone, Wg: 0})
+		}
+		for i, n := 0, g.intn(2); i < n; i++ {
+			g.insert(Stmt{Kind: StWgWait, Wg: 0})
+		}
+	}
+
+	// Racy injection: two distinct goroutines get an unconditional
+	// top-level write to a dedicated racy var each, with no possible
+	// synchronization between them.
+	if mode == ModeRacy {
+		rv := g.intn(p.Vars)
+		p.RacyVars[rv] = true
+		a, b := g.intn(nGs), g.intn(nGs)
+		for b == a {
+			b = g.intn(nGs)
+		}
+		for _, gi := range []int{a, b} {
+			at := g.intn(len(p.Goroutines[gi]) + 1)
+			p.Goroutines[gi] = insertAt(p.Goroutines[gi], at,
+				Stmt{Kind: StVarAdd, Dst: rv, Val: g.val()})
+		}
+	}
+
+	// Main's prologue: WaitGroup Adds first, then spawns at random
+	// positions in the rest of its body.
+	main := p.Goroutines[0]
+	for gi := nGs - 1; gi >= 1; gi-- {
+		at := g.intn(len(main) + 1)
+		main = insertAt(main, at, Stmt{Kind: StSpawn, G: gi})
+	}
+	if wgAdds > 0 {
+		main = insertAt(main, 0, Stmt{Kind: StWgAdd, Wg: 0, Val: int64(wgAdds)})
+	}
+	p.Goroutines[0] = main
+	return p
+}
+
+// stmts generates n statements at the given lock-nesting depth.
+func (g *generator) stmts(n, depth int) []Stmt {
+	out := make([]Stmt, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, g.stmt(depth)...)
+	}
+	return out
+}
+
+// stmt generates one statement — possibly a balanced lock region holding
+// nested statements, which is how lock-order and double-lock deadlocks enter
+// the program family.
+func (g *generator) stmt(depth int) []Stmt {
+	p := g.p
+	for {
+		switch g.intn(12) {
+		case 0, 1: // send
+			return []Stmt{{Kind: StSend, Ch: g.intn(len(p.Chans)), Val: g.val()}}
+		case 2, 3: // recv
+			return []Stmt{{Kind: StRecv, Ch: g.intn(len(p.Chans)), Dst: g.dst()}}
+		case 4: // close
+			return []Stmt{{Kind: StClose, Ch: g.intn(len(p.Chans))}}
+		case 5: // select
+			return []Stmt{g.selectStmt()}
+		case 6, 7: // mutex region
+			if p.Mutexes == 0 {
+				continue
+			}
+			mu := g.intn(p.Mutexes)
+			var body []Stmt
+			if depth < 2 { // bound region nesting
+				body = g.stmts(g.intn(2)+1, depth+1)
+			}
+			region := []Stmt{{Kind: StLock, Mu: mu}}
+			region = append(region, body...)
+			return append(region, Stmt{Kind: StUnlock, Mu: mu})
+		case 8: // rwmutex region
+			if p.RWMutexes == 0 {
+				continue
+			}
+			mu := g.intn(p.RWMutexes)
+			lk, ulk := StRLock, StRUnlock
+			if g.chance(40) {
+				lk, ulk = StWLock, StWUnlock
+			}
+			var body []Stmt
+			if depth < 2 {
+				body = g.stmts(g.intn(2)+1, depth+1)
+			}
+			region := []Stmt{{Kind: lk, Mu: mu}}
+			region = append(region, body...)
+			return append(region, Stmt{Kind: ulk, Mu: mu})
+		case 9: // once
+			if p.Onces == 0 {
+				continue
+			}
+			return []Stmt{{Kind: StOnceDo, O: g.intn(p.Onces), Body: g.onceBody()}}
+		case 10: // var ops
+			if g.chance(50) {
+				return []Stmt{{Kind: StVarStore, Dst: g.intn(p.Vars), Val: g.val()}}
+			}
+			return []Stmt{{Kind: StVarAdd, Dst: g.intn(p.Vars), Val: g.val()}}
+		case 11:
+			return []Stmt{{Kind: StYield}}
+		}
+	}
+}
+
+// selectStmt builds a select with 1-3 cases and an optional default.
+func (g *generator) selectStmt() Stmt {
+	p := g.p
+	n := 1 + g.intn(3)
+	s := Stmt{Kind: StSelect, HasDefault: g.chance(40)}
+	for i := 0; i < n; i++ {
+		c := SelCase{Ch: g.intn(len(p.Chans))}
+		if g.chance(50) {
+			c.Send, c.Val = true, g.val()
+		} else {
+			c.Dst = g.dst()
+		}
+		s.Cases = append(s.Cases, c)
+	}
+	return s
+}
+
+// onceBody keeps Once bodies shallow: plain sends, stores and yields.
+func (g *generator) onceBody() []Stmt {
+	p := g.p
+	var out []Stmt
+	for i, n := 0, 1+g.intn(2); i < n; i++ {
+		switch g.intn(3) {
+		case 0:
+			out = append(out, Stmt{Kind: StSend, Ch: g.intn(len(p.Chans)), Val: g.val()})
+		case 1:
+			out = append(out, Stmt{Kind: StVarStore, Dst: g.intn(p.Vars), Val: g.val()})
+		case 2:
+			out = append(out, Stmt{Kind: StYield})
+		}
+	}
+	return out
+}
+
+// insert places s at a random top-level position of a random goroutine.
+func (g *generator) insert(s Stmt) {
+	gi := g.intn(len(g.p.Goroutines))
+	at := g.intn(len(g.p.Goroutines[gi]) + 1)
+	g.p.Goroutines[gi] = insertAt(g.p.Goroutines[gi], at, s)
+}
+
+func insertAt(body []Stmt, at int, s Stmt) []Stmt {
+	body = append(body, Stmt{})
+	copy(body[at+1:], body[at:])
+	body[at] = s
+	return body
+}
+
+// val draws a small positive payload (never 0, so a zero in a receive
+// destination always means "closed channel or never received").
+func (g *generator) val() int64 { return int64(g.intn(8)) + 1 }
+
+// dst draws a receive destination: a var index, or -1 (discard).
+func (g *generator) dst() int {
+	if g.chance(30) {
+		return -1
+	}
+	return g.intn(g.p.Vars)
+}
+
+func (g *generator) intn(n int) int { return g.rng.IntN(n) }
+
+// chance returns true pct% of the time.
+func (g *generator) chance(pct int) bool { return g.rng.IntN(100) < pct }

@@ -1,0 +1,287 @@
+package conformance
+
+import (
+	"fmt"
+	"reflect"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Host backend: the same IR executed on the real Go runtime — real
+// goroutines, real channels, real sync primitives — under a watchdog. The
+// host scheduler picks one interleaving; the oracle then asks whether the
+// simulator's schedule space contains the outcome it produced.
+//
+// Shared vars are int64s; in ModeSafe each access takes that var's own
+// host-side mutex, which makes the run clean under the real race detector
+// without introducing any synchronization between *different* vars or
+// turning two-step read-modify-writes atomic (the lock covers one load or
+// one store at a time, exactly the granularity at which the simulator
+// serializes accesses). Racy vars are accessed bare.
+
+// closeUnordered reports whether some channel may be closed concurrently
+// with a send or another close on it: a close in one goroutine with a send
+// (including a select send case — the runtime polls the closed flag for
+// unchosen cases too) or close in a different goroutine. That pattern is a
+// real data race on the channel's internal state per the Go memory model —
+// the runtime tolerates it by panicking — so an instrumented (-race) test
+// binary must not execute it in-process. The uninstrumented lane runs these
+// programs normally; the race-enabled lane skips only their host half.
+func closeUnordered(p *Program) bool {
+	type use struct{ sendG, closeG map[int]bool }
+	uses := make([]use, len(p.Chans))
+	for i := range uses {
+		uses[i] = use{sendG: map[int]bool{}, closeG: map[int]bool{}}
+	}
+	var walk func(gi int, body []Stmt)
+	walk = func(gi int, body []Stmt) {
+		for _, s := range body {
+			switch s.Kind {
+			case StSend:
+				uses[s.Ch].sendG[gi] = true
+			case StClose:
+				uses[s.Ch].closeG[gi] = true
+			case StSelect:
+				for _, c := range s.Cases {
+					if c.Send {
+						uses[c.Ch].sendG[gi] = true
+					}
+				}
+			case StOnceDo:
+				// The body runs in whichever goroutine reaches the Once
+				// first; each call site has its own body, so attribute
+				// it to the only goroutine that can execute this one.
+				walk(gi, s.Body)
+			}
+		}
+	}
+	for gi, body := range p.Goroutines {
+		walk(gi, body)
+	}
+	for _, u := range uses {
+		for cg := range u.closeG {
+			for sg := range u.sendG {
+				if sg != cg {
+					return true
+				}
+			}
+			for og := range u.closeG {
+				if og != cg {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// hostEnv is one run's resource instantiation on the real runtime.
+type hostEnv struct {
+	p     *Program
+	chans []chan int64
+	mus   []*sync.Mutex
+	rws   []*sync.RWMutex
+	wgs   []*sync.WaitGroup
+	onces []*sync.Once
+	varMu []*sync.Mutex
+	vars  []int64
+	// harness bookkeeping
+	hwg        sync.WaitGroup
+	firstPanic chan string
+}
+
+func newHostEnv(p *Program) *hostEnv {
+	env := &hostEnv{p: p, firstPanic: make(chan string, 1)}
+	for _, d := range p.Chans {
+		if d.Nil {
+			env.chans = append(env.chans, nil)
+			continue
+		}
+		env.chans = append(env.chans, make(chan int64, d.Cap))
+	}
+	for i := 0; i < p.Mutexes; i++ {
+		env.mus = append(env.mus, new(sync.Mutex))
+	}
+	for i := 0; i < p.RWMutexes; i++ {
+		env.rws = append(env.rws, new(sync.RWMutex))
+	}
+	for i := 0; i < p.WaitGroups; i++ {
+		env.wgs = append(env.wgs, new(sync.WaitGroup))
+	}
+	for i := 0; i < p.Onces; i++ {
+		env.onces = append(env.onces, new(sync.Once))
+	}
+	env.vars = make([]int64, p.Vars)
+	for i := 0; i < p.Vars; i++ {
+		env.varMu = append(env.varMu, new(sync.Mutex))
+	}
+	return env
+}
+
+// launch starts one goroutine of the program. A panic is recovered and
+// recorded (an unrecovered panic would take the whole test process down);
+// outcome classification treats any recorded panic as the run's terminal
+// state, as a real program would have crashed there.
+func (env *hostEnv) launch(body []Stmt) {
+	env.hwg.Add(1)
+	go func() {
+		defer env.hwg.Done()
+		defer func() {
+			if r := recover(); r != nil {
+				select {
+				case env.firstPanic <- fmt.Sprint(r):
+				default:
+				}
+			}
+		}()
+		env.exec(body)
+	}()
+}
+
+func (env *hostEnv) loadVar(i int) int64 {
+	if env.p.RacyVars[i] {
+		return env.vars[i]
+	}
+	env.varMu[i].Lock()
+	defer env.varMu[i].Unlock()
+	return env.vars[i]
+}
+
+func (env *hostEnv) storeVar(i int, v int64) {
+	if env.p.RacyVars[i] {
+		env.vars[i] = v
+		return
+	}
+	env.varMu[i].Lock()
+	defer env.varMu[i].Unlock()
+	env.vars[i] = v
+}
+
+// exec interprets a statement list on the real runtime.
+func (env *hostEnv) exec(body []Stmt) {
+	for _, s := range body {
+		switch s.Kind {
+		case StSpawn:
+			env.launch(env.p.Goroutines[s.G])
+		case StSend:
+			env.chans[s.Ch] <- s.Val
+		case StRecv:
+			v := <-env.chans[s.Ch]
+			if s.Dst >= 0 {
+				env.storeVar(s.Dst, v)
+			}
+		case StClose:
+			close(env.chans[s.Ch])
+		case StSelect:
+			env.execSelect(s)
+		case StLock:
+			env.mus[s.Mu].Lock()
+		case StUnlock:
+			env.mus[s.Mu].Unlock()
+		case StRLock:
+			env.rws[s.Mu].RLock()
+		case StRUnlock:
+			env.rws[s.Mu].RUnlock()
+		case StWLock:
+			env.rws[s.Mu].Lock()
+		case StWUnlock:
+			env.rws[s.Mu].Unlock()
+		case StWgAdd:
+			env.wgs[s.Wg].Add(int(s.Val))
+		case StWgDone:
+			env.wgs[s.Wg].Done()
+		case StWgWait:
+			env.wgs[s.Wg].Wait()
+		case StOnceDo:
+			env.onces[s.O].Do(func() {
+				env.exec(s.Body)
+			})
+		case StVarStore:
+			env.storeVar(s.Dst, s.Val)
+		case StVarAdd:
+			env.storeVar(s.Dst, env.loadVar(s.Dst)+s.Val)
+		case StYield:
+			runtime.Gosched()
+		default:
+			panic(fmt.Sprintf("conformance: unknown statement kind %d", s.Kind))
+		}
+	}
+}
+
+// execSelect runs a select with a dynamic case list via reflect.Select. A
+// nil channel's case is never ready, matching a literal select statement.
+func (env *hostEnv) execSelect(s Stmt) {
+	cases := make([]reflect.SelectCase, 0, len(s.Cases)+1)
+	for _, c := range s.Cases {
+		if c.Send {
+			cases = append(cases, reflect.SelectCase{
+				Dir:  reflect.SelectSend,
+				Chan: reflect.ValueOf(env.chans[c.Ch]),
+				Send: reflect.ValueOf(c.Val),
+			})
+		} else {
+			cases = append(cases, reflect.SelectCase{
+				Dir:  reflect.SelectRecv,
+				Chan: reflect.ValueOf(env.chans[c.Ch]),
+			})
+		}
+	}
+	if s.HasDefault {
+		cases = append(cases, reflect.SelectCase{Dir: reflect.SelectDefault})
+	}
+	chosen, recv, _ := reflect.Select(cases)
+	if chosen < len(s.Cases) {
+		if c := s.Cases[chosen]; !c.Send && c.Dst >= 0 {
+			var v int64
+			if recv.IsValid() {
+				v = recv.Int()
+			}
+			env.storeVar(c.Dst, v)
+		}
+	}
+}
+
+// RunHost executes p once on the real Go runtime and classifies the outcome.
+// patience is how long to wait before declaring the run hung; callers pass a
+// short patience when the simulator says a hang is reachable (misreading a
+// slow completion as "hung" is then still a member of the sim space) and a
+// long one when the simulator says the program must finish, so only a
+// genuinely stuck program is reported as divergent. Goroutines of a hung
+// program are abandoned, as a watchdog-killed process would abandon them.
+func RunHost(p *Program, patience time.Duration) Signature {
+	env := newHostEnv(p)
+	env.launch(p.Goroutines[0])
+	done := make(chan struct{})
+	go func() {
+		env.hwg.Wait()
+		close(done)
+	}()
+	timer := time.NewTimer(patience)
+	defer timer.Stop()
+	select {
+	case msg := <-env.firstPanic:
+		return panicSignature(msg)
+	case <-done:
+		// A panic and normal completion can race: the panicking
+		// goroutine still runs its deferred hwg.Done. Panic wins, as
+		// it would have crashed a real process.
+		select {
+		case msg := <-env.firstPanic:
+			return panicSignature(msg)
+		default:
+		}
+		vars := make([]int64, p.Vars)
+		for i := range vars {
+			vars[i] = env.loadVar(i)
+		}
+		return doneSignature(vars)
+	case <-timer.C:
+		select {
+		case msg := <-env.firstPanic:
+			return panicSignature(msg)
+		default:
+		}
+		return Signature{Kind: KindHung}
+	}
+}

@@ -1,0 +1,223 @@
+// Package conformance differentially tests the simulated runtime against
+// the real Go runtime.
+//
+// Everything this repository claims — the Table 8/12 reproductions, the
+// schedule explorer, the rule monitor — rests on internal/sim faithfully
+// modeling Go's channel, mutex, select, WaitGroup and Once semantics, and on
+// internal/race and internal/deadlock matching the behavior of `-race` and
+// the built-in deadlock detector. Hand-written kernels spot-check that
+// claim; this package stress-tests it: a seeded generator produces small
+// random concurrent programs as a backend-neutral IR, each program executes
+// on two backends — the deterministic simulator (every schedule, via
+// explore.Systematic) and the real Go runtime (host goroutines and real
+// sync primitives under a watchdog) — and a differential oracle cross-checks
+// the outcomes:
+//
+//   - membership: the host run's terminal state (completion, panic identity,
+//     final shared-variable values, or a hang) must be one the simulator can
+//     reach in its schedule space;
+//   - deadlock direction: when every simulated schedule deadlocks, the host
+//     program must actually hang;
+//   - race direction: programs with injected unsynchronized accesses,
+//     emitted as real Go source and built with -race, must draw a host race
+//     report — and the sim race detector must report the same program racy
+//     somewhere in its schedule space.
+//
+// A divergence is reported with the generator seed and a standalone
+// reproduction command, and the pinned corpus under testdata/conformance/
+// keeps previously interesting programs in every future run.
+package conformance
+
+import "fmt"
+
+// Program is a backend-neutral description of a small concurrent program.
+// Goroutine 0 is main; it spawns the others at the positions of its Spawn
+// statements. The zero values of all resources are meaningful: channels
+// carry int64s, vars are int64s initialized to zero.
+type Program struct {
+	// Seed is the generator seed that produced the program (for reports);
+	// 0 for hand-built programs.
+	Seed int64
+	// Chans declares the program's channels.
+	Chans []ChanDecl
+	// Mutexes, RWMutexes, WaitGroups, Onces and Vars are resource counts;
+	// statements refer to them by index.
+	Mutexes    int
+	RWMutexes  int
+	WaitGroups int
+	Onces      int
+	Vars       int
+	// RacyVars marks vars whose host accesses are deliberately
+	// unsynchronized (the race-direction oracle); all other vars are
+	// accessed under a per-var mutex on the host, which keeps the default
+	// differential suite clean under `go test -race` without adding any
+	// cross-variable synchronization the simulator does not have.
+	RacyVars []bool
+	// Goroutines holds each goroutine's statement list; Goroutines[0] is
+	// main.
+	Goroutines [][]Stmt
+}
+
+// ChanDecl declares one channel.
+type ChanDecl struct {
+	Cap int
+	// Nil makes every reference to this channel a nil-channel operation:
+	// sends and receives block forever, close panics.
+	Nil bool
+}
+
+// StmtKind enumerates the IR's statement forms.
+type StmtKind int
+
+// Statement kinds. Lock-type statements are generated balanced (every Lock
+// has a matching Unlock in the same goroutine, properly nested), which
+// sidesteps the simulator's one documented mutex divergence (it forbids
+// cross-goroutine unlocks that real Go permits) while still reaching
+// double-lock self-deadlocks and lock-order deadlocks through nesting.
+const (
+	// StSpawn starts goroutine G (main only; each spawned exactly once).
+	StSpawn StmtKind = iota
+	// StSend sends Val on channel Ch.
+	StSend
+	// StRecv receives from channel Ch into var Dst (Dst < 0 discards).
+	// A receive from a closed, drained channel stores 0.
+	StRecv
+	// StClose closes channel Ch.
+	StClose
+	// StSelect runs a select over Cases, with a default when HasDefault.
+	StSelect
+	// StLock / StUnlock bracket mutex Mu.
+	StLock
+	StUnlock
+	// StRLock / StRUnlock and StWLock / StWUnlock bracket rwmutex Mu.
+	StRLock
+	StRUnlock
+	StWLock
+	StWUnlock
+	// StWgAdd adds Val to WaitGroup Wg; StWgDone decrements it; StWgWait
+	// waits for it.
+	StWgAdd
+	StWgDone
+	StWgWait
+	// StOnceDo runs Body under Once O.
+	StOnceDo
+	// StVarStore stores Val into var Dst.
+	StVarStore
+	// StVarAdd loads var Dst, adds Val, stores the sum — a two-step
+	// read-modify-write on both backends, so lost updates are reachable.
+	StVarAdd
+	// StYield reschedules (runtime.Gosched on the host).
+	StYield
+)
+
+// Stmt is one IR statement. Fields are interpreted per Kind.
+type Stmt struct {
+	Kind  StmtKind
+	G     int   // StSpawn: goroutine index
+	Ch    int   // channel index
+	Mu    int   // mutex or rwmutex index
+	Wg    int   // waitgroup index
+	O     int   // once index
+	Dst   int   // var index (-1: discard)
+	Val   int64 // sent value / stored value / add delta
+	Cases []SelCase
+	// HasDefault makes an StSelect non-blocking.
+	HasDefault bool
+	// Body is StOnceDo's nested statement list.
+	Body []Stmt
+}
+
+// SelCase is one arm of an StSelect.
+type SelCase struct {
+	Send bool
+	Ch   int
+	Val  int64 // sent value (Send)
+	Dst  int   // receive destination var, -1 to discard (!Send)
+}
+
+// String renders a compact, single-line form of the statement for reports.
+func (s Stmt) String() string {
+	switch s.Kind {
+	case StSpawn:
+		return fmt.Sprintf("spawn g%d", s.G)
+	case StSend:
+		return fmt.Sprintf("c%d <- %d", s.Ch, s.Val)
+	case StRecv:
+		if s.Dst < 0 {
+			return fmt.Sprintf("<-c%d", s.Ch)
+		}
+		return fmt.Sprintf("v%d = <-c%d", s.Dst, s.Ch)
+	case StClose:
+		return fmt.Sprintf("close(c%d)", s.Ch)
+	case StSelect:
+		out := "select{"
+		for i, c := range s.Cases {
+			if i > 0 {
+				out += "; "
+			}
+			if c.Send {
+				out += fmt.Sprintf("c%d <- %d", c.Ch, c.Val)
+			} else if c.Dst >= 0 {
+				out += fmt.Sprintf("v%d = <-c%d", c.Dst, c.Ch)
+			} else {
+				out += fmt.Sprintf("<-c%d", c.Ch)
+			}
+		}
+		if s.HasDefault {
+			out += "; default"
+		}
+		return out + "}"
+	case StLock:
+		return fmt.Sprintf("mu%d.Lock", s.Mu)
+	case StUnlock:
+		return fmt.Sprintf("mu%d.Unlock", s.Mu)
+	case StRLock:
+		return fmt.Sprintf("rw%d.RLock", s.Mu)
+	case StRUnlock:
+		return fmt.Sprintf("rw%d.RUnlock", s.Mu)
+	case StWLock:
+		return fmt.Sprintf("rw%d.Lock", s.Mu)
+	case StWUnlock:
+		return fmt.Sprintf("rw%d.Unlock", s.Mu)
+	case StWgAdd:
+		return fmt.Sprintf("wg%d.Add(%d)", s.Wg, s.Val)
+	case StWgDone:
+		return fmt.Sprintf("wg%d.Done", s.Wg)
+	case StWgWait:
+		return fmt.Sprintf("wg%d.Wait", s.Wg)
+	case StOnceDo:
+		out := fmt.Sprintf("once%d.Do{", s.O)
+		for i, b := range s.Body {
+			if i > 0 {
+				out += "; "
+			}
+			out += b.String()
+		}
+		return out + "}"
+	case StVarStore:
+		return fmt.Sprintf("v%d = %d", s.Dst, s.Val)
+	case StVarAdd:
+		return fmt.Sprintf("v%d += %d", s.Dst, s.Val)
+	case StYield:
+		return "yield"
+	default:
+		return fmt.Sprintf("stmt(%d)", int(s.Kind))
+	}
+}
+
+// String renders the whole program.
+func (p *Program) String() string {
+	out := fmt.Sprintf("program seed=%d chans=%v mutexes=%d rwmutexes=%d wgs=%d onces=%d vars=%d racy=%v\n",
+		p.Seed, p.Chans, p.Mutexes, p.RWMutexes, p.WaitGroups, p.Onces, p.Vars, p.RacyVars)
+	for gi, body := range p.Goroutines {
+		name := fmt.Sprintf("g%d", gi)
+		if gi == 0 {
+			name = "main"
+		}
+		out += name + ":\n"
+		for _, s := range body {
+			out += "  " + s.String() + "\n"
+		}
+	}
+	return out
+}

@@ -1,0 +1,135 @@
+package conformance
+
+import (
+	"fmt"
+
+	"goconcbugs/internal/sim"
+)
+
+// simEnv is one run's instantiation of a program's resources on the
+// simulated runtime. The oracle reads terminal var state from it after
+// sim.Run returns.
+type simEnv struct {
+	p     *Program
+	chans []sim.Chan[int64]
+	mus   []*sim.Mutex
+	rws   []*sim.RWMutex
+	wgs   []*sim.WaitGroup
+	onces []*sim.Once
+	vars  []*sim.Var[int64]
+}
+
+// simProgram compiles p into a sim.Program. Every invocation builds fresh
+// resources, so the same value can be run under many seeds or schedules; the
+// returned slot points at the environment of the most recently *started*
+// run, which equals the just-finished run whenever runs are serial (the
+// conformance oracle explores with Workers == 1 for exactly this reason).
+func simProgram(p *Program) (prog sim.Program, envSlot **simEnv) {
+	slot := new(*simEnv)
+	return func(t *sim.T) {
+		env := &simEnv{p: p}
+		*slot = env
+		for i, d := range p.Chans {
+			if d.Nil {
+				env.chans = append(env.chans, sim.NilChan[int64]())
+				continue
+			}
+			env.chans = append(env.chans, sim.NewChanNamed[int64](t, fmt.Sprintf("c%d", i), d.Cap))
+		}
+		for i := 0; i < p.Mutexes; i++ {
+			env.mus = append(env.mus, sim.NewMutex(t, fmt.Sprintf("mu%d", i)))
+		}
+		for i := 0; i < p.RWMutexes; i++ {
+			env.rws = append(env.rws, sim.NewRWMutex(t, fmt.Sprintf("rw%d", i)))
+		}
+		for i := 0; i < p.WaitGroups; i++ {
+			env.wgs = append(env.wgs, sim.NewWaitGroup(t, fmt.Sprintf("wg%d", i)))
+		}
+		for i := 0; i < p.Onces; i++ {
+			env.onces = append(env.onces, sim.NewOnce(t, fmt.Sprintf("once%d", i)))
+		}
+		for i := 0; i < p.Vars; i++ {
+			env.vars = append(env.vars, sim.NewVar[int64](t, fmt.Sprintf("v%d", i)))
+		}
+		env.exec(t, p.Goroutines[0])
+	}, slot
+}
+
+// exec interprets a statement list on the simulated runtime.
+func (env *simEnv) exec(t *sim.T, body []Stmt) {
+	for _, s := range body {
+		switch s.Kind {
+		case StSpawn:
+			gBody := env.p.Goroutines[s.G]
+			t.GoNamed(fmt.Sprintf("g%d", s.G), func(t *sim.T) {
+				env.exec(t, gBody)
+			})
+		case StSend:
+			env.chans[s.Ch].Send(t, s.Val)
+		case StRecv:
+			v, _ := env.chans[s.Ch].Recv(t)
+			if s.Dst >= 0 {
+				env.vars[s.Dst].Store(t, v)
+			}
+		case StClose:
+			env.chans[s.Ch].Close(t)
+		case StSelect:
+			cases := make([]sim.Case, 0, len(s.Cases)+1)
+			for _, c := range s.Cases {
+				if c.Send {
+					cases = append(cases, sim.OnSend(env.chans[c.Ch], c.Val, nil))
+				} else if dst := c.Dst; dst >= 0 {
+					cases = append(cases, sim.OnRecv(env.chans[c.Ch], func(v int64, ok bool) {
+						env.vars[dst].Store(t, v)
+					}))
+				} else {
+					cases = append(cases, sim.OnRecv[int64](env.chans[c.Ch], nil))
+				}
+			}
+			if s.HasDefault {
+				cases = append(cases, sim.Default(nil))
+			}
+			sim.Select(t, cases...)
+		case StLock:
+			env.mus[s.Mu].Lock(t)
+		case StUnlock:
+			env.mus[s.Mu].Unlock(t)
+		case StRLock:
+			env.rws[s.Mu].RLock(t)
+		case StRUnlock:
+			env.rws[s.Mu].RUnlock(t)
+		case StWLock:
+			env.rws[s.Mu].Lock(t)
+		case StWUnlock:
+			env.rws[s.Mu].Unlock(t)
+		case StWgAdd:
+			env.wgs[s.Wg].Add(t, int(s.Val))
+		case StWgDone:
+			env.wgs[s.Wg].Done(t)
+		case StWgWait:
+			env.wgs[s.Wg].Wait(t)
+		case StOnceDo:
+			env.onces[s.O].Do(t, func(t *sim.T) {
+				env.exec(t, s.Body)
+			})
+		case StVarStore:
+			env.vars[s.Dst].Store(t, s.Val)
+		case StVarAdd:
+			v := env.vars[s.Dst].Load(t)
+			env.vars[s.Dst].Store(t, v+s.Val)
+		case StYield:
+			t.Yield()
+		default:
+			panic(fmt.Sprintf("conformance: unknown statement kind %d", s.Kind))
+		}
+	}
+}
+
+// finalVars snapshots terminal var state after a run.
+func (env *simEnv) finalVars() []int64 {
+	out := make([]int64, len(env.vars))
+	for i, v := range env.vars {
+		out[i] = v.Peek()
+	}
+	return out
+}

@@ -1,0 +1,221 @@
+package conformance
+
+import (
+	"context"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// The subprocess lane emits generated programs as standalone Go source and
+// runs them under the *actual* runtime machinery the in-process backend
+// cannot reach: the built-in global deadlock detector (only fires when a
+// whole process sleeps) and the real race detector (a report inside the
+// test process would fail the suite). Needs the go toolchain on PATH.
+
+func requireGo(t *testing.T) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("subprocess lane skipped in -short mode")
+	}
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skipf("go toolchain unavailable: %v", err)
+	}
+}
+
+var raceProbe struct {
+	once sync.Once
+	ok   bool
+	out  string
+}
+
+// raceToolchain probes whether `go build -race` works here (it needs cgo
+// and a C toolchain); the result is cached for the package run.
+func raceToolchain(t *testing.T) {
+	t.Helper()
+	raceProbe.once.Do(func() {
+		dir, err := os.MkdirTemp("", "raceprobe")
+		if err != nil {
+			raceProbe.out = err.Error()
+			return
+		}
+		defer os.RemoveAll(dir)
+		src := filepath.Join(dir, "main.go")
+		os.WriteFile(src, []byte("package main\n\nfunc main() {}\n"), 0o644)
+		out, err := exec.Command("go", "build", "-race", "-o", filepath.Join(dir, "probe"), src).CombinedOutput()
+		raceProbe.ok = err == nil
+		raceProbe.out = string(out)
+	})
+	if !raceProbe.ok {
+		t.Skipf("-race toolchain unavailable: %s", raceProbe.out)
+	}
+}
+
+// buildEmitted compiles p's standalone source; separating the build from
+// the run keeps compile time out of the watchdog budget.
+func buildEmitted(t *testing.T, p *Program, race bool) string {
+	t.Helper()
+	dir := t.TempDir()
+	src := filepath.Join(dir, "main.go")
+	if err := os.WriteFile(src, []byte(EmitGo(p)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	bin := filepath.Join(dir, "prog")
+	args := []string{"build"}
+	if race {
+		args = append(args, "-race")
+	}
+	args = append(args, "-o", bin, src)
+	if out, err := exec.Command("go", args...).CombinedOutput(); err != nil {
+		t.Fatalf("go %s failed: %v\n%s\nsource:\n%s", strings.Join(args, " "), err, out, EmitGo(p))
+	}
+	return bin
+}
+
+// runEmitted executes the binary under an external timeout and classifies
+// its outcome with the same Signature vocabulary the oracle uses.
+func runEmitted(t *testing.T, bin string, timeout time.Duration) (Signature, string) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	out, err := exec.CommandContext(ctx, bin).CombinedOutput()
+	s := string(out)
+	switch {
+	case ctx.Err() != nil,
+		strings.Contains(s, "all goroutines are asleep - deadlock!"):
+		return Signature{Kind: KindHung}, s
+	case strings.Contains(s, "panic: "):
+		msg := s[strings.Index(s, "panic: ")+len("panic: "):]
+		if i := strings.IndexByte(msg, '\n'); i >= 0 {
+			msg = msg[:i]
+		}
+		return panicSignature(msg), s
+	}
+	// A -race build exits 66 after reporting yet still prints the vars
+	// line; any run that got there completed.
+	m := regexp.MustCompile(`CONFORMANCE-VARS (\[[^\]]*\])`).FindStringSubmatch(s)
+	if m == nil {
+		t.Fatalf("emitted program terminated unrecognizably (err=%v):\n%s", err, s)
+	}
+	return Signature{Kind: KindDone, Vars: m[1]}, s
+}
+
+// scanSeeds returns the first n ModeSafe seeds whose explored space
+// satisfies pred, so the subprocess tests track the generator instead of
+// going stale against pinned seed numbers.
+func scanSeeds(t *testing.T, n int, mode Mode, withRace bool, pred func(*SimSpace) bool) []int64 {
+	t.Helper()
+	var out []int64
+	for seed := int64(1); seed <= 2000 && len(out) < n; seed++ {
+		if pred(ExploreSim(Generate(seed, mode), 600, withRace)) {
+			out = append(out, seed)
+		}
+	}
+	if len(out) < n {
+		t.Fatalf("found only %d/%d seeds matching predicate in 2000", len(out), n)
+	}
+	return out
+}
+
+// TestEmittedDeadlockDirection: programs the simulator proves globally
+// deadlocked on every schedule must hang for real — and since the emitted
+// source has no internal watchdog, the real runtime's built-in detector
+// gets to fire and name the condition itself.
+func TestEmittedDeadlockDirection(t *testing.T) {
+	requireGo(t)
+	builtinFired := 0
+	seeds := scanSeeds(t, 3, ModeSafe, false, func(sp *SimSpace) bool {
+		return sp.Complete && sp.AllHung()
+	})
+	for _, seed := range seeds {
+		p := Generate(seed, ModeSafe)
+		bin := buildEmitted(t, p, false)
+		sig, out := runEmitted(t, bin, 5*time.Second)
+		if sig.Kind != KindHung {
+			t.Errorf("seed %d: sim proves every schedule deadlocks, but the host process terminated %v\n%s\nprogram:\n%s",
+				seed, sig, out, p)
+		}
+		if strings.Contains(out, "all goroutines are asleep - deadlock!") {
+			builtinFired++
+		}
+	}
+	// At least one of the three must trip the built-in detector outright
+	// (a program parked on a timer-free global deadlock always does).
+	if builtinFired == 0 {
+		t.Error("built-in deadlock detector never fired across must-deadlock programs")
+	}
+}
+
+// TestEmittedMustFinishMatchesSim: clean subprocess terminal states must be
+// members of the sim schedule space, through the emission path too.
+func TestEmittedMustFinishMatchesSim(t *testing.T) {
+	requireGo(t)
+	seeds := scanSeeds(t, 2, ModeSafe, false, func(sp *SimSpace) bool {
+		if !sp.Complete || sp.AllowsHang() {
+			return false
+		}
+		for s := range sp.Sigs {
+			if s.Kind != KindDone {
+				return false
+			}
+		}
+		return true
+	})
+	for _, seed := range seeds {
+		p := Generate(seed, ModeSafe)
+		sp := ExploreSim(p, 600, false)
+		bin := buildEmitted(t, p, false)
+		sig, out := runEmitted(t, bin, 10*time.Second)
+		if !sp.Allows(sig) {
+			t.Errorf("seed %d: emitted run terminated %v, outside sim space %s\n%s", seed, sig, sp.Summary(), out)
+		}
+	}
+}
+
+// TestEmittedRaceDirection closes the race loop in both directions on
+// always-racy generations: the sim race detector flags every schedule, so
+// the single host schedule must be racy too and `-race` must report; and
+// any host report implies sim reports (trivially here — sim flags all).
+func TestEmittedRaceDirection(t *testing.T) {
+	requireGo(t)
+	raceToolchain(t)
+	seeds := scanSeeds(t, 2, ModeRacy, true, func(sp *SimSpace) bool {
+		return sp.Complete && sp.RacyVarSchedules == sp.Schedules
+	})
+	for _, seed := range seeds {
+		p := Generate(seed, ModeRacy)
+		bin := buildEmitted(t, p, true)
+		// Always-racy includes schedules that hang after racing; the race
+		// report lands on stderr before any hang, so classify by output.
+		_, out := runEmitted(t, bin, 5*time.Second)
+		if !strings.Contains(out, "WARNING: DATA RACE") {
+			t.Errorf("seed %d: sim races on the injected var in all %s, but host -race stayed silent\n%s\nprogram:\n%s",
+				seed, "schedules", out, p)
+		}
+	}
+}
+
+// TestEmitGoCompiles: the emitter must produce compilable source for a wide
+// band of programs in both modes, not just the ones other tests pick.
+func TestEmitGoCompiles(t *testing.T) {
+	requireGo(t)
+	dir := t.TempDir()
+	for seed := int64(1); seed <= 25; seed++ {
+		for _, mode := range []Mode{ModeSafe, ModeRacy} {
+			p := Generate(seed, mode)
+			src := filepath.Join(dir, "main.go")
+			if err := os.WriteFile(src, []byte(EmitGo(p)), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if out, err := exec.Command("go", "vet", src).CombinedOutput(); err != nil {
+				t.Fatalf("seed %d mode %d: emitted source does not vet: %v\n%s\nsource:\n%s",
+					seed, mode, err, out, EmitGo(p))
+			}
+		}
+	}
+}

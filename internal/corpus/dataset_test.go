@@ -17,6 +17,7 @@ func countIf(t *testing.T, pred func(Bug) bool) int {
 
 // TestProseTotals asserts every count the paper's prose states outright.
 func TestProseTotals(t *testing.T) {
+	t.Parallel()
 	if got := len(Bugs()); got != 171 {
 		t.Fatalf("dataset has %d bugs, want 171", got)
 	}
@@ -56,6 +57,7 @@ func TestProseTotals(t *testing.T) {
 // RWMutex-related bugs, 8 were fixed by adding a missing unlock; 9 by
 // moving lock or unlock; 11 by removing an extra lock".
 func TestMutexRWFixSplit(t *testing.T) {
+	t.Parallel()
 	lockBug := func(b Bug) bool {
 		return b.BlockingCause == BCMutex || b.BlockingCause == BCRWMutex
 	}
@@ -77,6 +79,7 @@ func TestMutexRWFixSplit(t *testing.T) {
 // TestNonBlockingStrategyTotals asserts Table 10's prose anchors: 10
 // bypasses, 14 data-private fixes, and roughly two thirds timing fixes.
 func TestNonBlockingStrategyTotals(t *testing.T) {
+	t.Parallel()
 	counts := map[FixStrategy]int{}
 	nb := 0
 	for _, b := range Bugs() {
@@ -100,6 +103,7 @@ func TestNonBlockingStrategyTotals(t *testing.T) {
 
 // TestTable11Totals asserts the fully-extracted fix-primitive totals.
 func TestTable11Totals(t *testing.T) {
+	t.Parallel()
 	counts := map[FixPrimitive]int{}
 	entries := 0
 	for _, b := range Bugs() {
@@ -128,6 +132,7 @@ func TestTable11Totals(t *testing.T) {
 // TestPerAppTotals asserts the per-app taxonomy (Table 5) internal
 // consistency and the cells the extraction preserved.
 func TestPerAppTotals(t *testing.T) {
+	t.Parallel()
 	type row struct{ blocking, nonBlocking, shared, message int }
 	want := map[App]row{
 		Docker:      {21, 23, 28, 16},
@@ -163,6 +168,7 @@ func TestPerAppTotals(t *testing.T) {
 }
 
 func TestUniqueIDsAndSaneFields(t *testing.T) {
+	t.Parallel()
 	seen := map[string]bool{}
 	for _, b := range Bugs() {
 		if b.ID == "" {
@@ -189,6 +195,7 @@ func TestUniqueIDsAndSaneFields(t *testing.T) {
 
 // TestDeterministicBuild: two reads of the dataset agree.
 func TestDeterministicBuild(t *testing.T) {
+	t.Parallel()
 	a, b := Bugs(), Bugs()
 	for i := range a {
 		if a[i].ID != b[i].ID || a[i].FixStrategy != b[i].FixStrategy || a[i].LifetimeDays != b[i].LifetimeDays {
@@ -200,6 +207,7 @@ func TestDeterministicBuild(t *testing.T) {
 // TestBlockingPatchSize asserts the mean patch size is near the reported
 // 6.8 lines.
 func TestBlockingPatchSize(t *testing.T) {
+	t.Parallel()
 	total, n := 0, 0
 	for _, b := range Bugs() {
 		if b.Behavior == Blocking {
@@ -216,6 +224,7 @@ func TestBlockingPatchSize(t *testing.T) {
 // TestLifetimesAreLong: Figure 4's shape — the median lifetime is many
 // months for both cause classes.
 func TestLifetimesAreLong(t *testing.T) {
+	t.Parallel()
 	for _, cause := range []Cause{SharedMemory, MessagePassing} {
 		var days []int
 		for _, b := range Bugs() {

@@ -7,6 +7,7 @@ import (
 )
 
 func TestWriteJSONRoundTrips(t *testing.T) {
+	t.Parallel()
 	var buf bytes.Buffer
 	if err := WriteJSON(&buf); err != nil {
 		t.Fatal(err)

@@ -3,6 +3,7 @@ package corpus
 import "testing"
 
 func TestQueryHelpers(t *testing.T) {
+	t.Parallel()
 	if got := len(BlockingBugs()); got != 85 {
 		t.Errorf("BlockingBugs = %d", got)
 	}
@@ -25,6 +26,7 @@ func TestQueryHelpers(t *testing.T) {
 }
 
 func TestByID(t *testing.T) {
+	t.Parallel()
 	b, ok := ByID("boltdb#392")
 	if !ok || b.App != BoltDB || b.BlockingCause != BCMutex || !b.Reproduced {
 		t.Fatalf("boltdb#392 = %+v ok=%v", b, ok)
@@ -35,6 +37,7 @@ func TestByID(t *testing.T) {
 }
 
 func TestCountBy(t *testing.T) {
+	t.Parallel()
 	byCause := CountBy(BlockingBugs(), func(b Bug) BlockingCause { return b.BlockingCause })
 	if byCause[BCMutex] != 28 || byCause[BCChan] != 29 {
 		t.Fatalf("counts = %v", byCause)

@@ -57,6 +57,14 @@ type SystematicOptions struct {
 	// across concurrent runs and must be nil or thread-safe when
 	// Workers != 1.
 	Workers int
+	// OnRun, when non-nil, receives every executed schedule's result and
+	// decision sequence as soon as the run finishes. This is how the
+	// conformance oracle collects the full set of terminal states a
+	// program can reach. With Workers == 1 the callback fires serially in
+	// DFS order; with parallel workers it fires from worker goroutines in
+	// execution order and must be thread-safe. The slice is reused by the
+	// search: clone it to retain it.
+	OnRun func(r *sim.Result, schedule []int)
 }
 
 // SystematicResult summarizes an exploration.
@@ -154,6 +162,9 @@ func Systematic(prog sim.Program, opts SystematicOptions) *SystematicResult {
 	var prefix []int
 	for res.Runs < opts.MaxRuns {
 		chosen, options, r := runSchedule(prog, opts.Config, opts.MaxChoices, bound, prefix)
+		if opts.OnRun != nil {
+			opts.OnRun(r, chosen)
+		}
 		res.Runs++
 		if len(chosen) > res.MaxDepth {
 			res.MaxDepth = len(chosen)
@@ -265,6 +276,9 @@ func systematicParallel(prog sim.Program, opts SystematicOptions, bound, workers
 			go func(i int, q []int) {
 				defer wg.Done()
 				chosen, options, r := runSchedule(prog, opts.Config, opts.MaxChoices, bound, q)
+				if opts.OnRun != nil {
+					opts.OnRun(r, chosen)
+				}
 				rec := leafRec{key: q, depth: len(chosen)}
 				if r.Failed() {
 					rec.failed = true

@@ -22,6 +22,7 @@ func quickCfg() *quick.Config {
 }
 
 func TestJoinIsUpperBound(t *testing.T) {
+	t.Parallel()
 	f := func(seed int64) bool {
 		r := rand.New(rand.NewSource(seed))
 		a, b := genVC(r), genVC(r)
@@ -35,6 +36,7 @@ func TestJoinIsUpperBound(t *testing.T) {
 }
 
 func TestJoinIsLeastUpperBound(t *testing.T) {
+	t.Parallel()
 	f := func(seed int64) bool {
 		r := rand.New(rand.NewSource(seed))
 		a, b := genVC(r), genVC(r)
@@ -53,6 +55,7 @@ func TestJoinIsLeastUpperBound(t *testing.T) {
 }
 
 func TestJoinCommutativeAndIdempotent(t *testing.T) {
+	t.Parallel()
 	f := func(seed int64) bool {
 		r := rand.New(rand.NewSource(seed))
 		a, b := genVC(r), genVC(r)
@@ -73,6 +76,7 @@ func TestJoinCommutativeAndIdempotent(t *testing.T) {
 }
 
 func TestLeqIsPartialOrder(t *testing.T) {
+	t.Parallel()
 	f := func(seed int64) bool {
 		r := rand.New(rand.NewSource(seed))
 		a, b, c := genVC(r), genVC(r), genVC(r)
@@ -100,6 +104,7 @@ func TestLeqIsPartialOrder(t *testing.T) {
 }
 
 func TestConcurrentIsSymmetricAndIrreflexive(t *testing.T) {
+	t.Parallel()
 	f := func(seed int64) bool {
 		r := rand.New(rand.NewSource(seed))
 		a, b := genVC(r), genVC(r)
@@ -114,6 +119,7 @@ func TestConcurrentIsSymmetricAndIrreflexive(t *testing.T) {
 }
 
 func TestTickMakesStrictlyLater(t *testing.T) {
+	t.Parallel()
 	f := func(seed int64) bool {
 		r := rand.New(rand.NewSource(seed))
 		a := genVC(r)
@@ -128,6 +134,7 @@ func TestTickMakesStrictlyLater(t *testing.T) {
 }
 
 func TestHappensBeforeMatchesEpochComparison(t *testing.T) {
+	t.Parallel()
 	f := func(seed int64) bool {
 		r := rand.New(rand.NewSource(seed))
 		a := genVC(r)
@@ -141,6 +148,7 @@ func TestHappensBeforeMatchesEpochComparison(t *testing.T) {
 }
 
 func TestCloneIsIndependent(t *testing.T) {
+	t.Parallel()
 	a := New()
 	a.Set(1, 5)
 	b := a.Clone()
@@ -151,6 +159,7 @@ func TestCloneIsIndependent(t *testing.T) {
 }
 
 func TestGrowthPastPooledCapacity(t *testing.T) {
+	t.Parallel()
 	// Components far beyond any pooled backing's capacity must round-trip,
 	// and growth must preserve everything set before it.
 	a := New()
@@ -169,6 +178,7 @@ func TestGrowthPastPooledCapacity(t *testing.T) {
 }
 
 func TestPoolReuseDoesNotLeakComponents(t *testing.T) {
+	t.Parallel()
 	// Dirty a pooled backing with large components, free it, and verify
 	// clocks built from the pool afterwards read as empty.
 	for i := 0; i < 100; i++ {
@@ -198,6 +208,7 @@ func TestPoolReuseDoesNotLeakComponents(t *testing.T) {
 }
 
 func TestUseAfterFreeIsEmpty(t *testing.T) {
+	t.Parallel()
 	a := New()
 	a.Set(3, 7)
 	a.Free()
@@ -211,6 +222,7 @@ func TestUseAfterFreeIsEmpty(t *testing.T) {
 }
 
 func TestJoinDominatedPathDoesNotAllocate(t *testing.T) {
+	t.Parallel()
 	big := New()
 	for g := 1; g <= 16; g++ {
 		big.Set(g, 100)
@@ -236,6 +248,7 @@ func TestJoinDominatedPathDoesNotAllocate(t *testing.T) {
 }
 
 func TestJoinTrimsTrailingZeros(t *testing.T) {
+	t.Parallel()
 	// A longer argument whose extra components are all zero must not force
 	// the receiver to grow.
 	long := New()
@@ -255,6 +268,7 @@ func TestJoinTrimsTrailingZeros(t *testing.T) {
 }
 
 func TestStringDeterministic(t *testing.T) {
+	t.Parallel()
 	a := New()
 	a.Set(3, 7)
 	a.Set(1, 2)

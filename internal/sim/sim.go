@@ -217,7 +217,7 @@ func Run(cfg Config, main Program) *Result {
 
 type runtime struct {
 	cfg           Config
-	rng           *rand.Rand    // lazily seeded; see random()
+	rng           *rand.Rand // lazily seeded; see random()
 	gs            []*G
 	now           int64
 	step          int64

@@ -95,6 +95,13 @@ func (v *Var[V]) Store(t *T, x V) {
 // Name returns the variable's report name.
 func (v *Var[V]) Name() string { return v.meta.Name }
 
+// Peek returns the variable's current value without a scheduling point or an
+// access report. It exists for post-run inspection: harnesses (the
+// conformance oracle) read terminal program state through it after sim.Run
+// has returned. It must not be called from inside a running program — use
+// Load there, so the access participates in scheduling and race detection.
+func (v *Var[V]) Peek() V { return v.val }
+
 // IntVar is a convenience wrapper for the common int case with
 // read-modify-write helpers (each a classic atomicity-violation site).
 type IntVar struct{ *Var[int] }

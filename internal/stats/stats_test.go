@@ -8,6 +8,7 @@ import (
 )
 
 func TestLiftIndependenceIsOne(t *testing.T) {
+	t.Parallel()
 	// P(AB) = P(A)P(B) exactly: 100 total, A=20, B=50, AB=10.
 	if got := Lift(100, 20, 50, 10); math.Abs(got-1.0) > 1e-9 {
 		t.Fatalf("lift = %f, want 1", got)
@@ -15,6 +16,7 @@ func TestLiftIndependenceIsOne(t *testing.T) {
 }
 
 func TestLiftPaperExample(t *testing.T) {
+	t.Parallel()
 	// The Mutex->Move_s correlation: 85 bugs, 28 Mutex, 18 moves, 9 both.
 	got := Lift(85, 28, 18, 9)
 	if math.Abs(got-1.5178) > 0.001 {
@@ -23,12 +25,14 @@ func TestLiftPaperExample(t *testing.T) {
 }
 
 func TestLiftDegenerateInputs(t *testing.T) {
+	t.Parallel()
 	if Lift(0, 1, 1, 1) != 0 || Lift(10, 0, 5, 0) != 0 || Lift(10, 5, 0, 0) != 0 {
 		t.Fatal("degenerate lifts should be 0")
 	}
 }
 
 func TestLiftMonotoneInOverlap(t *testing.T) {
+	t.Parallel()
 	f := func(seed int64) bool {
 		r := rand.New(rand.NewSource(seed))
 		total := 20 + r.Intn(200)
@@ -48,6 +52,7 @@ func TestLiftMonotoneInOverlap(t *testing.T) {
 }
 
 func TestContingencyTotals(t *testing.T) {
+	t.Parallel()
 	c := NewContingency([]string{"r1", "r2"}, []string{"c1", "c2", "c3"})
 	c.Add("r1", "c1", 3)
 	c.Add("r1", "c3", 2)
@@ -64,6 +69,7 @@ func TestContingencyTotals(t *testing.T) {
 }
 
 func TestContingencyUnknownLabelPanics(t *testing.T) {
+	t.Parallel()
 	defer func() {
 		if recover() == nil {
 			t.Fatal("expected panic on unknown label")
@@ -74,6 +80,7 @@ func TestContingencyUnknownLabelPanics(t *testing.T) {
 }
 
 func TestLiftRankingSortedAndFiltered(t *testing.T) {
+	t.Parallel()
 	c := NewContingency([]string{"big", "small"}, []string{"x", "y"})
 	c.Add("big", "x", 12)
 	c.Add("big", "y", 3)
@@ -92,6 +99,7 @@ func TestLiftRankingSortedAndFiltered(t *testing.T) {
 }
 
 func TestCDFBasics(t *testing.T) {
+	t.Parallel()
 	c := NewCDF([]float64{1, 2, 3, 4})
 	if got := c.At(0); got != 0 {
 		t.Fatalf("At(0) = %f", got)
@@ -108,6 +116,7 @@ func TestCDFBasics(t *testing.T) {
 }
 
 func TestCDFMonotone(t *testing.T) {
+	t.Parallel()
 	f := func(seed int64) bool {
 		r := rand.New(rand.NewSource(seed))
 		n := 1 + r.Intn(50)
@@ -132,6 +141,7 @@ func TestCDFMonotone(t *testing.T) {
 }
 
 func TestQuantileWithinRange(t *testing.T) {
+	t.Parallel()
 	f := func(seed int64) bool {
 		r := rand.New(rand.NewSource(seed))
 		n := 1 + r.Intn(50)
@@ -154,6 +164,7 @@ func TestQuantileWithinRange(t *testing.T) {
 }
 
 func TestCDFPoints(t *testing.T) {
+	t.Parallel()
 	c := NewCDF([]float64{1, 5, 9})
 	pts := c.Points(5)
 	if len(pts) != 5 || pts[0][0] != 1 || pts[4][0] != 9 || pts[4][1] != 1 {
@@ -162,6 +173,7 @@ func TestCDFPoints(t *testing.T) {
 }
 
 func TestMean(t *testing.T) {
+	t.Parallel()
 	if Mean(nil) != 0 {
 		t.Fatal("mean of nothing should be 0")
 	}
