@@ -355,6 +355,39 @@ func BenchmarkSystematicExploration(b *testing.B) {
 	}
 }
 
+// BenchmarkDPORvsDFS prints, for every kernel, the schedule count of the
+// full depth-first enumeration next to the dynamic partial-order-reduced
+// search (the EXPERIMENTS.md "§ Partial-order reduction" table is this
+// output), then times the reduced search on the Figure 10 kernel.
+func BenchmarkDPORvsDFS(b *testing.B) {
+	printOnce("dporvsdfs", func() {
+		fmt.Printf("\n%-34s %10s %10s %8s %8s\n", "kernel (buggy)", "full DFS", "DPOR", "pruned", "ratio")
+		for _, k := range kernels.All() {
+			opts := explore.SystematicOptions{Config: k.Config(0), MaxRuns: 120_000}
+			full := explore.Systematic(k.Buggy, opts)
+			opts.Reduction = true
+			red := explore.Systematic(k.Buggy, opts)
+			fullCount := fmt.Sprintf("%d", full.Runs)
+			if !full.Complete {
+				fullCount = ">" + fullCount
+			}
+			ratio := "-"
+			if full.Complete && red.Runs > 0 {
+				ratio = fmt.Sprintf("%.1fx", float64(full.Runs)/float64(red.Runs))
+			}
+			fmt.Printf("%-34s %10s %10d %8d %8s\n", k.ID, fullCount, red.Runs, red.SchedulesPruned, ratio)
+		}
+	})
+	k, _ := kernels.ByID("docker-24007-double-close")
+	for i := 0; i < b.N; i++ {
+		res := explore.Systematic(k.Buggy, explore.SystematicOptions{
+			Config: k.Config(0), MaxRuns: 120_000, Reduction: true,
+		})
+		b.ReportMetric(float64(res.Runs), "schedules")
+		b.ReportMetric(float64(res.SchedulesPruned), "pruned")
+	}
+}
+
 // BenchmarkParallelExploration compares serial and fanned-out systematic
 // search on the same kernel and schedule budget. The results are
 // bit-identical by construction (see explore.SystematicOptions.Workers);

@@ -7,6 +7,7 @@
 //	godetect -kernel docker-apiversion -fixed -runs 100
 //	godetect -all                         # sweep every kernel
 //	godetect -kernel grpc-lost-update -trace -seed 3
+//	godetect -kernel docker-abba-order -systematic -dpor
 package main
 
 import (
@@ -35,6 +36,9 @@ func main() {
 	vetFlag := flag.Bool("vet", false, "also run the usage-rule checker (package vet)")
 	catalog := flag.Bool("catalog", false, "emit the kernel catalog as Markdown (KERNELS.md)")
 	chrome := flag.String("chrometrace", "", "write the first run's trace to this file in Chrome Trace Event Format")
+	systematic := flag.Bool("systematic", false, "exhaustively explore every schedule instead of seeded sampling")
+	dpor := flag.Bool("dpor", false, "with -systematic: prune equivalent interleavings via dynamic partial-order reduction")
+	maxRuns := flag.Int("maxruns", 200_000, "with -systematic: schedule budget")
 	conf := flag.Bool("conformance", false, "differentially test the sim against the real Go runtime on generated programs")
 	programs := flag.Int("programs", 200, "with -conformance: number of generated programs")
 	emitsrc := flag.Bool("emitsrc", false, "with -conformance: print the program generated for -seed as standalone Go source and exit")
@@ -53,6 +57,10 @@ func main() {
 		listKernels()
 	case *all:
 		for _, k := range kernels.All() {
+			if *systematic {
+				systematicSweep(k, *fixed, *maxRuns, *dpor)
+				continue
+			}
 			sweep(k, *fixed, *runs, *seed, *shadow)
 			if *vetFlag {
 				runVet(k, *fixed, *runs, *seed)
@@ -66,6 +74,10 @@ func main() {
 		}
 		if *trace {
 			printTrace(k, *fixed, *seed)
+		}
+		if *systematic {
+			systematicSweep(k, *fixed, *maxRuns, *dpor)
+			return
 		}
 		if *chrome != "" {
 			if err := writeChromeTrace(k, *fixed, *seed, *chrome); err != nil {
@@ -174,6 +186,33 @@ func sweep(k kernels.Kernel, fixed bool, runs int, seed int64, shadow int) {
 		if sample != "" {
 			fmt.Printf("    e.g. %s\n", sample)
 		}
+	}
+}
+
+// systematicSweep exhaustively explores the kernel's schedule space instead
+// of sampling seeds, optionally with dynamic partial-order reduction.
+func systematicSweep(k kernels.Kernel, fixed bool, maxRuns int, dpor bool) {
+	label := "buggy"
+	if fixed {
+		label = "fixed"
+	}
+	res := explore.Systematic(variant(k, fixed), explore.SystematicOptions{
+		Config:    k.Config(0),
+		MaxRuns:   maxRuns,
+		Reduction: dpor,
+	})
+	mode := "full DFS"
+	if dpor {
+		mode = "DPOR"
+	}
+	fmt.Printf("%s (%s, %s): %d schedules (complete=%v, max depth %d), %d failing",
+		k.ID, label, mode, res.Runs, res.Complete, res.MaxDepth, res.Failures)
+	if dpor {
+		fmt.Printf(", pruned %d, sleep-set hits %d", res.SchedulesPruned, res.SleepSetHits)
+	}
+	fmt.Println()
+	if res.FirstFailure != nil {
+		fmt.Printf("    first failing decision sequence: %v\n", res.FailureSchedule)
 	}
 }
 

@@ -163,6 +163,17 @@ func (o *perRunRace) Access(ac sim.MemAccess) { o.det.Access(ac) }
 // unbounded-shadow race detector and RaceSchedules counts the schedules
 // that drew a report.
 func ExploreSim(p *Program, maxSchedules int, withRace bool) *SimSpace {
+	return ExploreSimReduced(p, maxSchedules, withRace, false)
+}
+
+// ExploreSimReduced is ExploreSim with dynamic partial-order reduction
+// switchable. Reduction prunes schedules that only reorder independent
+// transitions; the signature set it collects is provably the same (outcome
+// signatures are trace-equivalence invariants), which the differential
+// equivalence suite in package explore asserts against full enumeration.
+// Schedules and the per-signature counts differ — only the *set* of
+// signatures is preserved.
+func ExploreSimReduced(p *Program, maxSchedules int, withRace, reduce bool) *SimSpace {
 	prog, envSlot := simProgram(p)
 	sp := &SimSpace{Sigs: map[Signature]int{}, RaceSchedules: -1, RacyVarSchedules: -1}
 	var obs *perRunRace
@@ -180,9 +191,10 @@ func ExploreSim(p *Program, maxSchedules int, withRace bool) *SimSpace {
 		}
 	}
 	res := explore.Systematic(prog, explore.SystematicOptions{
-		Config:  cfg,
-		MaxRuns: maxSchedules,
-		Workers: 1, // serial: OnRun must pair with the envSlot of its run
+		Config:    cfg,
+		MaxRuns:   maxSchedules,
+		Reduction: reduce,
+		Workers:   1, // serial: OnRun must pair with the envSlot of its run
 		OnRun: func(r *sim.Result, schedule []int) {
 			sp.Sigs[simSignature(r, *envSlot)]++
 			if r.Outcome == sim.OutcomeStepLimit {
@@ -223,6 +235,10 @@ type CheckOptions struct {
 	// program must finish (default 2s): only a genuinely stuck program is
 	// reported divergent.
 	FinishPatience time.Duration
+	// Reduction explores the sim side with dynamic partial-order
+	// reduction: the same signature set from far fewer schedules, so
+	// complete (strict) exploration fits the budget on more programs.
+	Reduction bool
 }
 
 func (o CheckOptions) withDefaults() CheckOptions {
@@ -279,7 +295,7 @@ type CheckResult struct {
 func CheckSeed(seed int64, opts CheckOptions) *CheckResult {
 	opts = opts.withDefaults()
 	p := Generate(seed, ModeSafe)
-	space := ExploreSim(p, opts.MaxSchedules, false)
+	space := ExploreSimReduced(p, opts.MaxSchedules, false, opts.Reduction)
 	res := &CheckResult{Seed: seed, Program: p, Space: space}
 	if raceEnabled && closeUnordered(p) {
 		return res

@@ -95,7 +95,10 @@ func TestParallelSystematicMatchesSerialStopAtFirstFailure(t *testing.T) {
 	parallel := Systematic(tinyRace, opts)
 	systematicEqual(t, "tinyRace/stop-at-first", serial, parallel)
 	// The recovered schedule must replay to the same failure.
-	replay := ReplaySchedule(tinyRace, sim.Config{}, parallel.FailureSchedule)
+	replay, err := ReplaySchedule(tinyRace, sim.Config{}, parallel.FailureSchedule)
+	if err != nil {
+		t.Fatalf("replay mismatch: %v", err)
+	}
 	if !replay.Failed() {
 		t.Fatal("parallel FailureSchedule does not reproduce the failure")
 	}

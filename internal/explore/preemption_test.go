@@ -52,7 +52,10 @@ func TestPreemptionBoundedReplay(t *testing.T) {
 	if res.FirstFailure == nil {
 		t.Fatal("no failure found")
 	}
-	replay := ReplaySchedule(tinyRace, sim.Config{}, res.FailureSchedule)
+	replay, err := ReplaySchedule(tinyRace, sim.Config{}, res.FailureSchedule)
+	if err != nil {
+		t.Fatalf("replay mismatch: %v", err)
+	}
 	if !replay.Failed() {
 		t.Fatal("bounded failing schedule did not replay")
 	}
@@ -62,7 +65,10 @@ func TestPreemptionBoundedReplay(t *testing.T) {
 // reordering, the all-zeros schedule never preempts, so a race that *needs*
 // a preemption cannot fail on it.
 func TestZeroPreemptionScheduleIsTheLeftmostPath(t *testing.T) {
-	replay := ReplaySchedule(tinyRace, sim.Config{}, nil) // all defaults
+	replay, err := ReplaySchedule(tinyRace, sim.Config{}, nil) // all defaults
+	if err != nil {
+		t.Fatalf("replay mismatch: %v", err)
+	}
 	if replay.Failed() {
 		t.Fatalf("the run-to-completion schedule manifested the preemption bug: %v",
 			replay.CheckFailures)

@@ -2,6 +2,7 @@ package explore
 
 import (
 	"container/heap"
+	"fmt"
 	"runtime"
 	"sort"
 	"sync"
@@ -48,6 +49,20 @@ type SystematicOptions struct {
 	// With a bound, Complete means "complete within the preemption
 	// bound".
 	PreemptionBound int
+	// Reduction enables dynamic partial-order reduction (see dpor.go):
+	// the search skips schedules that only reorder independent
+	// transitions, which is sound — every reachable outcome (failures,
+	// terminal states, the conformance signature set) is still reached —
+	// and typically shrinks the schedule count by orders of magnitude on
+	// channel-heavy programs. Runs are pruned, so OnRun fires for fewer
+	// schedules, and Runs/MaxDepth/FailureSchedule describe the reduced
+	// search; SchedulesPruned and SleepSetHits report what was skipped.
+	// The reduced search is a serial canonical walk: its result is
+	// bit-identical for any Workers value (Workers is ignored).
+	// Reduction reasons about unbounded dependence, not preemption
+	// budgets, so it is ignored when PreemptionBound > 0 (the bound
+	// already prunes far harder, at the cost of completeness).
+	Reduction bool
 	// Workers fans independent schedules out over that many host
 	// goroutines; 0 or negative uses GOMAXPROCS, 1 explores serially.
 	// The result is bit-identical to the serial search for any worker
@@ -82,6 +97,16 @@ type SystematicResult struct {
 	FailureSchedule []int
 	// MaxDepth is the deepest decision sequence seen.
 	MaxDepth int
+	// SchedulesPruned counts sibling subtrees the DPOR search proved
+	// redundant and never entered (one per unexplored option at each
+	// exhausted decision node); zero without Reduction. The number of
+	// full schedules avoided is typically far larger — each pruned
+	// subtree holds many.
+	SchedulesPruned int
+	// SleepSetHits counts backtrack candidates skipped because their
+	// pending transition was asleep (already explored from an equivalent
+	// state); zero without Reduction.
+	SleepSetHits int
 }
 
 // runSchedule executes one schedule: the decision at depth d takes prefix[d]
@@ -150,6 +175,9 @@ func Systematic(prog sim.Program, opts SystematicOptions) *SystematicResult {
 	bound := -1 // unbounded
 	if opts.PreemptionBound > 0 {
 		bound = opts.PreemptionBound
+	}
+	if opts.Reduction && bound < 0 {
+		return systematicDPOR(prog, opts)
 	}
 	workers := opts.Workers
 	if workers <= 0 {
@@ -357,17 +385,30 @@ func systematicParallel(prog sim.Program, opts SystematicOptions, bound, workers
 // ReplaySchedule re-executes prog under a recorded decision sequence,
 // returning the (deterministic) result — how a failing schedule found by
 // Systematic is reproduced for debugging, typically with Trace enabled.
-func ReplaySchedule(prog sim.Program, cfg sim.Config, schedule []int) *sim.Result {
+//
+// A schedule only reproduces a run of the same program under the same
+// Config: if a decision index exceeds the options actually offered at that
+// depth, or the run ends before consuming the whole schedule, the schedule
+// belongs to a different program and the result would be an arbitrary
+// interleaving. Both mismatches return an error (alongside the result of
+// the run as executed) instead of being silently coerced.
+func ReplaySchedule(prog sim.Program, cfg sim.Config, schedule []int) (*sim.Result, error) {
 	depth := 0
+	var mismatch error
 	cfg.Chooser = func(n, preferred int) int {
 		c := 0
 		if depth < len(schedule) {
 			c = schedule[depth]
 		}
-		depth++
-		if c >= n {
+		if c >= n || c < 0 {
+			if mismatch == nil {
+				mismatch = fmt.Errorf(
+					"explore: schedule mismatch at decision %d: index %d of %d options — the schedule was recorded against a different program or config",
+					depth, c, n)
+			}
 			c = 0
 		}
+		depth++
 		if preferred >= 0 {
 			switch {
 			case c == 0:
@@ -380,7 +421,13 @@ func ReplaySchedule(prog sim.Program, cfg sim.Config, schedule []int) *sim.Resul
 		}
 		return c
 	}
-	return sim.Run(cfg, prog)
+	r := sim.Run(cfg, prog)
+	if mismatch == nil && depth < len(schedule) {
+		mismatch = fmt.Errorf(
+			"explore: schedule mismatch: run ended after %d decisions but the schedule holds %d — the schedule was recorded against a different program or config",
+			depth, len(schedule))
+	}
+	return r, mismatch
 }
 
 // VerifyAllSchedules is the patch-verification entry point: it reports

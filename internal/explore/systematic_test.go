@@ -42,7 +42,10 @@ func TestReplayReproducesTheFailure(t *testing.T) {
 	if res.FirstFailure == nil {
 		t.Fatal("no failing schedule found")
 	}
-	replay := ReplaySchedule(tinyRace, sim.Config{}, res.FailureSchedule)
+	replay, err := ReplaySchedule(tinyRace, sim.Config{}, res.FailureSchedule)
+	if err != nil {
+		t.Fatalf("replay mismatch: %v", err)
+	}
 	if !replay.Failed() {
 		t.Fatal("replaying the recorded schedule did not reproduce the failure")
 	}

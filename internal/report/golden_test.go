@@ -1,0 +1,69 @@
+package report
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files under testdata/")
+
+// golden compares got against testdata/<name>.golden, rewriting the file
+// when -update is set.
+func golden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("%s rendering changed; rerun with -update if intended.\n--- got ---\n%s--- want ---\n%s", name, got, want)
+	}
+}
+
+// TestTableGolden pins the full table rendering — title, alignment with a
+// cell wider than its header, an underfilled row, and the note line.
+func TestTableGolden(t *testing.T) {
+	tb := &Table{
+		Title:  "Table X. Goroutines per threading model.",
+		Note:   "reconstructed from the study set, not the original testbed",
+		Header: []string{"workload", "go", "c", "ratio"},
+	}
+	tb.AddRow("sync-small", "82", Itoa(7), Ftoa(11.714))
+	tb.AddRow("async-stream-very-long-name", "164", "7", Ftoa(23.4286))
+	tb.AddRow("multi-conn", "89", "7", Pct(0.127))
+	golden(t, "table", tb.String())
+}
+
+// TestTableGoldenBare pins the minimal form: no title, no note, one row.
+func TestTableGoldenBare(t *testing.T) {
+	tb := &Table{Header: []string{"k", "v"}}
+	tb.AddRow("x", "1")
+	golden(t, "table_bare", tb.String())
+}
+
+// TestFigureGolden pins the sparkline rendering: a rising series, a flat
+// series (all-low glyphs), and a single-point series, with endpoint labels.
+func TestFigureGolden(t *testing.T) {
+	f := &Figure{
+		Title: "Figure Y. Bugs over time.", XLabel: "year", YLabel: "count",
+		Series: []Series{
+			{Label: "blocking", Points: [][2]float64{{0, 1}, {1, 4}, {2, 2}, {3, 9}, {4, 16}}},
+			{Label: "flat", Points: [][2]float64{{0, 3}, {1, 3}, {2, 3}}},
+			{Label: "single", Points: [][2]float64{{0, 5}}},
+			{Label: "empty"},
+		},
+	}
+	golden(t, "figure", f.String())
+}

@@ -1,0 +1,117 @@
+package rpc
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestZeroWorkerPoolDefaults: a worker-pool server constructed with a
+// zero (or negative) pool size must fall back to gRPC-C's five
+// thread-creation sites rather than deadlock with no workers at all.
+func TestZeroWorkerPoolDefaults(t *testing.T) {
+	for _, size := range []int{0, -3} {
+		tr := NewTracker()
+		srv := NewServer(ModelWorkerPool, size, EchoHandler(0), tr)
+		if srv.pool != 5 {
+			t.Fatalf("pool size %d: effective pool %d, want default 5", size, srv.pool)
+		}
+		cl := Dial(srv, ModelWorkerPool, tr, 4)
+		for i := 0; i < 10; i++ {
+			resp := cl.Call("echo", []byte{byte(i)})
+			if err := Validate([]byte{byte(i)}, resp); err != nil {
+				t.Fatalf("pool size %d, request %d: %v", size, i, err)
+			}
+		}
+		cl.Hangup()
+		srv.Close()
+		// Five workers plus the one connection's receive loop.
+		if got := tr.Created(); got != 6 {
+			t.Errorf("pool size %d: %d tracked goroutines, want 6 (5 workers + 1 receive loop)", size, got)
+		}
+	}
+}
+
+// TestBurstExceedsPool: when far more requests are in flight than the pool
+// has workers, every request must still complete — the dispatch queue
+// absorbs the burst — and the server must NOT grow beyond its fixed pool,
+// which is the defining difference from the goroutine-per-request model.
+func TestBurstExceedsPool(t *testing.T) {
+	const pool, burst = 2, 64
+	tr := NewTracker()
+	srv := NewServer(ModelWorkerPool, pool, EchoHandler(0), tr)
+	cl := Dial(srv, ModelWorkerPool, tr, burst)
+
+	// Responses on a shared connection are not matched to callers by ID, so
+	// every concurrent request carries the same payload.
+	payload := []byte("burst")
+	before := tr.Created()
+	var wg sync.WaitGroup
+	errs := make(chan error, burst)
+	for i := 0; i < burst; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp := cl.Call("echo", payload)
+			errs <- Validate(payload, resp)
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := tr.Created(); got != before {
+		t.Errorf("burst of %d requests grew the server by %d goroutines; the pool must stay fixed at %d",
+			burst, got-before, pool)
+	}
+	cl.Hangup()
+	srv.Close()
+}
+
+// TestBurstPerRequestModel is the contrast case: the same burst under
+// goroutine-per-request spawns one handler per request on top of the
+// receive loop.
+func TestBurstPerRequestModel(t *testing.T) {
+	const burst = 32
+	tr := NewTracker()
+	srv := NewServer(ModelGoroutinePerRequest, 0, EchoHandler(0), tr)
+	cl := Dial(srv, ModelGoroutinePerRequest, tr, burst)
+	for i := 0; i < burst; i++ {
+		if err := Validate([]byte{1}, cl.Call("echo", []byte{1})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cl.Hangup()
+	srv.Close()
+	// One receive loop + one handler per request.
+	if got := tr.Created(); got != burst+1 {
+		t.Errorf("%d tracked goroutines, want %d (1 receive loop + %d handlers)", got, burst+1, burst)
+	}
+}
+
+// TestServerCloseIdempotent: a second Close must return immediately rather
+// than re-close the work channel (which would panic) or hang on the pool.
+func TestServerCloseIdempotent(t *testing.T) {
+	tr := NewTracker()
+	srv := NewServer(ModelWorkerPool, 2, EchoHandler(0), tr)
+	cl := Dial(srv, ModelWorkerPool, tr, 1)
+	cl.Call("echo", []byte("x"))
+	cl.Hangup()
+	srv.Close()
+	srv.Close()
+}
+
+// TestTrackerEmptyWindow: a tracker that never spawned anything reports a
+// zero normalized lifetime instead of dividing by zero.
+func TestTrackerEmptyWindow(t *testing.T) {
+	tr := NewTracker()
+	tr.Finish()
+	if got := tr.AvgLifetimeNormalized(); got != 0 {
+		t.Errorf("empty tracker lifetime = %v, want 0", got)
+	}
+	if tr.Created() != 0 {
+		t.Errorf("empty tracker created = %d", tr.Created())
+	}
+}

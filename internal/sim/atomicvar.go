@@ -29,6 +29,7 @@ func NewAtomicInt64(t *T, name string) *AtomicInt64 {
 // Load atomically reads the value.
 func (a *AtomicInt64) Load(t *T) int64 {
 	t.yield()
+	t.touch(ObjSync, a.id, false)
 	t.g.vc.Join(a.vc)
 	return a.val
 }
@@ -36,6 +37,7 @@ func (a *AtomicInt64) Load(t *T) int64 {
 // Store atomically writes the value.
 func (a *AtomicInt64) Store(t *T, v int64) {
 	t.yield()
+	t.touch(ObjSync, a.id, true)
 	a.vc.Join(t.g.vc)
 	t.g.tick()
 	a.val = v
@@ -44,6 +46,7 @@ func (a *AtomicInt64) Store(t *T, v int64) {
 // Add atomically adds delta and returns the new value.
 func (a *AtomicInt64) Add(t *T, delta int64) int64 {
 	t.yield()
+	t.touch(ObjSync, a.id, true)
 	t.g.vc.Join(a.vc)
 	a.vc.Join(t.g.vc)
 	t.g.tick()
@@ -54,6 +57,7 @@ func (a *AtomicInt64) Add(t *T, delta int64) int64 {
 // CompareAndSwap performs the atomic CAS.
 func (a *AtomicInt64) CompareAndSwap(t *T, old, new int64) bool {
 	t.yield()
+	t.touch(ObjSync, a.id, true)
 	t.g.vc.Join(a.vc)
 	if a.val != old {
 		return false

@@ -178,9 +178,11 @@ func (c *chanCore) completeRecv(t *T) (any, bool) {
 func (c *chanCore) send(t *T, v any) {
 	t.yield()
 	if c == nil {
+		t.touch(ObjChan, 0, true)
 		t.emitSync(OpChanNil, "nil channel (send)", 0, 0)
 		t.blockForever(BlockChanSend, "nil channel")
 	}
+	t.touch(ObjChan, c.id, true)
 	if c.closed {
 		t.emitSync(OpChanSendClosed, c.name, 0, 0)
 	} else {
@@ -204,9 +206,11 @@ func (c *chanCore) send(t *T, v any) {
 func (c *chanCore) recv(t *T) (any, bool) {
 	t.yield()
 	if c == nil {
+		t.touch(ObjChan, 0, true)
 		t.emitSync(OpChanNil, "nil channel (recv)", 0, 0)
 		t.blockForever(BlockChanRecv, "nil channel")
 	}
+	t.touch(ObjChan, c.id, true)
 	t.emitSync(OpChanRecv, c.name, 0, 0)
 	if c.recvReady() {
 		return c.completeRecv(t)
@@ -221,9 +225,11 @@ func (c *chanCore) recv(t *T) (any, bool) {
 func (c *chanCore) close(t *T) {
 	t.yield()
 	if c == nil {
+		t.touch(ObjChan, 0, true)
 		t.emitSync(OpChanNil, "nil channel (close)", 0, 0)
 		t.Panicf("close of nil channel")
 	}
+	t.touch(ObjChan, c.id, true)
 	if c.closed {
 		t.emitSync(OpChanCloseClosed, c.name, 0, 0)
 		t.Panicf("close of closed channel %s", c.name)
@@ -260,6 +266,7 @@ func (c *chanCore) close(t *T) {
 // without blocking: parked receiver first, then buffer space, else dropped.
 // It returns whether the value was delivered.
 func (c *chanCore) trySendFromRuntime(vc hb.VC, v any) bool {
+	c.rt.touchOp(ObjChan, c.id, true)
 	if c.closed {
 		return false
 	}
@@ -281,6 +288,7 @@ func (c *chanCore) trySendFromRuntime(vc hb.VC, v any) bool {
 // cancellation driven by a timer). Closing an already-closed channel is a
 // no-op here because the runtime uses it idempotently.
 func (c *chanCore) closeFromRuntime(vc hb.VC) {
+	c.rt.touchOp(ObjChan, c.id, true)
 	if c.closed {
 		return
 	}

@@ -35,6 +35,7 @@ func (c *Cond) Wait(t *T) {
 	}
 	t.emitSync(OpCondWait, c.name, 0, 0)
 	c.mu.Unlock(t)
+	t.touch(ObjSync, c.id, true)
 	c.waiters = append(c.waiters, t.g)
 	t.block(BlockCond, c.name)
 	t.g.vc.Join(c.vc)
@@ -44,6 +45,8 @@ func (c *Cond) Wait(t *T) {
 // Signal wakes one waiter, if any.
 func (c *Cond) Signal(t *T) {
 	t.yield()
+	t.touch(ObjSync, c.id, true)
+	t.touch(ObjSync, c.mu.id, true)
 	c.vc.Join(t.g.vc)
 	t.g.tick()
 	c.rt.event(t.g, "cond-signal", c.name, "")
@@ -59,6 +62,8 @@ func (c *Cond) Signal(t *T) {
 // Broadcast wakes every waiter.
 func (c *Cond) Broadcast(t *T) {
 	t.yield()
+	t.touch(ObjSync, c.id, true)
+	t.touch(ObjSync, c.mu.id, true)
 	c.vc.Join(t.g.vc)
 	t.g.tick()
 	c.rt.event(t.g, "cond-broadcast", c.name, "")

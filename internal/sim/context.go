@@ -83,6 +83,8 @@ func WithCancel(t *T, parent *Context) (*Context, CancelFunc) {
 	cancelled := Chan[struct{}]{core: t.rt.newChanCore(ctx.name+".cancel", 0)}
 	cancel := func(ct *T) {
 		ct.yield()
+		ct.touch(ObjChan, ctx.done.core.id, true)
+		ct.touch(ObjChan, cancelled.core.id, true)
 		if ctx.err == nil {
 			ctx.err = ErrCanceled
 			ctx.done.core.closeFromRuntime(ct.g.vc)

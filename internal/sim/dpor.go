@@ -1,0 +1,150 @@
+package sim
+
+// Scheduling metadata for dynamic partial-order reduction (package explore).
+//
+// The systematic explorer enumerates schedules by replaying decision
+// sequences through Config.Chooser. Plain DFS over those decisions explores
+// every interleaving — including the astronomically many that differ only in
+// the order of *independent* steps (two goroutines touching disjoint
+// objects). To prune those, the explorer needs to know, for every scheduler
+// transition, which goroutine ran and which objects it touched. This file is
+// that reporting channel: a per-choice event hook that costs nothing when
+// unset (a nil check per dispatch) and, when set, streams one SchedStep per
+// transition plus one SelectPoint per ready-select decision.
+//
+// A transition is everything a goroutine does between being picked by the
+// scheduler and handing the CPU back: every primitive operation starts with
+// a yield, so a transition is exactly one operation attempt (a send, a lock
+// acquisition that may block, a shared-variable access, ...). The footprint
+// of a transition is the set of objects that operation examines or mutates,
+// reported conservatively: any two transitions of different goroutines with
+// disjoint footprints commute (executing them in either order reaches the
+// same state and neither disables the other), which is the independence
+// relation partial-order reduction is built on.
+
+// ObjClass classifies the object a footprint entry refers to. IDs are only
+// comparable within a class.
+type ObjClass uint8
+
+const (
+	// ObjVar: an instrumented Var; ID is VarMeta.ID. Loads report
+	// Write=false, so concurrent readers stay independent.
+	ObjVar ObjClass = iota
+	// ObjChan: a chanCore-backed object (channels, and the semaphore,
+	// pipe, and context libraries built on them); ID is the channel id.
+	// Nil-channel operations report ID 0 — a distinct object nothing else
+	// touches, which is exact: a nil-channel operation commutes with
+	// everything (it only parks its own goroutine forever).
+	ObjChan
+	// ObjSync: a mutex, rwmutex, waitgroup, once, cond, atomic, or map
+	// variable; ID is the runtime's nextSyncID number.
+	ObjSync
+	// ObjSpawn: goroutine creation; ID is the child goroutine id. Nothing
+	// else ever touches this object — the entry exists so the explorer can
+	// root the child's causal clock in the spawning transition.
+	ObjSpawn
+	// ObjWorld: virtual time. Timer and ticker API calls and scheduler-
+	// driven timer fires all touch this single object, making every
+	// time-driven transition conservatively dependent on every other.
+	ObjWorld
+)
+
+// OpRef is one footprint entry: an object the transition examined or
+// mutated. Write=false is only reported for operations that commute with
+// each other on the same object (Var and atomic loads).
+type OpRef struct {
+	Class ObjClass
+	ID    int
+	Write bool
+}
+
+// SchedStep describes one completed scheduler transition.
+type SchedStep struct {
+	// G is the goroutine that executed the transition.
+	G int
+	// Decision is the index of the Chooser call that picked G (the same
+	// numbering as the explorer's recorded decision sequence), or -1 when
+	// the pick was forced (a single runnable goroutine, or no Chooser).
+	Decision int
+	// OptionGs lists the runnable goroutine ids the pick chose among, in
+	// the scheduler's option order. Preferred indexes the option that
+	// continues the previously running goroutine (-1 when none).
+	OptionGs  []int
+	Preferred int
+	// Ops is the transition's object footprint, in program order.
+	Ops []OpRef
+}
+
+// DPORObserver receives the scheduling metadata stream of one run. All
+// slices in the callbacks are reused by the runtime: clone what must be
+// retained. Callbacks fire on the simulated program's host goroutines,
+// strictly serially (the runtime's direct-handoff discipline guarantees a
+// single transition is in flight at any moment).
+type DPORObserver interface {
+	// Step is invoked when a transition completes — at the next scheduler
+	// pick, or once from Run's caller when the run ends.
+	Step(st SchedStep)
+	// SelectPoint is invoked when a ready select consumed Chooser decision
+	// index dec to choose among ncases ready cases; the decision belongs
+	// to goroutine g's transition currently in flight.
+	SelectPoint(g, dec, ncases int)
+}
+
+// dporState is the runtime's accumulator for the in-flight transition.
+type dporState struct {
+	obs     DPORObserver
+	active  bool // a transition is in flight
+	pending SchedStep
+	gids    []int // backing for pending.OptionGs
+	ops     []OpRef
+}
+
+// dporBegin opens a new transition record after the scheduler picked g.
+// decision is the Chooser call index consumed by the pick, -1 when forced.
+func (rt *runtime) dporBegin(g *G, decision int, runnable []*G, preferred int) {
+	d := rt.dpor
+	d.flush()
+	d.gids = d.gids[:0]
+	for _, r := range runnable {
+		d.gids = append(d.gids, r.id)
+	}
+	d.ops = d.ops[:0]
+	d.pending = SchedStep{
+		G: g.id, Decision: decision, OptionGs: d.gids, Preferred: preferred,
+	}
+	d.active = true
+}
+
+// flush delivers the in-flight transition, if any.
+func (d *dporState) flush() {
+	if d == nil || !d.active {
+		return
+	}
+	d.active = false
+	d.pending.Ops = d.ops
+	d.obs.Step(d.pending)
+}
+
+// touch appends one footprint entry to the goroutine's in-flight transition.
+// It is called by every primitive operation immediately after its scheduling
+// yield, and is a no-op when no DPOR observer is configured.
+func (t *T) touch(cls ObjClass, id int, write bool) {
+	t.rt.touchOp(cls, id, write)
+}
+
+// touchOp is touch from runtime context (timer fires attribute their effect
+// to whichever transition is in flight).
+func (rt *runtime) touchOp(cls ObjClass, id int, write bool) {
+	d := rt.dpor
+	if d == nil || !d.active {
+		return
+	}
+	d.ops = append(d.ops, OpRef{Class: cls, ID: id, Write: write})
+}
+
+// dporSelect reports a ready-select decision.
+func (t *T) dporSelect(dec, ncases int) {
+	if d := t.rt.dpor; d != nil && dec >= 0 {
+		d.obs.SelectPoint(t.g.id, dec, ncases)
+	}
+}

@@ -273,6 +273,9 @@ func (t *T) Go(fn Program) {
 // the spawn happens-before everything the child does.
 func (t *T) GoNamed(name string, fn Program) {
 	child := t.rt.spawn(name, fn)
+	// The spawn belongs to the transition in flight (the yield below opens
+	// the next one); the footprint entry roots the child's causal clock.
+	t.touch(ObjSpawn, child.id, true)
 	child.vc.Join(t.g.vc)
 	child.vc.Tick(child.id)
 	t.g.vc.Tick(t.g.id)

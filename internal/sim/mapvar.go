@@ -50,6 +50,7 @@ func (mv *MapVar[K, V]) observe(t *T, write bool) {
 // point; any overlapping access crashes, as the Go runtime would.
 func (mv *MapVar[K, V]) Store(t *T, k K, v V) {
 	t.yield()
+	t.touch(ObjVar, mv.meta.ID, true)
 	mv.observe(t, true)
 	if mv.writing != 0 && mv.writing != t.g.id {
 		t.Panicf("fatal error: concurrent map writes on %s", mv.meta.Name)
@@ -59,6 +60,7 @@ func (mv *MapVar[K, V]) Store(t *T, k K, v V) {
 	}
 	mv.writing = t.g.id
 	t.yield() // the write is not atomic: the window where crashes happen
+	t.touch(ObjVar, mv.meta.ID, true)
 	mv.writing = 0
 	mv.m[k] = v
 }
@@ -66,12 +68,14 @@ func (mv *MapVar[K, V]) Store(t *T, k K, v V) {
 // Load reads a key.
 func (mv *MapVar[K, V]) Load(t *T, k K) (V, bool) {
 	t.yield()
+	t.touch(ObjVar, mv.meta.ID, false)
 	mv.observe(t, false)
 	if mv.writing != 0 && mv.writing != t.g.id {
 		t.Panicf("fatal error: concurrent map read and map write on %s", mv.meta.Name)
 	}
 	mv.reading[t.g.id]++
 	t.yield()
+	t.touch(ObjVar, mv.meta.ID, false)
 	mv.reading[t.g.id]--
 	if mv.reading[t.g.id] == 0 {
 		delete(mv.reading, t.g.id)
@@ -83,6 +87,7 @@ func (mv *MapVar[K, V]) Load(t *T, k K) (V, bool) {
 // Delete removes a key, with the same write-window semantics as Store.
 func (mv *MapVar[K, V]) Delete(t *T, k K) {
 	t.yield()
+	t.touch(ObjVar, mv.meta.ID, true)
 	mv.observe(t, true)
 	if mv.writing != 0 && mv.writing != t.g.id {
 		t.Panicf("fatal error: concurrent map writes on %s", mv.meta.Name)
@@ -92,6 +97,7 @@ func (mv *MapVar[K, V]) Delete(t *T, k K) {
 	}
 	mv.writing = t.g.id
 	t.yield()
+	t.touch(ObjVar, mv.meta.ID, true)
 	mv.writing = 0
 	delete(mv.m, k)
 }
@@ -99,6 +105,7 @@ func (mv *MapVar[K, V]) Delete(t *T, k K) {
 // Len reports the map size (also a read).
 func (mv *MapVar[K, V]) Len(t *T) int {
 	t.yield()
+	t.touch(ObjVar, mv.meta.ID, false)
 	mv.observe(t, false)
 	if mv.writing != 0 && mv.writing != t.g.id {
 		t.Panicf("fatal error: concurrent map read and map write on %s", mv.meta.Name)

@@ -31,6 +31,7 @@ func NewMutex(t *T, name string) *Mutex {
 // held by the calling goroutine itself.
 func (m *Mutex) Lock(t *T) {
 	t.yield()
+	t.touch(ObjSync, m.id, true)
 	if m.holder == nil {
 		m.holder = t.g
 		t.g.vc.Join(m.vc)
@@ -51,6 +52,7 @@ func (m *Mutex) Lock(t *T) {
 // (sync: unlock of unlocked mutex).
 func (m *Mutex) Unlock(t *T) {
 	t.yield()
+	t.touch(ObjSync, m.id, true)
 	if m.holder != t.g {
 		t.Panicf("sync: unlock of unlocked mutex %s", m.name)
 	}
@@ -72,6 +74,7 @@ func (m *Mutex) Unlock(t *T) {
 // TryLock attempts the lock without blocking and reports success.
 func (m *Mutex) TryLock(t *T) bool {
 	t.yield()
+	t.touch(ObjSync, m.id, true)
 	if m.holder != nil {
 		return false
 	}

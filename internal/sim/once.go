@@ -30,6 +30,7 @@ func NewOnce(t *T, name string) *Once {
 // Do runs f if and only if this is the first Do call on o.
 func (o *Once) Do(t *T, f func(t *T)) {
 	t.yield()
+	t.touch(ObjSync, o.id, true)
 	switch o.state {
 	case 2:
 		t.g.vc.Join(o.vc)

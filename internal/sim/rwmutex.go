@@ -42,6 +42,7 @@ func NewRWMutex(t *T, name string) *RWMutex {
 // blocks — even when the caller already holds a read lock.
 func (rw *RWMutex) RLock(t *T) {
 	t.yield()
+	t.touch(ObjSync, rw.id, true)
 	if rw.writer == nil && len(rw.waitingWriters) == 0 {
 		rw.readers[t.g]++
 		t.g.vc.Join(rw.vcWriter)
@@ -60,6 +61,7 @@ func (rw *RWMutex) RLock(t *T) {
 // RUnlock releases a read lock.
 func (rw *RWMutex) RUnlock(t *T) {
 	t.yield()
+	t.touch(ObjSync, rw.id, true)
 	if rw.readers[t.g] == 0 {
 		t.Panicf("sync: RUnlock of unlocked RWMutex %s", rw.name)
 	}
@@ -79,6 +81,7 @@ func (rw *RWMutex) RUnlock(t *T) {
 // writer release.
 func (rw *RWMutex) Lock(t *T) {
 	t.yield()
+	t.touch(ObjSync, rw.id, true)
 	if rw.writer == nil && len(rw.readers) == 0 && len(rw.waitingWriters) == 0 {
 		rw.writer = t.g
 		t.g.vc.Join(rw.vcWriter)
@@ -98,6 +101,7 @@ func (rw *RWMutex) Lock(t *T) {
 // Unlock releases the write lock.
 func (rw *RWMutex) Unlock(t *T) {
 	t.yield()
+	t.touch(ObjSync, rw.id, true)
 	if rw.writer != t.g {
 		t.Panicf("sync: Unlock of unlocked RWMutex %s", rw.name)
 	}

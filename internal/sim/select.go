@@ -54,6 +54,15 @@ func Default(fn func()) Case {
 // of the case that ran.
 func Select(t *T, cases ...Case) int {
 	t.yield()
+	// The whole select — readiness checks, completing the chosen case, or
+	// registering on every case channel — is one transition touching every
+	// case's channel (conservatively: the chosen case's effect is on one of
+	// them, and a blocked select mutates all their wait queues).
+	for _, c := range cases {
+		if c.core != nil {
+			t.touch(ObjChan, c.core.id, true)
+		}
+	}
 	// Gather ready cases (nil-channel cases are never ready).
 	var ready []int
 	defaultIdx := -1
@@ -74,7 +83,9 @@ func Select(t *T, cases ...Case) int {
 	}
 	if len(ready) > 0 {
 		// Uniform random choice among ready cases, as in real Go.
-		idx := ready[t.rt.choose(len(ready), -1)]
+		pick := t.rt.choose(len(ready), -1)
+		t.dporSelect(t.rt.lastDecision, len(ready))
+		idx := ready[pick]
 		runCase(t, cases[idx])
 		return idx
 	}

@@ -91,6 +91,11 @@ type Config struct {
 	// to bound preemptions CHESS-style. T.Rand (input randomness) stays
 	// on the seed either way.
 	Chooser func(n, preferred int) int
+	// DPOR, when non-nil, receives per-transition scheduling metadata
+	// (which goroutine ran, which objects it touched, which goroutines the
+	// pick chose among) — the raw material for dynamic partial-order
+	// reduction in package explore. See DPORObserver.
+	DPOR DPORObserver
 	// Trace records an event log in the Result when true.
 	Trace bool
 	// Name labels the run in reports.
@@ -240,6 +245,12 @@ type runtime struct {
 	maxSteps      int64
 	leakThreshold int64
 	runq          []*G // scratch buffer for dispatch's runnable scan
+	// dpor accumulates the in-flight transition's metadata when Config.DPOR
+	// is set; chooserCalls numbers Chooser invocations so decision indices
+	// line up with the explorer's recorded sequence.
+	dpor         *dporState
+	chooserCalls int
+	lastDecision int // Chooser call index of the latest choose, -1 if forced
 }
 
 func newRuntime(cfg Config) *runtime {
@@ -259,6 +270,9 @@ func newRuntime(cfg Config) *runtime {
 		if half := rt.maxSteps / 2; half < rt.leakThreshold {
 			rt.leakThreshold = half
 		}
+	}
+	if cfg.DPOR != nil {
+		rt.dpor = &dporState{obs: cfg.DPOR}
 	}
 	return rt
 }
@@ -316,6 +330,9 @@ func (rt *runtime) dispatch() *G {
 			}
 		}
 		g := runnable[rt.choose(len(runnable), preferred)]
+		if rt.dpor != nil {
+			rt.dporBegin(g, rt.lastDecision, runnable, preferred)
+		}
 		rt.lastG = g
 		rt.step++
 		return g
@@ -335,10 +352,13 @@ func (rt *runtime) endRun() {
 // preferred is the option continuing the currently running goroutine, -1
 // when there is none.
 func (rt *runtime) choose(n, preferred int) int {
+	rt.lastDecision = -1
 	if n <= 1 {
 		return 0
 	}
 	if rt.cfg.Chooser != nil {
+		rt.lastDecision = rt.chooserCalls
+		rt.chooserCalls++
 		idx := rt.cfg.Chooser(n, preferred)
 		if idx < 0 || idx >= n {
 			idx = 0
@@ -417,6 +437,10 @@ func (rt *runtime) teardown() {
 }
 
 func (rt *runtime) finalize() *Result {
+	// Deliver the final transition's metadata: no further pick will flush
+	// it. Safe here — finalize runs on Run's caller after every simulated
+	// goroutine has parked or exited.
+	rt.dpor.flush()
 	res := &Result{
 		Name:              rt.cfg.Name,
 		Seed:              rt.cfg.Seed,

@@ -79,6 +79,7 @@ func (rt *runtime) fireDueTimers() bool {
 		if e.stopped {
 			continue
 		}
+		rt.touchOp(ObjWorld, 0, true)
 		e.fire()
 		fired = true
 	}
@@ -89,6 +90,7 @@ func (rt *runtime) fireDueTimers() bool {
 // time.Sleep and a computation taking that long.
 func (t *T) Sleep(d time.Duration) {
 	g := t.g
+	t.touch(ObjWorld, 0, true)
 	t.rt.scheduleTimer(d, func() { t.rt.unblock(g) })
 	t.block(BlockSleep, fmt.Sprintf("sleep %v", d))
 }
@@ -117,6 +119,7 @@ func NewTimer(t *T, d time.Duration) *Timer {
 		C:  Chan[int64]{core: t.rt.newChanCore(fmt.Sprintf("timer.C(%v)", d), 1)},
 		vc: t.g.vc.Clone(),
 	}
+	t.touch(ObjWorld, 0, true)
 	t.g.tick()
 	tm.arm(d)
 	return tm
@@ -133,6 +136,7 @@ func (tm *Timer) arm(d time.Duration) {
 // Stop disarms the timer and reports whether it was still pending.
 func (tm *Timer) Stop(t *T) bool {
 	t.yield()
+	t.touch(ObjWorld, 0, true)
 	if tm.entry == nil || tm.entry.stopped || tm.fired {
 		return false
 	}
@@ -144,6 +148,7 @@ func (tm *Timer) Stop(t *T) bool {
 // happens-before edge to the eventual receive.
 func (tm *Timer) Reset(t *T, d time.Duration) {
 	t.yield()
+	t.touch(ObjWorld, 0, true)
 	if tm.entry != nil {
 		tm.entry.stopped = true
 	}
@@ -195,6 +200,7 @@ func NewTickerN(t *T, d time.Duration, n int) *Ticker {
 		vc:       t.g.vc.Clone(),
 		fires:    n,
 	}
+	t.touch(ObjWorld, 0, true)
 	t.g.tick()
 	tk.arm()
 	return tk
@@ -216,6 +222,7 @@ func (tk *Ticker) arm() {
 // Stop stops the ticker.
 func (tk *Ticker) Stop(t *T) {
 	t.yield()
+	t.touch(ObjWorld, 0, true)
 	tk.stopped = true
 	if tk.entry != nil {
 		tk.entry.stopped = true

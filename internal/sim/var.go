@@ -79,6 +79,7 @@ func (v *Var[V]) access(t *T, write bool) {
 // between synchronization operations).
 func (v *Var[V]) Load(t *T) V {
 	t.yield()
+	t.touch(ObjVar, v.meta.ID, false)
 	v.access(t, false)
 	v.rt.event(t.g, "read", v.meta.Name, "")
 	return v.val
@@ -87,6 +88,7 @@ func (v *Var[V]) Load(t *T) V {
 // Store writes the variable.
 func (v *Var[V]) Store(t *T, x V) {
 	t.yield()
+	t.touch(ObjVar, v.meta.ID, true)
 	v.access(t, true)
 	v.rt.event(t.g, "write", v.meta.Name, "")
 	v.val = x

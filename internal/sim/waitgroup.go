@@ -35,6 +35,7 @@ func NewWaitGroup(t *T, name string) *WaitGroup {
 // Add adds delta to the counter, panicking if the counter goes negative.
 func (wg *WaitGroup) Add(t *T, delta int) {
 	t.yield()
+	t.touch(ObjSync, wg.id, true)
 	wg.counter += delta
 	wg.rt.event(t.g, "wg-add", wg.name, fmt.Sprintf("%+d -> %d", delta, wg.counter))
 	t.emitSync(OpWGAdd, wg.name, wg.counter, delta)
@@ -50,6 +51,7 @@ func (wg *WaitGroup) Add(t *T, delta int) {
 // Done decrements the counter.
 func (wg *WaitGroup) Done(t *T) {
 	t.yield()
+	t.touch(ObjSync, wg.id, true)
 	wg.counter--
 	wg.vcDone.Join(t.g.vc)
 	t.g.tick()
@@ -68,6 +70,7 @@ func (wg *WaitGroup) Done(t *T) {
 // once — which is exactly why an Add racing with Wait is a bug.
 func (wg *WaitGroup) Wait(t *T) {
 	t.yield()
+	t.touch(ObjSync, wg.id, true)
 	t.emitSync(OpWGWaitStart, wg.name, wg.counter, 0)
 	if wg.counter == 0 {
 		t.g.vc.Join(wg.vcDone)
