@@ -9,9 +9,12 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 
 	"goconcbugs/internal/core"
 	"goconcbugs/internal/deadlock"
+	"goconcbugs/internal/detect"
+	"goconcbugs/internal/event"
 	"goconcbugs/internal/explore"
 	"goconcbugs/internal/kernels"
 	"goconcbugs/internal/race"
@@ -339,6 +342,62 @@ func BenchmarkDetectorComparison(b *testing.B) {
 	}
 }
 
+// BenchmarkDetectorPipeline measures the event-stream pipeline's reason to
+// exist: one instrumented pass with race+vet+leak attached versus three
+// sequential single-detector runs of the same kernel. The printed per-kernel
+// table (the paper-figure kernels) is the "§ Detector pipeline" table in
+// EXPERIMENTS.md.
+func BenchmarkDetectorPipeline(b *testing.B) {
+	dets := []detect.Detector{
+		detect.MustLookup("race"), detect.MustLookup("vet"), detect.MustLookup("leak"),
+	}
+	var figureKernels []kernels.Kernel
+	for _, k := range kernels.All() {
+		if k.Figure > 0 {
+			figureKernels = append(figureKernels, k)
+		}
+	}
+	singlePass := func(k kernels.Kernel) {
+		detect.RunAll(k.Config(1), k.Buggy, dets...)
+	}
+	sequential := func(k kernels.Kernel) {
+		for _, d := range dets {
+			detect.RunAll(k.Config(1), k.Buggy, d)
+		}
+	}
+	printOnce("detpipeline", func() {
+		fmt.Printf("\n%-34s %14s %14s %7s\n", "kernel (buggy, race+vet+leak)", "single pass", "3 sequential", "ratio")
+		for _, k := range figureKernels {
+			const reps = 50
+			measure := func(f func(kernels.Kernel)) time.Duration {
+				start := time.Now()
+				for i := 0; i < reps; i++ {
+					f(k)
+				}
+				return time.Since(start) / reps
+			}
+			measure(singlePass) // warm both paths once before timing
+			measure(sequential)
+			sp, seq := measure(singlePass), measure(sequential)
+			fmt.Printf("%-34s %14v %14v %6.1fx\n", k.ID, sp, seq, float64(seq)/float64(sp))
+		}
+	})
+	b.Run("single-pass", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, k := range figureKernels {
+				singlePass(k)
+			}
+		}
+	})
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, k := range figureKernels {
+				sequential(k)
+			}
+		}
+	})
+}
+
 // BenchmarkSystematicExploration measures exhaustive schedule enumeration
 // on the Figure 10 kernel (a few thousand schedules).
 func BenchmarkSystematicExploration(b *testing.B) {
@@ -439,7 +498,7 @@ func BenchmarkVetOverhead(b *testing.B) {
 	b.Run("with-vet", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			m := vet.New()
-			sim.Run(sim.Config{Seed: int64(i), Monitor: m}, prog)
+			sim.Run(sim.Config{Seed: int64(i), Sinks: []event.Sink{m}}, prog)
 		}
 	})
 }
@@ -502,7 +561,7 @@ func BenchmarkRaceDetectorOverhead(b *testing.B) {
 	})
 	b.Run("with-detector", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			sim.Run(sim.Config{Seed: int64(i), Observer: race.New(0)}, prog)
+			sim.Run(sim.Config{Seed: int64(i), Sinks: []event.Sink{race.New(0)}}, prog)
 		}
 	})
 }

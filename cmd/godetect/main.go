@@ -8,6 +8,8 @@
 //	godetect -all                         # sweep every kernel
 //	godetect -kernel grpc-lost-update -trace -seed 3
 //	godetect -kernel docker-abba-order -systematic -dpor
+//	godetect -detectors                   # list the detector registry
+//	godetect -kernel etcd-wal-doubleclose -with race,vet,leak
 package main
 
 import (
@@ -17,6 +19,8 @@ import (
 
 	"goconcbugs/internal/corpus"
 	"goconcbugs/internal/deadlock"
+	"goconcbugs/internal/detect"
+	"goconcbugs/internal/event"
 	"goconcbugs/internal/explore"
 	"goconcbugs/internal/kernels"
 	"goconcbugs/internal/race"
@@ -42,8 +46,16 @@ func main() {
 	conf := flag.Bool("conformance", false, "differentially test the sim against the real Go runtime on generated programs")
 	programs := flag.Int("programs", 200, "with -conformance: number of generated programs")
 	emitsrc := flag.Bool("emitsrc", false, "with -conformance: print the program generated for -seed as standalone Go source and exit")
+	detectorsFlag := flag.Bool("detectors", false, "list the detector registry")
+	with := flag.String("with", "", "comma-separated detector set to sweep in one pass per run (see -detectors); non-zero exit if one fires on a -fixed kernel")
 	flag.Parse()
 
+	if *detectorsFlag {
+		for _, d := range detect.All() {
+			fmt.Printf("%-8s %s\n", d.Name, d.Desc)
+		}
+		return
+	}
 	if *catalog {
 		printCatalog()
 		return
@@ -52,19 +64,38 @@ func main() {
 		os.Exit(runConformance(*programs, *seed, *emitsrc))
 	}
 
+	var dets []detect.Detector
+	if *with != "" {
+		var err error
+		if dets, err = detect.Parse(*with); err != nil {
+			fmt.Fprintln(os.Stderr, "godetect:", err)
+			os.Exit(1)
+		}
+	}
+
 	switch {
 	case *list:
 		listKernels()
 	case *all:
+		fired := false
 		for _, k := range kernels.All() {
 			if *systematic {
 				systematicSweep(k, *fixed, *maxRuns, *dpor)
+				continue
+			}
+			if dets != nil {
+				if pipelineSweep(k, *fixed, *runs, *seed, dets) {
+					fired = true
+				}
 				continue
 			}
 			sweep(k, *fixed, *runs, *seed, *shadow)
 			if *vetFlag {
 				runVet(k, *fixed, *runs, *seed)
 			}
+		}
+		if fired && *fixed {
+			os.Exit(1)
 		}
 	case *kernel != "":
 		k, ok := kernels.ByID(*kernel)
@@ -86,6 +117,12 @@ func main() {
 			}
 			fmt.Printf("wrote %s (open in chrome://tracing or ui.perfetto.dev)\n", *chrome)
 		}
+		if dets != nil {
+			if pipelineSweep(k, *fixed, *runs, *seed, dets) && *fixed {
+				os.Exit(1)
+			}
+			return
+		}
 		sweep(k, *fixed, *runs, *seed, *shadow)
 		if *vetFlag {
 			runVet(k, *fixed, *runs, *seed)
@@ -94,6 +131,43 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// pipelineSweep sweeps the kernel with the selected detector set attached to
+// every run's single event stream, printing per-detector stats. It reports
+// whether any detector fired — the caller turns that into a non-zero exit
+// for -fixed kernels, making the pipeline usable as a regression gate.
+func pipelineSweep(k kernels.Kernel, fixed bool, runs int, seed int64, dets []detect.Detector) bool {
+	label := "buggy"
+	if fixed {
+		label = "fixed"
+	}
+	sw := detect.Sweep(variant(k, fixed), detect.SweepOptions{
+		Runs: runs, BaseSeed: seed, Config: k.Config(seed),
+	}, dets...)
+	fmt.Printf("%s (%s, %d runs, single pass per run):\n", k.ID, label, sw.Runs)
+	fired := false
+	for _, st := range sw.Detectors {
+		status := "quiet"
+		if st.Detected() {
+			fired = true
+			status = fmt.Sprintf("fired on %d/%d runs (first run %d)", st.DetectedRuns, sw.Runs, st.FirstRun)
+		}
+		fmt.Printf("    %-8s %-34s %9d events  %12v\n", st.Detector, status, st.Events, st.Elapsed)
+		if st.Sample != "" {
+			fmt.Printf("             e.g. %s\n", firstLine(st.Sample))
+		}
+	}
+	return fired
+}
+
+func firstLine(s string) string {
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			return s[:i]
+		}
+	}
+	return s
 }
 
 // printCatalog renders the registry as the Markdown catalog checked in as
@@ -235,28 +309,29 @@ func runVet(k kernels.Kernel, fixed bool, runs int, seed int64) {
 	}
 }
 
-// writeChromeTrace runs the kernel once with tracing and dumps the Chrome
-// Trace Event Format rendering.
+// writeChromeTrace runs the kernel once with the streaming Chrome-trace
+// sink attached, writing the Trace Event Format rendering as it executes.
 func writeChromeTrace(k kernels.Kernel, fixed bool, seed int64, path string) error {
-	cfg := k.Config(seed)
-	cfg.Trace = true
-	res := sim.Run(cfg, variant(k, fixed))
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
-	return res.WriteChromeTrace(f)
+	cfg := k.Config(seed)
+	cts := sim.NewChromeTraceSink(f)
+	cfg.Sinks = []event.Sink{cts}
+	sim.Run(cfg, variant(k, fixed))
+	return cts.Err()
 }
 
 func printTrace(k kernels.Kernel, fixed bool, seed int64) {
 	cfg := k.Config(seed)
-	cfg.Trace = true
+	tc := &sim.TraceCollector{}
 	det := race.New(0)
-	cfg.Observer = det
+	cfg.Sinks = []event.Sink{tc, det}
 	res := sim.Run(cfg, variant(k, fixed))
 	fmt.Printf("--- trace of %s (seed %d, outcome %v) ---\n", k.ID, seed, res.Outcome)
-	for _, e := range res.Trace {
+	for _, e := range tc.Events() {
 		fmt.Println(" ", e)
 	}
 	builtin := deadlock.Builtin{}.Detect(res)

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"goconcbugs/internal/event"
 	"goconcbugs/internal/explore"
 	"goconcbugs/internal/race"
 	"goconcbugs/internal/sim"
@@ -150,12 +151,15 @@ func (sp *SimSpace) Summary() string {
 
 // perRunRace resets a race detector at every run boundary so shadow state
 // and vector clocks never leak between runs (clocks from different runs are
-// incomparable). Serial exploration only.
+// incomparable). Serial exploration only. It forwards the memory-event
+// stream to whichever detector is current.
 type perRunRace struct {
 	det *race.Detector
 }
 
-func (o *perRunRace) Access(ac sim.MemAccess) { o.det.Access(ac) }
+func (o *perRunRace) Kinds() []event.Kind { return o.det.Kinds() }
+
+func (o *perRunRace) Event(ev *event.Event) { o.det.Event(ev) }
 
 // ExploreSim enumerates p's schedule space (up to maxSchedules) on the
 // simulated runtime and collects the set of reachable terminal signatures.
@@ -180,7 +184,7 @@ func ExploreSimReduced(p *Program, maxSchedules int, withRace, reduce bool) *Sim
 	cfg := sim.Config{Name: fmt.Sprintf("conformance-%d", p.Seed)}
 	if withRace {
 		obs = &perRunRace{det: race.New(-1)}
-		cfg.Observer = obs
+		cfg.Sinks = []event.Sink{obs}
 		sp.RaceSchedules = 0
 		sp.RacyVarSchedules = 0
 	}

@@ -1,0 +1,123 @@
+package conformance
+
+import (
+	"reflect"
+	"testing"
+
+	"goconcbugs/internal/event"
+	"goconcbugs/internal/explore"
+	"goconcbugs/internal/race"
+	"goconcbugs/internal/sim"
+	"goconcbugs/internal/vet"
+)
+
+// Differential coverage of the unified event stream over the generated IR
+// corpus: on 200 generator programs the adapter-sink path (legacy
+// MemoryObserver / Monitor callbacks behind ObserverSink / MonitorSink)
+// must reproduce the native-sink path verdicts, the run's trace must be
+// event-for-event identical under either sink set, and the DPOR explorer —
+// now fed by event.Sched instead of a dedicated hook — must keep its
+// schedule counts deterministic.
+
+const pipelinePrograms = 200
+
+func pipelineModes(seed int64) Mode {
+	if seed%2 == 0 {
+		return ModeSafe
+	}
+	return ModeRacy
+}
+
+func TestAdapterSinksMatchNativeOnGeneratedPrograms(t *testing.T) {
+	n := pipelinePrograms
+	if testing.Short() {
+		n = 40
+	}
+	for seed := int64(0); seed < int64(n); seed++ {
+		p := Generate(seed, pipelineModes(seed))
+		prog, _ := simProgram(p)
+		cfg := sim.Config{Seed: seed, Name: "pipeline-equiv"}
+
+		nativeRace := race.New(-1)
+		nativeVet := vet.New()
+		nativeTrace := &sim.TraceCollector{}
+		nc := cfg
+		nc.Sinks = []event.Sink{nativeTrace, nativeRace, nativeVet}
+		nres := sim.Run(nc, prog)
+
+		adapterRace := race.New(-1)
+		adapterVet := vet.New()
+		adapterTrace := &sim.TraceCollector{}
+		ac := cfg
+		ac.Sinks = []event.Sink{
+			adapterTrace,
+			sim.ObserverSink{Obs: adapterRace},
+			sim.MonitorSink{Mon: adapterVet},
+		}
+		ares := sim.Run(ac, prog)
+
+		if nres.Outcome != ares.Outcome {
+			t.Fatalf("seed %d: outcome differs native=%v adapter=%v", seed, nres.Outcome, ares.Outcome)
+		}
+		if got, want := len(adapterRace.Reports()), len(nativeRace.Reports()); got != want {
+			t.Errorf("seed %d: race report count differs adapter=%d native=%d", seed, got, want)
+		}
+		for i, r := range adapterRace.Reports() {
+			if want := nativeRace.Reports()[i].String(); r.String() != want {
+				t.Errorf("seed %d: race report %d differs:\n  adapter: %s\n  native:  %s", seed, i, r, want)
+			}
+		}
+		nv, av := nativeVet.Violations(), adapterVet.Violations()
+		if len(nv) != len(av) {
+			t.Errorf("seed %d: vet violation count differs adapter=%d native=%d", seed, len(av), len(nv))
+		} else {
+			for i := range nv {
+				if nv[i].String() != av[i].String() {
+					t.Errorf("seed %d: vet violation %d differs:\n  adapter: %s\n  native:  %s",
+						seed, i, av[i], nv[i])
+				}
+			}
+		}
+		ne, ae := nativeTrace.Events(), adapterTrace.Events()
+		if len(ne) != len(ae) {
+			t.Fatalf("seed %d: trace length differs adapter=%d native=%d — sink set perturbed the run",
+				seed, len(ae), len(ne))
+		}
+		for i := range ne {
+			if ne[i] != ae[i] {
+				t.Fatalf("seed %d: trace diverges at event %d:\n  adapter: %s\n  native:  %s",
+					seed, i, ae[i], ne[i])
+			}
+		}
+	}
+}
+
+// TestDPORScheduleCountsDeterministicOnGeneratedPrograms re-runs the
+// reduced exploration — whose race-reversal analysis is now fed purely by
+// event.Sched / event.SelectReady events — and requires identical schedule
+// and pruning counts, program by program.
+func TestDPORScheduleCountsDeterministicOnGeneratedPrograms(t *testing.T) {
+	n := pipelinePrograms
+	if testing.Short() {
+		n = 40
+	}
+	for seed := int64(0); seed < int64(n); seed += 10 {
+		p := Generate(seed, pipelineModes(seed))
+		prog, _ := simProgram(p)
+		run := func() *explore.SystematicResult {
+			return explore.Systematic(prog, explore.SystematicOptions{
+				Config:    sim.Config{Name: "pipeline-dpor"},
+				MaxRuns:   300,
+				Reduction: true,
+			})
+		}
+		a, b := run(), run()
+		if a.Runs != b.Runs || a.SchedulesPruned != b.SchedulesPruned ||
+			a.SleepSetHits != b.SleepSetHits || a.Complete != b.Complete ||
+			a.Failures != b.Failures || !reflect.DeepEqual(a.FailureSchedule, b.FailureSchedule) {
+			t.Errorf("seed %d: DPOR exploration not deterministic:\n  first:  runs=%d pruned=%d sleep=%d complete=%v failures=%d\n  second: runs=%d pruned=%d sleep=%d complete=%v failures=%d",
+				seed, a.Runs, a.SchedulesPruned, a.SleepSetHits, a.Complete, a.Failures,
+				b.Runs, b.SchedulesPruned, b.SleepSetHits, b.Complete, b.Failures)
+		}
+	}
+}

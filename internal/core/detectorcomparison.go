@@ -1,12 +1,12 @@
 package core
 
 import (
+	"sort"
+
 	"goconcbugs/internal/corpus"
-	"goconcbugs/internal/deadlock"
-	"goconcbugs/internal/explore"
+	"goconcbugs/internal/detect"
 	"goconcbugs/internal/kernels"
 	"goconcbugs/internal/report"
-	"goconcbugs/internal/sim"
 	"goconcbugs/internal/vet"
 )
 
@@ -36,46 +36,69 @@ type DetectorRow struct {
 	// circular wait in the lock wait-for graph (Section 4's deadlock vs
 	// broader-blocking distinction).
 	LockCycle bool
+	// Stats is the per-detector accounting (events consumed, wall time)
+	// summed over the kernel's instrumented passes.
+	Stats []detect.Stat
 }
 
 // AnyDetected reports whether any detector caught the bug.
 func (r DetectorRow) AnyDetected() bool { return r.Builtin || r.Race || r.Leak || r.Vet }
 
-// CompareDetectors runs the full cross product. Blocking kernels run once
-// (they trigger deterministically); non-blocking kernels run s.Runs seeds
-// under the race detector and the rule checker.
+// CompareDetectors runs the full cross product through the detect pipeline.
+// Blocking kernels run once with ALL four detectors (plus the circularity
+// analysis) sharing a single instrumented pass — they trigger
+// deterministically; non-blocking kernels sweep s.Runs seeds with the race
+// detector and the rule checker attached to every run's one event stream.
 func (s *Study) CompareDetectors() *DetectorComparison {
 	out := &DetectorComparison{}
+	blockingSet := []detect.Detector{
+		detect.MustLookup("builtin"), detect.MustLookup("leak"),
+		detect.MustLookup("cycle"), detect.MustLookup("vet"),
+	}
+	sweepSet := []detect.Detector{detect.MustLookup("race"), detect.MustLookup("vet")}
 	for _, k := range kernels.All() {
 		if !k.InDetectorStudy && k.Figure == 0 {
 			continue
 		}
 		row := DetectorRow{Kernel: k}
+		rules := map[vet.Rule]bool{}
 		switch k.Behavior {
 		case corpus.Blocking:
-			res := sim.Run(k.Config(s.BaseSeed), k.Buggy)
-			row.Builtin = deadlock.Builtin{}.Detect(res).Detected
-			row.Leak = deadlock.Leak{}.Detect(res).Detected || row.Builtin
-			row.LockCycle = deadlock.AnalyzeCircularity(res).CircularWait
-		case corpus.NonBlocking:
-			st := explore.Run(k.Buggy, explore.Options{
-				Runs: s.runs(), BaseSeed: s.BaseSeed, Config: k.Config(s.BaseSeed), WithRace: true,
-			})
-			row.Race = st.Detected()
-		}
-		rules := map[vet.Rule]bool{}
-		for i := 0; i < s.runs(); i++ {
-			m, _ := vet.Check(k.Config(s.BaseSeed+int64(i)), k.Buggy)
-			for _, v := range m.Violations() {
-				rules[v.Rule] = true
+			rep := detect.RunAll(k.Config(s.BaseSeed), k.Buggy, blockingSet...)
+			row.Builtin = rep.Verdict("builtin").Detected
+			row.Leak = rep.Verdict("leak").Detected || row.Builtin
+			row.LockCycle = rep.Verdict("cycle").Detected
+			row.Stats = rep.Stats
+			for _, r := range rep.Verdict("vet").Rules {
+				rules[vet.Rule(r)] = true
 			}
-			if len(rules) > 0 && k.Behavior == corpus.Blocking {
-				break // deterministic; no need to sweep further
+			// Blocking kernels trigger deterministically, but a rule can be
+			// schedule-dependent: when the base-seed pass stays quiet, sweep
+			// the remaining seeds until the checker fires.
+			for i := 1; i < s.runs() && len(rules) == 0; i++ {
+				m, _ := vet.Check(k.Config(s.BaseSeed+int64(i)), k.Buggy)
+				for _, v := range m.Violations() {
+					rules[v.Rule] = true
+				}
+			}
+		case corpus.NonBlocking:
+			sw := detect.Sweep(k.Buggy, detect.SweepOptions{
+				Runs: s.runs(), BaseSeed: s.BaseSeed, Config: k.Config(s.BaseSeed),
+			}, sweepSet...)
+			row.Race = sw.Stat("race").Detected()
+			for _, st := range sw.Detectors {
+				row.Stats = append(row.Stats, detect.Stat{
+					Detector: st.Detector, Events: st.Events, Elapsed: st.Elapsed,
+				})
+			}
+			for _, r := range sw.Stat("vet").Rules {
+				rules[vet.Rule(r)] = true
 			}
 		}
 		for r := range rules {
 			row.VetRules = append(row.VetRules, r)
 		}
+		sort.Slice(row.VetRules, func(i, j int) bool { return row.VetRules[i] < row.VetRules[j] })
 		row.Vet = len(rules) > 0
 		out.Rows = append(out.Rows, row)
 		out.Kernels++

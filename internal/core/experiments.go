@@ -7,8 +7,8 @@ import (
 
 	"goconcbugs/internal/corpus"
 	"goconcbugs/internal/deadlock"
+	"goconcbugs/internal/detect"
 	"goconcbugs/internal/evolution"
-	"goconcbugs/internal/explore"
 	"goconcbugs/internal/kernels"
 	"goconcbugs/internal/report"
 	"goconcbugs/internal/rpc"
@@ -24,6 +24,9 @@ type KernelVerdict struct {
 	Outcome      sim.Outcome
 	LeakedCount  int
 	PaperBuiltin bool
+	// Stats is the per-detector accounting of the kernel's single
+	// instrumented pass.
+	Stats []detect.Stat
 }
 
 // Table8Result is the full deadlock-detector experiment.
@@ -37,16 +40,20 @@ type Table8Result struct {
 // Table8 runs the 21 blocking kernels once each (every blocking kernel
 // triggers deterministically, as in the paper: "for each bug, we only ran
 // it once") under the built-in detector model, with the leak detector as
-// the Implication 4 ablation.
+// the Implication 4 ablation. Both detectors share the kernel's single
+// instrumented pass through the detect pipeline.
 func (s *Study) Table8() (*report.Table, *Table8Result) {
 	res := &Table8Result{PerCause: map[deadlock.BlockClass][2]int{}}
+	dets := []detect.Detector{detect.MustLookup("builtin"), detect.MustLookup("leak")}
 	for _, k := range kernels.DeadlockStudySet() {
-		r := sim.Run(k.Config(s.BaseSeed), k.Buggy)
-		builtin := deadlock.Builtin{}.Detect(r)
-		leak := deadlock.Leak{}.Detect(r)
+		rep := detect.RunAll(k.Config(s.BaseSeed), k.Buggy, dets...)
+		r := rep.Result
+		builtin := rep.Verdict("builtin")
+		leak := rep.Verdict("leak")
 		v := KernelVerdict{
 			Kernel: k, Builtin: builtin.Detected, Leak: leak.Detected,
 			Outcome: r.Outcome, LeakedCount: len(r.Leaked), PaperBuiltin: k.ExpectBuiltinDetect,
+			Stats: rep.Stats,
 		}
 		res.Verdicts = append(res.Verdicts, v)
 		pc := res.PerCause[k.BlockClass]
@@ -88,6 +95,9 @@ type RaceVerdict struct {
 	DetectedRuns  int
 	Runs          int
 	PaperDetected bool
+	// Stats is the race detector's aggregate accounting over the sweep
+	// (events consumed, time spent).
+	Stats detect.SweepStat
 }
 
 // Table12Result is the full race-detector experiment.
@@ -104,17 +114,19 @@ type Table12Result struct {
 
 // Table12 runs the 20 non-blocking kernels s.Runs times each under the race
 // detector ("We ran each buggy program 100 times with the race detector
-// turned on").
+// turned on"), one instrumented pass per seed through the detect pipeline.
 func (s *Study) Table12() (*report.Table, *Table12Result) {
 	res := &Table12Result{PerCause: map[corpus.NonBlockingCause][2]int{}}
+	raceDet := detect.MustLookup("race")
 	for _, k := range kernels.RaceStudySet() {
-		st := explore.Run(k.Buggy, explore.Options{
+		sw := detect.Sweep(k.Buggy, detect.SweepOptions{
 			Runs: s.runs(), BaseSeed: s.BaseSeed, Config: k.Config(s.BaseSeed),
-			WithRace: true, Workers: -1, // deterministic fold; just faster
-		})
+			Workers: -1, // deterministic fold; just faster
+		}, raceDet)
+		st := sw.Stat("race")
 		v := RaceVerdict{
-			Kernel: k, Detected: st.Detected(), DetectedRuns: st.RaceDetectedRuns,
-			Runs: st.Runs, PaperDetected: k.ExpectRaceDetect,
+			Kernel: k, Detected: st.Detected(), DetectedRuns: st.DetectedRuns,
+			Runs: sw.Runs, PaperDetected: k.ExpectRaceDetect, Stats: st,
 		}
 		res.Verdicts = append(res.Verdicts, v)
 		pc := res.PerCause[k.NBCause]

@@ -2,6 +2,7 @@ package deadlock
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"goconcbugs/internal/sim"
@@ -55,8 +56,14 @@ func AnalyzeCircularity(res *sim.Result) Circularity {
 			}
 		}
 	}
-	// Walk each blocked goroutine's chain looking for a cycle.
+	// Walk each blocked goroutine's chain looking for a cycle, in id order
+	// so the reported cycle (and its rendering) is deterministic.
+	starts := make([]int, 0, len(waits))
 	for start := range waits {
+		starts = append(starts, start)
+	}
+	sort.Ints(starts)
+	for _, start := range starts {
 		seen := map[int]int{} // goroutine -> position in the walk
 		var path []int
 		cur := start

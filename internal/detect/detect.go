@@ -1,0 +1,343 @@
+// Package detect is the composable detector pipeline: a named registry of
+// the study's detectors and a driver that attaches ANY subset of them to a
+// single instrumented simulation pass.
+//
+// Before the unified event stream, each detector dragged its own run along:
+// regenerating the detector-comparison extension meant simulating every
+// kernel once per detector. Now every detector is an event.Sink (or a
+// Result-only analysis), so one sim.Run dispatches each event once through
+// the event.Mux and every attached detector sees it. RunAll is that single
+// pass; Sweep folds RunAll over many seeds (the paper's Table 12 protocol,
+// "We ran each buggy program 100 times with the race detector turned on").
+//
+// The pipeline also does the accounting the comparison experiment wants:
+// per detector, how many events it consumed and how much wall time its
+// Event calls (plus Finish) took — the measured version of the overhead
+// argument in Section 5.3's detector discussion.
+package detect
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"goconcbugs/internal/event"
+	"goconcbugs/internal/sim"
+)
+
+// Verdict is one detector's judgement of one run.
+type Verdict struct {
+	// Detector is the registry name that produced this verdict.
+	Detector string
+	// Detected reports whether the detector fired.
+	Detected bool
+	// Message is one representative finding (empty when !Detected).
+	Message string
+	// Findings lists every finding, rendered.
+	Findings []string
+	// Rules lists the detector-specific rule identifiers behind the
+	// findings, when the detector has a rule taxonomy (vet does).
+	Rules []string
+}
+
+// Instance is one attached detector for a single run. Kinds and Event
+// follow event.Sink; a Result-only detector (built-in deadlock, leak,
+// cycle analysis) returns nil from Kinds and is never dispatched to —
+// all its work happens in Finish.
+type Instance interface {
+	Kinds() []event.Kind
+	Event(*event.Event)
+	Finish(res *sim.Result) Verdict
+}
+
+// Detector is a registry entry: a name, a one-line description, and a
+// constructor for per-run instances (instances are single-run; vector
+// clocks from different runs are incomparable).
+type Detector struct {
+	Name string
+	Desc string
+	New  func() Instance
+}
+
+var (
+	regMu    sync.Mutex
+	registry []Detector
+)
+
+// Register adds a detector to the registry. Names must be unique; the
+// built-in set registers itself in this package's init.
+func Register(d Detector) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	for _, e := range registry {
+		if e.Name == d.Name {
+			panic(fmt.Sprintf("detect: duplicate detector %q", d.Name))
+		}
+	}
+	registry = append(registry, d)
+}
+
+// All returns the registry in registration order.
+func All() []Detector {
+	regMu.Lock()
+	defer regMu.Unlock()
+	return append([]Detector(nil), registry...)
+}
+
+// Names returns the registered detector names in registration order.
+func Names() []string {
+	var out []string
+	for _, d := range All() {
+		out = append(out, d.Name)
+	}
+	return out
+}
+
+// Lookup finds a detector by name.
+func Lookup(name string) (Detector, bool) {
+	for _, d := range All() {
+		if d.Name == name {
+			return d, true
+		}
+	}
+	return Detector{}, false
+}
+
+// MustLookup is Lookup for names known at compile time.
+func MustLookup(name string) Detector {
+	d, ok := Lookup(name)
+	if !ok {
+		panic(fmt.Sprintf("detect: unknown detector %q", name))
+	}
+	return d
+}
+
+// Parse resolves a comma-separated detector list ("race,vet,leak").
+func Parse(list string) ([]Detector, error) {
+	var out []Detector
+	for _, name := range strings.Split(list, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		d, ok := Lookup(name)
+		if !ok {
+			return nil, fmt.Errorf("unknown detector %q (have %s)", name, strings.Join(Names(), ", "))
+		}
+		out = append(out, d)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty detector list (have %s)", strings.Join(Names(), ", "))
+	}
+	return out, nil
+}
+
+// Stat accounts one detector's share of a pass.
+type Stat struct {
+	Detector string
+	// Events is the number of events dispatched to the detector (0 for
+	// Result-only detectors).
+	Events int64
+	// Elapsed is the wall time spent inside the detector's Event and
+	// Finish calls.
+	Elapsed time.Duration
+}
+
+// counted is the sink actually registered with the mux: it forwards to the
+// instance while counting events and accumulating wall time.
+type counted struct {
+	inst Instance
+	stat Stat
+}
+
+func (c *counted) Kinds() []event.Kind { return c.inst.Kinds() }
+
+func (c *counted) Event(ev *event.Event) {
+	start := time.Now()
+	c.inst.Event(ev)
+	c.stat.Elapsed += time.Since(start)
+	c.stat.Events++
+}
+
+// Report is the outcome of one single-pass instrumented run.
+type Report struct {
+	Result   *sim.Result
+	Verdicts []Verdict
+	Stats    []Stat
+	// Elapsed is the wall time of the whole run, detectors included.
+	Elapsed time.Duration
+}
+
+// Verdict returns the named detector's verdict (zero Verdict if absent).
+func (r *Report) Verdict(name string) Verdict {
+	for _, v := range r.Verdicts {
+		if v.Detector == name {
+			return v
+		}
+	}
+	return Verdict{}
+}
+
+// Detected reports whether any attached detector fired.
+func (r *Report) Detected() bool {
+	for _, v := range r.Verdicts {
+		if v.Detected {
+			return true
+		}
+	}
+	return false
+}
+
+// RunAll runs prog once with every listed detector attached to the same
+// event stream — each event is produced once and fanned out by the mux —
+// then collects the verdicts. Sinks already present in cfg are kept.
+func RunAll(cfg sim.Config, prog sim.Program, dets ...Detector) *Report {
+	insts := make([]*counted, len(dets))
+	// Full slice expression: never grow a caller-owned backing array.
+	sinks := cfg.Sinks[:len(cfg.Sinks):len(cfg.Sinks)]
+	for i, d := range dets {
+		insts[i] = &counted{inst: d.New(), stat: Stat{Detector: d.Name}}
+		sinks = append(sinks, insts[i])
+	}
+	cfg.Sinks = sinks
+	start := time.Now()
+	res := sim.Run(cfg, prog)
+	rep := &Report{Result: res}
+	for _, c := range insts {
+		fs := time.Now()
+		v := c.inst.Finish(res)
+		c.stat.Elapsed += time.Since(fs)
+		rep.Verdicts = append(rep.Verdicts, v)
+		rep.Stats = append(rep.Stats, c.stat)
+	}
+	rep.Elapsed = time.Since(start)
+	return rep
+}
+
+// SweepOptions configures a multi-seed sweep.
+type SweepOptions struct {
+	// Runs is the number of seeds (default 100, the Table 12 protocol).
+	Runs int
+	// BaseSeed is the first seed; run i uses BaseSeed+i.
+	BaseSeed int64
+	// Config is the per-run configuration (Seed is overwritten per run;
+	// Sinks present in it are kept on every run).
+	Config sim.Config
+	// Workers fans runs out over that many host goroutines (0 or negative
+	// = GOMAXPROCS, 1 = serial). Results fold in seed order either way.
+	Workers int
+}
+
+// SweepStat aggregates one detector over a sweep.
+type SweepStat struct {
+	Detector     string
+	DetectedRuns int
+	// FirstRun is the index of the first detecting run, -1 if none.
+	FirstRun int
+	// Sample is one representative finding from the first detecting run.
+	Sample string
+	// Rules is the union of rule identifiers across runs, sorted.
+	Rules []string
+	// Events and Elapsed are totals across all runs.
+	Events  int64
+	Elapsed time.Duration
+}
+
+// Detected reports whether any run fired — the paper's "We consider a bug
+// detected within runs as a detected bug".
+func (s SweepStat) Detected() bool { return s.DetectedRuns > 0 }
+
+// SweepReport is the seed-order fold of a sweep.
+type SweepReport struct {
+	Runs      int
+	Detectors []SweepStat
+}
+
+// Stat returns the named detector's aggregate (zero SweepStat if absent).
+func (r *SweepReport) Stat(name string) SweepStat {
+	for _, s := range r.Detectors {
+		if s.Detector == name {
+			return s
+		}
+	}
+	return SweepStat{Detector: name, FirstRun: -1}
+}
+
+// Sweep runs prog under opts.Runs seeds, every listed detector attached to
+// each run's single event stream, and folds the verdicts in seed order (so
+// the report is identical for any Workers value).
+func Sweep(prog sim.Program, opts SweepOptions, dets ...Detector) *SweepReport {
+	if opts.Runs <= 0 {
+		opts.Runs = 100
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > opts.Runs {
+		workers = opts.Runs
+	}
+	reports := make([]*Report, opts.Runs)
+	oneRun := func(i int) {
+		cfg := opts.Config
+		cfg.Seed = opts.BaseSeed + int64(i)
+		reports[i] = RunAll(cfg, prog, dets...)
+	}
+	if workers == 1 {
+		for i := range reports {
+			oneRun(i)
+		}
+	} else {
+		var wg sync.WaitGroup
+		next := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					oneRun(i)
+				}
+			}()
+		}
+		for i := range reports {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+	}
+
+	out := &SweepReport{Runs: opts.Runs}
+	rules := make([]map[string]bool, len(dets))
+	for di, d := range dets {
+		out.Detectors = append(out.Detectors, SweepStat{Detector: d.Name, FirstRun: -1})
+		rules[di] = map[string]bool{}
+	}
+	for i, rep := range reports {
+		for di := range dets {
+			st := &out.Detectors[di]
+			v := rep.Verdicts[di]
+			st.Events += rep.Stats[di].Events
+			st.Elapsed += rep.Stats[di].Elapsed
+			if v.Detected {
+				st.DetectedRuns++
+				if st.FirstRun < 0 {
+					st.FirstRun = i
+					st.Sample = v.Message
+				}
+			}
+			for _, r := range v.Rules {
+				rules[di][r] = true
+			}
+		}
+	}
+	for di := range dets {
+		for r := range rules[di] {
+			out.Detectors[di].Rules = append(out.Detectors[di].Rules, r)
+		}
+		sort.Strings(out.Detectors[di].Rules)
+	}
+	return out
+}

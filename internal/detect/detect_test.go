@@ -1,0 +1,126 @@
+package detect
+
+import (
+	"reflect"
+	"testing"
+
+	"goconcbugs/internal/kernels"
+	"goconcbugs/internal/sim"
+)
+
+func TestRegistryHasStudyDetectors(t *testing.T) {
+	want := []string{"builtin", "race", "leak", "vet", "cycle"}
+	if got := Names(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Names() = %v, want %v", got, want)
+	}
+	for _, n := range want {
+		d, ok := Lookup(n)
+		if !ok || d.Desc == "" || d.New == nil {
+			t.Fatalf("Lookup(%q) = %+v, %v", n, d, ok)
+		}
+	}
+}
+
+func TestParse(t *testing.T) {
+	dets, err := Parse("race, vet,leak")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dets) != 3 || dets[0].Name != "race" || dets[1].Name != "vet" || dets[2].Name != "leak" {
+		t.Fatalf("Parse = %+v", dets)
+	}
+	if _, err := Parse("race,nosuch"); err == nil {
+		t.Fatal("Parse accepted an unknown detector")
+	}
+	if _, err := Parse(" , "); err == nil {
+		t.Fatal("Parse accepted an empty list")
+	}
+}
+
+// TestSinglePassMatchesIsolatedRuns is the pipeline's core property: running
+// every detector on ONE instrumented pass yields the verdict each would
+// produce with the run all to itself. The stream each sink sees must be
+// identical either way.
+func TestSinglePassMatchesIsolatedRuns(t *testing.T) {
+	all := All()
+	for _, k := range kernels.All() {
+		for _, fixed := range []bool{false, true} {
+			prog, label := k.Buggy, "buggy"
+			if fixed {
+				prog, label = k.Fixed, "fixed"
+			}
+			combined := RunAll(k.Config(1), prog, all...)
+			for _, d := range all {
+				solo := RunAll(k.Config(1), prog, d)
+				got, want := combined.Verdict(d.Name), solo.Verdict(d.Name)
+				if got.Detected != want.Detected || !reflect.DeepEqual(got.Findings, want.Findings) {
+					t.Errorf("%s/%s: %s verdict differs combined vs isolated:\n  combined: %+v\n  isolated: %+v",
+						k.ID, label, d.Name, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestStatsCountEvents(t *testing.T) {
+	rep := RunAll(sim.Config{Seed: 1}, func(tt *sim.T) {
+		x := sim.NewVar[int](tt, "x")
+		ch := sim.NewChan[int](tt, 1)
+		tt.Go(func(ct *sim.T) {
+			x.Store(ct, 1)
+			ch.Send(ct, 1)
+		})
+		x.Store(tt, 2)
+		ch.Recv(tt)
+		tt.Sleep(10)
+	}, MustLookup("race"), MustLookup("vet"), MustLookup("builtin"))
+
+	var race, vet, builtin Stat
+	for _, s := range rep.Stats {
+		switch s.Detector {
+		case "race":
+			race = s
+		case "vet":
+			vet = s
+		case "builtin":
+			builtin = s
+		}
+	}
+	if race.Events == 0 {
+		t.Error("race detector saw no memory events")
+	}
+	if vet.Events == 0 {
+		t.Error("vet monitor saw no sync events")
+	}
+	if builtin.Events != 0 {
+		t.Errorf("result-only detector was dispatched %d events", builtin.Events)
+	}
+}
+
+func TestSweepFoldIsWorkerIndependent(t *testing.T) {
+	k, ok := kernels.ByID("grpc-lost-update")
+	if !ok {
+		for _, alt := range kernels.All() {
+			k, ok = alt, true
+			break
+		}
+		if !ok {
+			t.Skip("no kernels registered")
+		}
+	}
+	opts := SweepOptions{Runs: 20, BaseSeed: 1, Config: k.Config(1)}
+	serial := opts
+	serial.Workers = 1
+	parallel := opts
+	parallel.Workers = 4
+	a := Sweep(k.Buggy, serial, MustLookup("race"), MustLookup("vet"))
+	b := Sweep(k.Buggy, parallel, MustLookup("race"), MustLookup("vet"))
+	for _, name := range []string{"race", "vet"} {
+		sa, sb := a.Stat(name), b.Stat(name)
+		if sa.DetectedRuns != sb.DetectedRuns || sa.FirstRun != sb.FirstRun ||
+			sa.Sample != sb.Sample || !reflect.DeepEqual(sa.Rules, sb.Rules) ||
+			sa.Events != sb.Events {
+			t.Errorf("%s: serial and parallel sweeps disagree:\n  serial:   %+v\n  parallel: %+v", name, sa, sb)
+		}
+	}
+}

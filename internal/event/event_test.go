@@ -1,0 +1,76 @@
+package event
+
+import "testing"
+
+type recorder struct {
+	kinds   []Kind
+	got     []Kind
+	endings int
+}
+
+func (r *recorder) Kinds() []Kind   { return r.kinds }
+func (r *recorder) Event(ev *Event) { r.got = append(r.got, ev.Kind) }
+func (r *recorder) RunEnd()         { r.endings++ }
+
+func TestMuxDispatchesByKind(t *testing.T) {
+	mem := &recorder{kinds: []Kind{MemRead, MemWrite}}
+	chn := &recorder{kinds: []Kind{ChanSend, MemWrite}}
+	m := NewMux([]Sink{mem, chn})
+
+	for _, k := range []Kind{MemRead, ChanSend, MemWrite, MutexLock} {
+		if m.Wants(k) {
+			m.Emit(&Event{Kind: k})
+		}
+	}
+	if m.Wants(MutexLock) {
+		t.Error("Wants(MutexLock) = true with no subscriber")
+	}
+	want := func(r *recorder, ks ...Kind) {
+		t.Helper()
+		if len(r.got) != len(ks) {
+			t.Fatalf("got %v, want %v", r.got, ks)
+		}
+		for i, k := range ks {
+			if r.got[i] != k {
+				t.Fatalf("got %v, want %v", r.got, ks)
+			}
+		}
+	}
+	want(mem, MemRead, MemWrite)
+	want(chn, ChanSend, MemWrite)
+
+	m.RunEnd()
+	if mem.endings != 1 || chn.endings != 1 {
+		t.Errorf("RunEnd deliveries = %d, %d; want 1, 1", mem.endings, chn.endings)
+	}
+}
+
+func TestMuxIgnoresDuplicateAndInvalidKinds(t *testing.T) {
+	r := &recorder{kinds: []Kind{MemRead, MemRead, KindInvalid, NumKinds, Kind(200)}}
+	m := NewMux([]Sink{nil, r})
+	m.Emit(&Event{Kind: MemRead})
+	if len(r.got) != 1 {
+		t.Errorf("duplicate subscription delivered %d times, want 1", len(r.got))
+	}
+}
+
+func TestNewMuxEmptyIsNil(t *testing.T) {
+	if NewMux(nil) != nil {
+		t.Error("NewMux(nil) != nil; the no-sink fast path depends on a nil mux")
+	}
+}
+
+func TestKindStringsAreDistinct(t *testing.T) {
+	seen := map[string]Kind{}
+	for k := Kind(1); k < NumKinds; k++ {
+		s := k.String()
+		if s == "" || s == "invalid" {
+			t.Errorf("kind %d has no name", k)
+			continue
+		}
+		if prev, dup := seen[s]; dup {
+			t.Errorf("kinds %d and %d share the name %q", prev, k, s)
+		}
+		seen[s] = k
+	}
+}

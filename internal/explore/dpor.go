@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"goconcbugs/internal/event"
 	"goconcbugs/internal/hb"
 	"goconcbugs/internal/sim"
 )
@@ -22,9 +23,9 @@ import (
 // The machinery, per explored schedule:
 //
 //   - The sim runtime streams one sim.SchedStep per transition (goroutine,
-//     consumed Chooser-call index, runnable set, object footprint) through
-//     the Config.DPOR hook; a ready select additionally reports the decision
-//     index it consumed.
+//     consumed Chooser-call index, runnable set, object footprint) as
+//     event.Sched events; a ready select additionally reports the decision
+//     index it consumed (event.SelectReady).
 //
 //   - The explorer replays the step stream and computes a vector clock per
 //     transition over the *dependence* relation of the executed trace: clock
@@ -99,14 +100,14 @@ type dporNode struct {
 	curVal int // decision value of the branch currently being explored
 
 	// Scheduler-pick state.
-	optionGs  []int // runnable goroutine ids, scheduler option order
-	preferred int   // index into optionGs continuing the last goroutine, -1
-	curGid    int
-	curHasSel bool         // current branch's first transition held a select
-	curOps    []sim.OpRef  // that transition's footprint
-	backtrack map[int]bool // gids requested by race reversal
-	done      map[int]bool // gids completed (explored or sleep-skipped)
-	executed  int          // branches actually run
+	optionGs     []int // runnable goroutine ids, scheduler option order
+	preferred    int   // index into optionGs continuing the last goroutine, -1
+	curGid       int
+	curHasSel    bool         // current branch's first transition held a select
+	curOps       []sim.OpRef  // that transition's footprint
+	backtrack    map[int]bool // gids requested by race reversal
+	done         map[int]bool // gids completed (explored or sleep-skipped)
+	executed     int          // branches actually run
 	sleepAtEntry []sleepEntry
 	sleepAdded   []sleepEntry
 
@@ -152,11 +153,26 @@ type recStep struct {
 	hasSelect              bool
 }
 
-// dporRecorder implements sim.DPORObserver, buffering one run's step stream.
+// dporRecorder is the event sink buffering one run's scheduling stream
+// (Sched transitions plus ready-select decision points).
 type dporRecorder struct {
 	steps      []recStep
 	selects    []selPoint
 	pendingSel bool
+}
+
+// Kinds implements event.Sink.
+func (r *dporRecorder) Kinds() []event.Kind {
+	return []event.Kind{event.Sched, event.SelectReady}
+}
+
+// Event implements event.Sink.
+func (r *dporRecorder) Event(ev *event.Event) {
+	if ev.Kind == event.Sched {
+		r.Step(*ev.Sched)
+		return
+	}
+	r.SelectPoint(ev.G, ev.Dec, ev.Counter)
 }
 
 func (r *dporRecorder) reset() {
@@ -209,7 +225,8 @@ func systematicDPOR(prog sim.Program, opts SystematicOptions) *SystematicResult 
 	s := &dporSearch{opts: opts, res: &SystematicResult{}}
 	rec := &dporRecorder{}
 	cfg := opts.Config
-	cfg.DPOR = rec
+	// Full slice expression: don't grow a caller-owned backing array.
+	cfg.Sinks = append(cfg.Sinks[:len(cfg.Sinks):len(cfg.Sinks)], rec)
 	var prefix []int
 	for s.res.Runs < opts.MaxRuns {
 		rec.reset()

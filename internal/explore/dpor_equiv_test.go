@@ -140,8 +140,8 @@ func TestDPORWorkerDeterminism(t *testing.T) {
 			t.Fatalf("kernel %s missing", id)
 		}
 		type runLog struct {
-			res   *explore.SystematicResult
-			runs  []string
+			res    *explore.SystematicResult
+			runs   []string
 			scheds [][]int
 		}
 		collect := func(workers int) runLog {

@@ -12,6 +12,7 @@ import (
 	"runtime"
 	"sync"
 
+	"goconcbugs/internal/event"
 	"goconcbugs/internal/race"
 	"goconcbugs/internal/sim"
 )
@@ -23,7 +24,7 @@ type Options struct {
 	Runs int
 	// BaseSeed is the first seed; run i uses BaseSeed+i.
 	BaseSeed int64
-	// Config is the per-run sim configuration (Seed and Observer are
+	// Config is the per-run sim configuration (Seed and Sinks are
 	// overwritten per run).
 	Config sim.Config
 	// WithRace attaches a fresh race detector to every run.
@@ -105,7 +106,9 @@ func Run(prog sim.Program, opts Options) *Stats {
 		var det *race.Detector
 		if opts.WithRace {
 			det = race.New(opts.ShadowWords)
-			cfg.Observer = det
+			// Fresh slice per run: workers must not share an appended-to
+			// backing array.
+			cfg.Sinks = []event.Sink{det}
 		}
 		res := sim.Run(cfg, prog)
 		out := runOutcome{res: res}

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"goconcbugs/internal/corpus"
+	"goconcbugs/internal/event"
 	"goconcbugs/internal/explore"
 	"goconcbugs/internal/race"
 	"goconcbugs/internal/sim"
@@ -16,7 +17,8 @@ type perRunRace struct {
 	reports int
 }
 
-func (o *perRunRace) Access(ac sim.MemAccess) { o.det.Access(ac) }
+func (o *perRunRace) Kinds() []event.Kind   { return o.det.Kinds() }
+func (o *perRunRace) Event(ev *event.Event) { o.det.Event(ev) }
 
 // TestFixedVariantsQuietOverSchedules is the metamorphic half of the
 // conformance story: applying the landed patch must leave NO schedule in
@@ -38,7 +40,7 @@ func TestFixedVariantsQuietOverSchedules(t *testing.T) {
 			var obs *perRunRace
 			if k.Behavior == corpus.NonBlocking {
 				obs = &perRunRace{det: race.New(-1)}
-				cfg.Observer = obs
+				cfg.Sinks = []event.Sink{obs}
 			}
 			res := explore.Systematic(k.Fixed, explore.SystematicOptions{
 				Config:          cfg,

@@ -3,6 +3,8 @@ package race_test
 import (
 	"fmt"
 
+	"goconcbugs/internal/event"
+
 	"goconcbugs/internal/race"
 	"goconcbugs/internal/sim"
 )
@@ -11,7 +13,7 @@ import (
 // Figure 8 race: children read the loop variable the parent keeps writing.
 func Example() {
 	det := race.New(0) // four shadow words, like Go's -race
-	sim.Run(sim.Config{Seed: 1, Observer: det}, func(t *sim.T) {
+	sim.Run(sim.Config{Seed: 1, Sinks: []event.Sink{det}}, func(t *sim.T) {
 		i := sim.NewVar[int](t, "i")
 		for k := 17; k <= 21; k++ {
 			i.Store(t, k)
@@ -28,7 +30,7 @@ func Example() {
 // orders the accesses — "the detector reports no false positives".
 func Example_synchronized() {
 	det := race.New(0)
-	sim.Run(sim.Config{Seed: 1, Observer: det}, func(t *sim.T) {
+	sim.Run(sim.Config{Seed: 1, Sinks: []event.Sink{det}}, func(t *sim.T) {
 		x := sim.NewVar[int](t, "x")
 		mu := sim.NewMutex(t, "mu")
 		wg := sim.NewWaitGroup(t, "wg")

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"goconcbugs/internal/event"
 	"goconcbugs/internal/sim"
 )
 
@@ -106,7 +107,7 @@ func TestNoFalsePositivesOnSynchronizedPrograms(t *testing.T) {
 		style := syncStyle(r.Intn(4))
 		workers := 1 + r.Intn(4)
 		d := New(0)
-		sim.Run(sim.Config{Seed: seed, Observer: d}, buildSynced(style, workers, false))
+		sim.Run(sim.Config{Seed: seed, Sinks: []event.Sink{d}}, buildSynced(style, workers, false))
 		return len(d.Reports()) == 0
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
@@ -120,7 +121,7 @@ func TestPlantedRaceAlwaysCaughtWithUnboundedHistory(t *testing.T) {
 		style := syncStyle(r.Intn(4))
 		workers := 1 + r.Intn(4)
 		d := New(-1) // unbounded shadow history: no eviction misses
-		sim.Run(sim.Config{Seed: seed, Observer: d}, buildSynced(style, workers, true))
+		sim.Run(sim.Config{Seed: seed, Sinks: []event.Sink{d}}, buildSynced(style, workers, true))
 		for _, rep := range d.Reports() {
 			if rep.Var == "x" {
 				return true

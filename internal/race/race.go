@@ -7,8 +7,9 @@
 // historical accesses of the object. It compares every new access with the
 // stored shadow word values to detect possible races."
 //
-// This implementation attaches to the simulated runtime as a
-// sim.MemoryObserver. Every instrumented access is summarized as an epoch
+// This implementation attaches to the simulated runtime as an event sink
+// (sim.Config.Sinks) subscribed to the four memory-access kinds. Every
+// instrumented access is summarized as an epoch
 // (goroutine @ clock, see package hb) and stored in a bounded ring of shadow
 // words per variable. A new access races with a stored one when they touch
 // the same variable, at least one is a write, they come from different
@@ -22,6 +23,7 @@ import (
 	"fmt"
 	"sort"
 
+	"goconcbugs/internal/event"
 	"goconcbugs/internal/hb"
 	"goconcbugs/internal/sim"
 )
@@ -106,10 +108,29 @@ func New(shadowWords int) *Detector {
 	}
 }
 
-var _ sim.MemoryObserver = (*Detector)(nil)
+var (
+	_ sim.MemoryObserver = (*Detector)(nil)
+	_ event.Sink         = (*Detector)(nil)
+)
 
-// Access implements sim.MemoryObserver: the FastTrack-style check of the new
-// access against every stored shadow word.
+// Kinds implements event.Sink: the four memory-access kinds (plain Vars and
+// MapVars), nothing else.
+func (d *Detector) Kinds() []event.Kind {
+	return []event.Kind{event.MemRead, event.MemWrite, event.MapRead, event.MapWrite}
+}
+
+// Event implements event.Sink.
+func (d *Detector) Event(ev *event.Event) {
+	d.Access(sim.MemAccess{
+		Var: ev.Var, G: ev.G, GName: ev.GName, VC: ev.VC,
+		Write: ev.Kind == event.MemWrite || ev.Kind == event.MapWrite,
+		Step:  ev.Step, Time: ev.Time,
+	})
+}
+
+// Access is the FastTrack-style check of the new access against every stored
+// shadow word. It remains exported as the sim.MemoryObserver form of Event
+// for tests and harnesses that synthesize accesses directly.
 func (d *Detector) Access(ac sim.MemAccess) {
 	st := d.vars[ac.Var.ID]
 	if st == nil {

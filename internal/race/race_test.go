@@ -3,13 +3,14 @@ package race
 import (
 	"testing"
 
+	"goconcbugs/internal/event"
 	"goconcbugs/internal/sim"
 )
 
 // runWith runs prog with a fresh detector attached and returns it.
 func runWith(seed int64, shadow int, prog sim.Program) (*Detector, *sim.Result) {
 	d := New(shadow)
-	res := sim.Run(sim.Config{Seed: seed, Observer: d}, prog)
+	res := sim.Run(sim.Config{Seed: seed, Sinks: []event.Sink{d}}, prog)
 	return d, res
 }
 

@@ -1,0 +1,117 @@
+package sim
+
+import "goconcbugs/internal/event"
+
+// Adapter sinks: the four legacy Config hooks (Observer, Monitor, DPOR,
+// Trace) re-expressed over the unified event stream. Each adapter subscribes
+// to exactly the kinds its legacy hook used to see and reconstructs the
+// legacy callback payload, so existing MemoryObserver / Monitor /
+// DPORObserver implementations keep working unchanged behind
+// Config.Sinks — differentially tested to be call-for-call identical to the
+// deleted per-hook plumbing. (The Trace adapter, TraceCollector, lives in
+// trace.go next to the Event type it rebuilds.)
+
+// ObserverSink adapts a MemoryObserver to the event stream: every
+// MemRead/MemWrite/MapRead/MapWrite event becomes one Access call.
+type ObserverSink struct {
+	Obs MemoryObserver
+}
+
+// Kinds implements event.Sink.
+func (s ObserverSink) Kinds() []event.Kind {
+	return []event.Kind{event.MemRead, event.MemWrite, event.MapRead, event.MapWrite}
+}
+
+// Event implements event.Sink.
+func (s ObserverSink) Event(ev *event.Event) {
+	s.Obs.Access(MemAccess{
+		Var: ev.Var, G: ev.G, GName: ev.GName, VC: ev.VC,
+		Write: ev.Kind == event.MemWrite || ev.Kind == event.MapWrite,
+		Step:  ev.Step, Time: ev.Time,
+	})
+}
+
+// monitorKindOps maps event kinds onto the legacy SyncOp vocabulary. All
+// lock flavors collapse onto OpMutexLock/OpMutexUnlock, exactly as the
+// per-primitive emitSync calls did.
+var monitorKindOps = map[event.Kind]SyncOp{
+	event.ChanSend:        OpChanSend,
+	event.ChanRecv:        OpChanRecv,
+	event.ChanClose:       OpChanClose,
+	event.ChanCloseClosed: OpChanCloseClosed,
+	event.ChanSendClosed:  OpChanSendClosed,
+	event.ChanNil:         OpChanNil,
+	event.SelectBlocking:  OpSelectBlocking,
+	event.WGAdd:           OpWGAdd,
+	event.WGDone:          OpWGDone,
+	event.WGNegative:      OpWGNegative,
+	event.WGWaitStart:     OpWGWaitStart,
+	event.WGWaitEnd:       OpWGWaitEnd,
+	event.MutexLock:       OpMutexLock,
+	event.MutexTryLock:    OpMutexLock,
+	event.RWRLock:         OpMutexLock,
+	event.RWWLock:         OpMutexLock,
+	event.MutexUnlock:     OpMutexUnlock,
+	event.RWRUnlock:       OpMutexUnlock,
+	event.RWWUnlock:       OpMutexUnlock,
+	event.OnceDo:          OpOnceDo,
+	event.CondWait:        OpCondWait,
+	event.CondSignal:      OpCondSignal,
+}
+
+// MonitorSink adapts a Monitor: every rule-relevant event becomes one
+// SyncEvent with the lock-held list cloned, per the legacy contract that the
+// monitor may retain it.
+type MonitorSink struct {
+	Mon Monitor
+}
+
+// Kinds implements event.Sink.
+func (s MonitorSink) Kinds() []event.Kind {
+	out := make([]event.Kind, 0, len(monitorKindOps))
+	for k := range monitorKindOps {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Event implements event.Sink.
+func (s MonitorSink) Event(ev *event.Event) {
+	s.Mon.SyncEvent(SyncEvent{
+		Op: monitorKindOps[ev.Kind], G: ev.G, GName: ev.GName, Obj: ev.Obj,
+		VC: ev.VC, Counter: ev.Counter, Delta: ev.Delta,
+		HeldLocks: append([]string(nil), ev.HeldLocks...),
+		Step:      ev.Step,
+	})
+}
+
+// DPORObserver receives the scheduling stream the systematic explorer's
+// partial-order reduction consumes: one Step per scheduler transition and
+// one SelectPoint per ready-select decision.
+type DPORObserver interface {
+	// Step reports one completed transition. The slices inside st alias
+	// runtime state reused on the next transition: clone to retain.
+	Step(st SchedStep)
+	// SelectPoint reports that decision dec picked among ncases ready
+	// select cases on goroutine g.
+	SelectPoint(g, dec, ncases int)
+}
+
+// DPORSink adapts a DPORObserver to the SchedStep/SelectReady events.
+type DPORSink struct {
+	Obs DPORObserver
+}
+
+// Kinds implements event.Sink.
+func (s DPORSink) Kinds() []event.Kind {
+	return []event.Kind{event.Sched, event.SelectReady}
+}
+
+// Event implements event.Sink.
+func (s DPORSink) Event(ev *event.Event) {
+	if ev.Kind == event.Sched {
+		s.Obs.Step(*ev.Sched)
+		return
+	}
+	s.Obs.SelectPoint(ev.G, ev.Dec, ev.Counter)
+}

@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 
+	"goconcbugs/internal/event"
 	"goconcbugs/internal/hb"
 )
 
@@ -131,13 +132,19 @@ func (c *chanCore) completeSend(t *T, v any) {
 		}
 		t.g.tick()
 		c.rt.unblock(w.g)
-		c.rt.event(t.g, "send", c.name, fmt.Sprintf("handoff to g%d", w.g.id))
+		if c.rt.wants(event.ChanSendDone) {
+			// Aux carries the receiver's goroutine id; sinks that need the
+			// "handoff to gN" rendering derive it from Aux.
+			c.rt.emit(t.g, event.Event{Kind: event.ChanSendDone, Obj: c.name, ObjID: c.id, Aux: w.g.id})
+		}
 		return
 	}
 	// Buffer space is available.
 	c.buf = append(c.buf, bufItem{val: v, vc: t.g.vc.Clone()})
 	t.g.tick()
-	c.rt.event(t.g, "send", c.name, "buffered")
+	if c.rt.wants(event.ChanSendDone) {
+		c.rt.emit(t.g, event.Event{Kind: event.ChanSendDone, Obj: c.name, ObjID: c.id, Detail: "buffered"})
+	}
 }
 
 // completeRecv performs a receive that is known to be ready.
@@ -153,7 +160,9 @@ func (c *chanCore) completeRecv(t *T) (any, bool) {
 			c.buf = append(c.buf, bufItem{val: w.val, vc: w.vcSnap})
 			c.rt.unblock(w.g)
 		}
-		c.rt.event(t.g, "recv", c.name, "buffered")
+		if c.rt.wants(event.ChanRecvDone) {
+			c.rt.emit(t.g, event.Event{Kind: event.ChanRecvDone, Obj: c.name, ObjID: c.id, Detail: "buffered"})
+		}
 		return item.val, true
 	}
 	if w := dequeue(&c.sendq); w != nil {
@@ -165,12 +174,18 @@ func (c *chanCore) completeRecv(t *T) (any, bool) {
 		t.g.tick()
 		w.g.tick()
 		c.rt.unblock(w.g)
-		c.rt.event(t.g, "recv", c.name, fmt.Sprintf("rendezvous with g%d", w.g.id))
+		if c.rt.wants(event.ChanRecvDone) {
+			// Aux carries the matched sender's goroutine id ("rendezvous
+			// with gN" in trace renderings).
+			c.rt.emit(t.g, event.Event{Kind: event.ChanRecvDone, Obj: c.name, ObjID: c.id, Aux: w.g.id})
+		}
 		return w.val, true
 	}
 	// Closed and drained.
 	t.g.vc.Join(c.closeVC)
-	c.rt.event(t.g, "recv", c.name, "closed")
+	if c.rt.wants(event.ChanRecvDone) {
+		c.rt.emit(t.g, event.Event{Kind: event.ChanRecvDone, Obj: c.name, ObjID: c.id, Detail: "closed"})
+	}
 	return nil, false
 }
 
@@ -179,14 +194,14 @@ func (c *chanCore) send(t *T, v any) {
 	t.yield()
 	if c == nil {
 		t.touch(ObjChan, 0, true)
-		t.emitSync(OpChanNil, "nil channel (send)", 0, 0)
+		t.emitObj(event.ChanNil, "nil channel (send)")
 		t.blockForever(BlockChanSend, "nil channel")
 	}
 	t.touch(ObjChan, c.id, true)
 	if c.closed {
-		t.emitSync(OpChanSendClosed, c.name, 0, 0)
-	} else {
-		t.emitSync(OpChanSend, c.name, 0, 0)
+		t.emitObj(event.ChanSendClosed, c.name)
+	} else if t.rt.wants(event.ChanSend) {
+		t.rt.emit(t.g, event.Event{Kind: event.ChanSend, Obj: c.name, ObjID: c.id})
 	}
 	if c.sendReady() {
 		c.completeSend(t, v)
@@ -207,11 +222,13 @@ func (c *chanCore) recv(t *T) (any, bool) {
 	t.yield()
 	if c == nil {
 		t.touch(ObjChan, 0, true)
-		t.emitSync(OpChanNil, "nil channel (recv)", 0, 0)
+		t.emitObj(event.ChanNil, "nil channel (recv)")
 		t.blockForever(BlockChanRecv, "nil channel")
 	}
 	t.touch(ObjChan, c.id, true)
-	t.emitSync(OpChanRecv, c.name, 0, 0)
+	if t.rt.wants(event.ChanRecv) {
+		t.rt.emit(t.g, event.Event{Kind: event.ChanRecv, Obj: c.name, ObjID: c.id})
+	}
 	if c.recvReady() {
 		return c.completeRecv(t)
 	}
@@ -226,19 +243,23 @@ func (c *chanCore) close(t *T) {
 	t.yield()
 	if c == nil {
 		t.touch(ObjChan, 0, true)
-		t.emitSync(OpChanNil, "nil channel (close)", 0, 0)
+		t.emitObj(event.ChanNil, "nil channel (close)")
 		t.Panicf("close of nil channel")
 	}
 	t.touch(ObjChan, c.id, true)
 	if c.closed {
-		t.emitSync(OpChanCloseClosed, c.name, 0, 0)
+		t.emitObj(event.ChanCloseClosed, c.name)
 		t.Panicf("close of closed channel %s", c.name)
 	}
-	t.emitSync(OpChanClose, c.name, 0, 0)
+	// One merged event: the legacy monitor saw the closing goroutine's
+	// pre-tick clock, and the trace line carries no clock, so emitting here
+	// (before the close takes effect) serves both.
+	if t.rt.wants(event.ChanClose) {
+		t.rt.emit(t.g, event.Event{Kind: event.ChanClose, Obj: c.name, ObjID: c.id})
+	}
 	c.closed = true
 	c.closeVC = t.g.vc.Clone()
 	t.g.tick()
-	c.rt.event(t.g, "close", c.name, "")
 	// Every parked receiver observes the close.
 	for {
 		w := dequeue(&c.recvq)

@@ -1,60 +1,184 @@
 package sim
 
 import (
-	"encoding/json"
 	"io"
+	"strconv"
+
+	"goconcbugs/internal/event"
 )
 
-// Chrome-trace export: Result traces render in chrome://tracing (or
-// Perfetto) as one row per goroutine, which is how hard-to-read
-// interleavings — the etcd#7816-style tangles the paper describes
-// reproducing with inserted sleeps — become visible at a glance.
+// Chrome-trace export: runs render in chrome://tracing (or Perfetto) as one
+// row per goroutine, which is how hard-to-read interleavings — the
+// etcd#7816-style tangles the paper describes reproducing with inserted
+// sleeps — become visible at a glance.
+//
+// ChromeTraceSink streams the Trace Event Format as the run executes: each
+// event is rendered straight into a reused byte buffer (no intermediate
+// strings, no reflection-based JSON encoding) that drains to the writer
+// whenever it fills, so a run's peak memory no longer scales with its trace
+// length the way the old materialize-then-encode exporter did.
 
-// chromeEvent is the Trace Event Format's complete-event ("X") record.
-type chromeEvent struct {
-	Name     string         `json:"name"`
-	Category string         `json:"cat"`
-	Phase    string         `json:"ph"`
-	TS       int64          `json:"ts"`  // microseconds
-	Dur      int64          `json:"dur"` // microseconds
-	PID      int            `json:"pid"`
-	TID      int            `json:"tid"`
-	Args     map[string]any `json:"args,omitempty"`
+const chromeFlushSize = 32 << 10
+
+// ChromeTraceSink writes a run incrementally in the Chrome Trace Event
+// Format. Steps are used as the time axis — virtual time stalls while
+// goroutines compute, but every event occupies one step, which draws a
+// readable staircase of the interleaving. Check Err after the run; write
+// failures make the sink go quiet rather than disturb the simulation.
+type ChromeTraceSink struct {
+	w     io.Writer
+	buf   []byte
+	err   error
+	wrote bool   // at least one record emitted: the next needs a comma
+	named []bool // goroutine ids that already got a thread_name record
 }
 
-type chromeMeta struct {
-	Name  string         `json:"name"`
-	Phase string         `json:"ph"`
-	PID   int            `json:"pid"`
-	TID   int            `json:"tid"`
-	Args  map[string]any `json:"args"`
+// NewChromeTraceSink creates a streaming sink writing to w. The JSON
+// document is completed and flushed by RunEnd.
+func NewChromeTraceSink(w io.Writer) *ChromeTraceSink {
+	s := &ChromeTraceSink{w: w, buf: make([]byte, 0, chromeFlushSize+1024)}
+	s.buf = append(s.buf, `{"displayTimeUnit":"ms","traceEvents":[`...)
+	return s
 }
 
-// WriteChromeTrace renders the run's event trace (Config.Trace must have
-// been set) in the Chrome Trace Event Format. Steps are used as the time
-// axis — virtual time stalls while goroutines compute, but every event
-// occupies one step, which draws a readable staircase of the interleaving.
-func (r *Result) WriteChromeTrace(w io.Writer) error {
-	var records []any
-	for _, g := range r.Goroutines {
-		records = append(records, chromeMeta{
-			Name: "thread_name", Phase: "M", PID: 1, TID: g.ID,
-			Args: map[string]any{"name": g.Name},
-		})
+// Kinds implements event.Sink: the same kinds the human-readable trace
+// renders.
+func (s *ChromeTraceSink) Kinds() []event.Kind {
+	out := make([]event.Kind, 0, len(traceKindOps))
+	for k := range traceKindOps {
+		out = append(out, k)
 	}
-	for _, e := range r.Trace {
-		rec := chromeEvent{
-			Name: e.Op + " " + e.Obj, Category: "sim", Phase: "X",
-			TS: e.Step, Dur: 1, PID: 1, TID: e.G,
-		}
-		if e.Detail != "" {
-			rec.Args = map[string]any{"detail": e.Detail, "vtime": e.Time}
-		}
-		records = append(records, rec)
+	return out
+}
+
+// Event implements event.Sink.
+func (s *ChromeTraceSink) Event(ev *event.Event) {
+	if s.err != nil {
+		return
 	}
-	enc := json.NewEncoder(w)
-	return enc.Encode(map[string]any{
-		"displayTimeUnit": "ms",
-		"traceEvents":     records,
-	})
+	s.thread(ev.G, ev.GName)
+	if ev.Kind == event.GoSpawn {
+		// Name the child's row up front; its first own event may be late.
+		s.thread(ev.Aux, ev.Obj)
+	}
+	s.sep()
+	s.buf = append(s.buf, `{"name":"`...)
+	s.buf = appendJSONChars(s.buf, traceKindOps[ev.Kind])
+	s.buf = append(s.buf, ' ')
+	s.buf = appendJSONChars(s.buf, ev.Obj)
+	s.buf = append(s.buf, `","cat":"sim","ph":"X","ts":`...)
+	s.buf = strconv.AppendInt(s.buf, ev.Step, 10)
+	s.buf = append(s.buf, `,"dur":1,"pid":1,"tid":`...)
+	s.buf = strconv.AppendInt(s.buf, int64(ev.G), 10)
+	s.appendArgs(ev)
+	s.buf = append(s.buf, '}')
+	if len(s.buf) >= chromeFlushSize {
+		s.flush()
+	}
+}
+
+// appendArgs renders the args object when the event has a detail, deriving
+// the same annotations the human-readable trace shows (hand-off partners,
+// WaitGroup arithmetic) without going through fmt.
+func (s *ChromeTraceSink) appendArgs(ev *event.Event) {
+	open := func() { s.buf = append(s.buf, `,"args":{"detail":"`...) }
+	switch {
+	case ev.Kind == event.ChanSendDone && ev.Aux != 0:
+		open()
+		s.buf = append(s.buf, "handoff to g"...)
+		s.buf = strconv.AppendInt(s.buf, int64(ev.Aux), 10)
+	case ev.Kind == event.ChanRecvDone && ev.Aux != 0:
+		open()
+		s.buf = append(s.buf, "rendezvous with g"...)
+		s.buf = strconv.AppendInt(s.buf, int64(ev.Aux), 10)
+	case ev.Kind == event.MutexTryLock:
+		open()
+		s.buf = append(s.buf, "acquired"...)
+	case ev.Kind == event.WGAdd:
+		open()
+		if ev.Delta >= 0 {
+			s.buf = append(s.buf, '+')
+		}
+		s.buf = strconv.AppendInt(s.buf, int64(ev.Delta), 10)
+		s.buf = append(s.buf, " -> "...)
+		s.buf = strconv.AppendInt(s.buf, int64(ev.Counter), 10)
+	case ev.Kind == event.WGDone:
+		open()
+		s.buf = append(s.buf, "-> "...)
+		s.buf = strconv.AppendInt(s.buf, int64(ev.Counter), 10)
+	case ev.Detail != "":
+		open()
+		s.buf = appendJSONChars(s.buf, ev.Detail)
+	default:
+		return
+	}
+	s.buf = append(s.buf, `","vtime":`...)
+	s.buf = strconv.AppendInt(s.buf, ev.Time, 10)
+	s.buf = append(s.buf, '}')
+}
+
+// RunEnd implements event.RunEnder: it closes the JSON document and flushes
+// everything buffered.
+func (s *ChromeTraceSink) RunEnd() {
+	if s.err != nil {
+		return
+	}
+	s.buf = append(s.buf, "]}\n"...)
+	s.flush()
+}
+
+// Err returns the first write error, if any.
+func (s *ChromeTraceSink) Err() error { return s.err }
+
+// thread emits the one-time thread_name metadata record for a goroutine row.
+func (s *ChromeTraceSink) thread(tid int, name string) {
+	for len(s.named) <= tid {
+		s.named = append(s.named, false)
+	}
+	if s.named[tid] {
+		return
+	}
+	s.named[tid] = true
+	s.sep()
+	s.buf = append(s.buf, `{"name":"thread_name","ph":"M","pid":1,"tid":`...)
+	s.buf = strconv.AppendInt(s.buf, int64(tid), 10)
+	s.buf = append(s.buf, `,"args":{"name":"`...)
+	s.buf = appendJSONChars(s.buf, name)
+	s.buf = append(s.buf, `"}}`...)
+}
+
+func (s *ChromeTraceSink) sep() {
+	if s.wrote {
+		s.buf = append(s.buf, ',')
+	}
+	s.wrote = true
+}
+
+func (s *ChromeTraceSink) flush() {
+	if len(s.buf) == 0 {
+		return
+	}
+	if _, err := s.w.Write(s.buf); err != nil {
+		s.err = err
+	}
+	s.buf = s.buf[:0]
+}
+
+// appendJSONChars appends str with JSON string escaping (quotes,
+// backslashes, control characters); the caller supplies the surrounding
+// quotes.
+func appendJSONChars(buf []byte, str string) []byte {
+	for i := 0; i < len(str); i++ {
+		c := str[i]
+		switch {
+		case c == '"' || c == '\\':
+			buf = append(buf, '\\', c)
+		case c < 0x20:
+			const hex = "0123456789abcdef"
+			buf = append(buf, '\\', 'u', '0', '0', hex[c>>4], hex[c&0xf])
+		default:
+			buf = append(buf, c)
+		}
+	}
+	return buf
 }

@@ -3,24 +3,29 @@ package sim
 import (
 	"bytes"
 	"encoding/json"
+	"io"
+	gort "runtime"
 	"testing"
+
+	"goconcbugs/internal/event"
 )
 
-func TestWriteChromeTrace(t *testing.T) {
-	res := Run(Config{Seed: 1, Trace: true}, func(tt *T) {
+func TestChromeTraceSink(t *testing.T) {
+	var buf bytes.Buffer
+	cts := NewChromeTraceSink(&buf)
+	Run(Config{Seed: 1, Sinks: []event.Sink{cts}}, func(tt *T) {
 		ch := NewChanNamed[int](tt, "ch", 0)
 		tt.GoNamed("sender", func(ct *T) { ch.Send(ct, 1) })
 		ch.Recv(tt)
 	})
-	var buf bytes.Buffer
-	if err := res.WriteChromeTrace(&buf); err != nil {
+	if err := cts.Err(); err != nil {
 		t.Fatal(err)
 	}
 	var decoded struct {
 		TraceEvents []map[string]any `json:"traceEvents"`
 	}
 	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
-		t.Fatalf("invalid JSON: %v", err)
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.Bytes())
 	}
 	var sawThreadName, sawChanOp bool
 	for _, e := range decoded.TraceEvents {
@@ -36,13 +41,74 @@ func TestWriteChromeTrace(t *testing.T) {
 	}
 }
 
-func TestWriteChromeTraceEmpty(t *testing.T) {
-	res := Run(Config{Seed: 1}, func(tt *T) {}) // no Trace flag
+func TestChromeTraceSinkEmptyRun(t *testing.T) {
 	var buf bytes.Buffer
-	if err := res.WriteChromeTrace(&buf); err != nil {
+	cts := NewChromeTraceSink(&buf)
+	Run(Config{Seed: 1, Sinks: []event.Sink{cts}}, func(tt *T) {})
+	if err := cts.Err(); err != nil {
 		t.Fatal(err)
 	}
-	if buf.Len() == 0 {
-		t.Fatal("no output")
+	var decoded map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.Bytes())
+	}
+}
+
+// longTraceProgram produces tens of thousands of trace events.
+func longTraceProgram(tt *T) {
+	mu := NewMutex(tt, "mu")
+	v := NewIntVar(tt, "v")
+	for i := 0; i < 10_000; i++ {
+		mu.Lock(tt)
+		v.Incr(tt, 1)
+		mu.Unlock(tt)
+	}
+}
+
+// allocDuring returns the bytes allocated while fn runs (TotalAlloc is
+// monotonic, so the delta is GC-independent).
+func allocDuring(fn func()) uint64 {
+	var before, after gort.MemStats
+	gort.ReadMemStats(&before)
+	fn()
+	gort.ReadMemStats(&after)
+	return after.TotalAlloc - before.TotalAlloc
+}
+
+// TestChromeTraceStreamingAllocation is the regression test for the
+// streaming export: the sink must not materialize the run, so its
+// allocations on a long trace stay bounded (and far below what buffering
+// the same trace as []Event costs).
+func TestChromeTraceStreamingAllocation(t *testing.T) {
+	cfg := Config{Seed: 1, MaxSteps: 1 << 22}
+
+	streaming := allocDuring(func() {
+		cts := NewChromeTraceSink(io.Discard)
+		c := cfg
+		c.Sinks = []event.Sink{cts}
+		Run(c, longTraceProgram)
+		if err := cts.Err(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	buffering := allocDuring(func() {
+		tc := &TraceCollector{}
+		c := cfg
+		c.Sinks = []event.Sink{tc}
+		res := Run(c, longTraceProgram)
+		if len(tc.Events()) < 40_000 {
+			t.Fatalf("expected a long trace, got %d events (outcome %v)", len(tc.Events()), res.Outcome)
+		}
+	})
+
+	// Both runs pay the same simulation cost; the difference is the trace
+	// representation. The buffered []Event for 40k+ events is several MB, so
+	// the streaming run staying within 2MB of extra allocation proves it
+	// never holds the trace.
+	if streaming > buffering {
+		t.Fatalf("streaming sink allocated more than buffering collector: %d > %d", streaming, buffering)
+	}
+	if delta := buffering - streaming; delta < 2<<20 {
+		t.Fatalf("streaming saved only %d bytes vs buffering; expected multi-MB savings", delta)
 	}
 }

@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 
+	"goconcbugs/internal/event"
 	"goconcbugs/internal/hb"
 )
 
@@ -33,7 +34,7 @@ func (c *Cond) Wait(t *T) {
 	if c.mu.holder != t.g {
 		t.Panicf("sync: Cond.Wait on %s without holding its mutex", c.name)
 	}
-	t.emitSync(OpCondWait, c.name, 0, 0)
+	t.emitObj(event.CondWait, c.name)
 	c.mu.Unlock(t)
 	t.touch(ObjSync, c.id, true)
 	c.waiters = append(c.waiters, t.g)
@@ -49,8 +50,9 @@ func (c *Cond) Signal(t *T) {
 	t.touch(ObjSync, c.mu.id, true)
 	c.vc.Join(t.g.vc)
 	t.g.tick()
-	c.rt.event(t.g, "cond-signal", c.name, "")
-	t.emitSync(OpCondSignal, c.name, len(c.waiters), 0)
+	if t.rt.wants(event.CondSignal) {
+		t.rt.emit(t.g, event.Event{Kind: event.CondSignal, Obj: c.name, ObjID: c.id, Counter: len(c.waiters)})
+	}
 	if len(c.waiters) == 0 {
 		return
 	}
@@ -66,7 +68,7 @@ func (c *Cond) Broadcast(t *T) {
 	t.touch(ObjSync, c.mu.id, true)
 	c.vc.Join(t.g.vc)
 	t.g.tick()
-	c.rt.event(t.g, "cond-broadcast", c.name, "")
+	t.emitObj(event.CondBroadcast, c.name)
 	for _, g := range c.waiters {
 		c.rt.unblock(g)
 	}

@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 
+	"goconcbugs/internal/event"
 	"goconcbugs/internal/hb"
 )
 
@@ -197,7 +198,9 @@ func (rt *runtime) spawn(name string, fn Program) *G {
 				g.state = GDone
 				g.finalState = GDone
 				g.endTime = rt.now
-				rt.event(g, "exit", "", "")
+				if rt.wants(event.GoExit) {
+					rt.emit(g, event.Event{Kind: event.GoExit})
+				}
 				// Hand the CPU token onward; this host goroutine
 				// then exits.
 				if next := rt.dispatch(); next != nil {
@@ -215,7 +218,9 @@ func (rt *runtime) spawn(name string, fn Program) *G {
 				g.state = GPanicked
 				g.finalState = GPanicked
 				g.endTime = rt.now
-				rt.event(g, "panic", "", v.msg)
+				if rt.wants(event.GoPanic) {
+					rt.emit(g, event.Event{Kind: event.GoPanic, Detail: v.msg})
+				}
 				// A simulated panic crashes the whole simulated
 				// process, as an unrecovered panic would.
 				rt.stopping = true
@@ -279,7 +284,9 @@ func (t *T) GoNamed(name string, fn Program) {
 	child.vc.Join(t.g.vc)
 	child.vc.Tick(child.id)
 	t.g.vc.Tick(t.g.id)
-	t.rt.event(t.g, "go", name, "")
+	if t.rt.wants(event.GoSpawn) {
+		t.rt.emit(t.g, event.Event{Kind: event.GoSpawn, Obj: name, Aux: child.id})
+	}
 	t.yield()
 }
 
@@ -330,7 +337,7 @@ func (t *T) block(kind BlockKind, obj string) {
 	t.g.state = GBlocked
 	t.g.block = blockInfo{kind: kind, obj: obj}
 	t.g.blockedSince = t.rt.step
-	t.rt.event(t.g, "block", obj, kind.String())
+	t.emitObjDetail(event.GoBlock, obj, kind.String())
 	t.reschedule()
 	t.g.state = GRunning
 	t.g.block = blockInfo{}
@@ -342,7 +349,7 @@ func (t *T) blockForever(kind BlockKind, obj string) {
 	t.g.state = GBlocked
 	t.g.block = blockInfo{kind: kind, obj: obj}
 	t.g.blockedSince = t.rt.step
-	t.rt.event(t.g, "block-forever", obj, kind.String())
+	t.emitObjDetail(event.GoBlockForever, obj, kind.String())
 	t.reschedule()
 	// Only teardown resumes us, and park panics with killSentinel then.
 	panic(&simPanic{msg: "resumed a goroutine blocked forever on " + obj})

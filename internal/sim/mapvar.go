@@ -1,6 +1,10 @@
 package sim
 
-import "fmt"
+import (
+	"fmt"
+
+	"goconcbugs/internal/event"
+)
 
 // MapVar models a plain Go map shared across goroutines. The real runtime
 // carries a best-effort concurrent-access check that throws "fatal error:
@@ -12,8 +16,10 @@ import "fmt"
 // that merely race in the happens-before sense (but do not overlap) survive
 // the run and are left to the race detector, exactly like real Go.
 //
-// Accesses are also reported to the MemoryObserver, so the race detector
-// flags the race even on runs where the crash window is missed.
+// Accesses are also emitted as MapRead/MapWrite events (distinct kinds from
+// MemRead/MemWrite: map accesses feed the race detector but never appeared
+// in the execution trace), so the race detector flags the race even on runs
+// where the crash window is missed.
 type MapVar[K comparable, V any] struct {
 	meta    *VarMeta
 	rt      *runtime
@@ -37,13 +43,13 @@ func NewMapVar[K comparable, V any](t *T, name string) *MapVar[K, V] {
 }
 
 func (mv *MapVar[K, V]) observe(t *T, write bool) {
-	if mv.rt.cfg.Observer == nil {
-		return
+	kind := event.MapRead
+	if write {
+		kind = event.MapWrite
 	}
-	mv.rt.cfg.Observer.Access(MemAccess{
-		Var: mv.meta, G: t.g.id, GName: t.g.name, VC: t.g.vc,
-		Write: write, Step: mv.rt.step, Time: mv.rt.now,
-	})
+	if t.rt.wants(kind) {
+		t.rt.emit(t.g, event.Event{Kind: kind, Obj: mv.meta.Name, ObjID: mv.meta.ID, Var: mv.meta})
+	}
 }
 
 // Store writes a key. The write occupies a window spanning a scheduling

@@ -3,6 +3,8 @@ package sim
 import (
 	"strings"
 	"testing"
+
+	"goconcbugs/internal/event"
 )
 
 func TestMapVarBasicOps(t *testing.T) {
@@ -109,7 +111,7 @@ func TestMapVarRaceDetectorSeesIt(t *testing.T) {
 		obs := &countingObserver{}
 		_ = obs
 		d := newTestDetector()
-		res := Run(Config{Seed: seed, Observer: d}, func(tt *T) {
+		res := Run(Config{Seed: seed, Sinks: []event.Sink{ObserverSink{Obs: d}}}, func(tt *T) {
 			m := NewMapVar[int, int](tt, "m")
 			tt.Go(func(ct *T) { m.Store(ct, 1, 1) })
 			m.Store(tt, 2, 2)

@@ -7,7 +7,9 @@ import "goconcbugs/internal/hb"
 // violation at runtime" — the channel and WaitGroup usage rules whose
 // violation causes many of the studied bugs. The runtime emits a structured
 // event at every rule-relevant operation; package vet implements the
-// monitor.
+// monitor. The types here are the legacy monitor surface: the runtime now
+// emits event.Event values and MonitorSink (adapters.go) translates them
+// into SyncEvents for existing Monitor implementations.
 
 // SyncOp identifies the operation an event describes.
 type SyncOp int
@@ -70,18 +72,4 @@ type SyncEvent struct {
 // Monitor receives every synchronization event of a run.
 type Monitor interface {
 	SyncEvent(ev SyncEvent)
-}
-
-// emitSync dispatches an event to the configured monitor, if any.
-func (t *T) emitSync(op SyncOp, obj string, counter, delta int) {
-	m := t.rt.cfg.Monitor
-	if m == nil {
-		return
-	}
-	m.SyncEvent(SyncEvent{
-		Op: op, G: t.g.id, GName: t.g.name, Obj: obj, VC: t.g.vc,
-		Counter: counter, Delta: delta,
-		HeldLocks: append([]string(nil), t.g.held...),
-		Step:      t.rt.step,
-	})
 }

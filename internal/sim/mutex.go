@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 
+	"goconcbugs/internal/event"
 	"goconcbugs/internal/hb"
 )
 
@@ -36,16 +37,14 @@ func (m *Mutex) Lock(t *T) {
 		m.holder = t.g
 		t.g.vc.Join(m.vc)
 		t.g.holdLock(m.name)
-		t.emitSync(OpMutexLock, m.name, 0, 0)
-		m.rt.event(t.g, "lock", m.name, "")
+		t.emitObj(event.MutexLock, m.name)
 		return
 	}
 	m.waitq = append(m.waitq, t.g)
 	t.block(BlockMutex, m.name)
 	// Ownership and the clock were transferred by the unlocker.
 	t.g.holdLock(m.name)
-	t.emitSync(OpMutexLock, m.name, 0, 0)
-	m.rt.event(t.g, "lock", m.name, "after wait")
+	t.emitObjDetail(event.MutexLock, m.name, "after wait")
 }
 
 // Unlock releases the mutex, panicking if the caller does not hold it
@@ -60,8 +59,7 @@ func (m *Mutex) Unlock(t *T) {
 	t.g.tick()
 	m.holder = nil
 	t.g.releaseLock(m.name)
-	t.emitSync(OpMutexUnlock, m.name, 0, 0)
-	m.rt.event(t.g, "unlock", m.name, "")
+	t.emitObj(event.MutexUnlock, m.name)
 	if len(m.waitq) > 0 {
 		next := m.waitq[0]
 		m.waitq = m.waitq[1:]
@@ -81,8 +79,7 @@ func (m *Mutex) TryLock(t *T) bool {
 	m.holder = t.g
 	t.g.vc.Join(m.vc)
 	t.g.holdLock(m.name)
-	t.emitSync(OpMutexLock, m.name, 0, 0)
-	m.rt.event(t.g, "trylock", m.name, "acquired")
+	t.emitObj(event.MutexTryLock, m.name)
 	return true
 }
 

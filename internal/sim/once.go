@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 
+	"goconcbugs/internal/event"
 	"goconcbugs/internal/hb"
 )
 
@@ -42,8 +43,7 @@ func (o *Once) Do(t *T, f func(t *T)) {
 		return
 	}
 	o.state = 1
-	t.emitSync(OpOnceDo, o.name, 0, 0)
-	o.rt.event(t.g, "once-do", o.name, "first")
+	t.emitObjDetail(event.OnceDo, o.name, "first")
 	f(t)
 	o.state = 2
 	o.vc.Join(t.g.vc)

@@ -3,6 +3,8 @@ package sim
 import (
 	"strings"
 	"testing"
+
+	"goconcbugs/internal/event"
 )
 
 // Robustness and failure-injection tests: the runtime must stay sane when
@@ -96,12 +98,14 @@ func TestNegativeChooserIsClamped(t *testing.T) {
 }
 
 func TestObserverMonitorChooserTogether(t *testing.T) {
-	// All three hooks at once must compose.
+	// Both adapter sinks plus the chooser at once must compose.
 	var accesses, events, choices int
 	res := Run(Config{
-		Seed:     1,
-		Observer: observerFunc(func(MemAccess) { accesses++ }),
-		Monitor:  monitorFunc(func(SyncEvent) { events++ }),
+		Seed: 1,
+		Sinks: []event.Sink{
+			ObserverSink{Obs: observerFunc(func(MemAccess) { accesses++ })},
+			MonitorSink{Mon: monitorFunc(func(SyncEvent) { events++ })},
+		},
 		Chooser: func(n, preferred int) int {
 			choices++
 			return n - 1

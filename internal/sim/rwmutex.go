@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 
+	"goconcbugs/internal/event"
 	"goconcbugs/internal/hb"
 )
 
@@ -47,15 +48,13 @@ func (rw *RWMutex) RLock(t *T) {
 		rw.readers[t.g]++
 		t.g.vc.Join(rw.vcWriter)
 		t.g.holdLock(rw.name)
-		t.emitSync(OpMutexLock, rw.name, 0, 0)
-		rw.rt.event(t.g, "rlock", rw.name, "")
+		t.emitObj(event.RWRLock, rw.name)
 		return
 	}
 	rw.waitingReaders = append(rw.waitingReaders, t.g)
 	t.block(BlockRWMutexR, rw.name)
 	t.g.holdLock(rw.name)
-	t.emitSync(OpMutexLock, rw.name, 0, 0)
-	rw.rt.event(t.g, "rlock", rw.name, "after wait")
+	t.emitObjDetail(event.RWRLock, rw.name, "after wait")
 }
 
 // RUnlock releases a read lock.
@@ -72,8 +71,7 @@ func (rw *RWMutex) RUnlock(t *T) {
 	rw.vcReaders.Join(t.g.vc)
 	t.g.tick()
 	t.g.releaseLock(rw.name)
-	t.emitSync(OpMutexUnlock, rw.name, 0, 0)
-	rw.rt.event(t.g, "runlock", rw.name, "")
+	t.emitObj(event.RWRUnlock, rw.name)
 	rw.promote()
 }
 
@@ -87,15 +85,13 @@ func (rw *RWMutex) Lock(t *T) {
 		t.g.vc.Join(rw.vcWriter)
 		t.g.vc.Join(rw.vcReaders)
 		t.g.holdLock(rw.name)
-		t.emitSync(OpMutexLock, rw.name, 0, 0)
-		rw.rt.event(t.g, "wlock", rw.name, "")
+		t.emitObj(event.RWWLock, rw.name)
 		return
 	}
 	rw.waitingWriters = append(rw.waitingWriters, t.g)
 	t.block(BlockRWMutexW, rw.name)
 	t.g.holdLock(rw.name)
-	t.emitSync(OpMutexLock, rw.name, 0, 0)
-	rw.rt.event(t.g, "wlock", rw.name, "after wait")
+	t.emitObjDetail(event.RWWLock, rw.name, "after wait")
 }
 
 // Unlock releases the write lock.
@@ -109,8 +105,7 @@ func (rw *RWMutex) Unlock(t *T) {
 	t.g.tick()
 	rw.writer = nil
 	t.g.releaseLock(rw.name)
-	t.emitSync(OpMutexUnlock, rw.name, 0, 0)
-	rw.rt.event(t.g, "wunlock", rw.name, "")
+	t.emitObj(event.RWWUnlock, rw.name)
 	// As in real Go, readers that queued behind the writer get the lock
 	// when it releases; otherwise the next writer runs.
 	if len(rw.waitingReaders) > 0 {

@@ -1,0 +1,121 @@
+package sim
+
+import "goconcbugs/internal/event"
+
+// Scheduling metadata for dynamic partial-order reduction (package explore).
+//
+// The systematic explorer enumerates schedules by replaying decision
+// sequences through Config.Chooser. Plain DFS over those decisions explores
+// every interleaving — including the astronomically many that differ only in
+// the order of *independent* steps (two goroutines touching disjoint
+// objects). To prune those, the explorer needs to know, for every scheduler
+// transition, which goroutine ran and which objects it touched. This file is
+// that reporting channel: when some sink subscribes to event.Sched, the
+// runtime accumulates each transition's object footprint and emits one
+// SchedStep event per transition (plus one SelectReady event per
+// ready-select decision, emitted from select.go). Unsubscribed, the whole
+// machinery is a nil check per dispatch.
+//
+// A transition is everything a goroutine does between being picked by the
+// scheduler and handing the CPU back: every primitive operation starts with
+// a yield, so a transition is exactly one operation attempt (a send, a lock
+// acquisition that may block, a shared-variable access, ...). The footprint
+// of a transition is the set of objects that operation examines or mutates,
+// reported conservatively: any two transitions of different goroutines with
+// disjoint footprints commute (executing them in either order reaches the
+// same state and neither disables the other), which is the independence
+// relation partial-order reduction is built on.
+//
+// The payload types live in package event so any sink can consume them;
+// the aliases below keep the sim-qualified names working.
+
+// ObjClass classifies the object a footprint entry refers to; see
+// event.ObjClass for the class semantics.
+type ObjClass = event.ObjClass
+
+// The footprint object classes, re-exported for sim-qualified use.
+const (
+	ObjVar   = event.ObjVar
+	ObjChan  = event.ObjChan
+	ObjSync  = event.ObjSync
+	ObjSpawn = event.ObjSpawn
+	ObjWorld = event.ObjWorld
+)
+
+// OpRef is one footprint entry: an object the transition examined or
+// mutated.
+type OpRef = event.OpRef
+
+// SchedStep describes one completed scheduler transition.
+type SchedStep = event.SchedStep
+
+// schedState is the runtime's accumulator for the in-flight transition,
+// allocated only when some sink wants SchedStep events.
+type schedState struct {
+	active  bool // a transition is in flight
+	pending SchedStep
+	gids    []int // backing for pending.OptionGs
+	ops     []OpRef
+}
+
+// schedBegin opens a new transition record after the scheduler picked g.
+// decision is the Chooser call index consumed by the pick, -1 when forced.
+func (rt *runtime) schedBegin(g *G, decision int, runnable []*G, preferred int) {
+	rt.schedFlush()
+	s := rt.sched
+	s.gids = s.gids[:0]
+	for _, r := range runnable {
+		s.gids = append(s.gids, r.id)
+	}
+	s.ops = s.ops[:0]
+	s.pending = SchedStep{
+		G: g.id, Decision: decision, OptionGs: s.gids, Preferred: preferred,
+	}
+	s.active = true
+}
+
+// schedFlush emits the in-flight transition, if any — at the next scheduler
+// pick, or once from finalize when the run ends. The event fires from
+// scheduler context: its header carries the executing goroutine's identity
+// but no live clock or lock set (the goroutine may already have exited).
+func (rt *runtime) schedFlush() {
+	s := rt.sched
+	if s == nil || !s.active {
+		return
+	}
+	s.active = false
+	s.pending.Ops = s.ops
+	rt.scratch = event.Event{
+		Kind: event.Sched, Step: rt.step, Time: rt.now,
+		G: s.pending.G, GName: rt.gs[s.pending.G-1].name,
+		Sched: &s.pending,
+	}
+	rt.mux.Emit(&rt.scratch)
+}
+
+// touch appends one footprint entry to the goroutine's in-flight transition.
+// It is called by every primitive operation immediately after its scheduling
+// yield, and is a no-op when nobody subscribed to SchedStep events.
+func (t *T) touch(cls ObjClass, id int, write bool) {
+	t.rt.touchOp(cls, id, write)
+}
+
+// touchOp is touch from runtime context (timer fires attribute their effect
+// to whichever transition is in flight).
+func (rt *runtime) touchOp(cls ObjClass, id int, write bool) {
+	s := rt.sched
+	if s == nil || !s.active {
+		return
+	}
+	s.ops = append(s.ops, OpRef{Class: cls, ID: id, Write: write})
+}
+
+// selectReady emits the SelectReady event for a ready select that consumed
+// Chooser decision dec to pick among ncases ready cases.
+func (t *T) selectReady(dec, ncases int) {
+	if dec >= 0 && t.rt.wants(event.SelectReady) {
+		t.rt.emit(t.g, event.Event{
+			Kind: event.SelectReady, Obj: "select", Dec: dec, Counter: ncases,
+		})
+	}
+}

@@ -1,5 +1,7 @@
 package sim
 
+import "goconcbugs/internal/event"
+
 // Select semantics follow Section 2.3: a select blocks until one of its
 // cases can make progress or a default branch exists; when more than one
 // case is ready the runtime chooses uniformly at random — the source of the
@@ -84,7 +86,7 @@ func Select(t *T, cases ...Case) int {
 	if len(ready) > 0 {
 		// Uniform random choice among ready cases, as in real Go.
 		pick := t.rt.choose(len(ready), -1)
-		t.dporSelect(t.rt.lastDecision, len(ready))
+		t.selectReady(t.rt.lastDecision, len(ready))
 		idx := ready[pick]
 		runCase(t, cases[idx])
 		return idx
@@ -96,7 +98,7 @@ func Select(t *T, cases ...Case) int {
 		return defaultIdx
 	}
 	// Nothing ready and no default: park on every (non-nil) channel.
-	t.emitSync(OpSelectBlocking, "select", 0, 0)
+	t.emitObj(event.SelectBlocking, "select")
 	sel := &selectOp{chosen: -1}
 	ws := make([]*waiter, len(cases))
 	registered := false

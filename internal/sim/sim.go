@@ -19,15 +19,19 @@
 //     message-passing library (Sections 2.3, 5.1.2, 6.1.2)
 //
 // Every synchronization operation maintains vector clocks (package hb), and
-// every instrumented shared-variable access is reported to an optional
-// MemoryObserver, which is how the race detector (package race) attaches.
-// The built-in deadlock detector model and the goroutine-leak detector
-// (package deadlock) interpret the Result. A Monitor hook receives every
-// synchronization event (package vet's rule checker), and a Chooser hook
-// replaces random scheduling with enumerable decisions (package explore's
-// systematic mode). Beyond the standard primitives, Semaphore models the
-// buffered-channel concurrency limiter and MapVar models a plain shared map
-// with the runtime's "concurrent map writes" crash.
+// every instrumented transition — memory accesses, synchronization
+// operations, goroutine lifecycle, scheduler picks — is emitted as one
+// typed event (package event) to the sinks attached via Config.Sinks. The
+// race detector (package race), the rule checker (package vet), the DPOR
+// footprint collector (package explore), the execution tracer
+// (TraceCollector), and the Chrome-trace exporter (ChromeTraceSink) are all
+// sinks over that single stream, so any set of them shares one instrumented
+// run. The built-in deadlock detector model and the goroutine-leak detector
+// (package deadlock) interpret the Result. A Chooser hook replaces random
+// scheduling with enumerable decisions (package explore's systematic mode).
+// Beyond the standard primitives, Semaphore models the buffered-channel
+// concurrency limiter and MapVar models a plain shared map with the
+// runtime's "concurrent map writes" crash.
 //
 // # Deliberate divergences from the real runtime
 //
@@ -50,6 +54,8 @@ import (
 	"fmt"
 	"math/rand/v2"
 	"time"
+
+	"goconcbugs/internal/event"
 )
 
 // Default limits applied when Config leaves the corresponding field zero.
@@ -75,11 +81,15 @@ type Config struct {
 	// at the step limit (at quiescence every blocked goroutine is leaked
 	// by construction); 0 means DefaultLeakThreshold.
 	LeakThreshold int64
-	// Observer, when non-nil, receives every instrumented memory access.
-	Observer MemoryObserver
-	// Monitor, when non-nil, receives every synchronization event
-	// (package vet's rule checker attaches here).
-	Monitor Monitor
+	// Sinks receive the run's unified event stream (package event): every
+	// instrumented memory access, synchronization operation, goroutine
+	// lifecycle transition, and scheduler step. Detectors, tracers, and
+	// schedule observers all attach here; any number share the single
+	// instrumented pass. Sinks with an empty or disjoint Kinds() set cost
+	// nothing at the emission sites they skip. Use ObserverSink,
+	// MonitorSink, and DPORSink to adapt the historical observer
+	// interfaces.
+	Sinks []event.Sink
 	// Chooser, when non-nil, replaces the seeded random source for
 	// *scheduling* decisions — which runnable goroutine runs next and
 	// which ready select case fires. It receives the number of options
@@ -89,15 +99,9 @@ type Config struct {
 	// in [0, n). Package explore's systematic mode uses this to
 	// enumerate schedules exhaustively — and, with the preferred index,
 	// to bound preemptions CHESS-style. T.Rand (input randomness) stays
-	// on the seed either way.
+	// on the seed either way. (Chooser is an input to scheduling, not an
+	// observation of it, which is why it is not a Sink.)
 	Chooser func(n, preferred int) int
-	// DPOR, when non-nil, receives per-transition scheduling metadata
-	// (which goroutine ran, which objects it touched, which goroutines the
-	// pick chose among) — the raw material for dynamic partial-order
-	// reduction in package explore. See DPORObserver.
-	DPOR DPORObserver
-	// Trace records an event log in the Result when true.
-	Trace bool
 	// Name labels the run in reports.
 	Name string
 }
@@ -186,7 +190,6 @@ type Result struct {
 	// DeadlockReport is the built-in detector's message when
 	// Outcome == OutcomeBuiltinDeadlock.
 	DeadlockReport string
-	Trace          []Event
 }
 
 // Failed reports whether the run manifested any misbehavior: a deadlock, a
@@ -236,7 +239,6 @@ type runtime struct {
 	deadlockMsg   string
 	panics        []PanicInfo
 	checkFailures []string
-	trace         []Event
 	lastG         *G
 	hostPanic     any
 	nextVarID     int
@@ -245,10 +247,16 @@ type runtime struct {
 	maxSteps      int64
 	leakThreshold int64
 	runq          []*G // scratch buffer for dispatch's runnable scan
-	// dpor accumulates the in-flight transition's metadata when Config.DPOR
-	// is set; chooserCalls numbers Chooser invocations so decision indices
-	// line up with the explorer's recorded sequence.
-	dpor         *dporState
+	// mux fans the event stream out to Config.Sinks (nil when none —
+	// every emission site then reduces to one nil check); scratch is the
+	// reused per-run event buffer, so emission never allocates.
+	mux     *event.Mux
+	scratch event.Event
+	// sched accumulates the in-flight transition's footprint when some
+	// sink subscribed to SchedStep events; chooserCalls numbers Chooser
+	// invocations so decision indices line up with the explorer's
+	// recorded sequence.
+	sched        *schedState
 	chooserCalls int
 	lastDecision int // Chooser call index of the latest choose, -1 if forced
 }
@@ -271,10 +279,48 @@ func newRuntime(cfg Config) *runtime {
 			rt.leakThreshold = half
 		}
 	}
-	if cfg.DPOR != nil {
-		rt.dpor = &dporState{obs: cfg.DPOR}
+	rt.mux = event.NewMux(cfg.Sinks)
+	if rt.wants(event.Sched) {
+		rt.sched = &schedState{}
 	}
 	return rt
+}
+
+// wants reports whether some sink subscribed to k. Emission sites guard on
+// it so payload assembly is skipped when nobody is listening.
+func (rt *runtime) wants(k event.Kind) bool {
+	return rt.mux != nil && rt.mux.Wants(k)
+}
+
+// emit stamps the common header (step, virtual time, acting goroutine, its
+// live clock and held locks) onto ev and dispatches it through the run's
+// scratch buffer. Callers must have checked wants(ev.Kind); the slices the
+// stamped event aliases are live runtime state per package event's
+// ownership rules.
+func (rt *runtime) emit(g *G, ev event.Event) {
+	ev.Step = rt.step
+	ev.Time = rt.now
+	ev.G = g.id
+	ev.GName = g.name
+	ev.VC = g.vc
+	ev.HeldLocks = g.held
+	rt.scratch = ev
+	rt.mux.Emit(&rt.scratch)
+}
+
+// emitObj is the common emission shape: a payload-free event about one named
+// object, dispatched only when some sink subscribed to the kind.
+func (t *T) emitObj(k event.Kind, obj string) {
+	if t.rt.wants(k) {
+		t.rt.emit(t.g, event.Event{Kind: k, Obj: obj})
+	}
+}
+
+// emitObjDetail emits an event about obj with a static detail string.
+func (t *T) emitObjDetail(k event.Kind, obj, detail string) {
+	if t.rt.wants(k) {
+		t.rt.emit(t.g, event.Event{Kind: k, Obj: obj, Detail: detail})
+	}
 }
 
 // random returns the run's seeded source, creating it on first use. Runs
@@ -330,8 +376,8 @@ func (rt *runtime) dispatch() *G {
 			}
 		}
 		g := runnable[rt.choose(len(runnable), preferred)]
-		if rt.dpor != nil {
-			rt.dporBegin(g, rt.lastDecision, runnable, preferred)
+		if rt.sched != nil {
+			rt.schedBegin(g, rt.lastDecision, runnable, preferred)
 		}
 		rt.lastG = g
 		rt.step++
@@ -439,8 +485,12 @@ func (rt *runtime) teardown() {
 func (rt *runtime) finalize() *Result {
 	// Deliver the final transition's metadata: no further pick will flush
 	// it. Safe here — finalize runs on Run's caller after every simulated
-	// goroutine has parked or exited.
-	rt.dpor.flush()
+	// goroutine has parked or exited. RunEnd then tells streaming sinks
+	// the event stream is complete.
+	rt.schedFlush()
+	if rt.mux != nil {
+		rt.mux.RunEnd()
+	}
 	res := &Result{
 		Name:              rt.cfg.Name,
 		Seed:              rt.cfg.Seed,
@@ -451,7 +501,6 @@ func (rt *runtime) finalize() *Result {
 		Panics:            rt.panics,
 		CheckFailures:     rt.checkFailures,
 		DeadlockReport:    rt.deadlockMsg,
-		Trace:             rt.trace,
 	}
 	if len(rt.panics) > 0 && rt.outcome != OutcomeBuiltinDeadlock {
 		res.Outcome = OutcomePanic
@@ -477,17 +526,6 @@ func (rt *runtime) finalize() *Result {
 		}
 	}
 	return res
-}
-
-// event appends to the trace when tracing is enabled.
-func (rt *runtime) event(g *G, op, obj, detail string) {
-	if !rt.cfg.Trace {
-		return
-	}
-	rt.trace = append(rt.trace, Event{
-		Step: rt.step, Time: rt.now, G: g.id, GName: g.name,
-		Op: op, Obj: obj, Detail: detail,
-	})
 }
 
 func (rt *runtime) checkFail(g *G, msg string) {

@@ -1,6 +1,10 @@
 package sim
 
-import "testing"
+import (
+	"testing"
+
+	"goconcbugs/internal/event"
+)
 
 func TestUnbufferedRendezvous(t *testing.T) {
 	res := Run(Config{Seed: 1}, func(tt *T) {
@@ -324,8 +328,9 @@ func TestPipeRoundTripAndClose(t *testing.T) {
 }
 
 func TestDeterminism(t *testing.T) {
-	run := func() *Result {
-		return Run(Config{Seed: 99, Trace: true}, func(tt *T) {
+	run := func() (*Result, []Event) {
+		tc := &TraceCollector{}
+		res := Run(Config{Seed: 99, Sinks: []event.Sink{tc}}, func(tt *T) {
 			ch := NewChan[int](tt, 1)
 			wg := NewWaitGroup(tt, "wg")
 			wg.Add(tt, 3)
@@ -342,14 +347,16 @@ func TestDeterminism(t *testing.T) {
 			}
 			wg.Wait(tt)
 		})
+		return res, tc.Events()
 	}
-	a, b := run(), run()
-	if a.Steps != b.Steps || len(a.Trace) != len(b.Trace) {
+	a, aTrace := run()
+	b, bTrace := run()
+	if a.Steps != b.Steps || len(aTrace) != len(bTrace) {
 		t.Fatalf("non-deterministic: steps %d vs %d", a.Steps, b.Steps)
 	}
-	for i := range a.Trace {
-		if a.Trace[i] != b.Trace[i] {
-			t.Fatalf("trace diverges at %d: %v vs %v", i, a.Trace[i], b.Trace[i])
+	for i := range aTrace {
+		if aTrace[i] != bTrace[i] {
+			t.Fatalf("trace diverges at %d: %v vs %v", i, aTrace[i], bTrace[i])
 		}
 	}
 }

@@ -1,8 +1,15 @@
 package sim
 
-import "fmt"
+import (
+	"fmt"
 
-// Event is one entry of the optional execution trace.
+	"goconcbugs/internal/event"
+)
+
+// Event is one entry of the human-readable execution trace. It predates the
+// unified event stream; TraceCollector rebuilds this representation (same
+// ops, same details, same order) from event.Events so trace consumers and
+// goldens survived the refactor unchanged.
 type Event struct {
 	Step   int64
 	Time   int64
@@ -21,3 +28,77 @@ func (e Event) String() string {
 	}
 	return s
 }
+
+// traceKindOps maps traced event kinds to the legacy op strings. Kinds
+// absent here (map accesses, attempt kinds, scheduling) never appeared in
+// the trace.
+var traceKindOps = map[event.Kind]string{
+	event.MemRead:        "read",
+	event.MemWrite:       "write",
+	event.ChanSendDone:   "send",
+	event.ChanRecvDone:   "recv",
+	event.ChanClose:      "close",
+	event.MutexLock:      "lock",
+	event.MutexUnlock:    "unlock",
+	event.MutexTryLock:   "trylock",
+	event.RWRLock:        "rlock",
+	event.RWRUnlock:      "runlock",
+	event.RWWLock:        "wlock",
+	event.RWWUnlock:      "wunlock",
+	event.WGAdd:          "wg-add",
+	event.WGDone:         "wg-done",
+	event.WGWaitEnd:      "wg-wait",
+	event.OnceDo:         "once-do",
+	event.CondSignal:     "cond-signal",
+	event.CondBroadcast:  "cond-broadcast",
+	event.GoSpawn:        "go",
+	event.GoExit:         "exit",
+	event.GoPanic:        "panic",
+	event.GoBlock:        "block",
+	event.GoBlockForever: "block-forever",
+}
+
+// TraceCollector is the sink behind the old Config.Trace flag: it buffers
+// the full run as []Event. Prefer a streaming sink (ChromeTraceSink) for
+// long runs; this one exists for tests, goldens, and -trace output where
+// the whole log is wanted in memory.
+type TraceCollector struct {
+	events []Event
+}
+
+// Kinds implements event.Sink.
+func (tc *TraceCollector) Kinds() []event.Kind {
+	out := make([]event.Kind, 0, len(traceKindOps))
+	for k := range traceKindOps {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Event implements event.Sink.
+func (tc *TraceCollector) Event(ev *event.Event) {
+	e := Event{
+		Step: ev.Step, Time: ev.Time, G: ev.G, GName: ev.GName,
+		Op: traceKindOps[ev.Kind], Obj: ev.Obj, Detail: ev.Detail,
+	}
+	switch ev.Kind {
+	case event.ChanSendDone:
+		if ev.Aux != 0 {
+			e.Detail = fmt.Sprintf("handoff to g%d", ev.Aux)
+		}
+	case event.ChanRecvDone:
+		if ev.Aux != 0 {
+			e.Detail = fmt.Sprintf("rendezvous with g%d", ev.Aux)
+		}
+	case event.MutexTryLock:
+		e.Detail = "acquired"
+	case event.WGAdd:
+		e.Detail = fmt.Sprintf("%+d -> %d", ev.Delta, ev.Counter)
+	case event.WGDone:
+		e.Detail = fmt.Sprintf("-> %d", ev.Counter)
+	}
+	tc.events = append(tc.events, e)
+}
+
+// Events returns the collected trace.
+func (tc *TraceCollector) Events() []Event { return tc.events }

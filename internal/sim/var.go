@@ -3,21 +3,18 @@ package sim
 import (
 	"fmt"
 
+	"goconcbugs/internal/event"
 	"goconcbugs/internal/hb"
 )
 
-// Instrumented shared variables. Every Load/Store is reported to the
-// configured MemoryObserver with the accessing goroutine's vector clock,
-// which is all a happens-before race detector needs. The value semantics are
-// those of the chosen interleaving (the scheduler serializes everything), so
-// order violations also manifest as wrong values that kernels can Check.
+// Instrumented shared variables. Every Load/Store emits a MemRead/MemWrite
+// event carrying the accessing goroutine's vector clock, which is all a
+// happens-before race detector needs. The value semantics are those of the
+// chosen interleaving (the scheduler serializes everything), so order
+// violations also manifest as wrong values that kernels can Check.
 
 // VarMeta identifies an instrumented variable in access reports.
-type VarMeta struct {
-	ID        int
-	Name      string
-	CreatedBy int
-}
+type VarMeta = event.VarMeta
 
 // MemAccess describes one instrumented access. VC is the accessing
 // goroutine's live clock: observers must treat it as read-only and must not
@@ -65,23 +62,14 @@ func NewVarInit[V any](t *T, name string, init V) *Var[V] {
 	return v
 }
 
-func (v *Var[V]) access(t *T, write bool) {
-	if v.rt.cfg.Observer == nil {
-		return
-	}
-	v.rt.cfg.Observer.Access(MemAccess{
-		Var: v.meta, G: t.g.id, GName: t.g.name, VC: t.g.vc,
-		Write: write, Step: v.rt.step, Time: v.rt.now,
-	})
-}
-
 // Load reads the variable (a preemption point, like any real memory access
 // between synchronization operations).
 func (v *Var[V]) Load(t *T) V {
 	t.yield()
 	t.touch(ObjVar, v.meta.ID, false)
-	v.access(t, false)
-	v.rt.event(t.g, "read", v.meta.Name, "")
+	if t.rt.wants(event.MemRead) {
+		t.rt.emit(t.g, event.Event{Kind: event.MemRead, Obj: v.meta.Name, ObjID: v.meta.ID, Var: v.meta})
+	}
 	return v.val
 }
 
@@ -89,8 +77,9 @@ func (v *Var[V]) Load(t *T) V {
 func (v *Var[V]) Store(t *T, x V) {
 	t.yield()
 	t.touch(ObjVar, v.meta.ID, true)
-	v.access(t, true)
-	v.rt.event(t.g, "write", v.meta.Name, "")
+	if t.rt.wants(event.MemWrite) {
+		t.rt.emit(t.g, event.Event{Kind: event.MemWrite, Obj: v.meta.Name, ObjID: v.meta.ID, Var: v.meta})
+	}
 	v.val = x
 }
 

@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 
+	"goconcbugs/internal/event"
 	"goconcbugs/internal/hb"
 )
 
@@ -37,10 +38,13 @@ func (wg *WaitGroup) Add(t *T, delta int) {
 	t.yield()
 	t.touch(ObjSync, wg.id, true)
 	wg.counter += delta
-	wg.rt.event(t.g, "wg-add", wg.name, fmt.Sprintf("%+d -> %d", delta, wg.counter))
-	t.emitSync(OpWGAdd, wg.name, wg.counter, delta)
+	if t.rt.wants(event.WGAdd) {
+		t.rt.emit(t.g, event.Event{Kind: event.WGAdd, Obj: wg.name, ObjID: wg.id, Counter: wg.counter, Delta: delta})
+	}
 	if wg.counter < 0 {
-		t.emitSync(OpWGNegative, wg.name, wg.counter, delta)
+		if t.rt.wants(event.WGNegative) {
+			t.rt.emit(t.g, event.Event{Kind: event.WGNegative, Obj: wg.name, ObjID: wg.id, Counter: wg.counter, Delta: delta})
+		}
 		t.Panicf("sync: negative WaitGroup counter on %s", wg.name)
 	}
 	if wg.counter == 0 {
@@ -55,10 +59,13 @@ func (wg *WaitGroup) Done(t *T) {
 	wg.counter--
 	wg.vcDone.Join(t.g.vc)
 	t.g.tick()
-	wg.rt.event(t.g, "wg-done", wg.name, fmt.Sprintf("-> %d", wg.counter))
-	t.emitSync(OpWGDone, wg.name, wg.counter, -1)
+	if t.rt.wants(event.WGDone) {
+		t.rt.emit(t.g, event.Event{Kind: event.WGDone, Obj: wg.name, ObjID: wg.id, Counter: wg.counter, Delta: -1})
+	}
 	if wg.counter < 0 {
-		t.emitSync(OpWGNegative, wg.name, wg.counter, -1)
+		if t.rt.wants(event.WGNegative) {
+			t.rt.emit(t.g, event.Event{Kind: event.WGNegative, Obj: wg.name, ObjID: wg.id, Counter: wg.counter, Delta: -1})
+		}
 		t.Panicf("sync: negative WaitGroup counter on %s", wg.name)
 	}
 	if wg.counter == 0 {
@@ -71,17 +78,21 @@ func (wg *WaitGroup) Done(t *T) {
 func (wg *WaitGroup) Wait(t *T) {
 	t.yield()
 	t.touch(ObjSync, wg.id, true)
-	t.emitSync(OpWGWaitStart, wg.name, wg.counter, 0)
+	if t.rt.wants(event.WGWaitStart) {
+		t.rt.emit(t.g, event.Event{Kind: event.WGWaitStart, Obj: wg.name, ObjID: wg.id, Counter: wg.counter})
+	}
 	if wg.counter == 0 {
 		t.g.vc.Join(wg.vcDone)
-		wg.rt.event(t.g, "wg-wait", wg.name, "immediate")
-		t.emitSync(OpWGWaitEnd, wg.name, wg.counter, 0)
+		if t.rt.wants(event.WGWaitEnd) {
+			t.rt.emit(t.g, event.Event{Kind: event.WGWaitEnd, Obj: wg.name, ObjID: wg.id, Counter: wg.counter, Detail: "immediate"})
+		}
 		return
 	}
 	wg.waiters = append(wg.waiters, t.g)
 	t.block(BlockWaitGroup, wg.name)
-	wg.rt.event(t.g, "wg-wait", wg.name, "released")
-	t.emitSync(OpWGWaitEnd, wg.name, wg.counter, 0)
+	if t.rt.wants(event.WGWaitEnd) {
+		t.rt.emit(t.g, event.Event{Kind: event.WGWaitEnd, Obj: wg.name, ObjID: wg.id, Counter: wg.counter, Detail: "released"})
+	}
 }
 
 func (wg *WaitGroup) release() {

@@ -4,8 +4,9 @@
 // concurrency bugs. A novel dynamic technique can try to enforce such rules
 // and detect violation at runtime."
 //
-// The monitor attaches to a simulated run (sim.Config.Monitor) and checks,
-// at every synchronization event:
+// The monitor attaches to a simulated run as an event sink (sim.Config.Sinks)
+// subscribed to exactly the rule-relevant kinds, and checks, at every
+// synchronization event:
 //
 //   - RuleDoubleClose — a channel may only be closed once (Figure 10 /
 //     Docker#24007). Flagged at the violating close, before the panic.
@@ -31,6 +32,7 @@ package vet
 import (
 	"fmt"
 
+	"goconcbugs/internal/event"
 	"goconcbugs/internal/hb"
 	"goconcbugs/internal/sim"
 )
@@ -95,7 +97,46 @@ func New() *Monitor {
 	}
 }
 
-var _ sim.Monitor = (*Monitor)(nil)
+var (
+	_ sim.Monitor = (*Monitor)(nil)
+	_ event.Sink  = (*Monitor)(nil)
+)
+
+// vetKindOps maps the subscribed event kinds onto the SyncOp vocabulary the
+// rule logic dispatches on.
+var vetKindOps = map[event.Kind]sim.SyncOp{
+	event.ChanSend:        sim.OpChanSend,
+	event.ChanRecv:        sim.OpChanRecv,
+	event.ChanCloseClosed: sim.OpChanCloseClosed,
+	event.ChanSendClosed:  sim.OpChanSendClosed,
+	event.ChanNil:         sim.OpChanNil,
+	event.SelectBlocking:  sim.OpSelectBlocking,
+	event.WGAdd:           sim.OpWGAdd,
+	event.WGNegative:      sim.OpWGNegative,
+	event.WGWaitStart:     sim.OpWGWaitStart,
+	event.WGWaitEnd:       sim.OpWGWaitEnd,
+}
+
+// Kinds implements event.Sink: only the rule-relevant kinds, so a vetted
+// run pays nothing for memory accesses, lock traffic, or scheduling events.
+func (m *Monitor) Kinds() []event.Kind {
+	out := make([]event.Kind, 0, len(vetKindOps))
+	for k := range vetKindOps {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Event implements event.Sink by translating the event into the SyncEvent
+// vocabulary the rule logic consumes. The live VC and HeldLocks slices are
+// only read during the call (SyncEvent clones what it retains).
+func (m *Monitor) Event(ev *event.Event) {
+	m.SyncEvent(sim.SyncEvent{
+		Op: vetKindOps[ev.Kind], G: ev.G, GName: ev.GName, Obj: ev.Obj,
+		VC: ev.VC, Counter: ev.Counter, Delta: ev.Delta,
+		HeldLocks: ev.HeldLocks, Step: ev.Step,
+	})
+}
 
 // Violations returns everything found, in detection order.
 func (m *Monitor) Violations() []Violation { return m.violations }
@@ -200,7 +241,7 @@ func (m *Monitor) SyncEvent(ev sim.SyncEvent) {
 // result — the one-call entry point.
 func Check(cfg sim.Config, prog sim.Program) (*Monitor, *sim.Result) {
 	m := New()
-	cfg.Monitor = m
+	cfg.Sinks = append(cfg.Sinks[:len(cfg.Sinks):len(cfg.Sinks)], m)
 	res := sim.Run(cfg, prog)
 	return m, res
 }

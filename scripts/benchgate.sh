@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# Benchmark regression gate for the simulation hot paths.
+#
+# Runs the guarded benchmarks and compares each ns/op against the
+# checked-in baseline (testdata/bench_baseline.txt), failing on a
+# regression beyond the slack. The guarded set:
+#
+#   BenchmarkRaceDetectorOverhead/without-detector  - the no-sink hot path
+#     (an empty Config.Sinks run must keep paying nothing for the event
+#     stream; the PR-1 optimized baseline was ~31 µs, ~38 µs with the
+#     detector attached)
+#   BenchmarkRaceDetectorOverhead/with-detector     - one native sink
+#   BenchmarkDetectorPipeline/single-pass           - full pipeline fan-out
+#
+# Refresh the baseline on the reference machine with:
+#   scripts/benchgate.sh -update
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BASELINE=testdata/bench_baseline.txt
+SLACK_PCT=${BENCHGATE_SLACK_PCT:-15}
+BENCHES='BenchmarkRaceDetectorOverhead|BenchmarkDetectorPipeline/single-pass'
+
+raw=$(go test -bench "$BENCHES" -benchtime 1000x -count 6 -run '^$' . | grep -E '^Benchmark')
+
+# Take the fastest of the counts per benchmark (the least-noise estimate)
+# and strip the -GOMAXPROCS suffix so names are stable across machines.
+current=$(echo "$raw" | awk '
+  { name=$1; sub(/-[0-9]+$/, "", name); ns=$3+0
+    if (!(name in best) || ns < best[name]) best[name]=ns }
+  END { for (n in best) printf "%s %.1f\n", n, best[n] }' | sort)
+
+if [[ "${1:-}" == "-update" ]]; then
+  {
+    echo "# ns/op baseline for scripts/benchgate.sh (fastest of 6x1000 iterations)."
+    echo "# Regenerate on the reference machine with: scripts/benchgate.sh -update"
+    echo "$current"
+  } > "$BASELINE"
+  echo "benchgate: baseline updated:"
+  cat "$BASELINE"
+  exit 0
+fi
+
+if [[ ! -f "$BASELINE" ]]; then
+  echo "benchgate: missing $BASELINE (run scripts/benchgate.sh -update)" >&2
+  exit 1
+fi
+
+echo "benchgate: current (fastest of 6 counts):"
+echo "$current"
+fail=0
+while read -r name base; do
+  [[ "$name" == \#* || -z "$name" ]] && continue
+  cur=$(echo "$current" | awk -v n="$name" '$1==n {print $2}')
+  if [[ -z "$cur" ]]; then
+    echo "benchgate: FAIL $name: benchmark missing from run" >&2
+    fail=1
+    continue
+  fi
+  verdict=$(awk -v c="$cur" -v b="$base" -v s="$SLACK_PCT" '
+    BEGIN { limit = b * (100 + s) / 100
+            if (c > limit) printf "FAIL %.1f ns/op vs baseline %.1f (limit %.1f)", c, b, limit
+            else           printf "ok   %.1f ns/op vs baseline %.1f (limit %.1f)", c, b, limit }')
+  echo "benchgate: $verdict  $name"
+  [[ "$verdict" == FAIL* ]] && fail=1
+done < "$BASELINE"
+exit $fail
