@@ -16,6 +16,7 @@ import (
 	"goconcbugs/internal/detect"
 	"goconcbugs/internal/event"
 	"goconcbugs/internal/explore"
+	"goconcbugs/internal/inject"
 	"goconcbugs/internal/kernels"
 	"goconcbugs/internal/race"
 	"goconcbugs/internal/rpc"
@@ -562,6 +563,52 @@ func BenchmarkRaceDetectorOverhead(b *testing.B) {
 	b.Run("with-detector", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			sim.Run(sim.Config{Seed: int64(i), Sinks: []event.Sink{race.New(0)}}, prog)
+		}
+	})
+}
+
+// BenchmarkFaultInjection measures the fault hook's cost at the three
+// operating points: injection off (the nil-injector check every primitive
+// op pays — must be free), an attached injector whose budget is exhausted
+// immediately (the common post-budget steady state), and live benign
+// injection. The benchgate guards the "off" lane: hooks nobody enabled must
+// not tax the hot path.
+func BenchmarkFaultInjection(b *testing.B) {
+	prog := func(t *sim.T) {
+		x := sim.NewVar[int](t, "x")
+		mu := sim.NewMutex(t, "mu")
+		wg := sim.NewWaitGroup(t, "wg")
+		wg.Add(t, 2)
+		for g := 0; g < 2; g++ {
+			t.Go(func(ct *sim.T) {
+				for j := 0; j < 16; j++ {
+					mu.Lock(ct)
+					x.Store(ct, x.Load(ct)+1)
+					mu.Unlock(ct)
+				}
+				wg.Done(ct)
+			})
+		}
+		wg.Wait(t)
+	}
+	b.Run("off", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sim.Run(sim.Config{Seed: int64(i)}, prog)
+		}
+	})
+	b.Run("spent-budget", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			in := inject.New(inject.Options{Seed: int64(i), Budget: 1, MeanGap: 1})
+			for in.Consult(sim.SiteVar, 1, "warm") == sim.FaultNone {
+				// burn the budget before the run (gap 1 means at most two
+				// consultations until the single fault fires)
+			}
+			sim.Run(sim.Config{Seed: int64(i), Injector: in}, prog)
+		}
+	})
+	b.Run("benign", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sim.Run(sim.Config{Seed: int64(i), Injector: inject.ForRun(inject.Options{Budget: 3}, i)}, prog)
 		}
 	})
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 
@@ -12,16 +13,16 @@ import (
 // With emitsrc it instead prints the program a seed generates, both as IR
 // and as the standalone Go source the subprocess oracles build — the fast
 // way to inspect what a divergence report's seed means.
-func runConformance(programs int, seed int64, emitsrc bool) int {
+func runConformance(ctx context.Context, programs int, seed int64, emitsrc bool) int {
 	if emitsrc {
 		p := conformance.Generate(seed, conformance.ModeSafe)
 		fmt.Fprintf(os.Stderr, "%s\n", p)
 		fmt.Print(conformance.EmitGo(p))
 		return 0
 	}
-	st := conformance.Sweep(conformance.SweepOptions{Programs: programs, BaseSeed: seed})
-	fmt.Printf("conformance: %d programs from seed %d — %d strict (complete exploration), %d sim schedules\n",
-		st.Programs, seed, st.Strict, st.Schedules)
+	st := conformance.Sweep(conformance.SweepOptions{Programs: programs, BaseSeed: seed, Context: ctx})
+	fmt.Printf("conformance: %d programs from seed %d — %d checked, %d strict (complete exploration), %d sim schedules — %s\n",
+		st.Programs, seed, st.Completed, st.Strict, st.Schedules, st.Verdict)
 	fmt.Printf("host outcomes: done %d, hung %d, panic %d; must-deadlock confirmed hung: %d\n",
 		st.HostKinds[conformance.KindDone], st.HostKinds[conformance.KindHung],
 		st.HostKinds[conformance.KindPanic], st.AllHungConfirmed)

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"context"
+	"fmt"
+
+	"goconcbugs/internal/corpus"
+	"goconcbugs/internal/explore"
+	"goconcbugs/internal/inject"
+	"goconcbugs/internal/kernels"
+)
+
+// runFaultTable regenerates the fault-injection experiment table in
+// EXPERIMENTS.md: for every study-set kernel, the first run (seed index) at
+// which the buggy variant manifests or is detected, with and without benign
+// fault injection, plus the soundness column — the fixed variant must stay
+// quiet under the same injection. Blocking kernels count manifestation
+// (deadlock/leak); non-blocking kernels run under the race detector and
+// count first detection.
+func runFaultTable(ctx context.Context, runs int, faultseed int64) int {
+	injOpts := inject.Options{Seed: faultseed, Budget: inject.DefaultBudget}
+	fmt.Println("| Kernel | Behavior | No faults: hits (first) | Benign faults: hits (first) | Fixed quiet under faults |")
+	fmt.Println("|---|---|---|---|---|")
+	unsound := 0
+	for _, k := range kernels.All() {
+		if !k.InDetectorStudy {
+			continue
+		}
+		if ctx.Err() != nil {
+			fmt.Printf("\n(interrupted: %v)\n", ctx.Err())
+			return 1
+		}
+		withRace := k.Behavior == corpus.NonBlocking
+		base := explore.Options{
+			Runs: runs, Config: k.Config(0), WithRace: withRace, Context: ctx,
+		}
+		injected := base
+		injected.InjectorFor = injectorFor(&injOpts)
+
+		plain := explore.Run(k.Buggy, base)
+		faulted := explore.Run(k.Buggy, injected)
+		fixedSt := explore.Run(k.Fixed, injected)
+		quiet := fixedSt.Manifested == 0 && fixedSt.RaceDetectedRuns == 0 && len(fixedSt.Errors) == 0
+		quietCell := "yes"
+		if !quiet {
+			quietCell = "**NO**"
+			unsound++
+		}
+		fmt.Printf("| `%s` | %s | %s | %s | %s |\n",
+			k.ID, k.Behavior, hitCell(plain), hitCell(faulted), quietCell)
+	}
+	fmt.Printf("\n%d runs per cell, fault budget %d/run, fault seed %d (replay any cell with `-runs %d -faults %d -faultseed %d`).\n",
+		runs, injOpts.Budget, faultseed, runs, injOpts.Budget, faultseed)
+	if unsound > 0 {
+		fmt.Printf("\nUNSOUND: %d fixed kernel(s) fired under benign injection\n", unsound)
+		return 1
+	}
+	return 0
+}
+
+// hitCell renders one sweep's detection evidence: how many runs hit the bug
+// (manifested or race-detected, whichever is larger — they overlap) and the
+// earliest run index that did.
+func hitCell(st *explore.Stats) string {
+	hits := st.Manifested
+	if st.RaceDetectedRuns > hits {
+		hits = st.RaceDetectedRuns
+	}
+	first := st.FirstManifestRun
+	if first < 0 || (st.FirstDetectedRun >= 0 && st.FirstDetectedRun < first) {
+		first = st.FirstDetectedRun
+	}
+	if hits == 0 {
+		return fmt.Sprintf("0/%d", st.Runs)
+	}
+	return fmt.Sprintf("%d/%d (run %d)", hits, st.Runs, first)
+}

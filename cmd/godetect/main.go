@@ -13,15 +13,19 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"goconcbugs/internal/corpus"
 	"goconcbugs/internal/deadlock"
 	"goconcbugs/internal/detect"
 	"goconcbugs/internal/event"
 	"goconcbugs/internal/explore"
+	"goconcbugs/internal/inject"
 	"goconcbugs/internal/kernels"
 	"goconcbugs/internal/race"
 	"goconcbugs/internal/sim"
@@ -48,7 +52,32 @@ func main() {
 	emitsrc := flag.Bool("emitsrc", false, "with -conformance: print the program generated for -seed as standalone Go source and exit")
 	detectorsFlag := flag.Bool("detectors", false, "list the detector registry")
 	with := flag.String("with", "", "comma-separated detector set to sweep in one pass per run (see -detectors); non-zero exit if one fires on a -fixed kernel")
+	faults := flag.Int("faults", 0, "inject up to this many scheduling faults per run (0 = off); non-zero exit if a -fixed kernel fires under injection")
+	faultseed := flag.Int64("faultseed", 1, "base seed for the fault injector; run i perturbs with faultseed+i")
+	aggressive := flag.Bool("aggressive", false, "with -faults: also inject program-changing faults (early timeouts, spurious wakeups, goroutine kills, panics, channel closes) — a correct program may legitimately fail under these")
+	deadlineFlag := flag.Duration("deadline", 0, "wall-clock budget for sweeps and exploration; on expiry partial results are reported with an incomplete verdict")
+	resume := flag.String("resume", "", "checkpoint file for -with sweeps: progress is saved there periodically and a restart with the same options resumes instead of re-running")
+	faulttable := flag.Bool("faulttable", false, "emit the fault-injection experiment table (Markdown): schedules-to-first-detection with vs without benign injection, per study kernel")
 	flag.Parse()
+
+	// Every long-running mode is interruptible: SIGINT/SIGTERM stop
+	// dispatching new runs and the partial results fold, so a checkpointed
+	// sweep can resume.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *deadlineFlag > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *deadlineFlag)
+		defer cancel()
+	}
+	var injOpts *inject.Options
+	if *faults > 0 {
+		injOpts = &inject.Options{Seed: *faultseed, Budget: *faults, Aggressive: *aggressive}
+	}
+
+	if *faulttable {
+		os.Exit(runFaultTable(ctx, *runs, *faultseed))
+	}
 
 	if *detectorsFlag {
 		for _, d := range detect.All() {
@@ -61,7 +90,7 @@ func main() {
 		return
 	}
 	if *conf {
-		os.Exit(runConformance(*programs, *seed, *emitsrc))
+		os.Exit(runConformance(ctx, *programs, *seed, *emitsrc))
 	}
 
 	var dets []detect.Detector
@@ -80,16 +109,22 @@ func main() {
 		fired := false
 		for _, k := range kernels.All() {
 			if *systematic {
-				systematicSweep(k, *fixed, *maxRuns, *dpor)
+				systematicSweep(ctx, k, *fixed, *maxRuns, *dpor)
 				continue
 			}
+			checkpoint := ""
+			if *resume != "" {
+				checkpoint = *resume + "." + k.ID
+			}
 			if dets != nil {
-				if pipelineSweep(k, *fixed, *runs, *seed, dets) {
+				if pipelineSweep(ctx, k, *fixed, *runs, *seed, dets, checkpoint, injOpts) {
 					fired = true
 				}
 				continue
 			}
-			sweep(k, *fixed, *runs, *seed, *shadow)
+			if sweep(ctx, k, *fixed, *runs, *seed, *shadow, injOpts) && injOpts != nil {
+				fired = true
+			}
 			if *vetFlag {
 				runVet(k, *fixed, *runs, *seed)
 			}
@@ -107,7 +142,7 @@ func main() {
 			printTrace(k, *fixed, *seed)
 		}
 		if *systematic {
-			systematicSweep(k, *fixed, *maxRuns, *dpor)
+			systematicSweep(ctx, k, *fixed, *maxRuns, *dpor)
 			return
 		}
 		if *chrome != "" {
@@ -118,12 +153,14 @@ func main() {
 			fmt.Printf("wrote %s (open in chrome://tracing or ui.perfetto.dev)\n", *chrome)
 		}
 		if dets != nil {
-			if pipelineSweep(k, *fixed, *runs, *seed, dets) && *fixed {
+			if pipelineSweep(ctx, k, *fixed, *runs, *seed, dets, *resume, injOpts) && *fixed {
 				os.Exit(1)
 			}
 			return
 		}
-		sweep(k, *fixed, *runs, *seed, *shadow)
+		if sweep(ctx, k, *fixed, *runs, *seed, *shadow, injOpts) && *fixed && injOpts != nil {
+			os.Exit(1)
+		}
 		if *vetFlag {
 			runVet(k, *fixed, *runs, *seed)
 		}
@@ -133,30 +170,75 @@ func main() {
 	}
 }
 
+// injectorFor adapts the CLI fault options to the per-run injector hook of
+// the sweep harnesses; nil options mean no injection.
+func injectorFor(injOpts *inject.Options) func(run int, seed int64) sim.Injector {
+	if injOpts == nil {
+		return nil
+	}
+	opts := *injOpts
+	return func(run int, seed int64) sim.Injector { return inject.ForRun(opts, run) }
+}
+
+// printReplay prints the one command that reproduces run firstRun of a
+// sweep bit-identically: a single-run sweep whose base seeds are shifted so
+// its run 0 is exactly the firing run.
+func printReplay(k kernels.Kernel, fixed bool, firstRun int, seed int64, injOpts *inject.Options) {
+	cmd := fmt.Sprintf("go run ./cmd/godetect -kernel %s", k.ID)
+	if fixed {
+		cmd += " -fixed"
+	}
+	cmd += fmt.Sprintf(" -runs 1 -seed %d", seed+int64(firstRun))
+	if injOpts != nil {
+		cmd += fmt.Sprintf(" -faults %d -faultseed %d", injOpts.Budget, injOpts.Seed+int64(firstRun))
+		if injOpts.Aggressive {
+			cmd += " -aggressive"
+		}
+	}
+	fmt.Printf("    replay: %s\n", cmd)
+}
+
 // pipelineSweep sweeps the kernel with the selected detector set attached to
 // every run's single event stream, printing per-detector stats. It reports
 // whether any detector fired — the caller turns that into a non-zero exit
 // for -fixed kernels, making the pipeline usable as a regression gate.
-func pipelineSweep(k kernels.Kernel, fixed bool, runs int, seed int64, dets []detect.Detector) bool {
+func pipelineSweep(ctx context.Context, k kernels.Kernel, fixed bool, runs int, seed int64, dets []detect.Detector, checkpoint string, injOpts *inject.Options) bool {
 	label := "buggy"
 	if fixed {
 		label = "fixed"
 	}
+	if injOpts != nil {
+		label += fmt.Sprintf(", %d faults/run", injOpts.Budget)
+	}
 	sw := detect.Sweep(variant(k, fixed), detect.SweepOptions{
 		Runs: runs, BaseSeed: seed, Config: k.Config(seed),
+		Context:     ctx,
+		InjectorFor: injectorFor(injOpts),
+		Checkpoint:  checkpoint,
 	}, dets...)
-	fmt.Printf("%s (%s, %d runs, single pass per run):\n", k.ID, label, sw.Runs)
+	fmt.Printf("%s (%s, %d runs, single pass per run): %s\n", k.ID, label, sw.Runs, sw.Verdict)
 	fired := false
+	firstRun := -1
 	for _, st := range sw.Detectors {
 		status := "quiet"
 		if st.Detected() {
 			fired = true
+			if firstRun < 0 || st.FirstRun < firstRun {
+				firstRun = st.FirstRun
+			}
 			status = fmt.Sprintf("fired on %d/%d runs (first run %d)", st.DetectedRuns, sw.Runs, st.FirstRun)
 		}
 		fmt.Printf("    %-8s %-34s %9d events  %12v\n", st.Detector, status, st.Events, st.Elapsed)
 		if st.Sample != "" {
 			fmt.Printf("             e.g. %s\n", firstLine(st.Sample))
 		}
+	}
+	if len(sw.Incomplete) > 0 {
+		fmt.Printf("    %d incomplete run(s) (first: run %d, %s)\n",
+			len(sw.Incomplete), sw.Incomplete[0].Run, sw.Incomplete[0].Reason)
+	}
+	if fired {
+		printReplay(k, fixed, firstRun, seed, injOpts)
 	}
 	return fired
 }
@@ -240,7 +322,11 @@ func variant(k kernels.Kernel, fixed bool) sim.Program {
 	return k.Buggy
 }
 
-func sweep(k kernels.Kernel, fixed bool, runs int, seed int64, shadow int) {
+// sweep samples the kernel over seeded runs, optionally under fault
+// injection, and reports whether anything fired (manifested or detected) —
+// under injection the caller turns a fixed-kernel fire into a non-zero
+// exit, which is the chaos gate.
+func sweep(ctx context.Context, k kernels.Kernel, fixed bool, runs int, seed int64, shadow int, injOpts *inject.Options) bool {
 	prog := variant(k, fixed)
 	st := explore.Run(prog, explore.Options{
 		Runs:        runs,
@@ -248,24 +334,41 @@ func sweep(k kernels.Kernel, fixed bool, runs int, seed int64, shadow int) {
 		Config:      k.Config(seed),
 		WithRace:    k.Behavior == corpus.NonBlocking,
 		ShadowWords: shadow,
+		Context:     ctx,
+		InjectorFor: injectorFor(injOpts),
 	})
 	label := "buggy"
 	if fixed {
 		label = "fixed"
 	}
+	if injOpts != nil {
+		label += fmt.Sprintf(", %d faults/run", injOpts.Budget)
+	}
 	fmt.Printf("%s (%s, %d runs): manifested %d, deadlock %d, leak %d, panic %d, check-fail %d, race-detected %d\n",
 		k.ID, label, st.Runs, st.Manifested, st.BuiltinDeadlocks, st.LeakRuns, st.Panics,
 		st.CheckFailureRuns, st.RaceDetectedRuns)
+	if st.Completed < st.Runs {
+		fmt.Printf("    incomplete: %d/%d runs completed (%d host panics)\n", st.Completed, st.Runs, len(st.Errors))
+	}
 	for _, sample := range []string{st.SampleLeak, st.SamplePanic, st.SampleCheckFail, st.SampleRace} {
 		if sample != "" {
 			fmt.Printf("    e.g. %s\n", sample)
 		}
 	}
+	fired := st.Manifested > 0 || st.RaceDetectedRuns > 0
+	if fired {
+		first := st.FirstManifestRun
+		if first < 0 || (st.FirstDetectedRun >= 0 && st.FirstDetectedRun < first) {
+			first = st.FirstDetectedRun
+		}
+		printReplay(k, fixed, first, seed, injOpts)
+	}
+	return fired
 }
 
 // systematicSweep exhaustively explores the kernel's schedule space instead
 // of sampling seeds, optionally with dynamic partial-order reduction.
-func systematicSweep(k kernels.Kernel, fixed bool, maxRuns int, dpor bool) {
+func systematicSweep(ctx context.Context, k kernels.Kernel, fixed bool, maxRuns int, dpor bool) {
 	label := "buggy"
 	if fixed {
 		label = "fixed"
@@ -274,13 +377,14 @@ func systematicSweep(k kernels.Kernel, fixed bool, maxRuns int, dpor bool) {
 		Config:    k.Config(0),
 		MaxRuns:   maxRuns,
 		Reduction: dpor,
+		Context:   ctx,
 	})
 	mode := "full DFS"
 	if dpor {
 		mode = "DPOR"
 	}
-	fmt.Printf("%s (%s, %s): %d schedules (complete=%v, max depth %d), %d failing",
-		k.ID, label, mode, res.Runs, res.Complete, res.MaxDepth, res.Failures)
+	fmt.Printf("%s (%s, %s): %d schedules (complete=%v, max depth %d), %d failing — %s",
+		k.ID, label, mode, res.Runs, res.Complete, res.MaxDepth, res.Failures, res.Verdict)
 	if dpor {
 		fmt.Printf(", pruned %d, sleep-set hits %d", res.SchedulesPruned, res.SleepSetHits)
 	}

@@ -1,0 +1,89 @@
+package conformance
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"goconcbugs/internal/harness"
+)
+
+// TestIncompleteExplorationIsNeverStrict pins the membership-oracle
+// soundness rule: when the sim-side exploration truncates (Complete false),
+// the check must not assert membership — Strict stays false and no
+// divergence can be reported, because the host's outcome may live in the
+// unexplored remainder of the schedule space.
+func TestIncompleteExplorationIsNeverStrict(t *testing.T) {
+	found := 0
+	for seed := int64(1); seed <= 400 && found < 5; seed++ {
+		full := ExploreSim(Generate(seed, ModeSafe), 600, false)
+		if !full.Complete || full.Schedules < 3 {
+			continue
+		}
+		found++
+		res := CheckSeed(seed, CheckOptions{MaxSchedules: 1, HangPatience: 20 * time.Millisecond})
+		if res.Space.Complete {
+			t.Fatalf("seed %d: a 1-schedule budget cannot complete a %d-schedule space", seed, full.Schedules)
+		}
+		if res.Strict {
+			t.Errorf("seed %d: Strict asserted on an incomplete exploration", seed)
+		}
+		if res.Divergence != nil {
+			t.Errorf("seed %d: divergence reported without a complete space: %v", seed, res.Divergence)
+		}
+	}
+	if found == 0 {
+		t.Fatal("no multi-schedule seeds found to pin the rule against")
+	}
+}
+
+// TestSweepCancellationReturnsPartial: a canceled conformance sweep folds
+// what completed and reports Incomplete with the context's reason — "no
+// divergences" from a truncated sweep must not read as conformance.
+func TestSweepCancellationReturnsPartial(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	st := Sweep(SweepOptions{Programs: 300, BaseSeed: 1, Workers: 2, Context: ctx})
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("canceled sweep took %v", elapsed)
+	}
+	if st.Completed != 0 {
+		t.Fatalf("pre-canceled sweep completed %d checks", st.Completed)
+	}
+	if st.Verdict.Status != harness.Incomplete || st.Verdict.Reason != harness.ReasonCanceled {
+		t.Fatalf("verdict = %v, want incomplete(canceled)", st.Verdict)
+	}
+}
+
+// TestSweepDeadlinePartialFold: with a mid-sweep deadline, completed checks
+// are folded (Completed in (0, Programs)) and the verdict is Incomplete.
+func TestSweepDeadlinePartialFold(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-dependent partial sweep skipped in -short mode")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+	defer cancel()
+	st := Sweep(SweepOptions{Programs: 100000, BaseSeed: 1, Workers: 4, Context: ctx})
+	if st.Completed == 0 || st.Completed >= st.Programs {
+		t.Fatalf("Completed = %d of %d, want a strict partial fold", st.Completed, st.Programs)
+	}
+	if st.Verdict.Status != harness.Incomplete || st.Verdict.Reason != harness.ReasonDeadline {
+		t.Fatalf("verdict = %v, want incomplete(deadline)", st.Verdict)
+	}
+}
+
+// TestSweepRefutedWhenComplete: an uninterrupted clean sweep is Refuted —
+// the positive control for the verdict taxonomy.
+func TestSweepRefutedWhenComplete(t *testing.T) {
+	st := Sweep(SweepOptions{Programs: 25, BaseSeed: 1, Workers: 4})
+	if st.Completed != 25 {
+		t.Fatalf("Completed = %d of 25 with no cancellation (errors: %v)", st.Completed, st.Errors)
+	}
+	if len(st.Divergences) > 0 {
+		t.Fatalf("unexpected divergences: %v", st.Divergences)
+	}
+	if st.Verdict.Status != harness.Refuted {
+		t.Fatalf("verdict = %v, want refuted", st.Verdict)
+	}
+}

@@ -1,6 +1,7 @@
 package conformance
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -10,6 +11,7 @@ import (
 
 	"goconcbugs/internal/event"
 	"goconcbugs/internal/explore"
+	"goconcbugs/internal/harness"
 	"goconcbugs/internal/race"
 	"goconcbugs/internal/sim"
 )
@@ -332,6 +334,10 @@ type SweepOptions struct {
 	Workers int
 	// Check tunes each differential check.
 	Check CheckOptions
+	// Context, when non-nil, stops dispatching new seeds once canceled;
+	// in-flight checks finish and the partial stats fold what completed,
+	// with the Verdict marked Incomplete. Nil means run all seeds.
+	Context context.Context
 }
 
 // SweepStats aggregates a sweep.
@@ -346,12 +352,27 @@ type SweepStats struct {
 	// the host run indeed hung — the deadlock-direction oracle.
 	AllHungConfirmed int
 	Divergences      []*Divergence
+	// Completed counts seeds whose check ran to the end; seeds skipped by
+	// cancellation or lost to a host-side panic are the difference, with
+	// panics itemized in Errors.
+	Completed int
+	Errors    []*harness.RunError
+	// Verdict: Confirmed when a divergence was found, Refuted when every
+	// seed was checked without one, Incomplete when the sweep was cut
+	// short — in which case "no divergences" is not conformance evidence.
+	Verdict harness.Verdict
 }
 
 // Sweep runs the differential oracle over opts.Programs consecutive seeds.
+// Each seed's check is panic-isolated, and cancellation via Context yields
+// the partial fold instead of discarding completed work.
 func Sweep(opts SweepOptions) *SweepStats {
 	if opts.Programs <= 0 {
 		opts.Programs = 1000
+	}
+	ctx := opts.Context
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	workers := opts.Workers
 	if workers <= 0 {
@@ -364,6 +385,7 @@ func Sweep(opts SweepOptions) *SweepStats {
 		workers = opts.Programs
 	}
 	results := make([]*CheckResult, opts.Programs)
+	errs := make([]*harness.RunError, opts.Programs)
 	var wg sync.WaitGroup
 	next := make(chan int)
 	for w := 0; w < workers; w++ {
@@ -371,18 +393,30 @@ func Sweep(opts SweepOptions) *SweepStats {
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				results[i] = CheckSeed(opts.BaseSeed+int64(i), opts.Check)
+				seed := opts.BaseSeed + int64(i)
+				errs[i] = harness.Capture(i, seed, func() {
+					results[i] = CheckSeed(seed, opts.Check)
+				})
 			}
 		}()
 	}
-	for i := 0; i < opts.Programs; i++ {
-		next <- i
+	dispatched := 0
+	for ; dispatched < opts.Programs && ctx.Err() == nil; dispatched++ {
+		next <- dispatched
 	}
 	close(next)
 	wg.Wait()
 
 	st := &SweepStats{Programs: opts.Programs, HostKinds: map[string]int{}}
-	for _, r := range results {
+	for i, r := range results {
+		if errs[i] != nil {
+			st.Errors = append(st.Errors, errs[i])
+			continue
+		}
+		if r == nil { // never dispatched
+			continue
+		}
+		st.Completed++
 		if r.Strict {
 			st.Strict++
 		}
@@ -399,6 +433,18 @@ func Sweep(opts SweepOptions) *SweepStats {
 		if r.Divergence != nil {
 			st.Divergences = append(st.Divergences, r.Divergence)
 		}
+	}
+	switch {
+	case len(st.Divergences) > 0:
+		st.Verdict = harness.Verdict{Status: harness.Confirmed}
+	case st.Completed == opts.Programs:
+		st.Verdict = harness.Verdict{Status: harness.Refuted}
+	case ctx.Err() != nil:
+		st.Verdict = harness.Incompletef(harness.CtxReason(ctx.Err()),
+			"%d of %d seeds checked", st.Completed, opts.Programs)
+	default:
+		st.Verdict = harness.Incompletef(harness.ReasonPanic,
+			"%d of %d seeds panicked", len(st.Errors), opts.Programs)
 	}
 	return st
 }

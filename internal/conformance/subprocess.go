@@ -1,0 +1,102 @@
+package conformance
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"time"
+
+	"goconcbugs/internal/harness"
+)
+
+// Subprocess lane, library side: emit a generated program as standalone Go
+// source, build it with the host toolchain, run it under an external
+// timeout, and classify the outcome in the oracle's Signature vocabulary.
+// The test file wraps these with skip logic; the chaos/CI scripts reach
+// them through the tests.
+//
+// Toolchain invocations are the one flaky part of the whole harness (the
+// build cache, the linker, and transient ETXTBSY on freshly written
+// binaries all fail spuriously under parallel load), so both build and run
+// go through harness.Retry with exponential backoff.
+
+// subprocessAttempts bounds the retries for one toolchain invocation.
+const subprocessAttempts = 3
+
+// BuildEmitted writes p's standalone source into dir and compiles it,
+// optionally instrumented with -race, retrying transient toolchain
+// failures. It returns the binary path.
+func BuildEmitted(ctx context.Context, p *Program, race bool, dir string) (string, error) {
+	src := filepath.Join(dir, "main.go")
+	if err := os.WriteFile(src, []byte(EmitGo(p)), 0o644); err != nil {
+		return "", err
+	}
+	bin := filepath.Join(dir, "prog")
+	args := []string{"build"}
+	if race {
+		args = append(args, "-race")
+	}
+	args = append(args, "-o", bin, src)
+	err := harness.Retry(ctx, subprocessAttempts, 200*time.Millisecond, func() error {
+		out, err := exec.CommandContext(ctx, "go", args...).CombinedOutput()
+		if err != nil {
+			return fmt.Errorf("go %s: %w\n%s", strings.Join(args, " "), err, out)
+		}
+		return nil
+	})
+	if err != nil {
+		return "", err
+	}
+	return bin, nil
+}
+
+var varsLine = regexp.MustCompile(`CONFORMANCE-VARS (\[[^\]]*\])`)
+
+// ClassifyEmitted maps an emitted program's combined output to a Signature.
+// hung reports that the external timeout expired before the process exited.
+// The error is non-nil when the output matches no terminal state — a
+// harness bug, not a program outcome.
+func ClassifyEmitted(out string, hung bool) (Signature, error) {
+	switch {
+	case hung, strings.Contains(out, "all goroutines are asleep - deadlock!"):
+		return Signature{Kind: KindHung}, nil
+	case strings.Contains(out, "panic: "):
+		msg := out[strings.Index(out, "panic: ")+len("panic: "):]
+		if i := strings.IndexByte(msg, '\n'); i >= 0 {
+			msg = msg[:i]
+		}
+		return panicSignature(msg), nil
+	}
+	// A -race build exits 66 after reporting yet still prints the vars
+	// line; any run that got there completed.
+	if m := varsLine.FindStringSubmatch(out); m != nil {
+		return Signature{Kind: KindDone, Vars: m[1]}, nil
+	}
+	return Signature{}, fmt.Errorf("emitted program terminated unrecognizably:\n%s", out)
+}
+
+// RunEmitted executes a built binary under an external timeout and
+// classifies its outcome. A start failure (not a program outcome) is
+// retried with backoff; classification errors are returned as-is.
+func RunEmitted(ctx context.Context, bin string, timeout time.Duration) (Signature, string, error) {
+	var sig Signature
+	var output string
+	err := harness.Retry(ctx, subprocessAttempts, 100*time.Millisecond, func() error {
+		runCtx, cancel := context.WithTimeout(ctx, timeout)
+		defer cancel()
+		out, _ := exec.CommandContext(runCtx, bin).CombinedOutput()
+		output = string(out)
+		hung := runCtx.Err() == context.DeadlineExceeded
+		s, cerr := ClassifyEmitted(output, hung)
+		if cerr != nil {
+			return cerr
+		}
+		sig = s
+		return nil
+	})
+	return sig, output, err
+}

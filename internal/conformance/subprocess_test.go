@@ -5,7 +5,6 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
-	"regexp"
 	"strings"
 	"sync"
 	"testing"
@@ -56,23 +55,14 @@ func raceToolchain(t *testing.T) {
 	}
 }
 
-// buildEmitted compiles p's standalone source; separating the build from
+// buildEmitted compiles p's standalone source via the package-level helper
+// (which retries transient toolchain failures); separating the build from
 // the run keeps compile time out of the watchdog budget.
 func buildEmitted(t *testing.T, p *Program, race bool) string {
 	t.Helper()
-	dir := t.TempDir()
-	src := filepath.Join(dir, "main.go")
-	if err := os.WriteFile(src, []byte(EmitGo(p)), 0o644); err != nil {
-		t.Fatal(err)
-	}
-	bin := filepath.Join(dir, "prog")
-	args := []string{"build"}
-	if race {
-		args = append(args, "-race")
-	}
-	args = append(args, "-o", bin, src)
-	if out, err := exec.Command("go", args...).CombinedOutput(); err != nil {
-		t.Fatalf("go %s failed: %v\n%s\nsource:\n%s", strings.Join(args, " "), err, out, EmitGo(p))
+	bin, err := BuildEmitted(context.Background(), p, race, t.TempDir())
+	if err != nil {
+		t.Fatalf("%v\nsource:\n%s", err, EmitGo(p))
 	}
 	return bin
 }
@@ -81,28 +71,11 @@ func buildEmitted(t *testing.T, p *Program, race bool) string {
 // its outcome with the same Signature vocabulary the oracle uses.
 func runEmitted(t *testing.T, bin string, timeout time.Duration) (Signature, string) {
 	t.Helper()
-	ctx, cancel := context.WithTimeout(context.Background(), timeout)
-	defer cancel()
-	out, err := exec.CommandContext(ctx, bin).CombinedOutput()
-	s := string(out)
-	switch {
-	case ctx.Err() != nil,
-		strings.Contains(s, "all goroutines are asleep - deadlock!"):
-		return Signature{Kind: KindHung}, s
-	case strings.Contains(s, "panic: "):
-		msg := s[strings.Index(s, "panic: ")+len("panic: "):]
-		if i := strings.IndexByte(msg, '\n'); i >= 0 {
-			msg = msg[:i]
-		}
-		return panicSignature(msg), s
+	sig, out, err := RunEmitted(context.Background(), bin, timeout)
+	if err != nil {
+		t.Fatal(err)
 	}
-	// A -race build exits 66 after reporting yet still prints the vars
-	// line; any run that got there completed.
-	m := regexp.MustCompile(`CONFORMANCE-VARS (\[[^\]]*\])`).FindStringSubmatch(s)
-	if m == nil {
-		t.Fatalf("emitted program terminated unrecognizably (err=%v):\n%s", err, s)
-	}
-	return Signature{Kind: KindDone, Vars: m[1]}, s
+	return sig, out
 }
 
 // scanSeeds returns the first n ModeSafe seeds whose explored space

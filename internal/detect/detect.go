@@ -17,6 +17,7 @@
 package detect
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -25,6 +26,7 @@ import (
 	"time"
 
 	"goconcbugs/internal/event"
+	"goconcbugs/internal/harness"
 	"goconcbugs/internal/sim"
 )
 
@@ -229,6 +231,27 @@ type SweepOptions struct {
 	// Workers fans runs out over that many host goroutines (0 or negative
 	// = GOMAXPROCS, 1 = serial). Results fold in seed order either way.
 	Workers int
+	// Context, when non-nil, bounds the sweep's wall-clock: once it is
+	// canceled (or its deadline expires) no new runs start, in-flight runs
+	// finish, and the report folds what completed — never-run seeds appear
+	// in Incomplete and the Verdict says why. Nil means run to the end.
+	Context context.Context
+	// InjectorFor, when non-nil, builds a fresh fault injector for each
+	// run (injectors are stateful and single-run). It must be a pure
+	// function of (run, seed), so the sweep stays a deterministic function
+	// of its options for any Workers value.
+	InjectorFor func(run int, seed int64) sim.Injector
+	// Checkpoint, when non-empty, is a file the sweep periodically writes
+	// its per-run records to (atomically) and reads back on start: records
+	// already present are not re-executed, so an interrupted sweep resumed
+	// with the same options folds to the same report as an uninterrupted
+	// one. A checkpoint written under different options is ignored.
+	Checkpoint string
+	// CheckpointEvery saves after that many newly completed runs (default
+	// Runs/50, floored at 10 — each save re-marshals every record, so a
+	// fixed small interval would make checkpointing quadratic on large
+	// sweeps); the final state is always saved.
+	CheckpointEvery int
 }
 
 // SweepStat aggregates one detector over a sweep.
@@ -241,7 +264,11 @@ type SweepStat struct {
 	Sample string
 	// Rules is the union of rule identifiers across runs, sorted.
 	Rules []string
-	// Events and Elapsed are totals across all runs.
+	// Events is the total events dispatched to the detector across all
+	// completed runs. Elapsed is the wall time spent inside the detector
+	// in THIS process — a resumed sweep excludes time spent before the
+	// checkpoint (wall time is not reproducible, so it is never part of
+	// the deterministic fold).
 	Events  int64
 	Elapsed time.Duration
 }
@@ -250,10 +277,28 @@ type SweepStat struct {
 // detected within runs as a detected bug".
 func (s SweepStat) Detected() bool { return s.DetectedRuns > 0 }
 
+// IncompleteRun is one seed the sweep could not finish: it panicked on the
+// host side or was never dispatched before cancellation.
+type IncompleteRun struct {
+	Run    int    `json:"run"`
+	Seed   int64  `json:"seed"`
+	Reason string `json:"reason"` // harness.ReasonPanic / Canceled / Deadline
+	Detail string `json:"detail,omitempty"`
+}
+
 // SweepReport is the seed-order fold of a sweep.
 type SweepReport struct {
 	Runs      int
 	Detectors []SweepStat
+	// Completed counts runs that executed to the end; panicked and
+	// never-dispatched seeds are listed in Incomplete instead of being
+	// silently dropped.
+	Completed  int
+	Incomplete []IncompleteRun
+	// Verdict is the structured outcome: Confirmed when any completed run
+	// fired a detector, Refuted when every scheduled run completed clean,
+	// Incomplete (with a reason) otherwise.
+	Verdict harness.Verdict
 }
 
 // Stat returns the named detector's aggregate (zero SweepStat if absent).
@@ -266,28 +311,133 @@ func (r *SweepReport) Stat(name string) SweepStat {
 	return SweepStat{Detector: name, FirstRun: -1}
 }
 
+// sweepRecord is one run's deterministic outcome — the unit of
+// checkpointing. Wall time is deliberately absent: it is not reproducible,
+// so keeping it out makes the fold of a resumed sweep bit-identical to an
+// uninterrupted one.
+type sweepRecord struct {
+	Run      int               `json:"run"`
+	Seed     int64             `json:"seed"`
+	Err      *harness.RunError `json:"err,omitempty"`
+	Verdicts []Verdict         `json:"verdicts,omitempty"`
+	// Events is the per-detector dispatch count, indexed like dets.
+	Events []int64 `json:"events,omitempty"`
+}
+
+// sweepCheckpoint is the on-disk format: Records is indexed by run with
+// nulls for seeds not yet executed, and Fingerprint guards against resuming
+// under different options (a mismatch silently starts fresh).
+type sweepCheckpoint struct {
+	Fingerprint string         `json:"fingerprint"`
+	Records     []*sweepRecord `json:"records"`
+}
+
+func sweepFingerprint(opts SweepOptions, dets []Detector) string {
+	names := make([]string, len(dets))
+	for i, d := range dets {
+		names[i] = d.Name
+	}
+	inj := ""
+	if opts.InjectorFor != nil {
+		inj = " inject"
+	}
+	return fmt.Sprintf("sweep/v1 runs=%d base=%d prog=%s dets=%s%s",
+		opts.Runs, opts.BaseSeed, opts.Config.Name, strings.Join(names, ","), inj)
+}
+
 // Sweep runs prog under opts.Runs seeds, every listed detector attached to
 // each run's single event stream, and folds the verdicts in seed order (so
 // the report is identical for any Workers value).
+//
+// The sweep is hardened: a run that panics on the host side (a buggy
+// detector or kernel) is isolated, recorded in Incomplete, and the pool
+// keeps draining; cancellation via Context stops dispatching and folds the
+// partial result; Checkpoint persists per-run records so an interrupted
+// sweep resumes where it stopped.
 func Sweep(prog sim.Program, opts SweepOptions, dets ...Detector) *SweepReport {
 	if opts.Runs <= 0 {
 		opts.Runs = 100
 	}
+	if opts.CheckpointEvery <= 0 {
+		opts.CheckpointEvery = opts.Runs / 50
+		if opts.CheckpointEvery < 10 {
+			opts.CheckpointEvery = 10
+		}
+	}
+	ctx := opts.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+
+	records := make([]*sweepRecord, opts.Runs)
+	fp := sweepFingerprint(opts, dets)
+	if opts.Checkpoint != "" {
+		var cp sweepCheckpoint
+		if err := harness.LoadCheckpoint(opts.Checkpoint, &cp); err == nil &&
+			cp.Fingerprint == fp && len(cp.Records) == opts.Runs {
+			copy(records, cp.Records)
+		}
+	}
+	var worklist []int
+	for i := range records {
+		if records[i] == nil {
+			worklist = append(worklist, i)
+		}
+	}
+
 	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > opts.Runs {
-		workers = opts.Runs
+	if workers > len(worklist) {
+		workers = len(worklist)
 	}
-	reports := make([]*Report, opts.Runs)
+
+	// mu guards records, the live-elapsed accumulator, and checkpoint
+	// writes; records entries are immutable once stored.
+	var mu sync.Mutex
+	elapsed := make([]time.Duration, len(dets))
+	newDone := 0
+	saveLocked := func() {
+		snap := sweepCheckpoint{Fingerprint: fp, Records: records}
+		// A failed save costs resumability, not correctness; the sweep
+		// itself proceeds.
+		_ = harness.SaveCheckpoint(opts.Checkpoint, &snap)
+	}
 	oneRun := func(i int) {
 		cfg := opts.Config
 		cfg.Seed = opts.BaseSeed + int64(i)
-		reports[i] = RunAll(cfg, prog, dets...)
+		if opts.InjectorFor != nil {
+			cfg.Injector = opts.InjectorFor(i, cfg.Seed)
+		}
+		var rep *Report
+		runErr := harness.Capture(i, cfg.Seed, func() { rep = RunAll(cfg, prog, dets...) })
+		rec := &sweepRecord{Run: i, Seed: cfg.Seed, Err: runErr}
+		if runErr == nil {
+			rec.Verdicts = rep.Verdicts
+			rec.Events = make([]int64, len(dets))
+			for di := range dets {
+				rec.Events[di] = rep.Stats[di].Events
+			}
+		}
+		mu.Lock()
+		records[i] = rec
+		if rep != nil {
+			for di := range dets {
+				elapsed[di] += rep.Stats[di].Elapsed
+			}
+		}
+		newDone++
+		if opts.Checkpoint != "" && newDone%opts.CheckpointEvery == 0 {
+			saveLocked()
+		}
+		mu.Unlock()
 	}
-	if workers == 1 {
-		for i := range reports {
+	if workers <= 1 {
+		for _, i := range worklist {
+			if ctx.Err() != nil {
+				break
+			}
 			oneRun(i)
 		}
 	} else {
@@ -302,11 +452,19 @@ func Sweep(prog sim.Program, opts SweepOptions, dets ...Detector) *SweepReport {
 				}
 			}()
 		}
-		for i := range reports {
+		for _, i := range worklist {
+			if ctx.Err() != nil {
+				break
+			}
 			next <- i
 		}
 		close(next)
 		wg.Wait()
+	}
+	if opts.Checkpoint != "" {
+		mu.Lock()
+		saveLocked()
+		mu.Unlock()
 	}
 
 	out := &SweepReport{Runs: opts.Runs}
@@ -315,12 +473,29 @@ func Sweep(prog sim.Program, opts SweepOptions, dets ...Detector) *SweepReport {
 		out.Detectors = append(out.Detectors, SweepStat{Detector: d.Name, FirstRun: -1})
 		rules[di] = map[string]bool{}
 	}
-	for i, rep := range reports {
+	ctxErr := ctx.Err()
+	for i, rec := range records {
+		if rec == nil {
+			reason := harness.ReasonCanceled
+			if ctxErr != nil {
+				reason = harness.CtxReason(ctxErr)
+			}
+			out.Incomplete = append(out.Incomplete, IncompleteRun{
+				Run: i, Seed: opts.BaseSeed + int64(i), Reason: reason,
+			})
+			continue
+		}
+		if rec.Err != nil {
+			out.Incomplete = append(out.Incomplete, IncompleteRun{
+				Run: i, Seed: rec.Seed, Reason: harness.ReasonPanic, Detail: rec.Err.PanicValue,
+			})
+			continue
+		}
+		out.Completed++
 		for di := range dets {
 			st := &out.Detectors[di]
-			v := rep.Verdicts[di]
-			st.Events += rep.Stats[di].Events
-			st.Elapsed += rep.Stats[di].Elapsed
+			v := rec.Verdicts[di]
+			st.Events += rec.Events[di]
 			if v.Detected {
 				st.DetectedRuns++
 				if st.FirstRun < 0 {
@@ -334,10 +509,36 @@ func Sweep(prog sim.Program, opts SweepOptions, dets ...Detector) *SweepReport {
 		}
 	}
 	for di := range dets {
+		out.Detectors[di].Elapsed = elapsed[di]
 		for r := range rules[di] {
 			out.Detectors[di].Rules = append(out.Detectors[di].Rules, r)
 		}
 		sort.Strings(out.Detectors[di].Rules)
+	}
+
+	detected := false
+	for di := range out.Detectors {
+		if out.Detectors[di].DetectedRuns > 0 {
+			detected = true
+			break
+		}
+	}
+	switch {
+	case detected:
+		out.Verdict = harness.Verdict{Status: harness.Confirmed}
+	case len(out.Incomplete) == 0:
+		out.Verdict = harness.Verdict{Status: harness.Refuted}
+	default:
+		reason := out.Incomplete[0].Reason
+		for _, inc := range out.Incomplete {
+			// A cut-short sweep dominates isolated panics as the
+			// headline reason.
+			if inc.Reason != harness.ReasonPanic {
+				reason = inc.Reason
+				break
+			}
+		}
+		out.Verdict = harness.Incompletef(reason, "%d of %d runs incomplete", len(out.Incomplete), opts.Runs)
 	}
 	return out
 }

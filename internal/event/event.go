@@ -122,6 +122,13 @@ const (
 	// It fires at the next scheduler pick, or once at run end.
 	Sched
 
+	// FaultInject records one injected fault (package inject): Obj names
+	// the object the faulted operation targeted, Detail is the fault
+	// action name, and Counter is the numeric fault site. It fires before
+	// the fault takes effect, so a trace shows the injection ahead of its
+	// consequences.
+	FaultInject
+
 	// NumKinds bounds the Kind space for per-kind dispatch tables.
 	NumKinds
 )
@@ -143,7 +150,8 @@ var kindNames = [NumKinds]string{
 	CondBroadcast: "cond-broadcast",
 	GoSpawn:       "go-spawn", GoExit: "go-exit", GoPanic: "go-panic",
 	GoBlock: "go-block", GoBlockForever: "go-block-forever",
-	Sched: "sched-step",
+	Sched:       "sched-step",
+	FaultInject: "fault-inject",
 }
 
 // String implements fmt.Stringer.

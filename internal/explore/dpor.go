@@ -1,6 +1,7 @@
 package explore
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -222,6 +223,10 @@ type dporSearch struct {
 
 // systematicDPOR is the Reduction entry point, called from Systematic.
 func systematicDPOR(prog sim.Program, opts SystematicOptions) *SystematicResult {
+	ctx := opts.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	s := &dporSearch{opts: opts, res: &SystematicResult{}}
 	rec := &dporRecorder{}
 	cfg := opts.Config
@@ -229,34 +234,63 @@ func systematicDPOR(prog sim.Program, opts SystematicOptions) *SystematicResult 
 	cfg.Sinks = append(cfg.Sinks[:len(cfg.Sinks):len(cfg.Sinks)], rec)
 	var prefix []int
 	for s.res.Runs < opts.MaxRuns {
+		if err := ctx.Err(); err != nil {
+			s.res.Frontier = s.frontier()
+			return s.res.finish(err, opts.MaxRuns)
+		}
 		rec.reset()
-		chosen, _, r := runSchedule(prog, cfg, opts.MaxChoices, -1, prefix)
-		if opts.OnRun != nil {
-			opts.OnRun(r, chosen)
-		}
+		chosen, _, r, runErr := runSchedule(prog, cfg, opts.MaxChoices, -1, prefix)
 		s.res.Runs++
-		if len(chosen) > s.res.MaxDepth {
-			s.res.MaxDepth = len(chosen)
-		}
-		if r.Failed() {
-			s.res.Failures++
-			if s.res.FirstFailure == nil {
-				s.res.FirstFailure = r
-				s.res.FailureSchedule = append([]int(nil), chosen...)
+		if runErr != nil {
+			runErr.Run = s.res.Runs - 1
+			s.res.Errors = append(s.res.Errors, runErr)
+		} else {
+			if opts.OnRun != nil {
+				opts.OnRun(r, chosen)
 			}
-			if opts.StopAtFirstFailure {
-				return s.res
+			if len(chosen) > s.res.MaxDepth {
+				s.res.MaxDepth = len(chosen)
+			}
+			if r.Failed() {
+				s.res.Failures++
+				if s.res.FirstFailure == nil {
+					s.res.FirstFailure = r
+					s.res.FailureSchedule = append([]int(nil), chosen...)
+				}
+				if opts.StopAtFirstFailure {
+					return s.res.finish(nil, opts.MaxRuns)
+				}
 			}
 		}
 		s.processRun(rec, chosen, r)
 		next, ok := s.advance()
 		if !ok {
 			s.res.Complete = true
-			return s.res
+			s.res.Frontier = 0
+			return s.res.finish(nil, opts.MaxRuns)
 		}
 		prefix = next
 	}
-	return s.res
+	s.res.Frontier = s.frontier()
+	return s.res.finish(nil, opts.MaxRuns)
+}
+
+// frontier counts the backtrack points planned but not yet explored along
+// the current DFS path.
+func (s *dporSearch) frontier() int {
+	total := 0
+	for _, n := range s.nodes {
+		if n.isSelect {
+			total += n.ncases - 1 - n.curVal
+			continue
+		}
+		for g := range n.backtrack {
+			if !n.done[g] {
+				total++
+			}
+		}
+	}
+	return total
 }
 
 // processRun walks one recorded run: it materializes new decision nodes,
@@ -355,6 +389,13 @@ func (s *dporSearch) processRun(rec *dporRecorder, chosen []int, r *sim.Result) 
 				r2.reads = append(r2.reads, ac)
 			}
 		}
+	}
+
+	// A host-side panic leaves no result to inspect; the run is already
+	// recorded as a RunError and the verdict will be Incomplete, so the
+	// abandoned-goroutine analysis below has nothing trustworthy to read.
+	if r == nil {
+		return
 	}
 
 	// Truncated runs: a simulated panic (or the step budget) tears the run

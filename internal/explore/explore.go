@@ -9,10 +9,12 @@
 package explore
 
 import (
+	"context"
 	"runtime"
 	"sync"
 
 	"goconcbugs/internal/event"
+	"goconcbugs/internal/harness"
 	"goconcbugs/internal/race"
 	"goconcbugs/internal/sim"
 )
@@ -37,11 +39,20 @@ type Options struct {
 	// uses GOMAXPROCS, 1 runs serially. Aggregation folds results in
 	// seed order, so the Stats are identical either way.
 	Workers int
+	// Context, when non-nil, stops dispatching new runs once canceled;
+	// in-flight runs finish and the partial Stats fold only completed runs
+	// (Completed < Runs flags the truncation). Nil means run to the end.
+	Context context.Context
+	// InjectorFor, when non-nil, builds a fresh fault injector for each
+	// run (injectors are stateful and single-run). The derivation must be
+	// a pure function of (run, seed) to keep the exploration replayable.
+	InjectorFor func(run int, seed int64) sim.Injector
 }
 
 // Stats aggregates the outcomes of an exploration.
 type Stats struct {
 	Runs             int
+	Completed        int // runs that executed (== Runs unless canceled or panicked)
 	Manifested       int // runs where Result.Failed()
 	Panics           int
 	LeakRuns         int
@@ -56,6 +67,10 @@ type Stats struct {
 	SampleLeak       string // one representative leak description
 	SamplePanic      string
 	SampleCheckFail  string
+	// Errors records runs that panicked on the host side; they count
+	// toward Runs but not Completed, and the exploration continues past
+	// them.
+	Errors []*harness.RunError
 }
 
 // ManifestRate returns the fraction of runs where the bug manifested.
@@ -84,6 +99,8 @@ type runOutcome struct {
 	res      *sim.Result
 	reports  []race.Report
 	racyVars []string
+	err      *harness.RunError
+	skipped  bool // never dispatched (context canceled first)
 }
 
 // Run explores prog under opts.
@@ -99,10 +116,18 @@ func Run(prog sim.Program, opts Options) *Stats {
 		workers = opts.Runs
 	}
 
+	ctx := opts.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+
 	outcomes := make([]runOutcome, opts.Runs)
 	oneRun := func(i int) {
 		cfg := opts.Config
 		cfg.Seed = opts.BaseSeed + int64(i)
+		if opts.InjectorFor != nil {
+			cfg.Injector = opts.InjectorFor(i, cfg.Seed)
+		}
 		var det *race.Detector
 		if opts.WithRace {
 			det = race.New(opts.ShadowWords)
@@ -110,9 +135,11 @@ func Run(prog sim.Program, opts Options) *Stats {
 			// backing array.
 			cfg.Sinks = []event.Sink{det}
 		}
-		res := sim.Run(cfg, prog)
-		out := runOutcome{res: res}
-		if det != nil {
+		var out runOutcome
+		out.err = harness.Capture(i, cfg.Seed, func() {
+			out.res = sim.Run(cfg, prog)
+		})
+		if det != nil && out.err == nil {
 			out.reports = det.Reports()
 			out.racyVars = det.RacyVars()
 		}
@@ -120,6 +147,10 @@ func Run(prog sim.Program, opts Options) *Stats {
 	}
 	if workers == 1 {
 		for i := 0; i < opts.Runs; i++ {
+			if ctx.Err() != nil {
+				outcomes[i] = runOutcome{skipped: true}
+				continue
+			}
 			oneRun(i)
 		}
 	} else {
@@ -134,15 +165,27 @@ func Run(prog sim.Program, opts Options) *Stats {
 				}
 			}()
 		}
-		for i := 0; i < opts.Runs; i++ {
-			next <- i
+		dispatched := 0
+		for ; dispatched < opts.Runs && ctx.Err() == nil; dispatched++ {
+			next <- dispatched
 		}
 		close(next)
 		wg.Wait()
+		for i := dispatched; i < opts.Runs; i++ {
+			outcomes[i] = runOutcome{skipped: true}
+		}
 	}
 
 	st := &Stats{Runs: opts.Runs, FirstManifestRun: -1, FirstDetectedRun: -1, RacyVars: map[string]int{}}
 	for i := 0; i < opts.Runs; i++ {
+		if outcomes[i].skipped {
+			continue
+		}
+		if e := outcomes[i].err; e != nil {
+			st.Errors = append(st.Errors, e)
+			continue
+		}
+		st.Completed++
 		res := outcomes[i].res
 		if res.Failed() {
 			st.Manifested++

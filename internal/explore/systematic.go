@@ -2,11 +2,13 @@ package explore
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
 	"sync"
 
+	"goconcbugs/internal/harness"
 	"goconcbugs/internal/sim"
 )
 
@@ -33,6 +35,12 @@ type SystematicOptions struct {
 	// Config seeds input randomness and labels runs; its Chooser is
 	// overwritten.
 	Config sim.Config
+	// Context, when non-nil, bounds the exploration's wall-clock: on
+	// cancellation or deadline expiry the search stops between runs (serial
+	// and DPOR modes) or between batches (parallel mode) and returns the
+	// partial result with an Incomplete verdict instead of discarding the
+	// work done. Nil means no deadline.
+	Context context.Context
 	// MaxRuns bounds the number of schedules explored (default 10000).
 	MaxRuns int
 	// MaxChoices bounds the per-run decision depth that participates in
@@ -107,6 +115,51 @@ type SystematicResult struct {
 	// pending transition was asleep (already explored from an equivalent
 	// state); zero without Reduction.
 	SleepSetHits int
+	// Verdict is the structured outcome: Confirmed when at least one
+	// schedule failed, Refuted when the search exhausted the tree with no
+	// failure, and Incomplete (with a reason) when it ran out of budget,
+	// deadline, or context before either — in which case "no failures so
+	// far" is NOT verification.
+	Verdict harness.Verdict
+	// Frontier sizes the unexplored remainder when the search stopped
+	// early: the number of known-untried sibling options (serial and DPOR
+	// modes) or pending prefix jobs (parallel mode). Zero when Complete.
+	Frontier int
+	// Errors records schedules whose execution panicked on the host side
+	// (a detector sink or kernel bug); such runs are isolated, counted
+	// here, and the search continues past them.
+	Errors []*harness.RunError
+}
+
+// finish derives the verdict from the search's terminal state. ctxErr is
+// non-nil when a context cut the search short.
+func (res *SystematicResult) finish(ctxErr error, maxRuns int) *SystematicResult {
+	switch {
+	case res.Failures > 0:
+		res.Verdict = harness.Verdict{Status: harness.Confirmed}
+	case ctxErr != nil:
+		res.Verdict = harness.Incompletef(harness.CtxReason(ctxErr),
+			"stopped after %d runs with %d frontier entries", res.Runs, res.Frontier)
+	case !res.Complete:
+		res.Verdict = harness.Incompletef(harness.ReasonBudget,
+			"run budget %d exhausted with %d frontier entries", maxRuns, res.Frontier)
+	case len(res.Errors) > 0:
+		res.Verdict = harness.Incompletef(harness.ReasonPanic,
+			"%d of %d runs panicked", len(res.Errors), res.Runs)
+	default:
+		res.Verdict = harness.Verdict{Status: harness.Refuted}
+	}
+	return res
+}
+
+// frontierOf counts the untried sibling options of one recorded schedule —
+// the subtrees a serial DFS stopped before entering.
+func frontierOf(chosen, options []int) int {
+	n := 0
+	for d := range chosen {
+		n += options[d] - 1 - chosen[d]
+	}
+	return n
 }
 
 // runSchedule executes one schedule: the decision at depth d takes prefix[d]
@@ -116,7 +169,12 @@ type SystematicResult struct {
 // *reordered* option list with the preferred option first, so the leftmost
 // descent is the preemption-free schedule and the preemption budget prunes
 // consistently across replays.
-func runSchedule(prog sim.Program, cfg sim.Config, maxChoices, bound int, prefix []int) (chosen, options []int, r *sim.Result) {
+//
+// A host-side panic during the run (a buggy detector sink, a kernel bug in
+// host code) is captured as runErr with r nil; chosen and options keep the
+// decisions recorded before the panic, so the DFS can still backtrack past
+// the schedule.
+func runSchedule(prog sim.Program, cfg sim.Config, maxChoices, bound int, prefix []int) (chosen, options []int, r *sim.Result, runErr *harness.RunError) {
 	preemptions := 0
 	cfg.Chooser = func(n, preferred int) int {
 		d := len(chosen)
@@ -161,7 +219,8 @@ func runSchedule(prog sim.Program, cfg sim.Config, maxChoices, bound int, prefix
 		}
 		return actual
 	}
-	return chosen, options, sim.Run(cfg, prog)
+	runErr = harness.Capture(0, cfg.Seed, func() { r = sim.Run(cfg, prog) })
+	return chosen, options, r, runErr
 }
 
 // Systematic explores prog's schedules depth-first.
@@ -186,25 +245,38 @@ func Systematic(prog sim.Program, opts SystematicOptions) *SystematicResult {
 	if workers > 1 {
 		return systematicParallel(prog, opts, bound, workers)
 	}
+	ctx := opts.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	res := &SystematicResult{}
 	var prefix []int
 	for res.Runs < opts.MaxRuns {
-		chosen, options, r := runSchedule(prog, opts.Config, opts.MaxChoices, bound, prefix)
-		if opts.OnRun != nil {
-			opts.OnRun(r, chosen)
+		if err := ctx.Err(); err != nil {
+			return res.finish(err, opts.MaxRuns)
 		}
+		chosen, options, r, runErr := runSchedule(prog, opts.Config, opts.MaxChoices, bound, prefix)
 		res.Runs++
-		if len(chosen) > res.MaxDepth {
-			res.MaxDepth = len(chosen)
-		}
-		if r.Failed() {
-			res.Failures++
-			if res.FirstFailure == nil {
-				res.FirstFailure = r
-				res.FailureSchedule = append([]int(nil), chosen...)
+		res.Frontier = frontierOf(chosen, options)
+		if runErr != nil {
+			runErr.Run = res.Runs - 1
+			res.Errors = append(res.Errors, runErr)
+		} else {
+			if opts.OnRun != nil {
+				opts.OnRun(r, chosen)
 			}
-			if opts.StopAtFirstFailure {
-				return res
+			if len(chosen) > res.MaxDepth {
+				res.MaxDepth = len(chosen)
+			}
+			if r.Failed() {
+				res.Failures++
+				if res.FirstFailure == nil {
+					res.FirstFailure = r
+					res.FailureSchedule = append([]int(nil), chosen...)
+				}
+				if opts.StopAtFirstFailure {
+					return res.finish(nil, opts.MaxRuns)
+				}
 			}
 		}
 		// Backtrack: advance the deepest decision that still has an
@@ -217,12 +289,13 @@ func Systematic(prog sim.Program, opts SystematicOptions) *SystematicResult {
 		}
 		if d < 0 {
 			res.Complete = true
-			return res
+			res.Frontier = 0
+			return res.finish(nil, opts.MaxRuns)
 		}
 		prefix = append(prefix[:0], chosen[:d+1]...)
 		prefix[d] = chosen[d] + 1
 	}
-	return res
+	return res.finish(nil, opts.MaxRuns)
 }
 
 // The parallel search decomposes the same DFS tree into independent jobs.
@@ -276,9 +349,16 @@ type leafRec struct {
 	// ones need nothing beyond depth for the merge.
 	result *sim.Result
 	chosen []int
+	// err records a host-side panic; the schedule still participates in
+	// the canonical merge so resumption and backtracking stay aligned.
+	err *harness.RunError
 }
 
 func systematicParallel(prog sim.Program, opts SystematicOptions, bound, workers int) *SystematicResult {
+	ctx := opts.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	pending := &jobHeap{[]int{}}
 	var leaves []leafRec
 	// A leaf is "settled" once every schedule the serial DFS would run
@@ -289,8 +369,12 @@ func systematicParallel(prog sim.Program, opts SystematicOptions, bound, workers
 	settled := 0
 	settledFailure := false
 	exhausted := false
+	var ctxErr error
 
 	for pending.Len() > 0 {
+		if ctxErr = ctx.Err(); ctxErr != nil {
+			break
+		}
 		batch := min(workers, pending.Len())
 		jobs := make([][]int, batch)
 		for i := range jobs {
@@ -303,15 +387,17 @@ func systematicParallel(prog sim.Program, opts SystematicOptions, bound, workers
 			wg.Add(1)
 			go func(i int, q []int) {
 				defer wg.Done()
-				chosen, options, r := runSchedule(prog, opts.Config, opts.MaxChoices, bound, q)
-				if opts.OnRun != nil {
-					opts.OnRun(r, chosen)
-				}
-				rec := leafRec{key: q, depth: len(chosen)}
-				if r.Failed() {
-					rec.failed = true
-					rec.result = r
-					rec.chosen = append([]int(nil), chosen...)
+				chosen, options, r, runErr := runSchedule(prog, opts.Config, opts.MaxChoices, bound, q)
+				rec := leafRec{key: q, depth: len(chosen), err: runErr}
+				if runErr == nil {
+					if opts.OnRun != nil {
+						opts.OnRun(r, chosen)
+					}
+					if r.Failed() {
+						rec.failed = true
+						rec.result = r
+						rec.chosen = append([]int(nil), chosen...)
+					}
 				}
 				recs[i] = rec
 				// Sibling options at depths before len(q) belong to
@@ -360,12 +446,18 @@ func systematicParallel(prog sim.Program, opts SystematicOptions, bound, workers
 	}
 
 	sort.Slice(leaves, func(i, j int) bool { return cmpPadded(leaves[i].key, leaves[j].key) < 0 })
-	res := &SystematicResult{}
+	res := &SystematicResult{Frontier: pending.Len()}
 	limit := min(len(leaves), opts.MaxRuns)
 	for i := 0; i < limit; i++ {
 		res.Runs++
 		if leaves[i].depth > res.MaxDepth {
 			res.MaxDepth = leaves[i].depth
+		}
+		if leaves[i].err != nil {
+			e := *leaves[i].err
+			e.Run = i
+			res.Errors = append(res.Errors, &e)
+			continue
 		}
 		if leaves[i].failed {
 			res.Failures++
@@ -374,12 +466,15 @@ func systematicParallel(prog sim.Program, opts SystematicOptions, bound, workers
 				res.FailureSchedule = leaves[i].chosen
 			}
 			if opts.StopAtFirstFailure {
-				return res
+				return res.finish(ctxErr, opts.MaxRuns)
 			}
 		}
 	}
-	res.Complete = exhausted && len(leaves) <= opts.MaxRuns
-	return res
+	res.Complete = exhausted && len(leaves) <= opts.MaxRuns && ctxErr == nil
+	if res.Complete {
+		res.Frontier = 0
+	}
+	return res.finish(ctxErr, opts.MaxRuns)
 }
 
 // ReplaySchedule re-executes prog under a recorded decision sequence,

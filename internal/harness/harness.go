@@ -1,0 +1,191 @@
+// Package harness is the shared hardening layer for the long-running
+// exploration harnesses (detect.Sweep, explore.Systematic, the conformance
+// sweep). It provides the structured error taxonomy the harnesses report
+// instead of crashing (a panic in one detector or kernel must not take down
+// a thousand-run sweep), bounded retry for flaky host-side subprocesses,
+// and atomic JSON checkpoints so an interrupted sweep resumes instead of
+// restarting.
+package harness
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime/debug"
+	"time"
+)
+
+// Status is the top-level outcome of a harness invocation.
+type Status int
+
+const (
+	// Confirmed: the harness completed enough work to establish the
+	// property it was probing for (e.g. at least one run fired a detector).
+	Confirmed Status = iota
+	// Refuted: every scheduled run completed and none established the
+	// property.
+	Refuted
+	// Incomplete: the harness could not finish — budget or deadline
+	// exhaustion, cancellation, or errors — so absence of evidence is not
+	// evidence of absence. Reason says why.
+	Incomplete
+)
+
+var statusNames = [...]string{"confirmed", "refuted", "incomplete"}
+
+func (s Status) String() string {
+	if s < 0 || int(s) >= len(statusNames) {
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+	return statusNames[s]
+}
+
+// Reason classifies why a harness result is Incomplete (empty otherwise).
+const (
+	ReasonPanic    = "panic"    // a run panicked on the host side
+	ReasonDeadline = "deadline" // the context's deadline expired
+	ReasonCanceled = "canceled" // the context was canceled
+	ReasonBudget   = "budget"   // run/choice budget exhausted with work left
+	ReasonRetries  = "retries"  // subprocess retries exhausted
+)
+
+// Verdict is the structured outcome attached to harness reports.
+type Verdict struct {
+	Status Status `json:"status"`
+	// Reason is one of the Reason* constants when Status is Incomplete.
+	Reason string `json:"reason,omitempty"`
+	// Detail is a human-readable elaboration (what was left undone).
+	Detail string `json:"detail,omitempty"`
+}
+
+func (v Verdict) String() string {
+	s := v.Status.String()
+	if v.Reason != "" {
+		s += " (" + v.Reason
+		if v.Detail != "" {
+			s += ": " + v.Detail
+		}
+		s += ")"
+	} else if v.Detail != "" {
+		s += " (" + v.Detail + ")"
+	}
+	return s
+}
+
+// Incompletef builds an Incomplete verdict with a formatted detail.
+func Incompletef(reason, format string, args ...any) Verdict {
+	return Verdict{Status: Incomplete, Reason: reason, Detail: fmt.Sprintf(format, args...)}
+}
+
+// CtxReason maps a context error to the matching Reason constant.
+func CtxReason(err error) string {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return ReasonDeadline
+	}
+	return ReasonCanceled
+}
+
+// RunError records one panicking run: which run, under which seed, what the
+// panic value was and where. It satisfies error so harnesses can fold it
+// into errors slices, but it is data first — sweeps keep draining after one.
+type RunError struct {
+	Run        int    `json:"run"`
+	Seed       int64  `json:"seed"`
+	PanicValue string `json:"panic"`
+	Stack      string `json:"stack,omitempty"`
+}
+
+func (e *RunError) Error() string {
+	return fmt.Sprintf("run %d (seed %d) panicked: %s", e.Run, e.Seed, e.PanicValue)
+}
+
+// Capture runs fn, converting a panic into a *RunError carrying the stack.
+// Returns nil when fn completes normally.
+func Capture(run int, seed int64, fn func()) (err *RunError) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = &RunError{
+				Run:        run,
+				Seed:       seed,
+				PanicValue: fmt.Sprint(v),
+				Stack:      string(debug.Stack()),
+			}
+		}
+	}()
+	fn()
+	return nil
+}
+
+// Retry runs fn up to attempts times, sleeping backoff, 2*backoff, ... between
+// failures (context-aware: cancellation cuts both the sleep and the loop).
+// It returns nil on the first success, the context error if canceled, and
+// otherwise the last failure wrapped with the attempt count.
+func Retry(ctx context.Context, attempts int, backoff time.Duration, fn func() error) error {
+	if attempts < 1 {
+		attempts = 1
+	}
+	var last error
+	for i := 0; i < attempts; i++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if last = fn(); last == nil {
+			return nil
+		}
+		if i == attempts-1 {
+			break
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(backoff << i):
+		}
+	}
+	return fmt.Errorf("%d attempts exhausted: %w", attempts, last)
+}
+
+// SaveCheckpoint atomically writes v as JSON to path: the bytes land in a
+// temp file in the same directory and are renamed over path, so a reader
+// (or a resume after SIGKILL) never observes a torn checkpoint.
+func SaveCheckpoint(path string, v any) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("harness: encoding checkpoint: %w", err)
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("harness: creating checkpoint temp: %w", err)
+	}
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		if werr != nil {
+			return fmt.Errorf("harness: writing checkpoint: %w", werr)
+		}
+		return fmt.Errorf("harness: closing checkpoint: %w", cerr)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("harness: publishing checkpoint: %w", err)
+	}
+	return nil
+}
+
+// LoadCheckpoint reads a checkpoint written by SaveCheckpoint into v.
+// A missing file is reported via os.IsNotExist on the returned error, which
+// resuming callers treat as "start fresh".
+func LoadCheckpoint(path string, v any) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if err := json.Unmarshal(data, v); err != nil {
+		return fmt.Errorf("harness: decoding checkpoint %s: %w", path, err)
+	}
+	return nil
+}

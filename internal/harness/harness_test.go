@@ -1,0 +1,153 @@
+package harness
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestVerdictString(t *testing.T) {
+	cases := []struct {
+		v    Verdict
+		want string
+	}{
+		{Verdict{Status: Confirmed}, "confirmed"},
+		{Verdict{Status: Refuted}, "refuted"},
+		{Incompletef(ReasonBudget, "10 runs left"), "incomplete (budget: 10 runs left)"},
+		{Verdict{Status: Incomplete, Reason: ReasonPanic}, "incomplete (panic)"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("%+v renders %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestCtxReason(t *testing.T) {
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if r := CtxReason(canceled.Err()); r != ReasonCanceled {
+		t.Errorf("canceled context classified %q", r)
+	}
+	expired, cancel2 := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel2()
+	if r := CtxReason(expired.Err()); r != ReasonDeadline {
+		t.Errorf("expired deadline classified %q", r)
+	}
+}
+
+func TestCaptureRecordsPanic(t *testing.T) {
+	err := Capture(7, 42, func() { panic("kaboom") })
+	if err == nil {
+		t.Fatal("Capture swallowed the panic silently")
+	}
+	if err.Run != 7 || err.Seed != 42 || err.PanicValue != "kaboom" {
+		t.Fatalf("RunError = %+v", err)
+	}
+	if !strings.Contains(err.Stack, "harness_test") {
+		t.Error("stack trace missing the panicking frame")
+	}
+	if !strings.Contains(err.Error(), "run 7 (seed 42)") {
+		t.Errorf("Error() = %q", err.Error())
+	}
+	if e := Capture(0, 0, func() {}); e != nil {
+		t.Fatalf("clean fn reported %v", e)
+	}
+}
+
+func TestRetryEventuallySucceeds(t *testing.T) {
+	calls := 0
+	err := Retry(context.Background(), 5, time.Microsecond, func() error {
+		calls++
+		if calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("err=%v calls=%d, want success on attempt 3", err, calls)
+	}
+}
+
+func TestRetryExhaustsAttempts(t *testing.T) {
+	calls := 0
+	base := errors.New("still broken")
+	err := Retry(context.Background(), 3, time.Microsecond, func() error { calls++; return base })
+	if calls != 3 {
+		t.Fatalf("calls = %d, want 3", calls)
+	}
+	if !errors.Is(err, base) || !strings.Contains(err.Error(), "3 attempts") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRetryStopsOnCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	start := time.Now()
+	err := Retry(ctx, 10, time.Hour, func() error {
+		calls++
+		cancel() // cancel mid-flight: the backoff sleep must not run
+		return errors.New("fail")
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1", calls)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("cancellation did not cut the backoff sleep")
+	}
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	type state struct {
+		Name string  `json:"name"`
+		Done []int   `json:"done"`
+		Rate float64 `json:"rate"`
+	}
+	path := filepath.Join(t.TempDir(), "cp.json")
+	want := state{Name: "sweep", Done: []int{0, 2, 5}, Rate: 0.5}
+	if err := SaveCheckpoint(path, &want); err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite must be atomic-replace, not append.
+	want.Done = append(want.Done, 7)
+	if err := SaveCheckpoint(path, &want); err != nil {
+		t.Fatal(err)
+	}
+	var got state
+	if err := LoadCheckpoint(path, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != want.Name || len(got.Done) != 4 || got.Done[3] != 7 || got.Rate != want.Rate {
+		t.Fatalf("round trip = %+v, want %+v", got, want)
+	}
+	// No temp litter left behind.
+	entries, _ := os.ReadDir(filepath.Dir(path))
+	if len(entries) != 1 {
+		t.Fatalf("checkpoint dir holds %d entries, want just the checkpoint", len(entries))
+	}
+}
+
+func TestLoadCheckpointMissingIsNotExist(t *testing.T) {
+	var v struct{}
+	err := LoadCheckpoint(filepath.Join(t.TempDir(), "absent.json"), &v)
+	if !os.IsNotExist(err) {
+		t.Fatalf("missing checkpoint yields %v, want os.IsNotExist", err)
+	}
+}
+
+func TestLoadCheckpointCorrupt(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cp.json")
+	os.WriteFile(path, []byte("{torn"), 0o644)
+	var v struct{}
+	if err := LoadCheckpoint(path, &v); err == nil || os.IsNotExist(err) {
+		t.Fatalf("corrupt checkpoint yields %v, want a decode error", err)
+	}
+}

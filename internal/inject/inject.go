@@ -1,0 +1,238 @@
+// Package inject is the deterministic fault-injection layer: a seeded
+// sim.Injector that perturbs instrumented primitive operations and records
+// every decision in a FaultPlan, so any failing run replays bit-identically
+// from (schedule seed, fault seed) — or from the plan alone.
+//
+// The studied bugs manifest under rare timing and failure conditions:
+// "Sometimes, we needed to run a buggy program a lot of times or manually
+// add sleep" (Section 4 of the paper); delay and fault injection is how
+// dynamic tools flush these bugs out in practice. The injector draws a gap
+// (number of consultations to skip) from its own seeded PRNG, fires one
+// fault when the gap runs out, and repeats until its budget is spent. Its
+// randomness is independent of the run's schedule seed, so the same fault
+// seed perturbs different schedules the same way.
+//
+// Determinism: Consult is a pure function of the injector's state and the
+// consultation sequence, and the simulated run presents an identical
+// consultation sequence for an identical (config, program, prior faults)
+// history. A fresh injector per run with seed f(baseSeed, run) therefore
+// makes the whole sweep a pure function of its options, for any worker
+// count.
+//
+// Soundness classes (see sim's fault documentation): the default mode
+// injects only FaultYield — a pure schedule perturbation under which a
+// program correct on every schedule stays correct. Aggressive mode adds
+// early timeouts, spurious cond wakeups, goroutine kills, injected panics,
+// and channel closes; those change the program, and a correct program may
+// legitimately fail under them.
+package inject
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand/v2"
+	"strings"
+
+	"goconcbugs/internal/sim"
+)
+
+// Options configures a fresh injector.
+type Options struct {
+	// Seed drives the injector's own PRNG (the -faultseed flag). Equal
+	// options give identical injectors.
+	Seed int64
+	// Budget bounds the number of faults injected in one run (the -faults
+	// flag); 0 or negative means DefaultBudget.
+	Budget int
+	// Aggressive enables the program-changing actions (timeout, wake,
+	// kill, panic, close) in addition to benign yields.
+	Aggressive bool
+	// MeanGap is the mean number of consultations between injected faults
+	// (0 = DefaultMeanGap). Smaller gaps front-load the faults.
+	MeanGap int
+}
+
+// Defaults applied by New when Options leaves the fields zero.
+const (
+	DefaultBudget  = 3
+	DefaultMeanGap = 7
+)
+
+// Fault is one recorded injection: where in the consultation sequence it
+// fired, and what it did.
+type Fault struct {
+	// Index is the consultation index (the Nth Consult call of the run).
+	Index int `json:"i"`
+	// Site and Action identify the perturbed operation and the
+	// perturbation.
+	Site   sim.FaultSite   `json:"site"`
+	Action sim.FaultAction `json:"action"`
+	// G is the acting goroutine and Obj the operated object's report
+	// name, recorded for report rendering; replay keys on Index alone.
+	G   int    `json:"g"`
+	Obj string `json:"obj,omitempty"`
+}
+
+// String renders one fault for reports.
+func (f Fault) String() string {
+	return fmt.Sprintf("#%d %s@%s g%d %s", f.Index, f.Action, f.Site, f.G, f.Obj)
+}
+
+// Plan is the full record of one run's injections, sufficient to replay
+// them exactly (Replay) or to re-derive them from scratch (New with the
+// same options against the same run).
+type Plan struct {
+	Seed       int64   `json:"seed"`
+	Budget     int     `json:"budget"`
+	Aggressive bool    `json:"aggressive,omitempty"`
+	Faults     []Fault `json:"faults"`
+}
+
+// String renders the plan on one line.
+func (p *Plan) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "faultseed %d budget %d", p.Seed, p.Budget)
+	if p.Aggressive {
+		b.WriteString(" aggressive")
+	}
+	for _, f := range p.Faults {
+		b.WriteString(" [")
+		b.WriteString(f.String())
+		b.WriteString("]")
+	}
+	return b.String()
+}
+
+// Encode serializes the plan to JSON.
+func (p *Plan) Encode() ([]byte, error) { return json.Marshal(p) }
+
+// DecodePlan parses a plan produced by Encode.
+func DecodePlan(data []byte) (*Plan, error) {
+	var p Plan
+	if err := json.Unmarshal(data, &p); err != nil {
+		return nil, fmt.Errorf("inject: decoding plan: %w", err)
+	}
+	return &p, nil
+}
+
+// Injector is the standard sim.Injector. It is stateful and single-run:
+// create a fresh one per sim.Run (sweeps use one per seed).
+type Injector struct {
+	rng        *rand.Rand
+	budget     int
+	aggressive bool
+	meanGap    int
+	gap        int
+	consult    int
+	plan       Plan
+	// replay maps consultation index to the recorded action when the
+	// injector was built from a plan; nil in generation mode.
+	replay map[int]sim.FaultAction
+}
+
+// New creates a seeded generating injector.
+func New(opts Options) *Injector {
+	if opts.Budget <= 0 {
+		opts.Budget = DefaultBudget
+	}
+	if opts.MeanGap <= 0 {
+		opts.MeanGap = DefaultMeanGap
+	}
+	in := &Injector{
+		rng:        rand.New(rand.NewPCG(uint64(opts.Seed), 0xda3e39cb94b95bdb)),
+		budget:     opts.Budget,
+		aggressive: opts.Aggressive,
+		meanGap:    opts.MeanGap,
+		plan:       Plan{Seed: opts.Seed, Budget: opts.Budget, Aggressive: opts.Aggressive},
+	}
+	in.gap = in.drawGap()
+	return in
+}
+
+// Replay creates an injector that re-applies a recorded plan: the fault at
+// consultation index i fires again at consultation index i. Against the
+// same program and schedule seed the run is bit-identical to the recorded
+// one.
+func Replay(p *Plan) *Injector {
+	in := &Injector{
+		plan:   Plan{Seed: p.Seed, Budget: p.Budget, Aggressive: p.Aggressive},
+		replay: make(map[int]sim.FaultAction, len(p.Faults)),
+	}
+	for _, f := range p.Faults {
+		in.replay[f.Index] = f.Action
+	}
+	return in
+}
+
+// ForRun derives the per-run injector of a sweep: run i perturbs with seed
+// opts.Seed+i, so the sweep's outcome is a pure function of its options for
+// any worker count.
+func ForRun(opts Options, run int) *Injector {
+	opts.Seed += int64(run)
+	return New(opts)
+}
+
+// Plan returns the injections recorded so far (aliased, not copied; read it
+// after the run completes).
+func (in *Injector) Plan() *Plan { return &in.plan }
+
+// Consult implements sim.Injector.
+func (in *Injector) Consult(site sim.FaultSite, g int, obj string) sim.FaultAction {
+	idx := in.consult
+	in.consult++
+	if in.replay != nil {
+		act, ok := in.replay[idx]
+		if !ok {
+			return sim.FaultNone
+		}
+		in.record(idx, site, act, g, obj)
+		return act
+	}
+	if in.budget <= 0 {
+		return sim.FaultNone
+	}
+	if in.gap > 0 {
+		in.gap--
+		return sim.FaultNone
+	}
+	in.gap = in.drawGap()
+	act := in.pick(site, g)
+	if act == sim.FaultNone {
+		return sim.FaultNone
+	}
+	in.budget--
+	in.record(idx, site, act, g, obj)
+	return act
+}
+
+func (in *Injector) record(idx int, site sim.FaultSite, act sim.FaultAction, g int, obj string) {
+	in.plan.Faults = append(in.plan.Faults, Fault{
+		Index: idx, Site: site, Action: act, G: g, Obj: obj,
+	})
+}
+
+// drawGap draws the number of consultations to skip before the next fault,
+// uniform on [1, 2*meanGap-1] (mean meanGap).
+func (in *Injector) drawGap() int {
+	return 1 + in.rng.IntN(2*in.meanGap-1)
+}
+
+// pick chooses a site-appropriate action. Benign mode has exactly one
+// candidate (yield); aggressive mode draws uniformly from the actions the
+// site supports. The main goroutine is never killed.
+func (in *Injector) pick(site sim.FaultSite, g int) sim.FaultAction {
+	if !in.aggressive {
+		return sim.FaultYield
+	}
+	cands := []sim.FaultAction{sim.FaultYield, sim.FaultTimeout, sim.FaultPanic}
+	if g != 1 {
+		cands = append(cands, sim.FaultKill)
+	}
+	switch site {
+	case sim.SiteCond:
+		cands = append(cands, sim.FaultWake)
+	case sim.SiteChanSend, sim.SiteChanRecv:
+		cands = append(cands, sim.FaultClose)
+	}
+	return cands[in.rng.IntN(len(cands))]
+}

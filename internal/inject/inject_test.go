@@ -1,0 +1,240 @@
+package inject_test
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"goconcbugs/internal/event"
+	"goconcbugs/internal/inject"
+	"goconcbugs/internal/sim"
+)
+
+// drive feeds the injector a synthetic consultation sequence cycling through
+// every site, and returns the actions it chose.
+func drive(in *inject.Injector, n int) []sim.FaultAction {
+	out := make([]sim.FaultAction, n)
+	for i := 0; i < n; i++ {
+		site := sim.FaultSite(i % int(sim.NumFaultSites))
+		g := 1 + i%3
+		out[i] = in.Consult(site, g, fmt.Sprintf("obj%d", i%4))
+	}
+	return out
+}
+
+func TestNewIsDeterministic(t *testing.T) {
+	opts := inject.Options{Seed: 42, Budget: 5, Aggressive: true}
+	a := drive(inject.New(opts), 200)
+	b := drive(inject.New(opts), 200)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("two injectors from identical options chose different actions")
+	}
+	pa, _ := inject.New(opts).Plan().Encode()
+	inj := inject.New(opts)
+	drive(inj, 200)
+	pb, _ := inj.Plan().Encode()
+	if string(pa) == string(pb) {
+		t.Fatal("plan should grow as consultations happen")
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a := drive(inject.New(inject.Options{Seed: 1}), 300)
+	b := drive(inject.New(inject.Options{Seed: 2}), 300)
+	if reflect.DeepEqual(a, b) {
+		t.Fatal("seeds 1 and 2 produced identical action sequences")
+	}
+}
+
+func TestBudgetBoundsFaults(t *testing.T) {
+	for _, budget := range []int{1, 2, 5} {
+		in := inject.New(inject.Options{Seed: 7, Budget: budget})
+		acts := drive(in, 1000)
+		fired := 0
+		for _, a := range acts {
+			if a != sim.FaultNone {
+				fired++
+			}
+		}
+		if fired != budget {
+			t.Errorf("budget %d: fired %d faults over 1000 consultations", budget, fired)
+		}
+		if len(in.Plan().Faults) != fired {
+			t.Errorf("plan records %d faults, injector fired %d", len(in.Plan().Faults), fired)
+		}
+	}
+}
+
+func TestBenignModeOnlyYields(t *testing.T) {
+	in := inject.New(inject.Options{Seed: 3, Budget: 50, MeanGap: 2})
+	for i, a := range drive(in, 500) {
+		if a != sim.FaultNone && a != sim.FaultYield {
+			t.Fatalf("consultation %d: benign mode chose %v", i, a)
+		}
+	}
+}
+
+func TestAggressiveActionsAreSiteAppropriate(t *testing.T) {
+	in := inject.New(inject.Options{Seed: 11, Budget: 500, MeanGap: 1, Aggressive: true})
+	for i := 0; i < 3000; i++ {
+		site := sim.FaultSite(i % int(sim.NumFaultSites))
+		g := 1 + i%3
+		act := in.Consult(site, g, "obj")
+		switch act {
+		case sim.FaultWake:
+			if site != sim.SiteCond {
+				t.Fatalf("FaultWake at %v", site)
+			}
+		case sim.FaultClose:
+			if site != sim.SiteChanSend && site != sim.SiteChanRecv {
+				t.Fatalf("FaultClose at %v", site)
+			}
+		case sim.FaultKill:
+			if g == 1 {
+				t.Fatal("FaultKill aimed at the main goroutine")
+			}
+		}
+	}
+}
+
+func TestReplayReproducesPlan(t *testing.T) {
+	opts := inject.Options{Seed: 99, Budget: 6, Aggressive: true, MeanGap: 3}
+	gen := inject.New(opts)
+	want := drive(gen, 400)
+	data, err := gen.Plan().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := inject.DecodePlan(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := inject.Replay(plan)
+	got := drive(rep, 400)
+	if !reflect.DeepEqual(want, got) {
+		t.Fatal("replayed injector diverged from the generating one")
+	}
+	if !reflect.DeepEqual(rep.Plan().Faults, gen.Plan().Faults) {
+		t.Fatalf("replay re-recorded a different plan:\n%v\n%v", rep.Plan(), gen.Plan())
+	}
+}
+
+func TestForRunShiftsSeed(t *testing.T) {
+	opts := inject.Options{Seed: 10, Budget: 4}
+	a := drive(inject.ForRun(opts, 5), 300)
+	b := drive(inject.New(inject.Options{Seed: 15, Budget: 4}), 300)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("ForRun(opts, 5) differs from New with Seed+5")
+	}
+	if opts.Seed != 10 {
+		t.Fatal("ForRun mutated the caller's options")
+	}
+}
+
+func TestPlanString(t *testing.T) {
+	in := inject.New(inject.Options{Seed: 4, Budget: 2, MeanGap: 1})
+	drive(in, 50)
+	s := in.Plan().String()
+	if !strings.Contains(s, "faultseed 4") || !strings.Contains(s, "budget 2") {
+		t.Fatalf("plan string missing header: %q", s)
+	}
+	if !strings.Contains(s, "yield@") {
+		t.Fatalf("plan string missing recorded faults: %q", s)
+	}
+}
+
+// traceSink records the full event stream as strings — the bit-identity
+// witness for the replay fuzz target.
+type traceSink struct{ lines []string }
+
+func (s *traceSink) Kinds() []event.Kind { return event.AllKinds() }
+func (s *traceSink) Event(ev *event.Event) {
+	s.lines = append(s.lines, fmt.Sprintf("%d %d %v %s %s %d %d",
+		ev.Step, ev.G, ev.Kind, ev.Obj, ev.Detail, ev.Counter, ev.Aux))
+}
+
+// fuzzProgram is a small program touching channels, mutexes, conds, selects
+// and timers, so injected faults land on many site kinds. It is
+// deliberately bug-free on uninjected schedules; aggressive injection may
+// still crash or deadlock it, which is fine — the property under test is
+// bit-identical replay, not success.
+func fuzzProgram(tt *sim.T) {
+	mu := sim.NewMutex(tt, "mu")
+	cond := sim.NewCond(tt, mu, "cond")
+	ch := sim.NewChan[int](tt, 1)
+	done := sim.NewChan[int](tt, 0)
+	ready := false
+	tt.Go(func(ct *sim.T) {
+		mu.Lock(ct)
+		ready = true
+		cond.Signal(ct)
+		mu.Unlock(ct)
+		ch.Send(ct, 1)
+		done.Send(ct, 1)
+	})
+	mu.Lock(tt)
+	for !ready {
+		cond.Wait(tt)
+	}
+	mu.Unlock(tt)
+	ch.Recv(tt)
+	done.Recv(tt)
+}
+
+// runOnce executes fuzzProgram under the given schedule seed and injector
+// and returns a stable digest of everything observable: outcome, steps,
+// panics, leaks, check failures, the full event trace, and the fault plan.
+func runOnce(simSeed int64, in *inject.Injector) string {
+	sink := &traceSink{}
+	res := sim.Run(sim.Config{Seed: simSeed, Sinks: []event.Sink{sink}, Injector: in}, fuzzProgram)
+	var b strings.Builder
+	fmt.Fprintf(&b, "outcome=%v steps=%d leaked=%d checks=%v panics=%v\n",
+		res.Outcome, res.Steps, len(res.Leaked), res.CheckFailures, res.Panics)
+	for _, l := range sink.lines {
+		b.WriteString(l)
+		b.WriteString("\n")
+	}
+	b.WriteString(in.Plan().String())
+	return b.String()
+}
+
+// FuzzFaultPlanReplay is the determinism contract of the fault layer: for
+// any (schedule seed, fault seed, budget, gap, aggressiveness),
+//
+//  1. generating twice from the same options is bit-identical, and
+//  2. replaying the recorded FaultPlan is bit-identical to the generating
+//     run — verdict, full event trace, and re-recorded plan.
+//
+// This is what makes "replay: godetect ... -seed S -faultseed F" an exact
+// reproduction of a sweep hit for any worker count.
+func FuzzFaultPlanReplay(f *testing.F) {
+	f.Add(int64(1), int64(1), int64(3), int64(7), false)
+	f.Add(int64(2), int64(9), int64(5), int64(2), true)
+	f.Add(int64(77), int64(0), int64(1), int64(1), true)
+	f.Add(int64(-4), int64(-11), int64(8), int64(4), false)
+	f.Fuzz(func(t *testing.T, simSeed, faultSeed, budget, meanGap int64, aggressive bool) {
+		opts := inject.Options{
+			Seed:       faultSeed,
+			Budget:     int(budget%16) + 1,
+			MeanGap:    int(meanGap%16) + 1,
+			Aggressive: aggressive,
+		}
+		if opts.Budget < 1 {
+			opts.Budget = 1
+		}
+		if opts.MeanGap < 1 {
+			opts.MeanGap = 1
+		}
+		gen := inject.New(opts)
+		first := runOnce(simSeed, gen)
+		second := runOnce(simSeed, inject.New(opts))
+		if first != second {
+			t.Fatalf("two generating runs from identical options diverged:\n--- first\n%s\n--- second\n%s", first, second)
+		}
+		replayed := runOnce(simSeed, inject.Replay(gen.Plan()))
+		if first != replayed {
+			t.Fatalf("replay diverged from the recorded run:\n--- recorded\n%s\n--- replayed\n%s", first, replayed)
+		}
+	})
+}

@@ -30,6 +30,7 @@ func NewAtomicInt64(t *T, name string) *AtomicInt64 {
 func (a *AtomicInt64) Load(t *T) int64 {
 	t.yield()
 	t.touch(ObjSync, a.id, false)
+	t.fault(SiteAtomic, a.name)
 	t.g.vc.Join(a.vc)
 	return a.val
 }
@@ -38,6 +39,7 @@ func (a *AtomicInt64) Load(t *T) int64 {
 func (a *AtomicInt64) Store(t *T, v int64) {
 	t.yield()
 	t.touch(ObjSync, a.id, true)
+	t.fault(SiteAtomic, a.name)
 	a.vc.Join(t.g.vc)
 	t.g.tick()
 	a.val = v
@@ -47,6 +49,7 @@ func (a *AtomicInt64) Store(t *T, v int64) {
 func (a *AtomicInt64) Add(t *T, delta int64) int64 {
 	t.yield()
 	t.touch(ObjSync, a.id, true)
+	t.fault(SiteAtomic, a.name)
 	t.g.vc.Join(a.vc)
 	a.vc.Join(t.g.vc)
 	t.g.tick()
@@ -58,6 +61,7 @@ func (a *AtomicInt64) Add(t *T, delta int64) int64 {
 func (a *AtomicInt64) CompareAndSwap(t *T, old, new int64) bool {
 	t.yield()
 	t.touch(ObjSync, a.id, true)
+	t.fault(SiteAtomic, a.name)
 	t.g.vc.Join(a.vc)
 	if a.val != old {
 		return false

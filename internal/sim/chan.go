@@ -198,6 +198,11 @@ func (c *chanCore) send(t *T, v any) {
 		t.blockForever(BlockChanSend, "nil channel")
 	}
 	t.touch(ObjChan, c.id, true)
+	if t.fault(SiteChanSend, c.name) == FaultClose {
+		// Injected close-on-error-path: the channel is closed out from
+		// under the send, which is about to panic.
+		c.closeFromRuntime(t.g.vc)
+	}
 	if c.closed {
 		t.emitObj(event.ChanSendClosed, c.name)
 	} else if t.rt.wants(event.ChanSend) {
@@ -226,6 +231,11 @@ func (c *chanCore) recv(t *T) (any, bool) {
 		t.blockForever(BlockChanRecv, "nil channel")
 	}
 	t.touch(ObjChan, c.id, true)
+	if t.fault(SiteChanRecv, c.name) == FaultClose {
+		// Injected close: the receive observes it (drains the buffer,
+		// then yields zero, false).
+		c.closeFromRuntime(t.g.vc)
+	}
 	if t.rt.wants(event.ChanRecv) {
 		t.rt.emit(t.g, event.Event{Kind: event.ChanRecv, Obj: c.name, ObjID: c.id})
 	}
@@ -247,6 +257,7 @@ func (c *chanCore) close(t *T) {
 		t.Panicf("close of nil channel")
 	}
 	t.touch(ObjChan, c.id, true)
+	t.fault(SiteChanClose, c.name)
 	if c.closed {
 		t.emitObj(event.ChanCloseClosed, c.name)
 		t.Panicf("close of closed channel %s", c.name)

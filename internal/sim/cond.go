@@ -37,6 +37,16 @@ func (c *Cond) Wait(t *T) {
 	t.emitObj(event.CondWait, c.name)
 	c.mu.Unlock(t)
 	t.touch(ObjSync, c.id, true)
+	if t.fault(SiteCond, c.name) == FaultWake {
+		// Injected spurious wakeup: return without parking and without a
+		// happens-before edge from any signaler. sync.Cond guarantees
+		// Wait only returns after Signal/Broadcast, so code that guards
+		// the predicate with `if` instead of `for` breaks here — which is
+		// the point of the injection.
+		t.yield()
+		c.mu.Lock(t)
+		return
+	}
 	c.waiters = append(c.waiters, t.g)
 	t.block(BlockCond, c.name)
 	t.g.vc.Join(c.vc)
@@ -48,6 +58,7 @@ func (c *Cond) Signal(t *T) {
 	t.yield()
 	t.touch(ObjSync, c.id, true)
 	t.touch(ObjSync, c.mu.id, true)
+	t.fault(SiteCond, c.name)
 	c.vc.Join(t.g.vc)
 	t.g.tick()
 	if t.rt.wants(event.CondSignal) {
@@ -66,6 +77,7 @@ func (c *Cond) Broadcast(t *T) {
 	t.yield()
 	t.touch(ObjSync, c.id, true)
 	t.touch(ObjSync, c.mu.id, true)
+	t.fault(SiteCond, c.name)
 	c.vc.Join(t.g.vc)
 	t.g.tick()
 	t.emitObj(event.CondBroadcast, c.name)

@@ -1,0 +1,178 @@
+package sim
+
+import (
+	"fmt"
+
+	"goconcbugs/internal/event"
+)
+
+// Fault injection hook points. The paper's bugs surface under rare timing
+// and failure conditions — goroutines that stall or die mid-protocol,
+// timeouts that fire at the worst moment, channels closed on error paths
+// (Sections 5-6). An Injector attached via Config.Injector is consulted at
+// every instrumented primitive operation and may perturb it. With no
+// injector the hook is one nil check per operation.
+//
+// Fault semantics split into two soundness classes:
+//
+//   - FaultYield is benign: every primitive operation already begins with a
+//     scheduling yield, so an extra yield at the same point re-runs the
+//     scheduler against unchanged state — the set of reachable program
+//     states is exactly the set reachable by ordinary scheduling. A program
+//     that is correct on every schedule stays quiet under any amount of
+//     yield injection, which is what makes the chaos gate ("fixed kernels
+//     must stay quiet under -faults") sound.
+//
+//   - The aggressive actions change the program, not just its schedule:
+//     FaultTimeout fires pending timers early (a timeout racing ahead of
+//     runnable work), FaultWake is a spurious Cond wakeup (sync.Cond never
+//     does this; code that guards Wait with `if` instead of `for` breaks),
+//     FaultKill terminates the goroutine mid-protocol with its locks still
+//     held, FaultPanic crashes the simulated process, and FaultClose closes
+//     the channel out from under a send/receive. A correct program may
+//     legitimately fail under these — they answer "what happens when a
+//     participant dies or the world misbehaves", not "is there a bad
+//     schedule".
+
+// FaultSite identifies the instrumented primitive operation family being
+// consulted. One site per modeled primitive — the 15 instrumented
+// libraries of the runtime.
+type FaultSite uint8
+
+const (
+	SiteChanSend FaultSite = iota
+	SiteChanRecv
+	SiteChanClose
+	SiteSelect
+	SiteMutex
+	SiteRWMutex
+	SiteWaitGroup
+	SiteOnce
+	SiteCond
+	SiteVar
+	SiteMap
+	SiteAtomic
+	SiteTimer
+	SiteSemaphore
+	SitePipe
+	// NumFaultSites bounds the site space.
+	NumFaultSites
+)
+
+var faultSiteNames = [NumFaultSites]string{
+	SiteChanSend: "chan-send", SiteChanRecv: "chan-recv", SiteChanClose: "chan-close",
+	SiteSelect: "select", SiteMutex: "mutex", SiteRWMutex: "rwmutex",
+	SiteWaitGroup: "waitgroup", SiteOnce: "once", SiteCond: "cond",
+	SiteVar: "var", SiteMap: "map", SiteAtomic: "atomic",
+	SiteTimer: "timer", SiteSemaphore: "semaphore", SitePipe: "pipe",
+}
+
+// String implements fmt.Stringer.
+func (s FaultSite) String() string {
+	if s < NumFaultSites {
+		return faultSiteNames[s]
+	}
+	return fmt.Sprintf("FaultSite(%d)", int(s))
+}
+
+// FaultAction is what an Injector asks the runtime to do at a consultation
+// point.
+type FaultAction uint8
+
+const (
+	// FaultNone: proceed normally.
+	FaultNone FaultAction = iota
+	// FaultYield: insert an extra scheduling yield (a pure schedule
+	// perturbation — benign, see the package comment).
+	FaultYield
+	// FaultTimeout: advance virtual time to the earliest pending timer and
+	// fire it, despite runnable goroutines — every runnable goroutine was
+	// "too slow" and the timeout won.
+	FaultTimeout
+	// FaultWake: spuriously wake a Cond.Wait without a Signal (SiteCond
+	// only; ignored elsewhere).
+	FaultWake
+	// FaultKill: the goroutine dies silently mid-protocol — it never
+	// completes the operation, releases no locks, and sends no values.
+	// Never applied to the main goroutine.
+	FaultKill
+	// FaultPanic: raise a simulated panic at the operation, crashing the
+	// simulated process as an unrecovered panic would.
+	FaultPanic
+	// FaultClose: close the operation's channel out from under it
+	// (SiteChanSend/SiteChanRecv only; ignored elsewhere) — the
+	// close-on-error-path pattern.
+	FaultClose
+)
+
+var faultActionNames = [...]string{
+	FaultNone: "none", FaultYield: "yield", FaultTimeout: "timeout",
+	FaultWake: "wake", FaultKill: "kill", FaultPanic: "panic",
+	FaultClose: "close",
+}
+
+// String implements fmt.Stringer.
+func (a FaultAction) String() string {
+	if int(a) < len(faultActionNames) {
+		return faultActionNames[a]
+	}
+	return fmt.Sprintf("FaultAction(%d)", int(a))
+}
+
+// Injector decides, at every instrumented primitive operation, whether to
+// perturb it. Consult receives the site, the acting goroutine id, and the
+// operated object's report name; it returns the action to take (FaultNone
+// almost always). Consultations happen at deterministic points of the run,
+// in a deterministic order, so an injector that is a pure function of its
+// own state and the consultation sequence keeps the whole run replayable.
+// Package inject provides the standard seeded implementation with a
+// recorded FaultPlan.
+type Injector interface {
+	Consult(site FaultSite, g int, obj string) FaultAction
+}
+
+// injectedKill is the panic sentinel for FaultKill, distinguished from
+// teardown's killSentinel and from simulated panics in the goroutine
+// wrapper's recover.
+type injectedKill struct{ obj string }
+
+// fault consults the configured injector at one operation site and applies
+// the self-contained actions inline. It returns FaultNone when the caller
+// has nothing further to do, or the action (FaultWake, FaultClose) the call
+// site must implement itself. FaultKill and FaultPanic do not return.
+func (t *T) fault(site FaultSite, obj string) FaultAction {
+	inj := t.rt.cfg.Injector
+	if inj == nil {
+		return FaultNone
+	}
+	act := inj.Consult(site, t.g.id, obj)
+	if act == FaultNone {
+		return FaultNone
+	}
+	if act == FaultKill && t.g.id == 1 {
+		// Killing main would model a program exit, not a stalled
+		// participant; the standard injector never asks for it, and a
+		// custom one asking is coerced to a delay.
+		act = FaultYield
+	}
+	if t.rt.wants(event.FaultInject) {
+		t.rt.emit(t.g, event.Event{
+			Kind: event.FaultInject, Obj: obj,
+			Detail: act.String(), Counter: int(site),
+		})
+	}
+	switch act {
+	case FaultYield:
+		t.yield()
+		return FaultNone
+	case FaultTimeout:
+		t.rt.fireDueTimers()
+		t.yield()
+		return FaultNone
+	case FaultKill:
+		panic(&injectedKill{obj: obj})
+	case FaultPanic:
+		panic(&simPanic{msg: "injected fault: panic at " + site.String() + " on " + obj})
+	}
+	return act
+}

@@ -1,0 +1,238 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"goconcbugs/internal/event"
+)
+
+// injectFunc adapts a function to the Injector interface for scripted
+// fault-injection tests.
+type injectFunc func(site FaultSite, g int, obj string) FaultAction
+
+func (f injectFunc) Consult(site FaultSite, g int, obj string) FaultAction { return f(site, g, obj) }
+
+// onceAt fires act the first time the predicate matches, FaultNone after.
+func onceAt(act FaultAction, pred func(site FaultSite, g int) bool) Injector {
+	fired := false
+	return injectFunc(func(site FaultSite, g int, obj string) FaultAction {
+		if !fired && pred(site, g) {
+			fired = true
+			return act
+		}
+		return FaultNone
+	})
+}
+
+// TestFaultYieldIsBenign: a correct program must stay correct under any
+// amount of yield injection — the soundness property the chaos gate relies
+// on. Inject a yield at every consultation across many seeds.
+func TestFaultYieldIsBenign(t *testing.T) {
+	always := injectFunc(func(FaultSite, int, string) FaultAction { return FaultYield })
+	for seed := int64(1); seed <= 30; seed++ {
+		res := Run(Config{Seed: seed, Injector: always}, func(tt *T) {
+			mu := NewMutex(tt, "mu")
+			ch := NewChan[int](tt, 1)
+			done := NewChan[int](tt, 0)
+			shared := 0
+			tt.Go(func(ct *T) {
+				mu.Lock(ct)
+				shared++
+				mu.Unlock(ct)
+				ch.Send(ct, 1)
+				done.Send(ct, 1)
+			})
+			mu.Lock(tt)
+			shared++
+			mu.Unlock(tt)
+			ch.Recv(tt)
+			done.Recv(tt)
+			tt.Check(shared == 2, "lost update under yield injection")
+		})
+		if res.Failed() {
+			t.Fatalf("seed %d: correct program failed under yield injection: %+v", seed, res)
+		}
+	}
+}
+
+// TestFaultKillLeavesLocksHeld: a killed goroutine dies mid-protocol without
+// releasing anything — the paper's stalled-participant condition. The victim
+// holds a mutex when it is killed at its channel send, so main blocks on
+// that mutex forever and the run manifests as a blocking failure.
+func TestFaultKillLeavesLocksHeld(t *testing.T) {
+	inj := onceAt(FaultKill, func(site FaultSite, g int) bool {
+		return site == SiteChanSend && g != 1
+	})
+	res := Run(Config{Seed: 1, Injector: inj}, func(tt *T) {
+		mu := NewMutex(tt, "mu")
+		ch := NewChan[int](tt, 0)
+		tt.Go(func(ct *T) {
+			mu.Lock(ct)
+			ch.Send(ct, 1) // killed here, mutex still held
+			mu.Unlock(ct)
+		})
+		ch.Recv(tt) // give the victim time to reach the send on any schedule
+		mu.Lock(tt)
+		mu.Unlock(tt)
+	})
+	if !res.Failed() {
+		t.Fatalf("expected a blocking failure after FaultKill, got %+v", res)
+	}
+	killed := 0
+	for _, g := range res.Goroutines {
+		if g.State == GKilled {
+			killed++
+			if len(g.HeldLocks) == 0 {
+				t.Errorf("killed goroutine %s should still hold its mutex, held %v", g.Name, g.HeldLocks)
+			}
+		}
+	}
+	if killed != 1 {
+		t.Fatalf("killed goroutines = %d, want 1 (%+v)", killed, res.Goroutines)
+	}
+}
+
+// TestFaultKillNeverTargetsMain: an injector asking to kill the main
+// goroutine is coerced to a benign yield.
+func TestFaultKillNeverTargetsMain(t *testing.T) {
+	inj := onceAt(FaultKill, func(site FaultSite, g int) bool { return g == 1 })
+	res := Run(Config{Seed: 1, Injector: inj}, func(tt *T) {
+		ch := NewChan[int](tt, 1)
+		ch.Send(tt, 7)
+		v, _ := ch.Recv(tt)
+		tt.Check(v == 7, "value survived")
+	})
+	if res.Failed() {
+		t.Fatalf("kill-main should coerce to yield, got %+v", res)
+	}
+	for _, g := range res.Goroutines {
+		if g.State == GKilled {
+			t.Fatalf("main goroutine was killed: %+v", g)
+		}
+	}
+}
+
+// TestFaultWakeBreaksIfGuardedWait: a spurious cond wakeup breaks code that
+// guards Wait with `if` (some seed fails), while the `for`-guarded fix stays
+// quiet on every seed — exactly the sync.Cond contract the injection probes.
+func TestFaultWakeBreaksIfGuardedWait(t *testing.T) {
+	wake := injectFunc(func(site FaultSite, g int, obj string) FaultAction {
+		if site == SiteCond {
+			return FaultWake
+		}
+		return FaultNone
+	})
+	variant := func(forGuard bool) func(*T) {
+		return func(tt *T) {
+			mu := NewMutex(tt, "mu")
+			cond := NewCond(tt, mu, "cond")
+			ready := false
+			tt.Go(func(ct *T) {
+				mu.Lock(ct)
+				ready = true
+				cond.Signal(ct)
+				mu.Unlock(ct)
+			})
+			mu.Lock(tt)
+			if forGuard {
+				for !ready {
+					cond.Wait(tt)
+				}
+			} else if !ready {
+				cond.Wait(tt)
+			}
+			tt.Check(ready, "woke before the predicate was set")
+			mu.Unlock(tt)
+		}
+	}
+	buggyFailed := false
+	for seed := int64(1); seed <= 30; seed++ {
+		if Run(Config{Seed: seed, Injector: wake}, variant(false)).Failed() {
+			buggyFailed = true
+		}
+		if res := Run(Config{Seed: seed, Injector: wake}, variant(true)); res.Failed() {
+			t.Fatalf("seed %d: for-guarded wait failed under spurious wakeups: %+v", seed, res)
+		}
+	}
+	if !buggyFailed {
+		t.Fatal("if-guarded wait never failed under spurious wakeups across 30 seeds")
+	}
+}
+
+// TestFaultCloseMakesSendPanic: FaultClose at a send site closes the channel
+// out from under it — the close-on-error-path pattern — and the send panics.
+func TestFaultCloseMakesSendPanic(t *testing.T) {
+	inj := onceAt(FaultClose, func(site FaultSite, g int) bool { return site == SiteChanSend })
+	res := Run(Config{Seed: 1, Injector: inj}, func(tt *T) {
+		ch := NewChan[int](tt, 1)
+		ch.Send(tt, 1)
+	})
+	if res.Outcome != OutcomePanic {
+		t.Fatalf("outcome = %v, want panic from send on injected-closed channel", res.Outcome)
+	}
+}
+
+// TestFaultPanicCrashesRun: an injected panic is a simulated crash, reported
+// like any unrecovered panic.
+func TestFaultPanicCrashesRun(t *testing.T) {
+	inj := onceAt(FaultPanic, func(site FaultSite, g int) bool { return site == SiteMutex })
+	res := Run(Config{Seed: 1, Injector: inj}, func(tt *T) {
+		mu := NewMutex(tt, "mu")
+		mu.Lock(tt)
+		mu.Unlock(tt)
+	})
+	if res.Outcome != OutcomePanic {
+		t.Fatalf("outcome = %v, want panic", res.Outcome)
+	}
+	if len(res.Panics) == 0 || !strings.Contains(res.Panics[0].Msg, "injected fault") {
+		t.Fatalf("panic should name the injection, got %+v", res.Panics)
+	}
+}
+
+// TestFaultInjectEventEmitted: every applied fault shows up in the event
+// stream as a FaultInject event carrying the action and site.
+func TestFaultInjectEventEmitted(t *testing.T) {
+	inj := onceAt(FaultYield, func(site FaultSite, g int) bool { return site == SiteChanSend })
+	sink := &kindRecorder{kinds: []event.Kind{event.FaultInject}}
+	res := Run(Config{Seed: 1, Sinks: []event.Sink{sink}, Injector: inj}, func(tt *T) {
+		ch := NewChan[int](tt, 1)
+		ch.Send(tt, 1)
+		ch.Recv(tt)
+	})
+	if res.Failed() {
+		t.Fatalf("unexpected failure: %+v", res)
+	}
+	if len(sink.got) != 1 {
+		t.Fatalf("FaultInject events = %d, want 1", len(sink.got))
+	}
+	if sink.got[0].Detail != "yield" || FaultSite(sink.got[0].Counter) != SiteChanSend {
+		t.Fatalf("event = %+v, want yield at chan-send", sink.got[0])
+	}
+}
+
+// kindRecorder buffers every event of its subscribed kinds.
+type kindRecorder struct {
+	kinds []event.Kind
+	got   []event.Event
+}
+
+func (r *kindRecorder) Kinds() []event.Kind   { return r.kinds }
+func (r *kindRecorder) Event(ev *event.Event) { r.got = append(r.got, *ev) }
+
+// TestNoInjectorCostsNothingSemantically: the nil-injector path must not
+// change behavior at all — same seed, same program, identical outcome with
+// and without the (absent) hook.
+func TestNoInjectorCostsNothingSemantically(t *testing.T) {
+	prog := func(tt *T) {
+		ch := NewChan[int](tt, 0)
+		tt.Go(func(ct *T) { ch.Send(ct, 1) })
+		ch.Recv(tt)
+	}
+	a := Run(Config{Seed: 3}, prog)
+	none := injectFunc(func(FaultSite, int, string) FaultAction { return FaultNone })
+	b := Run(Config{Seed: 3, Injector: none}, prog)
+	if a.Steps != b.Steps || a.Outcome != b.Outcome {
+		t.Fatalf("FaultNone injector changed the run: %d/%v vs %d/%v", a.Steps, a.Outcome, b.Steps, b.Outcome)
+	}
+}

@@ -19,6 +19,12 @@ const (
 	// GAbandoned marks goroutines that were still live when the run was
 	// torn down after a simulated crash.
 	GAbandoned
+	// GKilled marks goroutines terminated by an injected FaultKill: they
+	// died mid-protocol, with any held locks left held and any pending
+	// hand-offs never delivered. A killed goroutine is finished (not
+	// blocked, not leaked); the damage it causes shows up in the
+	// goroutines that waited on it.
+	GKilled
 )
 
 // String implements fmt.Stringer.
@@ -36,6 +42,8 @@ func (s GState) String() string {
 		return "panicked"
 	case GAbandoned:
 		return "abandoned"
+	case GKilled:
+		return "killed"
 	default:
 		return fmt.Sprintf("GState(%d)", int(s))
 	}
@@ -211,6 +219,23 @@ func (rt *runtime) spawn(name string, fn Program) *G {
 			case killSentinelType:
 				g.finalState = g.block.preTeardownState()
 				rt.dead <- struct{}{}
+			case *injectedKill:
+				// An injected FaultKill: the goroutine dies silently
+				// mid-protocol. Its held locks stay held and whatever
+				// it was about to supply never arrives — the run
+				// continues and the waiters' fate (deadlock, leak) is
+				// the observation.
+				g.state = GKilled
+				g.finalState = GKilled
+				g.endTime = rt.now
+				if rt.wants(event.GoExit) {
+					rt.emit(g, event.Event{Kind: event.GoExit, Obj: v.obj, Detail: "injected kill"})
+				}
+				if next := rt.dispatch(); next != nil {
+					rt.wake(next)
+				} else {
+					rt.endRun()
+				}
 			case *simPanic:
 				rt.panics = append(rt.panics, PanicInfo{
 					G: g.id, Name: g.name, Msg: v.msg, Step: rt.step,

@@ -57,6 +57,7 @@ func (mv *MapVar[K, V]) observe(t *T, write bool) {
 func (mv *MapVar[K, V]) Store(t *T, k K, v V) {
 	t.yield()
 	t.touch(ObjVar, mv.meta.ID, true)
+	t.fault(SiteMap, mv.meta.Name)
 	mv.observe(t, true)
 	if mv.writing != 0 && mv.writing != t.g.id {
 		t.Panicf("fatal error: concurrent map writes on %s", mv.meta.Name)
@@ -75,6 +76,7 @@ func (mv *MapVar[K, V]) Store(t *T, k K, v V) {
 func (mv *MapVar[K, V]) Load(t *T, k K) (V, bool) {
 	t.yield()
 	t.touch(ObjVar, mv.meta.ID, false)
+	t.fault(SiteMap, mv.meta.Name)
 	mv.observe(t, false)
 	if mv.writing != 0 && mv.writing != t.g.id {
 		t.Panicf("fatal error: concurrent map read and map write on %s", mv.meta.Name)
@@ -94,6 +96,7 @@ func (mv *MapVar[K, V]) Load(t *T, k K) (V, bool) {
 func (mv *MapVar[K, V]) Delete(t *T, k K) {
 	t.yield()
 	t.touch(ObjVar, mv.meta.ID, true)
+	t.fault(SiteMap, mv.meta.Name)
 	mv.observe(t, true)
 	if mv.writing != 0 && mv.writing != t.g.id {
 		t.Panicf("fatal error: concurrent map writes on %s", mv.meta.Name)

@@ -33,6 +33,7 @@ func NewMutex(t *T, name string) *Mutex {
 func (m *Mutex) Lock(t *T) {
 	t.yield()
 	t.touch(ObjSync, m.id, true)
+	t.fault(SiteMutex, m.name)
 	if m.holder == nil {
 		m.holder = t.g
 		t.g.vc.Join(m.vc)
@@ -52,6 +53,7 @@ func (m *Mutex) Lock(t *T) {
 func (m *Mutex) Unlock(t *T) {
 	t.yield()
 	t.touch(ObjSync, m.id, true)
+	t.fault(SiteMutex, m.name)
 	if m.holder != t.g {
 		t.Panicf("sync: unlock of unlocked mutex %s", m.name)
 	}
@@ -73,6 +75,7 @@ func (m *Mutex) Unlock(t *T) {
 func (m *Mutex) TryLock(t *T) bool {
 	t.yield()
 	t.touch(ObjSync, m.id, true)
+	t.fault(SiteMutex, m.name)
 	if m.holder != nil {
 		return false
 	}

@@ -32,6 +32,7 @@ func NewOnce(t *T, name string) *Once {
 func (o *Once) Do(t *T, f func(t *T)) {
 	t.yield()
 	t.touch(ObjSync, o.id, true)
+	t.fault(SiteOnce, o.name)
 	switch o.state {
 	case 2:
 		t.g.vc.Join(o.vc)

@@ -50,6 +50,7 @@ func NewPipe(t *T, name string) (*PipeReader, *PipeWriter) {
 // Write sends buf to the reader, blocking until it is consumed or either
 // end closes.
 func (w *PipeWriter) Write(t *T, buf []byte) (int, error) {
+	t.fault(SitePipe, w.p.name)
 	t.g.blockKindOverride = BlockPipe
 	defer func() { t.g.blockKindOverride = BlockNone }()
 	var err error
@@ -73,6 +74,7 @@ func (w *PipeWriter) Close(t *T) error {
 // Read receives the next chunk, blocking until a writer supplies one or the
 // pipe closes.
 func (r *PipeReader) Read(t *T) ([]byte, error) {
+	t.fault(SitePipe, r.p.name)
 	t.g.blockKindOverride = BlockPipe
 	defer func() { t.g.blockKindOverride = BlockNone }()
 	var out []byte

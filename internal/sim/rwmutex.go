@@ -44,6 +44,7 @@ func NewRWMutex(t *T, name string) *RWMutex {
 func (rw *RWMutex) RLock(t *T) {
 	t.yield()
 	t.touch(ObjSync, rw.id, true)
+	t.fault(SiteRWMutex, rw.name)
 	if rw.writer == nil && len(rw.waitingWriters) == 0 {
 		rw.readers[t.g]++
 		t.g.vc.Join(rw.vcWriter)
@@ -61,6 +62,7 @@ func (rw *RWMutex) RLock(t *T) {
 func (rw *RWMutex) RUnlock(t *T) {
 	t.yield()
 	t.touch(ObjSync, rw.id, true)
+	t.fault(SiteRWMutex, rw.name)
 	if rw.readers[t.g] == 0 {
 		t.Panicf("sync: RUnlock of unlocked RWMutex %s", rw.name)
 	}
@@ -80,6 +82,7 @@ func (rw *RWMutex) RUnlock(t *T) {
 func (rw *RWMutex) Lock(t *T) {
 	t.yield()
 	t.touch(ObjSync, rw.id, true)
+	t.fault(SiteRWMutex, rw.name)
 	if rw.writer == nil && len(rw.readers) == 0 && len(rw.waitingWriters) == 0 {
 		rw.writer = t.g
 		t.g.vc.Join(rw.vcWriter)
@@ -98,6 +101,7 @@ func (rw *RWMutex) Lock(t *T) {
 func (rw *RWMutex) Unlock(t *T) {
 	t.yield()
 	t.touch(ObjSync, rw.id, true)
+	t.fault(SiteRWMutex, rw.name)
 	if rw.writer != t.g {
 		t.Panicf("sync: Unlock of unlocked RWMutex %s", rw.name)
 	}

@@ -65,6 +65,7 @@ func Select(t *T, cases ...Case) int {
 			t.touch(ObjChan, c.core.id, true)
 		}
 	}
+	t.fault(SiteSelect, "select")
 	// Gather ready cases (nil-channel cases are never ready).
 	var ready []int
 	defaultIdx := -1

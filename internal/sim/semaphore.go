@@ -29,11 +29,13 @@ func NewSemaphore(t *T, name string, n int) *Semaphore {
 
 // Acquire takes a slot, blocking while n holders are active.
 func (s *Semaphore) Acquire(t *T) {
+	t.fault(SiteSemaphore, s.name)
 	s.tokens.Send(t, struct{}{})
 }
 
 // TryAcquire takes a slot if one is free, without blocking.
 func (s *Semaphore) TryAcquire(t *T) bool {
+	t.fault(SiteSemaphore, s.name)
 	ok := false
 	Select(t,
 		OnSend(s.tokens, struct{}{}, func() { ok = true }),
@@ -45,6 +47,7 @@ func (s *Semaphore) TryAcquire(t *T) bool {
 // Release frees a slot; releasing more than was acquired panics, as the
 // channel idiom would misbehave silently and the library refuses to.
 func (s *Semaphore) Release(t *T) {
+	t.fault(SiteSemaphore, s.name)
 	got := false
 	Select(t,
 		OnRecv(s.tokens, func(struct{}, bool) { got = true }),

@@ -102,6 +102,13 @@ type Config struct {
 	// on the seed either way. (Chooser is an input to scheduling, not an
 	// observation of it, which is why it is not a Sink.)
 	Chooser func(n, preferred int) int
+	// Injector, when non-nil, is consulted at every instrumented primitive
+	// operation and may perturb it (injected yields, early timeouts,
+	// spurious wakeups, goroutine death, panics, channel closes — see
+	// FaultAction). Nil costs one nil check per operation. Injectors are
+	// per-run: package inject's implementation is stateful and must not be
+	// shared across concurrent runs.
+	Injector Injector
 	// Name labels the run in reports.
 	Name string
 }

@@ -91,6 +91,7 @@ func (rt *runtime) fireDueTimers() bool {
 func (t *T) Sleep(d time.Duration) {
 	g := t.g
 	t.touch(ObjWorld, 0, true)
+	t.fault(SiteTimer, "sleep")
 	t.rt.scheduleTimer(d, func() { t.rt.unblock(g) })
 	t.block(BlockSleep, fmt.Sprintf("sleep %v", d))
 }
@@ -120,6 +121,7 @@ func NewTimer(t *T, d time.Duration) *Timer {
 		vc: t.g.vc.Clone(),
 	}
 	t.touch(ObjWorld, 0, true)
+	t.fault(SiteTimer, tm.C.core.name)
 	t.g.tick()
 	tm.arm(d)
 	return tm
@@ -137,6 +139,7 @@ func (tm *Timer) arm(d time.Duration) {
 func (tm *Timer) Stop(t *T) bool {
 	t.yield()
 	t.touch(ObjWorld, 0, true)
+	t.fault(SiteTimer, tm.C.core.name)
 	if tm.entry == nil || tm.entry.stopped || tm.fired {
 		return false
 	}
@@ -149,6 +152,7 @@ func (tm *Timer) Stop(t *T) bool {
 func (tm *Timer) Reset(t *T, d time.Duration) {
 	t.yield()
 	t.touch(ObjWorld, 0, true)
+	t.fault(SiteTimer, tm.C.core.name)
 	if tm.entry != nil {
 		tm.entry.stopped = true
 	}
@@ -201,6 +205,7 @@ func NewTickerN(t *T, d time.Duration, n int) *Ticker {
 		fires:    n,
 	}
 	t.touch(ObjWorld, 0, true)
+	t.fault(SiteTimer, tk.C.core.name)
 	t.g.tick()
 	tk.arm()
 	return tk
@@ -223,6 +228,7 @@ func (tk *Ticker) arm() {
 func (tk *Ticker) Stop(t *T) {
 	t.yield()
 	t.touch(ObjWorld, 0, true)
+	t.fault(SiteTimer, tk.C.core.name)
 	tk.stopped = true
 	if tk.entry != nil {
 		tk.entry.stopped = true

@@ -67,6 +67,7 @@ func NewVarInit[V any](t *T, name string, init V) *Var[V] {
 func (v *Var[V]) Load(t *T) V {
 	t.yield()
 	t.touch(ObjVar, v.meta.ID, false)
+	t.fault(SiteVar, v.meta.Name)
 	if t.rt.wants(event.MemRead) {
 		t.rt.emit(t.g, event.Event{Kind: event.MemRead, Obj: v.meta.Name, ObjID: v.meta.ID, Var: v.meta})
 	}
@@ -77,6 +78,7 @@ func (v *Var[V]) Load(t *T) V {
 func (v *Var[V]) Store(t *T, x V) {
 	t.yield()
 	t.touch(ObjVar, v.meta.ID, true)
+	t.fault(SiteVar, v.meta.Name)
 	if t.rt.wants(event.MemWrite) {
 		t.rt.emit(t.g, event.Event{Kind: event.MemWrite, Obj: v.meta.Name, ObjID: v.meta.ID, Var: v.meta})
 	}

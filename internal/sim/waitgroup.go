@@ -37,6 +37,7 @@ func NewWaitGroup(t *T, name string) *WaitGroup {
 func (wg *WaitGroup) Add(t *T, delta int) {
 	t.yield()
 	t.touch(ObjSync, wg.id, true)
+	t.fault(SiteWaitGroup, wg.name)
 	wg.counter += delta
 	if t.rt.wants(event.WGAdd) {
 		t.rt.emit(t.g, event.Event{Kind: event.WGAdd, Obj: wg.name, ObjID: wg.id, Counter: wg.counter, Delta: delta})
@@ -56,6 +57,7 @@ func (wg *WaitGroup) Add(t *T, delta int) {
 func (wg *WaitGroup) Done(t *T) {
 	t.yield()
 	t.touch(ObjSync, wg.id, true)
+	t.fault(SiteWaitGroup, wg.name)
 	wg.counter--
 	wg.vcDone.Join(t.g.vc)
 	t.g.tick()
@@ -78,6 +80,7 @@ func (wg *WaitGroup) Done(t *T) {
 func (wg *WaitGroup) Wait(t *T) {
 	t.yield()
 	t.touch(ObjSync, wg.id, true)
+	t.fault(SiteWaitGroup, wg.name)
 	if t.rt.wants(event.WGWaitStart) {
 		t.rt.emit(t.g, event.Event{Kind: event.WGWaitStart, Obj: wg.name, ObjID: wg.id, Counter: wg.counter})
 	}

@@ -11,6 +11,9 @@
 #     detector attached)
 #   BenchmarkRaceDetectorOverhead/with-detector     - one native sink
 #   BenchmarkDetectorPipeline/single-pass           - full pipeline fan-out
+#   BenchmarkFaultInjection/off                     - fault hooks disabled
+#     (the nil-injector check at every instrumented primitive op must cost
+#     nothing when nobody asked for chaos)
 #
 # Refresh the baseline on the reference machine with:
 #   scripts/benchgate.sh -update
@@ -19,7 +22,7 @@ cd "$(dirname "$0")/.."
 
 BASELINE=testdata/bench_baseline.txt
 SLACK_PCT=${BENCHGATE_SLACK_PCT:-15}
-BENCHES='BenchmarkRaceDetectorOverhead|BenchmarkDetectorPipeline/single-pass'
+BENCHES='BenchmarkRaceDetectorOverhead|BenchmarkDetectorPipeline/single-pass|BenchmarkFaultInjection/off'
 
 raw=$(go test -bench "$BENCHES" -benchtime 1000x -count 6 -run '^$' . | grep -E '^Benchmark')
 

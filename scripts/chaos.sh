@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Chaos smoke lane: every kernel, buggy and fixed, under benign fault
+# injection (-faults). The gate is the yield-injection soundness argument
+# made executable:
+#
+#   - fixed variants MUST stay quiet under any amount of benign injection
+#     (an extra yield at an existing yield point only reaches states
+#     ordinary scheduling already reaches) — godetect exits non-zero when a
+#     fixed kernel fires, which fails this script;
+#   - buggy variants are swept under the same injection as a crash/panic
+#     smoke for the injector plumbing itself.
+#
+# Tune with CHAOS_RUNS / CHAOS_FAULTS / CHAOS_FAULTSEED.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+RUNS=${CHAOS_RUNS:-40}
+FAULTS=${CHAOS_FAULTS:-3}
+FAULTSEED=${CHAOS_FAULTSEED:-1}
+
+BIN=$(mktemp -d)/godetect
+trap 'rm -rf "$(dirname "$BIN")"' EXIT
+go build -o "$BIN" ./cmd/godetect
+
+echo "chaos: sweeping buggy variants ($RUNS runs, $FAULTS faults/run, faultseed $FAULTSEED)"
+"$BIN" -all -runs "$RUNS" -faults "$FAULTS" -faultseed "$FAULTSEED" > /dev/null
+
+echo "chaos: sweeping fixed variants (must stay quiet under injection)"
+if ! out=$("$BIN" -all -fixed -runs "$RUNS" -faults "$FAULTS" -faultseed "$FAULTSEED"); then
+  echo "$out"
+  echo "chaos: FAIL — a fixed kernel fired under benign fault injection (unsound injector or broken fix)" >&2
+  exit 1
+fi
+
+echo "chaos: ok — all fixed kernels quiet under $FAULTS benign faults/run"
