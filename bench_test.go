@@ -613,6 +613,61 @@ func BenchmarkFaultInjection(b *testing.B) {
 	})
 }
 
+// BenchmarkPooledRun measures sim.RunPool's steady state on the same
+// no-sink program the RaceDetectorOverhead/FaultInjection gates time with a
+// fresh runtime per run. The benchgate guards both lanes: the pooled no-sink
+// lane must hold 0 allocs/op (every per-run structure recycled) and beat the
+// historical fresh-run baseline by the ISSUE-6 margin; the with-detector
+// lane keeps the pooled instrumented path honest.
+func BenchmarkPooledRun(b *testing.B) {
+	// The program body is the same contended-counter workload the fresh-run
+	// gates use, but structured the way a zero-alloc caller would write it:
+	// the goroutine bodies close over one long-lived state struct (created
+	// once, like methods on a server object) instead of capturing per-run
+	// locals, so the program itself allocates nothing per run and the lane
+	// measures the runtime's own steady state.
+	type state struct {
+		x  *sim.Var[int]
+		mu *sim.Mutex
+		wg *sim.WaitGroup
+	}
+	st := &state{}
+	worker := func(ct *sim.T) {
+		for j := 0; j < 16; j++ {
+			st.mu.Lock(ct)
+			st.x.Store(ct, st.x.Load(ct)+1)
+			st.mu.Unlock(ct)
+		}
+		st.wg.Done(ct)
+	}
+	prog := func(t *sim.T) {
+		st.x = sim.NewVar[int](t, "x")
+		st.mu = sim.NewMutex(t, "mu")
+		st.wg = sim.NewWaitGroup(t, "wg")
+		st.wg.Add(t, 2)
+		for g := 0; g < 2; g++ {
+			t.Go(worker)
+		}
+		st.wg.Wait(t)
+	}
+	b.Run("no-sink", func(b *testing.B) {
+		pool := sim.NewRunPool()
+		defer pool.Close()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			pool.Run(sim.Config{Seed: int64(i)}, prog)
+		}
+	})
+	b.Run("with-detector", func(b *testing.B) {
+		pool := sim.NewRunPool()
+		defer pool.Close()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			pool.Run(sim.Config{Seed: int64(i), Sinks: []event.Sink{race.New(0)}}, prog)
+		}
+	})
+}
+
 func BenchmarkLiftComputation(b *testing.B) {
 	cont := stats.NewContingency([]string{"a", "b", "c"}, []string{"x", "y"})
 	cont.Add("a", "x", 20)

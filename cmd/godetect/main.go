@@ -18,6 +18,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"syscall"
 
 	"goconcbugs/internal/corpus"
@@ -58,6 +60,11 @@ func main() {
 	deadlineFlag := flag.Duration("deadline", 0, "wall-clock budget for sweeps and exploration; on expiry partial results are reported with an incomplete verdict")
 	resume := flag.String("resume", "", "checkpoint file for -with sweeps: progress is saved there periodically and a restart with the same options resumes instead of re-running")
 	faulttable := flag.Bool("faulttable", false, "emit the fault-injection experiment table (Markdown): schedules-to-first-detection with vs without benign injection, per study kernel")
+	shards := flag.Int("shards", 1, "partition a -with sweep's seed range into this many contiguous shards, one process each (needs -resume for the shard checkpoints)")
+	shardIdx := flag.Int("shard", 0, "with -shards: the 0-based shard this process sweeps")
+	foldFlag := flag.Bool("fold", false, "with -shards: merge the shard checkpoints into the serial checkpoint and print the combined report instead of sweeping")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of this invocation to the file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to the file at exit")
 	flag.Parse()
 
 	// Every long-running mode is interruptible: SIGINT/SIGTERM stop
@@ -75,99 +82,178 @@ func main() {
 		injOpts = &inject.Options{Seed: *faultseed, Budget: *faults, Aggressive: *aggressive}
 	}
 
-	if *faulttable {
-		os.Exit(runFaultTable(ctx, *runs, *faultseed))
+	prof, err := startProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "godetect:", err)
+		os.Exit(1)
 	}
 
-	if *detectorsFlag {
-		for _, d := range detect.All() {
-			fmt.Printf("%-8s %s\n", d.Name, d.Desc)
+	// Every mode returns an exit code instead of calling os.Exit, so the
+	// profile writers always flush no matter which path exits.
+	code := func() int {
+		if *faulttable {
+			return runFaultTable(ctx, *runs, *faultseed)
 		}
-		return
-	}
-	if *catalog {
-		printCatalog()
-		return
-	}
-	if *conf {
-		os.Exit(runConformance(ctx, *programs, *seed, *emitsrc))
-	}
-
-	var dets []detect.Detector
-	if *with != "" {
-		var err error
-		if dets, err = detect.Parse(*with); err != nil {
-			fmt.Fprintln(os.Stderr, "godetect:", err)
-			os.Exit(1)
+		if *detectorsFlag {
+			for _, d := range detect.All() {
+				fmt.Printf("%-8s %s\n", d.Name, d.Desc)
+			}
+			return 0
 		}
-	}
+		if *catalog {
+			printCatalog()
+			return 0
+		}
+		if *conf {
+			return runConformance(ctx, *programs, *seed, *emitsrc)
+		}
 
-	switch {
-	case *list:
-		listKernels()
-	case *all:
-		fired := false
-		for _, k := range kernels.All() {
-			if *systematic {
-				systematicSweep(ctx, k, *fixed, *maxRuns, *dpor)
-				continue
+		var dets []detect.Detector
+		if *with != "" {
+			var err error
+			if dets, err = detect.Parse(*with); err != nil {
+				fmt.Fprintln(os.Stderr, "godetect:", err)
+				return 1
 			}
-			checkpoint := ""
-			if *resume != "" {
-				checkpoint = *resume + "." + k.ID
+		}
+		if *shards > 1 || *foldFlag {
+			if *shards <= 1 {
+				fmt.Fprintln(os.Stderr, "godetect: -fold needs -shards N to know how many shard checkpoints to merge")
+				return 2
 			}
-			if dets != nil {
-				if pipelineSweep(ctx, k, *fixed, *runs, *seed, dets, checkpoint, injOpts) {
+			if dets == nil || *resume == "" {
+				fmt.Fprintln(os.Stderr, "godetect: -shards needs a -with detector sweep and a -resume checkpoint base")
+				return 2
+			}
+			if !*foldFlag && (*shardIdx < 0 || *shardIdx >= *shards) {
+				fmt.Fprintf(os.Stderr, "godetect: -shard %d out of range [0, %d)\n", *shardIdx, *shards)
+				return 2
+			}
+		}
+
+		switch {
+		case *list:
+			listKernels()
+		case *all:
+			fired := false
+			for _, k := range kernels.All() {
+				if *systematic {
+					systematicSweep(ctx, k, *fixed, *maxRuns, *dpor)
+					continue
+				}
+				checkpoint := ""
+				if *resume != "" {
+					checkpoint = *resume + "." + k.ID
+				}
+				if dets != nil {
+					f, err := pipelineSweep(ctx, k, *fixed, *runs, *seed, dets, checkpoint, injOpts, *shards, *shardIdx, *foldFlag)
+					if err != nil {
+						fmt.Fprintln(os.Stderr, "godetect:", err)
+						return 1
+					}
+					if f {
+						fired = true
+					}
+					continue
+				}
+				if sweep(ctx, k, *fixed, *runs, *seed, *shadow, injOpts) && injOpts != nil {
 					fired = true
 				}
-				continue
+				if *vetFlag {
+					runVet(k, *fixed, *runs, *seed)
+				}
 			}
-			if sweep(ctx, k, *fixed, *runs, *seed, *shadow, injOpts) && injOpts != nil {
-				fired = true
+			if fired && *fixed {
+				return 1
+			}
+		case *kernel != "":
+			k, ok := kernels.ByID(*kernel)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "godetect: unknown kernel %q (try -list)\n", *kernel)
+				return 1
+			}
+			if *trace {
+				printTrace(k, *fixed, *seed)
+			}
+			if *systematic {
+				systematicSweep(ctx, k, *fixed, *maxRuns, *dpor)
+				return 0
+			}
+			if *chrome != "" {
+				if err := writeChromeTrace(k, *fixed, *seed, *chrome); err != nil {
+					fmt.Fprintln(os.Stderr, "godetect:", err)
+					return 1
+				}
+				fmt.Printf("wrote %s (open in chrome://tracing or ui.perfetto.dev)\n", *chrome)
+			}
+			if dets != nil {
+				fired, err := pipelineSweep(ctx, k, *fixed, *runs, *seed, dets, *resume, injOpts, *shards, *shardIdx, *foldFlag)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "godetect:", err)
+					return 1
+				}
+				if fired && *fixed {
+					return 1
+				}
+				return 0
+			}
+			if sweep(ctx, k, *fixed, *runs, *seed, *shadow, injOpts) && *fixed && injOpts != nil {
+				return 1
 			}
 			if *vetFlag {
 				runVet(k, *fixed, *runs, *seed)
 			}
+		default:
+			flag.Usage()
+			return 2
 		}
-		if fired && *fixed {
-			os.Exit(1)
+		return 0
+	}()
+	prof()
+	os.Exit(code)
+}
+
+// startProfiles turns on the requested pprof outputs and returns the flush
+// hook main runs before exiting (os.Exit skips defers, so dispatch paths
+// return codes instead of exiting directly).
+func startProfiles(cpu, mem string) (func(), error) {
+	var cpuF *os.File
+	if cpu != "" {
+		f, err := os.Create(cpu)
+		if err != nil {
+			return nil, err
 		}
-	case *kernel != "":
-		k, ok := kernels.ByID(*kernel)
-		if !ok {
-			fmt.Fprintf(os.Stderr, "godetect: unknown kernel %q (try -list)\n", *kernel)
-			os.Exit(1)
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
 		}
-		if *trace {
-			printTrace(k, *fixed, *seed)
-		}
-		if *systematic {
-			systematicSweep(ctx, k, *fixed, *maxRuns, *dpor)
-			return
-		}
-		if *chrome != "" {
-			if err := writeChromeTrace(k, *fixed, *seed, *chrome); err != nil {
-				fmt.Fprintln(os.Stderr, "godetect:", err)
-				os.Exit(1)
-			}
-			fmt.Printf("wrote %s (open in chrome://tracing or ui.perfetto.dev)\n", *chrome)
-		}
-		if dets != nil {
-			if pipelineSweep(ctx, k, *fixed, *runs, *seed, dets, *resume, injOpts) && *fixed {
-				os.Exit(1)
-			}
-			return
-		}
-		if sweep(ctx, k, *fixed, *runs, *seed, *shadow, injOpts) && *fixed && injOpts != nil {
-			os.Exit(1)
-		}
-		if *vetFlag {
-			runVet(k, *fixed, *runs, *seed)
-		}
-	default:
-		flag.Usage()
-		os.Exit(2)
+		cpuF = f
 	}
+	return func() {
+		if cpuF != nil {
+			pprof.StopCPUProfile()
+			cpuF.Close()
+		}
+		if mem == "" {
+			return
+		}
+		f, err := os.Create(mem)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "godetect: heap profile:", err)
+			return
+		}
+		defer f.Close()
+		runtime.GC() // settle the live set the profile reports
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "godetect: heap profile:", err)
+		}
+	}, nil
+}
+
+// shardCheckpointName derives shard i's checkpoint file from the serial
+// checkpoint base — the base itself stays reserved for the folded result.
+func shardCheckpointName(base string, shard, shards int) string {
+	return fmt.Sprintf("%s.shard%d-of-%d", base, shard, shards)
 }
 
 // injectorFor adapts the CLI fault options to the per-run injector hook of
@@ -202,7 +288,12 @@ func printReplay(k kernels.Kernel, fixed bool, firstRun int, seed int64, injOpts
 // every run's single event stream, printing per-detector stats. It reports
 // whether any detector fired — the caller turns that into a non-zero exit
 // for -fixed kernels, making the pipeline usable as a regression gate.
-func pipelineSweep(ctx context.Context, k kernels.Kernel, fixed bool, runs int, seed int64, dets []detect.Detector, checkpoint string, injOpts *inject.Options) bool {
+//
+// With shards > 1 it sweeps only shard shardIdx's contiguous seed block into
+// a per-shard checkpoint; with fold it executes nothing and instead merges
+// the shard checkpoints into the serial checkpoint at the base path, folding
+// the combined report — byte-identical to an unsharded sweep's.
+func pipelineSweep(ctx context.Context, k kernels.Kernel, fixed bool, runs int, seed int64, dets []detect.Detector, checkpoint string, injOpts *inject.Options, shards, shardIdx int, fold bool) (bool, error) {
 	label := "buggy"
 	if fixed {
 		label = "fixed"
@@ -210,12 +301,32 @@ func pipelineSweep(ctx context.Context, k kernels.Kernel, fixed bool, runs int, 
 	if injOpts != nil {
 		label += fmt.Sprintf(", %d faults/run", injOpts.Budget)
 	}
-	sw := detect.Sweep(variant(k, fixed), detect.SweepOptions{
+	opts := detect.SweepOptions{
 		Runs: runs, BaseSeed: seed, Config: k.Config(seed),
 		Context:     ctx,
 		InjectorFor: injectorFor(injOpts),
 		Checkpoint:  checkpoint,
-	}, dets...)
+	}
+	var sw *detect.SweepReport
+	switch {
+	case fold:
+		srcs := make([]string, shards)
+		for i := range srcs {
+			srcs[i] = shardCheckpointName(checkpoint, i, shards)
+		}
+		var err error
+		if sw, err = detect.MergeSweepCheckpoints(checkpoint, srcs, opts, dets...); err != nil {
+			return false, err
+		}
+		label += fmt.Sprintf(", fold of %d shards", shards)
+	case shards > 1:
+		opts.ShardCount, opts.ShardIndex = shards, shardIdx
+		opts.Checkpoint = shardCheckpointName(checkpoint, shardIdx, shards)
+		label += fmt.Sprintf(", shard %d/%d", shardIdx, shards)
+		sw = detect.Sweep(variant(k, fixed), opts, dets...)
+	default:
+		sw = detect.Sweep(variant(k, fixed), opts, dets...)
+	}
 	fmt.Printf("%s (%s, %d runs, single pass per run): %s\n", k.ID, label, sw.Runs, sw.Verdict)
 	fired := false
 	firstRun := -1
@@ -240,7 +351,7 @@ func pipelineSweep(ctx context.Context, k kernels.Kernel, fixed bool, runs int, 
 	if fired {
 		printReplay(k, fixed, firstRun, seed, injOpts)
 	}
-	return fired
+	return fired, nil
 }
 
 func firstLine(s string) string {

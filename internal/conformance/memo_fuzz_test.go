@@ -1,0 +1,79 @@
+package conformance
+
+import (
+	"testing"
+
+	"goconcbugs/internal/explore"
+	"goconcbugs/internal/sim"
+)
+
+// FuzzMemoCanonicalHash drives the DPOR memoization's canonical state hash
+// over the generated IR corpus. The properties fuzzed are the ones the
+// hash's soundness rests on:
+//
+//   - determinism: two memoized searches of the same program with separate
+//     fresh tables are bit-identical (equal hashes on equal traces);
+//   - verdict preservation: the memoized search agrees with the unmemoized
+//     reduced search on verdict and failure existence (a hash collision
+//     that pruned a failing subtree would break this);
+//   - warm-table convergence: re-searching with the populated table stays
+//     within a small slack of the cold run count (hits may replant a few
+//     conservative backtracks), and a quiet complete search re-verifies
+//     with hits.
+func FuzzMemoCanonicalHash(f *testing.F) {
+	for seed := int64(0); seed < 12; seed++ {
+		f.Add(seed, seed%2 == 0)
+	}
+	f.Fuzz(func(t *testing.T, seed int64, safe bool) {
+		if seed < 0 {
+			seed = -(seed + 1)
+		}
+		seed %= 1 << 20
+		mode := ModeRacy
+		if safe {
+			mode = ModeSafe
+		}
+		p := Generate(seed, mode)
+		prog, _ := simProgram(p)
+		opts := func(memo *explore.MemoTable) explore.SystematicOptions {
+			return explore.SystematicOptions{
+				Config:    sim.Config{Seed: seed, Name: "memo-fuzz"},
+				MaxRuns:   2000,
+				Reduction: true,
+				Memo:      memo,
+			}
+		}
+
+		base := explore.Systematic(prog, opts(nil))
+		table := explore.NewMemoTable(0)
+		cold := explore.Systematic(prog, opts(table))
+		again := explore.Systematic(prog, opts(explore.NewMemoTable(0)))
+
+		if cold.Runs != again.Runs || cold.StatesMemoized != again.StatesMemoized ||
+			cold.PrefixesDeduped != again.PrefixesDeduped || cold.Verdict.Status != again.Verdict.Status {
+			t.Fatalf("seed %d: memoized search not deterministic:\n  %+v\n  %+v", seed, cold, again)
+		}
+		if base.Complete && cold.Complete {
+			if base.Verdict.Status != cold.Verdict.Status {
+				t.Fatalf("seed %d: verdict differs: plain=%v memoized=%v", seed, base.Verdict, cold.Verdict)
+			}
+			if (base.Failures > 0) != (cold.Failures > 0) {
+				t.Fatalf("seed %d: failure existence differs: plain=%d memoized=%d", seed, base.Failures, cold.Failures)
+			}
+		}
+
+		warm := explore.Systematic(prog, opts(table))
+		if warm.Verdict.Status != cold.Verdict.Status {
+			t.Fatalf("seed %d: warm verdict differs: cold=%v warm=%v", seed, cold.Verdict, warm.Verdict)
+		}
+		// A hit's conservative backtrack replanting may open a few extra
+		// ancestor branches, so allow a small overshoot (same slack as the
+		// kernel soundness test).
+		if warm.Runs > cold.Runs+cold.Runs/4+8 {
+			t.Fatalf("seed %d: warm search ran far more schedules (%d vs %d)", seed, warm.Runs, cold.Runs)
+		}
+		if cold.Complete && cold.Failures == 0 && cold.StatesMemoized > 0 && warm.PrefixesDeduped == 0 {
+			t.Fatalf("seed %d: warm search over a stored quiet space reported no hits", seed)
+		}
+	})
+}

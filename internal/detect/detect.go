@@ -197,6 +197,13 @@ func (r *Report) Detected() bool {
 // event stream — each event is produced once and fanned out by the mux —
 // then collects the verdicts. Sinks already present in cfg are kept.
 func RunAll(cfg sim.Config, prog sim.Program, dets ...Detector) *Report {
+	return runAll(nil, cfg, prog, dets)
+}
+
+// runAll is RunAll with an optional recycled runtime. With a pool the
+// returned Report carries a cloned Result (the pooled one is only valid
+// until the pool's next run).
+func runAll(pool *sim.RunPool, cfg sim.Config, prog sim.Program, dets []Detector) *Report {
 	insts := make([]*counted, len(dets))
 	// Full slice expression: never grow a caller-owned backing array.
 	sinks := cfg.Sinks[:len(cfg.Sinks):len(cfg.Sinks)]
@@ -206,7 +213,12 @@ func RunAll(cfg sim.Config, prog sim.Program, dets ...Detector) *Report {
 	}
 	cfg.Sinks = sinks
 	start := time.Now()
-	res := sim.Run(cfg, prog)
+	var res *sim.Result
+	if pool != nil {
+		res = pool.Run(cfg, prog)
+	} else {
+		res = sim.Run(cfg, prog)
+	}
 	rep := &Report{Result: res}
 	for _, c := range insts {
 		fs := time.Now()
@@ -216,6 +228,11 @@ func RunAll(cfg sim.Config, prog sim.Program, dets ...Detector) *Report {
 		rep.Stats = append(rep.Stats, c.stat)
 	}
 	rep.Elapsed = time.Since(start)
+	if pool != nil {
+		// The pooled Result is recycled on the pool's next run; the report
+		// keeps a private copy.
+		rep.Result = res.Clone()
+	}
 	return rep
 }
 
@@ -252,6 +269,15 @@ type SweepOptions struct {
 	// fixed small interval would make checkpointing quadratic on large
 	// sweeps); the final state is always saved.
 	CheckpointEvery int
+	// ShardCount and ShardIndex restrict the sweep to one contiguous block
+	// of the seed range: with ShardCount > 1, only runs in shard ShardIndex
+	// (per harness.Shard) execute, and the report folds that block alone.
+	// Each shard writes a full-length checkpoint with nulls outside its
+	// block; MergeSweepCheckpoints folds the shard files back into the
+	// byte-identical checkpoint — and hence the identical report — a serial
+	// sweep would have produced. ShardCount <= 1 means unsharded.
+	ShardCount int
+	ShardIndex int
 }
 
 // SweepStat aggregates one detector over a sweep.
@@ -369,6 +395,11 @@ func Sweep(prog sim.Program, opts SweepOptions, dets ...Detector) *SweepReport {
 		ctx = context.Background()
 	}
 
+	lo, hi := 0, opts.Runs
+	if opts.ShardCount > 1 {
+		lo, hi = harness.Shard(opts.Runs, opts.ShardCount, opts.ShardIndex)
+	}
+
 	records := make([]*sweepRecord, opts.Runs)
 	fp := sweepFingerprint(opts, dets)
 	if opts.Checkpoint != "" {
@@ -379,7 +410,7 @@ func Sweep(prog sim.Program, opts SweepOptions, dets ...Detector) *SweepReport {
 		}
 	}
 	var worklist []int
-	for i := range records {
+	for i := lo; i < hi; i++ {
 		if records[i] == nil {
 			worklist = append(worklist, i)
 		}
@@ -404,14 +435,15 @@ func Sweep(prog sim.Program, opts SweepOptions, dets ...Detector) *SweepReport {
 		// itself proceeds.
 		_ = harness.SaveCheckpoint(opts.Checkpoint, &snap)
 	}
-	oneRun := func(i int) {
+	// Each worker owns a RunPool so back-to-back seeds recycle one runtime.
+	oneRun := func(pool *sim.RunPool, i int) {
 		cfg := opts.Config
 		cfg.Seed = opts.BaseSeed + int64(i)
 		if opts.InjectorFor != nil {
 			cfg.Injector = opts.InjectorFor(i, cfg.Seed)
 		}
 		var rep *Report
-		runErr := harness.Capture(i, cfg.Seed, func() { rep = RunAll(cfg, prog, dets...) })
+		runErr := harness.Capture(i, cfg.Seed, func() { rep = runAll(pool, cfg, prog, dets) })
 		rec := &sweepRecord{Run: i, Seed: cfg.Seed, Err: runErr}
 		if runErr == nil {
 			rec.Verdicts = rep.Verdicts
@@ -434,12 +466,14 @@ func Sweep(prog sim.Program, opts SweepOptions, dets ...Detector) *SweepReport {
 		mu.Unlock()
 	}
 	if workers <= 1 {
+		pool := sim.NewRunPool()
 		for _, i := range worklist {
 			if ctx.Err() != nil {
 				break
 			}
-			oneRun(i)
+			oneRun(pool, i)
 		}
+		pool.Close()
 	} else {
 		var wg sync.WaitGroup
 		next := make(chan int)
@@ -447,8 +481,10 @@ func Sweep(prog sim.Program, opts SweepOptions, dets ...Detector) *SweepReport {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
+				pool := sim.NewRunPool()
+				defer pool.Close()
 				for i := range next {
-					oneRun(i)
+					oneRun(pool, i)
 				}
 			}()
 		}
@@ -467,14 +503,23 @@ func Sweep(prog sim.Program, opts SweepOptions, dets ...Detector) *SweepReport {
 		mu.Unlock()
 	}
 
-	out := &SweepReport{Runs: opts.Runs}
+	return foldSweep(opts, dets, records, lo, hi, elapsed, ctx.Err())
+}
+
+// foldSweep builds the seed-order report from per-run records over the
+// half-open run range [lo, hi). It is shared by Sweep (serial, resumed, and
+// single-shard) and MergeSweepCheckpoints (full range over merged shards), so
+// every path to a report folds identically. elapsed may be nil: wall time is
+// process-local and never part of the deterministic fold.
+func foldSweep(opts SweepOptions, dets []Detector, records []*sweepRecord, lo, hi int, elapsed []time.Duration, ctxErr error) *SweepReport {
+	out := &SweepReport{Runs: hi - lo}
 	rules := make([]map[string]bool, len(dets))
 	for di, d := range dets {
 		out.Detectors = append(out.Detectors, SweepStat{Detector: d.Name, FirstRun: -1})
 		rules[di] = map[string]bool{}
 	}
-	ctxErr := ctx.Err()
-	for i, rec := range records {
+	for i := lo; i < hi; i++ {
+		rec := records[i]
 		if rec == nil {
 			reason := harness.ReasonCanceled
 			if ctxErr != nil {
@@ -509,7 +554,9 @@ func Sweep(prog sim.Program, opts SweepOptions, dets ...Detector) *SweepReport {
 		}
 	}
 	for di := range dets {
-		out.Detectors[di].Elapsed = elapsed[di]
+		if elapsed != nil {
+			out.Detectors[di].Elapsed = elapsed[di]
+		}
 		for r := range rules[di] {
 			out.Detectors[di].Rules = append(out.Detectors[di].Rules, r)
 		}
@@ -538,7 +585,53 @@ func Sweep(prog sim.Program, opts SweepOptions, dets ...Detector) *SweepReport {
 				break
 			}
 		}
-		out.Verdict = harness.Incompletef(reason, "%d of %d runs incomplete", len(out.Incomplete), opts.Runs)
+		out.Verdict = harness.Incompletef(reason, "%d of %d runs incomplete", len(out.Incomplete), out.Runs)
 	}
 	return out
+}
+
+// MergeSweepCheckpoints folds the checkpoint files written by sharded Sweeps
+// of the same program and options back into the one report a serial sweep
+// would produce. Every source must carry the fingerprint of opts/dets and a
+// full-length record slice; records present in more than one source mean the
+// shards overlapped (a partitioning bug) and are rejected. Seeds no shard
+// executed fold into Incomplete, exactly as a canceled serial sweep's would.
+//
+// When dst is non-empty the merged full-length checkpoint is saved there
+// first; because sweepRecords hold no wall time and the fingerprint carries
+// no shard identity, that file is byte-identical to the checkpoint an
+// uninterrupted serial sweep of the same options writes.
+func MergeSweepCheckpoints(dst string, srcs []string, opts SweepOptions, dets ...Detector) (*SweepReport, error) {
+	if opts.Runs <= 0 {
+		opts.Runs = 100
+	}
+	fp := sweepFingerprint(opts, dets)
+	records := make([]*sweepRecord, opts.Runs)
+	for _, src := range srcs {
+		var cp sweepCheckpoint
+		if err := harness.LoadCheckpoint(src, &cp); err != nil {
+			return nil, fmt.Errorf("detect: reading shard checkpoint %s: %w", src, err)
+		}
+		if cp.Fingerprint != fp {
+			return nil, fmt.Errorf("detect: shard checkpoint %s was written under different options:\n  have %q\n  want %q", src, cp.Fingerprint, fp)
+		}
+		if len(cp.Records) != opts.Runs {
+			return nil, fmt.Errorf("detect: shard checkpoint %s holds %d records, want %d", src, len(cp.Records), opts.Runs)
+		}
+		for i, rec := range cp.Records {
+			if rec == nil {
+				continue
+			}
+			if records[i] != nil {
+				return nil, fmt.Errorf("detect: run %d appears in more than one shard checkpoint (%s) — shards must partition the seed range", i, src)
+			}
+			records[i] = rec
+		}
+	}
+	if dst != "" {
+		if err := harness.SaveCheckpoint(dst, &sweepCheckpoint{Fingerprint: fp, Records: records}); err != nil {
+			return nil, err
+		}
+	}
+	return foldSweep(opts, dets, records, 0, opts.Runs, nil, nil), nil
 }

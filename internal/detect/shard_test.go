@@ -1,0 +1,141 @@
+package detect
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"goconcbugs/internal/harness"
+	"goconcbugs/internal/sim"
+)
+
+// shardProg has a real data race, so different seeds fold different verdicts
+// — a merge that mixed up records would not go unnoticed.
+func shardProg(tt *sim.T) {
+	x := sim.NewVar[int](tt, "x")
+	done := sim.NewChan[int](tt, 2)
+	tt.Go(func(ct *sim.T) { x.Store(ct, 1); done.Send(ct, 1) })
+	tt.Go(func(ct *sim.T) { x.Store(ct, 2); done.Send(ct, 2) })
+	done.Recv(tt)
+	done.Recv(tt)
+}
+
+func shardDets() []Detector {
+	return []Detector{MustLookup("race"), MustLookup("leak")}
+}
+
+func zeroElapsed(r *SweepReport) {
+	for i := range r.Detectors {
+		r.Detectors[i].Elapsed = 0
+	}
+}
+
+// TestShardedSweepFoldsIdenticalToSerial is the sharding contract: four
+// shard processes, each sweeping its own contiguous seed block into its own
+// checkpoint, merge into the byte-identical checkpoint file — and the
+// identical report — a serial sweep of the same options produces.
+func TestShardedSweepFoldsIdenticalToSerial(t *testing.T) {
+	dir := t.TempDir()
+	dets := shardDets()
+	opts := SweepOptions{Runs: 23, BaseSeed: 5, Config: sim.Config{Name: "shard-prog"}}
+
+	serialOpts := opts
+	serialOpts.Checkpoint = filepath.Join(dir, "serial.ck")
+	serial := Sweep(shardProg, serialOpts, dets...)
+	if serial.Verdict.Status != harness.Confirmed {
+		t.Fatalf("serial sweep verdict = %v, want confirmed (the program races)", serial.Verdict)
+	}
+
+	const shards = 4
+	var srcs []string
+	for s := 0; s < shards; s++ {
+		so := opts
+		so.ShardCount, so.ShardIndex = shards, s
+		so.Checkpoint = filepath.Join(dir, "shard"+string(rune('0'+s))+".ck")
+		so.Workers = 1 + s%2 // serial and parallel shards must fold the same
+		srcs = append(srcs, so.Checkpoint)
+		rep := Sweep(shardProg, so, dets...)
+		lo, hi := harness.Shard(opts.Runs, shards, s)
+		if rep.Runs != hi-lo || rep.Completed != hi-lo {
+			t.Fatalf("shard %d: Runs=%d Completed=%d, want both %d", s, rep.Runs, rep.Completed, hi-lo)
+		}
+	}
+
+	mergedPath := filepath.Join(dir, "merged.ck")
+	merged, err := MergeSweepCheckpoints(mergedPath, srcs, opts, dets...)
+	if err != nil {
+		t.Fatalf("merge: %v", err)
+	}
+
+	serialBytes, err := os.ReadFile(serialOpts.Checkpoint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mergedBytes, err := os.ReadFile(mergedPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(serialBytes, mergedBytes) {
+		t.Errorf("merged checkpoint differs from serial checkpoint:\n  serial: %d bytes\n  merged: %d bytes", len(serialBytes), len(mergedBytes))
+	}
+
+	zeroElapsed(serial)
+	zeroElapsed(merged)
+	if !reflect.DeepEqual(serial, merged) {
+		t.Errorf("merged report differs from serial:\n  serial: %+v\n  merged: %+v", serial, merged)
+	}
+}
+
+// TestMergeSweepCheckpointsRejectsMisuse: a checkpoint from different
+// options, and overlapping shards, are partitioning bugs the merge must
+// refuse rather than fold into a wrong verdict.
+func TestMergeSweepCheckpointsRejectsMisuse(t *testing.T) {
+	dir := t.TempDir()
+	dets := shardDets()
+	opts := SweepOptions{Runs: 8, BaseSeed: 1, Config: sim.Config{Name: "shard-prog"}}
+
+	so := opts
+	so.ShardCount, so.ShardIndex = 2, 0
+	so.Checkpoint = filepath.Join(dir, "half.ck")
+	Sweep(shardProg, so, dets...)
+
+	other := opts
+	other.BaseSeed = 99
+	if _, err := MergeSweepCheckpoints("", []string{so.Checkpoint}, other, dets...); err == nil {
+		t.Error("merging a checkpoint written under a different base seed did not fail")
+	}
+	if _, err := MergeSweepCheckpoints("", []string{so.Checkpoint, so.Checkpoint}, opts, dets...); err == nil {
+		t.Error("merging the same shard twice (overlapping records) did not fail")
+	}
+	if _, err := MergeSweepCheckpoints("", []string{filepath.Join(dir, "absent.ck")}, opts, dets...); err == nil {
+		t.Error("merging a missing checkpoint file did not fail")
+	}
+}
+
+// TestMergeSweepCheckpointsFoldsMissingShardAsIncomplete: when a shard never
+// ran, its seeds fold as incomplete — the merge reports a partial campaign
+// honestly instead of silently refuting on the seeds it happens to have.
+func TestMergeSweepCheckpointsFoldsMissingShardAsIncomplete(t *testing.T) {
+	dir := t.TempDir()
+	dets := shardDets()
+	opts := SweepOptions{Runs: 10, BaseSeed: 3, Config: sim.Config{Name: "shard-prog"}}
+
+	so := opts
+	so.ShardCount, so.ShardIndex = 2, 1
+	so.Checkpoint = filepath.Join(dir, "only-half.ck")
+	Sweep(shardProg, so, dets...)
+
+	merged, err := MergeSweepCheckpoints("", []string{so.Checkpoint}, opts, dets...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := harness.Shard(opts.Runs, 2, 1)
+	if merged.Completed != hi-lo {
+		t.Fatalf("Completed = %d, want the executed shard's %d runs", merged.Completed, hi-lo)
+	}
+	if len(merged.Incomplete) != lo {
+		t.Fatalf("Incomplete = %d seeds, want the missing shard's %d", len(merged.Incomplete), lo)
+	}
+}

@@ -93,14 +93,22 @@ func (s *Stats) RaceDetectRate() float64 {
 // criterion.
 func (s *Stats) Detected() bool { return s.RaceDetectedRuns > 0 }
 
-// runOutcome is one seed's raw result, kept so parallel execution can fold
-// deterministically in seed order.
+// runOutcome is one seed's extracted result, kept so parallel execution can
+// fold deterministically in seed order. It stores scalars and samples rather
+// than the *sim.Result itself: runs execute on recycled RunPool runtimes
+// whose Result is only valid until the worker's next run.
 type runOutcome struct {
-	res      *sim.Result
-	reports  []race.Report
-	racyVars []string
-	err      *harness.RunError
-	skipped  bool // never dispatched (context canceled first)
+	failed      bool
+	panicked    bool
+	panicMsg    string
+	builtin     bool
+	leaked      bool
+	leakSample  string
+	checkFailed bool
+	checkSample string
+	reports     []race.Report
+	racyVars    []string
+	err         *harness.RunError
 }
 
 // Run explores prog under opts.
@@ -121,8 +129,12 @@ func Run(prog sim.Program, opts Options) *Stats {
 		ctx = context.Background()
 	}
 
-	outcomes := make([]runOutcome, opts.Runs)
-	oneRun := func(i int) {
+	// Pointers, not values: a huge Runs count must not pay for zeroing
+	// outcome structs it will never dispatch (nil = never dispatched).
+	outcomes := make([]*runOutcome, opts.Runs)
+	// Each worker owns a RunPool: the recycled runtime makes back-to-back
+	// seeds nearly allocation-free, and pools are single-owner by contract.
+	oneRun := func(pool *sim.RunPool, i int) {
 		cfg := opts.Config
 		cfg.Seed = opts.BaseSeed + int64(i)
 		if opts.InjectorFor != nil {
@@ -135,9 +147,26 @@ func Run(prog sim.Program, opts Options) *Stats {
 			// backing array.
 			cfg.Sinks = []event.Sink{det}
 		}
-		var out runOutcome
+		out := new(runOutcome)
 		out.err = harness.Capture(i, cfg.Seed, func() {
-			out.res = sim.Run(cfg, prog)
+			res := pool.Run(cfg, prog)
+			// Extract everything the fold needs before the pool recycles
+			// the Result on the next run.
+			out.failed = res.Failed()
+			out.panicked = res.Outcome == sim.OutcomePanic
+			if out.panicked && len(res.Panics) > 0 {
+				out.panicMsg = res.Panics[0].Msg
+			}
+			out.builtin = res.Outcome == sim.OutcomeBuiltinDeadlock
+			if len(res.Leaked) > 0 {
+				out.leaked = true
+				g := res.Leaked[0]
+				out.leakSample = g.Name + " blocked on " + g.BlockKind.String()
+			}
+			if len(res.CheckFailures) > 0 {
+				out.checkFailed = true
+				out.checkSample = res.CheckFailures[0]
+			}
 		})
 		if det != nil && out.err == nil {
 			out.reports = det.Reports()
@@ -146,12 +175,13 @@ func Run(prog sim.Program, opts Options) *Stats {
 		outcomes[i] = out
 	}
 	if workers == 1 {
+		pool := sim.NewRunPool()
+		defer pool.Close()
 		for i := 0; i < opts.Runs; i++ {
 			if ctx.Err() != nil {
-				outcomes[i] = runOutcome{skipped: true}
-				continue
+				break
 			}
-			oneRun(i)
+			oneRun(pool, i)
 		}
 	} else {
 		var wg sync.WaitGroup
@@ -160,8 +190,10 @@ func Run(prog sim.Program, opts Options) *Stats {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
+				pool := sim.NewRunPool()
+				defer pool.Close()
 				for i := range next {
-					oneRun(i)
+					oneRun(pool, i)
 				}
 			}()
 		}
@@ -171,48 +203,44 @@ func Run(prog sim.Program, opts Options) *Stats {
 		}
 		close(next)
 		wg.Wait()
-		for i := dispatched; i < opts.Runs; i++ {
-			outcomes[i] = runOutcome{skipped: true}
-		}
 	}
 
 	st := &Stats{Runs: opts.Runs, FirstManifestRun: -1, FirstDetectedRun: -1, RacyVars: map[string]int{}}
 	for i := 0; i < opts.Runs; i++ {
-		if outcomes[i].skipped {
+		out := outcomes[i]
+		if out == nil { // never dispatched (context canceled first)
 			continue
 		}
-		if e := outcomes[i].err; e != nil {
+		if e := out.err; e != nil {
 			st.Errors = append(st.Errors, e)
 			continue
 		}
 		st.Completed++
-		res := outcomes[i].res
-		if res.Failed() {
+		if out.failed {
 			st.Manifested++
 			if st.FirstManifestRun < 0 {
 				st.FirstManifestRun = i
 			}
 		}
-		if res.Outcome == sim.OutcomePanic {
+		if out.panicked {
 			st.Panics++
-			if st.SamplePanic == "" && len(res.Panics) > 0 {
-				st.SamplePanic = res.Panics[0].Msg
+			if st.SamplePanic == "" && out.panicMsg != "" {
+				st.SamplePanic = out.panicMsg
 			}
 		}
-		if res.Outcome == sim.OutcomeBuiltinDeadlock {
+		if out.builtin {
 			st.BuiltinDeadlocks++
 		}
-		if len(res.Leaked) > 0 {
+		if out.leaked {
 			st.LeakRuns++
 			if st.SampleLeak == "" {
-				g := res.Leaked[0]
-				st.SampleLeak = g.Name + " blocked on " + g.BlockKind.String()
+				st.SampleLeak = out.leakSample
 			}
 		}
-		if len(res.CheckFailures) > 0 {
+		if out.checkFailed {
 			st.CheckFailureRuns++
 			if st.SampleCheckFail == "" {
-				st.SampleCheckFail = res.CheckFailures[0]
+				st.SampleCheckFail = out.checkSample
 			}
 		}
 		if reports := outcomes[i].reports; len(reports) > 0 {

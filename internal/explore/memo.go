@@ -1,0 +1,316 @@
+package explore
+
+import (
+	"container/list"
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"goconcbugs/internal/sim"
+)
+
+// Cross-run state memoization for the DPOR search.
+//
+// Sleep sets remove most of the redundancy the race-reversal backtracking
+// creates, but the conservative fallbacks survive them: abandoned-goroutine
+// handling backtracks at every node, a race whose reverser was not runnable
+// at the target backtracks every option, and ready selects are expanded
+// case by case. Each fallback can descend into a subtree whose entry state
+// is Mazurkiewicz-equivalent to one the search already exhausted — same
+// per-goroutine histories, same dependence edges, hence (by determinism of
+// the simulated runtime) the same concrete program state and the same
+// reachable outcomes.
+//
+// The memo table keys those states canonically: an incremental 128-bit hash
+// over the executed prefix in which each transition contributes
+// (goroutine, per-goroutine index, object footprint, dependence edges) and
+// contributions combine commutatively — so any two interleavings of the
+// same trace prefix hash identically, while the dependence edges keep
+// genuinely different traces apart. When a decision node's entry state hits
+// a table entry, the node's remaining branches are pruned
+// (PrefixesDeduped); when a node's subtree is exhausted provably quiet —
+// no failure, no host error, no depth truncation, no T.Rand draw, footprint
+// summary within bounds — its entry state is stored (StatesMemoized).
+//
+// Soundness is one-directional by construction: only quiet, completely
+// explored subtrees are ever stored, so a hit can only prune schedules
+// whose outcomes are already known failure-free — a memoized search reaches
+// a failure iff the unmemoized search does. Two conservative obligations
+// make the pruning safe:
+//
+//   - Races between a prefix transition and a pruned-subtree transition
+//     would have planted backtrack points at the *current* path's nodes had
+//     the subtree run. Each stored entry therefore carries the subtree's
+//     bounded object-footprint summary; a hit replants those backtracks
+//     without clocks (conflict ⇒ backtrack — over-approximate, never
+//     under).
+//
+//   - Program-visible randomness (T.Rand) draws from one shared stream in
+//     interleaving order, so equal traces need not mean equal states; any
+//     run that drew taints every node on its path against both store and
+//     hit. Fault injectors are stateful in the same way, so a non-nil
+//     Config.Injector disables memoization entirely.
+//
+// A table outlives a single search: sharing one across sequential sweeps of
+// the SAME program and configuration (a resumed or sharded campaign)
+// re-verifies already-covered state spaces in O(1) runs. Sharing across
+// different programs, seeds, or injector setups is a caller error the
+// fingerprint check turns into a panic. Concurrent sharers stay sound
+// (entries are only ever valid facts) but make each search's run counts
+// timing-dependent; the serial canonical walk is bit-reproducible only when
+// searches use the table one at a time.
+
+// memoKey is the 128-bit canonical state hash (two independent 64-bit
+// mixes of the same trace-prefix content).
+type memoKey struct{ H1, H2 uint64 }
+
+// memoObj is one object of a stored subtree's footprint summary: the
+// object, whether the subtree wrote it, and which goroutines touched it.
+type memoObj struct {
+	Class sim.ObjClass `json:"class"`
+	ID    int          `json:"id"`
+	Write bool         `json:"write"`
+	Gids  []int        `json:"gids"`
+}
+
+// memoEntry is one stored quiet subtree.
+type memoEntry struct {
+	key  memoKey
+	objs []memoObj
+	elem *list.Element // LRU position
+}
+
+// DefaultMemoCap bounds a MemoTable's entry count unless overridden.
+const DefaultMemoCap = 1 << 16
+
+// MemoTable is a bounded-memory LRU map from canonical state hashes to
+// quiet-subtree summaries, shared across DPOR searches via
+// SystematicOptions.Memo. The zero value is not usable; construct with
+// NewMemoTable. All methods are safe for concurrent use.
+type MemoTable struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[memoKey]*memoEntry
+	lru     *list.List // front = most recently used
+	fp      string     // identity of the (program, config) the table serves
+}
+
+// NewMemoTable creates a table holding at most capEntries states
+// (DefaultMemoCap when <= 0).
+func NewMemoTable(capEntries int) *MemoTable {
+	if capEntries <= 0 {
+		capEntries = DefaultMemoCap
+	}
+	return &MemoTable{
+		cap:     capEntries,
+		entries: map[memoKey]*memoEntry{},
+		lru:     list.New(),
+	}
+}
+
+// Len returns the number of stored states.
+func (m *MemoTable) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.entries)
+}
+
+// bind pins the table to one (program, config) identity; a second bind with
+// a different identity is a caller bug (stored states would be meaningless)
+// and panics.
+func (m *MemoTable) bind(fp string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.fp == "" {
+		m.fp = fp
+		return
+	}
+	if m.fp != fp {
+		panic(fmt.Sprintf("explore: MemoTable bound to %q reused for %q — one table per (program, config)", m.fp, fp))
+	}
+}
+
+// lookup returns the summary for k, refreshing its LRU position.
+func (m *MemoTable) lookup(k memoKey) ([]memoObj, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e, ok := m.entries[k]
+	if !ok {
+		return nil, false
+	}
+	m.lru.MoveToFront(e.elem)
+	return e.objs, true
+}
+
+// store inserts a quiet-subtree entry, evicting the least recently used
+// state when the table is full. It reports whether the entry was new.
+func (m *MemoTable) store(k memoKey, objs []memoObj) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if e, ok := m.entries[k]; ok {
+		m.lru.MoveToFront(e.elem)
+		return false
+	}
+	e := &memoEntry{key: k, objs: objs}
+	e.elem = m.lru.PushFront(e)
+	m.entries[k] = e
+	for len(m.entries) > m.cap {
+		oldest := m.lru.Back()
+		old := oldest.Value.(*memoEntry)
+		m.lru.Remove(oldest)
+		delete(m.entries, old.key)
+	}
+	return true
+}
+
+// memoTableJSON is the persistence format: enough to rebuild the table in
+// another process (a sharded or resumed campaign).
+type memoTableJSON struct {
+	Version     string `json:"version"`
+	Fingerprint string `json:"fingerprint"`
+	Cap         int    `json:"cap"`
+	Entries     []struct {
+		H1   uint64    `json:"h1"`
+		H2   uint64    `json:"h2"`
+		Objs []memoObj `json:"objs,omitempty"`
+	} `json:"entries"`
+}
+
+// Encode serializes the table (most recently used first).
+func (m *MemoTable) Encode() ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := memoTableJSON{Version: "memo/v1", Fingerprint: m.fp, Cap: m.cap}
+	for el := m.lru.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*memoEntry)
+		out.Entries = append(out.Entries, struct {
+			H1   uint64    `json:"h1"`
+			H2   uint64    `json:"h2"`
+			Objs []memoObj `json:"objs,omitempty"`
+		}{e.key.H1, e.key.H2, e.objs})
+	}
+	return json.Marshal(&out)
+}
+
+// DecodeMemoTable rebuilds a table serialized by Encode.
+func DecodeMemoTable(data []byte) (*MemoTable, error) {
+	var in memoTableJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return nil, err
+	}
+	if in.Version != "memo/v1" {
+		return nil, fmt.Errorf("explore: unknown memo table version %q", in.Version)
+	}
+	m := NewMemoTable(in.Cap)
+	m.fp = in.Fingerprint
+	// Reverse order: PushFront restores the serialized MRU-first order.
+	for i := len(in.Entries) - 1; i >= 0; i-- {
+		e := in.Entries[i]
+		m.store(memoKey{e.H1, e.H2}, e.Objs)
+	}
+	return m, nil
+}
+
+// splitmix64 is the finalizer of the splitmix64 generator — a cheap,
+// well-distributed 64-bit mixer.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// stateHash accumulates the canonical prefix hash. Steps add their
+// contributions commutatively (addition), so the hash is invariant under
+// reordering of independent transitions; the dependence edges folded into
+// each contribution keep distinct traces distinct.
+type stateHash struct{ h1, h2 uint64 }
+
+func (s *stateHash) key() memoKey { return memoKey{s.h1, s.h2} }
+
+// addStep folds one transition in. pre is the step's order-independent
+// content hash (goroutine, per-goroutine index, footprint, commutative
+// dependence-edge sum).
+func (s *stateHash) addStep(pre uint64) {
+	s.h1 += splitmix64(pre ^ 0x8e51_0c52_6d1f_35a7)
+	s.h2 += splitmix64(pre ^ 0x5fc1_6a2e_93b7_d841)
+}
+
+// stepPreHash hashes one transition's own content sequentially (the
+// goroutine-local parts are ordered by the goroutine's own history, which
+// is trace-invariant) and takes the dependence-edge sum computed by the
+// caller.
+func stepPreHash(gid, gIdx int, ops []sim.OpRef, edgeSum uint64) uint64 {
+	h := splitmix64(uint64(gid)<<32 | uint64(uint32(gIdx)))
+	for _, op := range ops {
+		w := uint64(0)
+		if op.Write {
+			w = 1
+		}
+		h = splitmix64(h ^ splitmix64(uint64(op.Class)<<48|uint64(uint32(op.ID))<<1|w))
+	}
+	return h ^ edgeSum
+}
+
+// edgeHash is one dependence edge's commutative contribution: the prior
+// conflicting transition identified canonically by (goroutine,
+// per-goroutine index).
+func edgeHash(gid, gIdx int) uint64 {
+	return splitmix64(uint64(gid)<<32 | uint64(uint32(gIdx)) | 1<<63)
+}
+
+// memoSummaryCap bounds a node's footprint summary; a subtree touching more
+// distinct objects is not memoized (the summary is what makes a later hit's
+// backtrack replanting sound, so it must stay complete).
+const memoSummaryCap = 256
+
+// nodeSummary accumulates the object footprint of one node's subtree.
+type nodeSummary struct {
+	objs     map[objKey]*memoObj
+	overflow bool
+}
+
+func (ns *nodeSummary) add(ops []sim.OpRef, gid int) {
+	if ns.overflow {
+		return
+	}
+	if ns.objs == nil {
+		ns.objs = map[objKey]*memoObj{}
+	}
+	for _, op := range ops {
+		if op.Class == sim.ObjSpawn {
+			continue
+		}
+		k := objKey{op.Class, op.ID}
+		o := ns.objs[k]
+		if o == nil {
+			if len(ns.objs) >= memoSummaryCap {
+				ns.overflow = true
+				return
+			}
+			o = &memoObj{Class: op.Class, ID: op.ID}
+			ns.objs[k] = o
+		}
+		o.Write = o.Write || op.Write
+		seen := false
+		for _, g := range o.Gids {
+			if g == gid {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			o.Gids = append(o.Gids, gid)
+		}
+	}
+}
+
+// freeze renders the summary for storage (deterministic order not required:
+// hits only iterate it).
+func (ns *nodeSummary) freeze() []memoObj {
+	out := make([]memoObj, 0, len(ns.objs))
+	for _, o := range ns.objs {
+		out = append(out, *o)
+	}
+	return out
+}

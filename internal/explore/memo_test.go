@@ -1,0 +1,213 @@
+package explore_test
+
+// Soundness and reuse tests for DPOR state memoization.
+//
+// The contract under test: a memoized search must reach the same verdict as
+// the unmemoized reduced search on every program — memoization may only
+// prune subtrees proven equivalent to quiet, fully explored ones — and a
+// table carried across sequential searches of the same program re-verifies
+// an already-covered space in O(1) runs.
+
+import (
+	"testing"
+
+	"goconcbugs/internal/explore"
+	"goconcbugs/internal/harness"
+	"goconcbugs/internal/inject"
+	"goconcbugs/internal/kernels"
+	"goconcbugs/internal/sim"
+)
+
+const memoBudget = 50_000
+
+func memoOpts(memo *explore.MemoTable, name string) explore.SystematicOptions {
+	return explore.SystematicOptions{
+		Config:    sim.Config{Seed: 1, Name: name},
+		MaxRuns:   memoBudget,
+		Reduction: true,
+		Memo:      memo,
+	}
+}
+
+// TestMemoSoundnessOnKernels: on every kernel, buggy and fixed, the
+// memoized search agrees with the unmemoized one on verdict, completeness,
+// and failure existence, and never runs more schedules.
+func TestMemoSoundnessOnKernels(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-corpus memo differential")
+	}
+	totalStored, totalDeduped := 0, 0
+	for _, k := range kernels.All() {
+		for _, v := range []struct {
+			name string
+			prog sim.Program
+		}{{"buggy", k.Buggy}, {"fixed", k.Fixed}} {
+			base := explore.Systematic(v.prog, memoOpts(nil, k.ID))
+			memo := explore.Systematic(v.prog, memoOpts(explore.NewMemoTable(0), k.ID))
+			label := k.ID + "/" + v.name
+			if base.Verdict.Status != memo.Verdict.Status {
+				t.Errorf("%s: verdict differs: plain=%v memoized=%v", label, base.Verdict, memo.Verdict)
+			}
+			if base.Complete != memo.Complete {
+				t.Errorf("%s: completeness differs: plain=%v memoized=%v", label, base.Complete, memo.Complete)
+			}
+			if (base.Failures > 0) != (memo.Failures > 0) {
+				t.Errorf("%s: failure existence differs: plain=%d memoized=%d", label, base.Failures, memo.Failures)
+			}
+			// A hit's conservative backtrack replanting may open a few
+			// extra ancestor branches the clock-precise analysis would
+			// have skipped, so a small run-count overshoot is legitimate;
+			// anything larger means the pruning is not paying for itself.
+			if memo.Runs > base.Runs+base.Runs/4+8 {
+				t.Errorf("%s: memoized search ran far more schedules (%d vs %d)", label, memo.Runs, base.Runs)
+			}
+			totalStored += memo.StatesMemoized
+			totalDeduped += memo.PrefixesDeduped
+		}
+	}
+	if totalStored == 0 {
+		t.Error("no kernel stored a single memo entry — memoization is inert")
+	}
+	t.Logf("across the corpus: %d states memoized, %d prefixes deduped cold", totalStored, totalDeduped)
+}
+
+// TestMemoWarmTableReverifiesInOneRun: after a complete refuting search, a
+// second search sharing the table must hit the root state immediately and
+// finish complete in a single run — the resumed/sharded-campaign payoff.
+func TestMemoWarmTableReverifiesInOneRun(t *testing.T) {
+	verified := 0
+	for _, k := range kernels.All() {
+		table := explore.NewMemoTable(0)
+		first := explore.Systematic(k.Fixed, memoOpts(table, k.ID))
+		if !first.Complete || first.Verdict.Status != harness.Refuted || first.StatesMemoized == 0 {
+			continue
+		}
+		second := explore.Systematic(k.Fixed, memoOpts(table, k.ID))
+		if second.Verdict.Status != harness.Refuted || !second.Complete {
+			t.Errorf("%s: warm re-verification verdict = %v (complete=%v), want complete refutation",
+				k.ID, second.Verdict, second.Complete)
+		}
+		if second.Runs != 1 {
+			t.Errorf("%s: warm re-verification took %d runs, want 1", k.ID, second.Runs)
+		}
+		if second.PrefixesDeduped == 0 {
+			t.Errorf("%s: warm re-verification reported no prefix dedup", k.ID)
+		}
+		verified++
+		if verified >= 5 && testing.Short() {
+			break
+		}
+	}
+	if verified == 0 {
+		t.Fatal("no kernel produced a complete, refuted, memoized first search — cannot exercise warm tables")
+	}
+	t.Logf("%d kernels re-verified in one run each", verified)
+}
+
+// TestMemoEncodeDecodeRoundtrip: a table serialized in one "process" and
+// decoded in another keeps its entries — the cross-process half of sharded
+// campaigns.
+func TestMemoEncodeDecodeRoundtrip(t *testing.T) {
+	var pick *kernels.Kernel
+	for _, k := range kernels.All() {
+		table := explore.NewMemoTable(0)
+		res := explore.Systematic(k.Fixed, memoOpts(table, k.ID))
+		if res.Complete && res.Verdict.Status == harness.Refuted && res.StatesMemoized > 0 {
+			kk := k
+			pick = &kk
+			data, err := table.Encode()
+			if err != nil {
+				t.Fatalf("%s: encode: %v", k.ID, err)
+			}
+			decoded, err := explore.DecodeMemoTable(data)
+			if err != nil {
+				t.Fatalf("%s: decode: %v", k.ID, err)
+			}
+			if decoded.Len() != table.Len() {
+				t.Fatalf("%s: roundtrip dropped entries: %d != %d", k.ID, decoded.Len(), table.Len())
+			}
+			second := explore.Systematic(k.Fixed, memoOpts(decoded, k.ID))
+			if second.Runs != 1 || second.Verdict.Status != harness.Refuted {
+				t.Fatalf("%s: decoded table did not re-verify in one run: runs=%d verdict=%v",
+					k.ID, second.Runs, second.Verdict)
+			}
+			break
+		}
+	}
+	if pick == nil {
+		t.Fatal("no kernel produced a memoized complete refutation")
+	}
+}
+
+// TestMemoDeterministic: two memoized searches with separate fresh tables
+// are bit-identical — the serial canonical walk survives memoization.
+func TestMemoDeterministic(t *testing.T) {
+	for _, k := range kernels.All()[:6] {
+		for _, prog := range []sim.Program{k.Buggy, k.Fixed} {
+			a := explore.Systematic(prog, memoOpts(explore.NewMemoTable(0), k.ID))
+			b := explore.Systematic(prog, memoOpts(explore.NewMemoTable(0), k.ID))
+			if a.Runs != b.Runs || a.StatesMemoized != b.StatesMemoized ||
+				a.PrefixesDeduped != b.PrefixesDeduped || a.SchedulesPruned != b.SchedulesPruned ||
+				a.Verdict.Status != b.Verdict.Status || a.Complete != b.Complete {
+				t.Errorf("%s: memoized search not deterministic:\n  a: %+v\n  b: %+v", k.ID, a, b)
+			}
+		}
+	}
+}
+
+// randDrawer consults T.Rand: its state depends on the concrete
+// interleaving, so memoization must disable itself (nothing stored, nothing
+// pruned) while the verdict stays intact.
+func randDrawer(tt *sim.T) {
+	x := sim.NewVar[int](tt, "x")
+	done := sim.NewChan[int](tt, 2)
+	tt.Go(func(ct *sim.T) { x.Store(ct, ct.Rand(10)); done.Send(ct, 1) })
+	tt.Go(func(ct *sim.T) { _ = x.Load(ct); done.Recv(ct) })
+	done.Send(tt, 0)
+}
+
+func TestMemoDisabledByRand(t *testing.T) {
+	table := explore.NewMemoTable(0)
+	opts := memoOpts(table, "rand-drawer")
+	res := explore.Systematic(randDrawer, opts)
+	if res.StatesMemoized != 0 || res.PrefixesDeduped != 0 {
+		t.Fatalf("memoization acted on a T.Rand-consuming program: stored=%d deduped=%d",
+			res.StatesMemoized, res.PrefixesDeduped)
+	}
+	if table.Len() != 0 {
+		t.Fatalf("table holds %d entries for a rand-tainted program", table.Len())
+	}
+	base := explore.Systematic(randDrawer, memoOpts(nil, "rand-drawer"))
+	if base.Verdict.Status != res.Verdict.Status || base.Runs != res.Runs {
+		t.Fatalf("rand-tainted memoized search diverged from plain: %+v vs %+v", res, base)
+	}
+}
+
+// TestMemoDisabledByInjector: a stateful fault injector likewise disables
+// memoization entirely.
+func TestMemoDisabledByInjector(t *testing.T) {
+	k := kernels.All()[0]
+	table := explore.NewMemoTable(0)
+	opts := memoOpts(table, k.ID)
+	opts.Config.Injector = inject.New(inject.Options{Seed: 3, Budget: 2})
+	res := explore.Systematic(k.Fixed, opts)
+	if res.StatesMemoized != 0 || res.PrefixesDeduped != 0 || table.Len() != 0 {
+		t.Fatalf("memoization acted under a fault injector: stored=%d deduped=%d table=%d",
+			res.StatesMemoized, res.PrefixesDeduped, table.Len())
+	}
+}
+
+// TestMemoTableRejectsCrossProgramReuse: binding one table to two different
+// (program, config) identities is a caller bug and must panic rather than
+// prune with meaningless entries.
+func TestMemoTableRejectsCrossProgramReuse(t *testing.T) {
+	ks := kernels.All()
+	table := explore.NewMemoTable(0)
+	explore.Systematic(ks[0].Fixed, memoOpts(table, ks[0].ID))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("reusing a bound MemoTable for a different program did not panic")
+		}
+	}()
+	explore.Systematic(ks[1].Fixed, memoOpts(table, ks[1].ID))
+}

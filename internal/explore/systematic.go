@@ -71,6 +71,18 @@ type SystematicOptions struct {
 	// budgets, so it is ignored when PreemptionBound > 0 (the bound
 	// already prunes far harder, at the cost of completeness).
 	Reduction bool
+	// Memo, when non-nil, enables cross-run state memoization on the
+	// reduced search (see memo.go): decision-node entry states are hashed
+	// canonically over the executed dependence trace, provably-quiet
+	// exhausted subtrees are stored, and a node whose entry state matches a
+	// stored one has its remaining branches pruned (with the stored
+	// footprint summary conservatively replanting ancestor backtracks).
+	// The same table can be shared across sequential searches of the SAME
+	// program and configuration — a resumed or sharded campaign re-verifies
+	// covered state spaces in O(1) runs. Ignored without Reduction, and
+	// self-disabling when Config.Injector is set or a run consults T.Rand
+	// (both make program state depend on more than the dependence trace).
+	Memo *MemoTable
 	// Workers fans independent schedules out over that many host
 	// goroutines; 0 or negative uses GOMAXPROCS, 1 explores serially.
 	// The result is bit-identical to the serial search for any worker
@@ -86,7 +98,8 @@ type SystematicOptions struct {
 	// program can reach. With Workers == 1 the callback fires serially in
 	// DFS order; with parallel workers it fires from worker goroutines in
 	// execution order and must be thread-safe. The slice is reused by the
-	// search: clone it to retain it.
+	// search, and in serial mode the Result lives in a recycled run pool:
+	// clone either (r.Clone, append) to retain it past the callback.
 	OnRun func(r *sim.Result, schedule []int)
 }
 
@@ -115,6 +128,13 @@ type SystematicResult struct {
 	// pending transition was asleep (already explored from an equivalent
 	// state); zero without Reduction.
 	SleepSetHits int
+	// StatesMemoized counts quiet exhausted subtrees this search stored in
+	// the memo table; PrefixesDeduped counts decision nodes whose branches
+	// were pruned because their entry state hit a stored one (possibly
+	// stored by an earlier search sharing the table). Zero without
+	// Reduction and a SystematicOptions.Memo table.
+	StatesMemoized  int
+	PrefixesDeduped int
 	// Verdict is the structured outcome: Confirmed when at least one
 	// schedule failed, Refuted when the search exhausted the tree with no
 	// failure, and Incomplete (with a reason) when it ran out of budget,
@@ -174,7 +194,10 @@ func frontierOf(chosen, options []int) int {
 // host code) is captured as runErr with r nil; chosen and options keep the
 // decisions recorded before the panic, so the DFS can still backtrack past
 // the schedule.
-func runSchedule(prog sim.Program, cfg sim.Config, maxChoices, bound int, prefix []int) (chosen, options []int, r *sim.Result, runErr *harness.RunError) {
+//
+// With a non-nil pool the run recycles the pool's runtime and r is only
+// valid until the pool's next run — callers clone what they retain.
+func runSchedule(pool *sim.RunPool, prog sim.Program, cfg sim.Config, maxChoices, bound int, prefix []int) (chosen, options []int, r *sim.Result, runErr *harness.RunError) {
 	preemptions := 0
 	cfg.Chooser = func(n, preferred int) int {
 		d := len(chosen)
@@ -219,7 +242,13 @@ func runSchedule(prog sim.Program, cfg sim.Config, maxChoices, bound int, prefix
 		}
 		return actual
 	}
-	runErr = harness.Capture(0, cfg.Seed, func() { r = sim.Run(cfg, prog) })
+	runErr = harness.Capture(0, cfg.Seed, func() {
+		if pool != nil {
+			r = pool.Run(cfg, prog)
+		} else {
+			r = sim.Run(cfg, prog)
+		}
+	})
 	return chosen, options, r, runErr
 }
 
@@ -250,12 +279,14 @@ func Systematic(prog sim.Program, opts SystematicOptions) *SystematicResult {
 		ctx = context.Background()
 	}
 	res := &SystematicResult{}
+	pool := sim.NewRunPool()
+	defer pool.Close()
 	var prefix []int
 	for res.Runs < opts.MaxRuns {
 		if err := ctx.Err(); err != nil {
 			return res.finish(err, opts.MaxRuns)
 		}
-		chosen, options, r, runErr := runSchedule(prog, opts.Config, opts.MaxChoices, bound, prefix)
+		chosen, options, r, runErr := runSchedule(pool, prog, opts.Config, opts.MaxChoices, bound, prefix)
 		res.Runs++
 		res.Frontier = frontierOf(chosen, options)
 		if runErr != nil {
@@ -271,7 +302,9 @@ func Systematic(prog sim.Program, opts SystematicOptions) *SystematicResult {
 			if r.Failed() {
 				res.Failures++
 				if res.FirstFailure == nil {
-					res.FirstFailure = r
+					// r lives in the pool's recycled runtime; clone to retain
+					// it past the next run.
+					res.FirstFailure = r.Clone()
 					res.FailureSchedule = append([]int(nil), chosen...)
 				}
 				if opts.StopAtFirstFailure {
@@ -387,7 +420,7 @@ func systematicParallel(prog sim.Program, opts SystematicOptions, bound, workers
 			wg.Add(1)
 			go func(i int, q []int) {
 				defer wg.Done()
-				chosen, options, r, runErr := runSchedule(prog, opts.Config, opts.MaxChoices, bound, q)
+				chosen, options, r, runErr := runSchedule(nil, prog, opts.Config, opts.MaxChoices, bound, q)
 				rec := leafRec{key: q, depth: len(chosen), err: runErr}
 				if runErr == nil {
 					if opts.OnRun != nil {

@@ -189,3 +189,20 @@ func LoadCheckpoint(path string, v any) error {
 	}
 	return nil
 }
+
+// Shard partitions n work items into count contiguous blocks and returns the
+// half-open range [lo, hi) of block index (0-based). Blocks are balanced to
+// within one item and together cover [0, n) exactly, so count processes each
+// taking their own block partition the work with no overlap and no gap —
+// the seed-range splitting behind sharded sweeps. Out-of-range arguments
+// (count < 1, index outside [0, count)) panic: they are caller bugs, and a
+// silently empty shard would drop work.
+func Shard(n, count, index int) (lo, hi int) {
+	if count < 1 || index < 0 || index >= count {
+		panic(fmt.Sprintf("harness: Shard(%d, %d, %d): index must be in [0, count)", n, count, index))
+	}
+	if n < 0 {
+		n = 0
+	}
+	return n * index / count, n * (index + 1) / count
+}

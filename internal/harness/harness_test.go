@@ -151,3 +151,46 @@ func TestLoadCheckpointCorrupt(t *testing.T) {
 		t.Fatalf("corrupt checkpoint yields %v, want a decode error", err)
 	}
 }
+
+// TestShardPartitions: for many (n, count) shapes the blocks are contiguous,
+// disjoint, balanced to within one item, and cover [0, n) exactly.
+func TestShardPartitions(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 23, 100, 101} {
+		for _, count := range []int{1, 2, 3, 4, 16} {
+			next, min, max := 0, n, 0
+			for i := 0; i < count; i++ {
+				lo, hi := Shard(n, count, i)
+				if lo != next || hi < lo {
+					t.Fatalf("Shard(%d, %d, %d) = [%d, %d): blocks must be contiguous from %d", n, count, i, lo, hi, next)
+				}
+				next = hi
+				sz := hi - lo
+				if sz < min {
+					min = sz
+				}
+				if sz > max {
+					max = sz
+				}
+			}
+			if next != n {
+				t.Fatalf("Shard(%d, %d, *) covers [0, %d), want [0, %d)", n, count, next, n)
+			}
+			if count > 1 && max-min > 1 {
+				t.Fatalf("Shard(%d, %d, *): block sizes range %d..%d, want balanced within 1", n, count, min, max)
+			}
+		}
+	}
+}
+
+func TestShardPanicsOnBadIndex(t *testing.T) {
+	for _, bad := range [][2]int{{0, 0}, {4, 4}, {4, -1}, {-1, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Shard(10, %d, %d) did not panic", bad[0], bad[1])
+				}
+			}()
+			Shard(10, bad[0], bad[1])
+		}()
+	}
+}

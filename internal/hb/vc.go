@@ -160,6 +160,15 @@ func (vc VC) Clone() VC {
 	return VC{c: b}
 }
 
+// Reset empties the clock while keeping its backing for reuse. The result
+// is semantically a fresh clock: grow zero-fills reclaimed components before
+// they become visible, so a Reset clock and a New clock are indistinguishable.
+// Use it for clocks embedded in pooled structures (sim's run pooling), where
+// Free's backing hand-off would just churn the pool.
+func (vc *VC) Reset() {
+	vc.c = vc.c[:0]
+}
+
 // Free returns the clock's backing to the pool and resets vc to the empty
 // clock. Only call it when vc is the sole owner of its backing (clones and
 // freshly grown clocks are; aliases of a live clock are not). Using vc after

@@ -57,6 +57,7 @@ type bufItem struct {
 type chanCore struct {
 	rt     *runtime
 	id     int
+	autoID int
 	name   string
 	cap    int
 	buf    []bufItem
@@ -70,17 +71,41 @@ type chanCore struct {
 
 func (rt *runtime) newChanCore(name string, capacity int) *chanCore {
 	rt.nextChanID++
-	if name == "" {
-		name = fmt.Sprintf("chan#%d", rt.nextChanID)
+	id := rt.nextChanID
+	c, recycled := arenaGet[chanCore](rt)
+	if recycled {
+		for i := range c.buf {
+			c.buf[i].vc.Free() // leftover buffered snapshots are solely ours
+			c.buf[i] = bufItem{}
+		}
+		c.buf = c.buf[:0]
+		c.closed = false
+		c.closeVC.Free()
+		c.sendq = c.sendq[:0]
+		c.recvq = c.recvq[:0]
 	}
-	return &chanCore{rt: rt, id: rt.nextChanID, name: name, cap: capacity}
+	if name == "" {
+		if !recycled || c.autoID != id {
+			c.name = fmt.Sprintf("chan#%d", id)
+		}
+		c.autoID = id
+	} else {
+		c.name = name
+		c.autoID = 0
+	}
+	c.rt, c.id, c.cap = rt, id, capacity
+	return c
 }
 
 // dequeue pops the first live waiter from q, skipping claimed select cases.
+// Pops copy down rather than re-slice from the front, so the queue's backing
+// keeps its capacity for the next enqueue (and for pooled reuse).
 func dequeue(q *[]*waiter) *waiter {
 	for len(*q) > 0 {
 		w := (*q)[0]
-		*q = (*q)[1:]
+		n := copy(*q, (*q)[1:])
+		(*q)[n] = nil
+		*q = (*q)[:n]
 		if w.claimed() {
 			continue
 		}
@@ -151,7 +176,9 @@ func (c *chanCore) completeSend(t *T, v any) {
 func (c *chanCore) completeRecv(t *T) (any, bool) {
 	if len(c.buf) > 0 {
 		item := c.buf[0]
-		c.buf = c.buf[1:]
+		n := copy(c.buf, c.buf[1:])
+		c.buf[n] = bufItem{}
+		c.buf = c.buf[:n]
 		t.g.vc.Join(item.vc)
 		item.vc.Free() // the dequeued snapshot has no other owner
 		// A sender may be parked waiting for buffer space; admit it.

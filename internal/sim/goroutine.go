@@ -111,7 +111,10 @@ type blockInfo struct {
 	obj  string
 }
 
-// G is one simulated goroutine.
+// G is one simulated goroutine. With run pooling (RunPool), a G is a
+// long-lived slot: the same G — and its parked host worker goroutine — is
+// re-assigned a fresh identity by spawn on every run, so the resume channel,
+// clock backing, held-locks backing, and name caches all survive across runs.
 type G struct {
 	id           int
 	name         string
@@ -131,6 +134,21 @@ type G struct {
 	// held lists the lock names this goroutine currently holds, for
 	// monitors that check channel-under-lock patterns.
 	held []string
+	// fn is the program body the worker loop runs when the first CPU token
+	// arrives; t is the goroutine's embedded operation handle (one fewer
+	// allocation per spawn, and a stable *T across pooled runs).
+	fn Program
+	t  T
+	// childNames caches the auto-generated names T.Go hands to children,
+	// keyed by the child's slot index; entry i is valid while the parent's
+	// own name still matches parent. Across pooled runs of the same program
+	// the spawn tree repeats exactly, so the Sprintf happens once ever.
+	childNames []childName
+}
+
+type childName struct {
+	parent string
+	name   string
 }
 
 // holdLock records acquisition of a named lock.
@@ -173,98 +191,142 @@ var killSentinel = killSentinelType{}
 // goroutine wrapper can distinguish them from host bugs.
 type simPanic struct{ msg string }
 
-// spawn creates a simulated goroutine and its backing host goroutine. The
-// new goroutine is runnable but does not run until the scheduler picks it.
+// spawn creates (or, under run pooling, re-initializes) a simulated
+// goroutine. The new goroutine is runnable but does not run until the
+// scheduler picks it.
 func (rt *runtime) spawn(name string, fn Program) *G {
+	g := rt.allocG()
+	g.id = len(rt.gs)
+	g.name = name
+	g.fn = fn
+	g.state = GRunnable
+	g.finalState = GRunnable
+	g.block = blockInfo{}
+	g.blockedSince = 0
+	g.createdStep = rt.step
+	g.createdTime = rt.now
+	g.endTime = -1
+	g.blockKindOverride = BlockNone
+	g.held = g.held[:0]
+	g.vc.Reset()
+	g.vc.Tick(g.id)
+	return g
+}
+
+// allocG returns the G for the next slot in rt.gs. Slot i of a pooled
+// runtime always yields the same *G (and the same parked worker) run after
+// run: reset trims rt.gs to length 0 but keeps the backing, so the pointers
+// beyond the length survive and are picked back up here. A slot never
+// recycles within one run — a finished goroutine keeps its record until
+// finalize — so slot identity is exactly goroutine identity.
+func (rt *runtime) allocG() *G {
+	n := len(rt.gs)
+	if n < cap(rt.gs) {
+		rt.gs = rt.gs[:n+1]
+		if g := rt.gs[n]; g != nil {
+			return g
+		}
+	} else {
+		rt.gs = append(rt.gs, nil)
+	}
 	g := &G{
-		id:   len(rt.gs) + 1,
-		name: name,
 		// The CPU token travels through resume; capacity 1 lets a waker
 		// hand off and proceed to its own park without a rendezvous.
-		resume:      make(chan struct{}, 1),
-		state:       GRunnable,
-		vc:          hb.New(),
-		rt:          rt,
-		createdStep: rt.step,
-		createdTime: rt.now,
-		endTime:     -1,
+		resume: make(chan struct{}, 1),
+		rt:     rt,
 	}
-	g.vc.Tick(g.id)
-	rt.gs = append(rt.gs, g)
-	go func() {
-		<-g.resume
-		if rt.killing {
-			g.finalState = GAbandoned
-			rt.dead <- struct{}{}
-			return
-		}
-		t := &T{rt: rt, g: g}
-		defer func() {
-			r := recover()
-			switch v := r.(type) {
-			case nil:
-				g.state = GDone
-				g.finalState = GDone
-				g.endTime = rt.now
-				if rt.wants(event.GoExit) {
-					rt.emit(g, event.Event{Kind: event.GoExit})
-				}
-				// Hand the CPU token onward; this host goroutine
-				// then exits.
-				if next := rt.dispatch(); next != nil {
-					rt.wake(next)
-				} else {
-					rt.endRun()
-				}
-			case killSentinelType:
-				g.finalState = g.block.preTeardownState()
-				rt.dead <- struct{}{}
-			case *injectedKill:
-				// An injected FaultKill: the goroutine dies silently
-				// mid-protocol. Its held locks stay held and whatever
-				// it was about to supply never arrives — the run
-				// continues and the waiters' fate (deadlock, leak) is
-				// the observation.
-				g.state = GKilled
-				g.finalState = GKilled
-				g.endTime = rt.now
-				if rt.wants(event.GoExit) {
-					rt.emit(g, event.Event{Kind: event.GoExit, Obj: v.obj, Detail: "injected kill"})
-				}
-				if next := rt.dispatch(); next != nil {
-					rt.wake(next)
-				} else {
-					rt.endRun()
-				}
-			case *simPanic:
-				rt.panics = append(rt.panics, PanicInfo{
-					G: g.id, Name: g.name, Msg: v.msg, Step: rt.step,
-				})
-				g.state = GPanicked
-				g.finalState = GPanicked
-				g.endTime = rt.now
-				if rt.wants(event.GoPanic) {
-					rt.emit(g, event.Event{Kind: event.GoPanic, Detail: v.msg})
-				}
-				// A simulated panic crashes the whole simulated
-				// process, as an unrecovered panic would.
-				rt.stopping = true
-				rt.endRun()
-			default:
-				// A genuine bug in the harness or kernel code (a
-				// non-simulated panic): record it and stop; Run
-				// re-panics on the caller's goroutine so the host
-				// test framework sees it in the right place.
-				g.state = GPanicked
-				g.finalState = GPanicked
-				rt.hostPanic = r
-				rt.stopping = true
+	g.t = T{rt: rt, g: g}
+	rt.gs[len(rt.gs)-1] = g
+	go g.loop()
+	return g
+}
+
+// loop is the persistent host worker behind one G slot. Each received token
+// is the first CPU token of one assignment (one run's goroutine body, or a
+// teardown kill for a goroutine that never got to run); the worker parks
+// here between runs and exits when the runtime closes the channel
+// (releaseWorkers / RunPool.Close).
+func (g *G) loop() {
+	for range g.resume {
+		g.runAssigned()
+	}
+}
+
+// runAssigned executes the goroutine body assigned by spawn, reproducing the
+// exit protocol: hand the CPU token onward on normal or killed completion,
+// handshake with teardown on a kill sentinel, and crash the simulated
+// process on a simulated panic.
+func (g *G) runAssigned() {
+	rt := g.rt
+	if rt.killing {
+		g.finalState = GAbandoned
+		rt.dead <- struct{}{}
+		return
+	}
+	defer func() {
+		r := recover()
+		switch v := r.(type) {
+		case nil:
+			g.state = GDone
+			g.finalState = GDone
+			g.endTime = rt.now
+			if rt.wants(event.GoExit) {
+				rt.emit(g, event.Event{Kind: event.GoExit})
+			}
+			// Hand the CPU token onward; this worker then parks until
+			// its next assignment.
+			if next := rt.dispatch(); next != nil {
+				rt.wake(next)
+			} else {
 				rt.endRun()
 			}
-		}()
-		fn(t)
+		case killSentinelType:
+			g.finalState = g.block.preTeardownState()
+			rt.dead <- struct{}{}
+		case *injectedKill:
+			// An injected FaultKill: the goroutine dies silently
+			// mid-protocol. Its held locks stay held and whatever
+			// it was about to supply never arrives — the run
+			// continues and the waiters' fate (deadlock, leak) is
+			// the observation.
+			g.state = GKilled
+			g.finalState = GKilled
+			g.endTime = rt.now
+			if rt.wants(event.GoExit) {
+				rt.emit(g, event.Event{Kind: event.GoExit, Obj: v.obj, Detail: "injected kill"})
+			}
+			if next := rt.dispatch(); next != nil {
+				rt.wake(next)
+			} else {
+				rt.endRun()
+			}
+		case *simPanic:
+			rt.panics = append(rt.panics, PanicInfo{
+				G: g.id, Name: g.name, Msg: v.msg, Step: rt.step,
+			})
+			g.state = GPanicked
+			g.finalState = GPanicked
+			g.endTime = rt.now
+			if rt.wants(event.GoPanic) {
+				rt.emit(g, event.Event{Kind: event.GoPanic, Detail: v.msg})
+			}
+			// A simulated panic crashes the whole simulated
+			// process, as an unrecovered panic would.
+			rt.stopping = true
+			rt.endRun()
+		default:
+			// A genuine bug in the harness or kernel code (a
+			// non-simulated panic): record it and stop; Run
+			// re-panics on the caller's goroutine so the host
+			// test framework sees it in the right place.
+			g.state = GPanicked
+			g.finalState = GPanicked
+			rt.hostPanic = r
+			rt.stopping = true
+			rt.endRun()
+		}
 	}()
-	return g
+	g.fn(&g.t)
 }
 
 // preTeardownState maps a block record to the state to report for a
@@ -295,7 +357,20 @@ func (t *T) Now() int64 { return t.rt.now }
 
 // Go spawns an anonymous simulated goroutine, mirroring `go func() {...}()`.
 func (t *T) Go(fn Program) {
-	t.GoNamed(fmt.Sprintf("%s.child%d", t.g.name, len(t.rt.gs)), fn)
+	// The generated name is a pure function of (parent name, child slot);
+	// cache it on the parent so pooled re-runs of the same program skip the
+	// Sprintf.
+	idx := len(t.rt.gs)
+	g := t.g
+	for idx >= len(g.childNames) {
+		g.childNames = append(g.childNames, childName{})
+	}
+	cn := &g.childNames[idx]
+	if cn.parent != g.name || cn.name == "" {
+		cn.parent = g.name
+		cn.name = fmt.Sprintf("%s.child%d", g.name, idx)
+	}
+	t.GoNamed(cn.name, fn)
 }
 
 // GoNamed spawns a named simulated goroutine. The child inherits the
@@ -420,7 +495,10 @@ func (t *T) Panicf(format string, args ...any) {
 
 // Rand returns a deterministic pseudo-random int in [0, n), drawn from the
 // run's seeded source, for workload generation inside programs.
-func (t *T) Rand(n int) int { return t.rt.random().IntN(n) }
+func (t *T) Rand(n int) int {
+	t.rt.randDraws++
+	return t.rt.random().IntN(n)
+}
 
 // tick bumps the goroutine's own clock component; called after every
 // release-type synchronization operation per the FastTrack discipline.

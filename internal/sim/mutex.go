@@ -13,19 +13,35 @@ import (
 type Mutex struct {
 	rt     *runtime
 	id     int
+	autoID int // id the cached auto-generated name was formatted for
 	name   string
 	holder *G
 	waitq  []*G
 	vc     hb.VC // clock published by the last Unlock
 }
 
-// NewMutex creates a mutex.
+// NewMutex creates a mutex, recycling a pooled one when available.
 func NewMutex(t *T, name string) *Mutex {
-	t.rt.nextSyncID++
-	if name == "" {
-		name = fmt.Sprintf("mutex#%d", t.rt.nextSyncID)
+	rt := t.rt
+	rt.nextSyncID++
+	id := rt.nextSyncID
+	m, recycled := arenaGet[Mutex](rt)
+	if recycled {
+		m.holder = nil
+		m.waitq = m.waitq[:0]
+		m.vc.Reset()
 	}
-	return &Mutex{rt: t.rt, id: t.rt.nextSyncID, name: name, vc: hb.New()}
+	if name == "" {
+		if !recycled || m.autoID != id {
+			m.name = fmt.Sprintf("mutex#%d", id)
+		}
+		m.autoID = id
+	} else {
+		m.name = name
+		m.autoID = 0
+	}
+	m.rt, m.id = rt, id
+	return m
 }
 
 // Lock acquires the mutex, blocking while it is held — including when it is
@@ -64,7 +80,12 @@ func (m *Mutex) Unlock(t *T) {
 	t.emitObj(event.MutexUnlock, m.name)
 	if len(m.waitq) > 0 {
 		next := m.waitq[0]
-		m.waitq = m.waitq[1:]
+		// Pop by copy-down so the queue's backing keeps its capacity —
+		// re-slicing from the front would strand it and force a growslice
+		// on every later contention round.
+		n := copy(m.waitq, m.waitq[1:])
+		m.waitq[n] = nil
+		m.waitq = m.waitq[:n]
 		m.holder = next
 		next.vc.Join(m.vc)
 		m.rt.unblock(next)

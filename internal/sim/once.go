@@ -13,19 +13,35 @@ import (
 type Once struct {
 	rt      *runtime
 	id      int
+	autoID  int
 	name    string
 	state   int // 0 idle, 1 running, 2 done
 	waiters []*G
 	vc      hb.VC
 }
 
-// NewOnce creates a Once.
+// NewOnce creates a Once, recycling a pooled one when available.
 func NewOnce(t *T, name string) *Once {
-	t.rt.nextSyncID++
-	if name == "" {
-		name = fmt.Sprintf("once#%d", t.rt.nextSyncID)
+	rt := t.rt
+	rt.nextSyncID++
+	id := rt.nextSyncID
+	o, recycled := arenaGet[Once](rt)
+	if recycled {
+		o.state = 0
+		o.waiters = o.waiters[:0]
+		o.vc.Reset()
 	}
-	return &Once{rt: t.rt, id: t.rt.nextSyncID, name: name, vc: hb.New()}
+	if name == "" {
+		if !recycled || o.autoID != id {
+			o.name = fmt.Sprintf("once#%d", id)
+		}
+		o.autoID = id
+	} else {
+		o.name = name
+		o.autoID = 0
+	}
+	o.rt, o.id = rt, id
+	return o
 }
 
 // Do runs f if and only if this is the first Do call on o.
@@ -49,10 +65,11 @@ func (o *Once) Do(t *T, f func(t *T)) {
 	o.state = 2
 	o.vc.Join(t.g.vc)
 	t.g.tick()
-	for _, g := range o.waiters {
+	for i, g := range o.waiters {
 		o.rt.unblock(g)
+		o.waiters[i] = nil
 	}
-	o.waiters = nil
+	o.waiters = o.waiters[:0]
 }
 
 // Done reports whether the Once has completed (for tests).

@@ -1,0 +1,100 @@
+package sim
+
+// Run pooling: amortizing the per-run setup of the simulated runtime.
+//
+// Sweeps run the same program tens of thousands to millions of times with
+// only the seed (or the schedule prefix) changing. A fresh Run pays for the
+// whole world every time — the runtime struct, one host goroutine plus
+// resume channel per simulated goroutine, every mutex/channel/variable the
+// program constructs, vector-clock backings, and the Result. RunPool keeps
+// all of that alive between runs and resets it instead:
+//
+//   - the runtime struct, its channels, scratch buffers, and seeded source
+//     are reused (reset, not reallocated);
+//   - goroutine slot i always maps to the same G and the same parked host
+//     worker (allocG), so spawning is a field reset and the first token send
+//     re-enters a warm worker loop;
+//   - primitives are recycled through a construction-order arena (arenaGet):
+//     the i-th primitive constructed by a run gets the i-th arena slot, so
+//     deterministic re-runs of one program hit the same object (same
+//     backing queues, same auto-generated name) every time;
+//   - the Result and its slices are reused (finalize), valid until the next
+//     Run on the pool — Clone to retain one.
+//
+// Everything above is guarded by the simulator's single-CPU-token
+// discipline: exactly one party (the Run caller or one simulated goroutine)
+// touches runtime state at any moment, so the pool needs no locks — and,
+// for the same reason, a RunPool must NOT be shared between concurrent host
+// goroutines. Give each sweep worker its own pool.
+//
+// Equivalence: a pooled run is observably identical to a fresh Run — same
+// Result, same event stream, same Chooser/Injector consultation sequence —
+// because every piece of state a run can observe is reset on reuse
+// (sim_pool_differential_test.go pins this bit-for-bit).
+
+// RunPool executes runs back-to-back on one recycled runtime. The zero
+// value is ready to use. Not safe for concurrent use.
+type RunPool struct {
+	rt *runtime
+}
+
+// NewRunPool returns an empty pool. The first Run populates it.
+func NewRunPool() *RunPool { return &RunPool{} }
+
+// Run executes main under cfg exactly like the package-level Run, reusing
+// the pool's runtime. The returned Result (and everything it references) is
+// valid only until the next call to Run on this pool; use Result.Clone to
+// retain it.
+func (p *RunPool) Run(cfg Config, main Program) *Result {
+	if p.rt == nil {
+		p.rt = newRuntime(cfg)
+		p.rt.pooled = true
+	} else {
+		p.rt.reset(cfg)
+	}
+	rt := p.rt
+	rt.execute(main)
+	if rt.hostPanic != nil {
+		// Propagate host bugs like Run does; the pool stays usable (the
+		// next reset clears the wreckage).
+		hp := rt.hostPanic
+		rt.hostPanic = nil
+		panic(hp)
+	}
+	return rt.finalize()
+}
+
+// Close shuts down the pool's parked worker goroutines. The pool itself
+// remains usable — the next Run simply starts from scratch — but Close must
+// be called (or the pool left for the GC along with its parked workers)
+// before discarding it; parked workers otherwise live as long as the
+// process.
+func (p *RunPool) Close() {
+	if p.rt != nil {
+		p.rt.releaseWorkers()
+		p.rt = nil
+	}
+}
+
+// arenaGet returns the next primitive slot as a *T, recycling the previous
+// run's object when the slot already holds that exact type (the common case:
+// deterministic programs construct the same primitives in the same order
+// every run). The second result reports recycling: the caller owns the full
+// reset of a recycled object's fields. On a type mismatch — or on a fresh
+// runtime — the slot is (re)filled with a zero value, so partial arena
+// coverage and cross-program pool reuse are both safe.
+func arenaGet[T any](rt *runtime) (*T, bool) {
+	i := rt.arenaNext
+	rt.arenaNext++
+	if i < len(rt.arena) {
+		if p, ok := rt.arena[i].(*T); ok {
+			return p, true
+		}
+		p := new(T)
+		rt.arena[i] = p
+		return p, false
+	}
+	p := new(T)
+	rt.arena = append(rt.arena, p)
+	return p, false
+}

@@ -16,6 +16,7 @@ import (
 type RWMutex struct {
 	rt             *runtime
 	id             int
+	autoID         int
 	name           string
 	readers        map[*G]int // reader -> hold count (re-entrant RLock tracking)
 	writer         *G
@@ -27,16 +28,34 @@ type RWMutex struct {
 	vcReaders hb.VC
 }
 
-// NewRWMutex creates a read-write mutex.
+// NewRWMutex creates a read-write mutex, recycling a pooled one when
+// available.
 func NewRWMutex(t *T, name string) *RWMutex {
-	t.rt.nextSyncID++
+	rt := t.rt
+	rt.nextSyncID++
+	id := rt.nextSyncID
+	rw, recycled := arenaGet[RWMutex](rt)
+	if recycled {
+		clear(rw.readers)
+		rw.writer = nil
+		rw.waitingWriters = rw.waitingWriters[:0]
+		rw.waitingReaders = rw.waitingReaders[:0]
+		rw.vcWriter.Reset()
+		rw.vcReaders.Reset()
+	} else {
+		rw.readers = make(map[*G]int)
+	}
 	if name == "" {
-		name = fmt.Sprintf("rwmutex#%d", t.rt.nextSyncID)
+		if !recycled || rw.autoID != id {
+			rw.name = fmt.Sprintf("rwmutex#%d", id)
+		}
+		rw.autoID = id
+	} else {
+		rw.name = name
+		rw.autoID = 0
 	}
-	return &RWMutex{
-		rt: t.rt, id: t.rt.nextSyncID, name: name,
-		readers: make(map[*G]int), vcWriter: hb.New(), vcReaders: hb.New(),
-	}
+	rw.rt, rw.id = rt, id
+	return rw
 }
 
 // RLock acquires a read lock. With a writer active or *waiting*, the request
@@ -113,12 +132,13 @@ func (rw *RWMutex) Unlock(t *T) {
 	// As in real Go, readers that queued behind the writer get the lock
 	// when it releases; otherwise the next writer runs.
 	if len(rw.waitingReaders) > 0 {
-		for _, g := range rw.waitingReaders {
+		for i, g := range rw.waitingReaders {
 			rw.readers[g]++
 			g.vc.Join(rw.vcWriter)
 			rw.rt.unblock(g)
+			rw.waitingReaders[i] = nil
 		}
-		rw.waitingReaders = nil
+		rw.waitingReaders = rw.waitingReaders[:0]
 		return
 	}
 	rw.promote()
@@ -130,7 +150,9 @@ func (rw *RWMutex) promote() {
 		return
 	}
 	next := rw.waitingWriters[0]
-	rw.waitingWriters = rw.waitingWriters[1:]
+	n := copy(rw.waitingWriters, rw.waitingWriters[1:])
+	rw.waitingWriters[n] = nil
+	rw.waitingWriters = rw.waitingWriters[:n]
 	rw.writer = next
 	next.vc.Join(rw.vcWriter)
 	next.vc.Join(rw.vcReaders)

@@ -58,6 +58,15 @@ type schedState struct {
 	ops     []OpRef
 }
 
+// reset clears the accumulator for a new pooled run, keeping the slice
+// backings.
+func (s *schedState) reset() {
+	s.active = false
+	s.pending = SchedStep{}
+	s.gids = s.gids[:0]
+	s.ops = s.ops[:0]
+}
+
 // schedBegin opens a new transition record after the scheduler picked g.
 // decision is the Chooser call index consumed by the pick, -1 when forced.
 func (rt *runtime) schedBegin(g *G, decision int, runnable []*G, preferred int) {

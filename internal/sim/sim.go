@@ -181,6 +181,10 @@ type Result struct {
 	Steps             int64
 	VirtualTime       int64 // nanoseconds of virtual time elapsed
 	GoroutinesCreated int
+	// RandDraws counts T.Rand consultations. Nonzero means program
+	// behavior consumed interleaving-ordered randomness — a signal the
+	// explorer's trace-keyed state memoization uses to disable itself.
+	RandDraws int64
 	// Leaked lists goroutines judged blocked forever (the paper's
 	// "blocking bug" manifestation: goroutines that "wait for resources
 	// that no other goroutines supply").
@@ -208,8 +212,25 @@ func (r *Result) Failed() bool {
 
 // Run executes main under cfg and returns the outcome. It is safe to call
 // concurrently from multiple host goroutines; each run is self-contained.
+// Loops that execute many runs back-to-back should prefer a RunPool, which
+// recycles the whole runtime between runs.
 func Run(cfg Config, main Program) *Result {
 	rt := newRuntime(cfg)
+	rt.execute(main)
+	if rt.hostPanic != nil {
+		// A non-simulated panic in program code is a bug in the
+		// caller's code: propagate it on the caller's goroutine.
+		rt.releaseWorkers()
+		panic(rt.hostPanic)
+	}
+	res := rt.finalize()
+	rt.releaseWorkers()
+	return res
+}
+
+// execute drives one run of main to completion: spawn, first dispatch, wait
+// for the end, unwind stragglers.
+func (rt *runtime) execute(main Program) {
 	rt.spawn("main", main)
 	// The first dispatch necessarily picks main (the only goroutine);
 	// after that, scheduling decisions execute inline on whichever
@@ -222,23 +243,19 @@ func Run(cfg Config, main Program) *Result {
 	}
 	<-rt.done
 	rt.teardown()
-	if rt.hostPanic != nil {
-		// A non-simulated panic in program code is a bug in the
-		// caller's code: propagate it on the caller's goroutine.
-		panic(rt.hostPanic)
-	}
-	return rt.finalize()
 }
 
 type runtime struct {
 	cfg           Config
 	rng           *rand.Rand // lazily seeded; see random()
+	rngSrc        *rand.PCG  // the rng's reseedable source, kept for reuse
+	rngReady      bool       // rng is seeded for the current run
 	gs            []*G
 	now           int64
 	step          int64
 	timers        timerHeap
 	timerSeq      int64
-	done          chan struct{} // closed by endRun; releases the Run caller
+	done          chan struct{} // capacity 1; endRun -> Run caller
 	dead          chan struct{} // killed goroutine -> Run caller during teardown
 	killing       bool
 	stopping      bool
@@ -266,17 +283,63 @@ type runtime struct {
 	sched        *schedState
 	chooserCalls int
 	lastDecision int // Chooser call index of the latest choose, -1 if forced
+	// randDraws counts T.Rand consultations this run. Program-visible
+	// randomness depends on the global draw order, i.e. on the concrete
+	// interleaving — the explorer's state memoization keys on the
+	// dependence trace alone, so it must switch itself off whenever a run
+	// drew (Result.RandDraws > 0).
+	randDraws int64
+	// Run-pooling state. arena recycles per-primitive structures across
+	// runs in construction order (see arenaGet); pooled marks a runtime
+	// owned by a RunPool, whose finalize reuses res instead of allocating
+	// a fresh Result.
+	arena     []any
+	arenaNext int
+	pooled    bool
+	res       Result
 }
 
 func newRuntime(cfg Config) *runtime {
 	rt := &runtime{
-		cfg:           cfg,
-		done:          make(chan struct{}),
-		dead:          make(chan struct{}),
-		maxSteps:      cfg.MaxSteps,
-		leakThreshold: cfg.LeakThreshold,
-		outcome:       OutcomeOK,
+		done: make(chan struct{}, 1),
+		dead: make(chan struct{}),
 	}
+	rt.reset(cfg)
+	return rt
+}
+
+// reset prepares the runtime for a fresh run under cfg, recycling every
+// backing the previous run grew: the goroutine slots (and their parked
+// workers), the primitive arena, the timer heap, scratch buffers, and the
+// seeded source. It is the single initialization path — newRuntime calls it
+// on a zero runtime — so fresh and pooled runs cannot drift.
+func (rt *runtime) reset(cfg Config) {
+	rt.cfg = cfg
+	rt.rngReady = false
+	rt.gs = rt.gs[:0]
+	rt.now = 0
+	rt.step = 0
+	rt.timers = rt.timers[:0]
+	rt.timerSeq = 0
+	rt.killing = false
+	rt.stopping = false
+	rt.outcome = OutcomeOK
+	rt.deadlockMsg = ""
+	rt.panics = rt.panics[:0]
+	rt.checkFailures = rt.checkFailures[:0]
+	rt.lastG = nil
+	rt.hostPanic = nil
+	rt.nextVarID = 0
+	rt.nextChanID = 0
+	rt.nextSyncID = 0
+	rt.runq = rt.runq[:0]
+	rt.scratch = event.Event{}
+	rt.chooserCalls = 0
+	rt.lastDecision = 0
+	rt.randDraws = 0
+	rt.arenaNext = 0
+	rt.maxSteps = cfg.MaxSteps
+	rt.leakThreshold = cfg.LeakThreshold
 	if rt.maxSteps <= 0 {
 		rt.maxSteps = DefaultMaxSteps
 	}
@@ -288,9 +351,27 @@ func newRuntime(cfg Config) *runtime {
 	}
 	rt.mux = event.NewMux(cfg.Sinks)
 	if rt.wants(event.Sched) {
-		rt.sched = &schedState{}
+		if rt.sched == nil {
+			rt.sched = &schedState{}
+		} else {
+			rt.sched.reset()
+		}
+	} else {
+		rt.sched = nil
 	}
-	return rt
+}
+
+// releaseWorkers shuts down the parked host workers behind every goroutine
+// slot. After it returns the runtime cannot run again; a plain Run calls it
+// before returning so no host goroutines outlive the call, and RunPool calls
+// it from Close.
+func (rt *runtime) releaseWorkers() {
+	for _, g := range rt.gs[:cap(rt.gs)] {
+		if g != nil {
+			close(g.resume)
+		}
+	}
+	rt.gs = nil
 }
 
 // wants reports whether some sink subscribed to k. Emission sites guard on
@@ -330,12 +411,19 @@ func (t *T) emitObjDetail(k event.Kind, obj, detail string) {
 	}
 }
 
-// random returns the run's seeded source, creating it on first use. Runs
+// random returns the run's seeded source, (re)seeding it on first use. Runs
 // under a Chooser (systematic exploration) whose programs never call T.Rand
-// skip the seeding cost entirely.
+// skip the seeding cost entirely. The PCG and its Rand wrapper are allocated
+// once per runtime and reseeded on pooled reuse.
 func (rt *runtime) random() *rand.Rand {
-	if rt.rng == nil {
-		rt.rng = rand.New(rand.NewPCG(uint64(rt.cfg.Seed), 0x9e3779b97f4a7c15))
+	if !rt.rngReady {
+		if rt.rngSrc == nil {
+			rt.rngSrc = rand.NewPCG(uint64(rt.cfg.Seed), 0x9e3779b97f4a7c15)
+			rt.rng = rand.New(rt.rngSrc)
+		} else {
+			rt.rngSrc.Seed(uint64(rt.cfg.Seed), 0x9e3779b97f4a7c15)
+		}
+		rt.rngReady = true
 	}
 	return rt.rng
 }
@@ -395,9 +483,10 @@ func (rt *runtime) dispatch() *G {
 // endRun marks the run finished and releases the Run caller. The calling
 // simulated goroutine (if any) must park itself afterwards and touch no
 // shared runtime state: teardown runs concurrently on the caller's host
-// goroutine from here on.
+// goroutine from here on. The buffered send (exactly one per run) keeps the
+// channel reusable across pooled runs, unlike a close.
 func (rt *runtime) endRun() {
-	close(rt.done)
+	rt.done <- struct{}{}
 }
 
 // choose picks among n scheduling options, via the Chooser when one is
@@ -498,16 +587,31 @@ func (rt *runtime) finalize() *Result {
 	if rt.mux != nil {
 		rt.mux.RunEnd()
 	}
-	res := &Result{
+	var res *Result
+	var gor, blk, lkd []GoroutineInfo
+	if rt.pooled {
+		// A pooled finalize recycles the previous run's Result and its
+		// slice backings; the returned pointer is valid until the next
+		// RunPool.Run (Clone to retain).
+		res = &rt.res
+		gor, blk, lkd = res.Goroutines[:0], res.Blocked[:0], res.Leaked[:0]
+	} else {
+		res = new(Result)
+	}
+	*res = Result{
 		Name:              rt.cfg.Name,
 		Seed:              rt.cfg.Seed,
 		Outcome:           rt.outcome,
 		Steps:             rt.step,
 		VirtualTime:       rt.now,
 		GoroutinesCreated: len(rt.gs),
+		RandDraws:         rt.randDraws,
 		Panics:            rt.panics,
 		CheckFailures:     rt.checkFailures,
 		DeadlockReport:    rt.deadlockMsg,
+		Goroutines:        gor,
+		Blocked:           blk,
+		Leaked:            lkd,
 	}
 	if len(rt.panics) > 0 && rt.outcome != OutcomeBuiltinDeadlock {
 		res.Outcome = OutcomePanic
@@ -532,7 +636,33 @@ func (rt *runtime) finalize() *Result {
 			res.Leaked = append(res.Leaked, info)
 		}
 	}
+	// Empty collections read as nil, as they always have: recycled backings
+	// must not surface as non-nil empty slices (JSON null vs [], DeepEqual).
+	if len(res.Blocked) == 0 {
+		res.Blocked = nil
+	}
+	if len(res.Leaked) == 0 {
+		res.Leaked = nil
+	}
+	if len(res.Panics) == 0 {
+		res.Panics = nil
+	}
+	if len(res.CheckFailures) == 0 {
+		res.CheckFailures = nil
+	}
 	return res
+}
+
+// Clone deep-copies a Result so it stays valid past the next run of the
+// RunPool that produced it.
+func (r *Result) Clone() *Result {
+	cp := *r
+	cp.Leaked = append([]GoroutineInfo(nil), r.Leaked...)
+	cp.Blocked = append([]GoroutineInfo(nil), r.Blocked...)
+	cp.Goroutines = append([]GoroutineInfo(nil), r.Goroutines...)
+	cp.Panics = append([]PanicInfo(nil), r.Panics...)
+	cp.CheckFailures = append([]string(nil), r.CheckFailures...)
+	return &cp
 }
 
 func (rt *runtime) checkFail(g *G, msg string) {

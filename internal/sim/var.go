@@ -38,21 +38,38 @@ type MemoryObserver interface {
 // Var is an instrumented, unsynchronized shared variable of type V —
 // the moral equivalent of a plain Go variable shared across goroutines.
 type Var[V any] struct {
-	meta *VarMeta
-	rt   *runtime
-	val  V
+	meta   *VarMeta
+	rt     *runtime
+	autoID int
+	val    V
 }
 
-// NewVar creates an instrumented variable with the given report name.
+// NewVar creates an instrumented variable with the given report name,
+// recycling a pooled one when available.
 func NewVar[V any](t *T, name string) *Var[V] {
-	t.rt.nextVarID++
+	rt := t.rt
+	rt.nextVarID++
+	id := rt.nextVarID
+	v, recycled := arenaGet[Var[V]](rt)
+	if recycled {
+		var zero V
+		v.val = zero
+	} else {
+		v.meta = &VarMeta{}
+	}
 	if name == "" {
-		name = fmt.Sprintf("var#%d", t.rt.nextVarID)
+		if !recycled || v.autoID != id {
+			v.meta.Name = fmt.Sprintf("var#%d", id)
+		}
+		v.autoID = id
+	} else {
+		v.meta.Name = name
+		v.autoID = 0
 	}
-	return &Var[V]{
-		meta: &VarMeta{ID: t.rt.nextVarID, Name: name, CreatedBy: t.g.id},
-		rt:   t.rt,
-	}
+	v.meta.ID = id
+	v.meta.CreatedBy = t.g.id
+	v.rt = rt
+	return v
 }
 
 // NewVarInit creates an instrumented variable with an initial value.

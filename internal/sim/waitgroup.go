@@ -18,19 +18,35 @@ import (
 type WaitGroup struct {
 	rt      *runtime
 	id      int
+	autoID  int
 	name    string
 	counter int
 	waiters []*G
 	vcDone  hb.VC // clocks published by Done calls
 }
 
-// NewWaitGroup creates a wait group.
+// NewWaitGroup creates a wait group, recycling a pooled one when available.
 func NewWaitGroup(t *T, name string) *WaitGroup {
-	t.rt.nextSyncID++
-	if name == "" {
-		name = fmt.Sprintf("waitgroup#%d", t.rt.nextSyncID)
+	rt := t.rt
+	rt.nextSyncID++
+	id := rt.nextSyncID
+	wg, recycled := arenaGet[WaitGroup](rt)
+	if recycled {
+		wg.counter = 0
+		wg.waiters = wg.waiters[:0]
+		wg.vcDone.Reset()
 	}
-	return &WaitGroup{rt: t.rt, id: t.rt.nextSyncID, name: name, vcDone: hb.New()}
+	if name == "" {
+		if !recycled || wg.autoID != id {
+			wg.name = fmt.Sprintf("waitgroup#%d", id)
+		}
+		wg.autoID = id
+	} else {
+		wg.name = name
+		wg.autoID = 0
+	}
+	wg.rt, wg.id = rt, id
+	return wg
 }
 
 // Add adds delta to the counter, panicking if the counter goes negative.
@@ -99,11 +115,12 @@ func (wg *WaitGroup) Wait(t *T) {
 }
 
 func (wg *WaitGroup) release() {
-	for _, g := range wg.waiters {
+	for i, g := range wg.waiters {
 		g.vc.Join(wg.vcDone)
 		wg.rt.unblock(g)
+		wg.waiters[i] = nil
 	}
-	wg.waiters = nil
+	wg.waiters = wg.waiters[:0]
 }
 
 // Counter returns the current counter value (for tests).

@@ -3,7 +3,9 @@
 #
 # Runs the guarded benchmarks and compares each ns/op against the
 # checked-in baseline (testdata/bench_baseline.txt), failing on a
-# regression beyond the slack. The guarded set:
+# regression beyond the slack; allocs/op is gated strictly (allocation
+# counts are deterministic per op, so any increase is a real regression —
+# and the pooled lanes must hold their 0). The guarded set:
 #
 #   BenchmarkRaceDetectorOverhead/without-detector  - the no-sink hot path
 #     (an empty Config.Sinks run must keep paying nothing for the event
@@ -14,6 +16,10 @@
 #   BenchmarkFaultInjection/off                     - fault hooks disabled
 #     (the nil-injector check at every instrumented primitive op must cost
 #     nothing when nobody asked for chaos)
+#   BenchmarkPooledRun/no-sink                      - RunPool steady state
+#     (recycled runtime on the same workload: must stay 0 allocs/op and
+#     beat the fresh-run lane by the ISSUE-6 margin)
+#   BenchmarkPooledRun/with-detector                - pooled + one sink
 #
 # Refresh the baseline on the reference machine with:
 #   scripts/benchgate.sh -update
@@ -22,20 +28,28 @@ cd "$(dirname "$0")/.."
 
 BASELINE=testdata/bench_baseline.txt
 SLACK_PCT=${BENCHGATE_SLACK_PCT:-15}
-BENCHES='BenchmarkRaceDetectorOverhead|BenchmarkDetectorPipeline/single-pass|BenchmarkFaultInjection/off'
+BENCHES='BenchmarkRaceDetectorOverhead|BenchmarkDetectorPipeline/single-pass|BenchmarkFaultInjection/off|BenchmarkPooledRun'
 
-raw=$(go test -bench "$BENCHES" -benchtime 1000x -count 6 -run '^$' . | grep -E '^Benchmark')
+raw=$(go test -bench "$BENCHES" -benchtime 1000x -count 6 -benchmem -run '^$' . | grep -E '^Benchmark')
 
-# Take the fastest of the counts per benchmark (the least-noise estimate)
-# and strip the -GOMAXPROCS suffix so names are stable across machines.
+# Take the fastest ns/op and the smallest allocs/op of the counts per
+# benchmark (the least-noise estimates) and strip the -GOMAXPROCS suffix so
+# names are stable across machines.
 current=$(echo "$raw" | awk '
-  { name=$1; sub(/-[0-9]+$/, "", name); ns=$3+0
-    if (!(name in best) || ns < best[name]) best[name]=ns }
-  END { for (n in best) printf "%s %.1f\n", n, best[n] }' | sort)
+  { name=$1; sub(/-[0-9]+$/, "", name)
+    ns=-1; al=-1
+    for (i = 2; i < NF; i++) {
+      if ($(i+1) == "ns/op")     ns = $i + 0
+      if ($(i+1) == "allocs/op") al = $i + 0
+    }
+    if (!(name in bestns) || ns < bestns[name]) bestns[name] = ns
+    if (!(name in bestal) || al < bestal[name]) bestal[name] = al }
+  END { for (n in bestns) printf "%s %.1f %d\n", n, bestns[n], bestal[n] }' | sort)
 
 if [[ "${1:-}" == "-update" ]]; then
   {
-    echo "# ns/op baseline for scripts/benchgate.sh (fastest of 6x1000 iterations)."
+    echo "# 'name ns/op allocs/op' baseline for scripts/benchgate.sh"
+    echo "# (fastest / smallest of 6x1000 iterations)."
     echo "# Regenerate on the reference machine with: scripts/benchgate.sh -update"
     echo "$current"
   } > "$BASELINE"
@@ -52,9 +66,10 @@ fi
 echo "benchgate: current (fastest of 6 counts):"
 echo "$current"
 fail=0
-while read -r name base; do
+while read -r name base basealloc; do
   [[ "$name" == \#* || -z "$name" ]] && continue
   cur=$(echo "$current" | awk -v n="$name" '$1==n {print $2}')
+  curalloc=$(echo "$current" | awk -v n="$name" '$1==n {print $3}')
   if [[ -z "$cur" ]]; then
     echo "benchgate: FAIL $name: benchmark missing from run" >&2
     fail=1
@@ -66,5 +81,14 @@ while read -r name base; do
             else           printf "ok   %.1f ns/op vs baseline %.1f (limit %.1f)", c, b, limit }')
   echo "benchgate: $verdict  $name"
   [[ "$verdict" == FAIL* ]] && fail=1
+  # Older baselines carry no allocs column; the ns gate still applies.
+  if [[ -n "${basealloc:-}" ]]; then
+    if (( curalloc > basealloc )); then
+      echo "benchgate: FAIL $curalloc allocs/op vs baseline $basealloc  $name"
+      fail=1
+    else
+      echo "benchgate: ok   $curalloc allocs/op vs baseline $basealloc  $name"
+    fi
+  fi
 done < "$BASELINE"
 exit $fail

@@ -41,7 +41,9 @@ echo "resume-smoke: resuming from checkpoint"
 
 # The per-detector lines end with live-process wall time; everything else
 # (verdicts, fired runs, event counts) is part of the deterministic fold.
-norm() { awk '{ if ($0 ~ / events /) sub(/[[:space:]][^[:space:]]+$/, ""); print }' "$1"; }
+# Trailing whitespace goes too: the fixed-width columns pad a µs-range time
+# differently from a ms-range one.
+norm() { awk '{ if ($0 ~ / events /) sub(/[[:space:]][^[:space:]]+$/, ""); sub(/[[:space:]]+$/, ""); print }' "$1"; }
 if ! diff <(norm "$workdir/ref.out") <(norm "$workdir/leg2.out"); then
   echo "resume-smoke: FAIL — resumed fold differs from the uninterrupted sweep" >&2
   exit 1

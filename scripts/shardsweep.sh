@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Sharded-sweep driver: split one detector sweep's seed range across N
+# godetect processes (one per shard, running concurrently), fold the shard
+# checkpoints back into the serial checkpoint, and require that fold to be
+# byte-identical to an uninterrupted single-process sweep of the same
+# options — the proof that sharding changes the wall clock and nothing else.
+#
+# Tune with SHARD_KERNEL / SHARD_RUNS / SHARD_DETS / SHARD_N.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+KERNEL=${SHARD_KERNEL:-grpc-lost-update}
+RUNS=${SHARD_RUNS:-10000}
+DETS=${SHARD_DETS:-race,leak}
+N=${SHARD_N:-4}
+
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+BIN=$workdir/godetect
+go build -o "$BIN" ./cmd/godetect
+
+echo "shardsweep: reference serial sweep ($KERNEL, $RUNS runs, $DETS)"
+"$BIN" -kernel "$KERNEL" -with "$DETS" -runs "$RUNS" \
+  -resume "$workdir/serial.ck" > "$workdir/serial.out"
+
+echo "shardsweep: $N concurrent shard processes"
+pids=()
+for ((i = 0; i < N; i++)); do
+  "$BIN" -kernel "$KERNEL" -with "$DETS" -runs "$RUNS" \
+    -resume "$workdir/shard.ck" -shards "$N" -shard "$i" \
+    > "$workdir/shard$i.out" &
+  pids+=($!)
+done
+for pid in "${pids[@]}"; do
+  wait "$pid"
+done
+
+echo "shardsweep: folding $N shard checkpoints"
+"$BIN" -kernel "$KERNEL" -with "$DETS" -runs "$RUNS" \
+  -resume "$workdir/shard.ck" -shards "$N" -fold > "$workdir/fold.out"
+
+if ! cmp -s "$workdir/serial.ck" "$workdir/shard.ck"; then
+  echo "shardsweep: FAIL — folded checkpoint differs from the serial sweep's" >&2
+  exit 1
+fi
+
+# The per-detector lines end with live-process wall time, and the fold's
+# header names its mode; everything else is part of the deterministic fold.
+norm() {
+  awk '{ if ($0 ~ / events /) sub(/[[:space:]][^[:space:]]+$/, "");
+         sub(/, fold of [0-9]+ shards,/, ",");
+         sub(/[[:space:]]+$/, ""); print }' "$1"
+}
+if ! diff <(norm "$workdir/serial.out") <(norm "$workdir/fold.out"); then
+  echo "shardsweep: FAIL — folded report differs from the serial sweep" >&2
+  exit 1
+fi
+echo "shardsweep: ok — $N shards folded byte-identical to the serial sweep"
