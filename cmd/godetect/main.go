@@ -52,6 +52,7 @@ func main() {
 	conf := flag.Bool("conformance", false, "differentially test the sim against the real Go runtime on generated programs")
 	programs := flag.Int("programs", 200, "with -conformance: number of generated programs")
 	emitsrc := flag.Bool("emitsrc", false, "with -conformance: print the program generated for -seed as standalone Go source and exit")
+	kinds := flag.String("kinds", "", "with -conformance: comma-separated primitive families to focus the generator on (cond,timer,ctx,sem); empty = all")
 	detectorsFlag := flag.Bool("detectors", false, "list the detector registry")
 	with := flag.String("with", "", "comma-separated detector set to sweep in one pass per run (see -detectors); non-zero exit if one fires on a -fixed kernel")
 	faults := flag.Int("faults", 0, "inject up to this many scheduling faults per run (0 = off); non-zero exit if a -fixed kernel fires under injection")
@@ -105,7 +106,7 @@ func main() {
 			return 0
 		}
 		if *conf {
-			return runConformance(ctx, *programs, *seed, *emitsrc)
+			return runConformance(ctx, *programs, *seed, *emitsrc, *kinds)
 		}
 
 		var dets []detect.Detector

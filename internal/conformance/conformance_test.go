@@ -57,6 +57,19 @@ func TestDifferentialSweep(t *testing.T) {
 	if st.AllHungConfirmed == 0 {
 		t.Error("no must-deadlock program confirmed hung on the host")
 	}
+	if st.SignalGuaranteed == 0 {
+		t.Error("no signal-guaranteed cond program generated; the liveness oracle never ran")
+	}
+	// Every statement kind must appear somewhere in the sweep; with the
+	// -short/-race budget (150 programs) the rarest kinds can legitimately
+	// miss, so full-IR coverage is the default lane's assertion.
+	if !raceEnabled && !testing.Short() {
+		for _, k := range AllStmtKinds {
+			if st.KindCoverage[k] == 0 {
+				t.Errorf("no generated program contained %v; the sweep no longer exercises it", k)
+			}
+		}
+	}
 	for _, d := range st.Divergences {
 		t.Errorf("%v", d)
 	}
@@ -216,10 +229,10 @@ func TestPanicClass(t *testing.T) {
 // drives it instead.)
 func TestHostPatiencePolicy(t *testing.T) {
 	t.Parallel()
-	mustFinish := Generate(4, ModeSafe) // pinned: complete, never hangs
+	mustFinish := Generate(19, ModeSafe) // pinned: complete, never hangs
 	sp := ExploreSim(mustFinish, 600, false)
 	if !sp.Complete || sp.AllowsHang() {
-		t.Fatalf("seed 4 drifted: %s", sp.Summary())
+		t.Fatalf("seed 19 drifted: %s", sp.Summary())
 	}
 	mayHang := Generate(1, ModeSafe) // pinned: every schedule hangs
 	sp = ExploreSim(mayHang, 600, false)

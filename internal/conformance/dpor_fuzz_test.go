@@ -72,7 +72,8 @@ func checkDPORSoundness(t *testing.T, seed int64, racy bool) {
 // runnable goroutines, the truncated-run case that required conservative
 // backtracking — in every plain `go test` run.
 func FuzzDPORSoundness(f *testing.F) {
-	for _, seed := range []int64{0, 1, 6, 44, 97, 103} {
+	// 28, 243, 254 and 457 cover the cond/timer/ticker/ctx/sem kinds.
+	for _, seed := range []int64{0, 1, 6, 44, 97, 103, 28, 243, 254, 457} {
 		f.Add(seed, false)
 		f.Add(seed, true)
 	}

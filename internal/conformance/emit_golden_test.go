@@ -1,0 +1,116 @@
+package conformance
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the emit golden files")
+
+// goldenPrograms are hand-built (seed 0) so the goldens pin EmitGo's
+// rendering of each statement kind independent of generator tuning. Each
+// covers one new primitive family end to end, including its select arms.
+func goldenPrograms() []struct {
+	name string
+	p    *Program
+} {
+	return []struct {
+		name string
+		p    *Program
+	}{
+		{"cond", &Program{
+			Conds: 1,
+			Vars:  1, RacyVars: []bool{false},
+			Goroutines: [][]Stmt{
+				{ // main: spawn the waiter, then broadcast readiness
+					{Kind: StSpawn, G: 1},
+					{Kind: StCondBroadcast, C: 0, SetReady: true},
+				},
+				{ // waiter: if-guard (buggy shape) then for-guard (fixed)
+					{Kind: StCondWait, C: 0},
+					{Kind: StCondWait, C: 0, ForGuard: true},
+					{Kind: StVarStore, Dst: 0, Val: 7},
+					{Kind: StCondSignal, C: 0},
+				},
+			},
+		}},
+		{"timer", &Program{
+			Chans: []ChanDecl{{Cap: 1}},
+			Goroutines: [][]Stmt{
+				{
+					{Kind: StSpawn, G: 1},
+					{Kind: StSelect, Cases: []SelCase{
+						{Dst: -1, Ch: 0},
+						{Timeout: true, Dur: 2},
+					}},
+				},
+				{
+					{Kind: StTimerAfter, Dur: 1},
+					{Kind: StTickerLoop, Dur: 1, N: 3},
+					{Kind: StSend, Ch: 0, Val: 42},
+				},
+			},
+		}},
+		{"ctx", &Program{
+			Chans: []ChanDecl{{Cap: 0}},
+			Ctxs:  []CtxDecl{{Parent: -1}, {Parent: 0}},
+			Goroutines: [][]Stmt{
+				{
+					{Kind: StSpawn, G: 1},
+					{Kind: StCtxCancel, Cx: 0},
+					{Kind: StCtxDone, Cx: 1},
+				},
+				{
+					{Kind: StSelect, Cases: []SelCase{
+						{CtxDone: true, Cx: 1},
+						{Send: true, Ch: 0, Val: 9},
+					}},
+				},
+			},
+		}},
+		{"sem", &Program{
+			Sems: []int{2},
+			Vars: 1, RacyVars: []bool{true},
+			Goroutines: [][]Stmt{
+				{
+					{Kind: StSpawn, G: 1},
+					{Kind: StSemAcquire, Sem: 0},
+					{Kind: StVarAdd, Dst: 0, Val: 1},
+					{Kind: StSemRelease, Sem: 0},
+				},
+				{
+					{Kind: StSemAcquire, Sem: 0},
+					{Kind: StSemRelease, Sem: 0},
+				},
+			},
+		}},
+	}
+}
+
+// TestEmitGolden pins EmitGo's rendering of the new primitive kinds. Run
+// with -update to rewrite testdata/golden/*.golden after an intentional
+// emitter change.
+func TestEmitGolden(t *testing.T) {
+	for _, tc := range goldenPrograms() {
+		got := EmitGo(tc.p)
+		path := filepath.Join("testdata", "golden", tc.name+".golden")
+		if *updateGolden {
+			if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v (run with -update to create)", tc.name, err)
+		}
+		if got != string(want) {
+			t.Errorf("%s: emitted source drifted from %s (run with -update if intentional)\n--- got ---\n%s", tc.name, path, got)
+		}
+	}
+}

@@ -11,7 +11,8 @@ import (
 // disagreement; the checked-in corpus under testdata/fuzz keeps the
 // historically interesting seeds in every plain `go test` run.
 func FuzzConformance(f *testing.F) {
-	for _, seed := range []int64{1, 4, 6, 28, 44, 97, 103} {
+	// 28, 243, 254 and 457 cover the cond/timer/ticker/ctx/sem kinds.
+	for _, seed := range []int64{1, 4, 6, 28, 44, 97, 103, 243, 254, 457} {
 		f.Add(seed)
 	}
 	opts := CheckOptions{

@@ -1,6 +1,10 @@
 package conformance
 
-import "math/rand/v2"
+import (
+	"fmt"
+	"math/rand/v2"
+	"strings"
+)
 
 // Mode selects the family of programs the generator draws from.
 type Mode int
@@ -21,21 +25,77 @@ const (
 	ModeRacy
 )
 
+// Families selects which of the newer primitive families the generator may
+// draw from; the channel/mutex/waitgroup core is always present. CI's
+// per-primitive lanes narrow the set via godetect -kinds.
+type Families struct {
+	Cond  bool
+	Timer bool
+	Ctx   bool
+	Sem   bool
+}
+
+// AllFamilies enables every primitive family (the default sweep).
+var AllFamilies = Families{Cond: true, Timer: true, Ctx: true, Sem: true}
+
+// ParseFamilies parses a comma-separated family list ("cond,timer,ctx,sem")
+// as the godetect -kinds flag supplies it; empty means all families.
+func ParseFamilies(csv string) (Families, error) {
+	if strings.TrimSpace(csv) == "" {
+		return AllFamilies, nil
+	}
+	var f Families
+	for _, part := range strings.Split(csv, ",") {
+		switch strings.TrimSpace(part) {
+		case "cond":
+			f.Cond = true
+		case "timer":
+			f.Timer = true
+		case "ctx", "context":
+			f.Ctx = true
+		case "sem", "semaphore":
+			f.Sem = true
+		case "":
+		default:
+			return Families{}, fmt.Errorf("unknown primitive family %q (want cond, timer, ctx, sem)", strings.TrimSpace(part))
+		}
+	}
+	return f, nil
+}
+
 // generator bundles the random source with the program being built.
 type generator struct {
-	rng *rand.Rand
-	p   *Program
+	rng  *rand.Rand
+	p    *Program
+	fams Families
+	// tailG is the goroutine carrying the timer tail (-1: none); insertions
+	// into it stay before the tail, keeping the tail the final statement.
+	tailG int
+	// noWaitG is the wake-guaranteed broadcaster goroutine (-1: none);
+	// statements that can block forever stay out of it.
+	noWaitG int
 }
 
 // Generate builds the program for a seed. Equal (seed, mode) pairs always
 // yield identical programs — a failing program is reproduced from its seed
 // alone.
 func Generate(seed int64, mode Mode) *Program {
+	return GenerateWith(seed, mode, AllFamilies)
+}
+
+// GenerateWith is Generate with the drawable primitive families narrowed.
+// Narrowing boosts the included families' weights, so a small per-primitive
+// sweep still covers them densely; program identity depends on the full
+// (seed, mode, families) triple.
+func GenerateWith(seed int64, mode Mode, fams Families) *Program {
 	g := &generator{
 		// The second PCG word is a fixed arbitrary constant so program
 		// identity depends only on the seed.
-		rng: rand.New(rand.NewPCG(uint64(seed), 0x5eed5eed5eed5eed)),
-		p:   &Program{Seed: seed},
+		rng:     rand.New(rand.NewPCG(uint64(seed), 0x5eed5eed5eed5eed)),
+		p:       &Program{Seed: seed},
+		fams:    fams,
+		tailG:   -1,
+		noWaitG: -1,
 	}
 	p := g.p
 
@@ -57,6 +117,23 @@ func Generate(seed int64, mode Mode) *Program {
 		p.WaitGroups = 1
 	}
 	p.RacyVars = make([]bool, p.Vars)
+	// New-primitive resources. Semaphores and contexts get statements
+	// through stmt()'s weighted draw below; whether a declared resource is
+	// actually used in a given program is itself random.
+	if fams.Sem && g.chance(g.pct(25)) {
+		p.Sems = append(p.Sems, 1+g.intn(2))
+	}
+	if fams.Ctx && g.chance(g.pct(30)) {
+		// The root cancellable context derives from Background, which (as
+		// in real Go) attaches no propagation goroutine on either backend.
+		p.Ctxs = append(p.Ctxs, CtxDecl{Parent: -1})
+		if g.chance(30) {
+			// A derived context does spawn the sim's propagation goroutine;
+			// Generate plants a guaranteed cancel below so no schedule can
+			// leak it while the host-side (goroutine-free) context runs on.
+			p.Ctxs = append(p.Ctxs, CtxDecl{Parent: 0})
+		}
+	}
 
 	// Size class: mostly small programs so systematic exploration of the
 	// schedule space completes, with a tail of larger ones that exercise
@@ -76,6 +153,28 @@ func Generate(seed int64, mode Mode) *Program {
 		p.Goroutines[gi] = g.stmts(1+g.intn(maxStmts), 0)
 	}
 
+	// Structured constructs over the base bodies. Order matters: the cond
+	// construct may append the broadcaster goroutine, the context shapes
+	// insert at unconstrained positions, and the timer tail claims its
+	// goroutine's final slot — everything inserted after it goes through
+	// randPos, which respects that slot.
+	if fams.Cond && g.chance(g.pct(30)) {
+		g.condConstruct()
+	}
+	if len(p.Ctxs) > 0 && g.chance(35) {
+		g.ctxLeakShape()
+	}
+	if len(p.Ctxs) > 1 {
+		// Guaranteed cancel for the derived context: in every schedule its
+		// carrier goroutine either runs the (non-blocking, idempotent)
+		// cancel — waking the sim's propagation goroutine — or blocks or
+		// panics first, hanging or crashing both backends alike.
+		g.insert(Stmt{Kind: StCtxCancel, Cx: 1}, false)
+	}
+	if fams.Timer && len(p.Goroutines) > 1 && g.chance(g.pct(20)) {
+		g.timerTail()
+	}
+
 	// WaitGroup discipline: every Add happens in main before any spawn
 	// (prepended below), which is the documented usage rule — and exactly
 	// the discipline that avoids the real runtime's "Add called
@@ -87,10 +186,10 @@ func Generate(seed int64, mode Mode) *Program {
 		wgAdds = 1 + g.intn(3)
 		dones := wgAdds + []int{-1, 0, 0, 0, 1}[g.intn(5)]
 		for i := 0; i < dones; i++ {
-			g.insert(Stmt{Kind: StWgDone, Wg: 0})
+			g.insert(Stmt{Kind: StWgDone, Wg: 0}, false)
 		}
 		for i, n := 0, g.intn(2); i < n; i++ {
-			g.insert(Stmt{Kind: StWgWait, Wg: 0})
+			g.insert(Stmt{Kind: StWgWait, Wg: 0}, true)
 		}
 	}
 
@@ -100,29 +199,151 @@ func Generate(seed int64, mode Mode) *Program {
 	if mode == ModeRacy {
 		rv := g.intn(p.Vars)
 		p.RacyVars[rv] = true
-		a, b := g.intn(nGs), g.intn(nGs)
+		nAll := len(p.Goroutines)
+		a, b := g.intn(nAll), g.intn(nAll)
 		for b == a {
-			b = g.intn(nGs)
+			b = g.intn(nAll)
 		}
 		for _, gi := range []int{a, b} {
-			at := g.intn(len(p.Goroutines[gi]) + 1)
-			p.Goroutines[gi] = insertAt(p.Goroutines[gi], at,
-				Stmt{Kind: StVarAdd, Dst: rv, Val: g.val()})
+			g.insertInto(gi, Stmt{Kind: StVarAdd, Dst: rv, Val: g.val()})
 		}
 	}
 
 	// Main's prologue: WaitGroup Adds first, then spawns at random
-	// positions in the rest of its body.
+	// positions in the rest of its body — except the broadcaster's spawn,
+	// which is forced to the front so a cond waiter in main can never park
+	// before its wake-up source exists.
 	main := p.Goroutines[0]
-	for gi := nGs - 1; gi >= 1; gi-- {
+	for gi := len(p.Goroutines) - 1; gi >= 1; gi-- {
+		if gi == g.noWaitG {
+			continue
+		}
 		at := g.intn(len(main) + 1)
 		main = insertAt(main, at, Stmt{Kind: StSpawn, G: gi})
+	}
+	if g.noWaitG > 0 {
+		main = insertAt(main, 0, Stmt{Kind: StSpawn, G: g.noWaitG})
 	}
 	if wgAdds > 0 {
 		main = insertAt(main, 0, Stmt{Kind: StWgAdd, Wg: 0, Val: int64(wgAdds)})
 	}
 	p.Goroutines[0] = main
 	return p
+}
+
+// pct widens a family's inclusion probability when the family set is
+// narrowed: the -kinds lanes sweep few programs and want dense coverage.
+func (g *generator) pct(base int) int {
+	if g.fams == AllFamilies {
+		return base
+	}
+	out := base * 5 / 2
+	if out > 90 {
+		out = 90
+	}
+	return out
+}
+
+// condConstruct adds the program's cond (at most one) in one of two shapes.
+//
+// Shape A ("signal-guaranteed"): 1-2 waiters with either guard at random
+// top-level positions, plus a dedicated broadcaster goroutine whose whole
+// body is one predicate-setting Broadcast and whose spawn Generate forces
+// to the front of main. The broadcaster can neither block nor be kept from
+// spawning, setting the predicate under the lock keeps any waiter from
+// parking after the broadcast, and Broadcast wakes every earlier parker —
+// so no schedule of a non-panicking run can end with a goroutine on the
+// cond, which is exactly what the liveness oracle asserts. (Signal would
+// not do: with two waiters parked it wakes only one.)
+//
+// Shape B ("orphanable"): an if-guarded waiter whose wake-up is not
+// guaranteed — no signaller at all, a signaller that does not set the
+// predicate (the paper's missed-signal bug: delivered before the wait, the
+// signal is lost and the waiter parks forever), or a predicate-setting
+// signaller that may itself block first. Those hangs are schedule-dependent
+// and identical across backends, so the membership oracle alone judges them.
+func (g *generator) condConstruct() {
+	p := g.p
+	p.Conds = 1
+	if g.chance(60) {
+		for i, n := 0, 1+g.intn(2); i < n; i++ {
+			g.insert(Stmt{Kind: StCondWait, C: 0, ForGuard: g.chance(50)}, true)
+		}
+		g.noWaitG = len(p.Goroutines)
+		p.Goroutines = append(p.Goroutines, []Stmt{{Kind: StCondBroadcast, C: 0, SetReady: true}})
+		p.SignalGuaranteed = true
+		return
+	}
+	g.insert(Stmt{Kind: StCondWait, C: 0}, true)
+	switch g.intn(3) {
+	case 0: // orphaned outright
+	case 1:
+		g.insert(Stmt{Kind: StCondSignal, C: 0}, true)
+	default:
+		g.insert(Stmt{Kind: StCondSignal, C: 0, SetReady: true}, true)
+	}
+	p.CondOrphaned = true
+}
+
+// ctxLeakShape injects the paper's context-cancellation leak: a receiver
+// guarded by <-ctx.Done() in a select, and a bare sender on the same fresh
+// unbuffered channel in another goroutine. In cancel-first schedules the
+// receiver takes the done arm and the sender blocks forever — reachable on
+// both backends and judged by membership.
+func (g *generator) ctxLeakShape() {
+	p := g.p
+	ch := len(p.Chans)
+	p.Chans = append(p.Chans, ChanDecl{Cap: 0})
+	cx := g.intn(len(p.Ctxs))
+	pick := func() int {
+		for {
+			if gi := g.intn(len(p.Goroutines)); gi != g.noWaitG {
+				return gi
+			}
+		}
+	}
+	a := pick()
+	b := pick()
+	for b == a {
+		b = pick()
+	}
+	g.insertInto(a, Stmt{Kind: StSelect, Cases: []SelCase{
+		{Ch: ch, Dst: g.dst()},
+		{CtxDone: true, Cx: cx, Dst: -1},
+	}})
+	g.insertInto(b, Stmt{Kind: StSend, Ch: ch, Val: g.val()})
+}
+
+// timerTail appends exactly one timer construct as the FINAL statement of
+// one spawned goroutine, in one of three forms: a plain <-time.After, a
+// bounded ticker loop, or a select with a timeout arm guarding a channel op
+// (the paper's timeout idiom). Finality is the soundness invariant: the sim
+// fires timers only at quiescence (maximal progress), so a timer construct
+// with nothing after it cannot order a continuation against other
+// goroutines' statements — which makes the sim's virtual-time schedule
+// space a superset of the host's real-time outcomes. randPos keeps every
+// later insertion before the tail.
+func (g *generator) timerTail() {
+	p := g.p
+	gi := 1 + g.intn(len(p.Goroutines)-1)
+	rank := 1 + g.intn(2)
+	var s Stmt
+	switch g.intn(3) {
+	case 0:
+		s = Stmt{Kind: StTimerAfter, Dur: rank}
+	case 1:
+		s = Stmt{Kind: StTickerLoop, Dur: rank, N: 2 + g.intn(2)}
+	default:
+		c := SelCase{Ch: g.intn(len(p.Chans))}
+		if g.chance(50) {
+			c.Send, c.Val = true, g.val()
+		} else {
+			c.Dst = g.dst()
+		}
+		s = Stmt{Kind: StSelect, Cases: []SelCase{c, {Timeout: true, Dur: rank, Dst: -1}}}
+	}
+	p.Goroutines[gi] = append(p.Goroutines[gi], s)
+	g.tailG = gi
 }
 
 // stmts generates n statements at the given lock-nesting depth.
@@ -140,7 +361,7 @@ func (g *generator) stmts(n, depth int) []Stmt {
 func (g *generator) stmt(depth int) []Stmt {
 	p := g.p
 	for {
-		switch g.intn(12) {
+		switch g.intn(15) {
 		case 0, 1: // send
 			return []Stmt{{Kind: StSend, Ch: g.intn(len(p.Chans)), Val: g.val()}}
 		case 2, 3: // recv
@@ -189,6 +410,34 @@ func (g *generator) stmt(depth int) []Stmt {
 			return []Stmt{{Kind: StVarAdd, Dst: g.intn(p.Vars), Val: g.val()}}
 		case 11:
 			return []Stmt{{Kind: StYield}}
+		case 12: // semaphore: balanced region, rare orphan acquire or bare release
+			if len(p.Sems) == 0 {
+				continue
+			}
+			sem := g.intn(len(p.Sems))
+			if g.chance(12) { // leaked token: later acquirers may starve
+				return []Stmt{{Kind: StSemAcquire, Sem: sem}}
+			}
+			if g.chance(8) { // may panic, schedule-dependent; sim explores both
+				return []Stmt{{Kind: StSemRelease, Sem: sem}}
+			}
+			var body []Stmt
+			if depth < 2 {
+				body = g.stmts(g.intn(2)+1, depth+1)
+			}
+			region := []Stmt{{Kind: StSemAcquire, Sem: sem}}
+			region = append(region, body...)
+			return append(region, Stmt{Kind: StSemRelease, Sem: sem})
+		case 13: // context cancel (idempotent, never blocks)
+			if len(p.Ctxs) == 0 {
+				continue
+			}
+			return []Stmt{{Kind: StCtxCancel, Cx: g.intn(len(p.Ctxs))}}
+		case 14: // wait for cancellation (blocks forever if never cancelled)
+			if len(p.Ctxs) == 0 {
+				continue
+			}
+			return []Stmt{{Kind: StCtxDone, Cx: g.intn(len(p.Ctxs))}}
 		}
 	}
 }
@@ -199,6 +448,10 @@ func (g *generator) selectStmt() Stmt {
 	n := 1 + g.intn(3)
 	s := Stmt{Kind: StSelect, HasDefault: g.chance(40)}
 	for i := 0; i < n; i++ {
+		if len(p.Ctxs) > 0 && g.chance(20) {
+			s.Cases = append(s.Cases, SelCase{CtxDone: true, Cx: g.intn(len(p.Ctxs)), Dst: -1})
+			continue
+		}
 		c := SelCase{Ch: g.intn(len(p.Chans))}
 		if g.chance(50) {
 			c.Send, c.Val = true, g.val()
@@ -227,11 +480,32 @@ func (g *generator) onceBody() []Stmt {
 	return out
 }
 
-// insert places s at a random top-level position of a random goroutine.
-func (g *generator) insert(s Stmt) {
+// insert places s at a random top-level position of a random goroutine,
+// subject to the structural invariants: nothing lands after a timer tail,
+// and statements that can block forever (canBlock) stay out of the
+// wake-guaranteed broadcaster goroutine.
+func (g *generator) insert(s Stmt, canBlock bool) {
 	gi := g.intn(len(g.p.Goroutines))
-	at := g.intn(len(g.p.Goroutines[gi]) + 1)
-	g.p.Goroutines[gi] = insertAt(g.p.Goroutines[gi], at, s)
+	for canBlock && gi == g.noWaitG {
+		gi = g.intn(len(g.p.Goroutines))
+	}
+	g.insertInto(gi, s)
+}
+
+// insertInto places s at a random position of goroutine gi, before gi's
+// timer tail if it has one.
+func (g *generator) insertInto(gi int, s Stmt) {
+	g.p.Goroutines[gi] = insertAt(g.p.Goroutines[gi], g.randPos(gi), s)
+}
+
+// randPos draws an insertion position in goroutine gi that keeps a timer
+// tail final.
+func (g *generator) randPos(gi int) int {
+	limit := len(g.p.Goroutines[gi])
+	if gi == g.tailG {
+		limit--
+	}
+	return g.intn(limit + 1)
 }
 
 func insertAt(body []Stmt, at int, s Stmt) []Stmt {

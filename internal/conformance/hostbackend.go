@@ -1,6 +1,7 @@
 package conformance
 
 import (
+	"context"
 	"fmt"
 	"reflect"
 	"runtime"
@@ -76,6 +77,15 @@ func closeUnordered(p *Program) bool {
 	return false
 }
 
+// hostCond mirrors simCond on the real runtime: a sync.Cond over a
+// dedicated mutex plus a bool predicate guarded by that same mutex, so
+// generated cond use is race-free under -race.
+type hostCond struct {
+	mu    sync.Mutex
+	c     *sync.Cond
+	ready bool
+}
+
 // hostEnv is one run's resource instantiation on the real runtime.
 type hostEnv struct {
 	p     *Program
@@ -86,6 +96,15 @@ type hostEnv struct {
 	onces []*sync.Once
 	varMu []*sync.Mutex
 	vars  []int64
+	conds []*hostCond
+	ctxs  []context.Context
+	// cancels holds each context's CancelFunc (idempotent, as in the
+	// package contract).
+	cancels []context.CancelFunc
+	// sems are counting semaphores as buffered token channels: acquire is
+	// a send, release a non-blocking receive that panics when no token is
+	// outstanding — exactly sim.Semaphore's semantics.
+	sems []chan struct{}
 	// harness bookkeeping
 	hwg        sync.WaitGroup
 	firstPanic chan string
@@ -115,6 +134,23 @@ func newHostEnv(p *Program) *hostEnv {
 	env.vars = make([]int64, p.Vars)
 	for i := 0; i < p.Vars; i++ {
 		env.varMu = append(env.varMu, new(sync.Mutex))
+	}
+	for i := 0; i < p.Conds; i++ {
+		hc := &hostCond{}
+		hc.c = sync.NewCond(&hc.mu)
+		env.conds = append(env.conds, hc)
+	}
+	for _, d := range p.Ctxs {
+		parent := context.Background()
+		if d.Parent >= 0 {
+			parent = env.ctxs[d.Parent]
+		}
+		ctx, cancel := context.WithCancel(parent)
+		env.ctxs = append(env.ctxs, ctx)
+		env.cancels = append(env.cancels, cancel)
+	}
+	for _, n := range p.Sems {
+		env.sems = append(env.sems, make(chan struct{}, n))
 	}
 	return env
 }
@@ -203,6 +239,49 @@ func (env *hostEnv) exec(body []Stmt) {
 			env.storeVar(s.Dst, env.loadVar(s.Dst)+s.Val)
 		case StYield:
 			runtime.Gosched()
+		case StCondWait:
+			cd := env.conds[s.C]
+			cd.mu.Lock()
+			if s.ForGuard {
+				for !cd.ready {
+					cd.c.Wait()
+				}
+			} else if !cd.ready {
+				cd.c.Wait()
+			}
+			cd.mu.Unlock()
+		case StCondSignal, StCondBroadcast:
+			cd := env.conds[s.C]
+			cd.mu.Lock()
+			if s.SetReady {
+				cd.ready = true
+			}
+			if s.Kind == StCondSignal {
+				cd.c.Signal()
+			} else {
+				cd.c.Broadcast()
+			}
+			cd.mu.Unlock()
+		case StTimerAfter:
+			<-time.After(hostAfterDur(s.Dur))
+		case StTickerLoop:
+			tk := time.NewTicker(hostTickDur(s.Dur))
+			for i := 0; i < s.N; i++ {
+				<-tk.C
+			}
+			tk.Stop()
+		case StCtxCancel:
+			env.cancels[s.Cx]()
+		case StCtxDone:
+			<-env.ctxs[s.Cx].Done()
+		case StSemAcquire:
+			env.sems[s.Sem] <- struct{}{}
+		case StSemRelease:
+			select {
+			case <-env.sems[s.Sem]:
+			default:
+				panic(fmt.Sprintf("release of un-acquired semaphore sem%d", s.Sem))
+			}
 		default:
 			panic(fmt.Sprintf("conformance: unknown statement kind %d", s.Kind))
 		}
@@ -214,13 +293,24 @@ func (env *hostEnv) exec(body []Stmt) {
 func (env *hostEnv) execSelect(s Stmt) {
 	cases := make([]reflect.SelectCase, 0, len(s.Cases)+1)
 	for _, c := range s.Cases {
-		if c.Send {
+		switch {
+		case c.CtxDone:
+			cases = append(cases, reflect.SelectCase{
+				Dir:  reflect.SelectRecv,
+				Chan: reflect.ValueOf(env.ctxs[c.Cx].Done()),
+			})
+		case c.Timeout:
+			cases = append(cases, reflect.SelectCase{
+				Dir:  reflect.SelectRecv,
+				Chan: reflect.ValueOf(time.After(hostAfterDur(c.Dur))),
+			})
+		case c.Send:
 			cases = append(cases, reflect.SelectCase{
 				Dir:  reflect.SelectSend,
 				Chan: reflect.ValueOf(env.chans[c.Ch]),
 				Send: reflect.ValueOf(c.Val),
 			})
-		} else {
+		default:
 			cases = append(cases, reflect.SelectCase{
 				Dir:  reflect.SelectRecv,
 				Chan: reflect.ValueOf(env.chans[c.Ch]),
@@ -232,7 +322,7 @@ func (env *hostEnv) execSelect(s Stmt) {
 	}
 	chosen, recv, _ := reflect.Select(cases)
 	if chosen < len(s.Cases) {
-		if c := s.Cases[chosen]; !c.Send && c.Dst >= 0 {
+		if c := s.Cases[chosen]; !c.Send && !c.CtxDone && !c.Timeout && c.Dst >= 0 {
 			var v int64
 			if recv.IsValid() {
 				v = recv.Int()

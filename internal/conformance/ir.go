@@ -53,9 +53,39 @@ type Program struct {
 	// differential suite clean under `go test -race` without adding any
 	// cross-variable synchronization the simulator does not have.
 	RacyVars []bool
+	// Conds counts condition variables. Each cond owns a dedicated internal
+	// mutex and a boolean "ready" predicate; StCondWait/Signal/Broadcast are
+	// composite statements that lock, test or set the predicate, and unlock,
+	// so generated cond use is race-free by construction on the host.
+	Conds int
+	// Ctxs declares the program's cancellable contexts; statements refer to
+	// them by index.
+	Ctxs []CtxDecl
+	// Sems holds one capacity per counting semaphore (a buffered channel of
+	// tokens on the host, sim.Semaphore on the simulator).
+	Sems []int
 	// Goroutines holds each goroutine's statement list; Goroutines[0] is
 	// main.
 	Goroutines [][]Stmt
+	// SignalGuaranteed tags programs whose cond construct is wake-guaranteed
+	// by construction: a dedicated broadcaster goroutine (spawned first in
+	// main, body is a single predicate-setting Broadcast) that can never
+	// block before broadcasting. For such programs the liveness oracle
+	// requires that no completely explored schedule ends with a goroutine
+	// parked on a cond.
+	SignalGuaranteed bool
+	// CondOrphaned tags programs whose cond waiters may miss their wake-up
+	// (no signaller, or a signaller that does not set the predicate): a
+	// schedule-dependent or certain hang on the cond is expected and the
+	// membership oracle alone judges it.
+	CondOrphaned bool
+}
+
+// CtxDecl declares one cancellable context. Contexts form a tree:
+// Parent < 0 derives from Background, otherwise from Ctxs[Parent]
+// (which must have a smaller index).
+type CtxDecl struct {
+	Parent int
 }
 
 // ChanDecl declares one channel.
@@ -108,7 +138,66 @@ const (
 	StVarAdd
 	// StYield reschedules (runtime.Gosched on the host).
 	StYield
+	// StCondWait locks cond C's mutex, tests its predicate (an if when
+	// ForGuard is false — the paper's missed-signal shape — or the
+	// documented for-loop when true), waits while unready, and unlocks.
+	StCondWait
+	// StCondSignal locks cond C's mutex, optionally sets the predicate
+	// (SetReady), signals one waiter, and unlocks. A signal without
+	// SetReady reproduces the missed-signal bug: delivered before any
+	// waiter parks, it is lost and an if-guarded waiter sleeps forever.
+	StCondSignal
+	// StCondBroadcast is StCondSignal with Broadcast (wakes all waiters).
+	StCondBroadcast
+	// StTimerAfter blocks on <-time.After(d): virtual time on the sim,
+	// a short real duration on the host, value discarded on both. Dur is
+	// a small duration rank, not a literal duration.
+	StTimerAfter
+	// StTickerLoop receives N ticks from a fresh ticker of rank Dur, then
+	// stops it.
+	StTickerLoop
+	// StCtxCancel cancels context Cx (idempotent on both backends).
+	StCtxCancel
+	// StCtxDone blocks on <-ctx.Done() for context Cx; if the context is
+	// never cancelled it blocks forever on both backends.
+	StCtxDone
+	// StSemAcquire acquires one token from semaphore Sem (blocks at
+	// capacity); StSemRelease returns one, panicking if none is held —
+	// the host's release is a non-blocking token receive with an explicit
+	// panic, mirroring sim.Semaphore.Release exactly.
+	StSemAcquire
+	StSemRelease
 )
+
+// stmtKindNames indexes StmtKind; keep in sync with the const block above.
+var stmtKindNames = [...]string{
+	"spawn", "send", "recv", "close", "select",
+	"lock", "unlock", "rlock", "runlock", "wlock", "wunlock",
+	"wg-add", "wg-done", "wg-wait", "once-do",
+	"var-store", "var-add", "yield",
+	"cond-wait", "cond-signal", "cond-broadcast",
+	"timer-after", "ticker-loop",
+	"ctx-cancel", "ctx-done",
+	"sem-acquire", "sem-release",
+}
+
+// String implements fmt.Stringer for kind-coverage reports.
+func (k StmtKind) String() string {
+	if int(k) < len(stmtKindNames) {
+		return stmtKindNames[k]
+	}
+	return fmt.Sprintf("StmtKind(%d)", int(k))
+}
+
+// AllStmtKinds lists every statement kind in declaration order, for
+// coverage iteration in stable order.
+var AllStmtKinds = func() []StmtKind {
+	out := make([]StmtKind, len(stmtKindNames))
+	for i := range out {
+		out[i] = StmtKind(i)
+	}
+	return out
+}()
 
 // Stmt is one IR statement. Fields are interpreted per Kind.
 type Stmt struct {
@@ -120,9 +209,19 @@ type Stmt struct {
 	O     int   // once index
 	Dst   int   // var index (-1: discard)
 	Val   int64 // sent value / stored value / add delta
+	C     int   // cond index
+	Cx    int   // context index
+	Sem   int   // semaphore index
+	Dur   int   // timer duration rank (≥ 1)
+	N     int   // StTickerLoop: number of ticks received
 	Cases []SelCase
 	// HasDefault makes an StSelect non-blocking.
 	HasDefault bool
+	// ForGuard selects the for-loop predicate guard on StCondWait.
+	ForGuard bool
+	// SetReady makes StCondSignal/StCondBroadcast set the predicate before
+	// waking, so already-woken and future waiters both pass their guard.
+	SetReady bool
 	// Body is StOnceDo's nested statement list.
 	Body []Stmt
 }
@@ -133,6 +232,14 @@ type SelCase struct {
 	Ch   int
 	Val  int64 // sent value (Send)
 	Dst  int   // receive destination var, -1 to discard (!Send)
+	// CtxDone makes the case a receive from context Cx's Done channel
+	// (value always discarded; Send/Ch unused).
+	CtxDone bool
+	Cx      int
+	// Timeout makes the case a receive from time.After of rank Dur (the
+	// paper's timeout-guarded send/receive idiom; value always discarded).
+	Timeout bool
+	Dur     int
 }
 
 // String renders a compact, single-line form of the statement for reports.
@@ -155,11 +262,16 @@ func (s Stmt) String() string {
 			if i > 0 {
 				out += "; "
 			}
-			if c.Send {
+			switch {
+			case c.CtxDone:
+				out += fmt.Sprintf("<-ctx%d.Done()", c.Cx)
+			case c.Timeout:
+				out += fmt.Sprintf("<-after(%d)", c.Dur)
+			case c.Send:
 				out += fmt.Sprintf("c%d <- %d", c.Ch, c.Val)
-			} else if c.Dst >= 0 {
+			case c.Dst >= 0:
 				out += fmt.Sprintf("v%d = <-c%d", c.Dst, c.Ch)
-			} else {
+			default:
 				out += fmt.Sprintf("<-c%d", c.Ch)
 			}
 		}
@@ -200,15 +312,99 @@ func (s Stmt) String() string {
 		return fmt.Sprintf("v%d += %d", s.Dst, s.Val)
 	case StYield:
 		return "yield"
+	case StCondWait:
+		guard := "if"
+		if s.ForGuard {
+			guard = "for"
+		}
+		return fmt.Sprintf("cond%d.Wait[%s !ready]", s.C, guard)
+	case StCondSignal:
+		if s.SetReady {
+			return fmt.Sprintf("cond%d.Signal[ready=true]", s.C)
+		}
+		return fmt.Sprintf("cond%d.Signal", s.C)
+	case StCondBroadcast:
+		if s.SetReady {
+			return fmt.Sprintf("cond%d.Broadcast[ready=true]", s.C)
+		}
+		return fmt.Sprintf("cond%d.Broadcast", s.C)
+	case StTimerAfter:
+		return fmt.Sprintf("<-after(%d)", s.Dur)
+	case StTickerLoop:
+		return fmt.Sprintf("ticker(%d)x%d", s.Dur, s.N)
+	case StCtxCancel:
+		return fmt.Sprintf("cancel%d()", s.Cx)
+	case StCtxDone:
+		return fmt.Sprintf("<-ctx%d.Done()", s.Cx)
+	case StSemAcquire:
+		return fmt.Sprintf("sem%d.Acquire", s.Sem)
+	case StSemRelease:
+		return fmt.Sprintf("sem%d.Release", s.Sem)
 	default:
 		return fmt.Sprintf("stmt(%d)", int(s.Kind))
 	}
+}
+
+// Kinds reports every statement kind the program contains, folding select
+// arms into the kind they exercise (a ctx-done arm counts as StCtxDone, a
+// timeout arm as StTimerAfter). Sweeps use it to prove kind coverage.
+func (p *Program) Kinds() map[StmtKind]bool {
+	out := map[StmtKind]bool{}
+	var walk func(body []Stmt)
+	walk = func(body []Stmt) {
+		for _, s := range body {
+			out[s.Kind] = true
+			for _, c := range s.Cases {
+				switch {
+				case c.CtxDone:
+					out[StCtxDone] = true
+				case c.Timeout:
+					out[StTimerAfter] = true
+				}
+			}
+			walk(s.Body)
+		}
+	}
+	for _, body := range p.Goroutines {
+		walk(body)
+	}
+	return out
+}
+
+// FixedCondVariant returns a copy of p with the paper's recommended
+// missed-signal fix applied to every top-level cond statement: waits become
+// for-guarded, and signals become predicate-setting broadcasts. The
+// metamorphic liveness pass requires the oracle to stay quiet on the fixed
+// variant of any flagged program. Cond statements are top-level by
+// construction, so the rewrite does not descend into Once bodies.
+func FixedCondVariant(p *Program) *Program {
+	q := *p
+	q.Goroutines = make([][]Stmt, len(p.Goroutines))
+	for gi, body := range p.Goroutines {
+		nb := make([]Stmt, len(body))
+		copy(nb, body)
+		for i := range nb {
+			switch nb[i].Kind {
+			case StCondWait:
+				nb[i].ForGuard = true
+			case StCondSignal, StCondBroadcast:
+				nb[i].Kind = StCondBroadcast
+				nb[i].SetReady = true
+			}
+		}
+		q.Goroutines[gi] = nb
+	}
+	return &q
 }
 
 // String renders the whole program.
 func (p *Program) String() string {
 	out := fmt.Sprintf("program seed=%d chans=%v mutexes=%d rwmutexes=%d wgs=%d onces=%d vars=%d racy=%v\n",
 		p.Seed, p.Chans, p.Mutexes, p.RWMutexes, p.WaitGroups, p.Onces, p.Vars, p.RacyVars)
+	if p.Conds > 0 || len(p.Ctxs) > 0 || len(p.Sems) > 0 {
+		out += fmt.Sprintf("  conds=%d ctxs=%v sems=%v signalGuaranteed=%v condOrphaned=%v\n",
+			p.Conds, p.Ctxs, p.Sems, p.SignalGuaranteed, p.CondOrphaned)
+	}
 	for gi, body := range p.Goroutines {
 		name := fmt.Sprintf("g%d", gi)
 		if gi == 0 {

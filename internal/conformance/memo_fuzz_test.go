@@ -24,6 +24,10 @@ func FuzzMemoCanonicalHash(f *testing.F) {
 	for seed := int64(0); seed < 12; seed++ {
 		f.Add(seed, seed%2 == 0)
 	}
+	// Seeds whose programs reach the cond/timer/ticker/ctx/sem kinds.
+	for _, seed := range []int64{28, 243, 254, 457} {
+		f.Add(seed, true)
+	}
 	f.Fuzz(func(t *testing.T, seed int64, safe bool) {
 		if seed < 0 {
 			seed = -(seed + 1)

@@ -72,6 +72,8 @@ func PanicClass(msg string) string {
 		return "negative-waitgroup"
 	case strings.Contains(msg, "concurrent map"):
 		return "concurrent-map"
+	case strings.Contains(msg, "release of un-acquired semaphore"):
+		return "sem-release-unacquired"
 	default:
 		return "unrecognized: " + msg
 	}
@@ -115,6 +117,13 @@ type SimSpace struct {
 	// reports "races" on vars the *host* accesses under per-var locks —
 	// only a racy-var report predicts a host -race report.
 	RacyVarSchedules int
+	// CondBlocked counts non-panicking schedules that end with at least
+	// one goroutine parked on a condition variable. The liveness oracle:
+	// for signal-guaranteed programs with complete exploration this must
+	// be 0 — every CondWait can wake on every schedule. (Panicking runs
+	// are excluded: a crash legitimately strands waiters, identically on
+	// both backends.)
+	CondBlocked int
 }
 
 // Allows reports whether the host observation sig is a member of the space.
@@ -206,6 +215,14 @@ func ExploreSimReduced(p *Program, maxSchedules int, withRace, reduce bool) *Sim
 			if r.Outcome == sim.OutcomeStepLimit {
 				sp.StepLimited++
 			}
+			if r.Outcome != sim.OutcomePanic && r.Outcome != sim.OutcomeStepLimit {
+				for _, gi := range r.Blocked {
+					if gi.BlockKind == sim.BlockCond {
+						sp.CondBlocked++
+						break
+					}
+				}
+			}
 			if obs != nil {
 				reports := obs.det.Reports()
 				if len(reports) > 0 {
@@ -245,6 +262,9 @@ type CheckOptions struct {
 	// reduction: the same signature set from far fewer schedules, so
 	// complete (strict) exploration fits the budget on more programs.
 	Reduction bool
+	// Families narrows the primitive families the generator draws from
+	// (nil: all). CI's per-primitive lanes set this via godetect -kinds.
+	Families *Families
 }
 
 func (o CheckOptions) withDefaults() CheckOptions {
@@ -261,17 +281,29 @@ func (o CheckOptions) withDefaults() CheckOptions {
 }
 
 // Divergence is one sim-vs-host disagreement: the host runtime produced a
-// terminal state the simulator's complete schedule space does not contain.
+// terminal state the simulator's complete schedule space does not contain —
+// or, with Liveness set, the missed-signal liveness oracle fired.
 type Divergence struct {
 	Seed    int64
 	Host    Signature
 	Space   *SimSpace
 	Program *Program
+	// Liveness marks a missed-signal liveness violation instead of a
+	// membership failure: a signal-guaranteed program whose complete
+	// exploration contains schedules ending with a goroutine parked on a
+	// cond. Host is zero for these.
+	Liveness bool
 }
 
 // String renders the divergence with everything needed to reproduce it
 // standalone: the generator seed, the program, and the replay command.
 func (d *Divergence) String() string {
+	if d.Liveness {
+		return fmt.Sprintf(
+			"LIVENESS VIOLATION at generator seed %d: program is signal-guaranteed but %d of %d schedules end parked on a cond\n%s"+
+				"reproduce with: go test ./internal/conformance -run TestReplaySeed -conformance.seed=%d -v",
+			d.Seed, d.Space.CondBlocked, d.Space.Schedules, d.Program, d.Seed)
+	}
 	return fmt.Sprintf(
 		"DIVERGENCE at generator seed %d: host runtime observed %v, simulator reaches %s\n%s"+
 			"reproduce with: go test ./internal/conformance -run TestReplaySeed -conformance.seed=%d -v",
@@ -300,9 +332,27 @@ type CheckResult struct {
 // space, runs it once on the real runtime, and cross-checks the outcomes.
 func CheckSeed(seed int64, opts CheckOptions) *CheckResult {
 	opts = opts.withDefaults()
-	p := Generate(seed, ModeSafe)
+	fams := AllFamilies
+	if opts.Families != nil {
+		fams = *opts.Families
+	}
+	return CheckProgram(GenerateWith(seed, ModeSafe, fams), opts)
+}
+
+// CheckProgram runs the differential check on an already-built program —
+// the path hand-written regression programs (Seed 0) share with generated
+// ones.
+func CheckProgram(p *Program, opts CheckOptions) *CheckResult {
+	opts = opts.withDefaults()
 	space := ExploreSimReduced(p, opts.MaxSchedules, false, opts.Reduction)
-	res := &CheckResult{Seed: seed, Program: p, Space: space}
+	res := &CheckResult{Seed: p.Seed, Program: p, Space: space}
+	// Missed-signal liveness oracle: a signal-guaranteed program whose
+	// complete schedule space still contains cond-parked terminal states
+	// is a generator or simulator bug, regardless of what the host does.
+	if p.SignalGuaranteed && space.Complete && space.CondBlocked > 0 {
+		res.Divergence = &Divergence{Seed: p.Seed, Space: space, Program: p, Liveness: true}
+		return res
+	}
 	if raceEnabled && closeUnordered(p) {
 		return res
 	}
@@ -315,7 +365,7 @@ func CheckSeed(seed int64, opts CheckOptions) *CheckResult {
 	if space.Complete {
 		res.Strict = true
 		if !space.Allows(res.Host) {
-			res.Divergence = &Divergence{Seed: seed, Host: res.Host, Space: space, Program: p}
+			res.Divergence = &Divergence{Seed: p.Seed, Host: res.Host, Space: space, Program: p}
 		}
 	}
 	return res
@@ -348,6 +398,12 @@ type SweepStats struct {
 	StepLimited int // schedules that hit the sim step budget (harness bug if nonzero)
 	HostSkipped int // host halves skipped under -race (closeUnordered programs)
 	HostKinds   map[string]int
+	// KindCoverage counts programs containing each statement kind, the
+	// sweep's evidence that the whole IR is exercised.
+	KindCoverage map[StmtKind]int
+	// SignalGuaranteed counts programs subject to the missed-signal
+	// liveness oracle.
+	SignalGuaranteed int
 	// AllHungConfirmed counts programs where every sim schedule hangs and
 	// the host run indeed hung — the deadlock-direction oracle.
 	AllHungConfirmed int
@@ -407,7 +463,7 @@ func Sweep(opts SweepOptions) *SweepStats {
 	close(next)
 	wg.Wait()
 
-	st := &SweepStats{Programs: opts.Programs, HostKinds: map[string]int{}}
+	st := &SweepStats{Programs: opts.Programs, HostKinds: map[string]int{}, KindCoverage: map[StmtKind]int{}}
 	for i, r := range results {
 		if errs[i] != nil {
 			st.Errors = append(st.Errors, errs[i])
@@ -422,6 +478,17 @@ func Sweep(opts SweepOptions) *SweepStats {
 		}
 		st.Schedules += r.Space.Schedules
 		st.StepLimited += r.Space.StepLimited
+		for k := range r.Program.Kinds() {
+			st.KindCoverage[k]++
+		}
+		if r.Program.SignalGuaranteed {
+			st.SignalGuaranteed++
+		}
+		if r.Divergence != nil {
+			// Collected before the HostRan gate: liveness violations skip
+			// the host half entirely.
+			st.Divergences = append(st.Divergences, r.Divergence)
+		}
 		if !r.HostRan {
 			st.HostSkipped++
 			continue
@@ -429,9 +496,6 @@ func Sweep(opts SweepOptions) *SweepStats {
 		st.HostKinds[r.Host.Kind]++
 		if r.Space.Complete && r.Space.AllHung() && r.Host.Kind == KindHung {
 			st.AllHungConfirmed++
-		}
-		if r.Divergence != nil {
-			st.Divergences = append(st.Divergences, r.Divergence)
 		}
 	}
 	switch {

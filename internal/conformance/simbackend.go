@@ -2,21 +2,48 @@ package conformance
 
 import (
 	"fmt"
+	"time"
 
 	"goconcbugs/internal/sim"
 )
+
+// Duration ranks map to backend-specific durations. The simulator runs on
+// virtual time, so its unit is nominal; the host units are chosen large
+// enough that real scheduling noise cannot fire a timeout before a merely
+// slow (but runnable) counterpart acts, yet small enough to stay far under
+// the oracle's FinishPatience watchdog.
+func simDur(rank int) time.Duration { return time.Duration(rank) * time.Millisecond }
+
+func hostAfterDur(rank int) time.Duration { return time.Duration(rank) * 100 * time.Millisecond }
+
+// hostTickDur is shorter than hostAfterDur: ticker ticks are unconditional
+// (no competing case can lose to them), so they only need to be nonzero.
+func hostTickDur(rank int) time.Duration { return time.Duration(rank) * 3 * time.Millisecond }
+
+// simCond is a cond resource's instantiation: the cond, its dedicated
+// mutex, and its ready predicate. The predicate is a sim.Var (not a plain
+// bool) so DPOR footprints and the HB race detector see its accesses.
+type simCond struct {
+	mu    *sim.Mutex
+	c     *sim.Cond
+	ready *sim.Var[int64]
+}
 
 // simEnv is one run's instantiation of a program's resources on the
 // simulated runtime. The oracle reads terminal var state from it after
 // sim.Run returns.
 type simEnv struct {
-	p     *Program
-	chans []sim.Chan[int64]
-	mus   []*sim.Mutex
-	rws   []*sim.RWMutex
-	wgs   []*sim.WaitGroup
-	onces []*sim.Once
-	vars  []*sim.Var[int64]
+	p       *Program
+	chans   []sim.Chan[int64]
+	mus     []*sim.Mutex
+	rws     []*sim.RWMutex
+	wgs     []*sim.WaitGroup
+	onces   []*sim.Once
+	vars    []*sim.Var[int64]
+	conds   []*simCond
+	ctxs    []*sim.Context
+	cancels []sim.CancelFunc
+	sems    []*sim.Semaphore
 }
 
 // simProgram compiles p into a sim.Program. Every invocation builds fresh
@@ -51,6 +78,26 @@ func simProgram(p *Program) (prog sim.Program, envSlot **simEnv) {
 		for i := 0; i < p.Vars; i++ {
 			env.vars = append(env.vars, sim.NewVar[int64](t, fmt.Sprintf("v%d", i)))
 		}
+		for i := 0; i < p.Conds; i++ {
+			mu := sim.NewMutex(t, fmt.Sprintf("cond%d.mu", i))
+			env.conds = append(env.conds, &simCond{
+				mu:    mu,
+				c:     sim.NewCond(t, mu, fmt.Sprintf("cond%d", i)),
+				ready: sim.NewVar[int64](t, fmt.Sprintf("cond%d.ready", i)),
+			})
+		}
+		for _, d := range p.Ctxs {
+			parent := sim.Background(t)
+			if d.Parent >= 0 {
+				parent = env.ctxs[d.Parent]
+			}
+			ctx, cancel := sim.WithCancel(t, parent)
+			env.ctxs = append(env.ctxs, ctx)
+			env.cancels = append(env.cancels, cancel)
+		}
+		for i, n := range p.Sems {
+			env.sems = append(env.sems, sim.NewSemaphore(t, fmt.Sprintf("sem%d", i), n))
+		}
 		env.exec(t, p.Goroutines[0])
 	}, slot
 }
@@ -76,13 +123,19 @@ func (env *simEnv) exec(t *sim.T, body []Stmt) {
 		case StSelect:
 			cases := make([]sim.Case, 0, len(s.Cases)+1)
 			for _, c := range s.Cases {
-				if c.Send {
+				switch {
+				case c.CtxDone:
+					cases = append(cases, sim.OnRecv[struct{}](env.ctxs[c.Cx].Done(), nil))
+				case c.Timeout:
+					cases = append(cases, sim.OnRecv[int64](sim.After(t, simDur(c.Dur)), nil))
+				case c.Send:
 					cases = append(cases, sim.OnSend(env.chans[c.Ch], c.Val, nil))
-				} else if dst := c.Dst; dst >= 0 {
+				case c.Dst >= 0:
+					dst := c.Dst
 					cases = append(cases, sim.OnRecv(env.chans[c.Ch], func(v int64, ok bool) {
 						env.vars[dst].Store(t, v)
 					}))
-				} else {
+				default:
 					cases = append(cases, sim.OnRecv[int64](env.chans[c.Ch], nil))
 				}
 			}
@@ -119,6 +172,45 @@ func (env *simEnv) exec(t *sim.T, body []Stmt) {
 			env.vars[s.Dst].Store(t, v+s.Val)
 		case StYield:
 			t.Yield()
+		case StCondWait:
+			cd := env.conds[s.C]
+			cd.mu.Lock(t)
+			if s.ForGuard {
+				for cd.ready.Load(t) == 0 {
+					cd.c.Wait(t)
+				}
+			} else if cd.ready.Load(t) == 0 {
+				cd.c.Wait(t)
+			}
+			cd.mu.Unlock(t)
+		case StCondSignal, StCondBroadcast:
+			cd := env.conds[s.C]
+			cd.mu.Lock(t)
+			if s.SetReady {
+				cd.ready.Store(t, 1)
+			}
+			if s.Kind == StCondSignal {
+				cd.c.Signal(t)
+			} else {
+				cd.c.Broadcast(t)
+			}
+			cd.mu.Unlock(t)
+		case StTimerAfter:
+			sim.After(t, simDur(s.Dur)).Recv(t)
+		case StTickerLoop:
+			tk := sim.NewTickerN(t, simDur(s.Dur), s.N)
+			for i := 0; i < s.N; i++ {
+				tk.C.Recv(t)
+			}
+			tk.Stop(t)
+		case StCtxCancel:
+			env.cancels[s.Cx](t)
+		case StCtxDone:
+			env.ctxs[s.Cx].Done().Recv(t)
+		case StSemAcquire:
+			env.sems[s.Sem].Acquire(t)
+		case StSemRelease:
+			env.sems[s.Sem].Release(t)
 		default:
 			panic(fmt.Sprintf("conformance: unknown statement kind %d", s.Kind))
 		}

@@ -1,0 +1,139 @@
+package conformance
+
+import (
+	"testing"
+	"time"
+)
+
+// missedSignalProgram is the paper's Section 5.1.1 missed-signal bug as IR:
+// the waiter guards with `if` and the signaller signals without setting the
+// predicate, so a signal delivered before the waiter parks is lost and the
+// waiter sleeps forever on some schedules.
+func missedSignalProgram() *Program {
+	return &Program{
+		Conds: 1,
+		Goroutines: [][]Stmt{
+			{
+				{Kind: StSpawn, G: 1},
+				{Kind: StCondSignal, C: 0}, // no SetReady: wake-up is lossy
+			},
+			{
+				{Kind: StCondWait, C: 0}, // if-guard: a lost signal strands it
+			},
+		},
+	}
+}
+
+// TestLivenessMetamorphicCondPair is the metamorphic check behind the
+// missed-signal oracle: the buggy variant's schedule space must contain
+// runs that end parked on the cond, and the mechanically fixed variant
+// (for-guard + broadcast that sets the predicate) must be completely quiet.
+func TestLivenessMetamorphicCondPair(t *testing.T) {
+	t.Parallel()
+	buggy := missedSignalProgram()
+	sp := ExploreSim(buggy, 600, false)
+	if !sp.Complete {
+		t.Fatalf("missed-signal space not fully explored: %s", sp.Summary())
+	}
+	if sp.CondBlocked == 0 {
+		t.Fatalf("no schedule ends parked on the cond; the missed-signal bug is unreachable: %s", sp.Summary())
+	}
+
+	fixed := FixedCondVariant(buggy)
+	sp = ExploreSim(fixed, 600, false)
+	if !sp.Complete {
+		t.Fatalf("fixed-variant space not fully explored: %s", sp.Summary())
+	}
+	if sp.CondBlocked != 0 {
+		t.Fatalf("fixed variant still parks on the cond in %d schedules: %s", sp.CondBlocked, sp.Summary())
+	}
+	if sp.AllowsHang() {
+		t.Fatalf("fixed variant can still hang: %s", sp.Summary())
+	}
+}
+
+// TestLivenessOracleFiresOnSeededBug drives the full CheckSeed path: a
+// program tagged SignalGuaranteed whose guarantee is a lie must produce a
+// liveness divergence, without any host run.
+func TestLivenessOracleFiresOnSeededBug(t *testing.T) {
+	t.Parallel()
+	p := missedSignalProgram()
+	p.SignalGuaranteed = true // falsely claimed; the oracle must catch it
+	res := CheckProgram(p, CheckOptions{})
+	if res.Divergence == nil || !res.Divergence.Liveness {
+		t.Fatalf("liveness oracle silent on a missed-signal program: %+v", res.Divergence)
+	}
+	if res.HostRan {
+		t.Error("host ran despite a sim-side liveness verdict")
+	}
+}
+
+// ctxLeakProgram is the paper's Section 5.1.2 context-cancellation leak:
+// the receiver gives up via ctx.Done() while the sender's bare send has no
+// second way out — schedules where the cancel wins strand the sender.
+func ctxLeakProgram() *Program {
+	return &Program{
+		Chans: []ChanDecl{{Cap: 0}},
+		Ctxs:  []CtxDecl{{Parent: -1}},
+		Goroutines: [][]Stmt{
+			{
+				{Kind: StSpawn, G: 1},
+				{Kind: StSpawn, G: 2},
+			},
+			{
+				{Kind: StSelect, Cases: []SelCase{
+					{Dst: -1, Ch: 0},
+					{CtxDone: true, Cx: 0},
+				}},
+			},
+			{
+				{Kind: StCtxCancel, Cx: 0},
+				{Kind: StSend, Ch: 0, Val: 1},
+			},
+		},
+	}
+}
+
+// TestCtxLeakShapeReachable pins that the context-leak shape really is
+// schedule-dependent on the simulator: some schedules finish (receiver takes
+// the channel arm) and some hang with the sender blocked (receiver took
+// ctx.Done first) — the two outcomes the membership oracle must reconcile
+// with whichever one the host draws.
+func TestCtxLeakShapeReachable(t *testing.T) {
+	t.Parallel()
+	p := ctxLeakProgram()
+	sp := ExploreSim(p, 600, false)
+	if !sp.Complete {
+		t.Fatalf("ctx-leak space not fully explored: %s", sp.Summary())
+	}
+	var done, hung bool
+	for sig := range sp.Sigs {
+		switch sig.Kind {
+		case KindDone:
+			done = true
+		case KindHung:
+			hung = true
+		}
+	}
+	if !done || !hung {
+		t.Fatalf("ctx-leak shape lost an outcome (done=%v hung=%v): %s", done, hung, sp.Summary())
+	}
+}
+
+// TestHostMissedSignalFailsFast pins the host-side deadline guard: because
+// the sim declares the hang reachable, the host run gets the short patience
+// and a genuinely stranded cond waiter comes back as a structured hung
+// verdict in well under a second — not a test-suite timeout.
+func TestHostMissedSignalFailsFast(t *testing.T) {
+	t.Parallel()
+	start := time.Now()
+	sig := RunHost(missedSignalProgram(), 100*time.Millisecond)
+	elapsed := time.Since(start)
+	// The host may win the race and finish; what it must never do is stall.
+	if sig.Kind != KindHung && sig.Kind != KindDone {
+		t.Fatalf("host outcome = %v, want hung or done", sig)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("host classification took %v; the deadline guard is broken", elapsed)
+	}
+}

@@ -1,0 +1,73 @@
+package sim
+
+import "testing"
+
+// A Broadcast with no waiter parked is a no-op — it must neither panic nor
+// wake anything retroactively, exactly like sync.Cond.
+func TestCondBroadcastZeroWaiters(t *testing.T) {
+	res := Run(Config{Seed: 1}, func(tt *T) {
+		mu := NewMutex(tt, "mu")
+		c := NewCond(tt, mu, "c")
+		mu.Lock(tt)
+		c.Broadcast(tt)
+		mu.Unlock(tt)
+	})
+	if res.Outcome != OutcomeOK {
+		t.Fatalf("outcome = %v, want OK", res.Outcome)
+	}
+	if len(res.Leaked) != 0 {
+		t.Fatalf("leaked = %+v, want none", res.Leaked)
+	}
+}
+
+// Signals are not queued: one delivered before any waiter parks is lost, and
+// a Wait that starts afterwards parks forever (the paper's missed-signal
+// shape, Section 5.1.1). The leaked goroutine must be reported blocked on
+// the cond, not on its mutex.
+func TestCondSignalBeforeWaitIsLost(t *testing.T) {
+	res := Run(Config{Seed: 1}, func(tt *T) {
+		mu := NewMutex(tt, "mu")
+		c := NewCond(tt, mu, "c")
+		mu.Lock(tt)
+		c.Signal(tt) // no waiter yet: lost
+		mu.Unlock(tt)
+		tt.Go(func(ct *T) {
+			mu.Lock(ct)
+			c.Wait(ct) // parks after the only signal; sleeps forever
+			mu.Unlock(ct)
+		})
+		tt.Sleep(10)
+	})
+	if len(res.Leaked) != 1 || res.Leaked[0].BlockKind != BlockCond {
+		t.Fatalf("leaked = %+v, want one goroutine blocked on the cond", res.Leaked)
+	}
+}
+
+// The non-buggy ordering: a waiter that parks first is woken by a later
+// Signal, and a second Signal with the waiter already gone is a no-op.
+func TestCondWaitThenSignalWakes(t *testing.T) {
+	res := Run(Config{Seed: 1}, func(tt *T) {
+		mu := NewMutex(tt, "mu")
+		c := NewCond(tt, mu, "c")
+		woke := NewAtomicInt64(tt, "woke")
+		tt.Go(func(ct *T) {
+			mu.Lock(ct)
+			c.Wait(ct)
+			mu.Unlock(ct)
+			woke.Store(ct, 1)
+		})
+		tt.Sleep(5) // let the waiter park
+		mu.Lock(tt)
+		c.Signal(tt)
+		c.Signal(tt) // second signal: no waiter left, must be a no-op
+		mu.Unlock(tt)
+		tt.Sleep(5)
+		tt.Check(woke.Load(tt) == 1, "waiter did not wake after Signal")
+	})
+	if res.Failed() {
+		t.Fatalf("failed: %+v", res.CheckFailures)
+	}
+	if len(res.Leaked) != 0 {
+		t.Fatalf("leaked = %+v, want none", res.Leaked)
+	}
+}

@@ -1,0 +1,65 @@
+package sim
+
+import "testing"
+
+// Cancelling twice is the documented contract ("the first call cancels, the
+// rest are no-ops"): the second call must neither panic (double close) nor
+// disturb Err.
+func TestContextDoubleCancel(t *testing.T) {
+	res := Run(Config{Seed: 1}, func(tt *T) {
+		ctx, cancel := WithCancel(tt, Background(tt))
+		cancel(tt)
+		cancel(tt)
+		tt.Check(ctx.Err() == ErrCanceled, "Err after double cancel")
+		ctx.Done().Recv(tt) // closed: must not block
+	})
+	if res.Outcome != OutcomeOK {
+		t.Fatalf("outcome = %v, want OK", res.Outcome)
+	}
+	if res.Failed() {
+		t.Fatalf("failed: %+v", res.CheckFailures)
+	}
+}
+
+// A child derived from an already-cancelled parent must still observe the
+// cancellation: the propagation goroutine sees the parent's closed Done as
+// soon as it runs, so the child's Done closes and nothing leaks.
+func TestContextChildAfterParentCancel(t *testing.T) {
+	res := Run(Config{Seed: 1}, func(tt *T) {
+		parent, cancelParent := WithCancel(tt, Background(tt))
+		cancelParent(tt)
+		child, _ := WithCancel(tt, parent)
+		child.Done().Recv(tt) // must unblock via propagation
+		tt.Check(child.Err() == ErrCanceled, "child Err after parent cancel")
+	})
+	if res.Outcome != OutcomeOK {
+		t.Fatalf("outcome = %v, want OK", res.Outcome)
+	}
+	if res.Failed() {
+		t.Fatalf("failed: %+v", res.CheckFailures)
+	}
+	if len(res.Leaked) != 0 {
+		t.Fatalf("leaked = %+v, want none (propagate goroutine must exit)", res.Leaked)
+	}
+}
+
+// Cancelling only the child must not cancel the parent, and the propagation
+// goroutine must exit via its own-cancel arm rather than leak.
+func TestContextChildCancelLeavesParentLive(t *testing.T) {
+	res := Run(Config{Seed: 1}, func(tt *T) {
+		parent, _ := WithCancel(tt, Background(tt))
+		child, cancelChild := WithCancel(tt, parent)
+		cancelChild(tt)
+		child.Done().Recv(tt)
+		tt.Check(parent.Err() == nil, "parent cancelled by child cancel")
+	})
+	if res.Outcome != OutcomeOK {
+		t.Fatalf("outcome = %v, want OK", res.Outcome)
+	}
+	if res.Failed() {
+		t.Fatalf("failed: %+v", res.CheckFailures)
+	}
+	if len(res.Leaked) != 0 {
+		t.Fatalf("leaked = %+v, want none", res.Leaked)
+	}
+}

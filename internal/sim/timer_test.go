@@ -1,0 +1,80 @@
+package sim
+
+import "testing"
+
+// Stop after the timer has fired returns false — the expired-timer drain
+// idiom (`if !t.Stop() { <-t.C }`) depends on it — and the fired value
+// stays buffered in C.
+func TestTimerStopAfterFire(t *testing.T) {
+	res := Run(Config{Seed: 1}, func(tt *T) {
+		tm := NewTimer(tt, 5)
+		tt.Sleep(10) // virtual clock passes the deadline; the timer fires
+		tt.Check(!tm.Stop(tt), "Stop after fire reported the timer still pending")
+		tt.Check(tm.C.Len() == 1, "fired value not buffered in C")
+		tm.C.Recv(tt) // drain; must not block
+	})
+	if res.Failed() {
+		t.Fatalf("failed: %+v", res.CheckFailures)
+	}
+	if res.Outcome != OutcomeOK {
+		t.Fatalf("outcome = %v, want OK", res.Outcome)
+	}
+}
+
+// Stop before the deadline disarms: it returns true and nothing is ever
+// delivered on C.
+func TestTimerStopBeforeFire(t *testing.T) {
+	res := Run(Config{Seed: 1}, func(tt *T) {
+		tm := NewTimer(tt, 50)
+		tt.Check(tm.Stop(tt), "Stop before the deadline reported already-fired")
+		tt.Sleep(100)
+		tt.Check(tm.C.Len() == 0, "stopped timer still delivered")
+	})
+	if res.Failed() {
+		t.Fatalf("failed: %+v", res.CheckFailures)
+	}
+}
+
+// Reset racing a concurrent receiver: whichever way the schedule orders the
+// old deadline against the Reset, the receiver gets exactly one value per
+// arming that was allowed to complete, never a duplicate from the disarmed
+// entry. Explored across seeds to cover both orderings.
+func TestTimerResetRace(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		res := Run(Config{Seed: seed}, func(tt *T) {
+			tm := NewTimer(tt, 5)
+			got := NewAtomicInt64(tt, "got")
+			tt.Go(func(ct *T) {
+				tm.C.Recv(ct)
+				got.Add(ct, 1)
+			})
+			tm.Reset(tt, 3) // may land before or after the first fire
+			tt.Sleep(50)
+			tt.Check(got.Load(tt) == 1, "receiver must see exactly one delivery")
+			tt.Check(tm.C.Len() == 0, "stale delivery left buffered after Reset")
+		})
+		if res.Failed() {
+			t.Fatalf("seed %d failed: %+v", seed, res.CheckFailures)
+		}
+		if len(res.Leaked) != 0 {
+			t.Fatalf("seed %d leaked: %+v", seed, res.Leaked)
+		}
+	}
+}
+
+// Reset after a fire re-arms for a second delivery, as time.Timer does once
+// the first value is drained.
+func TestTimerResetAfterFireRedelivers(t *testing.T) {
+	res := Run(Config{Seed: 1}, func(tt *T) {
+		tm := NewTimer(tt, 5)
+		tt.Sleep(10)
+		tm.C.Recv(tt)
+		tm.Reset(tt, 5)
+		tt.Sleep(10)
+		tt.Check(tm.C.Len() == 1, "reset timer did not fire again")
+		tm.C.Recv(tt)
+	})
+	if res.Failed() {
+		t.Fatalf("failed: %+v", res.CheckFailures)
+	}
+}
