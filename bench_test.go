@@ -6,7 +6,9 @@ package goconcbugs
 // the underlying computation.
 
 import (
+	"bytes"
 	"fmt"
+	"io"
 	"sync"
 	"testing"
 	"time"
@@ -22,6 +24,7 @@ import (
 	"goconcbugs/internal/rpc"
 	"goconcbugs/internal/sim"
 	"goconcbugs/internal/stats"
+	"goconcbugs/internal/trace"
 	"goconcbugs/internal/vet"
 )
 
@@ -664,6 +667,76 @@ func BenchmarkPooledRun(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			pool.Run(sim.Config{Seed: int64(i), Sinks: []event.Sink{race.New(0)}}, prog)
+		}
+	})
+}
+
+// BenchmarkTraceArchive prices the trace-in/verdict-out split on the same
+// contended-counter workload the RaceDetectorOverhead gates use. "record" is
+// a live run with the streaming trace/v1 Recorder attached (compare against
+// BenchmarkRaceDetectorOverhead/without-detector for the recording
+// overhead); "replay" re-judges the archived stream through the full
+// race+vet+leak pipeline offline (compare against a live RunAll of the same
+// detectors for the replay-vs-live speedup); "size" reports the archive
+// bytes per run. The recorder-off hot path itself is guarded by the
+// benchgate's without-detector row: an empty sink set must keep paying
+// nothing for the existence of the codec.
+func BenchmarkTraceArchive(b *testing.B) {
+	prog := func(t *sim.T) {
+		x := sim.NewVar[int](t, "x")
+		mu := sim.NewMutex(t, "mu")
+		wg := sim.NewWaitGroup(t, "wg")
+		wg.Add(t, 2)
+		for g := 0; g < 2; g++ {
+			t.Go(func(ct *sim.T) {
+				for j := 0; j < 16; j++ {
+					mu.Lock(ct)
+					x.Store(ct, x.Load(ct)+1)
+					mu.Unlock(ct)
+				}
+				wg.Done(ct)
+			})
+		}
+		wg.Wait(t)
+	}
+	dets := []detect.Detector{
+		detect.MustLookup("race"), detect.MustLookup("vet"), detect.MustLookup("leak"),
+	}
+	archive := func(w io.Writer, seed int64) error {
+		tw := trace.NewWriter(w)
+		rec := tw.BeginRun(trace.RunMeta{Name: "bench", Runs: 1, Seed: seed})
+		res := sim.Run(sim.Config{Name: "bench", Seed: seed, Sinks: []event.Sink{rec}}, prog)
+		return rec.FinishRun(res, nil)
+	}
+	b.Run("record", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := archive(io.Discard, int64(i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("replay", func(b *testing.B) {
+		var buf bytes.Buffer
+		if err := archive(&buf, 1); err != nil {
+			b.Fatal(err)
+		}
+		data := buf.Bytes()
+		b.SetBytes(int64(len(data)))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := detect.RunAllTrace(bytes.NewReader(data), dets...); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("live-judged", func(b *testing.B) {
+		// The replay lane's live twin: same workload, same detectors, fresh
+		// simulation per judging — replay speedup = live-judged / replay.
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			detect.RunAll(sim.Config{Name: "bench", Seed: 1}, prog, dets...)
 		}
 	})
 }

@@ -10,6 +10,8 @@
 //	godetect -kernel docker-abba-order -systematic -dpor
 //	godetect -detectors                   # list the detector registry
 //	godetect -kernel etcd-wal-doubleclose -with race,vet,leak
+//	godetect -kernel docker-abba-order -with race -record archive/
+//	godetect -kernel docker-abba-order -with race,vet,leak -replay archive/
 package main
 
 import (
@@ -18,6 +20,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"syscall"
@@ -64,6 +67,8 @@ func main() {
 	shards := flag.Int("shards", 1, "partition a -with sweep's seed range into this many contiguous shards, one process each (needs -resume for the shard checkpoints)")
 	shardIdx := flag.Int("shard", 0, "with -shards: the 0-based shard this process sweeps")
 	foldFlag := flag.Bool("fold", false, "with -shards: merge the shard checkpoints into the serial checkpoint and print the combined report instead of sweeping")
+	record := flag.String("record", "", "with -with: archive every run of the sweep as trace/v1 files under this directory (re-judge offline with -replay); -all records into per-kernel subdirectories")
+	replay := flag.String("replay", "", "re-judge a sweep archive recorded with -record instead of running live; pass the recording's -kernel/-all, -with, -runs, -seed, and -faults options (the detector set may differ — that is the point)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of this invocation to the file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to the file at exit")
 	flag.Parse()
@@ -117,6 +122,14 @@ func main() {
 				return 1
 			}
 		}
+		if (*record != "" || *replay != "") && dets == nil {
+			fmt.Fprintln(os.Stderr, "godetect: -record/-replay archive detector sweeps; add -with (see -detectors)")
+			return 2
+		}
+		if *replay != "" && (*record != "" || *shards > 1 || *foldFlag) {
+			fmt.Fprintln(os.Stderr, "godetect: -replay re-judges an existing archive; it cannot be combined with -record, -shards, or -fold")
+			return 2
+		}
 		if *shards > 1 || *foldFlag {
 			if *shards <= 1 {
 				fmt.Fprintln(os.Stderr, "godetect: -fold needs -shards N to know how many shard checkpoints to merge")
@@ -147,7 +160,8 @@ func main() {
 					checkpoint = *resume + "." + k.ID
 				}
 				if dets != nil {
-					f, err := pipelineSweep(ctx, k, *fixed, *runs, *seed, dets, checkpoint, injOpts, *shards, *shardIdx, *foldFlag)
+					f, err := pipelineSweep(ctx, k, *fixed, *runs, *seed, dets, checkpoint, injOpts, *shards, *shardIdx, *foldFlag,
+						kernelDir(*record, k.ID), kernelDir(*replay, k.ID))
 					if err != nil {
 						fmt.Fprintln(os.Stderr, "godetect:", err)
 						return 1
@@ -188,7 +202,7 @@ func main() {
 				fmt.Printf("wrote %s (open in chrome://tracing or ui.perfetto.dev)\n", *chrome)
 			}
 			if dets != nil {
-				fired, err := pipelineSweep(ctx, k, *fixed, *runs, *seed, dets, *resume, injOpts, *shards, *shardIdx, *foldFlag)
+				fired, err := pipelineSweep(ctx, k, *fixed, *runs, *seed, dets, *resume, injOpts, *shards, *shardIdx, *foldFlag, *record, *replay)
 				if err != nil {
 					fmt.Fprintln(os.Stderr, "godetect:", err)
 					return 1
@@ -285,6 +299,15 @@ func printReplay(k kernels.Kernel, fixed bool, firstRun int, seed int64, injOpts
 	fmt.Printf("    replay: %s\n", cmd)
 }
 
+// kernelDir places one kernel's archive under an -all record/replay base
+// directory; an empty base stays empty (feature off).
+func kernelDir(base, id string) string {
+	if base == "" {
+		return ""
+	}
+	return filepath.Join(base, id)
+}
+
 // pipelineSweep sweeps the kernel with the selected detector set attached to
 // every run's single event stream, printing per-detector stats. It reports
 // whether any detector fired — the caller turns that into a non-zero exit
@@ -294,7 +317,11 @@ func printReplay(k kernels.Kernel, fixed bool, firstRun int, seed int64, injOpts
 // a per-shard checkpoint; with fold it executes nothing and instead merges
 // the shard checkpoints into the serial checkpoint at the base path, folding
 // the combined report — byte-identical to an unsharded sweep's.
-func pipelineSweep(ctx context.Context, k kernels.Kernel, fixed bool, runs int, seed int64, dets []detect.Detector, checkpoint string, injOpts *inject.Options, shards, shardIdx int, fold bool) (bool, error) {
+//
+// recordDir archives every run as a trace/v1 file while sweeping; replayDir
+// executes nothing and re-judges such an archive offline instead, folding
+// the same report (and checkpoint) a live sweep of these options writes.
+func pipelineSweep(ctx context.Context, k kernels.Kernel, fixed bool, runs int, seed int64, dets []detect.Detector, checkpoint string, injOpts *inject.Options, shards, shardIdx int, fold bool, recordDir, replayDir string) (bool, error) {
 	label := "buggy"
 	if fixed {
 		label = "fixed"
@@ -307,9 +334,16 @@ func pipelineSweep(ctx context.Context, k kernels.Kernel, fixed bool, runs int, 
 		Context:     ctx,
 		InjectorFor: injectorFor(injOpts),
 		Checkpoint:  checkpoint,
+		RecordDir:   recordDir,
 	}
 	var sw *detect.SweepReport
 	switch {
+	case replayDir != "":
+		var err error
+		if sw, err = detect.ReplayDir(replayDir, opts, dets...); err != nil {
+			return false, err
+		}
+		label += ", offline replay"
 	case fold:
 		srcs := make([]string, shards)
 		for i := range srcs {

@@ -110,3 +110,55 @@ func TestConformanceEmitSrc(t *testing.T) {
 		t.Errorf("stderr lacks the IR rendering:\n%s", stderr)
 	}
 }
+
+// TestRecordThenReplaySweep archives a detector sweep with -record, re-judges
+// it with -replay, and requires the offline checkpoint to be byte-identical
+// to the live sweep's — the CLI face of the trace-in, verdict-out contract.
+func TestRecordThenReplaySweep(t *testing.T) {
+	dir := t.TempDir()
+	arch := filepath.Join(dir, "archive")
+	cpLive := filepath.Join(dir, "live.ckpt")
+	cpReplay := filepath.Join(dir, "replay.ckpt")
+
+	out, _, code := runCLI(t, "-kernel", "docker-abba-order", "-with", "race,leak",
+		"-runs", "10", "-record", arch, "-resume", cpLive)
+	if code != 0 {
+		t.Fatalf("record sweep: exit %d:\n%s", code, out)
+	}
+	if traces, _ := filepath.Glob(filepath.Join(arch, "*.trace")); len(traces) != 10 {
+		t.Fatalf("archive holds %d trace files, want 10", len(traces))
+	}
+
+	out, _, code = runCLI(t, "-kernel", "docker-abba-order", "-with", "race,leak",
+		"-runs", "10", "-replay", arch, "-resume", cpReplay)
+	if code != 0 {
+		t.Fatalf("replay sweep: exit %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "offline replay") {
+		t.Errorf("replay output lacks the offline-replay label:\n%s", out)
+	}
+
+	live, err := os.ReadFile(cpLive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replay, err := os.ReadFile(cpReplay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(live, replay) {
+		t.Error("replay checkpoint is not byte-identical to the live sweep's")
+	}
+}
+
+func TestRecordReplayFlagValidation(t *testing.T) {
+	for _, tc := range [][]string{
+		{"-kernel", "docker-abba-order", "-record", "x"},                                 // no -with
+		{"-kernel", "docker-abba-order", "-replay", "x"},                                 // no -with
+		{"-kernel", "docker-abba-order", "-with", "race", "-replay", "x", "-record", "y"}, // both
+	} {
+		if _, stderr, code := runCLI(t, tc...); code != 2 {
+			t.Errorf("%v: exit %d, want 2; stderr:\n%s", tc, code, stderr)
+		}
+	}
+}

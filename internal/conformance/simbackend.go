@@ -46,6 +46,15 @@ type simEnv struct {
 	sems    []*sim.Semaphore
 }
 
+// SimProgram compiles p into a sim.Program for external harnesses (the
+// offline-replay differential suite runs generated programs through the
+// detector pipeline). The final-variable environment is discarded; callers
+// that need terminal signatures go through ExploreSim instead.
+func SimProgram(p *Program) sim.Program {
+	prog, _ := simProgram(p)
+	return prog
+}
+
 // simProgram compiles p into a sim.Program. Every invocation builds fresh
 // resources, so the same value can be run under many seeds or schedules; the
 // returned slot points at the environment of the most recently *started*

@@ -19,6 +19,7 @@ package detect
 import (
 	"context"
 	"fmt"
+	"os"
 	"runtime"
 	"sort"
 	"strings"
@@ -269,6 +270,14 @@ type SweepOptions struct {
 	// fixed small interval would make checkpointing quadratic on large
 	// sweeps); the final state is always saved.
 	CheckpointEvery int
+	// RecordDir, when non-empty, archives every completed run as a
+	// trace/v1 file under it (run-NNNNN.trace, one frame per file, written
+	// atomically) for offline re-judging by ReplayDir. Frames are
+	// position-independent, so sharded sweeps recording into the same
+	// directory assemble the exact archive a serial sweep writes.
+	// Recording is best-effort with the same contract as Checkpoint: a
+	// write failure costs the archive entry, never the sweep.
+	RecordDir string
 	// ShardCount and ShardIndex restrict the sweep to one contiguous block
 	// of the seed range: with ShardCount > 1, only runs in shard ShardIndex
 	// (per harness.Shard) execute, and the report folds that block alone.
@@ -394,6 +403,11 @@ func Sweep(prog sim.Program, opts SweepOptions, dets ...Detector) *SweepReport {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	if opts.RecordDir != "" {
+		// Best-effort, like checkpoint saves: per-run recording quietly
+		// no-ops if the directory cannot exist.
+		_ = os.MkdirAll(opts.RecordDir, 0o755)
+	}
 
 	lo, hi := 0, opts.Runs
 	if opts.ShardCount > 1 {
@@ -442,8 +456,15 @@ func Sweep(prog sim.Program, opts SweepOptions, dets ...Detector) *SweepReport {
 		if opts.InjectorFor != nil {
 			cfg.Injector = opts.InjectorFor(i, cfg.Seed)
 		}
+		var rc *recording
+		if opts.RecordDir != "" {
+			rc = beginRecording(opts, i, &cfg)
+		}
 		var rep *Report
 		runErr := harness.Capture(i, cfg.Seed, func() { rep = runAll(pool, cfg, prog, dets) })
+		if rc != nil {
+			rc.finish(rep)
+		}
 		rec := &sweepRecord{Run: i, Seed: cfg.Seed, Err: runErr}
 		if runErr == nil {
 			rec.Verdicts = rep.Verdicts

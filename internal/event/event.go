@@ -44,6 +44,13 @@ import "goconcbugs/internal/hb"
 // Kind identifies the operation an Event describes. Kinds are deliberately
 // fine-grained — one per distinct emission point in the runtime — so a
 // consumer's subscription, not a coarse category, decides what it sees.
+//
+// The numeric values are part of the trace/v1 wire format (package trace
+// uses the Kind byte as the on-disk record tag), so the enum is
+// append-only: new kinds go immediately before NumKinds, and existing
+// values must never be reordered or removed — archived traces would decode
+// as the wrong operations. internal/trace's kind-pinning test fails loudly
+// on any accidental renumbering.
 type Kind uint8
 
 // The event taxonomy. "Attempt" kinds fire before an operation may block

@@ -521,9 +521,22 @@ func systematicParallel(prog sim.Program, opts SystematicOptions, bound, workers
 // interleaving. Both mismatches return an error (alongside the result of
 // the run as executed) instead of being silently coerced.
 func ReplaySchedule(prog sim.Program, cfg sim.Config, schedule []int) (*sim.Result, error) {
+	choose, check := ScheduleChooser(schedule)
+	cfg.Chooser = choose
+	r := sim.Run(cfg, prog)
+	return r, check()
+}
+
+// ScheduleChooser adapts a recorded decision sequence to a sim.Config.Chooser,
+// for harnesses that drive the run themselves (the offline-replay suite
+// re-executes DPOR-discovered schedules under the detector pipeline and a
+// trace recorder). The chooser is single-run; check, called after the run,
+// returns ReplaySchedule's mismatch error when the schedule did not fit the
+// program, nil when every decision was consumed exactly.
+func ScheduleChooser(schedule []int) (choose func(n, preferred int) int, check func() error) {
 	depth := 0
 	var mismatch error
-	cfg.Chooser = func(n, preferred int) int {
+	choose = func(n, preferred int) int {
 		c := 0
 		if depth < len(schedule) {
 			c = schedule[depth]
@@ -549,13 +562,15 @@ func ReplaySchedule(prog sim.Program, cfg sim.Config, schedule []int) (*sim.Resu
 		}
 		return c
 	}
-	r := sim.Run(cfg, prog)
-	if mismatch == nil && depth < len(schedule) {
-		mismatch = fmt.Errorf(
-			"explore: schedule mismatch: run ended after %d decisions but the schedule holds %d — the schedule was recorded against a different program or config",
-			depth, len(schedule))
+	check = func() error {
+		if mismatch == nil && depth < len(schedule) {
+			return fmt.Errorf(
+				"explore: schedule mismatch: run ended after %d decisions but the schedule holds %d — the schedule was recorded against a different program or config",
+				depth, len(schedule))
+		}
+		return mismatch
 	}
-	return r, mismatch
+	return choose, check
 }
 
 // VerifyAllSchedules is the patch-verification entry point: it reports

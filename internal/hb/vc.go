@@ -212,6 +212,19 @@ func (vc VC) Leq(other VC) bool {
 // Concurrent reports whether the two clocks are incomparable.
 func Concurrent(a, b VC) bool { return !a.Leq(b) && !b.Leq(a) }
 
+// Span returns the length of the clock's live prefix: one past the highest
+// goroutine id with a nonzero component. Two clocks with equal Span and
+// equal components over it are semantically equal — trailing zeros never
+// matter — so Span is the canonical length for serializing a clock
+// (package trace encodes exactly Span components).
+func (vc VC) Span() int {
+	n := len(vc.c)
+	for n > 0 && vc.c[n-1] == 0 {
+		n--
+	}
+	return n
+}
+
 // Len returns the number of nonzero components.
 func (vc VC) Len() int {
 	n := 0

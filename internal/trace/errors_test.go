@@ -1,0 +1,151 @@
+package trace_test
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+
+	"goconcbugs/internal/event"
+	"goconcbugs/internal/kernels"
+	"goconcbugs/internal/trace"
+)
+
+// drain decodes every frame of data to completion, returning the first
+// error (nil for a well-formed trace).
+func drain(data []byte) error {
+	tr, err := trace.NewReader(bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	for {
+		if _, err := tr.NextRun(); err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			return err
+		}
+		if _, err := tr.Replay(nil); err != nil {
+			return err
+		}
+	}
+}
+
+func TestNotATraceFile(t *testing.T) {
+	for name, data := range map[string][]byte{
+		"empty":       {},
+		"short":       []byte("goc"),
+		"wrong-magic": []byte("NOTTRACE" + "rest of some other file format"),
+		"json":        []byte(`{"fingerprint":"sweep/v1"}`),
+	} {
+		t.Run(name, func(t *testing.T) {
+			_, err := trace.NewReader(bytes.NewReader(data))
+			var fe *trace.FormatError
+			if !errors.As(err, &fe) {
+				t.Fatalf("NewReader = %v, want *FormatError", err)
+			}
+		})
+	}
+}
+
+func TestVersionMismatch(t *testing.T) {
+	data := append([]byte(trace.Magic), 2) // future version 2
+	_, err := trace.NewReader(bytes.NewReader(data))
+	var ve *trace.VersionError
+	if !errors.As(err, &ve) {
+		t.Fatalf("NewReader = %v, want *VersionError", err)
+	}
+	if ve.Version != 2 {
+		t.Errorf("VersionError.Version = %d, want 2", ve.Version)
+	}
+	if !strings.Contains(ve.Error(), "version 2") {
+		t.Errorf("error text %q does not name the offending version", ve.Error())
+	}
+}
+
+// TestTruncatedTrace cuts a real recorded trace at every prefix length and
+// asserts decoding reports structured truncation — *FormatError wrapping
+// io.ErrUnexpectedEOF — and never panics or loops.
+func TestTruncatedTrace(t *testing.T) {
+	k, _ := kernels.ByID("docker-abba-order")
+	data, _, _ := recordLive(t, k.Config(3), k.Buggy)
+	step := 1
+	if len(data) > 2048 {
+		step = len(data) / 512
+	}
+	for cut := 0; cut < len(data); cut += step {
+		if cut == len(trace.Magic)+1 {
+			continue // magic+version alone is a legal zero-frame trace
+		}
+		err := drain(data[:cut])
+		if err == nil {
+			t.Fatalf("drain of %d/%d-byte prefix succeeded, want truncation error", cut, len(data))
+		}
+		var fe *trace.FormatError
+		var ve *trace.VersionError
+		if !errors.As(err, &fe) && !errors.As(err, &ve) {
+			t.Fatalf("prefix %d: error %v is not structured", cut, err)
+		}
+	}
+	if err := drain(data); err != nil {
+		t.Fatalf("full trace failed to drain: %v", err)
+	}
+}
+
+// minimalHeader is a hand-built run frame header: empty fingerprint and
+// name, run 0 of 1, all-zero seeds/limits, no fault plan.
+func minimalHeader() []byte {
+	b := append([]byte(trace.Magic), 1) // version
+	b = append(b, 0x01)                 // tagRun
+	b = append(b, 0, 0)                 // fingerprint "", name ""
+	b = append(b, 0, 1)                 // run 0, runs 1
+	b = append(b, 0, 0, 0, 0)           // baseSeed, seed, maxSteps, leakThreshold
+	b = append(b, 0)                    // fault plan: empty
+	return b
+}
+
+func TestCorruptFrames(t *testing.T) {
+	for name, tail := range map[string][]byte{
+		// 0xFF is far beyond NumKinds: an event kind from a future schema.
+		"unknown-event-kind": {0xFF},
+		// String ref 5 with an empty intern table.
+		"undefined-string-ref": {byte(event.MemRead), 1, 5},
+		// A second run frame tag in event position decodes as Kind 1
+		// (MemRead) — but a giant length prefix must be rejected, not
+		// allocated: held-locks count 2^40 with flagHeld set.
+		"giant-length": {byte(event.MemRead), 1, 0, 0, 0, 0, 0x02, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x01},
+		// An 11-byte varint never terminates within 64 bits.
+		"varint-overflow": {byte(event.MemRead), 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80},
+	} {
+		t.Run(name, func(t *testing.T) {
+			err := drain(append(minimalHeader(), tail...))
+			var fe *trace.FormatError
+			if !errors.As(err, &fe) {
+				t.Fatalf("drain = %v, want *FormatError", err)
+			}
+			if fe.Offset <= 0 {
+				t.Errorf("FormatError.Offset = %d, want a positive byte position", fe.Offset)
+			}
+		})
+	}
+}
+
+func TestReplayBeforeNextRun(t *testing.T) {
+	tr, err := trace.NewReader(bytes.NewReader(minimalHeader()))
+	if err != nil {
+		t.Fatalf("NewReader: %v", err)
+	}
+	if _, err := tr.Replay(nil); err == nil {
+		t.Fatal("Replay before NextRun succeeded, want error")
+	}
+}
+
+func TestFingerprintErrorRendering(t *testing.T) {
+	err := &trace.FingerprintError{Have: "trace/v1 runs=10 prog=a", Want: "trace/v1 runs=10 prog=b"}
+	for _, want := range []string{"mismatch", "prog=a", "prog=b"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("FingerprintError text %q missing %q", err.Error(), want)
+		}
+	}
+}

@@ -1,0 +1,124 @@
+package trace_test
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"goconcbugs/internal/event"
+	"goconcbugs/internal/kernels"
+	"goconcbugs/internal/sim"
+	"goconcbugs/internal/trace"
+)
+
+// encodeSeed builds a canonical single-frame trace by hand for the fuzz
+// corpus: meta plus a synthetic event sequence exercising the optional
+// payload flags.
+func encodeSeed(meta trace.RunMeta, events []event.Event, res *sim.Result) []byte {
+	var buf bytes.Buffer
+	tw := trace.NewWriter(&buf)
+	rec := tw.BeginRun(meta)
+	for i := range events {
+		rec.Event(&events[i])
+	}
+	if err := rec.FinishRun(res, meta.FaultPlan); err != nil {
+		panic(err)
+	}
+	return buf.Bytes()
+}
+
+// fuzzSeeds builds the named seed inputs: the in-process f.Add seeds and
+// the checked-in corpus under testdata/fuzz/FuzzTraceRoundTrip (regenerated
+// by TestWriteFuzzCorpus -update) are the same list.
+func fuzzSeeds() []struct {
+	name string
+	data []byte
+} {
+	type seed = struct {
+		name string
+		data []byte
+	}
+	var seeds []seed
+	// Empty run: header + end marker + zero Result.
+	seeds = append(seeds, seed{"empty-run",
+		encodeSeed(trace.RunMeta{Name: "empty", Runs: 1}, nil, &sim.Result{})})
+	// Single event, minimal fields.
+	seeds = append(seeds, seed{"single-event",
+		encodeSeed(trace.RunMeta{Name: "one", Runs: 1},
+			[]event.Event{{Kind: event.GoExit, G: 1, GName: "main", Step: 1, Time: 50}},
+			&sim.Result{Name: "one", Outcome: sim.OutcomeOK})})
+	// Extreme Counter/Delta/Detail values and a fault plan blob.
+	seeds = append(seeds, seed{"max-values",
+		encodeSeed(trace.RunMeta{Name: "max", Runs: 1, FaultPlan: []byte(`{"seed":1,"budget":2,"faults":[]}`)},
+			[]event.Event{
+				{Kind: event.WGAdd, G: 1, Counter: int(^uint(0) >> 1), Delta: -(int(^uint(0)>>1) - 1), Detail: strings.Repeat("x", 512)},
+				{Kind: event.FaultInject, G: 2, Obj: "ch", ObjID: -9, Counter: 3, Detail: "oversleep"},
+			},
+			&sim.Result{Name: "max", Steps: 1 << 40, VirtualTime: -5})})
+	// A real kernel recording (all payload kinds, interning, VC deltas).
+	k, _ := kernels.ByID("docker-abba-order")
+	var kbuf bytes.Buffer
+	if _, err := trace.Record(&kbuf, trace.RunMeta{}, k.Config(11), k.Buggy); err != nil {
+		panic(err)
+	}
+	seeds = append(seeds, seed{"kernel-run", kbuf.Bytes()})
+	// Rejection cases: truncated file and corrupt header.
+	seeds = append(seeds, seed{"truncated", kbuf.Bytes()[:len(kbuf.Bytes())/2]})
+	seeds = append(seeds, seed{"corrupt-header", []byte("NOTATRACE-corrupt-header")})
+	seeds = append(seeds, seed{"future-version", []byte(trace.Magic + "\x02")})
+	return seeds
+}
+
+// TestWriteFuzzCorpus (-update) checks the seed inputs in as corpus files,
+// so `go test -fuzz` starts from them even on machines without the build
+// cache and the rejection cases are pinned as plain files.
+func TestWriteFuzzCorpus(t *testing.T) {
+	if !*update {
+		t.Skip("run with -update to regenerate the checked-in fuzz corpus")
+	}
+	dir := filepath.Join("testdata", "fuzz", "FuzzTraceRoundTrip")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for _, seed := range fuzzSeeds() {
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%s)\n", strconv.Quote(string(seed.data)))
+		if err := os.WriteFile(filepath.Join(dir, seed.name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// FuzzTraceRoundTrip throws arbitrary bytes at the decoder and checks two
+// properties. Robustness: decoding never panics, returning structured
+// errors on garbage. Canonical round-trip: when the input IS a well-formed
+// trace, re-encoding the decoded stream is itself decodable and a second
+// re-encode reproduces it byte for byte — the encoder is a fixpoint, so
+// decode(encode(stream)) == stream and archives survive arbitrarily many
+// rewrite cycles unchanged.
+func FuzzTraceRoundTrip(f *testing.F) {
+	for _, seed := range fuzzSeeds() {
+		f.Add(seed.data)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Robustness: arbitrary bytes must decode to a structured error or
+		// a valid stream, never a panic or runaway allocation.
+		first, err := reencode(data)
+		if err != nil {
+			return
+		}
+		// data was well-formed. Its canonical re-encoding must round-trip
+		// to a byte-identical fixpoint.
+		second, err := reencode(first)
+		if err != nil {
+			t.Fatalf("re-encoded trace failed to decode: %v", err)
+		}
+		if !bytes.Equal(first, second) {
+			t.Fatalf("re-encode is not a fixpoint: %d bytes then %d bytes", len(first), len(second))
+		}
+	})
+}

@@ -1,0 +1,62 @@
+package trace_test
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"goconcbugs/internal/kernels"
+	"goconcbugs/internal/trace"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden trace files")
+
+// goldenKernels are the three pinned representatives: a blocking mutex
+// cycle, a blocking channel bug, and a non-blocking data race — together
+// they exercise lock, channel, memory, scheduler, and lifecycle kinds.
+var goldenKernels = []string{
+	"docker-abba-order",
+	"grpc-missing-send",
+	"kubernetes-map-race",
+}
+
+// TestGoldenTraces pins the on-disk trace/v1 format: recording these
+// kernels must reproduce the checked-in archives byte for byte. A failure
+// means the codec's output changed — if that was intentional, bump
+// trace.Version and regenerate with -update; if not, you broke every
+// archived trace in the wild.
+func TestGoldenTraces(t *testing.T) {
+	for _, id := range goldenKernels {
+		k, ok := kernels.ByID(id)
+		if !ok {
+			t.Fatalf("kernel %q not registered", id)
+		}
+		t.Run(id, func(t *testing.T) {
+			data, _, _ := recordLive(t, k.Config(42), k.Buggy)
+			path := filepath.Join("testdata", "golden", id+".trace")
+			if *update {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, data, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update to create): %v", err)
+			}
+			if !bytes.Equal(data, want) {
+				i := 0
+				for i < len(data) && i < len(want) && data[i] == want[i] {
+					i++
+				}
+				t.Fatalf("recorded trace diverges from %s at byte %d (got %d bytes, want %d) — format change? bump trace.Version (now %d) and -update",
+					path, i, len(data), len(want), trace.Version)
+			}
+		})
+	}
+}

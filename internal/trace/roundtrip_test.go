@@ -1,0 +1,245 @@
+package trace_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+
+	"goconcbugs/internal/event"
+	"goconcbugs/internal/kernels"
+	"goconcbugs/internal/sim"
+	"goconcbugs/internal/trace"
+)
+
+// renderEvent canonicalizes one event into a comparable string during the
+// sink callback (the Event and its slices are runtime-owned and reused, so
+// rendering is also the cloning step).
+func renderEvent(ev *event.Event) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s step=%d time=%d g=%d gname=%q vc=%s held=%q obj=%q objid=%d",
+		ev.Kind, ev.Step, ev.Time, ev.G, ev.GName, ev.VC.String(), ev.HeldLocks, ev.Obj, ev.ObjID)
+	if ev.Var != nil {
+		fmt.Fprintf(&b, " var={%d %q %d}", ev.Var.ID, ev.Var.Name, ev.Var.CreatedBy)
+	}
+	fmt.Fprintf(&b, " ctr=%d delta=%d aux=%d dec=%d detail=%q",
+		ev.Counter, ev.Delta, ev.Aux, ev.Dec, ev.Detail)
+	if s := ev.Sched; s != nil {
+		fmt.Fprintf(&b, " sched={g=%d dec=%d pref=%d opts=%v", s.G, s.Decision, s.Preferred, s.OptionGs)
+		b.WriteString(" ops=[")
+		for i, op := range s.Ops {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "%d/%d/%t", op.Class, op.ID, op.Write)
+		}
+		b.WriteString("]}")
+	}
+	return b.String()
+}
+
+// renderResult canonicalizes a Result; nil and empty slices render alike,
+// matching their identical wire encoding.
+func renderResult(res *sim.Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "name=%q seed=%d outcome=%d steps=%d vtime=%d created=%d draws=%d deadlock=%q\n",
+		res.Name, res.Seed, res.Outcome, res.Steps, res.VirtualTime,
+		res.GoroutinesCreated, res.RandDraws, res.DeadlockReport)
+	rg := func(label string, gs []sim.GoroutineInfo) {
+		fmt.Fprintf(&b, "%s(%d):", label, len(gs))
+		for _, g := range gs {
+			fmt.Fprintf(&b, " {%d %q %d %d %q %d %d %d %d %q}",
+				g.ID, g.Name, g.State, g.BlockKind, g.BlockObj,
+				g.CreatedStep, g.CreatedTime, g.EndTime, g.BlockedSince, g.HeldLocks)
+		}
+		b.WriteByte('\n')
+	}
+	rg("goroutines", res.Goroutines)
+	rg("leaked", res.Leaked)
+	rg("blocked", res.Blocked)
+	fmt.Fprintf(&b, "panics=%v checks=%q", res.Panics, res.CheckFailures)
+	return b.String()
+}
+
+// captureSink renders every event of a run, live or replayed.
+type captureSink struct {
+	events  []string
+	runEnds int
+}
+
+func (c *captureSink) Kinds() []event.Kind { return event.AllKinds() }
+func (c *captureSink) Event(ev *event.Event) {
+	c.events = append(c.events, renderEvent(ev))
+}
+func (c *captureSink) RunEnd() { c.runEnds++ }
+
+// recordLive runs prog under cfg with a Recorder and a capture sink
+// attached, returning the encoded trace, the live stream, and the live
+// Result.
+func recordLive(t *testing.T, cfg sim.Config, prog sim.Program) ([]byte, *captureSink, *sim.Result) {
+	t.Helper()
+	var buf bytes.Buffer
+	cap := &captureSink{}
+	cfg.Sinks = append(cfg.Sinks, cap)
+	res, err := trace.Record(&buf, trace.RunMeta{}, cfg, prog)
+	if err != nil {
+		t.Fatalf("Record: %v", err)
+	}
+	return buf.Bytes(), cap, res
+}
+
+// replayStream decodes the single-frame trace in data through a capture
+// sink.
+func replayStream(t *testing.T, data []byte) (*trace.RunMeta, *captureSink, *sim.Result) {
+	t.Helper()
+	tr, err := trace.NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("NewReader: %v", err)
+	}
+	meta, err := tr.NextRun()
+	if err != nil {
+		t.Fatalf("NextRun: %v", err)
+	}
+	cap := &captureSink{}
+	res, err := tr.Replay(event.NewMux([]event.Sink{cap}))
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	if _, err := tr.NextRun(); !errors.Is(err, io.EOF) {
+		t.Fatalf("NextRun after last frame: got %v, want io.EOF", err)
+	}
+	return meta, cap, res
+}
+
+// roundTripKernelSet is a cross-section of the corpus: blocking mutex and
+// channel bugs, a non-blocking race, a select kernel, and a cond kernel.
+var roundTripKernelSet = []string{
+	"docker-abba-order",
+	"grpc-missing-send",
+	"kubernetes-map-race",
+	"etcd-double-recv",
+	"docker-cond-missing-signal",
+}
+
+// TestRoundTripKernels replays recorded kernel runs and asserts the decoded
+// stream — every field of every event, in order — and the decoded Result
+// are identical to what the live run's sinks observed.
+func TestRoundTripKernels(t *testing.T) {
+	for _, id := range roundTripKernelSet {
+		k, ok := kernels.ByID(id)
+		if !ok {
+			t.Fatalf("kernel %q not registered", id)
+		}
+		for variant, prog := range map[string]sim.Program{"buggy": k.Buggy, "fixed": k.Fixed} {
+			t.Run(id+"/"+variant, func(t *testing.T) {
+				data, live, liveRes := recordLive(t, k.Config(1), prog)
+				meta, replayed, repRes := replayStream(t, data)
+
+				if meta.Name != k.ID || meta.Seed != 1 {
+					t.Errorf("meta = %+v, want name %q seed 1", meta, k.ID)
+				}
+				if len(replayed.events) != len(live.events) {
+					t.Fatalf("replay delivered %d events, live %d", len(replayed.events), len(live.events))
+				}
+				for i := range live.events {
+					if replayed.events[i] != live.events[i] {
+						t.Fatalf("event %d differs:\n live:   %s\n replay: %s", i, live.events[i], replayed.events[i])
+					}
+				}
+				if live.runEnds != 1 || replayed.runEnds != 1 {
+					t.Errorf("RunEnd fired live=%d replay=%d times, want 1 and 1", live.runEnds, replayed.runEnds)
+				}
+				if got, want := renderResult(repRes), renderResult(liveRes); got != want {
+					t.Errorf("replayed Result differs:\n got:  %s\n want: %s", got, want)
+				}
+			})
+		}
+	}
+}
+
+// reencode decodes every frame of data and re-encodes it through a fresh
+// Writer, returning the bytes and whether data was a well-formed trace.
+func reencode(data []byte) ([]byte, error) {
+	tr, err := trace.NewReader(bytes.NewReader(data))
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	tw := trace.NewWriter(&buf)
+	for {
+		meta, err := tr.NextRun()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		rec := tw.BeginRun(*meta)
+		res, err := tr.Replay(event.NewMux([]event.Sink{rec}))
+		if err != nil {
+			return nil, err
+		}
+		if err := rec.FinishRun(res, tr.FaultPlan()); err != nil {
+			return nil, err
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// TestReencodeByteIdentity pins the codec as canonical: decoding a recorded
+// trace and re-encoding the decoded stream reproduces the input byte for
+// byte (delta state, interning order, and flag computation all included).
+func TestReencodeByteIdentity(t *testing.T) {
+	for _, id := range roundTripKernelSet {
+		k, _ := kernels.ByID(id)
+		t.Run(id, func(t *testing.T) {
+			data, _, _ := recordLive(t, k.Config(7), k.Buggy)
+			again, err := reencode(data)
+			if err != nil {
+				t.Fatalf("reencode: %v", err)
+			}
+			if !bytes.Equal(data, again) {
+				t.Fatalf("re-encoded trace differs from original (%d vs %d bytes)", len(again), len(data))
+			}
+		})
+	}
+}
+
+// TestKindValuesPinned pins the numeric value of every event kind: the Kind
+// byte is the trace/v1 record tag, so any renumbering breaks every archived
+// trace. If this test fails, you reordered the enum — new kinds must be
+// appended before NumKinds instead.
+func TestKindValuesPinned(t *testing.T) {
+	pinned := map[event.Kind]uint8{
+		event.KindInvalid: 0,
+		event.MemRead:     1, event.MemWrite: 2,
+		event.MapRead: 3, event.MapWrite: 4,
+		event.ChanSend: 5, event.ChanRecv: 6, event.ChanClose: 7,
+		event.ChanSendDone: 8, event.ChanRecvDone: 9,
+		event.ChanCloseClosed: 10, event.ChanSendClosed: 11, event.ChanNil: 12,
+		event.SelectBlocking: 13, event.SelectReady: 14,
+		event.MutexLock: 15, event.MutexTryLock: 16, event.MutexUnlock: 17,
+		event.RWRLock: 18, event.RWRUnlock: 19, event.RWWLock: 20, event.RWWUnlock: 21,
+		event.WGAdd: 22, event.WGDone: 23, event.WGNegative: 24,
+		event.WGWaitStart: 25, event.WGWaitEnd: 26,
+		event.OnceDo: 27, event.CondWait: 28, event.CondSignal: 29, event.CondBroadcast: 30,
+		event.GoSpawn: 31, event.GoExit: 32, event.GoPanic: 33,
+		event.GoBlock: 34, event.GoBlockForever: 35,
+		event.Sched: 36, event.FaultInject: 37,
+		event.NumKinds: 38,
+	}
+	if int(event.NumKinds) != len(pinned)-1 {
+		t.Fatalf("event declares %d kinds, this test pins %d — pin new kinds here (append-only!)",
+			event.NumKinds, len(pinned)-1)
+	}
+	for k, v := range pinned {
+		if uint8(k) != v {
+			t.Errorf("event kind %s = %d, pinned wire value %d — kinds must never be renumbered", k, uint8(k), v)
+		}
+	}
+}

@@ -20,6 +20,16 @@
 #     (recycled runtime on the same workload: must stay 0 allocs/op and
 #     beat the fresh-run lane by the ISSUE-6 margin)
 #   BenchmarkPooledRun/with-detector                - pooled + one sink
+#   BenchmarkTraceArchive/record                    - judged run + Recorder
+#     (the archive-while-sweeping lane; gated so codec changes cannot
+#     silently tax recording sweeps)
+#   BenchmarkTraceArchive/replay                    - decode + re-judge
+#     (RunAllTrace over an archived frame — the offline verdict path)
+#
+# The recorder-OFF guarantee rides on the existing rows: recording is a
+# plain event.Sink behind Config.Sinks, so with no RecordDir the hot path
+# is exactly the no-sink/without-detector lane gated above — any recorder
+# cost leaking into it shows up as a regression there.
 #
 # Refresh the baseline on the reference machine with:
 #   scripts/benchgate.sh -update
@@ -28,7 +38,7 @@ cd "$(dirname "$0")/.."
 
 BASELINE=testdata/bench_baseline.txt
 SLACK_PCT=${BENCHGATE_SLACK_PCT:-15}
-BENCHES='BenchmarkRaceDetectorOverhead|BenchmarkDetectorPipeline/single-pass|BenchmarkFaultInjection/off|BenchmarkPooledRun'
+BENCHES='BenchmarkRaceDetectorOverhead|BenchmarkDetectorPipeline/single-pass|BenchmarkFaultInjection/off|BenchmarkPooledRun|BenchmarkTraceArchive/(record|replay)$'
 
 raw=$(go test -bench "$BENCHES" -benchtime 1000x -count 6 -benchmem -run '^$' . | grep -E '^Benchmark')
 

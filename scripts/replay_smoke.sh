@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# Record→replay equivalence smoke for the trace archive path.
+#
+# Three gates, all on real godetect processes:
+#
+#   1. A recorded live sweep and its offline replay must write byte-identical
+#      checkpoint files (same verdicts, same per-detector event counts, same
+#      fold — wall time is never checkpointed).
+#   2. The same must hold for a fault-injected sweep: FaultInject events and
+#      the archived fault plans round-trip through the codec.
+#   3. An archive recorded under ONE detector must re-judge under the full
+#      registry to exactly what a live full-registry sweep produces — the
+#      "new detector over old executions" workflow the archive exists for.
+#
+# Usage: scripts/replay_smoke.sh  (REPLAY_RUNS and REPLAY_KERNEL override
+# the sweep size and subject kernel).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+RUNS=${REPLAY_RUNS:-100}
+KERNEL=${REPLAY_KERNEL:-docker-abba-order}
+DETS="race,vet,leak"
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+echo "replay_smoke: building godetect"
+go build -o "$tmp/godetect" ./cmd/godetect
+
+run() { "$tmp/godetect" "$@" > /dev/null; }
+
+echo "replay_smoke: [1/3] live sweep ($KERNEL, $RUNS runs) recorded to an archive"
+run -kernel "$KERNEL" -with "$DETS" -runs "$RUNS" -seed 1 \
+    -record "$tmp/archive" -resume "$tmp/live.ckpt"
+run -kernel "$KERNEL" -with "$DETS" -runs "$RUNS" -seed 1 \
+    -replay "$tmp/archive" -resume "$tmp/replay.ckpt"
+cmp "$tmp/live.ckpt" "$tmp/replay.ckpt" || {
+  echo "replay_smoke: FAIL: offline replay checkpoint differs from the live sweep's" >&2
+  exit 1
+}
+
+echo "replay_smoke: [2/3] fault-injected sweep archives and replays identically"
+run -kernel "$KERNEL" -with "$DETS" -runs "$RUNS" -seed 1 -faults 2 \
+    -record "$tmp/archive-inj" -resume "$tmp/live-inj.ckpt"
+run -kernel "$KERNEL" -with "$DETS" -runs "$RUNS" -seed 1 -faults 2 \
+    -replay "$tmp/archive-inj" -resume "$tmp/replay-inj.ckpt"
+cmp "$tmp/live-inj.ckpt" "$tmp/replay-inj.ckpt" || {
+  echo "replay_smoke: FAIL: fault-injected replay checkpoint differs" >&2
+  exit 1
+}
+
+echo "replay_smoke: [3/3] archive recorded under 'race' re-judged by the full set"
+run -kernel "$KERNEL" -with race -runs "$RUNS" -seed 1 -record "$tmp/archive-old"
+run -kernel "$KERNEL" -with "$DETS" -runs "$RUNS" -seed 1 -resume "$tmp/live-full.ckpt"
+run -kernel "$KERNEL" -with "$DETS" -runs "$RUNS" -seed 1 \
+    -replay "$tmp/archive-old" -resume "$tmp/replay-full.ckpt"
+cmp "$tmp/live-full.ckpt" "$tmp/replay-full.ckpt" || {
+  echo "replay_smoke: FAIL: re-judging with detectors unknown at record time diverged from live" >&2
+  exit 1
+}
+
+echo "replay_smoke: PASS (live sweep, fault-injected sweep, and new-detector re-judge all fold byte-identically)"
