@@ -1,57 +1,25 @@
 package main
 
 import (
-	"context"
 	"fmt"
 	"os"
 
 	"goconcbugs/internal/conformance"
 )
 
-// runConformance is the CLI face of internal/conformance: a seeded sweep of
-// generated programs cross-checked between the simulated and real runtimes.
-// With emitsrc it instead prints the program a seed generates, both as IR
-// and as the standalone Go source the subprocess oracles build — the fast
-// way to inspect what a divergence report's seed means.
-func runConformance(ctx context.Context, programs int, seed int64, emitsrc bool, kinds string) int {
+// runEmitSrc prints the program -seed generates, both as IR (stderr) and as
+// the standalone Go source the subprocess oracles build (stdout) — the fast
+// way to inspect what a divergence report's seed means. The conformance
+// sweep itself runs through the engine (run.go); only this inspection mode
+// stays CLI-local.
+func runEmitSrc(seed int64, kinds string) int {
 	fams, err := conformance.ParseFamilies(kinds)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "godetect:", err)
 		return 1
 	}
-	if emitsrc {
-		p := conformance.GenerateWith(seed, conformance.ModeSafe, fams)
-		fmt.Fprintf(os.Stderr, "%s\n", p)
-		fmt.Print(conformance.EmitGo(p))
-		return 0
-	}
-	st := conformance.Sweep(conformance.SweepOptions{
-		Programs: programs,
-		BaseSeed: seed,
-		Context:  ctx,
-		Check:    conformance.CheckOptions{Families: &fams},
-	})
-	fmt.Printf("conformance: %d programs from seed %d — %d checked, %d strict (complete exploration), %d sim schedules — %s\n",
-		st.Programs, seed, st.Completed, st.Strict, st.Schedules, st.Verdict)
-	fmt.Printf("host outcomes: done %d, hung %d, panic %d; must-deadlock confirmed hung: %d\n",
-		st.HostKinds[conformance.KindDone], st.HostKinds[conformance.KindHung],
-		st.HostKinds[conformance.KindPanic], st.AllHungConfirmed)
-	fmt.Printf("kind coverage (programs containing each statement kind, %d liveness-checked):\n", st.SignalGuaranteed)
-	for _, k := range conformance.AllStmtKinds {
-		if n := st.KindCoverage[k]; n > 0 {
-			fmt.Printf("  %-16s %d\n", k, n)
-		}
-	}
-	if st.StepLimited > 0 {
-		fmt.Printf("WARNING: %d schedules hit the sim step budget (harness bug: IR programs are loop-free)\n", st.StepLimited)
-	}
-	if len(st.Divergences) == 0 {
-		fmt.Println("no divergences")
-		return 0
-	}
-	for _, d := range st.Divergences {
-		fmt.Printf("\n%v\n", d)
-	}
-	fmt.Printf("\n%d divergence(s)\n", len(st.Divergences))
-	return 1
+	p := conformance.GenerateWith(seed, conformance.ModeSafe, fams)
+	fmt.Fprintf(os.Stderr, "%s\n", p)
+	fmt.Print(conformance.EmitGo(p))
+	return 0
 }

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"fmt"
+
+	"goconcbugs/internal/corpus"
+	"goconcbugs/internal/kernels"
+)
+
+func listKernels() {
+	for _, k := range kernels.All() {
+		tag := ""
+		if k.InDetectorStudy {
+			tag = " [study-set]"
+		}
+		fig := ""
+		if k.Figure > 0 {
+			fig = fmt.Sprintf(" (Figure %d)", k.Figure)
+		}
+		fmt.Printf("%-34s %-12s %s%s%s\n", k.ID, k.Behavior, k.App, fig, tag)
+	}
+}
+
+// printCatalog renders the registry as the Markdown catalog checked in as
+// KERNELS.md.
+func printCatalog() {
+	fmt.Println("# Bug kernel catalog")
+	fmt.Println()
+	fmt.Println("Generated with `go run ./cmd/godetect -catalog > KERNELS.md`.")
+	fmt.Println("Each kernel reproduces one studied bug as a Buggy/Fixed program pair")
+	fmt.Println("against the deterministic runtime (`internal/sim`); run one with")
+	fmt.Println("`go run ./cmd/godetect -kernel <id> [-fixed] [-trace] [-vet]`.")
+	for _, behavior := range []corpus.Behavior{corpus.Blocking, corpus.NonBlocking} {
+		fmt.Printf("\n## %s bugs\n\n", behavior)
+		fmt.Println("| Kernel | App | Class | Figure | Study set | Bug | Fix |")
+		fmt.Println("|---|---|---|---|---|---|---|")
+		for _, k := range kernels.All() {
+			if k.Behavior != behavior {
+				continue
+			}
+			class := string(k.BlockClass)
+			if behavior == corpus.NonBlocking {
+				class = string(k.NBCause)
+			}
+			fig, study := "", ""
+			if k.Figure > 0 {
+				fig = fmt.Sprintf("Fig. %d", k.Figure)
+			}
+			if k.InDetectorStudy {
+				study = "Table 8"
+				if behavior == corpus.NonBlocking {
+					study = "Table 12"
+				}
+			}
+			fmt.Printf("| `%s` | %s | %s | %s | %s | %s | %s |\n",
+				k.ID, k.App, class, fig, study,
+				oneLine(k.Description), oneLine(k.FixDescription))
+		}
+	}
+}
+
+func oneLine(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		if r == '\n' || r == '|' {
+			r = ' '
+		}
+		out = append(out, r)
+	}
+	return string(out)
+}

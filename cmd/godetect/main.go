@@ -12,6 +12,14 @@
 //	godetect -kernel etcd-wal-doubleclose -with race,vet,leak
 //	godetect -kernel docker-abba-order -with race -record archive/
 //	godetect -kernel docker-abba-order -with race,vet,leak -replay archive/
+//	godetect serve -addr unix:///tmp/godetect.sock -store verdicts.db
+//	godetect -remote unix:///tmp/godetect.sock -kernel docker-abba-order -with cycle
+//
+// Every mode routes through internal/engine, so a verdict is computed (and
+// rendered) by exactly one code path whether it runs in-process, is served
+// warm from a -store verdict cache, or comes back from a daemon over
+// -remote. The rendering is wall-time-free and deterministic: equal
+// requests print equal bytes.
 package main
 
 import (
@@ -20,58 +28,72 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
-	"path/filepath"
-	"runtime"
-	"runtime/pprof"
 	"syscall"
 
-	"goconcbugs/internal/corpus"
-	"goconcbugs/internal/deadlock"
 	"goconcbugs/internal/detect"
-	"goconcbugs/internal/event"
-	"goconcbugs/internal/explore"
+	"goconcbugs/internal/engine"
 	"goconcbugs/internal/inject"
 	"goconcbugs/internal/kernels"
-	"goconcbugs/internal/race"
-	"goconcbugs/internal/sim"
-	"goconcbugs/internal/vet"
+	"goconcbugs/internal/store"
 )
 
+// verbs is the subcommand dispatch table: "godetect <verb> [flags]" routes
+// here; anything else is the classic flag-driven one-shot mode. Verb files
+// register themselves from init.
+var verbs = map[string]func(args []string) int{}
+
+func registerVerb(name string, fn func(args []string) int) { verbs[name] = fn }
+
 func main() {
-	list := flag.Bool("list", false, "list kernels")
-	all := flag.Bool("all", false, "sweep every kernel")
-	kernel := flag.String("kernel", "", "kernel id to run")
-	fixed := flag.Bool("fixed", false, "run the fixed variant instead of the buggy one")
-	runs := flag.Int("runs", 100, "number of seeded runs")
-	seed := flag.Int64("seed", 0, "base seed")
-	trace := flag.Bool("trace", false, "print the first run's event trace")
-	shadow := flag.Int("shadow", 0, "race-detector shadow words (0 = Go's 4, negative = unbounded)")
-	vetFlag := flag.Bool("vet", false, "also run the usage-rule checker (package vet)")
-	catalog := flag.Bool("catalog", false, "emit the kernel catalog as Markdown (KERNELS.md)")
-	chrome := flag.String("chrometrace", "", "write the first run's trace to this file in Chrome Trace Event Format")
-	systematic := flag.Bool("systematic", false, "exhaustively explore every schedule instead of seeded sampling")
-	dpor := flag.Bool("dpor", false, "with -systematic: prune equivalent interleavings via dynamic partial-order reduction")
-	maxRuns := flag.Int("maxruns", 200_000, "with -systematic: schedule budget")
-	conf := flag.Bool("conformance", false, "differentially test the sim against the real Go runtime on generated programs")
-	programs := flag.Int("programs", 200, "with -conformance: number of generated programs")
-	emitsrc := flag.Bool("emitsrc", false, "with -conformance: print the program generated for -seed as standalone Go source and exit")
-	kinds := flag.String("kinds", "", "with -conformance: comma-separated primitive families to focus the generator on (cond,timer,ctx,sem); empty = all")
-	detectorsFlag := flag.Bool("detectors", false, "list the detector registry")
-	with := flag.String("with", "", "comma-separated detector set to sweep in one pass per run (see -detectors); non-zero exit if one fires on a -fixed kernel")
-	faults := flag.Int("faults", 0, "inject up to this many scheduling faults per run (0 = off); non-zero exit if a -fixed kernel fires under injection")
-	faultseed := flag.Int64("faultseed", 1, "base seed for the fault injector; run i perturbs with faultseed+i")
-	aggressive := flag.Bool("aggressive", false, "with -faults: also inject program-changing faults (early timeouts, spurious wakeups, goroutine kills, panics, channel closes) — a correct program may legitimately fail under these")
-	deadlineFlag := flag.Duration("deadline", 0, "wall-clock budget for sweeps and exploration; on expiry partial results are reported with an incomplete verdict")
-	resume := flag.String("resume", "", "checkpoint file for -with sweeps: progress is saved there periodically and a restart with the same options resumes instead of re-running")
-	faulttable := flag.Bool("faulttable", false, "emit the fault-injection experiment table (Markdown): schedules-to-first-detection with vs without benign injection, per study kernel")
-	shards := flag.Int("shards", 1, "partition a -with sweep's seed range into this many contiguous shards, one process each (needs -resume for the shard checkpoints)")
-	shardIdx := flag.Int("shard", 0, "with -shards: the 0-based shard this process sweeps")
-	foldFlag := flag.Bool("fold", false, "with -shards: merge the shard checkpoints into the serial checkpoint and print the combined report instead of sweeping")
-	record := flag.String("record", "", "with -with: archive every run of the sweep as trace/v1 files under this directory (re-judge offline with -replay); -all records into per-kernel subdirectories")
-	replay := flag.String("replay", "", "re-judge a sweep archive recorded with -record instead of running live; pass the recording's -kernel/-all, -with, -runs, -seed, and -faults options (the detector set may differ — that is the point)")
-	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of this invocation to the file")
-	memprofile := flag.String("memprofile", "", "write a heap profile to the file at exit")
-	flag.Parse()
+	if len(os.Args) > 1 {
+		if fn, ok := verbs[os.Args[1]]; ok {
+			os.Exit(fn(os.Args[2:]))
+		}
+	}
+	os.Exit(oneShot(os.Args[1:]))
+}
+
+// oneShot is the default verb: parse the classic flag set, run one request
+// (locally or against a daemon), print the canonical text, exit.
+func oneShot(args []string) int {
+	fs := flag.CommandLine
+	list := fs.Bool("list", false, "list kernels")
+	all := fs.Bool("all", false, "sweep every kernel")
+	kernel := fs.String("kernel", "", "kernel id to run")
+	fixed := fs.Bool("fixed", false, "run the fixed variant instead of the buggy one")
+	runs := fs.Int("runs", 100, "number of seeded runs")
+	seed := fs.Int64("seed", 0, "base seed")
+	trace := fs.Bool("trace", false, "print the first run's event trace")
+	shadow := fs.Int("shadow", 0, "race-detector shadow words (0 = Go's 4, negative = unbounded)")
+	vetFlag := fs.Bool("vet", false, "also run the usage-rule checker (package vet)")
+	catalog := fs.Bool("catalog", false, "emit the kernel catalog as Markdown (KERNELS.md)")
+	chrome := fs.String("chrometrace", "", "write the first run's trace to this file in Chrome Trace Event Format")
+	systematic := fs.Bool("systematic", false, "exhaustively explore every schedule instead of seeded sampling")
+	dpor := fs.Bool("dpor", false, "with -systematic: prune equivalent interleavings via dynamic partial-order reduction")
+	maxRuns := fs.Int("maxruns", 200_000, "with -systematic: schedule budget")
+	conf := fs.Bool("conformance", false, "differentially test the sim against the real Go runtime on generated programs")
+	programs := fs.Int("programs", 200, "with -conformance: number of generated programs")
+	emitsrc := fs.Bool("emitsrc", false, "with -conformance: print the program generated for -seed as standalone Go source and exit")
+	kinds := fs.String("kinds", "", "with -conformance: comma-separated primitive families to focus the generator on (cond,timer,ctx,sem); empty = all")
+	detectorsFlag := fs.Bool("detectors", false, "list the detector registry")
+	with := fs.String("with", "", "comma-separated detector set to sweep in one pass per run (see -detectors); non-zero exit if one fires on a -fixed kernel")
+	faults := fs.Int("faults", 0, "inject up to this many scheduling faults per run (0 = off); non-zero exit if a -fixed kernel fires under injection")
+	faultseed := fs.Int64("faultseed", 1, "base seed for the fault injector; run i perturbs with faultseed+i")
+	aggressive := fs.Bool("aggressive", false, "with -faults: also inject program-changing faults (early timeouts, spurious wakeups, goroutine kills, panics, channel closes) — a correct program may legitimately fail under these")
+	deadlineFlag := fs.Duration("deadline", 0, "wall-clock budget for sweeps and exploration; on expiry partial results are reported with an incomplete verdict")
+	resume := fs.String("resume", "", "checkpoint file for -with sweeps: progress is saved there periodically and a restart with the same options resumes instead of re-running")
+	faulttable := fs.Bool("faulttable", false, "emit the fault-injection experiment table (Markdown): schedules-to-first-detection with vs without benign injection, per study kernel")
+	shards := fs.Int("shards", 1, "partition a -with sweep's seed range into this many contiguous shards, one process each (needs -resume for the shard checkpoints)")
+	shardIdx := fs.Int("shard", 0, "with -shards: the 0-based shard this process sweeps")
+	foldFlag := fs.Bool("fold", false, "with -shards: merge the shard checkpoints into the serial checkpoint and print the combined report instead of sweeping")
+	record := fs.String("record", "", "with -with: archive every run of the sweep as trace/v1 files under this directory (re-judge offline with -replay); -all records into per-kernel subdirectories")
+	replay := fs.String("replay", "", "re-judge a sweep archive recorded with -record instead of running live; pass the recording's -kernel/-all, -with, -runs, -seed, and -faults options (the detector set may differ — that is the point)")
+	remote := fs.String("remote", "", "submit to a godetect daemon at this address (unix:///path/sock or host:port) instead of executing in-process")
+	storePath := fs.String("store", "", "persistent verdict cache file: equal requests are served from it instead of re-running")
+	statsFlag := fs.Bool("stats", false, "print the engine's stats as JSON after the run (alone with -remote: just query the daemon)")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of this invocation to the file")
+	memprofile := fs.String("memprofile", "", "write a heap profile to the file at exit")
+	fs.Parse(args)
 
 	// Every long-running mode is interruptible: SIGINT/SIGTERM stop
 	// dispatching new runs and the partial results fold, so a checkpointed
@@ -110,8 +132,8 @@ func main() {
 			printCatalog()
 			return 0
 		}
-		if *conf {
-			return runConformance(ctx, *programs, *seed, *emitsrc, *kinds)
+		if *conf && *emitsrc {
+			return runEmitSrc(*seed, *kinds)
 		}
 
 		var dets []detect.Detector
@@ -145,454 +167,115 @@ func main() {
 			}
 		}
 
-		switch {
-		case *list:
-			listKernels()
-		case *all:
-			fired := false
-			for _, k := range kernels.All() {
-				if *systematic {
-					systematicSweep(ctx, k, *fixed, *maxRuns, *dpor)
-					continue
+		// The submitter is where every remaining mode executes: a local
+		// engine (optionally store-backed) or a daemon client. Jobs carry
+		// the deadline themselves only on the remote path — locally the
+		// engine context above already bounds them.
+		sub, cleanup, err := newSubmitter(ctx, *remote, *storePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "godetect:", err)
+			return 1
+		}
+		defer cleanup()
+		var jobDeadline = *deadlineFlag
+		if *remote == "" {
+			jobDeadline = 0
+		}
+
+		base := engineJob{
+			fixed: *fixed, runs: *runs, seed: *seed, dets: detectorNames(dets),
+			injOpts: injOpts, shadow: *shadow, vet: *vetFlag,
+			systematic: *systematic, dpor: *dpor, maxRuns: *maxRuns,
+			shards: *shards, shardIdx: *shardIdx, fold: *foldFlag,
+			record: *record, replay: *replay, resume: *resume,
+			deadline: jobDeadline,
+		}
+
+		code := func() int {
+			switch {
+			case *statsFlag && *remote != "" && !*all && *kernel == "" && !*conf:
+				// Bare stats query: -remote -stats with no job flags.
+				return 0
+			case *conf:
+				return runConformanceJob(ctx, sub, *programs, *seed, *kinds, jobDeadline)
+			case *list:
+				listKernels()
+				return 0
+			case *all:
+				return runAll(ctx, sub, base)
+			case *kernel != "":
+				k, ok := kernels.ByID(*kernel)
+				if !ok {
+					fmt.Fprintf(os.Stderr, "godetect: unknown kernel %q (try -list)\n", *kernel)
+					return 1
 				}
-				checkpoint := ""
-				if *resume != "" {
-					checkpoint = *resume + "." + k.ID
+				if *trace {
+					printTrace(k, *fixed, *seed)
 				}
-				if dets != nil {
-					f, err := pipelineSweep(ctx, k, *fixed, *runs, *seed, dets, checkpoint, injOpts, *shards, *shardIdx, *foldFlag,
-						kernelDir(*record, k.ID), kernelDir(*replay, k.ID))
-					if err != nil {
+				if *chrome != "" {
+					if err := writeChromeTrace(k, *fixed, *seed, *chrome); err != nil {
 						fmt.Fprintln(os.Stderr, "godetect:", err)
 						return 1
 					}
-					if f {
-						fired = true
-					}
-					continue
+					fmt.Printf("wrote %s (open in chrome://tracing or ui.perfetto.dev)\n", *chrome)
 				}
-				if sweep(ctx, k, *fixed, *runs, *seed, *shadow, injOpts) && injOpts != nil {
-					fired = true
-				}
-				if *vetFlag {
-					runVet(k, *fixed, *runs, *seed)
-				}
+				return runOne(ctx, sub, k.ID, base)
+			default:
+				fs.Usage()
+				return 2
 			}
-			if fired && *fixed {
+		}()
+		if *statsFlag && code != 2 {
+			if err := printStats(ctx, sub); err != nil {
+				fmt.Fprintln(os.Stderr, "godetect:", err)
 				return 1
 			}
-		case *kernel != "":
-			k, ok := kernels.ByID(*kernel)
-			if !ok {
-				fmt.Fprintf(os.Stderr, "godetect: unknown kernel %q (try -list)\n", *kernel)
-				return 1
-			}
-			if *trace {
-				printTrace(k, *fixed, *seed)
-			}
-			if *systematic {
-				systematicSweep(ctx, k, *fixed, *maxRuns, *dpor)
-				return 0
-			}
-			if *chrome != "" {
-				if err := writeChromeTrace(k, *fixed, *seed, *chrome); err != nil {
-					fmt.Fprintln(os.Stderr, "godetect:", err)
-					return 1
-				}
-				fmt.Printf("wrote %s (open in chrome://tracing or ui.perfetto.dev)\n", *chrome)
-			}
-			if dets != nil {
-				fired, err := pipelineSweep(ctx, k, *fixed, *runs, *seed, dets, *resume, injOpts, *shards, *shardIdx, *foldFlag, *record, *replay)
-				if err != nil {
-					fmt.Fprintln(os.Stderr, "godetect:", err)
-					return 1
-				}
-				if fired && *fixed {
-					return 1
-				}
-				return 0
-			}
-			if sweep(ctx, k, *fixed, *runs, *seed, *shadow, injOpts) && *fixed && injOpts != nil {
-				return 1
-			}
-			if *vetFlag {
-				runVet(k, *fixed, *runs, *seed)
-			}
-		default:
-			flag.Usage()
-			return 2
 		}
-		return 0
+		return code
 	}()
 	prof()
-	os.Exit(code)
+	return code
 }
 
-// startProfiles turns on the requested pprof outputs and returns the flush
-// hook main runs before exiting (os.Exit skips defers, so dispatch paths
-// return codes instead of exiting directly).
-func startProfiles(cpu, mem string) (func(), error) {
-	var cpuF *os.File
-	if cpu != "" {
-		f, err := os.Create(cpu)
-		if err != nil {
-			return nil, err
-		}
-		if err := pprof.StartCPUProfile(f); err != nil {
-			f.Close()
-			return nil, err
-		}
-		cpuF = f
-	}
-	return func() {
-		if cpuF != nil {
-			pprof.StopCPUProfile()
-			cpuF.Close()
-		}
-		if mem == "" {
-			return
-		}
-		f, err := os.Create(mem)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "godetect: heap profile:", err)
-			return
-		}
-		defer f.Close()
-		runtime.GC() // settle the live set the profile reports
-		if err := pprof.WriteHeapProfile(f); err != nil {
-			fmt.Fprintln(os.Stderr, "godetect: heap profile:", err)
-		}
-	}, nil
-}
-
-// shardCheckpointName derives shard i's checkpoint file from the serial
-// checkpoint base — the base itself stays reserved for the folded result.
-func shardCheckpointName(base string, shard, shards int) string {
-	return fmt.Sprintf("%s.shard%d-of-%d", base, shard, shards)
-}
-
-// injectorFor adapts the CLI fault options to the per-run injector hook of
-// the sweep harnesses; nil options mean no injection.
-func injectorFor(injOpts *inject.Options) func(run int, seed int64) sim.Injector {
-	if injOpts == nil {
+// detectorNames maps a parsed detector set back to its registry names (the
+// engine job carries names, not instances).
+func detectorNames(dets []detect.Detector) []string {
+	if dets == nil {
 		return nil
 	}
-	opts := *injOpts
-	return func(run int, seed int64) sim.Injector { return inject.ForRun(opts, run) }
+	names := make([]string, len(dets))
+	for i, d := range dets {
+		names[i] = d.Name
+	}
+	return names
 }
 
-// printReplay prints the one command that reproduces run firstRun of a
-// sweep bit-identically: a single-run sweep whose base seeds are shifted so
-// its run 0 is exactly the firing run.
-func printReplay(k kernels.Kernel, fixed bool, firstRun int, seed int64, injOpts *inject.Options) {
-	cmd := fmt.Sprintf("go run ./cmd/godetect -kernel %s", k.ID)
-	if fixed {
-		cmd += " -fixed"
+// newSubmitter builds the execution backend: a daemon client when remote is
+// set, otherwise an in-process engine, store-backed when storePath is set.
+func newSubmitter(ctx context.Context, remote, storePath string) (submitter, func(), error) {
+	if remote != "" {
+		return remoteSubmitter{engine.NewClient(remote)}, func() {}, nil
 	}
-	cmd += fmt.Sprintf(" -runs 1 -seed %d", seed+int64(firstRun))
-	if injOpts != nil {
-		cmd += fmt.Sprintf(" -faults %d -faultseed %d", injOpts.Budget, injOpts.Seed+int64(firstRun))
-		if injOpts.Aggressive {
-			cmd += " -aggressive"
-		}
-	}
-	fmt.Printf("    replay: %s\n", cmd)
-}
-
-// kernelDir places one kernel's archive under an -all record/replay base
-// directory; an empty base stays empty (feature off).
-func kernelDir(base, id string) string {
-	if base == "" {
-		return ""
-	}
-	return filepath.Join(base, id)
-}
-
-// pipelineSweep sweeps the kernel with the selected detector set attached to
-// every run's single event stream, printing per-detector stats. It reports
-// whether any detector fired — the caller turns that into a non-zero exit
-// for -fixed kernels, making the pipeline usable as a regression gate.
-//
-// With shards > 1 it sweeps only shard shardIdx's contiguous seed block into
-// a per-shard checkpoint; with fold it executes nothing and instead merges
-// the shard checkpoints into the serial checkpoint at the base path, folding
-// the combined report — byte-identical to an unsharded sweep's.
-//
-// recordDir archives every run as a trace/v1 file while sweeping; replayDir
-// executes nothing and re-judges such an archive offline instead, folding
-// the same report (and checkpoint) a live sweep of these options writes.
-func pipelineSweep(ctx context.Context, k kernels.Kernel, fixed bool, runs int, seed int64, dets []detect.Detector, checkpoint string, injOpts *inject.Options, shards, shardIdx int, fold bool, recordDir, replayDir string) (bool, error) {
-	label := "buggy"
-	if fixed {
-		label = "fixed"
-	}
-	if injOpts != nil {
-		label += fmt.Sprintf(", %d faults/run", injOpts.Budget)
-	}
-	opts := detect.SweepOptions{
-		Runs: runs, BaseSeed: seed, Config: k.Config(seed),
-		Context:     ctx,
-		InjectorFor: injectorFor(injOpts),
-		Checkpoint:  checkpoint,
-		RecordDir:   recordDir,
-	}
-	var sw *detect.SweepReport
-	switch {
-	case replayDir != "":
+	var st *store.Store
+	if storePath != "" {
 		var err error
-		if sw, err = detect.ReplayDir(replayDir, opts, dets...); err != nil {
-			return false, err
-		}
-		label += ", offline replay"
-	case fold:
-		srcs := make([]string, shards)
-		for i := range srcs {
-			srcs[i] = shardCheckpointName(checkpoint, i, shards)
-		}
-		var err error
-		if sw, err = detect.MergeSweepCheckpoints(checkpoint, srcs, opts, dets...); err != nil {
-			return false, err
-		}
-		label += fmt.Sprintf(", fold of %d shards", shards)
-	case shards > 1:
-		opts.ShardCount, opts.ShardIndex = shards, shardIdx
-		opts.Checkpoint = shardCheckpointName(checkpoint, shardIdx, shards)
-		label += fmt.Sprintf(", shard %d/%d", shardIdx, shards)
-		sw = detect.Sweep(variant(k, fixed), opts, dets...)
-	default:
-		sw = detect.Sweep(variant(k, fixed), opts, dets...)
-	}
-	fmt.Printf("%s (%s, %d runs, single pass per run): %s\n", k.ID, label, sw.Runs, sw.Verdict)
-	fired := false
-	firstRun := -1
-	for _, st := range sw.Detectors {
-		status := "quiet"
-		if st.Detected() {
-			fired = true
-			if firstRun < 0 || st.FirstRun < firstRun {
-				firstRun = st.FirstRun
-			}
-			status = fmt.Sprintf("fired on %d/%d runs (first run %d)", st.DetectedRuns, sw.Runs, st.FirstRun)
-		}
-		fmt.Printf("    %-8s %-34s %9d events  %12v\n", st.Detector, status, st.Events, st.Elapsed)
-		if st.Sample != "" {
-			fmt.Printf("             e.g. %s\n", firstLine(st.Sample))
+		if st, err = store.Open(storePath, store.Options{}); err != nil {
+			return nil, nil, err
 		}
 	}
-	if len(sw.Incomplete) > 0 {
-		fmt.Printf("    %d incomplete run(s) (first: run %d, %s)\n",
-			len(sw.Incomplete), sw.Incomplete[0].Run, sw.Incomplete[0].Reason)
+	// One job at a time, full fan-out inside it: the classic CLI profile.
+	opts := engine.Options{Workers: 1, SweepWorkers: 0, Context: ctx}
+	if st != nil {
+		// Assigned conditionally: a typed-nil *store.Store inside the
+		// VerdictStore interface would defeat the engine's nil checks.
+		opts.Store = st
 	}
-	if fired {
-		printReplay(k, fixed, firstRun, seed, injOpts)
-	}
-	return fired, nil
-}
-
-func firstLine(s string) string {
-	for i := 0; i < len(s); i++ {
-		if s[i] == '\n' {
-			return s[:i]
+	eng := engine.New(opts)
+	cleanup := func() {
+		eng.Close()
+		if st != nil {
+			st.Close()
 		}
 	}
-	return s
-}
-
-// printCatalog renders the registry as the Markdown catalog checked in as
-// KERNELS.md.
-func printCatalog() {
-	fmt.Println("# Bug kernel catalog")
-	fmt.Println()
-	fmt.Println("Generated with `go run ./cmd/godetect -catalog > KERNELS.md`.")
-	fmt.Println("Each kernel reproduces one studied bug as a Buggy/Fixed program pair")
-	fmt.Println("against the deterministic runtime (`internal/sim`); run one with")
-	fmt.Println("`go run ./cmd/godetect -kernel <id> [-fixed] [-trace] [-vet]`.")
-	for _, behavior := range []corpus.Behavior{corpus.Blocking, corpus.NonBlocking} {
-		fmt.Printf("\n## %s bugs\n\n", behavior)
-		fmt.Println("| Kernel | App | Class | Figure | Study set | Bug | Fix |")
-		fmt.Println("|---|---|---|---|---|---|---|")
-		for _, k := range kernels.All() {
-			if k.Behavior != behavior {
-				continue
-			}
-			class := string(k.BlockClass)
-			if behavior == corpus.NonBlocking {
-				class = string(k.NBCause)
-			}
-			fig, study := "", ""
-			if k.Figure > 0 {
-				fig = fmt.Sprintf("Fig. %d", k.Figure)
-			}
-			if k.InDetectorStudy {
-				study = "Table 8"
-				if behavior == corpus.NonBlocking {
-					study = "Table 12"
-				}
-			}
-			fmt.Printf("| `%s` | %s | %s | %s | %s | %s | %s |\n",
-				k.ID, k.App, class, fig, study,
-				oneLine(k.Description), oneLine(k.FixDescription))
-		}
-	}
-}
-
-func oneLine(s string) string {
-	out := make([]rune, 0, len(s))
-	for _, r := range s {
-		if r == '\n' || r == '|' {
-			r = ' '
-		}
-		out = append(out, r)
-	}
-	return string(out)
-}
-
-func listKernels() {
-	for _, k := range kernels.All() {
-		tag := ""
-		if k.InDetectorStudy {
-			tag = " [study-set]"
-		}
-		fig := ""
-		if k.Figure > 0 {
-			fig = fmt.Sprintf(" (Figure %d)", k.Figure)
-		}
-		fmt.Printf("%-34s %-12s %s%s%s\n", k.ID, k.Behavior, k.App, fig, tag)
-	}
-}
-
-func variant(k kernels.Kernel, fixed bool) sim.Program {
-	if fixed {
-		return k.Fixed
-	}
-	return k.Buggy
-}
-
-// sweep samples the kernel over seeded runs, optionally under fault
-// injection, and reports whether anything fired (manifested or detected) —
-// under injection the caller turns a fixed-kernel fire into a non-zero
-// exit, which is the chaos gate.
-func sweep(ctx context.Context, k kernels.Kernel, fixed bool, runs int, seed int64, shadow int, injOpts *inject.Options) bool {
-	prog := variant(k, fixed)
-	st := explore.Run(prog, explore.Options{
-		Runs:        runs,
-		BaseSeed:    seed,
-		Config:      k.Config(seed),
-		WithRace:    k.Behavior == corpus.NonBlocking,
-		ShadowWords: shadow,
-		Context:     ctx,
-		InjectorFor: injectorFor(injOpts),
-	})
-	label := "buggy"
-	if fixed {
-		label = "fixed"
-	}
-	if injOpts != nil {
-		label += fmt.Sprintf(", %d faults/run", injOpts.Budget)
-	}
-	fmt.Printf("%s (%s, %d runs): manifested %d, deadlock %d, leak %d, panic %d, check-fail %d, race-detected %d\n",
-		k.ID, label, st.Runs, st.Manifested, st.BuiltinDeadlocks, st.LeakRuns, st.Panics,
-		st.CheckFailureRuns, st.RaceDetectedRuns)
-	if st.Completed < st.Runs {
-		fmt.Printf("    incomplete: %d/%d runs completed (%d host panics)\n", st.Completed, st.Runs, len(st.Errors))
-	}
-	for _, sample := range []string{st.SampleLeak, st.SamplePanic, st.SampleCheckFail, st.SampleRace} {
-		if sample != "" {
-			fmt.Printf("    e.g. %s\n", sample)
-		}
-	}
-	fired := st.Manifested > 0 || st.RaceDetectedRuns > 0
-	if fired {
-		first := st.FirstManifestRun
-		if first < 0 || (st.FirstDetectedRun >= 0 && st.FirstDetectedRun < first) {
-			first = st.FirstDetectedRun
-		}
-		printReplay(k, fixed, first, seed, injOpts)
-	}
-	return fired
-}
-
-// systematicSweep exhaustively explores the kernel's schedule space instead
-// of sampling seeds, optionally with dynamic partial-order reduction.
-func systematicSweep(ctx context.Context, k kernels.Kernel, fixed bool, maxRuns int, dpor bool) {
-	label := "buggy"
-	if fixed {
-		label = "fixed"
-	}
-	res := explore.Systematic(variant(k, fixed), explore.SystematicOptions{
-		Config:    k.Config(0),
-		MaxRuns:   maxRuns,
-		Reduction: dpor,
-		Context:   ctx,
-	})
-	mode := "full DFS"
-	if dpor {
-		mode = "DPOR"
-	}
-	fmt.Printf("%s (%s, %s): %d schedules (complete=%v, max depth %d), %d failing — %s",
-		k.ID, label, mode, res.Runs, res.Complete, res.MaxDepth, res.Failures, res.Verdict)
-	if dpor {
-		fmt.Printf(", pruned %d, sleep-set hits %d", res.SchedulesPruned, res.SleepSetHits)
-	}
-	fmt.Println()
-	if res.FirstFailure != nil {
-		fmt.Printf("    first failing decision sequence: %v\n", res.FailureSchedule)
-	}
-}
-
-// runVet sweeps seeds under the usage-rule checker and prints the distinct
-// findings.
-func runVet(k kernels.Kernel, fixed bool, runs int, seed int64) {
-	distinct := map[string]bool{}
-	for i := 0; i < runs; i++ {
-		m, _ := vet.Check(k.Config(seed+int64(i)), variant(k, fixed))
-		for _, v := range m.Violations() {
-			distinct[v.String()] = true
-		}
-	}
-	if len(distinct) == 0 {
-		fmt.Println("    vet: no rule violations")
-		return
-	}
-	for v := range distinct {
-		fmt.Printf("    %s\n", v)
-	}
-}
-
-// writeChromeTrace runs the kernel once with the streaming Chrome-trace
-// sink attached, writing the Trace Event Format rendering as it executes.
-func writeChromeTrace(k kernels.Kernel, fixed bool, seed int64, path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	cfg := k.Config(seed)
-	cts := sim.NewChromeTraceSink(f)
-	cfg.Sinks = []event.Sink{cts}
-	sim.Run(cfg, variant(k, fixed))
-	return cts.Err()
-}
-
-func printTrace(k kernels.Kernel, fixed bool, seed int64) {
-	cfg := k.Config(seed)
-	tc := &sim.TraceCollector{}
-	det := race.New(0)
-	cfg.Sinks = []event.Sink{tc, det}
-	res := sim.Run(cfg, variant(k, fixed))
-	fmt.Printf("--- trace of %s (seed %d, outcome %v) ---\n", k.ID, seed, res.Outcome)
-	for _, e := range tc.Events() {
-		fmt.Println(" ", e)
-	}
-	builtin := deadlock.Builtin{}.Detect(res)
-	leak := deadlock.Leak{}.Detect(res)
-	if builtin.Detected {
-		fmt.Println(builtin.Message)
-	}
-	if leak.Detected {
-		fmt.Println(leak.Message)
-	}
-	for _, r := range det.Reports() {
-		fmt.Println(" ", r)
-	}
+	return localSubmitter{eng}, cleanup, nil
 }

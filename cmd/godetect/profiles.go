@@ -1,0 +1,45 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// startProfiles turns on the requested pprof outputs and returns the flush
+// hook main runs before exiting (os.Exit skips defers, so dispatch paths
+// return codes instead of exiting directly).
+func startProfiles(cpu, mem string) (func(), error) {
+	var cpuF *os.File
+	if cpu != "" {
+		f, err := os.Create(cpu)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		cpuF = f
+	}
+	return func() {
+		if cpuF != nil {
+			pprof.StopCPUProfile()
+			cpuF.Close()
+		}
+		if mem == "" {
+			return
+		}
+		f, err := os.Create(mem)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "godetect: heap profile:", err)
+			return
+		}
+		defer f.Close()
+		runtime.GC() // settle the live set the profile reports
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "godetect: heap profile:", err)
+		}
+	}, nil
+}

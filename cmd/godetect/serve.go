@@ -1,0 +1,91 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"goconcbugs/internal/engine"
+	"goconcbugs/internal/store"
+)
+
+func init() { registerVerb("serve", cmdServe) }
+
+// cmdServe runs godetect as a daemon: an engine worker pool behind the HTTP
+// API, fronted by the persistent verdict store. SIGTERM/SIGINT drain
+// gracefully — in-flight jobs finish, the store syncs, then the process
+// exits — so a SIGKILL is the only way to lose the (still crash-safe)
+// cache.
+func cmdServe(args []string) int {
+	fs := flag.NewFlagSet("godetect serve", flag.ExitOnError)
+	addr := fs.String("addr", "unix:///tmp/godetect.sock", "listen address: unix:///path/sock (or a bare path), else host:port")
+	storePath := fs.String("store", "", "persistent verdict cache file (empty = in-memory only for this process's lifetime)")
+	maxBytes := fs.Int64("storebytes", store.DefaultMaxBytes, "verdict cache size bound; least-recently-used entries are evicted past it")
+	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "job-executing workers, each owning a warm runtime pool")
+	sweepWorkers := fs.Int("sweepworkers", 1, "per-job run fan-out; 1 keeps jobs the unit of parallelism")
+	queueDepth := fs.Int("queue", 256, "pending-job bound; submissions past it get HTTP 503")
+	drain := fs.Duration("drain", time.Minute, "graceful-shutdown budget for in-flight jobs and blocked waiters")
+	fs.Parse(args)
+
+	var st *store.Store
+	if *storePath != "" {
+		var err error
+		if st, err = store.Open(*storePath, store.Options{MaxBytes: *maxBytes}); err != nil {
+			fmt.Fprintln(os.Stderr, "godetect serve:", err)
+			return 1
+		}
+		defer st.Close()
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	opts := engine.Options{
+		Workers: *workers, SweepWorkers: *sweepWorkers, QueueDepth: *queueDepth,
+	}
+	if st != nil {
+		// Conditional so an uncached daemon gets a nil interface, not a
+		// typed-nil *store.Store that would dodge the engine's nil checks.
+		opts.Store = st
+	}
+	eng := engine.New(opts)
+	srv := engine.NewServer(eng)
+	if network, address := engine.SplitAddr(*addr); network == "unix" {
+		// A previous unclean exit leaves the socket file behind; a fresh
+		// daemon owns the address.
+		os.Remove(address)
+	}
+	if err := srv.Listen(*addr); err != nil {
+		fmt.Fprintln(os.Stderr, "godetect serve:", err)
+		eng.Close()
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "godetect serve: listening on %s\n", srv.Addr())
+
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve() }()
+
+	select {
+	case <-ctx.Done():
+		fmt.Fprintln(os.Stderr, "godetect serve: draining")
+		sctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := srv.Shutdown(sctx); err != nil {
+			fmt.Fprintln(os.Stderr, "godetect serve: drain:", err)
+		}
+		<-done
+	case err := <-done:
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "godetect serve:", err)
+			eng.Close()
+			return 1
+		}
+	}
+	eng.Close() // drains already-accepted jobs
+	return 0
+}

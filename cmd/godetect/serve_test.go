@@ -1,0 +1,182 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"goconcbugs/internal/engine"
+)
+
+// startDaemon execs this test binary as `godetect serve` on a unix socket
+// under dir, waits until it answers, and returns the socket address plus a
+// stop function (SIGTERM + wait for the graceful drain).
+func startDaemon(t *testing.T, dir string, extra ...string) (string, func()) {
+	t.Helper()
+	sock := filepath.Join(dir, "d.sock")
+	args := append([]string{"serve", "-addr", "unix://" + sock}, extra...)
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), "GODETECT_BE_CLI=1")
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Dir = root
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	stopped := false
+	stop := func() {
+		if stopped {
+			return
+		}
+		stopped = true
+		_ = cmd.Process.Signal(syscall.SIGTERM)
+		done := make(chan struct{})
+		go func() { cmd.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(30 * time.Second):
+			cmd.Process.Kill()
+			t.Error("daemon did not drain within 30s of SIGTERM")
+		}
+	}
+	t.Cleanup(stop)
+
+	// Readiness: the socket file appears, then stats answers.
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		if _, _, code := runCLI(t, "-remote", "unix://"+sock, "-stats"); code == 0 {
+			return "unix://" + sock, stop
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("daemon did not become ready")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+func daemonStats(t *testing.T, addr string) engine.Stats {
+	t.Helper()
+	out, stderr, code := runCLI(t, "-remote", addr, "-stats")
+	if code != 0 {
+		t.Fatalf("-stats exit %d: %s", code, stderr)
+	}
+	var st engine.Stats
+	if err := json.Unmarshal([]byte(out), &st); err != nil {
+		t.Fatalf("stats JSON: %v in:\n%s", err, out)
+	}
+	return st
+}
+
+// TestServeRemoteMatchesOneShot is the CLI face of the service invariant:
+// the same request through `-remote` (cold, then warm from the daemon's
+// store) prints exactly the bytes the one-shot CLI prints.
+func TestServeRemoteMatchesOneShot(t *testing.T) {
+	dir := t.TempDir()
+	addr, _ := startDaemon(t, dir, "-store", filepath.Join(dir, "verdicts.db"))
+
+	args := []string{"-kernel", "docker-abba-order", "-with", "cycle,race", "-runs", "10", "-seed", "3"}
+	local, _, code := runCLI(t, args...)
+	if code != 0 {
+		t.Fatalf("one-shot exit %d", code)
+	}
+
+	cold, _, code := runCLI(t, append([]string{"-remote", addr}, args...)...)
+	if code != 0 {
+		t.Fatalf("remote cold exit %d", code)
+	}
+	if cold != local {
+		t.Fatalf("daemon cold output diverged from one-shot:\n--- local ---\n%s--- remote ---\n%s", local, cold)
+	}
+	warm, _, code := runCLI(t, append([]string{"-remote", addr}, args...)...)
+	if code != 0 {
+		t.Fatalf("remote warm exit %d", code)
+	}
+	if warm != local {
+		t.Fatalf("daemon warm output diverged from one-shot:\n--- local ---\n%s--- remote ---\n%s", local, warm)
+	}
+
+	st := daemonStats(t, addr)
+	if st.Executed != 1 || st.CacheHits != 1 {
+		t.Fatalf("daemon stats %+v, want 1 executed / 1 cache hit", st)
+	}
+}
+
+// TestServeStoreSurvivesRestart restarts the daemon over the same store
+// file and requires the verdict to come back from cache, identical.
+func TestServeStoreSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	db := filepath.Join(dir, "verdicts.db")
+	args := []string{"-kernel", "grpc-lost-update", "-with", "race", "-runs", "10", "-seed", "5"}
+
+	addr, stop := startDaemon(t, dir, "-store", db)
+	first, _, code := runCLI(t, append([]string{"-remote", addr}, args...)...)
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	stop()
+
+	addr2, _ := startDaemon(t, dir, "-store", db)
+	second, _, code := runCLI(t, append([]string{"-remote", addr2}, args...)...)
+	if code != 0 {
+		t.Fatalf("exit %d after restart", code)
+	}
+	if second != first {
+		t.Fatal("restarted daemon served different bytes")
+	}
+	st := daemonStats(t, addr2)
+	if st.Executed != 0 || st.CacheHits != 1 {
+		t.Fatalf("restarted daemon stats %+v, want 0 executed / 1 hit", st)
+	}
+}
+
+// TestRemoteExitCodes: the fired-on-fixed regression gate works through the
+// daemon exactly as it does locally.
+func TestRemoteExitCodes(t *testing.T) {
+	dir := t.TempDir()
+	addr, _ := startDaemon(t, dir)
+	// Fixed variant, no detector fires: exit 0.
+	if out, _, code := runCLI(t, "-remote", addr, "-kernel", "docker-abba-order", "-fixed", "-with", "cycle", "-runs", "5"); code != 0 {
+		t.Fatalf("fixed quiet sweep exit %d:\n%s", code, out)
+	}
+	// Buggy variant fires but is not -fixed: still exit 0.
+	if _, _, code := runCLI(t, "-remote", addr, "-kernel", "docker-abba-order", "-with", "cycle", "-runs", "5"); code != 0 {
+		t.Fatalf("buggy sweep exit %d, want 0", code)
+	}
+	// Unknown kernel through the API: exit 1 with a diagnostic.
+	_, stderr, code := runCLI(t, "-remote", addr, "-kernel", "no-such-kernel")
+	if code != 1 || !strings.Contains(stderr, "no-such-kernel") {
+		t.Fatalf("unknown kernel via daemon: exit %d, stderr:\n%s", code, stderr)
+	}
+}
+
+// TestServeLocalStoreFlag: the one-shot CLI with -store also serves warm
+// results (no daemon involved), and -stats reports the hit.
+func TestOneShotStoreFlag(t *testing.T) {
+	db := filepath.Join(t.TempDir(), "verdicts.db")
+	args := []string{"-store", db, "-kernel", "docker-abba-order", "-with", "cycle", "-runs", "10", "-seed", "2"}
+	first, _, code := runCLI(t, args...)
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	out, _, code := runCLI(t, append(args, "-stats")...)
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.HasPrefix(out, first) {
+		t.Fatalf("warm one-shot output diverged:\n%s\nvs\n%s", first, out)
+	}
+	var st engine.Stats
+	if err := json.Unmarshal([]byte(strings.TrimPrefix(out, first)), &st); err != nil {
+		t.Fatalf("trailing -stats JSON: %v", err)
+	}
+	if st.CacheHits != 1 {
+		t.Fatalf("stats %+v, want 1 cache hit", st)
+	}
+}

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"goconcbugs/internal/deadlock"
+	"goconcbugs/internal/event"
+	"goconcbugs/internal/kernels"
+	"goconcbugs/internal/race"
+	"goconcbugs/internal/sim"
+)
+
+func variant(k kernels.Kernel, fixed bool) sim.Program {
+	if fixed {
+		return k.Fixed
+	}
+	return k.Buggy
+}
+
+// kernelDir places one kernel's archive under an -all record/replay base
+// directory; an empty base stays empty (feature off).
+func kernelDir(base, id string) string {
+	if base == "" {
+		return ""
+	}
+	return filepath.Join(base, id)
+}
+
+// writeChromeTrace runs the kernel once with the streaming Chrome-trace
+// sink attached, writing the Trace Event Format rendering as it executes.
+func writeChromeTrace(k kernels.Kernel, fixed bool, seed int64, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	cfg := k.Config(seed)
+	cts := sim.NewChromeTraceSink(f)
+	cfg.Sinks = []event.Sink{cts}
+	sim.Run(cfg, variant(k, fixed))
+	return cts.Err()
+}
+
+func printTrace(k kernels.Kernel, fixed bool, seed int64) {
+	cfg := k.Config(seed)
+	tc := &sim.TraceCollector{}
+	det := race.New(0)
+	cfg.Sinks = []event.Sink{tc, det}
+	res := sim.Run(cfg, variant(k, fixed))
+	fmt.Printf("--- trace of %s (seed %d, outcome %v) ---\n", k.ID, seed, res.Outcome)
+	for _, e := range tc.Events() {
+		fmt.Println(" ", e)
+	}
+	builtin := deadlock.Builtin{}.Detect(res)
+	leak := deadlock.Leak{}.Detect(res)
+	if builtin.Detected {
+		fmt.Println(builtin.Message)
+	}
+	if leak.Detected {
+		fmt.Println(leak.Message)
+	}
+	for _, r := range det.Reports() {
+		fmt.Println(" ", r)
+	}
+}

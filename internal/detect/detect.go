@@ -278,6 +278,13 @@ type SweepOptions struct {
 	// Recording is best-effort with the same contract as Checkpoint: a
 	// write failure costs the archive entry, never the sweep.
 	RecordDir string
+	// Pool, when non-nil, is an external sim.RunPool the serial sweep path
+	// (Workers == 1) recycles runs through instead of creating its own —
+	// a job-engine worker executing many sweeps back to back keeps one
+	// warm runtime across all of them. The pool is single-owner and is NOT
+	// closed by Sweep; it is ignored when the sweep runs parallel workers
+	// (each worker owns a private pool either way).
+	Pool *sim.RunPool
 	// ShardCount and ShardIndex restrict the sweep to one contiguous block
 	// of the seed range: with ShardCount > 1, only runs in shard ShardIndex
 	// (per harness.Shard) execute, and the report folds that block alone.
@@ -487,14 +494,17 @@ func Sweep(prog sim.Program, opts SweepOptions, dets ...Detector) *SweepReport {
 		mu.Unlock()
 	}
 	if workers <= 1 {
-		pool := sim.NewRunPool()
+		pool := opts.Pool
+		if pool == nil {
+			pool = sim.NewRunPool()
+			defer pool.Close()
+		}
 		for _, i := range worklist {
 			if ctx.Err() != nil {
 				break
 			}
 			oneRun(pool, i)
 		}
-		pool.Close()
 	} else {
 		var wg sync.WaitGroup
 		next := make(chan int)

@@ -1,0 +1,336 @@
+package engine
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Server exposes an Engine over HTTP — on a unix socket (the default
+// deployment: filesystem permissions are the auth model) or a TCP address.
+//
+//	POST /v1/jobs          submit a Job; ?wait=1 blocks for the Result
+//	GET  /v1/jobs/{id}         job state ("queued" | "running" | "done")
+//	GET  /v1/jobs/{id}/result  block for (or fetch) the Result
+//	GET  /v1/stats             engine + store counters
+//
+// Submissions past the queue bound get 503 (backpressure, not buffering).
+// Shutdown drains: in-flight jobs finish and their tickets stay queryable
+// until the listener closes.
+type Server struct {
+	eng *Engine
+
+	mu      sync.Mutex
+	tickets map[string]*Ticket
+
+	http *http.Server
+	lis  net.Listener
+}
+
+// NewServer wraps eng. The caller keeps ownership of the engine (and its
+// store): Shutdown drains the HTTP side only.
+func NewServer(eng *Engine) *Server {
+	s := &Server{eng: eng, tickets: make(map[string]*Ticket)}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/jobs", s.handleJobs)
+	mux.HandleFunc("/v1/jobs/", s.handleJob)
+	mux.HandleFunc("/v1/stats", s.handleStats)
+	s.http = &http.Server{Handler: mux}
+	return s
+}
+
+// SplitAddr parses a daemon address into a (network, address) pair for
+// net.Listen / net.Dial: "unix:///run/godetect.sock" or a bare path selects
+// a unix socket, anything else is a TCP host:port.
+func SplitAddr(addr string) (network, address string) {
+	if rest, ok := strings.CutPrefix(addr, "unix://"); ok {
+		return "unix", rest
+	}
+	if strings.ContainsAny(addr, "/") {
+		return "unix", addr
+	}
+	return "tcp", addr
+}
+
+// Listen binds the server's listener without serving yet, so callers can
+// report "listening on ..." before blocking in Serve.
+func (s *Server) Listen(addr string) error {
+	network, address := SplitAddr(addr)
+	lis, err := net.Listen(network, address)
+	if err != nil {
+		return err
+	}
+	s.lis = lis
+	return nil
+}
+
+// Addr is the bound listener address (useful with "127.0.0.1:0").
+func (s *Server) Addr() net.Addr {
+	if s.lis == nil {
+		return nil
+	}
+	return s.lis.Addr()
+}
+
+// Serve blocks serving requests until Shutdown. It returns nil on a clean
+// shutdown.
+func (s *Server) Serve() error {
+	if s.lis == nil {
+		return errors.New("engine: Serve before Listen")
+	}
+	err := s.http.Serve(s.lis)
+	if errors.Is(err, http.ErrServerClosed) {
+		return nil
+	}
+	return err
+}
+
+// Shutdown gracefully drains the HTTP server: no new submissions, in-flight
+// request handlers (including blocked waits) get until ctx expires.
+func (s *Server) Shutdown(ctx context.Context) error {
+	return s.http.Shutdown(ctx)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+// statusView is the wire form of a ticket's state.
+type statusView struct {
+	ID    string `json:"id"`
+	State string `json:"state"`
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("POST /v1/jobs"))
+		return
+	}
+	var job Job
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&job); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding job: %w", err))
+		return
+	}
+	t, err := s.eng.Enqueue(job)
+	switch {
+	case errors.Is(err, ErrBusy):
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case errors.Is(err, ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mu.Lock()
+	s.tickets[t.ID] = t
+	s.mu.Unlock()
+	if r.URL.Query().Get("wait") != "" {
+		s.writeResult(w, r, t)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, statusView{ID: t.ID, State: t.State()})
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("GET only"))
+		return
+	}
+	rest := strings.TrimPrefix(r.URL.Path, "/v1/jobs/")
+	id, sub, _ := strings.Cut(rest, "/")
+	s.mu.Lock()
+	t := s.tickets[id]
+	s.mu.Unlock()
+	if t == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no job %q", id))
+		return
+	}
+	switch sub {
+	case "":
+		writeJSON(w, http.StatusOK, statusView{ID: t.ID, State: t.State()})
+	case "result":
+		s.writeResult(w, r, t)
+	default:
+		writeError(w, http.StatusNotFound, fmt.Errorf("no resource %q", sub))
+	}
+}
+
+// writeResult blocks on the ticket under the request context, then renders
+// the result. Execution errors are the job's outcome, not the transport's:
+// they come back 200 with an error field.
+func (s *Server) writeResult(w http.ResponseWriter, r *http.Request, t *Ticket) {
+	res, err := t.Wait(r.Context())
+	if err != nil && res == nil && r.Context().Err() != nil {
+		writeError(w, http.StatusGatewayTimeout, err)
+		return
+	}
+	view := resultView{ID: t.ID, Result: res}
+	if err != nil {
+		view.Error = err.Error()
+	}
+	writeJSON(w, http.StatusOK, view)
+}
+
+// resultView is the wire form of a completed job.
+type resultView struct {
+	ID     string  `json:"id"`
+	Result *Result `json:"result,omitempty"`
+	Error  string  `json:"error,omitempty"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("GET only"))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.eng.Stats())
+}
+
+// Client is the remote face of the daemon: the same Submit/Stats surface as
+// a local Engine, over its socket.
+type Client struct {
+	hc   *http.Client
+	base string
+}
+
+// NewClient targets addr (same forms SplitAddr accepts). Unix sockets get a
+// dedicated dialer; the base URL host is then only decorative.
+func NewClient(addr string) *Client {
+	network, address := SplitAddr(addr)
+	tr := &http.Transport{}
+	base := "http://" + address
+	if network == "unix" {
+		tr.DialContext = func(ctx context.Context, _, _ string) (net.Conn, error) {
+			var d net.Dialer
+			return d.DialContext(ctx, "unix", address)
+		}
+		base = "http://godetect"
+	}
+	return &Client{hc: &http.Client{Transport: tr}, base: base}
+}
+
+func (c *Client) do(ctx context.Context, method, path string, body any, out any) error {
+	var rd *strings.Reader
+	if body != nil {
+		raw, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = strings.NewReader(string(raw))
+	} else {
+		rd = strings.NewReader("")
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error != "" {
+			return fmt.Errorf("daemon: %s (HTTP %d)", e.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("daemon: HTTP %d", resp.StatusCode)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Submit sends the job and blocks for its result. A non-empty wire error is
+// the job's execution error.
+func (c *Client) Submit(ctx context.Context, job Job) (*Result, error) {
+	var view resultView
+	if err := c.do(ctx, http.MethodPost, "/v1/jobs?wait=1", job, &view); err != nil {
+		return nil, err
+	}
+	if view.Error != "" {
+		return view.Result, errors.New(view.Error)
+	}
+	return view.Result, nil
+}
+
+// Enqueue submits without waiting and returns the job ID.
+func (c *Client) Enqueue(ctx context.Context, job Job) (string, error) {
+	var view statusView
+	if err := c.do(ctx, http.MethodPost, "/v1/jobs", job, &view); err != nil {
+		return "", err
+	}
+	return view.ID, nil
+}
+
+// Status fetches a submitted job's state.
+func (c *Client) Status(ctx context.Context, id string) (string, error) {
+	var view statusView
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &view); err != nil {
+		return "", err
+	}
+	return view.State, nil
+}
+
+// Result blocks for (or fetches) a submitted job's result.
+func (c *Client) Result(ctx context.Context, id string) (*Result, error) {
+	var view resultView
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id+"/result", nil, &view); err != nil {
+		return nil, err
+	}
+	if view.Error != "" {
+		return view.Result, errors.New(view.Error)
+	}
+	return view.Result, nil
+}
+
+// Stats fetches the daemon's engine counters.
+func (c *Client) Stats(ctx context.Context) (Stats, error) {
+	var st Stats
+	err := c.do(ctx, http.MethodGet, "/v1/stats", nil, &st)
+	return st, err
+}
+
+// WaitReady polls the daemon's stats endpoint until it answers or the
+// deadline passes — the client-side half of daemon startup.
+func (c *Client) WaitReady(ctx context.Context, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		probe, cancel := context.WithTimeout(ctx, 250*time.Millisecond)
+		_, err := c.Stats(probe)
+		cancel()
+		if err == nil {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("daemon not ready after %v: %w", timeout, err)
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(25 * time.Millisecond):
+		}
+	}
+}

@@ -161,11 +161,18 @@ func SaveCheckpoint(path string, v any) error {
 		return fmt.Errorf("harness: creating checkpoint temp: %w", err)
 	}
 	_, werr := tmp.Write(data)
+	// Sync before the rename publishes the name: without it a power cut can
+	// leave the directory entry pointing at never-flushed bytes — exactly
+	// the torn checkpoint the temp+rename dance exists to prevent.
+	serr := tmp.Sync()
 	cerr := tmp.Close()
-	if werr != nil || cerr != nil {
+	if werr != nil || serr != nil || cerr != nil {
 		os.Remove(tmp.Name())
 		if werr != nil {
 			return fmt.Errorf("harness: writing checkpoint: %w", werr)
+		}
+		if serr != nil {
+			return fmt.Errorf("harness: syncing checkpoint: %w", serr)
 		}
 		return fmt.Errorf("harness: closing checkpoint: %w", cerr)
 	}
@@ -185,10 +192,16 @@ func LoadCheckpoint(path string, v any) error {
 		return err
 	}
 	if err := json.Unmarshal(data, v); err != nil {
-		return fmt.Errorf("harness: decoding checkpoint %s: %w", path, err)
+		return fmt.Errorf("harness: decoding checkpoint %s: %w (%w)", path, err, ErrCorruptCheckpoint)
 	}
 	return nil
 }
+
+// ErrCorruptCheckpoint marks a checkpoint file that exists but does not
+// decode — a torn write from a crashed kernel or filesystem, not a missing
+// file. Callers match it with errors.Is to distinguish "start fresh" from
+// "refuse to silently discard progress".
+var ErrCorruptCheckpoint = errors.New("corrupt checkpoint")
 
 // Shard partitions n work items into count contiguous blocks and returns the
 // half-open range [lo, hi) of block index (0-based). Blocks are balanced to

@@ -152,6 +152,41 @@ func TestLoadCheckpointCorrupt(t *testing.T) {
 	}
 }
 
+// TestLoadCheckpointTornWrite: a checkpoint truncated mid-file (the torn
+// write SaveCheckpoint's sync+rename exists to prevent, simulated here by
+// truncating a valid one) must come back as a structured
+// ErrCorruptCheckpoint — never a panic, never os.IsNotExist.
+func TestLoadCheckpointTornWrite(t *testing.T) {
+	type state struct {
+		Name string `json:"name"`
+		Done []int  `json:"done"`
+	}
+	path := filepath.Join(t.TempDir(), "cp.json")
+	if err := SaveCheckpoint(path, &state{Name: "sweep", Done: []int{1, 2, 3}}); err != nil {
+		t.Fatal(err)
+	}
+	whole, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{1, len(whole) / 2, len(whole) - 1} {
+		if err := os.Truncate(path, int64(cut)); err != nil {
+			t.Fatal(err)
+		}
+		var v state
+		err := LoadCheckpoint(path, &v)
+		if err == nil {
+			t.Fatalf("checkpoint truncated to %d bytes loaded cleanly", cut)
+		}
+		if !errors.Is(err, ErrCorruptCheckpoint) {
+			t.Fatalf("truncation to %d bytes yields %v, want ErrCorruptCheckpoint", cut, err)
+		}
+		if os.IsNotExist(err) {
+			t.Fatalf("truncated checkpoint misreported as missing: %v", err)
+		}
+	}
+}
+
 // TestShardPartitions: for many (n, count) shapes the blocks are contiguous,
 // disjoint, balanced to within one item, and cover [0, n) exactly.
 func TestShardPartitions(t *testing.T) {

@@ -25,6 +25,14 @@
 #     silently tax recording sweeps)
 #   BenchmarkTraceArchive/replay                    - decode + re-judge
 #     (RunAllTrace over an archived frame — the offline verdict path)
+#   BenchmarkEngineSubmit/cold                      - full engine execution
+#     (submit, worker dispatch, pooled 5-run sweep, render)
+#   BenchmarkEngineSubmit/warm                      - store hit end to end
+#     (the daemon's steady-state answer path: key, Get, decode, ticket)
+#   BenchmarkEngineSubmit/coalesced                 - attach to an in-flight
+#     ticket (the dedup fast path under submission storms)
+#   BenchmarkStoreGet                               - raw verdict-store hit
+#     (must stay 0 allocs/op: the warm daemon rides it on every request)
 #
 # The recorder-OFF guarantee rides on the existing rows: recording is a
 # plain event.Sink behind Config.Sinks, so with no RecordDir the hot path
@@ -38,7 +46,7 @@ cd "$(dirname "$0")/.."
 
 BASELINE=testdata/bench_baseline.txt
 SLACK_PCT=${BENCHGATE_SLACK_PCT:-15}
-BENCHES='BenchmarkRaceDetectorOverhead|BenchmarkDetectorPipeline/single-pass|BenchmarkFaultInjection/off|BenchmarkPooledRun|BenchmarkTraceArchive/(record|replay)$'
+BENCHES='BenchmarkRaceDetectorOverhead|BenchmarkDetectorPipeline/single-pass|BenchmarkFaultInjection/off|BenchmarkPooledRun|BenchmarkTraceArchive/(record|replay)$|BenchmarkEngineSubmit/(cold|warm|coalesced)$|BenchmarkStoreGet$'
 
 raw=$(go test -bench "$BENCHES" -benchtime 1000x -count 6 -benchmem -run '^$' . | grep -E '^Benchmark')
 

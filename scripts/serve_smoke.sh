@@ -1,0 +1,111 @@
+#!/usr/bin/env bash
+# Daemon-mode smoke for the service layer (store + engine + daemon API).
+#
+# Five gates, all on real godetect processes over a unix socket:
+#
+#   1. A sweep submitted through `-remote` prints byte-identical output to
+#      the one-shot CLI computing the same job in-process.
+#   2. Submitting it again is a warm cache hit: the daemon's stats show one
+#      execution, one hit — and the bytes still match.
+#   3. SIGKILL the daemon (no drain, no sync courtesy): the verdict store
+#      must reopen cleanly — crash-safety is the store's job, not the
+#      shutdown path's.
+#   4. A restarted daemon over the same store file serves the verdict from
+#      cache (zero executions) and the bytes still match the one-shot CLI.
+#   5. SIGTERM drains gracefully: the daemon exits 0 on its own.
+#
+# Usage: scripts/serve_smoke.sh  (SERVE_RUNS and SERVE_KERNEL override the
+# sweep size and subject kernel).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+RUNS=${SERVE_RUNS:-100}
+KERNEL=${SERVE_KERNEL:-docker-abba-order}
+DETS="race,vet,leak,cycle"
+
+tmp=$(mktemp -d)
+daemon_pid=""
+cleanup() {
+  [ -n "$daemon_pid" ] && kill -9 "$daemon_pid" 2>/dev/null || true
+  rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+echo "serve_smoke: building godetect"
+go build -o "$tmp/godetect" ./cmd/godetect
+
+SOCK="unix://$tmp/godetect.sock"
+STORE="$tmp/verdicts.db"
+
+start_daemon() {
+  "$tmp/godetect" serve -addr "$SOCK" -store "$STORE" 2>> "$tmp/serve.log" &
+  daemon_pid=$!
+  disown "$daemon_pid" 2>/dev/null || true
+  for _ in $(seq 1 100); do
+    if "$tmp/godetect" -remote "$SOCK" -stats > /dev/null 2>&1; then return 0; fi
+    sleep 0.1
+  done
+  echo "serve_smoke: FAIL: daemon did not become ready" >&2
+  cat "$tmp/serve.log" >&2
+  exit 1
+}
+
+stat_of() { # stat_of <field>
+  "$tmp/godetect" -remote "$SOCK" -stats | python3 -c "import json,sys; print(json.load(sys.stdin)['$1'])"
+}
+
+echo "serve_smoke: [1/5] daemon-served sweep matches the one-shot CLI byte for byte"
+"$tmp/godetect" -kernel "$KERNEL" -with "$DETS" -runs "$RUNS" -seed 1 > "$tmp/oneshot.txt"
+start_daemon
+"$tmp/godetect" -remote "$SOCK" -kernel "$KERNEL" -with "$DETS" -runs "$RUNS" -seed 1 > "$tmp/cold.txt"
+cmp "$tmp/oneshot.txt" "$tmp/cold.txt" || {
+  echo "serve_smoke: FAIL: daemon cold output differs from one-shot CLI" >&2
+  diff "$tmp/oneshot.txt" "$tmp/cold.txt" >&2 || true
+  exit 1
+}
+
+echo "serve_smoke: [2/5] resubmission is a warm cache hit"
+"$tmp/godetect" -remote "$SOCK" -kernel "$KERNEL" -with "$DETS" -runs "$RUNS" -seed 1 > "$tmp/warm.txt"
+cmp "$tmp/oneshot.txt" "$tmp/warm.txt" || {
+  echo "serve_smoke: FAIL: daemon warm output differs from one-shot CLI" >&2
+  exit 1
+}
+executed=$(stat_of executed); hits=$(stat_of cacheHits)
+if [ "$executed" != 1 ] || [ "$hits" != 1 ]; then
+  echo "serve_smoke: FAIL: stats show executed=$executed cacheHits=$hits, want 1/1" >&2
+  exit 1
+fi
+
+echo "serve_smoke: [3/5] SIGKILL the daemon; the store must survive unsynced death"
+kill -9 "$daemon_pid"
+wait "$daemon_pid" 2>/dev/null || true
+daemon_pid=""
+
+echo "serve_smoke: [4/5] restarted daemon serves the verdict from the persisted cache"
+start_daemon
+"$tmp/godetect" -remote "$SOCK" -kernel "$KERNEL" -with "$DETS" -runs "$RUNS" -seed 1 > "$tmp/revived.txt"
+cmp "$tmp/oneshot.txt" "$tmp/revived.txt" || {
+  echo "serve_smoke: FAIL: post-restart output differs from one-shot CLI" >&2
+  exit 1
+}
+executed=$(stat_of executed); hits=$(stat_of cacheHits)
+if [ "$executed" != 0 ] || [ "$hits" != 1 ]; then
+  echo "serve_smoke: FAIL: restart stats show executed=$executed cacheHits=$hits, want 0/1 (cache did not survive)" >&2
+  exit 1
+fi
+
+echo "serve_smoke: [5/5] SIGTERM drains gracefully"
+kill -TERM "$daemon_pid"
+drained=1
+for _ in $(seq 1 100); do
+  if ! kill -0 "$daemon_pid" 2>/dev/null; then drained=0; break; fi
+  sleep 0.1
+done
+if [ "$drained" != 0 ]; then
+  echo "serve_smoke: FAIL: daemon still alive 10s after SIGTERM" >&2
+  exit 1
+fi
+wait "$daemon_pid" 2>/dev/null || true
+daemon_pid=""
+
+echo "serve_smoke: PASS (cold=one-shot, warm hit, SIGKILL-crash survival, restart from cache, graceful drain)"
