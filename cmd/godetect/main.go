@@ -29,6 +29,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"goconcbugs/internal/detect"
 	"goconcbugs/internal/engine"
@@ -89,6 +90,10 @@ func oneShot(args []string) int {
 	record := fs.String("record", "", "with -with: archive every run of the sweep as trace/v1 files under this directory (re-judge offline with -replay); -all records into per-kernel subdirectories")
 	replay := fs.String("replay", "", "re-judge a sweep archive recorded with -record instead of running live; pass the recording's -kernel/-all, -with, -runs, -seed, and -faults options (the detector set may differ — that is the point)")
 	remote := fs.String("remote", "", "submit to a godetect daemon at this address (unix:///path/sock or host:port) instead of executing in-process")
+	fleetHosts := fs.String("fleet", "", "comma-separated daemon addresses: fan a -with sweep's shards across them with retry, stealing, and local fallback (needs -kernel and -resume; composes with -shards); exit 3 if the sweep degraded to local execution")
+	leaseTimeout := fs.Duration("lease-timeout", 10*time.Second, "with -fleet: how long a shard lease may run before another daemon may steal the shard")
+	probeInterval := fs.Duration("probe-interval", 250*time.Millisecond, "with -fleet: daemon health probe cadence; two consecutive failures mark a daemon unhealthy")
+	hedgeAfter := fs.Duration("hedge-after", 0, "with -fleet: duplicate a shard still running after this long onto an idle daemon, first finisher wins (0 = off)")
 	storePath := fs.String("store", "", "persistent verdict cache file: equal requests are served from it instead of re-running")
 	statsFlag := fs.Bool("stats", false, "print the engine's stats as JSON after the run (alone with -remote: just query the daemon)")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of this invocation to the file")
@@ -151,6 +156,23 @@ func oneShot(args []string) int {
 		if *replay != "" && (*record != "" || *shards > 1 || *foldFlag) {
 			fmt.Fprintln(os.Stderr, "godetect: -replay re-judges an existing archive; it cannot be combined with -record, -shards, or -fold")
 			return 2
+		}
+		if *fleetHosts != "" {
+			if *kernel == "" || dets == nil || *resume == "" {
+				fmt.Fprintln(os.Stderr, "godetect: -fleet needs -kernel, a -with detector sweep, and a -resume checkpoint base")
+				return 2
+			}
+			if *all || *conf || *systematic || *replay != "" || *foldFlag || *remote != "" {
+				fmt.Fprintln(os.Stderr, "godetect: -fleet runs one kernel's detector sweep; it cannot combine with -all, -conformance, -systematic, -replay, -fold, or -remote")
+				return 2
+			}
+			ff := fleetFlags{hosts: *fleetHosts, leaseTimeout: *leaseTimeout,
+				probeInterval: *probeInterval, hedgeAfter: *hedgeAfter}
+			base := engineJob{
+				fixed: *fixed, runs: *runs, seed: *seed, dets: detectorNames(dets),
+				injOpts: injOpts, shards: *shards, resume: *resume,
+			}
+			return runFleet(ctx, ff, *kernel, base, *storePath)
 		}
 		if *shards > 1 || *foldFlag {
 			if *shards <= 1 {

@@ -40,6 +40,11 @@ func (s remoteSubmitter) Submit(ctx context.Context, job engine.Job) (*engine.Re
 
 func (s remoteSubmitter) Stats(ctx context.Context) (engine.Stats, error) { return s.c.Stats(ctx) }
 
+// Health exposes the daemon's load-and-liveness snapshot; printStats folds
+// it into the -stats JSON for remote backends only (local health is the
+// process itself).
+func (s remoteSubmitter) Health(ctx context.Context) (engine.Health, error) { return s.c.Health(ctx) }
+
 // engineJob is the parsed flag set in job-building form: job() spells it as
 // an engine.Job for one kernel.
 type engineJob struct {
@@ -171,13 +176,35 @@ func injectorFor(injOpts *inject.Options) func(run int, seed int64) sim.Injector
 	return func(run int, seed int64) sim.Injector { return inject.ForRun(opts, run) }
 }
 
-// printStats renders the backend's counters as JSON (the -stats flag).
+// printStats renders the backend's counters as JSON (the -stats flag). A
+// remote backend additionally reports the daemon's /v1/health snapshot
+// under a "health" key; the stats fields stay top-level so existing
+// consumers keep parsing.
 func printStats(ctx context.Context, sub submitter) error {
 	st, err := sub.Stats(ctx)
 	if err != nil {
 		return err
 	}
-	raw, err := json.MarshalIndent(st, "", "  ")
+	var out any = st
+	if h, ok := sub.(interface {
+		Health(context.Context) (engine.Health, error)
+	}); ok {
+		health, err := h.Health(ctx)
+		if err != nil {
+			return err
+		}
+		var m map[string]any
+		raw, err := json.Marshal(st)
+		if err != nil {
+			return err
+		}
+		if err := json.Unmarshal(raw, &m); err != nil {
+			return err
+		}
+		m["health"] = health
+		out = m
+	}
+	raw, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {
 		return err
 	}

@@ -18,6 +18,7 @@ package detect
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"os"
 	"runtime"
@@ -621,12 +622,33 @@ func foldSweep(opts SweepOptions, dets []Detector, records []*sweepRecord, lo, h
 	return out
 }
 
+// Structured merge failures. MergeSweepCheckpoints wraps each with the
+// offending path and details; callers classify with errors.Is — a fleet
+// scheduler treats ErrShardUnreadable as "re-fetch that shard" but
+// ErrShardOverlap/ErrShardFingerprint as partitioning bugs that no retry
+// fixes.
+var (
+	// ErrShardUnreadable: a shard checkpoint file is missing or corrupt.
+	ErrShardUnreadable = errors.New("shard checkpoint unreadable")
+	// ErrShardFingerprint: a shard checkpoint was written under different
+	// sweep options (program, seed range, detector set, injection).
+	ErrShardFingerprint = errors.New("shard checkpoint fingerprint mismatch")
+	// ErrShardLength: a shard checkpoint's record slice is not the sweep's
+	// full length — it was written by a different format or a torn tool.
+	ErrShardLength = errors.New("shard checkpoint length mismatch")
+	// ErrShardOverlap: the same run appears in more than one shard
+	// checkpoint — overlapping shard ranges or a duplicated shard file.
+	ErrShardOverlap = errors.New("shard checkpoints overlap")
+)
+
 // MergeSweepCheckpoints folds the checkpoint files written by sharded Sweeps
 // of the same program and options back into the one report a serial sweep
 // would produce. Every source must carry the fingerprint of opts/dets and a
 // full-length record slice; records present in more than one source mean the
-// shards overlapped (a partitioning bug) and are rejected. Seeds no shard
-// executed fold into Incomplete, exactly as a canceled serial sweep's would.
+// shards overlapped (a partitioning bug) and are rejected, as is the same
+// source path listed twice. Seeds no shard executed fold into Incomplete,
+// exactly as a canceled serial sweep's would. Failures wrap the ErrShard*
+// sentinels, never fold silently.
 //
 // When dst is non-empty the merged full-length checkpoint is saved there
 // first; because sweepRecords hold no wall time and the fingerprint carries
@@ -638,23 +660,28 @@ func MergeSweepCheckpoints(dst string, srcs []string, opts SweepOptions, dets ..
 	}
 	fp := sweepFingerprint(opts, dets)
 	records := make([]*sweepRecord, opts.Runs)
+	seen := make(map[string]bool, len(srcs))
 	for _, src := range srcs {
+		if seen[src] {
+			return nil, fmt.Errorf("detect: shard checkpoint %s listed twice: %w", src, ErrShardOverlap)
+		}
+		seen[src] = true
 		var cp sweepCheckpoint
 		if err := harness.LoadCheckpoint(src, &cp); err != nil {
-			return nil, fmt.Errorf("detect: reading shard checkpoint %s: %w", src, err)
+			return nil, fmt.Errorf("detect: reading shard checkpoint %s: %w (%w)", src, err, ErrShardUnreadable)
 		}
 		if cp.Fingerprint != fp {
-			return nil, fmt.Errorf("detect: shard checkpoint %s was written under different options:\n  have %q\n  want %q", src, cp.Fingerprint, fp)
+			return nil, fmt.Errorf("detect: shard checkpoint %s was written under different options:\n  have %q\n  want %q\n  %w", src, cp.Fingerprint, fp, ErrShardFingerprint)
 		}
 		if len(cp.Records) != opts.Runs {
-			return nil, fmt.Errorf("detect: shard checkpoint %s holds %d records, want %d", src, len(cp.Records), opts.Runs)
+			return nil, fmt.Errorf("detect: shard checkpoint %s holds %d records, want %d: %w", src, len(cp.Records), opts.Runs, ErrShardLength)
 		}
 		for i, rec := range cp.Records {
 			if rec == nil {
 				continue
 			}
 			if records[i] != nil {
-				return nil, fmt.Errorf("detect: run %d appears in more than one shard checkpoint (%s) — shards must partition the seed range", i, src)
+				return nil, fmt.Errorf("detect: run %d appears in more than one shard checkpoint (%s) — shards must partition the seed range: %w", i, src, ErrShardOverlap)
 			}
 			records[i] = rec
 		}

@@ -2,6 +2,8 @@ package detect
 
 import (
 	"bytes"
+	"errors"
+	"fmt"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -111,6 +113,98 @@ func TestMergeSweepCheckpointsRejectsMisuse(t *testing.T) {
 	}
 	if _, err := MergeSweepCheckpoints("", []string{filepath.Join(dir, "absent.ck")}, opts, dets...); err == nil {
 		t.Error("merging a missing checkpoint file did not fail")
+	}
+}
+
+// TestMergeSweepCheckpointsAdversarial is the structured-error contract for
+// the merge under adversarial inputs: overlapping shard ranges, a missing
+// shard file, the same shard file listed twice, wrong-length records, and
+// fingerprints from different options must all classify via the ErrShard*
+// sentinels instead of folding a wrong verdict silently.
+func TestMergeSweepCheckpointsAdversarial(t *testing.T) {
+	dir := t.TempDir()
+	dets := shardDets()
+	opts := SweepOptions{Runs: 12, BaseSeed: 2, Config: sim.Config{Name: "shard-prog"}}
+
+	// Honest 2-way sharding, plus a deliberately overlapping 3-way shard 0
+	// (runs 0-3) that collides with 2-way shard 0 (runs 0-5).
+	shardFile := func(count, index int) string {
+		so := opts
+		so.ShardCount, so.ShardIndex = count, index
+		so.Checkpoint = filepath.Join(dir, fmt.Sprintf("s%d-of-%d.ck", index, count))
+		Sweep(shardProg, so, dets...)
+		return so.Checkpoint
+	}
+	half0, half1 := shardFile(2, 0), shardFile(2, 1)
+	third0 := shardFile(3, 0)
+
+	otherSeed := opts
+	otherSeed.BaseSeed = 99
+	otherSeedFile := filepath.Join(dir, "other-seed.ck")
+	{
+		so := otherSeed
+		so.ShardCount, so.ShardIndex = 2, 0
+		so.Checkpoint = otherSeedFile
+		Sweep(shardProg, so, dets...)
+	}
+
+	shortRuns := opts
+	shortRuns.Runs = 6
+	shortFile := filepath.Join(dir, "short.ck")
+	{
+		so := shortRuns
+		so.ShardCount, so.ShardIndex = 2, 0
+		so.Checkpoint = shortFile
+		Sweep(shardProg, so, dets...)
+	}
+	// Same Runs in the fingerprint but a truncated record slice: corrupt the
+	// honest file's records by hand.
+	tornFile := filepath.Join(dir, "torn.ck")
+	{
+		var cp sweepCheckpoint
+		if err := harness.LoadCheckpoint(half0, &cp); err != nil {
+			t.Fatal(err)
+		}
+		cp.Records = cp.Records[:4]
+		if err := harness.SaveCheckpoint(tornFile, &cp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	garbageFile := filepath.Join(dir, "garbage.ck")
+	if err := os.WriteFile(garbageFile, []byte("not json{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name string
+		srcs []string
+		want error
+	}{
+		{"overlapping shard ranges", []string{half0, third0}, ErrShardOverlap},
+		{"same file listed twice", []string{half0, half0}, ErrShardOverlap},
+		{"missing shard file", []string{half0, filepath.Join(dir, "absent.ck")}, ErrShardUnreadable},
+		{"corrupt shard file", []string{garbageFile}, ErrShardUnreadable},
+		{"mismatched fingerprint (base seed)", []string{otherSeedFile}, ErrShardFingerprint},
+		{"mismatched fingerprint (runs)", []string{shortFile}, ErrShardFingerprint},
+		{"truncated record slice", []string{tornFile}, ErrShardLength},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dst := filepath.Join(dir, "dst-"+tc.name+".ck")
+			rep, err := MergeSweepCheckpoints(dst, tc.srcs, opts, dets...)
+			if err == nil {
+				t.Fatalf("merge folded silently: %+v", rep.Verdict)
+			}
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("err = %v, want errors.Is(%v)", err, tc.want)
+			}
+		})
+	}
+
+	// The honest pair still folds — the adversarial rejections above are not
+	// false positives from an over-strict merge.
+	if _, err := MergeSweepCheckpoints("", []string{half0, half1}, opts, dets...); err != nil {
+		t.Fatalf("honest merge failed: %v", err)
 	}
 }
 

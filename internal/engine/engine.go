@@ -110,6 +110,12 @@ type Job struct {
 	Shards     int    `json:"shards,omitempty"`
 	Shard      int    `json:"shard,omitempty"`
 	Fold       bool   `json:"fold,omitempty"`
+	// InlineShard makes a sharded sweep return its shard checkpoint bytes
+	// in Result.ShardCheckpoint instead of requiring a Checkpoint base on
+	// the executing machine's disk: the daemon sweeps the shard into a
+	// private temp file and ships the bytes back, so a fleet coordinator
+	// can fold shards from daemons that share no filesystem with it.
+	InlineShard bool `json:"inlineShard,omitempty"`
 
 	// In-process program override (SubmitProgram): not serializable, so
 	// daemon jobs always go through the kernel registry. ProgName is the
@@ -153,7 +159,15 @@ func (j *Job) Validate() error {
 		if j.ReplayDir != "" && (j.RecordDir != "" || j.Shards > 1 || j.Fold) {
 			return errors.New("engine: replay cannot be combined with record, shards, or fold")
 		}
-		if (j.Shards > 1 || j.Fold) && j.Checkpoint == "" {
+		if j.InlineShard {
+			if j.Shards <= 1 || j.Fold {
+				return errors.New("engine: inline shard checkpoints need a sharded (non-fold) sweep")
+			}
+			if j.Checkpoint != "" {
+				return errors.New("engine: inline shard sweeps use a private checkpoint; leave Checkpoint empty")
+			}
+		}
+		if (j.Shards > 1 || j.Fold) && j.Checkpoint == "" && !j.InlineShard {
 			return errors.New("engine: sharded sweeps need a checkpoint base")
 		}
 		if j.Shards > 1 && !j.Fold && (j.Shard < 0 || j.Shard >= j.Shards) {
@@ -305,6 +319,12 @@ type Result struct {
 	// Sweep carries the structured fold for KindSweep jobs (per-detector
 	// wall time zeroed: it is process-local and would break determinism).
 	Sweep *detect.SweepReport `json:"sweep,omitempty"`
+	// ShardCheckpoint is the full-length shard checkpoint file an
+	// InlineShard sweep produced — exactly the bytes the same shard
+	// sweeping into a -resume base would have written, so a coordinator
+	// can lay the shards side by side and fold them byte-identically to a
+	// serial sweep. (JSON marshals it base64.)
+	ShardCheckpoint []byte `json:"shardCheckpoint,omitempty"`
 	// CacheHit marks results served from the store without execution.
 	CacheHit bool `json:"cacheHit,omitempty"`
 }
@@ -391,6 +411,7 @@ type Engine struct {
 	ctx   context.Context
 	queue chan *Ticket
 	wg    sync.WaitGroup
+	start time.Time
 
 	mu       sync.Mutex
 	closed   bool
@@ -417,6 +438,7 @@ func New(opts Options) *Engine {
 		ctx:      ctx,
 		queue:    make(chan *Ticket, opts.QueueDepth),
 		inflight: make(map[string]*Ticket),
+		start:    time.Now(),
 	}
 	for i := 0; i < opts.Workers; i++ {
 		e.wg.Add(1)
@@ -437,6 +459,52 @@ type Ticket struct {
 	state atomic.Int32
 	res   *Result
 	err   error
+
+	// cancelMu guards the cancel handshake between Cancel (any goroutine,
+	// any time) and the worker installing the job context's cancel func.
+	cancelMu sync.Mutex
+	cancelFn context.CancelFunc
+	canceled bool
+}
+
+// Cancel aborts the ticket's job: a queued job starts with an already-dead
+// context (it folds an immediate Incomplete/canceled result), a running job
+// has its context canceled so the harness stops dispatching and folds the
+// partial work, and a done job is unaffected. Note that coalesced waiters
+// share one ticket — canceling it cancels the job for all of them.
+func (t *Ticket) Cancel() {
+	t.cancelMu.Lock()
+	t.canceled = true
+	if t.cancelFn != nil {
+		t.cancelFn()
+	}
+	t.cancelMu.Unlock()
+}
+
+// Canceled reports whether Cancel was called.
+func (t *Ticket) Canceled() bool {
+	t.cancelMu.Lock()
+	defer t.cancelMu.Unlock()
+	return t.canceled
+}
+
+// arm installs the running job's cancel func, collapsing the race with an
+// earlier Cancel: if the ticket was canceled while queued, the fresh context
+// is killed before execution observes it.
+func (t *Ticket) arm(cancel context.CancelFunc) {
+	t.cancelMu.Lock()
+	t.cancelFn = cancel
+	if t.canceled {
+		cancel()
+	}
+	t.cancelMu.Unlock()
+}
+
+// disarm clears the cancel func once execution finished.
+func (t *Ticket) disarm() {
+	t.cancelMu.Lock()
+	t.cancelFn = nil
+	t.cancelMu.Unlock()
 }
 
 const (
@@ -573,7 +641,11 @@ func (e *Engine) worker() {
 		e.running++
 		e.mu.Unlock()
 
-		res, err := e.execute(pool, t.Job)
+		ctx, cancel := e.jobCtx(t.Job)
+		t.arm(cancel)
+		res, err := e.execute(ctx, pool, t.Job)
+		t.disarm()
+		cancel()
 
 		key, cacheable := t.Job.cacheKey()
 		if err == nil && cacheable && e.opts.Store != nil &&
@@ -600,6 +672,58 @@ func (e *Engine) worker() {
 		e.mu.Unlock()
 		close(t.done)
 	}
+}
+
+// Health is the engine's load-and-liveness snapshot — the daemon's
+// GET /v1/health payload. Unlike verdict text it is deliberately
+// wall-clock-bearing: schedulers route on it, nothing folds it.
+type Health struct {
+	// Status is "ok" while the engine accepts jobs, "closed" after Close.
+	Status string `json:"status"`
+	// QueueDepth and Running are the instantaneous pipeline state;
+	// InFlight is their sum — the number a scheduler compares across
+	// daemons to find the least-loaded one.
+	QueueDepth int `json:"queueDepth"`
+	Running    int `json:"running"`
+	InFlight   int `json:"inFlight"`
+	// Workers and QueueCapacity are the static bounds the load is
+	// relative to.
+	Workers       int `json:"workers"`
+	QueueCapacity int `json:"queueCapacity"`
+	// UptimeSeconds is time since the engine started.
+	UptimeSeconds float64 `json:"uptimeSeconds"`
+	// StoreHitRate is hits/(hits+misses) of the verdict store lookups, 0
+	// with no store or no lookups yet.
+	StoreHitRate float64 `json:"storeHitRate"`
+	// Executed mirrors Stats.Executed — a cheap liveness delta for
+	// probes that want progress, not just reachability.
+	Executed uint64 `json:"executed"`
+}
+
+// Health snapshots the engine's health view.
+func (e *Engine) Health() Health {
+	e.mu.Lock()
+	h := Health{
+		Status:        "ok",
+		QueueDepth:    len(e.queue),
+		Running:       e.running,
+		Workers:       e.opts.Workers,
+		QueueCapacity: e.opts.QueueDepth,
+		UptimeSeconds: time.Since(e.start).Seconds(),
+		Executed:      e.stats.Executed,
+	}
+	if e.closed {
+		h.Status = "closed"
+	}
+	e.mu.Unlock()
+	h.InFlight = h.QueueDepth + h.Running
+	if e.opts.Store != nil {
+		ss := e.opts.Store.Stats()
+		if total := ss.Hits + ss.Misses; total > 0 {
+			h.StoreHitRate = float64(ss.Hits) / float64(total)
+		}
+	}
+	return h
 }
 
 // Stats snapshots the counters.

@@ -3,6 +3,7 @@ package engine
 import (
 	"context"
 	"fmt"
+	"os"
 	"sort"
 	"strings"
 
@@ -17,10 +18,9 @@ import (
 // execute runs one job to completion and renders its canonical text. The
 // rendering is deliberately wall-time-free: equal jobs produce equal bytes
 // whether computed here, served from the store, or printed by a remote
-// client — the property the differential suite pins.
-func (e *Engine) execute(pool *sim.RunPool, job Job) (*Result, error) {
-	ctx, cancel := e.jobCtx(job)
-	defer cancel()
+// client — the property the differential suite pins. ctx is the job's
+// execution context (engine lifetime + job deadline + ticket cancel).
+func (e *Engine) execute(ctx context.Context, pool *sim.RunPool, job Job) (*Result, error) {
 	switch job.Kind {
 	case KindSweep:
 		return e.execSweep(ctx, pool, job)
@@ -34,9 +34,11 @@ func (e *Engine) execute(pool *sim.RunPool, job Job) (*Result, error) {
 	return nil, fmt.Errorf("engine: unknown job kind %q", job.Kind)
 }
 
-// shardCheckpointName derives shard i's checkpoint file from the serial
+// ShardCheckpointName derives shard i's checkpoint file from the serial
 // checkpoint base — the base itself stays reserved for the folded result.
-func shardCheckpointName(base string, shard, shards int) string {
+// Exported because a fleet coordinator laying down InlineShard bytes must
+// use exactly the names a local fold job will look for.
+func ShardCheckpointName(base string, shard, shards int) string {
 	return fmt.Sprintf("%s.shard%d-of-%d", base, shard, shards)
 }
 
@@ -97,6 +99,7 @@ func (e *Engine) execSweep(ctx context.Context, pool *sim.RunPool, job Job) (*Re
 		opts.Pool = pool
 	}
 	var sw *detect.SweepReport
+	var shardBytes []byte
 	switch {
 	case job.ReplayDir != "":
 		if sw, err = detect.ReplayDir(job.ReplayDir, opts, dets...); err != nil {
@@ -106,7 +109,7 @@ func (e *Engine) execSweep(ctx context.Context, pool *sim.RunPool, job Job) (*Re
 	case job.Fold:
 		srcs := make([]string, job.Shards)
 		for i := range srcs {
-			srcs[i] = shardCheckpointName(job.Checkpoint, i, job.Shards)
+			srcs[i] = ShardCheckpointName(job.Checkpoint, i, job.Shards)
 		}
 		if sw, err = detect.MergeSweepCheckpoints(job.Checkpoint, srcs, opts, dets...); err != nil {
 			return nil, err
@@ -114,9 +117,27 @@ func (e *Engine) execSweep(ctx context.Context, pool *sim.RunPool, job Job) (*Re
 		label += fmt.Sprintf(", fold of %d shards", job.Shards)
 	case job.Shards > 1:
 		opts.ShardCount, opts.ShardIndex = job.Shards, job.Shard
-		opts.Checkpoint = shardCheckpointName(job.Checkpoint, job.Shard, job.Shards)
 		label += fmt.Sprintf(", shard %d/%d", job.Shard, job.Shards)
-		sw = detect.Sweep(r.prog, opts, dets...)
+		if job.InlineShard {
+			// The shard sweeps into a private temp checkpoint whose bytes
+			// ship back in the result: same writer, same bytes as a shard
+			// run against a -resume base, no shared filesystem needed.
+			tmp, terr := os.CreateTemp("", "godetect-shard-*.ck")
+			if terr != nil {
+				return nil, fmt.Errorf("engine: inline shard checkpoint: %w", terr)
+			}
+			tmpPath := tmp.Name()
+			tmp.Close()
+			defer os.Remove(tmpPath)
+			opts.Checkpoint = tmpPath
+			sw = detect.Sweep(r.prog, opts, dets...)
+			if shardBytes, err = os.ReadFile(tmpPath); err != nil {
+				return nil, fmt.Errorf("engine: reading inline shard checkpoint: %w", err)
+			}
+		} else {
+			opts.Checkpoint = ShardCheckpointName(job.Checkpoint, job.Shard, job.Shards)
+			sw = detect.Sweep(r.prog, opts, dets...)
+		}
 	default:
 		sw = detect.Sweep(r.prog, opts, dets...)
 	}
@@ -152,7 +173,7 @@ func (e *Engine) execSweep(ctx context.Context, pool *sim.RunPool, job Job) (*Re
 			fmt.Fprintf(&b, "    replay: %s\n", cmd)
 		}
 	}
-	return &Result{Job: job, Text: b.String(), Fired: fired, Verdict: sw.Verdict, Sweep: sw}, nil
+	return &Result{Job: job, Text: b.String(), Fired: fired, Verdict: sw.Verdict, Sweep: sw, ShardCheckpoint: shardBytes}, nil
 }
 
 // execRun is the plain seeded sampling sweep — the paper's

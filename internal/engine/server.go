@@ -15,10 +15,12 @@ import (
 // Server exposes an Engine over HTTP — on a unix socket (the default
 // deployment: filesystem permissions are the auth model) or a TCP address.
 //
-//	POST /v1/jobs          submit a Job; ?wait=1 blocks for the Result
+//	POST /v1/jobs              submit a Job; ?wait=1 blocks for the Result
 //	GET  /v1/jobs/{id}         job state ("queued" | "running" | "done")
 //	GET  /v1/jobs/{id}/result  block for (or fetch) the Result
+//	POST /v1/jobs/{id}/cancel  cancel a queued or running job
 //	GET  /v1/stats             engine + store counters
+//	GET  /v1/health            load/liveness snapshot for fleet schedulers
 //
 // Submissions past the queue bound get 503 (backpressure, not buffering).
 // Shutdown drains: in-flight jobs finish and their tickets stay queryable
@@ -41,6 +43,7 @@ func NewServer(eng *Engine) *Server {
 	mux.HandleFunc("/v1/jobs", s.handleJobs)
 	mux.HandleFunc("/v1/jobs/", s.handleJob)
 	mux.HandleFunc("/v1/stats", s.handleStats)
+	mux.HandleFunc("/v1/health", s.handleHealth)
 	s.http = &http.Server{Handler: mux}
 	return s
 }
@@ -97,6 +100,14 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	return s.http.Shutdown(ctx)
 }
 
+// Close hard-stops the server: the listener and every active connection
+// drop immediately, blocked waiters get connection errors. It exists for
+// crash simulation (fleet chaos tests SIGKILL a daemon; in-process tests
+// Close one) and last-resort teardown — prefer Shutdown.
+func (s *Server) Close() error {
+	return s.http.Close()
+}
+
 func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
@@ -150,8 +161,8 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, errors.New("GET only"))
+	if r.Method != http.MethodGet && r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("GET (or POST .../cancel) only"))
 		return
 	}
 	rest := strings.TrimPrefix(r.URL.Path, "/v1/jobs/")
@@ -165,9 +176,24 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	}
 	switch sub {
 	case "":
+		if r.Method != http.MethodGet {
+			writeError(w, http.StatusMethodNotAllowed, errors.New("GET /v1/jobs/{id}"))
+			return
+		}
 		writeJSON(w, http.StatusOK, statusView{ID: t.ID, State: t.State()})
 	case "result":
+		if r.Method != http.MethodGet {
+			writeError(w, http.StatusMethodNotAllowed, errors.New("GET /v1/jobs/{id}/result"))
+			return
+		}
 		s.writeResult(w, r, t)
+	case "cancel":
+		if r.Method != http.MethodPost {
+			writeError(w, http.StatusMethodNotAllowed, errors.New("POST /v1/jobs/{id}/cancel"))
+			return
+		}
+		t.Cancel()
+		writeJSON(w, http.StatusOK, statusView{ID: t.ID, State: t.State()})
 	default:
 		writeError(w, http.StatusNotFound, fmt.Errorf("no resource %q", sub))
 	}
@@ -204,30 +230,80 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.eng.Stats())
 }
 
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("GET only"))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.eng.Health())
+}
+
+// ClientOptions tunes a daemon client's failure detection. The zero value
+// gets sane defaults via NewClient.
+type ClientOptions struct {
+	// ConnectTimeout bounds dialing the daemon (default 10s; negative =
+	// none). Without it a daemon that blackholes SYNs (machine down, bad
+	// route) blocks a -remote invocation until the kernel gives up.
+	ConnectTimeout time.Duration
+	// RequestTimeout bounds every individual request including the body
+	// (0 = none). Leave it 0 for clients that legitimately block on
+	// long-running jobs (Submit ?wait=1, Result); set it for probe-style
+	// clients so a daemon that accepts connections but never answers —
+	// hung worker, livelocked event loop — fails fast instead of hanging
+	// the caller forever.
+	RequestTimeout time.Duration
+}
+
 // Client is the remote face of the daemon: the same Submit/Stats surface as
 // a local Engine, over its socket.
 type Client struct {
 	hc   *http.Client
+	tr   *http.Transport
 	base string
+	opts ClientOptions
 }
 
-// NewClient targets addr (same forms SplitAddr accepts). Unix sockets get a
+// NewClient targets addr (same forms SplitAddr accepts) with default
+// options: a 10s connect timeout and no request timeout. Unix sockets get a
 // dedicated dialer; the base URL host is then only decorative.
 func NewClient(addr string) *Client {
+	return NewClientWith(addr, ClientOptions{})
+}
+
+// NewClientWith is NewClient with explicit timeouts.
+func NewClientWith(addr string, opts ClientOptions) *Client {
+	if opts.ConnectTimeout == 0 {
+		opts.ConnectTimeout = 10 * time.Second
+	}
 	network, address := SplitAddr(addr)
-	tr := &http.Transport{}
+	dialer := &net.Dialer{}
+	if opts.ConnectTimeout > 0 {
+		dialer.Timeout = opts.ConnectTimeout
+	}
+	tr := &http.Transport{DialContext: dialer.DialContext}
 	base := "http://" + address
 	if network == "unix" {
 		tr.DialContext = func(ctx context.Context, _, _ string) (net.Conn, error) {
-			var d net.Dialer
-			return d.DialContext(ctx, "unix", address)
+			return dialer.DialContext(ctx, "unix", address)
 		}
 		base = "http://godetect"
 	}
-	return &Client{hc: &http.Client{Transport: tr}, base: base}
+	return &Client{hc: &http.Client{Transport: tr}, tr: tr, base: base, opts: opts}
+}
+
+// Close releases the client's idle connections. A client is cheap but not
+// free: each one keeps kept-alive sockets to its daemon, and a fleet
+// coordinator cycling through many daemons must not leak them.
+func (c *Client) Close() {
+	c.tr.CloseIdleConnections()
 }
 
 func (c *Client) do(ctx context.Context, method, path string, body any, out any) error {
+	if c.opts.RequestTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.opts.RequestTimeout)
+		defer cancel()
+	}
 	var rd *strings.Reader
 	if body != nil {
 		raw, err := json.Marshal(body)
@@ -252,8 +328,21 @@ func (c *Client) do(ctx context.Context, method, path string, body any, out any)
 		var e struct {
 			Error string `json:"error"`
 		}
+		msg := ""
 		if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error != "" {
-			return fmt.Errorf("daemon: %s (HTTP %d)", e.Error, resp.StatusCode)
+			msg = e.Error
+		}
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			// 503 is the daemon's backpressure (full queue or draining):
+			// wrap ErrBusy so schedulers can route the work elsewhere
+			// instead of string-matching.
+			if msg == "" {
+				msg = "service unavailable"
+			}
+			return fmt.Errorf("daemon: %s (HTTP %d): %w", msg, resp.StatusCode, ErrBusy)
+		}
+		if msg != "" {
+			return fmt.Errorf("daemon: %s (HTTP %d)", msg, resp.StatusCode)
 		}
 		return fmt.Errorf("daemon: HTTP %d", resp.StatusCode)
 	}
@@ -306,11 +395,27 @@ func (c *Client) Result(ctx context.Context, id string) (*Result, error) {
 	return view.Result, nil
 }
 
+// Cancel asks the daemon to cancel a submitted job: queued jobs fold an
+// immediate canceled verdict, running jobs stop dispatching and fold their
+// partial work. Cancel of a done job is a no-op.
+func (c *Client) Cancel(ctx context.Context, id string) error {
+	return c.do(ctx, http.MethodPost, "/v1/jobs/"+id+"/cancel", nil, nil)
+}
+
 // Stats fetches the daemon's engine counters.
 func (c *Client) Stats(ctx context.Context) (Stats, error) {
 	var st Stats
 	err := c.do(ctx, http.MethodGet, "/v1/stats", nil, &st)
 	return st, err
+}
+
+// Health fetches the daemon's load/liveness snapshot — the probe a fleet
+// scheduler routes on. Callers should bound it with a short ctx (or a
+// RequestTimeout client): a health check that can hang is no health check.
+func (c *Client) Health(ctx context.Context) (Health, error) {
+	var h Health
+	err := c.do(ctx, http.MethodGet, "/v1/health", nil, &h)
+	return h, err
 }
 
 // WaitReady polls the daemon's stats endpoint until it answers or the

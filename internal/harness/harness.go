@@ -12,6 +12,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math/rand/v2"
 	"os"
 	"path/filepath"
 	"runtime/debug"
@@ -119,32 +120,105 @@ func Capture(run int, seed int64, fn func()) (err *RunError) {
 	return nil
 }
 
-// Retry runs fn up to attempts times, sleeping backoff, 2*backoff, ... between
-// failures (context-aware: cancellation cuts both the sleep and the loop).
-// It returns nil on the first success, the context error if canceled, and
-// otherwise the last failure wrapped with the attempt count.
-func Retry(ctx context.Context, attempts int, backoff time.Duration, fn func() error) error {
-	if attempts < 1 {
-		attempts = 1
+// DefaultMaxBackoff caps a single retry sleep when RetryOptions.MaxBackoff
+// is zero. Uncapped exponential backoff turns a handful of attempts into
+// minutes of dead air — precisely the failure mode a fleet scheduler waiting
+// on a flapping daemon cannot afford.
+const DefaultMaxBackoff = 30 * time.Second
+
+// RetryOptions tunes RetryWith. The zero value means one attempt with no
+// sleep; fill Attempts and Backoff for the classic exponential schedule.
+type RetryOptions struct {
+	// Attempts is the total number of calls to fn (minimum 1).
+	Attempts int
+	// Backoff is the base sleep before the second attempt; attempt i
+	// (0-based) sleeps up to Backoff<<i, capped at MaxBackoff.
+	Backoff time.Duration
+	// MaxBackoff caps every individual sleep (0 = DefaultMaxBackoff). The
+	// cap also bounds the total: Attempts-1 sleeps never exceed
+	// (Attempts-1)*MaxBackoff no matter how the doubling would grow.
+	MaxBackoff time.Duration
+	// Jitter is the fraction of each sleep randomized away, in [0, 1): a
+	// sleep of d becomes uniform in [d*(1-Jitter), d]. Jitter decorrelates
+	// a fleet of retriers hammering one recovering daemon; 0 disables it.
+	Jitter float64
+	// Seed makes the jitter sequence deterministic: equal options replay
+	// equal sleeps, so retry schedules are testable and reproducible.
+	Seed uint64
+}
+
+// SleepFor returns the (jittered, capped) sleep after failed attempt i
+// (0-based). It is a pure function of the options and i — the deterministic
+// schedule RetryWith executes and tests pin.
+func (o RetryOptions) SleepFor(i int) time.Duration {
+	max := o.MaxBackoff
+	if max <= 0 {
+		max = DefaultMaxBackoff
+	}
+	d := o.Backoff
+	// Double step by step instead of shifting by i: backoff<<i overflows
+	// for large attempt counts, and past the cap the exact value is moot.
+	for k := 0; k < i && d < max; k++ {
+		d <<= 1
+	}
+	if d > max {
+		d = max
+	}
+	if d <= 0 {
+		return 0
+	}
+	if o.Jitter > 0 && o.Jitter < 1 {
+		// Seeded per (Seed, attempt): deterministic, and attempts are
+		// independently jittered rather than replaying one stream offset.
+		r := rand.New(rand.NewPCG(o.Seed, uint64(i)))
+		d = time.Duration(float64(d) * (1 - o.Jitter*r.Float64()))
+	}
+	return d
+}
+
+// RetryWith runs fn up to o.Attempts times with exponential backoff between
+// failures — jittered and capped per o, context-aware throughout: a
+// cancellation cuts both the sleep and the loop immediately. It returns nil
+// on the first success, the context error if canceled, and otherwise the
+// last failure wrapped with the attempt count.
+func RetryWith(ctx context.Context, o RetryOptions, fn func() error) error {
+	if o.Attempts < 1 {
+		o.Attempts = 1
 	}
 	var last error
-	for i := 0; i < attempts; i++ {
+	for i := 0; i < o.Attempts; i++ {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
 		if last = fn(); last == nil {
 			return nil
 		}
-		if i == attempts-1 {
+		if i == o.Attempts-1 {
 			break
 		}
+		sleep := o.SleepFor(i)
+		if sleep <= 0 {
+			continue
+		}
+		t := time.NewTimer(sleep)
 		select {
 		case <-ctx.Done():
+			t.Stop()
 			return ctx.Err()
-		case <-time.After(backoff << i):
+		case <-t.C:
 		}
 	}
-	return fmt.Errorf("%d attempts exhausted: %w", attempts, last)
+	return fmt.Errorf("%d attempts exhausted: %w", o.Attempts, last)
+}
+
+// Retry is RetryWith under the classic signature: exponential backoff from
+// the given base, capped at DefaultMaxBackoff, with a deterministic 50%
+// jitter (seed 1) so concurrent retriers spread out instead of thundering
+// together.
+func Retry(ctx context.Context, attempts int, backoff time.Duration, fn func() error) error {
+	return RetryWith(ctx, RetryOptions{
+		Attempts: attempts, Backoff: backoff, Jitter: 0.5, Seed: 1,
+	}, fn)
 }
 
 // SaveCheckpoint atomically writes v as JSON to path: the bytes land in a

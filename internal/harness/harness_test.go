@@ -105,6 +105,90 @@ func TestRetryStopsOnCancel(t *testing.T) {
 	}
 }
 
+// TestRetrySleepSchedule pins the deterministic backoff schedule: doubling
+// from the base, capped at MaxBackoff, jitter seeded so equal options replay
+// equal sleeps and never stretch a sleep past its un-jittered value.
+func TestRetrySleepSchedule(t *testing.T) {
+	o := RetryOptions{Attempts: 8, Backoff: 100 * time.Millisecond, MaxBackoff: time.Second}
+	want := []time.Duration{
+		100 * time.Millisecond, 200 * time.Millisecond, 400 * time.Millisecond,
+		800 * time.Millisecond, time.Second, time.Second, time.Second,
+	}
+	for i, w := range want {
+		if got := o.SleepFor(i); got != w {
+			t.Errorf("SleepFor(%d) = %v, want %v", i, got, w)
+		}
+	}
+
+	j := o
+	j.Jitter, j.Seed = 0.5, 42
+	for i := 0; i < len(want); i++ {
+		a, b := j.SleepFor(i), j.SleepFor(i)
+		if a != b {
+			t.Fatalf("jittered SleepFor(%d) not deterministic: %v vs %v", i, a, b)
+		}
+		full := o.SleepFor(i)
+		if a > full || a < full/2 {
+			t.Errorf("jittered SleepFor(%d) = %v outside [%v, %v]", i, a, full/2, full)
+		}
+	}
+	j2 := j
+	j2.Seed = 43
+	differs := false
+	for i := 0; i < len(want); i++ {
+		if j.SleepFor(i) != j2.SleepFor(i) {
+			differs = true
+		}
+	}
+	if !differs {
+		t.Error("different seeds produced identical jitter schedules")
+	}
+}
+
+// TestRetryTotalBackoffBounded is the regression the cap exists for: the sum
+// of every sleep a retry loop can take stays under (attempts-1)*MaxBackoff —
+// exponential growth never outruns the cap, and huge attempt counts do not
+// overflow into negative (i.e. zero) sleeps.
+func TestRetryTotalBackoffBounded(t *testing.T) {
+	o := RetryOptions{Attempts: 200, Backoff: time.Millisecond, MaxBackoff: 50 * time.Millisecond, Jitter: 0.5, Seed: 7}
+	var total time.Duration
+	for i := 0; i < o.Attempts-1; i++ {
+		s := o.SleepFor(i)
+		if s < 0 || s > o.MaxBackoff {
+			t.Fatalf("SleepFor(%d) = %v outside [0, %v]", i, s, o.MaxBackoff)
+		}
+		total += s
+	}
+	if limit := time.Duration(o.Attempts-1) * o.MaxBackoff; total > limit {
+		t.Fatalf("total backoff %v exceeds bound %v", total, limit)
+	}
+}
+
+// TestRetryWithCancelCutsSleep: a cancellation arriving mid-sleep must end
+// the wait immediately even when the (capped, jittered) sleep is huge.
+func TestRetryWithCancelCutsSleep(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	start := time.Now()
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	err := RetryWith(ctx, RetryOptions{Attempts: 5, Backoff: time.Hour, Jitter: 0.9, Seed: 3}, func() error {
+		calls++
+		return errors.New("fail")
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1", calls)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("cancellation did not cut the jittered sleep")
+	}
+}
+
 func TestCheckpointRoundTrip(t *testing.T) {
 	type state struct {
 		Name string  `json:"name"`

@@ -1,0 +1,162 @@
+#!/usr/bin/env bash
+# Chaos smoke for the fleet scheduler (multi-daemon sharded sweeps).
+#
+# Four gates, all on real godetect processes over unix sockets:
+#
+#   1. A healthy 3-daemon fleet folds a sharded sweep byte-identically to a
+#      serial run: same canonical text (modulo the fold label), same merged
+#      checkpoint bytes under cmp.
+#   2. SIGKILL one daemon mid-sweep: the fleet re-dispatches its shards to
+#      the survivors (stolen counter > 0), does not degrade to local
+#      execution, and the fold is STILL byte-identical to serial.
+#   3. Every daemon unreachable: the sweep completes on the local fallback
+#      with the structured degraded report and the pinned exit code 3 — and
+#      even the degraded fold matches serial byte for byte.
+#   4. The degraded report is structured: degraded=true and every shard
+#      accounted to the local pseudo-daemon.
+#
+# Usage: scripts/fleet_smoke.sh  (FLEET_RUNS and FLEET_KERNEL override the
+# sweep size and subject kernel).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+RUNS=${FLEET_RUNS:-600000}
+KERNEL=${FLEET_KERNEL:-docker-abba-order}
+DETS="cycle"
+SHARDS=6
+
+tmp=$(mktemp -d)
+pids=()
+cleanup() {
+  for p in "${pids[@]:-}"; do kill -9 "$p" 2>/dev/null || true; done
+  rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+echo "fleet_smoke: building godetect"
+go build -o "$tmp/godetect" ./cmd/godetect
+
+start_daemon() { # start_daemon <index>
+  local sock="unix://$tmp/d$1.sock"
+  "$tmp/godetect" serve -addr "$sock" 2>> "$tmp/serve$1.log" &
+  pids[$1]=$!
+  for _ in $(seq 1 100); do
+    if "$tmp/godetect" -remote "$sock" -stats > /dev/null 2>&1; then return 0; fi
+    sleep 0.1
+  done
+  echo "fleet_smoke: FAIL: daemon $1 did not become ready" >&2
+  cat "$tmp/serve$1.log" >&2
+  exit 1
+}
+
+HOSTS="unix://$tmp/d1.sock,unix://$tmp/d2.sock,unix://$tmp/d3.sock"
+
+# The fleet's stderr mixes scheduler log lines with one JSON report block;
+# the report starts at the first '{'.
+report_field() { # report_field <stderr-file> <python-expr over d>
+  python3 - "$1" <<EOF
+import json, sys
+txt = open(sys.argv[1]).read()
+d = json.loads(txt[txt.index('{'):])
+print($2)
+EOF
+}
+
+check_fold() { # check_fold <txt> <ck> <label>
+  sed "s/, fold of $SHARDS shards//" "$1" > "$1.norm"
+  cmp -s "$tmp/serial.txt" "$1.norm" || {
+    echo "fleet_smoke: FAIL: $3 fold text differs from serial" >&2
+    diff "$tmp/serial.txt" "$1.norm" >&2 || true
+    exit 1
+  }
+  cmp "$tmp/serial.ck" "$2" || {
+    echo "fleet_smoke: FAIL: $3 merged checkpoint differs from serial checkpoint" >&2
+    exit 1
+  }
+}
+
+echo "fleet_smoke: serial baseline ($RUNS runs)"
+"$tmp/godetect" -kernel "$KERNEL" -with "$DETS" -runs "$RUNS" -seed 1 \
+  -resume "$tmp/serial.ck" > "$tmp/serial.txt"
+
+echo "fleet_smoke: [1/4] healthy 3-daemon fleet folds byte-identically to serial"
+start_daemon 1; start_daemon 2; start_daemon 3
+"$tmp/godetect" -kernel "$KERNEL" -with "$DETS" -runs "$RUNS" -seed 1 \
+  -fleet "$HOSTS" -shards "$SHARDS" -resume "$tmp/healthy.ck" \
+  > "$tmp/healthy.txt" 2> "$tmp/healthy.err" || {
+  echo "fleet_smoke: FAIL: healthy fleet run exited $?" >&2
+  cat "$tmp/healthy.err" >&2
+  exit 1
+}
+check_fold "$tmp/healthy.txt" "$tmp/healthy.ck" "healthy fleet"
+if [ "$(report_field "$tmp/healthy.err" "d['degraded']")" != "False" ]; then
+  echo "fleet_smoke: FAIL: healthy fleet reported degraded" >&2
+  exit 1
+fi
+
+echo "fleet_smoke: [2/4] SIGKILL one daemon mid-sweep; survivors steal its shards"
+"$tmp/godetect" -kernel "$KERNEL" -with "$DETS" -runs "$RUNS" -seed 1 \
+  -fleet "$HOSTS" -shards "$SHARDS" -resume "$tmp/chaos.ck" \
+  -probe-interval 100ms \
+  > "$tmp/chaos.txt" 2> "$tmp/chaos.err" &
+fleet_pid=$!
+# Wait for the first shard checkpoint to land, proving the sweep is in
+# flight, then kill a daemon with no courtesy whatsoever.
+for _ in $(seq 1 200); do
+  if ls "$tmp"/chaos.ck.shard* > /dev/null 2>&1; then break; fi
+  sleep 0.05
+done
+if ! ls "$tmp"/chaos.ck.shard* > /dev/null 2>&1; then
+  echo "fleet_smoke: FAIL: no shard checkpoint appeared within 10s" >&2
+  kill "$fleet_pid" 2>/dev/null || true
+  exit 1
+fi
+kill -9 "${pids[1]}"
+wait "${pids[1]}" 2>/dev/null || true
+unset 'pids[1]'
+if ! wait "$fleet_pid"; then
+  echo "fleet_smoke: FAIL: chaos fleet run failed" >&2
+  cat "$tmp/chaos.err" >&2
+  exit 1
+fi
+check_fold "$tmp/chaos.txt" "$tmp/chaos.ck" "post-SIGKILL fleet"
+stolen=$(report_field "$tmp/chaos.err" "sum(x['stolen'] for x in d['daemons'])")
+if [ "$stolen" -lt 1 ]; then
+  echo "fleet_smoke: FAIL: no shard was re-dispatched after the SIGKILL (stolen=$stolen)" >&2
+  cat "$tmp/chaos.err" >&2
+  exit 1
+fi
+if [ "$(report_field "$tmp/chaos.err" "d['degraded']")" != "False" ]; then
+  echo "fleet_smoke: FAIL: losing one of three daemons should not degrade to local" >&2
+  cat "$tmp/chaos.err" >&2
+  exit 1
+fi
+
+echo "fleet_smoke: [3/4] every daemon down: local fallback completes, exit code 3"
+for p in "${pids[@]:-}"; do kill -9 "$p" 2>/dev/null || true; done
+for p in "${pids[@]:-}"; do wait "$p" 2>/dev/null || true; done
+pids=()
+rc=0
+"$tmp/godetect" -kernel "$KERNEL" -with "$DETS" -runs "$RUNS" -seed 1 \
+  -fleet "$HOSTS" -shards "$SHARDS" -resume "$tmp/dark.ck" \
+  -probe-interval 100ms \
+  > "$tmp/dark.txt" 2> "$tmp/dark.err" || rc=$?
+if [ "$rc" != 3 ]; then
+  echo "fleet_smoke: FAIL: all-daemons-down run exited $rc, want the pinned degraded code 3" >&2
+  cat "$tmp/dark.err" >&2
+  exit 1
+fi
+check_fold "$tmp/dark.txt" "$tmp/dark.ck" "degraded fleet"
+
+echo "fleet_smoke: [4/4] degraded report is structured"
+if [ "$(report_field "$tmp/dark.err" "d['degraded']")" != "True" ]; then
+  echo "fleet_smoke: FAIL: degraded run did not report degraded=true" >&2
+  exit 1
+fi
+local_done=$(report_field "$tmp/dark.err" "[x for x in d['daemons'] if x['name']=='local'][0]['completed']")
+if [ "$local_done" != "$SHARDS" ]; then
+  echo "fleet_smoke: FAIL: local fallback completed $local_done of $SHARDS shards" >&2
+  exit 1
+fi
+
+echo "fleet_smoke: PASS (healthy fold=serial, SIGKILL survived with steals, blackout degraded to local with exit 3)"
