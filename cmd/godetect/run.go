@@ -179,7 +179,9 @@ func injectorFor(injOpts *inject.Options) func(run int, seed int64) sim.Injector
 // printStats renders the backend's counters as JSON (the -stats flag). A
 // remote backend additionally reports the daemon's /v1/health snapshot
 // under a "health" key; the stats fields stay top-level so existing
-// consumers keep parsing.
+// consumers keep parsing. A failed health fetch (an older daemon without
+// the endpoint, say) is non-fatal: the stats still print, with the error
+// noted under "healthError" instead.
 func printStats(ctx context.Context, sub submitter) error {
 	st, err := sub.Stats(ctx)
 	if err != nil {
@@ -189,10 +191,6 @@ func printStats(ctx context.Context, sub submitter) error {
 	if h, ok := sub.(interface {
 		Health(context.Context) (engine.Health, error)
 	}); ok {
-		health, err := h.Health(ctx)
-		if err != nil {
-			return err
-		}
 		var m map[string]any
 		raw, err := json.Marshal(st)
 		if err != nil {
@@ -201,7 +199,11 @@ func printStats(ctx context.Context, sub submitter) error {
 		if err := json.Unmarshal(raw, &m); err != nil {
 			return err
 		}
-		m["health"] = health
+		if health, herr := h.Health(ctx); herr != nil {
+			m["healthError"] = herr.Error()
+		} else {
+			m["health"] = health
+		}
 		out = m
 	}
 	raw, err := json.MarshalIndent(out, "", "  ")

@@ -1,0 +1,90 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"os"
+	"testing"
+
+	"goconcbugs/internal/engine"
+)
+
+// fakeSubmitter serves canned stats plus a health probe that may fail — the
+// shape of pointing the CLI at an older daemon without /v1/health.
+type fakeSubmitter struct {
+	health    engine.Health
+	healthErr error
+}
+
+func (f fakeSubmitter) Submit(context.Context, engine.Job) (*engine.Result, error) {
+	return nil, errors.New("not under test")
+}
+func (f fakeSubmitter) Stats(context.Context) (engine.Stats, error) {
+	return engine.Stats{}, nil
+}
+func (f fakeSubmitter) Health(context.Context) (engine.Health, error) {
+	return f.health, f.healthErr
+}
+
+func captureStdout(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	fnErr := fn()
+	w.Close()
+	os.Stdout = old
+	data, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data), fnErr
+}
+
+// TestPrintStatsHealthErrorNonFatal: a failing health probe (e.g. a 404 from
+// a daemon predating the endpoint) must not sink the stats that were already
+// fetched — they print with the failure noted under "healthError".
+func TestPrintStatsHealthErrorNonFatal(t *testing.T) {
+	out, err := captureStdout(t, func() error {
+		return printStats(context.Background(), fakeSubmitter{healthErr: errors.New("404 page not found")})
+	})
+	if err != nil {
+		t.Fatalf("printStats failed on health error: %v", err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal([]byte(out), &m); err != nil {
+		t.Fatalf("stats output is not JSON: %v\n%s", err, out)
+	}
+	if _, ok := m["healthError"]; !ok {
+		t.Error("healthError note missing from stats output")
+	}
+	if _, ok := m["health"]; ok {
+		t.Error("health key present despite failed probe")
+	}
+}
+
+// TestPrintStatsIncludesHealth: a working probe lands under "health" with
+// the stats fields still top-level.
+func TestPrintStatsIncludesHealth(t *testing.T) {
+	out, err := captureStdout(t, func() error {
+		return printStats(context.Background(), fakeSubmitter{health: engine.Health{Status: "ok"}})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal([]byte(out), &m); err != nil {
+		t.Fatalf("stats output is not JSON: %v\n%s", err, out)
+	}
+	if _, ok := m["health"]; !ok {
+		t.Error("health key missing from stats output")
+	}
+	if _, ok := m["healthError"]; ok {
+		t.Error("healthError present on a successful probe")
+	}
+}

@@ -15,10 +15,13 @@
 //     range) with no wall-clock content, so duplicate executions — retries,
 //     steals, hedges — produce identical checkpoint bytes. Whichever runner
 //     finishes first wins and the losers' bytes would have been the same.
-//   - A shard is accepted only when its report completed every seed in the
-//     shard's range. A canceled or deadline-cut sweep folds partial records
-//     (possibly under a Confirmed verdict — the detector may have fired in
-//     the completed prefix), and accepting one would silently hole the fold.
+//   - A shard is accepted only when its report holds a deterministic record
+//     for every seed in the shard's range. Host-panicked seeds count: the
+//     sweep records them and a serial run folds the same Incomplete entry.
+//     Canceled or deadline-cut seeds do not — their records simply never
+//     ran, and accepting such a shard would silently hole the fold (possibly
+//     under a Confirmed verdict — the detector may have fired in the
+//     completed prefix).
 package fleet
 
 import (
@@ -29,6 +32,7 @@ import (
 	"sync"
 	"time"
 
+	"goconcbugs/internal/detect"
 	"goconcbugs/internal/engine"
 	"goconcbugs/internal/harness"
 )
@@ -473,10 +477,14 @@ func (c *coordinator) claim(ctx context.Context, d *daemon) (*shardState, claimM
 		}
 		// The local fallback is the thief of last resort: it waits out a
 		// second lease window so a healthy remote gets first claim, unless
-		// no remote could possibly take it.
+		// no remote could possibly take it. A zeroed lease clock (the
+		// owner was benched) makes the shard instantly stealable by
+		// remotes only — the local worker still defers while a healthy
+		// remote has attempts left, so one flapping daemon cannot flip the
+		// run degraded.
 		if d.local && len(c.opts.Hosts) > 0 &&
 			s.attempts < c.opts.Retry.Attempts && c.healthyRemotes() > 0 &&
-			!s.leasedAt.IsZero() && now.Sub(s.leasedAt) <= 2*c.opts.LeaseTimeout {
+			(s.leasedAt.IsZero() || now.Sub(s.leasedAt) <= 2*c.opts.LeaseTimeout) {
 			continue
 		}
 		return lease(s, claimSteal)
@@ -551,13 +559,21 @@ func (c *coordinator) runShard(rctx context.Context, rcancel context.CancelFunc,
 			c.release(s, d)
 			return
 		}
+		if rctx.Err() != nil {
+			// Rival won (or the fleet is shutting down) mid-enqueue — a
+			// cancellation, not a daemon failure.
+			c.release(s, d)
+			return
+		}
 		c.fail(s, d, fmt.Errorf("enqueue: %w", err))
 		return
 	}
 	res, err := client.Result(rctx, id)
-	if rctx.Err() != nil && c.shardDone(s) {
-		// Lost the race to a rival runner: stop the duplicate remotely,
-		// best effort, and walk away. Its bytes would have been identical.
+	if rctx.Err() != nil {
+		// Canceled, not failed: either a rival runner won the shard (its
+		// bytes would have been identical) or the whole fleet is shutting
+		// down. Stop the duplicate remotely, best effort, and walk away
+		// without charging anyone a failure.
 		cctx, ccancel := context.WithTimeout(context.Background(), 2*time.Second)
 		_ = client.Cancel(cctx, id)
 		ccancel()
@@ -570,26 +586,45 @@ func (c *coordinator) runShard(rctx context.Context, rcancel context.CancelFunc,
 		c.fail(s, d, err)
 	case len(res.ShardCheckpoint) == 0:
 		c.fail(s, d, errors.New("no inline shard checkpoint in result"))
-	case res.Sweep == nil || res.Sweep.Completed != hi-lo:
+	case !shardCovered(res.Sweep, hi-lo):
 		// A deadline- or cancel-cut sweep folds partial records; accepting
 		// it would hole the final fold even if its verdict looks Confirmed.
-		c.fail(s, d, fmt.Errorf("shard incomplete: %d of %d seeds", sweepCompleted(res), hi-lo))
+		c.fail(s, d, fmt.Errorf("shard incomplete: %d of %d seeds recorded", recordedSeeds(res.Sweep), hi-lo))
 	default:
 		c.complete(s, d, res.ShardCheckpoint)
 	}
 }
 
-func sweepCompleted(res *engine.Result) int {
-	if res.Sweep == nil {
-		return 0
+// shardCovered reports whether a shard sweep produced a deterministic record
+// for every seed in its range. Host-panicked seeds count as covered — the
+// sweep excludes them from Completed but records them, and a serial run folds
+// the identical Incomplete entry. Canceled- or deadline-cut seeds never ran,
+// so a shard containing one must be retried, not folded.
+func shardCovered(sw *detect.SweepReport, want int) bool {
+	if sw == nil {
+		return false
 	}
-	return res.Sweep.Completed
+	for _, inc := range sw.Incomplete {
+		if inc.Reason != harness.ReasonPanic {
+			return false
+		}
+	}
+	return sw.Completed+len(sw.Incomplete) == want
 }
 
-func (c *coordinator) shardDone(s *shardState) bool {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return s.state == shardDone
+// recordedSeeds counts the seeds a shard sweep has deterministic records for
+// (completed plus host-panicked), for failure messages.
+func recordedSeeds(sw *detect.SweepReport) int {
+	if sw == nil {
+		return 0
+	}
+	n := sw.Completed
+	for _, inc := range sw.Incomplete {
+		if inc.Reason == harness.ReasonPanic {
+			n++
+		}
+	}
+	return n
 }
 
 // release drops d's runner from s without charging a failure (busy reroute,
@@ -605,28 +640,40 @@ func (c *coordinator) release(s *shardState, d *daemon) {
 }
 
 // fail requeues s after a runner error, with jittered backoff per attempt.
-// The failing daemon also sits out one backoff step: a dead daemon
-// otherwise cycles through every pending shard burning their remote
-// attempts faster than the health prober can bench it.
+// An attempt is charged against the shard only when the failing runner was
+// its sole live runner — a losing rival's error (say, a stolen shard's dead
+// original owner) must not burn the shard's remote attempt budget while the
+// thief is running fine, and a straggler losing to an already-accepted
+// result charges nothing at all. The failing daemon itself still sits out
+// one backoff step on any genuine error: a dead daemon otherwise cycles
+// through every pending shard faster than the health prober can bench it.
 func (c *coordinator) fail(s *shardState, d *daemon, err error) {
+	c.mu.Lock()
+	delete(s.cancels, d.name)
+	if s.state == shardDone {
+		c.mu.Unlock()
+		return
+	}
+	solo := len(s.cancels) == 0
+	if solo {
+		s.attempts++
+		s.notBefore = time.Now().Add(c.opts.Retry.SleepFor(s.attempts))
+		s.state = shardPending
+	}
+	attempts := s.attempts
+	c.mu.Unlock()
+
 	d.mu.Lock()
 	d.stats.Retried++
 	if until := time.Now().Add(c.opts.Retry.SleepFor(1)); until.After(d.busyUntil) {
 		d.busyUntil = until
 	}
 	d.mu.Unlock()
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	delete(s.cancels, d.name)
-	if s.state == shardDone {
-		return
+	if solo {
+		c.opts.Logf("fleet: shard %d failed on %s (attempt %d): %v", s.index, d.name, attempts, err)
+	} else {
+		c.opts.Logf("fleet: shard %d runner %s errored; rival still live, no attempt charged: %v", s.index, d.name, err)
 	}
-	s.attempts++
-	s.notBefore = time.Now().Add(c.opts.Retry.SleepFor(s.attempts))
-	if len(s.cancels) == 0 {
-		s.state = shardPending
-	}
-	c.opts.Logf("fleet: shard %d failed on %s (attempt %d): %v", s.index, d.name, s.attempts, err)
 }
 
 // complete accepts the first full checkpoint for s, writes the shard file

@@ -11,6 +11,7 @@ import (
 	"testing"
 	"time"
 
+	"goconcbugs/internal/detect"
 	"goconcbugs/internal/engine"
 	"goconcbugs/internal/harness"
 )
@@ -129,6 +130,27 @@ type hangClient struct{ Client }
 func (h *hangClient) Result(ctx context.Context, id string) (*engine.Result, error) {
 	<-ctx.Done()
 	return nil, ctx.Err()
+}
+
+// panicReportClient rewrites each shard result to look like a sweep whose
+// first seed panicked on the host: Completed shrinks by one and a
+// panic-reason Incomplete entry appears, exactly how detect.Sweep reports a
+// kernel that panics on some seeds. The checkpoint bytes are untouched —
+// panicked seeds still have deterministic records a serial fold reproduces.
+type panicReportClient struct{ Client }
+
+func (p *panicReportClient) Result(ctx context.Context, id string) (*engine.Result, error) {
+	res, err := p.Client.Result(ctx, id)
+	if err != nil || res == nil || res.Sweep == nil || res.Sweep.Completed == 0 {
+		return res, err
+	}
+	r2 := *res
+	sw := *res.Sweep
+	sw.Completed--
+	sw.Incomplete = append(append([]detect.IncompleteRun{}, sw.Incomplete...),
+		detect.IncompleteRun{Run: 0, Seed: 0, Reason: harness.ReasonPanic, Detail: "simulated host panic"})
+	r2.Sweep = &sw
+	return &r2, nil
 }
 
 // slowClient delivers correct results after a fixed straggle.
@@ -346,6 +368,153 @@ func TestFleetAllLocalWhenNoHosts(t *testing.T) {
 	}
 	if rep.LocalShards != 2 {
 		t.Errorf("LocalShards = %d, want 2", rep.LocalShards)
+	}
+}
+
+// TestFleetAcceptsPanickedSeeds: a shard whose sweep report lists
+// host-panicked seeds (excluded from Completed but recorded
+// deterministically) is accepted like a serial sweep would fold it — not
+// retried until the remote budget burns out and the run degrades.
+func TestFleetAcceptsPanickedSeeds(t *testing.T) {
+	job := baseJob()
+	wantCk, wantText := serialBaseline(t, job)
+	base := filepath.Join(t.TempDir(), "fleet.ck")
+
+	clients := map[string]Client{
+		"a": &panicReportClient{Client: realDaemon(t)},
+		"b": &panicReportClient{Client: realDaemon(t)},
+	}
+	rep, err := Run(context.Background(), job, Options{
+		Hosts: []string{"a", "b"}, Shards: 4, CheckpointBase: base,
+		ProbeInterval: 10 * time.Millisecond,
+		Retry:         retryFast(),
+		Dial:          dialMap(clients),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFold(t, rep, base, 4, wantCk, wantText)
+	if rep.Degraded {
+		t.Error("panicked-seed shards pushed the fleet into degraded mode")
+	}
+	cs := counters(rep)
+	if got := cs["a"].Retried + cs["b"].Retried; got != 0 {
+		t.Errorf("panicked-seed shards were charged %d retries", got)
+	}
+}
+
+// TestShardCovered pins the acceptance rule: panic-reason incompletes count
+// as recorded, canceled/deadline ones reject the shard.
+func TestShardCovered(t *testing.T) {
+	pnc := detect.IncompleteRun{Reason: harness.ReasonPanic}
+	cases := []struct {
+		name string
+		sw   *detect.SweepReport
+		want bool
+	}{
+		{"nil sweep", nil, false},
+		{"all completed", &detect.SweepReport{Completed: 5}, true},
+		{"panics recorded", &detect.SweepReport{Completed: 3,
+			Incomplete: []detect.IncompleteRun{pnc, pnc}}, true},
+		{"canceled seed", &detect.SweepReport{Completed: 4,
+			Incomplete: []detect.IncompleteRun{{Reason: harness.ReasonCanceled}}}, false},
+		{"deadline seed", &detect.SweepReport{Completed: 3,
+			Incomplete: []detect.IncompleteRun{pnc, {Reason: harness.ReasonDeadline}}}, false},
+		{"short range", &detect.SweepReport{Completed: 3,
+			Incomplete: []detect.IncompleteRun{pnc}}, false},
+	}
+	for _, tc := range cases {
+		if got := shardCovered(tc.sw, 5); got != tc.want {
+			t.Errorf("%s: shardCovered = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestFailRivalKeepsAttemptBudget: a losing runner's error while a rival is
+// still live on the shard must not burn the shard's remote attempt budget or
+// requeue it; a sole runner's failure still counts; a straggler erroring
+// after acceptance charges nothing at all.
+func TestFailRivalKeepsAttemptBudget(t *testing.T) {
+	c := &coordinator{opts: Options{Retry: retryFast(), Logf: func(string, ...any) {}}}
+	owner := &daemon{name: "owner"}
+	s := &shardState{state: shardLeased, cancels: map[string]context.CancelFunc{
+		"owner": func() {}, "thief": func() {},
+	}}
+	c.shards = []*shardState{s}
+
+	c.fail(s, owner, errors.New("connection reset"))
+	if s.attempts != 0 {
+		t.Errorf("losing rival burned %d attempts", s.attempts)
+	}
+	if s.state != shardLeased {
+		t.Error("shard requeued while the thief was still running")
+	}
+
+	thief := &daemon{name: "thief"}
+	c.fail(s, thief, errors.New("boom"))
+	if s.attempts != 1 {
+		t.Errorf("sole-runner failure counted %d attempts, want 1", s.attempts)
+	}
+	if s.state != shardPending {
+		t.Error("sole-runner failure did not requeue the shard")
+	}
+
+	done := &shardState{state: shardDone, cancels: map[string]context.CancelFunc{"late": func() {}}}
+	late := &daemon{name: "late"}
+	c.fail(done, late, errors.New("straggler error"))
+	if late.stats.Retried != 0 {
+		t.Error("straggler on a done shard was charged a retry")
+	}
+	if done.attempts != 0 {
+		t.Error("straggler on a done shard burned an attempt")
+	}
+}
+
+// TestLocalThiefWaitsForBenchedLease: a benched daemon's zeroed lease clock
+// makes its shard instantly stealable by remotes but NOT by the local
+// fallback while a healthy remote with attempt budget remains — one flapping
+// daemon must not flip the run degraded.
+func TestLocalThiefWaitsForBenchedLease(t *testing.T) {
+	newCoord := func(remoteHealthy bool, attempts int) (*coordinator, *daemon, *shardState) {
+		remote := &daemon{name: "a", healthy: remoteHealthy}
+		c := &coordinator{
+			opts: Options{Hosts: []string{"a", "b"}, Retry: retryFast(),
+				LeaseTimeout: time.Minute, Logf: func(string, ...any) {}},
+			daemons: []*daemon{remote, {name: "b"}},
+			local:   &daemon{name: "local", local: true, healthy: true},
+		}
+		// Shard leased by the benched daemon b; expireLeases zeroed the
+		// clock, so leasedAt stays its time.Time zero value.
+		s := &shardState{state: shardLeased, attempts: attempts,
+			cancels: map[string]context.CancelFunc{"b": func() {}}}
+		c.shards = []*shardState{s}
+		return c, remote, s
+	}
+
+	c, remote, s := newCoord(true, 0)
+	if got, _, _, cancel := c.claim(context.Background(), c.local); got != nil {
+		cancel()
+		t.Fatal("local fallback stole a zero-clock lease while a healthy remote remained")
+	}
+	if got, mode, _, cancel := c.claim(context.Background(), remote); got != s || mode != claimSteal {
+		t.Fatalf("healthy remote did not steal the benched lease (shard %v, mode %v)", got, mode)
+	} else {
+		cancel()
+		c.release(s, remote)
+	}
+
+	c, _, s = newCoord(false, 0)
+	if got, mode, _, cancel := c.claim(context.Background(), c.local); got != s || mode != claimSteal {
+		t.Fatalf("with no healthy remote, local did not steal (shard %v, mode %v)", got, mode)
+	} else {
+		cancel()
+	}
+
+	c, _, s = newCoord(true, retryFast().Attempts)
+	if got, _, _, cancel := c.claim(context.Background(), c.local); got != s {
+		t.Fatal("with remote attempts exhausted, local did not steal")
+	} else {
+		cancel()
 	}
 }
 

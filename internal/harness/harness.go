@@ -213,8 +213,11 @@ func RetryWith(ctx context.Context, o RetryOptions, fn func() error) error {
 
 // Retry is RetryWith under the classic signature: exponential backoff from
 // the given base, capped at DefaultMaxBackoff, with a deterministic 50%
-// jitter (seed 1) so concurrent retriers spread out instead of thundering
-// together.
+// jitter (fixed seed 1) that staggers one retrier's successive attempts off
+// the pure power-of-two schedule. Because every Retry caller shares the
+// seed, identical concurrent retriers compute identical sleeps — callers
+// that need decorrelation between retriers must use RetryWith with a
+// caller-distinct Seed.
 func Retry(ctx context.Context, attempts int, backoff time.Duration, fn func() error) error {
 	return RetryWith(ctx, RetryOptions{
 		Attempts: attempts, Backoff: backoff, Jitter: 0.5, Seed: 1,
